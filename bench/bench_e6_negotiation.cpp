@@ -1,0 +1,149 @@
+// E6 — per-agreement negotiation and adaptation (paper §3).
+//
+// Measures the infrastructure-service costs:
+//   a) negotiation latency (virtual round trips) vs parameter count,
+//   b) concurrent independent agreements ("no system wide view"),
+//   c) an adaptation storm: capacity collapses, every managed agreement
+//      renegotiates; reports time until the system settles.
+#include "bench/support.hpp"
+#include "characteristics/compression.hpp"
+#include "core/adaptation.hpp"
+#include "util/log.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+core::CharacteristicDescriptor wide_descriptor(int params) {
+  std::vector<core::ParamDesc> descs;
+  for (int i = 0; i < params; ++i) {
+    descs.push_back(core::ParamDesc{"p" + std::to_string(i),
+                                    cdr::TypeCode::long_tc(),
+                                    cdr::Any::from_long(1), 0, 1000});
+  }
+  return core::CharacteristicDescriptor("Wide", core::QosCategory::kOther,
+                                        std::move(descs), {});
+}
+
+}  // namespace
+
+int main() {
+  // Adaptation rejections under extreme pressure are part of the
+  // experiment; keep the log quiet.
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  header("E6a: negotiation latency vs parameter count (2 ms link)");
+  std::printf("%8s | %12s\n", "params", "virtual ms");
+  row_rule();
+  for (int params : {1, 4, 16, 64}) {
+    World world;
+    world.set_link(10e6, 2 * sim::kMillisecond);
+    core::ProviderRegistry providers;
+    core::CharacteristicProvider provider;
+    provider.descriptor = wide_descriptor(params);
+    providers.add(std::move(provider));
+    core::NegotiationService negotiation(world.server_transport, providers,
+                                         world.resources);
+    core::Negotiator negotiator(world.client_transport, providers);
+    auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+    servant->assign_characteristic(wide_descriptor(params));
+    auto ref = world.server.adapter().activate("obj", servant);
+    maqs::testing::EchoStub stub(world.client, ref);
+    const sim::TimePoint t0 = world.loop.now();
+    negotiator.negotiate(stub, "Wide", {});
+    std::printf("%8d | %12.2f\n", params,
+                sim::to_millis(world.loop.now() - t0));
+  }
+
+  header("E6b: independent agreements on one server");
+  std::printf("%12s | %14s %14s\n", "agreements", "total ms",
+              "ms/agreement");
+  row_rule();
+  for (int n : {1, 8, 32, 128}) {
+    World world;
+    world.set_link(10e6, 2 * sim::kMillisecond);
+    core::ProviderRegistry providers;
+    providers.add(characteristics::make_compression_provider());
+    core::NegotiationService negotiation(world.server_transport, providers,
+                                         world.resources);
+    core::Negotiator negotiator(world.client_transport, providers);
+    std::vector<std::unique_ptr<maqs::testing::EchoStub>> stubs;
+    for (int i = 0; i < n; ++i) {
+      auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+      servant->assign_characteristic(
+          characteristics::compression_descriptor());
+      orb::QosProfile profile;
+      profile.characteristic = characteristics::compression_name();
+      auto ref = world.server.adapter().activate(
+          "obj" + std::to_string(i), servant, {profile});
+      stubs.push_back(std::make_unique<maqs::testing::EchoStub>(
+          world.client, ref));
+    }
+    const sim::TimePoint t0 = world.loop.now();
+    for (auto& stub : stubs) {
+      negotiator.negotiate(*stub, characteristics::compression_name(),
+                           {{"level", cdr::Any::from_long(1)}});
+    }
+    const double total = sim::to_millis(world.loop.now() - t0);
+    std::printf("%12d | %14.1f %14.2f\n", n, total, total / n);
+  }
+
+  header("E6c: adaptation storm (capacity collapse)");
+  std::printf("%12s | %12s %14s\n", "agreements", "adapted", "settle ms");
+  row_rule();
+  for (int n : {4, 16, 64}) {
+    World world;
+    world.set_link(10e6, 2 * sim::kMillisecond);
+    world.resources.declare("cpu", 1e9);
+    core::ProviderRegistry providers;
+    providers.add(characteristics::make_compression_provider());
+    core::NegotiationService negotiation(world.server_transport, providers,
+                                         world.resources);
+    core::Negotiator negotiator(world.client_transport, providers);
+    core::AdaptationManager adaptation(world.client_transport, negotiator);
+    world.resources.subscribe(
+        [&](const std::string& resource, double, double) {
+          negotiation.shed_overload(resource);
+        });
+
+    std::vector<std::unique_ptr<maqs::testing::EchoStub>> stubs;
+    for (int i = 0; i < n; ++i) {
+      auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+      servant->assign_characteristic(
+          characteristics::compression_descriptor());
+      orb::QosProfile profile;
+      profile.characteristic = characteristics::compression_name();
+      auto ref = world.server.adapter().activate(
+          "obj" + std::to_string(i), servant, {profile});
+      stubs.push_back(std::make_unique<maqs::testing::EchoStub>(
+          world.client, ref));
+      core::Agreement agreement = negotiator.negotiate(
+          *stubs.back(), characteristics::compression_name(),
+          {{"level", cdr::Any::from_long(64)}});
+      adaptation.manage(
+          *stubs.back(), agreement,
+          [](const core::Agreement& current, const std::string&)
+              -> std::optional<std::map<std::string, cdr::Any>> {
+            if (current.int_param("level") <= 1) return std::nullopt;
+            // Emergency degrade: drop straight to the floor level.
+            return std::map<std::string, cdr::Any>{
+                {"level", cdr::Any::from_long(1)}};
+          });
+    }
+    // Collapse: room for one agreement at level 64 plus everyone else at
+    // the floor level — the shed policy keeps the oldest survivor and
+    // every victim must adapt.
+    const sim::TimePoint t0 = world.loop.now();
+    world.resources.set_capacity("cpu", 64.0 + (n - 1));
+    world.loop.run_until_idle();
+    std::printf("%12d | %12llu %14.1f   (expected %d)\n", n,
+                static_cast<unsigned long long>(adaptation.adaptations()),
+                sim::to_millis(world.loop.now() - t0), n - 1);
+  }
+  std::printf(
+      "\nshape check: negotiation cost is one command round trip and\n"
+      "scales linearly in agreements (each negotiated independently);\n"
+      "adaptation settles within a few round trips per victim.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E8 — the QIDL compiler as an aspect weaver (paper §3.3).
+//
+// The weaving claim: separation of concerns is established at compile
+// time by qidlc, so the runtime pays only delegate indirection (measured
+// in F2). This bench quantifies the compile-time side: front-end and
+// emitter throughput as specifications grow, i.e. the cost of weaving.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "qidl/emitter.hpp"
+#include "qidl/lexer.hpp"
+#include "qidl/parser.hpp"
+#include "qidl/repository.hpp"
+#include "qidl/sema.hpp"
+
+using namespace maqs;
+
+namespace {
+
+std::string synthetic_spec(int interfaces, int ops_per_interface,
+                           int characteristics) {
+  std::ostringstream out;
+  out << "module bench {\n";
+  out << "  struct Rec { string name; long long id; double score; };\n";
+  out << "  enum Mode { a, b, c };\n";
+  for (int c = 0; c < characteristics; ++c) {
+    out << "  qos characteristic Q" << c << " {\n"
+        << "    category performance;\n"
+        << "    param long level" << c << " = 1 range 1 .. 100;\n"
+        << "    param string tag" << c << " = \"x\";\n"
+        << "    mechanism double qos_metric_" << c << "();\n"
+        << "    peer void qos_sync_" << c << "(in long long seq);\n"
+        << "  };\n";
+  }
+  for (int i = 0; i < interfaces; ++i) {
+    out << "  interface Service" << i << " {\n";
+    for (int o = 0; o < ops_per_interface; ++o) {
+      out << "    Rec op_" << o << "(in string key, in long n, in Mode m, "
+          << "in sequence<octet> data);\n";
+    }
+    out << "  };\n";
+    if (characteristics > 0) {
+      out << "  bind Service" << i << " : Q" << (i % characteristics)
+          << ";\n";
+    }
+  }
+  out << "};\n";
+  return out.str();
+}
+
+void BM_Lex(benchmark::State& state) {
+  const std::string source =
+      synthetic_spec(static_cast<int>(state.range(0)), 10, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qidl::lex(source));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_Lex)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string source =
+      synthetic_spec(static_cast<int>(state.range(0)), 10, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qidl::parse(source));
+  }
+}
+BENCHMARK(BM_Parse)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_Analyze(benchmark::State& state) {
+  const std::string source =
+      synthetic_spec(static_cast<int>(state.range(0)), 10, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qidl::analyze(source));
+  }
+}
+BENCHMARK(BM_Analyze)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_EmitHeader(benchmark::State& state) {
+  const std::string source =
+      synthetic_spec(static_cast<int>(state.range(0)), 10, 4);
+  const qidl::CheckedUnit unit = qidl::analyze(source);
+  std::size_t generated = 0;
+  for (auto _ : state) {
+    const std::string header = qidl::emit_header(unit);
+    generated = header.size();
+    benchmark::DoNotOptimize(header.data());
+  }
+  state.counters["generated_bytes"] = static_cast<double>(generated);
+}
+BENCHMARK(BM_EmitHeader)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_BuildRepository(benchmark::State& state) {
+  const std::string source =
+      synthetic_spec(static_cast<int>(state.range(0)), 10, 4);
+  const qidl::CheckedUnit unit = qidl::analyze(source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qidl::InterfaceRepository::build(unit));
+  }
+}
+BENCHMARK(BM_BuildRepository)->Arg(1)->Arg(10)->Arg(50);
+
+/// Full weave: source text -> generated header.
+void BM_FullWeave(benchmark::State& state) {
+  const std::string source =
+      synthetic_spec(static_cast<int>(state.range(0)), 10, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qidl::emit_header(qidl::analyze(source)));
+  }
+}
+BENCHMARK(BM_FullWeave)->Arg(1)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// F2 — Fig. 2: cost of the QIDL weaving machinery.
+//
+// Measures the wall-clock CPU overhead each weaving ingredient adds to a
+// request on the collocated fast path (loopback, zero virtual latency),
+// so the figures isolate mediation cost from network cost:
+//   - plain stub -> plain skeleton (baseline)
+//   - + empty mediator delegate (client weaving)
+//   - + QoS skeleton with empty impl (prolog/epilog + stream lift-out)
+//   - + N assigned characteristics (QoS-op table pressure)
+//   - NotNegotiated raising for a non-negotiated QoS op
+// Expected shape: each delegate adds a small constant; the weaving is
+// cheap relative to marshaling + transport, which is the paper's implicit
+// claim when it advocates mediator indirection.
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "core/mediator.hpp"
+#include "core/qos_skeleton.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+core::CharacteristicDescriptor fake_characteristic(int i) {
+  return core::CharacteristicDescriptor(
+      "C" + std::to_string(i), core::QosCategory::kOther, {},
+      {core::QosOpDesc{"qos_op_" + std::to_string(i),
+                       core::QosOpKind::kMechanism}});
+}
+
+class EmptyMediator : public core::Mediator {
+ public:
+  EmptyMediator() : core::Mediator("C0") {}
+};
+
+class EmptyImpl : public core::QosImpl {
+ public:
+  EmptyImpl() : core::QosImpl("C0") {}
+};
+
+struct Fixture {
+  World world;
+  std::shared_ptr<maqs::testing::EchoImpl> plain_impl;
+  std::shared_ptr<maqs::testing::QosEchoImpl> qos_impl;
+  orb::ObjRef plain_ref;
+  orb::ObjRef qos_ref;
+
+  explicit Fixture(int assigned_characteristics = 1) {
+    world.set_link(0 /*infinite*/, 0);
+    world.network.set_loopback_latency(0);
+    plain_impl = std::make_shared<maqs::testing::EchoImpl>();
+    plain_ref = world.server.adapter().activate("plain", plain_impl);
+    qos_impl = std::make_shared<maqs::testing::QosEchoImpl>();
+    for (int i = 0; i < assigned_characteristics; ++i) {
+      qos_impl->assign_characteristic(fake_characteristic(i));
+    }
+    qos_ref = world.server.adapter().activate("qos", qos_impl);
+  }
+};
+
+void BM_PlainStubCall(benchmark::State& state) {
+  Fixture fixture;
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.plain_ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_PlainStubCall);
+
+void BM_StubWithEmptyMediator(benchmark::State& state) {
+  Fixture fixture;
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.plain_ref);
+  auto composite = std::make_shared<core::CompositeMediator>();
+  composite->add(std::make_shared<EmptyMediator>());
+  stub.set_mediator(composite);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_StubWithEmptyMediator);
+
+void BM_QosSkeletonNoImpl(benchmark::State& state) {
+  Fixture fixture;
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_QosSkeletonNoImpl);
+
+void BM_QosSkeletonEmptyImpl(benchmark::State& state) {
+  Fixture fixture;
+  fixture.qos_impl->set_active_impl(std::make_shared<EmptyImpl>());
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_QosSkeletonEmptyImpl);
+
+void BM_FullWeavingBothSides(benchmark::State& state) {
+  Fixture fixture;
+  fixture.qos_impl->set_active_impl(std::make_shared<EmptyImpl>());
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  auto composite = std::make_shared<core::CompositeMediator>();
+  composite->add(std::make_shared<EmptyMediator>());
+  stub.set_mediator(composite);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_FullWeavingBothSides);
+
+/// More assigned characteristics = larger QoS-op table on the skeleton.
+void BM_AssignedCharacteristics(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.add(1, 2));
+  }
+}
+BENCHMARK(BM_AssignedCharacteristics)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Fig. 2's exception path: QoS op of a non-negotiated characteristic.
+void BM_NotNegotiatedRaise(benchmark::State& state) {
+  Fixture fixture;
+  for (auto _ : state) {
+    orb::RequestMessage req;
+    req.object_key = "qos";
+    req.operation = "qos_op_0";
+    orb::ReplyMessage rep = fixture.world.client.invoke_plain(
+        fixture.world.server.endpoint(), std::move(req));
+    benchmark::DoNotOptimize(rep.status);
+  }
+}
+BENCHMARK(BM_NotNegotiatedRaise);
+
+/// Marshaling-heavy call for scale: weaving cost vs payload cost.
+void BM_PayloadCall(benchmark::State& state) {
+  Fixture fixture;
+  fixture.qos_impl->set_active_impl(std::make_shared<EmptyImpl>());
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  const util::Bytes data = payload(static_cast<std::size_t>(state.range(0)),
+                                   0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.blob(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PayloadCall)->Arg(64)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// F3 — Fig. 3: "QoS Integration into the ORB" — the invocation-interface
+// dispatch taxonomy.
+//
+// One benchmark per branch of the paper's dispatch diagram:
+//   - request, not QoS-aware            -> GIOP/IIOP path
+//   - request, QoS-aware, no module     -> QoS transport, plain fallback
+//   - request, QoS-aware, module        -> QoS transport, module path
+//   - command to the QoS transport      -> transport command
+//   - command to a module               -> module command
+//   - module loading (the "dynamic loading on request" reflection)
+// Expected shape: the QoS transport adds a lookup on top of the plain
+// path; commands cost about one request; loading is a one-time cost.
+#include <benchmark/benchmark.h>
+
+#include "bench/support.hpp"
+#include "orb/dii.hpp"
+
+using namespace maqs;
+using namespace maqs::bench;
+
+namespace {
+
+/// Pass-through module: isolates routing cost from transform cost.
+class NullModule : public core::QosModule {
+ public:
+  NullModule() : core::QosModule("null") {}
+  cdr::Any command(const std::string& op,
+                   const std::vector<cdr::Any>& args) override {
+    if (op == "noop") return cdr::Any::make_void();
+    return core::QosModule::command(op, args);
+  }
+};
+
+void register_null_module() {
+  auto& registry = core::ModuleFactoryRegistry::instance();
+  if (!registry.contains("null")) {
+    registry.register_factory(
+        "null", [] { return std::make_unique<NullModule>(); });
+  }
+}
+
+struct Fixture {
+  World world;
+  orb::ObjRef plain_ref;
+  orb::ObjRef qos_ref;
+
+  Fixture() {
+    world.set_link(0, 0);
+    world.network.set_loopback_latency(0);
+    register_null_module();
+    auto servant = std::make_shared<maqs::testing::EchoImpl>();
+    plain_ref = world.server.adapter().activate("echo", servant);
+    qos_ref = plain_ref;
+    orb::QosProfile profile;
+    profile.characteristic = "Null";
+    qos_ref.qos = {profile};
+  }
+};
+
+void BM_RequestPlainPath(benchmark::State& state) {
+  Fixture fixture;
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.plain_ref);
+  for (auto _ : state) benchmark::DoNotOptimize(stub.add(1, 2));
+  state.counters["plain_path"] = static_cast<double>(
+      fixture.world.client.stats().plain_path);
+}
+BENCHMARK(BM_RequestPlainPath);
+
+void BM_RequestQosFallback(benchmark::State& state) {
+  Fixture fixture;
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  for (auto _ : state) benchmark::DoNotOptimize(stub.add(1, 2));
+  state.counters["fallback"] = static_cast<double>(
+      fixture.world.client_transport.stats().requests_fallback_plain);
+}
+BENCHMARK(BM_RequestQosFallback);
+
+void BM_RequestViaModule(benchmark::State& state) {
+  Fixture fixture;
+  fixture.world.client_transport.assign("echo", "null");
+  maqs::testing::EchoStub stub(fixture.world.client, fixture.qos_ref);
+  for (auto _ : state) benchmark::DoNotOptimize(stub.add(1, 2));
+  state.counters["via_module"] = static_cast<double>(
+      fixture.world.client_transport.stats().requests_via_module);
+}
+BENCHMARK(BM_RequestViaModule);
+
+void BM_CommandToTransport(benchmark::State& state) {
+  Fixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orb::send_command(
+        fixture.world.client, fixture.world.server.endpoint(), "", "ping",
+        {}));
+  }
+}
+BENCHMARK(BM_CommandToTransport);
+
+void BM_CommandToModule(benchmark::State& state) {
+  Fixture fixture;
+  fixture.world.server_transport.load_module("null");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orb::send_command(
+        fixture.world.client, fixture.world.server.endpoint(), "null",
+        "noop", {}));
+  }
+}
+BENCHMARK(BM_CommandToModule);
+
+/// The reflection mechanism: dynamic module load/unload cycle.
+void BM_ModuleLoadUnload(benchmark::State& state) {
+  Fixture fixture;
+  for (auto _ : state) {
+    fixture.world.client_transport.load_module("null");
+    fixture.world.client_transport.unload_module("null");
+  }
+}
+BENCHMARK(BM_ModuleLoadUnload);
+
+/// Remote load through a transport command ("extension of the ORB at
+/// runtime", §4).
+void BM_RemoteModuleLoad(benchmark::State& state) {
+  Fixture fixture;
+  for (auto _ : state) {
+    orb::send_command(fixture.world.client,
+                      fixture.world.server.endpoint(), "", "load_module",
+                      {cdr::Any::from_string("null")});
+    orb::send_command(fixture.world.client,
+                      fixture.world.server.endpoint(), "", "unload_module",
+                      {cdr::Any::from_string("null")});
+  }
+}
+BENCHMARK(BM_RemoteModuleLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Shared scaffolding for the MAQS benchmarks: a canned two-host world,
+// payload generators, and small table-printing helpers. Each bench binary
+// regenerates one experiment from DESIGN.md §4 and prints its rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/adaptation.hpp"
+#include "core/negotiation.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::bench {
+
+/// Client + server ORB pair with transports on a configurable link.
+struct World {
+  sim::EventLoop loop;
+  net::Network network{loop};
+  orb::Orb server{network, "server", 9000};
+  orb::Orb client{network, "client", 9001};
+  core::QosTransport server_transport{server};
+  core::QosTransport client_transport{client};
+  core::ResourceManager resources;
+
+  World() { resources.declare("cpu", 1e9); }
+
+  void set_link(double bandwidth_bps, sim::Duration latency) {
+    network.set_default_link(
+        net::LinkParams{.latency = latency, .bandwidth_bps = bandwidth_bps});
+    network.set_link("client", "server",
+                     net::LinkParams{.latency = latency,
+                                     .bandwidth_bps = bandwidth_bps});
+  }
+};
+
+/// Text payload with tunable redundancy: `compressibility` in [0,1] is the
+/// fraction of repeated-phrase content (rest is random noise).
+inline util::Bytes payload(std::size_t size, double compressibility,
+                           std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  const std::string phrase = "quality-of-service middleware frame ";
+  util::Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    if (rng.next_double() < compressibility) {
+      for (char c : phrase) {
+        if (out.size() >= size) break;
+        out.push_back(static_cast<std::uint8_t>(c));
+      }
+    } else {
+      out.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+  }
+  return out;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row_rule() {
+  std::printf("%s\n", std::string(72, '-').c_str());
+}
+
+}  // namespace maqs::bench

@@ -1,0 +1,43 @@
+// Bench-only servants.
+#pragma once
+
+#include "characteristics/replication.hpp"
+#include "core/qos_skeleton.hpp"
+#include "support/qos_echo.hpp"
+
+namespace maqs::bench {
+
+/// Replication-assigned servant whose whole state is one opaque blob;
+/// used to measure state-transfer cost vs state size (E1c).
+class BlobStateServant : public core::QosServantBase,
+                         public core::StateAccess {
+ public:
+  BlobStateServant() {
+    assign_characteristic(characteristics::replication_descriptor());
+  }
+  const std::string& repo_id() const override {
+    static const std::string kId = "IDL:bench/BlobState:1.0";
+    return kId;
+  }
+
+  util::Bytes state;
+
+  core::StateAccess* state_access() override { return this; }
+  util::Bytes get_state() override { return state; }
+  void set_state(util::BytesView s) override {
+    state.assign(s.begin(), s.end());
+  }
+
+ protected:
+  void dispatch_app(const std::string& operation, cdr::Decoder& args,
+                    cdr::Encoder& out, orb::ServerContext&) override {
+    if (operation == "size") {
+      args.expect_end();
+      out.write_u32(static_cast<std::uint32_t>(state.size()));
+      return;
+    }
+    throw orb::BadOperation("BlobState: unknown operation " + operation);
+  }
+};
+
+}  // namespace maqs::bench

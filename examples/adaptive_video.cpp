@@ -1,0 +1,91 @@
+// QoS adaptation (paper §3, "QoS adaptation"): a video-ish streaming
+// client whose Compression agreement degrades and recovers as server
+// resources change, with no application-code involvement.
+//
+//   server: capacity drop -> shed_overload -> violation push
+//   client: AdaptationManager policy halves the level -> renegotiate
+#include <iostream>
+
+#include "characteristics/compression.hpp"
+#include "core/adaptation.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo_example.hpp"
+
+using namespace maqs;
+
+int main() {
+  sim::EventLoop loop;
+  net::Network network(loop);
+  orb::Orb server(network, "media-server", 8554);
+  orb::Orb player(network, "player", 6000);
+  core::QosTransport server_transport(server);
+  core::QosTransport player_transport(player);
+
+  core::ProviderRegistry providers;
+  providers.add(characteristics::make_compression_provider());
+  core::ResourceManager resources;
+  resources.declare("cpu", 200.0);
+  core::NegotiationService negotiation(server_transport, providers,
+                                       resources);
+  core::Negotiator negotiator(player_transport, providers);
+  core::AdaptationManager adaptation(player_transport, negotiator);
+
+  // Server sheds overload whenever capacity changes.
+  resources.subscribe([&](const std::string& resource, double, double) {
+    negotiation.shed_overload(resource);
+  });
+
+  auto servant = std::make_shared<examples::TelemetryImpl>();
+  servant->archive.assign(50'000, 0x42);  // "video" frames
+  orb::QosProfile profile;
+  profile.characteristic = characteristics::compression_name();
+  orb::ObjRef ref =
+      server.adapter().activate("stream-1", servant, {profile});
+  examples::TelemetryStub stream(player, ref);
+
+  core::Agreement agreement = negotiator.negotiate(
+      stream, characteristics::compression_name(),
+      {{"level", cdr::Any::from_long(128)}});
+  std::cout << "player: streaming at quality level "
+            << agreement.int_param("level") << "\n";
+
+  // Adaptation policy: halve the quality level; below 1, give up.
+  adaptation.manage(
+      stream, agreement,
+      [](const core::Agreement& current, const std::string& reason)
+          -> std::optional<std::map<std::string, cdr::Any>> {
+        const std::int64_t level = current.int_param("level");
+        std::cout << "player: violation (" << reason << ") at level "
+                  << level << "\n";
+        if (level <= 1) return std::nullopt;
+        return std::map<std::string, cdr::Any>{
+            {"level", cdr::Any::from_long(
+                          static_cast<std::int32_t>(level / 2))}};
+      });
+
+  // The server gets progressively busier.
+  for (double capacity : {100.0, 40.0, 20.0}) {
+    resources.set_capacity("cpu", capacity);
+    loop.run_until_idle();
+    const core::Agreement* current =
+        adaptation.managed_agreement(agreement.id);
+    std::cout << "server: capacity now " << capacity
+              << "; player adapted to level "
+              << (current ? current->int_param("level") : -1) << "\n";
+    // Traffic keeps flowing at the degraded level.
+    stream.fetch_archive();
+  }
+  std::cout << "player: total adaptations: " << adaptation.adaptations()
+            << "\n";
+
+  // Recovery: capacity returns, the player renegotiates upward manually
+  // (upward adaptation is client-initiated; the server only pushes
+  // violations).
+  resources.set_capacity("cpu", 200.0);
+  const core::Agreement* current = adaptation.managed_agreement(agreement.id);
+  core::Agreement upgraded = negotiator.renegotiate(
+      stream, *current, {{"level", cdr::Any::from_long(128)}});
+  std::cout << "player: capacity recovered, renegotiated up to level "
+            << upgraded.int_param("level") << "\n";
+  return adaptation.adaptations() == 3 ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+// The full infrastructure-service stack of §2.2 in one scenario:
+// trading, negotiation (with client preference hierarchies), monitoring
+// via the woven path, and accounting.
+//
+//   1. two providers export QoS-enabled offers to a trader
+//   2. a client discovers candidates by characteristic
+//   3. a preference hierarchy (gold/silver/bronze) negotiates the best
+//      admissible level against each candidate, picking the highest
+//      utility ("client preferences have to be incorporated in the
+//      negotiation process", paper §6)
+//   4. usage is metered and priced per agreement
+#include <iostream>
+
+#include "characteristics/compression.hpp"
+#include "core/accounting.hpp"
+#include "core/catalog_doc.hpp"
+#include "core/preference.hpp"
+#include "core/trader.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo_example.hpp"
+
+using namespace maqs;
+
+namespace {
+
+struct Provider {
+  std::unique_ptr<orb::Orb> orb;
+  std::unique_ptr<core::QosTransport> transport;
+  std::unique_ptr<core::ResourceManager> resources;
+  std::unique_ptr<core::NegotiationService> negotiation;
+  orb::ObjRef ref;
+};
+
+Provider make_provider(net::Network& network, const std::string& host,
+                       double cpu_capacity,
+                       const core::ProviderRegistry& providers) {
+  Provider p;
+  p.orb = std::make_unique<orb::Orb>(network, host, 9000);
+  p.transport = std::make_unique<core::QosTransport>(*p.orb);
+  p.resources = std::make_unique<core::ResourceManager>();
+  p.resources->declare("cpu", cpu_capacity);
+  p.negotiation = std::make_unique<core::NegotiationService>(
+      *p.transport, providers, *p.resources);
+  auto servant = std::make_shared<examples::TelemetryImpl>();
+  servant->archive.assign(20'000, 0x51);
+  orb::QosProfile profile;
+  profile.characteristic = characteristics::compression_name();
+  p.ref = p.orb->adapter().activate("feed", servant, {profile});
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  sim::EventLoop loop;
+  net::Network network(loop);
+  core::ProviderRegistry providers;
+  providers.add(characteristics::make_compression_provider());
+
+  // --- the marketplace: a trader on its own host ---
+  orb::Orb market(network, "market", 7000);
+  core::Trader trader;
+  market.adapter().activate(core::TraderServant::object_key(),
+                            std::make_shared<core::TraderServant>(trader));
+
+  // --- two providers with different capacity export offers ---
+  Provider big = make_provider(network, "provider-big", 200.0, providers);
+  Provider small = make_provider(network, "provider-small", 20.0, providers);
+  core::TraderClient big_exporter(*big.orb, market.endpoint());
+  core::TraderClient small_exporter(*small.orb, market.endpoint());
+  big_exporter.export_offer({big.ref, {}, {{"tier", "premium"}}});
+  small_exporter.export_offer({small.ref, {}, {{"tier", "budget"}}});
+  std::cout << "market: 2 offers exported\n";
+
+  // --- the client discovers and negotiates by preference ---
+  orb::Orb client(network, "client", 5000);
+  core::QosTransport client_transport(client);
+  core::Negotiator negotiator(client_transport, providers);
+  core::TraderClient discovery(client, market.endpoint());
+
+  const auto candidates =
+      discovery.query(characteristics::compression_name());
+  std::cout << "client: trader returned " << candidates.size()
+            << " candidates for Compression\n";
+
+  core::PreferenceHierarchy hierarchy;
+  core::ContractProposal gold;
+  gold.label = "gold";
+  gold.utility = 1.0;
+  gold.params = {{"level", cdr::Any::from_long(128)}};
+  gold.bounds.bounds["level"] = {.min = 100, .max = std::nullopt};
+  hierarchy.add(gold);
+  core::ContractProposal silver;
+  silver.label = "silver";
+  silver.utility = 0.5;
+  silver.params = {{"level", cdr::Any::from_long(16)}};
+  silver.bounds.bounds["level"] = {.min = 8, .max = std::nullopt};
+  hierarchy.add(silver);
+
+  // Negotiate the hierarchy against every candidate; keep the best.
+  std::optional<core::PreferredAgreement> best;
+  std::unique_ptr<examples::TelemetryStub> best_stub;
+  for (const orb::ObjRef& candidate : candidates) {
+    auto stub = std::make_unique<examples::TelemetryStub>(client, candidate);
+    try {
+      core::PreferredAgreement result = core::negotiate_preferred(
+          negotiator, *stub, characteristics::compression_name(), hierarchy);
+      std::cout << "client: " << candidate.endpoint.node << " admits '"
+                << result.label << "' (level "
+                << result.agreement.int_param("level") << ")\n";
+      if (!best || result.utility > best->utility) {
+        if (best) negotiator.terminate(*best_stub, best->agreement);
+        best = std::move(result);
+        best_stub = std::move(stub);
+      } else {
+        negotiator.terminate(*stub, result.agreement);
+      }
+    } catch (const core::NegotiationFailed& e) {
+      std::cout << "client: " << candidate.endpoint.node
+                << " rejected every level\n";
+    }
+  }
+  std::cout << "client: selected '" << best->label << "' utility "
+            << best->utility << "\n";
+
+  // --- metered usage under the chosen agreement ---
+  core::AccountingService accounting(loop);
+  accounting.open(best->agreement);
+  for (int i = 0; i < 20; ++i) {
+    const auto archive = best_stub->fetch_archive();
+    accounting.charge(best->agreement.id, archive.size());
+    loop.run_for(100 * sim::kMillisecond);
+  }
+  accounting.close(best->agreement.id);
+  const core::UsageRecord* usage = accounting.usage(best->agreement.id);
+  std::cout << "accounting: " << usage->requests << " requests, "
+            << usage->bytes << " bytes, invoice "
+            << accounting.invoice(best->agreement.id,
+                                  core::linear_tariff(0.01, 2.0))
+            << " credits\n";
+
+  // --- the catalog (paper §6) ---
+  const std::string catalog = core::catalog_markdown(providers);
+  std::cout << "catalog preview:\n"
+            << catalog.substr(0, catalog.find('\n', 80)) << "...\n";
+  return best->label == "gold" ? 0 : 1;
+}

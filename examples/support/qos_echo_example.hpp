@@ -1,0 +1,72 @@
+// Generated-style Telemetry interface for the bandwidth example:
+//
+//   interface Telemetry {
+//     sequence<octet> fetch_archive();
+//     double reading(in string channel);
+//   };
+//   bind Telemetry : Compression, Actuality;
+#pragma once
+
+#include <string>
+
+#include "characteristics/actuality.hpp"
+#include "characteristics/compression.hpp"
+#include "core/qos_skeleton.hpp"
+#include "orb/stub.hpp"
+
+namespace maqs::examples {
+
+inline const std::string kTelemetryRepoId = "IDL:examples/Telemetry:1.0";
+
+class TelemetryStub : public orb::StubBase {
+ public:
+  TelemetryStub(orb::Orb& orb, orb::ObjRef ref)
+      : orb::StubBase(orb, std::move(ref)) {}
+
+  util::Bytes fetch_archive() const {
+    cdr::Decoder result(invoke_operation("fetch_archive", {}));
+    util::Bytes out = result.read_bytes();
+    result.expect_end();
+    return out;
+  }
+
+  double reading(const std::string& channel) const {
+    cdr::Encoder args;
+    args.write_string(channel);
+    cdr::Decoder result(invoke_operation("reading", args.take()));
+    const double out = result.read_f64();
+    result.expect_end();
+    return out;
+  }
+};
+
+class TelemetryImpl : public core::QosServantBase {
+ public:
+  TelemetryImpl() {
+    assign_characteristic(characteristics::compression_descriptor());
+    assign_characteristic(characteristics::actuality_descriptor());
+  }
+
+  const std::string& repo_id() const override { return kTelemetryRepoId; }
+
+  util::Bytes archive;
+  double current_reading = 21.5;
+
+ protected:
+  void dispatch_app(const std::string& operation, cdr::Decoder& args,
+                    cdr::Encoder& out, orb::ServerContext& ctx) override {
+    (void)ctx;
+    if (operation == "fetch_archive") {
+      args.expect_end();
+      out.write_bytes(archive);
+    } else if (operation == "reading") {
+      (void)args.read_string();
+      args.expect_end();
+      out.write_f64(current_reading);
+    } else {
+      throw orb::BadOperation("Telemetry: unknown operation " + operation);
+    }
+  }
+};
+
+}  // namespace maqs::examples

@@ -1,0 +1,107 @@
+// Generated-style stub/skeleton pair for the examples' Stock interface:
+//
+//   interface Stock {
+//     void put_order(in string symbol, in long qty);
+//     long position(in string symbol);
+//   };
+//   bind Stock : Replication;
+//
+// StockImpl exposes the state-access aspect so replica groups can
+// initialize late joiners (paper §3.1).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "characteristics/replication.hpp"
+#include "core/qos_skeleton.hpp"
+#include "orb/stub.hpp"
+
+namespace maqs::examples {
+
+inline const std::string kStockRepoId = "IDL:examples/Stock:1.0";
+
+class StockStub : public orb::StubBase {
+ public:
+  StockStub(orb::Orb& orb, orb::ObjRef ref)
+      : orb::StubBase(orb, std::move(ref)) {}
+
+  void put_order(const std::string& symbol, std::int32_t qty) const {
+    cdr::Encoder args;
+    args.write_string(symbol);
+    args.write_i32(qty);
+    invoke_operation("put_order", args.take());
+  }
+
+  std::int32_t position(const std::string& symbol) const {
+    cdr::Encoder args;
+    args.write_string(symbol);
+    cdr::Decoder result(invoke_operation("position", args.take()));
+    const std::int32_t out = result.read_i32();
+    result.expect_end();
+    return out;
+  }
+};
+
+class StockImpl : public core::QosServantBase, public core::StateAccess {
+ public:
+  StockImpl() {
+    assign_characteristic(characteristics::replication_descriptor());
+  }
+
+  const std::string& repo_id() const override { return kStockRepoId; }
+
+  /// Wrong-answer fault injection for the voting demo.
+  bool corrupt = false;
+
+  std::int32_t local_position(const std::string& symbol) const {
+    auto it = positions_.find(symbol);
+    return it != positions_.end() ? it->second : 0;
+  }
+
+  // ---- state-access aspect ----
+  core::StateAccess* state_access() override { return this; }
+  util::Bytes get_state() override {
+    cdr::Encoder enc;
+    enc.write_u32(static_cast<std::uint32_t>(positions_.size()));
+    for (const auto& [symbol, qty] : positions_) {
+      enc.write_string(symbol);
+      enc.write_i32(qty);
+    }
+    return enc.take();
+  }
+  void set_state(util::BytesView state) override {
+    cdr::Decoder dec(state);
+    positions_.clear();
+    const std::uint32_t n = dec.read_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string symbol = dec.read_string();
+      positions_[symbol] = dec.read_i32();
+    }
+  }
+
+ protected:
+  void dispatch_app(const std::string& operation, cdr::Decoder& args,
+                    cdr::Encoder& out, orb::ServerContext& ctx) override {
+    (void)ctx;
+    if (operation == "put_order") {
+      const std::string symbol = args.read_string();
+      const std::int32_t qty = args.read_i32();
+      args.expect_end();
+      positions_[symbol] += qty;
+    } else if (operation == "position") {
+      const std::string symbol = args.read_string();
+      args.expect_end();
+      std::int32_t value = local_position(symbol);
+      if (corrupt) value += 999;
+      out.write_i32(value);
+    } else {
+      throw orb::BadOperation("Stock: unknown operation " + operation);
+    }
+  }
+
+ private:
+  std::map<std::string, std::int32_t> positions_;
+};
+
+}  // namespace maqs::examples

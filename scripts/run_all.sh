@@ -1,0 +1,12 @@
+#!/bin/sh
+# Builds everything, runs the full test suite and every experiment, and
+# captures the outputs the repo's EXPERIMENTS.md refers to.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,116 @@
+// Compact-CDR decoder (see encoder.hpp for the format).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace maqs::cdr {
+
+/// Thrown on malformed or truncated streams. Marshaling errors from remote
+/// peers must never crash the process (untrusted input).
+class CdrError : public Error {
+ public:
+  using Error::Error;
+};
+
+class Decoder {
+ public:
+  /// Non-owning view; the buffer must outlive the decoder.
+  explicit Decoder(util::BytesView data) : data_(data) {}
+
+  /// Owning variant (rvalues only): expressions like
+  /// `Decoder dec(stub.invoke(...))` are safe because the returned
+  /// temporary is moved into the decoder instead of dangling. Lvalue
+  /// buffers keep using the zero-copy view overload.
+  explicit Decoder(util::Bytes&& owned)
+      : owned_(std::move(owned)), data_(owned_) {}
+
+  Decoder(const Decoder&) = delete;
+  Decoder& operator=(const Decoder&) = delete;
+
+  std::uint8_t read_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  bool read_bool() { return read_u8() != 0; }
+
+  std::uint16_t read_u16() {
+    require(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t read_u32() {
+    const std::uint32_t lo = read_u16();
+    const std::uint32_t hi = read_u16();
+    return lo | (hi << 16);
+  }
+
+  std::uint64_t read_u64() {
+    const std::uint64_t lo = read_u32();
+    const std::uint64_t hi = read_u32();
+    return lo | (hi << 32);
+  }
+
+  std::int16_t read_i16() { return static_cast<std::int16_t>(read_u16()); }
+  std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+
+  float read_f32() { return std::bit_cast<float>(read_u32()); }
+  double read_f64() { return std::bit_cast<double>(read_u64()); }
+
+  std::string read_string() {
+    const std::uint32_t n = read_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  util::Bytes read_bytes() {
+    const std::uint32_t n = read_u32();
+    require(n);
+    util::Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  /// Remaining unread octets.
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  /// Consumes and returns the unread rest of the stream (no length
+  /// prefix). QoS skeletons use this to lift the raw argument stream out
+  /// for aspect transforms (decompression, decryption).
+  util::Bytes read_remaining() {
+    util::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    data_.end());
+    pos_ = data_.size();
+    return out;
+  }
+  bool at_end() const noexcept { return remaining() == 0; }
+
+  /// Throws CdrError unless the stream is fully consumed; skeletons call
+  /// this after unmarshaling arguments to reject trailing garbage.
+  void expect_end() const {
+    if (!at_end()) throw CdrError("cdr: trailing bytes in stream");
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw CdrError("cdr: stream underflow");
+  }
+
+  util::Bytes owned_;  // only used by the owning constructor
+  util::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace maqs::cdr

@@ -1,0 +1,71 @@
+// Compact-CDR encoder.
+//
+// Marshaling format for all GIOP-style messages, stub/skeleton argument
+// streams and Any values. Relative to OMG CDR we fix little-endian byte
+// order and drop alignment padding ("compact CDR"); both simplifications
+// are transparent to the layers above, which only see the Encoder/Decoder
+// API, and are called out in DESIGN.md §2.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace maqs::cdr {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+  void write_u16(std::uint16_t v) {
+    write_u8(static_cast<std::uint8_t>(v));
+    write_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void write_u32(std::uint32_t v) {
+    write_u16(static_cast<std::uint16_t>(v));
+    write_u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void write_u64(std::uint64_t v) {
+    write_u32(static_cast<std::uint32_t>(v));
+    write_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void write_i16(std::int16_t v) { write_u16(static_cast<std::uint16_t>(v)); }
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+
+  void write_f32(float v) { write_u32(std::bit_cast<std::uint32_t>(v)); }
+  void write_f64(double v) { write_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u32) string, no terminator.
+  void write_string(std::string_view s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    util::append(buf_, util::Bytes(s.begin(), s.end()));
+  }
+
+  /// Length-prefixed (u32) octet sequence.
+  void write_bytes(util::BytesView b) {
+    write_u32(static_cast<std::uint32_t>(b.size()));
+    util::append(buf_, b);
+  }
+
+  /// Raw octets, no length prefix (for nested pre-encoded buffers).
+  void write_raw(util::BytesView b) { util::append(buf_, b); }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  const util::Bytes& buffer() const noexcept { return buf_; }
+  util::Bytes take() { return std::move(buf_); }
+
+ private:
+  util::Bytes buf_;
+};
+
+}  // namespace maqs::cdr

@@ -1,0 +1,290 @@
+#include "characteristics/compression.hpp"
+
+#include "compress/lz77.hpp"
+#include "orb/dii.hpp"
+
+namespace maqs::characteristics {
+
+namespace {
+
+// Self-framing compressed payload: one marker octet (0 = raw, 1 =
+// compressed) followed by the (possibly compressed) stream. Framing at the
+// payload level keeps the two integration layers independent — mediator
+// and module framing nest without coordination.
+constexpr std::uint8_t kRaw = 0x00;
+constexpr std::uint8_t kCompressed = 0x01;
+
+util::Bytes frame(const compress::Codec& codec, util::BytesView payload,
+                  std::int64_t min_size) {
+  util::Bytes out;
+  if (static_cast<std::int64_t>(payload.size()) < min_size) {
+    out.reserve(payload.size() + 1);
+    out.push_back(kRaw);
+    util::append(out, payload);
+    return out;
+  }
+  util::Bytes compressed = codec.compress(payload);
+  if (compressed.size() >= payload.size()) {
+    // Incompressible: ship raw (bounded worst case).
+    out.reserve(payload.size() + 1);
+    out.push_back(kRaw);
+    util::append(out, payload);
+    return out;
+  }
+  out.reserve(compressed.size() + 1);
+  out.push_back(kCompressed);
+  util::append(out, compressed);
+  return out;
+}
+
+util::Bytes unframe(const compress::Codec& codec, util::BytesView framed) {
+  if (framed.empty()) {
+    throw compress::CodecError("compression: empty framed payload");
+  }
+  const util::BytesView payload = framed.subspan(1);
+  if (framed[0] == kRaw) {
+    return util::Bytes(payload.begin(), payload.end());
+  }
+  if (framed[0] == kCompressed) {
+    return codec.decompress(payload);
+  }
+  throw compress::CodecError("compression: bad frame marker");
+}
+
+std::unique_ptr<compress::Codec> codec_for(const std::string& name,
+                                           std::int64_t level) {
+  if (name == "lz77") {
+    return std::make_unique<compress::Lz77Codec>(static_cast<int>(level));
+  }
+  return compress::make_codec(name);
+}
+
+void configure_from(const core::Agreement& agreement,
+                    std::unique_ptr<compress::Codec>& codec,
+                    std::int64_t& min_size) {
+  codec = codec_for(agreement.string_param("codec"),
+                    agreement.int_param("level"));
+  min_size = agreement.int_param("min_size");
+}
+
+}  // namespace
+
+const std::string& compression_name() {
+  static const std::string kName = "Compression";
+  return kName;
+}
+
+const std::string& compression_module_name() {
+  static const std::string kName = "compression";
+  return kName;
+}
+
+core::CharacteristicDescriptor compression_descriptor() {
+  return core::CharacteristicDescriptor(
+      compression_name(), core::QosCategory::kBandwidth,
+      {
+          core::ParamDesc{"codec", cdr::TypeCode::string_tc(),
+                          cdr::Any::from_string("lz77"), {}, {}},
+          core::ParamDesc{"min_size", cdr::TypeCode::long_tc(),
+                          cdr::Any::from_long(64), 0, 1 << 20},
+          core::ParamDesc{"level", cdr::TypeCode::long_tc(),
+                          cdr::Any::from_long(32), 1, 128},
+      },
+      {
+          core::QosOpDesc{"qos_compression_ratio",
+                          core::QosOpKind::kMechanism},
+      });
+}
+
+// ---- application-centered ----
+
+CompressionMediator::CompressionMediator()
+    : core::Mediator(compression_name()),
+      codec_(std::make_unique<compress::Lz77Codec>()) {}
+
+void CompressionMediator::bind_agreement(const core::Agreement& agreement) {
+  core::Mediator::bind_agreement(agreement);
+  configure_from(agreement, codec_, min_size_);
+}
+
+void CompressionMediator::outbound(orb::RequestMessage& req,
+                                   orb::ObjRef& target) {
+  (void)target;
+  bytes_in_ += req.body.size();
+  req.body = frame(*codec_, req.body, min_size_);
+  bytes_out_ += req.body.size();
+}
+
+void CompressionMediator::inbound(const orb::RequestMessage& req,
+                                  orb::ReplyMessage& rep) {
+  (void)req;
+  if (rep.status != orb::ReplyStatus::kOk) return;  // exceptions ship raw
+  rep.body = unframe(*codec_, rep.body);
+}
+
+double CompressionMediator::compression_ratio() const {
+  if (bytes_in_ == 0) return 1.0;
+  return static_cast<double>(bytes_out_) / static_cast<double>(bytes_in_);
+}
+
+cdr::Any CompressionMediator::qos_operation(
+    const std::string& op, const std::vector<cdr::Any>& args) {
+  if (op == "qos_compression_ratio") {
+    return cdr::Any::from_double(compression_ratio());
+  }
+  return core::Mediator::qos_operation(op, args);
+}
+
+CompressionImpl::CompressionImpl()
+    : core::QosImpl(compression_name()),
+      codec_(std::make_unique<compress::Lz77Codec>()) {}
+
+void CompressionImpl::bind_agreement(const core::Agreement& agreement) {
+  core::QosImpl::bind_agreement(agreement);
+  configure_from(agreement, codec_, min_size_);
+}
+
+util::Bytes CompressionImpl::transform_args(util::Bytes args,
+                                            orb::ServerContext& ctx) {
+  (void)ctx;
+  bytes_in_ += args.size();
+  return unframe(*codec_, args);
+}
+
+util::Bytes CompressionImpl::transform_result(util::Bytes result,
+                                              orb::ServerContext& ctx) {
+  (void)ctx;
+  util::Bytes framed = frame(*codec_, result, min_size_);
+  bytes_out_ += framed.size();
+  return framed;
+}
+
+void CompressionImpl::dispatch_qos_op(const std::string& op,
+                                      cdr::Decoder& args, cdr::Encoder& out,
+                                      orb::ServerContext& ctx) {
+  if (op == "qos_compression_ratio") {
+    args.expect_end();
+    const double ratio =
+        bytes_in_ == 0 ? 1.0
+                       : static_cast<double>(bytes_out_) /
+                             static_cast<double>(bytes_in_);
+    out.write_f64(ratio);
+    return;
+  }
+  core::QosImpl::dispatch_qos_op(op, args, out, ctx);
+}
+
+// ---- network-centered ----
+
+CompressionModule::CompressionModule()
+    : core::QosModule(compression_module_name()),
+      codec_(std::make_unique<compress::Lz77Codec>()) {}
+
+void CompressionModule::transform_request(orb::RequestMessage& req) {
+  req.body = frame(*codec_, req.body, min_size_);
+}
+
+void CompressionModule::restore_request(orb::RequestMessage& req) {
+  req.body = unframe(*codec_, req.body);
+}
+
+void CompressionModule::transform_reply(const orb::RequestMessage& req,
+                                        orb::ReplyMessage& rep) {
+  (void)req;
+  if (rep.status != orb::ReplyStatus::kOk) return;
+  rep.body = frame(*codec_, rep.body, min_size_);
+}
+
+void CompressionModule::restore_reply(orb::ReplyMessage& rep) {
+  if (rep.status != orb::ReplyStatus::kOk) return;
+  rep.body = unframe(*codec_, rep.body);
+}
+
+cdr::Any CompressionModule::command(const std::string& op,
+                                    const std::vector<cdr::Any>& args) {
+  if (op == "set_codec") {
+    if (args.size() < 2) {
+      throw core::QosError("compression module: set_codec(codec, level)");
+    }
+    codec_ = codec_for(args[0].as_string(), args[1].as_integer());
+    return cdr::Any::make_void();
+  }
+  if (op == "set_min_size") {
+    if (args.empty()) {
+      throw core::QosError("compression module: set_min_size(n)");
+    }
+    min_size_ = args[0].as_integer();
+    return cdr::Any::make_void();
+  }
+  if (op == "info") {
+    return cdr::Any::from_string(codec_->name() + "/min=" +
+                                 std::to_string(min_size_));
+  }
+  return core::QosModule::command(op, args);
+}
+
+void register_compression_module() {
+  auto& registry = core::ModuleFactoryRegistry::instance();
+  if (!registry.contains(compression_module_name())) {
+    registry.register_factory(compression_module_name(), [] {
+      return std::make_unique<CompressionModule>();
+    });
+  }
+}
+
+core::CharacteristicProvider make_compression_provider() {
+  core::CharacteristicProvider provider;
+  provider.descriptor = compression_descriptor();
+  provider.make_mediator = [](const core::Agreement&, orb::Orb&,
+                              core::QosTransport&) {
+    return std::make_shared<CompressionMediator>();
+  };
+  provider.make_impl = [](const core::Agreement&, orb::Orb&,
+                          core::QosTransport&) {
+    return std::make_shared<CompressionImpl>();
+  };
+  provider.resource_demand =
+      [](const std::map<std::string, cdr::Any>& params) {
+        core::ResourceDemand demand;
+        demand["cpu"] = static_cast<double>(params.at("level").as_integer());
+        return demand;
+      };
+  return provider;
+}
+
+core::CharacteristicProvider make_compression_module_provider() {
+  // Any side holding the provider may have to load the module.
+  register_compression_module();
+  core::CharacteristicProvider provider;
+  provider.descriptor = compression_descriptor();
+  provider.module = compression_module_name();
+  provider.client_setup = [](const core::Agreement& agreement,
+                             const orb::ObjRef& target, orb::Orb& orb,
+                             core::QosTransport& transport) {
+    register_compression_module();
+    const std::vector<cdr::Any> config{
+        cdr::Any::from_string(agreement.string_param("codec")),
+        cdr::Any::from_longlong(agreement.int_param("level"))};
+    // Configure both ends of the relationship: the local module directly,
+    // the server's via a module command over the wire (Fig. 3).
+    transport.load_module(compression_module_name()).command("set_codec",
+                                                             config);
+    orb::send_command(orb, target.endpoint, compression_module_name(),
+                      "set_codec", config);
+    const std::vector<cdr::Any> min_size{
+        cdr::Any::from_longlong(agreement.int_param("min_size"))};
+    transport.find_module(compression_module_name())
+        ->command("set_min_size", min_size);
+    orb::send_command(orb, target.endpoint, compression_module_name(),
+                      "set_min_size", min_size);
+  };
+  provider.resource_demand =
+      [](const std::map<std::string, cdr::Any>& params) {
+        core::ResourceDemand demand;
+        demand["cpu"] = static_cast<double>(params.at("level").as_integer());
+        return demand;
+      };
+  return provider;
+}
+
+}  // namespace maqs::characteristics

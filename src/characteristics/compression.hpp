@@ -1,0 +1,106 @@
+// Compression QoS characteristic ("compression for channels with small
+// bandwidth", paper §6).
+//
+// Implemented at BOTH integration layers of Fig. 1, which is exactly what
+// experiment F1 compares:
+//   - application-centered: CompressionMediator (client stub delegate)
+//     compresses the marshaled argument stream; CompressionImpl (server
+//     QoS implementation) restores it via the QoS skeleton's aspect
+//     transforms and compresses results on the way out.
+//   - network-centered: CompressionModule, a QoS transport module that
+//     rewrites message bodies below the ORB's invocation layer.
+//
+// QIDL (conceptually):
+//   qos characteristic Compression {
+//     param string codec = "lz77";
+//     param long   min_size = 64;     // skip tiny payloads
+//     param long   level = 32;        // LZ77 probe depth
+//     mechanism double compression_ratio();
+//   };
+#pragma once
+
+#include <memory>
+
+#include "compress/codec.hpp"
+#include "core/provider.hpp"
+
+namespace maqs::characteristics {
+
+/// Characteristic name: "Compression".
+const std::string& compression_name();
+/// Transport module name: "compression".
+const std::string& compression_module_name();
+
+/// Descriptor as qidlc would emit it.
+core::CharacteristicDescriptor compression_descriptor();
+
+/// Full provider wired for the application-centered implementation.
+/// Registered into a ProviderRegistry on both client and server sides.
+core::CharacteristicProvider make_compression_provider();
+
+/// Same characteristic but delegating the mechanism to the transport
+/// module (network-centered; for F1 and the hierarchy story of §4).
+core::CharacteristicProvider make_compression_module_provider();
+
+/// Registers the "compression" module factory (idempotent).
+void register_compression_module();
+
+class CompressionMediator final : public core::Mediator {
+ public:
+  CompressionMediator();
+
+  void bind_agreement(const core::Agreement& agreement) override;
+  void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
+  void inbound(const orb::RequestMessage& req,
+               orb::ReplyMessage& rep) override;
+  cdr::Any qos_operation(const std::string& op,
+                         const std::vector<cdr::Any>& args) override;
+
+  /// Observed mean output/input size ratio (1.0 until data flows).
+  double compression_ratio() const;
+
+ private:
+  std::unique_ptr<compress::Codec> codec_;
+  std::int64_t min_size_ = 64;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+class CompressionImpl final : public core::QosImpl {
+ public:
+  CompressionImpl();
+
+  void bind_agreement(const core::Agreement& agreement) override;
+  util::Bytes transform_args(util::Bytes args,
+                             orb::ServerContext& ctx) override;
+  util::Bytes transform_result(util::Bytes result,
+                               orb::ServerContext& ctx) override;
+  void dispatch_qos_op(const std::string& op, cdr::Decoder& args,
+                       cdr::Encoder& out, orb::ServerContext& ctx) override;
+
+ private:
+  std::unique_ptr<compress::Codec> codec_;
+  std::int64_t min_size_ = 64;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+/// Network-centered variant: body transforms at the transport layer.
+class CompressionModule final : public core::QosModule {
+ public:
+  CompressionModule();
+
+  void transform_request(orb::RequestMessage& req) override;
+  void restore_request(orb::RequestMessage& req) override;
+  void transform_reply(const orb::RequestMessage& req,
+                       orb::ReplyMessage& rep) override;
+  void restore_reply(orb::ReplyMessage& rep) override;
+  cdr::Any command(const std::string& op,
+                   const std::vector<cdr::Any>& args) override;
+
+ private:
+  std::unique_ptr<compress::Codec> codec_;
+  std::int64_t min_size_ = 64;
+};
+
+}  // namespace maqs::characteristics

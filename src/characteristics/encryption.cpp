@@ -1,0 +1,312 @@
+#include "characteristics/encryption.hpp"
+
+#include "cdr/decoder.hpp"
+#include "cdr/encoder.hpp"
+#include "crypto/mac.hpp"
+#include "orb/dii.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::characteristics {
+
+namespace {
+
+std::uint64_t key_fingerprint(const crypto::Key128& key) {
+  return (static_cast<std::uint64_t>(key[0]) << 32 | key[1]) ^
+         (static_cast<std::uint64_t>(key[2]) << 32 | key[3]);
+}
+
+/// Frame: [epoch:i64][mac:u64][ciphertext...]. mac is 0 when integrity is
+/// off. The nonce binds the keystream to the request id so identical
+/// plaintexts never share keystream.
+util::Bytes seal_frame(const crypto::Key128& key, std::int64_t epoch,
+                       bool integrity, util::BytesView body,
+                       std::uint64_t nonce) {
+  const crypto::XteaCtr cipher(key, nonce);
+  util::Bytes ciphertext = cipher.apply(body);
+  cdr::Encoder enc;
+  enc.write_i64(epoch);
+  enc.write_u64(integrity
+                    ? crypto::mac64(key_fingerprint(key), ciphertext)
+                    : 0);
+  enc.write_raw(ciphertext);
+  return enc.take();
+}
+
+struct OpenedFrame {
+  std::int64_t epoch;
+  util::Bytes plaintext;
+};
+
+OpenedFrame open_frame(
+    const std::function<const crypto::Key128&(std::int64_t)>& key_lookup,
+    bool integrity, util::BytesView framed, std::uint64_t nonce) {
+  cdr::Decoder dec(framed);
+  const std::int64_t epoch = dec.read_i64();
+  const std::uint64_t tag = dec.read_u64();
+  util::Bytes ciphertext = dec.read_remaining();
+  const crypto::Key128& key = key_lookup(epoch);
+  if (integrity &&
+      !crypto::mac_verify(key_fingerprint(key), ciphertext, tag)) {
+    throw core::QosError("encryption: integrity check failed");
+  }
+  const crypto::XteaCtr cipher(key, nonce);
+  return {epoch, cipher.apply(ciphertext)};
+}
+
+constexpr std::uint64_t kReplyNonceFlip = 0x8000000000000001ULL;
+
+}  // namespace
+
+const std::string& encryption_name() {
+  static const std::string kName = "Encryption";
+  return kName;
+}
+
+const std::string& encryption_module_name() {
+  static const std::string kName = "encryption";
+  return kName;
+}
+
+core::CharacteristicDescriptor encryption_descriptor() {
+  return core::CharacteristicDescriptor(
+      encryption_name(), core::QosCategory::kPrivacy,
+      {
+          core::ParamDesc{"integrity", cdr::TypeCode::boolean_tc(),
+                          cdr::Any::from_bool(true), {}, {}},
+          core::ParamDesc{"psk", cdr::TypeCode::string_tc(),
+                          cdr::Any::from_string(""), {}, {}},
+      },
+      {
+          core::QosOpDesc{"qos_cipher_info", core::QosOpKind::kMechanism},
+      });
+}
+
+// ---- module (DH) ----
+
+EncryptionModule::EncryptionModule()
+    : core::QosModule(encryption_module_name()) {}
+
+const crypto::Key128& EncryptionModule::key_for(std::int64_t epoch) const {
+  auto it = keys_.find(epoch);
+  if (it == keys_.end()) {
+    throw core::QosError("encryption: no key for epoch " +
+                         std::to_string(epoch));
+  }
+  return it->second;
+}
+
+util::Bytes EncryptionModule::seal(util::BytesView body,
+                                   std::uint64_t nonce) const {
+  if (current_epoch_ < 0) {
+    throw core::QosError("encryption: no key installed");
+  }
+  return seal_frame(key_for(current_epoch_), current_epoch_, integrity_,
+                    body, nonce);
+}
+
+util::Bytes EncryptionModule::open(util::BytesView framed,
+                                   std::uint64_t nonce) const {
+  return open_frame(
+             [this](std::int64_t epoch) -> const crypto::Key128& {
+               return key_for(epoch);
+             },
+             integrity_, framed, nonce)
+      .plaintext;
+}
+
+void EncryptionModule::transform_request(orb::RequestMessage& req) {
+  req.body = seal(req.body, req.request_id);
+}
+
+void EncryptionModule::restore_request(orb::RequestMessage& req) {
+  req.body = open(req.body, req.request_id);
+}
+
+void EncryptionModule::transform_reply(const orb::RequestMessage& req,
+                                       orb::ReplyMessage& rep) {
+  if (rep.status != orb::ReplyStatus::kOk) return;
+  rep.body = seal(rep.body, req.request_id ^ kReplyNonceFlip);
+}
+
+void EncryptionModule::restore_reply(orb::ReplyMessage& rep) {
+  if (rep.status != orb::ReplyStatus::kOk) return;
+  rep.body = open(rep.body, rep.request_id ^ kReplyNonceFlip);
+}
+
+void EncryptionModule::install_key(std::int64_t epoch,
+                                   util::BytesView secret) {
+  keys_[epoch] = crypto::derive_key(secret);
+  if (epoch > current_epoch_) current_epoch_ = epoch;
+}
+
+void EncryptionModule::set_current_epoch(std::int64_t epoch) {
+  key_for(epoch);  // must exist
+  current_epoch_ = epoch;
+}
+
+cdr::Any EncryptionModule::command(const std::string& op,
+                                   const std::vector<cdr::Any>& args) {
+  if (op == "dh_exchange") {
+    if (args.size() < 2) {
+      throw core::QosError("encryption: dh_exchange(epoch, peer_public)");
+    }
+    const std::int64_t epoch = args[0].as_integer();
+    const auto peer_public =
+        static_cast<std::uint64_t>(args[1].as_longlong());
+    // Private exponent drawn from the module's seed, fresh per epoch.
+    util::Rng rng(dh_private_seed_ ^ static_cast<std::uint64_t>(epoch));
+    const crypto::DhGroup& group = crypto::default_group();
+    crypto::DhParty party(group, 2 + rng.next_below(group.p - 4));
+    install_key(epoch, party.shared_secret_bytes(peer_public));
+    return cdr::Any::from_longlong(
+        static_cast<std::int64_t>(party.public_value()));
+  }
+  if (op == "set_epoch") {
+    if (args.empty()) throw core::QosError("encryption: set_epoch(epoch)");
+    set_current_epoch(args[0].as_integer());
+    return cdr::Any::make_void();
+  }
+  if (op == "set_integrity") {
+    if (args.empty()) {
+      throw core::QosError("encryption: set_integrity(bool)");
+    }
+    integrity_ = args[0].as_bool();
+    return cdr::Any::make_void();
+  }
+  if (op == "current_epoch") {
+    return cdr::Any::from_longlong(current_epoch_);
+  }
+  return core::QosModule::command(op, args);
+}
+
+void register_encryption_module() {
+  auto& registry = core::ModuleFactoryRegistry::instance();
+  if (!registry.contains(encryption_module_name())) {
+    registry.register_factory(encryption_module_name(), [] {
+      return std::make_unique<EncryptionModule>();
+    });
+  }
+}
+
+std::int64_t encryption_rotate_key(orb::Orb& orb,
+                                   core::QosTransport& transport,
+                                   const orb::ObjRef& target,
+                                   std::int64_t epoch,
+                                   std::uint64_t client_seed) {
+  register_encryption_module();
+  auto& module = dynamic_cast<EncryptionModule&>(
+      transport.load_module(encryption_module_name()));
+  util::Rng rng(client_seed ^ static_cast<std::uint64_t>(epoch));
+  const crypto::DhGroup& group = crypto::default_group();
+  crypto::DhParty party(group, 2 + rng.next_below(group.p - 4));
+  // QoS-to-QoS: module command over the plain path (Fig. 3 dual use).
+  const cdr::Any server_public = orb::send_command(
+      orb, target.endpoint, encryption_module_name(), "dh_exchange",
+      {cdr::Any::from_longlong(epoch),
+       cdr::Any::from_longlong(
+           static_cast<std::int64_t>(party.public_value()))});
+  module.install_key(
+      epoch, party.shared_secret_bytes(
+                 static_cast<std::uint64_t>(server_public.as_longlong())));
+  module.set_current_epoch(epoch);
+  return epoch;
+}
+
+core::CharacteristicProvider make_encryption_provider() {
+  // Any side holding the provider may have to load the module.
+  register_encryption_module();
+  core::CharacteristicProvider provider;
+  provider.descriptor = encryption_descriptor();
+  provider.module = encryption_module_name();
+  provider.client_setup = [](const core::Agreement& agreement,
+                             const orb::ObjRef& target, orb::Orb& orb,
+                             core::QosTransport& transport) {
+    register_encryption_module();
+    const bool integrity = agreement.bool_param("integrity");
+    transport.load_module(encryption_module_name())
+        .command("set_integrity", {cdr::Any::from_bool(integrity)});
+    orb::send_command(orb, target.endpoint, encryption_module_name(),
+                      "set_integrity", {cdr::Any::from_bool(integrity)});
+    // Initial key: epoch 1, client seed derived from the agreement id so
+    // distinct agreements use distinct exponents.
+    encryption_rotate_key(orb, transport, target, 1,
+                          0xC11E27ULL ^ agreement.id);
+  };
+  provider.resource_demand = [](const std::map<std::string, cdr::Any>&) {
+    return core::ResourceDemand{{"cpu", 8.0}};
+  };
+  return provider;
+}
+
+// ---- application-centered PSK variant ----
+
+EncryptionMediator::EncryptionMediator()
+    : core::Mediator(encryption_name()) {}
+
+void EncryptionMediator::bind_agreement(const core::Agreement& agreement) {
+  core::Mediator::bind_agreement(agreement);
+  key_ = crypto::derive_key(util::to_bytes(agreement.string_param("psk")));
+}
+
+void EncryptionMediator::outbound(orb::RequestMessage& req,
+                                  orb::ObjRef& target) {
+  (void)target;
+  req.body = seal_frame(key_, 0, agreement().bool_param("integrity"),
+                        req.body, req.request_id);
+}
+
+void EncryptionMediator::inbound(const orb::RequestMessage& req,
+                                 orb::ReplyMessage& rep) {
+  if (rep.status != orb::ReplyStatus::kOk) return;
+  rep.body =
+      open_frame([this](std::int64_t) -> const crypto::Key128& {
+                   return key_;
+                 },
+                 agreement().bool_param("integrity"), rep.body,
+                 req.request_id ^ kReplyNonceFlip)
+          .plaintext;
+}
+
+EncryptionImpl::EncryptionImpl() : core::QosImpl(encryption_name()) {}
+
+void EncryptionImpl::bind_agreement(const core::Agreement& agreement) {
+  core::QosImpl::bind_agreement(agreement);
+  key_ = crypto::derive_key(util::to_bytes(agreement.string_param("psk")));
+}
+
+util::Bytes EncryptionImpl::transform_args(util::Bytes args,
+                                           orb::ServerContext& ctx) {
+  request_nonce_ = ctx.request().request_id;
+  return open_frame([this](std::int64_t) -> const crypto::Key128& {
+                      return key_;
+                    },
+                    agreement().bool_param("integrity"), args,
+                    request_nonce_)
+      .plaintext;
+}
+
+util::Bytes EncryptionImpl::transform_result(util::Bytes result,
+                                             orb::ServerContext& ctx) {
+  (void)ctx;
+  return seal_frame(key_, 0, agreement().bool_param("integrity"), result,
+                    request_nonce_ ^ kReplyNonceFlip);
+}
+
+core::CharacteristicProvider make_encryption_psk_provider() {
+  core::CharacteristicProvider provider;
+  provider.descriptor = encryption_descriptor();
+  provider.make_mediator = [](const core::Agreement&, orb::Orb&,
+                              core::QosTransport&) {
+    return std::make_shared<EncryptionMediator>();
+  };
+  provider.make_impl = [](const core::Agreement&, orb::Orb&,
+                          core::QosTransport&) {
+    return std::make_shared<EncryptionImpl>();
+  };
+  provider.resource_demand = [](const std::map<std::string, cdr::Any>&) {
+    return core::ResourceDemand{{"cpu", 8.0}};
+  };
+  return provider;
+}
+
+}  // namespace maqs::characteristics

@@ -1,0 +1,114 @@
+// Encryption QoS characteristic ("privacy through encryption", paper §6).
+//
+// Network-centered mechanism: the "encryption" transport module encrypts
+// message bodies with XTEA-CTR under keys negotiated via Diffie-Hellman.
+// The DH handshake is the paper's flagship "QoS to QoS" example — "on the
+// fly change of encryption keys" (§3.2) — and runs as module commands over
+// the plain path before the module is armed:
+//
+//   client                           server module
+//     dh_exchange(epoch, A=g^a) ------------>
+//     <----------------------------- B=g^b   (derives K=A^b for epoch)
+//     (derives K=B^a, installs locally)
+//
+// Keys are versioned by epoch; each frame carries its epoch so a key
+// change under traffic never corrupts in-flight requests (E5 measures
+// exactly that). An optional integrity tag (keyed MAC) detects tampering.
+//
+// An application-centered variant (EncryptionMediator/EncryptionImpl)
+// exists as well: it weaves the same cipher through the stub/skeleton
+// layer using a pre-shared secret parameter, demonstrating that the
+// characteristic can live at either layer of Fig. 1.
+#pragma once
+
+#include <map>
+
+#include "core/provider.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/xtea.hpp"
+
+namespace maqs::characteristics {
+
+const std::string& encryption_name();          // "Encryption"
+const std::string& encryption_module_name();   // "encryption"
+
+core::CharacteristicDescriptor encryption_descriptor();
+
+/// Module-based (DH) provider.
+core::CharacteristicProvider make_encryption_provider();
+
+/// Application-centered pre-shared-key provider (same descriptor).
+core::CharacteristicProvider make_encryption_psk_provider();
+
+void register_encryption_module();
+
+/// Performs a DH exchange with the server's encryption module for `epoch`
+/// and arms both sides with the derived key ("on the fly change of
+/// encryption keys", §3.2). Returns the installed epoch.
+std::int64_t encryption_rotate_key(orb::Orb& orb,
+                                   core::QosTransport& transport,
+                                   const orb::ObjRef& target,
+                                   std::int64_t epoch,
+                                   std::uint64_t client_seed);
+
+class EncryptionModule final : public core::QosModule {
+ public:
+  EncryptionModule();
+
+  void transform_request(orb::RequestMessage& req) override;
+  void restore_request(orb::RequestMessage& req) override;
+  void transform_reply(const orb::RequestMessage& req,
+                       orb::ReplyMessage& rep) override;
+  void restore_reply(orb::ReplyMessage& rep) override;
+
+  /// Commands: dh_exchange(epoch, peer_public) -> own public;
+  /// install_key(epoch, secret-bytes) [local side];
+  /// set_epoch(epoch); set_integrity(bool); current_epoch() -> epoch.
+  cdr::Any command(const std::string& op,
+                   const std::vector<cdr::Any>& args) override;
+
+  /// Local (in-process) key management used by client_setup.
+  void install_key(std::int64_t epoch, util::BytesView secret);
+  void set_current_epoch(std::int64_t epoch);
+  std::int64_t current_epoch() const noexcept { return current_epoch_; }
+
+ private:
+  util::Bytes seal(util::BytesView body, std::uint64_t nonce) const;
+  util::Bytes open(util::BytesView framed, std::uint64_t nonce) const;
+  const crypto::Key128& key_for(std::int64_t epoch) const;
+
+  std::map<std::int64_t, crypto::Key128> keys_;
+  std::int64_t current_epoch_ = -1;  // -1 = no key, refuse traffic
+  bool integrity_ = true;
+  std::uint64_t dh_private_seed_ = 0x5EED;
+};
+
+/// Application-centered variant: same cipher woven at the stub/skeleton
+/// layer, keyed by the agreement's "psk" parameter.
+class EncryptionMediator final : public core::Mediator {
+ public:
+  EncryptionMediator();
+  void bind_agreement(const core::Agreement& agreement) override;
+  void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
+  void inbound(const orb::RequestMessage& req,
+               orb::ReplyMessage& rep) override;
+
+ private:
+  crypto::Key128 key_{};
+};
+
+class EncryptionImpl final : public core::QosImpl {
+ public:
+  EncryptionImpl();
+  void bind_agreement(const core::Agreement& agreement) override;
+  util::Bytes transform_args(util::Bytes args,
+                             orb::ServerContext& ctx) override;
+  util::Bytes transform_result(util::Bytes result,
+                               orb::ServerContext& ctx) override;
+
+ private:
+  crypto::Key128 key_{};
+  std::uint64_t request_nonce_ = 0;
+};
+
+}  // namespace maqs::characteristics

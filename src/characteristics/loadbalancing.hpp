@@ -1,0 +1,89 @@
+// Load-balancing QoS characteristic ("performance by load-balancing",
+// paper §6).
+//
+// An application-centered mechanism (the paper lists load balancing as
+// feasible purely at the application layer, §4): the mediator redirects
+// each intercepted call to one of a set of replica endpoints according to
+// a policy; the server-side QoS implementation measures load in its
+// prolog/epilog bracket and exposes it through the QoS operation
+// qos_load, which the least-loaded policy polls periodically — a
+// mechanism-management op in the paper's taxonomy.
+//
+//   param string policy = "round-robin";   // round-robin | random | least-loaded
+//   param long   probe_interval = 16;       // poll qos_load every N calls
+//   mechanism double qos_load();
+#pragma once
+
+#include <vector>
+
+#include "core/provider.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::characteristics {
+
+const std::string& loadbalancing_name();  // "LoadBalancing"
+
+core::CharacteristicDescriptor loadbalancing_descriptor();
+core::CharacteristicProvider make_loadbalancing_provider();
+
+class LoadBalancingMediator final : public core::Mediator {
+ public:
+  LoadBalancingMediator();
+
+  void bind_agreement(const core::Agreement& agreement) override;
+  void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
+
+  /// Replica set management (also reachable via the "replicas" agreement
+  /// parameter: ';'-joined stringified IORs).
+  void set_replicas(std::vector<orb::ObjRef> replicas);
+  const std::vector<orb::ObjRef>& replicas() const noexcept {
+    return replicas_;
+  }
+
+  /// Calls routed to each replica index so far (distribution checks).
+  const std::vector<std::uint64_t>& dispatch_counts() const noexcept {
+    return counts_;
+  }
+
+  /// The ORB used for qos_load probes (least-loaded policy).
+  void attach_orb(orb::Orb* orb) noexcept { orb_ = orb; }
+
+ private:
+  std::size_t pick();
+  void probe_loads();
+
+  std::string policy_ = "round-robin";
+  std::int64_t probe_interval_ = 16;
+  std::vector<orb::ObjRef> replicas_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> loads_;
+  std::size_t next_ = 0;
+  std::uint64_t calls_ = 0;
+  util::Rng rng_;
+  orb::Orb* orb_ = nullptr;
+};
+
+/// Server side: load measurement in the prolog/epilog bracket.
+class LoadReportingImpl final : public core::QosImpl {
+ public:
+  LoadReportingImpl();
+
+  void prolog(orb::ServerContext& ctx) override;
+  void epilog(orb::ServerContext& ctx) override;
+  void dispatch_qos_op(const std::string& op, cdr::Decoder& args,
+                       cdr::Encoder& out, orb::ServerContext& ctx) override;
+
+  /// Exponentially decayed request counter (the "load" figure).
+  double load() const noexcept { return load_; }
+  std::uint64_t served() const noexcept { return served_; }
+
+  /// Extra synthetic load added externally (benchmarks model busy hosts).
+  void add_synthetic_load(double load) { load_ += load; }
+
+ private:
+  double load_ = 0;
+  std::uint64_t served_ = 0;
+  int in_flight_ = 0;
+};
+
+}  // namespace maqs::characteristics

@@ -1,0 +1,28 @@
+#include "compress/codec.hpp"
+
+#include "compress/lz77.hpp"
+#include "compress/rle.hpp"
+
+namespace maqs::compress {
+
+const std::string& IdentityCodec::name() const {
+  static const std::string kName = "identity";
+  return kName;
+}
+
+util::Bytes IdentityCodec::compress(util::BytesView input) const {
+  return util::Bytes(input.begin(), input.end());
+}
+
+util::Bytes IdentityCodec::decompress(util::BytesView input) const {
+  return util::Bytes(input.begin(), input.end());
+}
+
+std::unique_ptr<Codec> make_codec(const std::string& name) {
+  if (name == "identity") return std::make_unique<IdentityCodec>();
+  if (name == "rle") return std::make_unique<RleCodec>();
+  if (name == "lz77") return std::make_unique<Lz77Codec>();
+  throw CodecError("unknown codec: " + name);
+}
+
+}  // namespace maqs::compress

@@ -1,0 +1,43 @@
+// Lossless codecs for the compression QoS characteristic.
+//
+// The paper evaluates "compression for channels with small bandwidth"; we
+// implement the codecs from scratch (offline build, DESIGN.md §2): RLE for
+// highly redundant data and LZ77 as the general-purpose codec. Both are
+// exact round-trip codecs; compress() never fails, decompress() throws
+// CodecError on corrupt input.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace maqs::compress {
+
+class CodecError : public Error {
+ public:
+  using Error::Error;
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual const std::string& name() const = 0;
+  virtual util::Bytes compress(util::BytesView input) const = 0;
+  virtual util::Bytes decompress(util::BytesView input) const = 0;
+};
+
+/// Identity codec (baseline: "no compression" with the same call shape).
+class IdentityCodec final : public Codec {
+ public:
+  const std::string& name() const override;
+  util::Bytes compress(util::BytesView input) const override;
+  util::Bytes decompress(util::BytesView input) const override;
+};
+
+/// Factory by codec name: "identity", "rle", "lz77".
+/// Throws CodecError for unknown names.
+std::unique_ptr<Codec> make_codec(const std::string& name);
+
+}  // namespace maqs::compress

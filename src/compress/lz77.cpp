@@ -1,0 +1,152 @@
+#include "compress/lz77.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace maqs::compress {
+
+namespace {
+constexpr std::size_t kWindow = 65535;   // max back-reference offset (u16)
+constexpr std::size_t kMinMatch = 4;     // below this, literals are cheaper
+constexpr std::size_t kMaxMatch = 65535;  // length field is u16
+constexpr std::size_t kMaxLiteralRun = 65535;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash3(const std::uint8_t* p) noexcept {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_u16(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void flush_literals(util::Bytes& out, util::BytesView input,
+                    std::size_t begin, std::size_t end) {
+  while (begin < end) {
+    const std::size_t chunk = std::min(end - begin, kMaxLiteralRun);
+    out.push_back(0x00);
+    put_u16(out, static_cast<std::uint16_t>(chunk));
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(begin),
+               input.begin() + static_cast<std::ptrdiff_t>(begin + chunk));
+    begin += chunk;
+  }
+}
+}  // namespace
+
+const std::string& Lz77Codec::name() const {
+  static const std::string kName = "lz77";
+  return kName;
+}
+
+util::Bytes Lz77Codec::compress(util::BytesView input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+
+  const std::size_t n = input.size();
+  if (n < kMinMatch) {
+    flush_literals(out, input, 0, n);
+    return out;
+  }
+
+  // head[h] = most recent position with hash h (+1, 0 = none);
+  // chain[i % kWindow] = previous position with the same hash (+1).
+  std::vector<std::uint32_t> head(kHashSize, 0);
+  std::vector<std::uint32_t> chain(kWindow + 1, 0);
+
+  std::size_t literal_start = 0;
+  std::size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = hash3(input.data() + i);
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+
+    std::uint32_t candidate = head[h];
+    int probes = max_probes_;
+    while (candidate != 0 && probes-- > 0) {
+      const std::size_t pos = candidate - 1;
+      if (i - pos > kWindow) break;  // chain entries only get older
+      std::size_t len = 0;
+      const std::size_t limit = std::min(n - i, kMaxMatch);
+      while (len < limit && input[pos + len] == input[i + len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        best_off = i - pos;
+        if (len >= limit) break;
+      }
+      // The chain slot may have been overwritten by a position ~64K newer
+      // (modulo indexing); accept only strictly older candidates to stay
+      // acyclic.
+      const std::uint32_t next = chain[pos % (kWindow + 1)];
+      if (next != 0 && next - 1 >= pos) break;
+      candidate = next;
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(out, input, literal_start, i);
+      out.push_back(0x01);
+      put_u16(out, static_cast<std::uint16_t>(best_off));
+      put_u16(out, static_cast<std::uint16_t>(best_len));
+      // Insert hash entries for every covered position so later matches can
+      // reference inside this one.
+      const std::size_t match_end = i + best_len;
+      while (i < match_end && i + kMinMatch <= n) {
+        const std::uint32_t hh = hash3(input.data() + i);
+        chain[i % (kWindow + 1)] = head[hh];
+        head[hh] = static_cast<std::uint32_t>(i + 1);
+        ++i;
+      }
+      i = match_end;
+      literal_start = i;
+    } else {
+      chain[i % (kWindow + 1)] = head[h];
+      head[h] = static_cast<std::uint32_t>(i + 1);
+      ++i;
+    }
+  }
+  flush_literals(out, input, literal_start, n);
+  return out;
+}
+
+util::Bytes Lz77Codec::decompress(util::BytesView input) const {
+  util::Bytes out;
+  std::size_t i = 0;
+  auto read_u16 = [&]() -> std::uint16_t {
+    if (input.size() - i < 2) throw CodecError("lz77: truncated stream");
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        input[i] | (static_cast<std::uint16_t>(input[i + 1]) << 8));
+    i += 2;
+    return v;
+  };
+  while (i < input.size()) {
+    const std::uint8_t tag = input[i++];
+    if (tag == 0x00) {
+      const std::uint16_t len = read_u16();
+      if (len == 0) throw CodecError("lz77: zero-length literal run");
+      if (input.size() - i < len) throw CodecError("lz77: truncated literals");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + len));
+      i += len;
+    } else if (tag == 0x01) {
+      const std::uint16_t off = read_u16();
+      const std::uint16_t len = read_u16();
+      if (off == 0 || off > out.size()) {
+        throw CodecError("lz77: back-reference out of window");
+      }
+      if (len < kMinMatch) throw CodecError("lz77: short match token");
+      // Overlapping copies are legal (e.g. off=1 replicates one byte);
+      // byte-by-byte copy implements that semantics.
+      std::size_t src = out.size() - off;
+      for (std::uint16_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    } else {
+      throw CodecError("lz77: bad token tag");
+    }
+  }
+  return out;
+}
+
+}  // namespace maqs::compress

@@ -1,0 +1,28 @@
+// LZ77 with a hash-chain match finder.
+//
+// Token stream format (compact CDR-free, self-delimiting):
+//   0x00 len:u16 <len literal bytes>      -- literal run, len >= 1
+//   0x01 offset:u16 len:u16               -- back-reference, offset >= 1,
+//                                            len >= kMinMatch, may overlap
+// Window size 64 KiB (offset is u16). Greedy parse; match finder keeps
+// hash chains over 3-byte prefixes, bounded probe depth.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace maqs::compress {
+
+class Lz77Codec final : public Codec {
+ public:
+  /// max_probes bounds match-finder effort (compression level knob).
+  explicit Lz77Codec(int max_probes = 32) : max_probes_(max_probes) {}
+
+  const std::string& name() const override;
+  util::Bytes compress(util::BytesView input) const override;
+  util::Bytes decompress(util::BytesView input) const override;
+
+ private:
+  int max_probes_;
+};
+
+}  // namespace maqs::compress

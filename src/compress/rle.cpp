@@ -1,0 +1,40 @@
+#include "compress/rle.hpp"
+
+namespace maqs::compress {
+
+const std::string& RleCodec::name() const {
+  static const std::string kName = "rle";
+  return kName;
+}
+
+util::Bytes RleCodec::compress(util::BytesView input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 8);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t byte = input[i];
+    std::size_t run = 1;
+    while (run < 255 && i + run < input.size() && input[i + run] == byte) {
+      ++run;
+    }
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(byte);
+    i += run;
+  }
+  return out;
+}
+
+util::Bytes RleCodec::decompress(util::BytesView input) const {
+  if (input.size() % 2 != 0) {
+    throw CodecError("rle: truncated stream");
+  }
+  util::Bytes out;
+  for (std::size_t i = 0; i < input.size(); i += 2) {
+    const std::uint8_t run = input[i];
+    if (run == 0) throw CodecError("rle: zero-length run");
+    out.insert(out.end(), run, input[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace maqs::compress

@@ -1,0 +1,19 @@
+// Byte-oriented run-length encoding.
+//
+// Format: a stream of (count:u8, byte) pairs for runs of length >= 1;
+// count is the run length (1..255). Chosen for simplicity and worst-case
+// predictability: expansion is bounded at 2x.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace maqs::compress {
+
+class RleCodec final : public Codec {
+ public:
+  const std::string& name() const override;
+  util::Bytes compress(util::BytesView input) const override;
+  util::Bytes decompress(util::BytesView input) const override;
+};
+
+}  // namespace maqs::compress

@@ -1,0 +1,86 @@
+#include "core/accounting.hpp"
+
+namespace maqs::core {
+
+Tariff linear_tariff(double per_level_per_second, double per_megabyte,
+                     const std::string& level_param) {
+  return [per_level_per_second, per_megabyte, level_param](
+             const Agreement& agreement, const UsageRecord& usage,
+             sim::TimePoint now) {
+    double level = 1.0;
+    if (auto it = agreement.params.find(level_param);
+        it != agreement.params.end()) {
+      level = static_cast<double>(it->second.as_integer());
+    }
+    const double seconds = sim::to_seconds(usage.active_for(now));
+    const double megabytes =
+        static_cast<double>(usage.bytes) / (1024.0 * 1024.0);
+    return per_level_per_second * level * seconds +
+           per_megabyte * megabytes;
+  };
+}
+
+void AccountingService::open(const Agreement& agreement) {
+  if (agreement.id == 0) {
+    throw QosError("accounting: cannot meter agreement id 0");
+  }
+  auto it = accounts_.find(agreement.id);
+  if (it != accounts_.end()) {
+    // Re-open after renegotiation: keep usage, refresh the level.
+    it->second.first = agreement;
+    it->second.second.closed_at = -1;
+    return;
+  }
+  UsageRecord record;
+  record.opened_at = loop_.now();
+  accounts_.emplace(agreement.id, std::make_pair(agreement, record));
+}
+
+void AccountingService::charge(std::uint64_t agreement_id,
+                               std::uint64_t bytes) {
+  auto it = accounts_.find(agreement_id);
+  if (it == accounts_.end()) {
+    throw QosError("accounting: unknown agreement " +
+                   std::to_string(agreement_id));
+  }
+  if (it->second.second.closed_at >= 0) {
+    throw QosError("accounting: agreement " + std::to_string(agreement_id) +
+                   " is closed");
+  }
+  ++it->second.second.requests;
+  it->second.second.bytes += bytes;
+}
+
+void AccountingService::close(std::uint64_t agreement_id) {
+  auto it = accounts_.find(agreement_id);
+  if (it == accounts_.end()) return;
+  if (it->second.second.closed_at < 0) {
+    it->second.second.closed_at = loop_.now();
+  }
+}
+
+const UsageRecord* AccountingService::usage(
+    std::uint64_t agreement_id) const {
+  auto it = accounts_.find(agreement_id);
+  return it != accounts_.end() ? &it->second.second : nullptr;
+}
+
+double AccountingService::invoice(std::uint64_t agreement_id,
+                                  const Tariff& tariff) const {
+  auto it = accounts_.find(agreement_id);
+  if (it == accounts_.end()) {
+    throw QosError("accounting: unknown agreement " +
+                   std::to_string(agreement_id));
+  }
+  return tariff(it->second.first, it->second.second, loop_.now());
+}
+
+std::size_t AccountingService::open_accounts() const {
+  std::size_t n = 0;
+  for (const auto& [_, account] : accounts_) {
+    if (account.second.closed_at < 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace maqs::core

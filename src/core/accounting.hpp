@@ -1,0 +1,64 @@
+// QoS accounting service.
+//
+// §2.2 names accounting among the framework's infrastructure services,
+// and the outlook (§6) motivates it: "the rating of which QoS
+// characteristic and its level is preferable to another is depending on
+// the client — especially when the price is embraced." The accounting
+// service meters per-agreement usage (requests, payload bytes, wall of
+// virtual time under agreement) and prices it with a pluggable tariff,
+// so negotiation-time preferences can weigh cost against level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/contract.hpp"
+#include "sim/event_loop.hpp"
+
+namespace maqs::core {
+
+struct UsageRecord {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  sim::TimePoint opened_at = 0;
+  sim::TimePoint closed_at = -1;  // -1 = still open
+
+  sim::Duration active_for(sim::TimePoint now) const {
+    return (closed_at >= 0 ? closed_at : now) - opened_at;
+  }
+};
+
+/// Tariff: price per (agreement, usage). Units are abstract "credits".
+using Tariff = std::function<double(const Agreement&, const UsageRecord&,
+                                    sim::TimePoint now)>;
+
+/// A simple default: base price per negotiated integral level plus a
+/// per-megabyte volume component.
+Tariff linear_tariff(double per_level_per_second, double per_megabyte,
+                     const std::string& level_param = "level");
+
+class AccountingService {
+ public:
+  explicit AccountingService(sim::EventLoop& loop) : loop_(loop) {}
+
+  /// Opens metering for an agreement (idempotent).
+  void open(const Agreement& agreement);
+  /// Records one request of `bytes` payload against the agreement.
+  void charge(std::uint64_t agreement_id, std::uint64_t bytes);
+  /// Stops metering (final invoice keeps accruing nothing further).
+  void close(std::uint64_t agreement_id);
+
+  const UsageRecord* usage(std::uint64_t agreement_id) const;
+
+  /// Invoice under the given tariff; throws QosError for unknown ids.
+  double invoice(std::uint64_t agreement_id, const Tariff& tariff) const;
+
+  std::size_t open_accounts() const;
+
+ private:
+  sim::EventLoop& loop_;
+  std::map<std::uint64_t, std::pair<Agreement, UsageRecord>> accounts_;
+};
+
+}  // namespace maqs::core

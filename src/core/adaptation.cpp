@@ -1,0 +1,98 @@
+#include "core/adaptation.hpp"
+
+#include "util/log.hpp"
+
+namespace maqs::core {
+
+const std::string& AdaptationManager::command_target() {
+  static const std::string kTarget = "maqs.adaptation";
+  return kTarget;
+}
+
+AdaptationManager::AdaptationManager(QosTransport& transport,
+                                     Negotiator& negotiator)
+    : transport_(transport), negotiator_(negotiator) {
+  transport_.set_command_handler(
+      command_target(),
+      [this](const std::string& op, const std::vector<cdr::Any>& args,
+             const net::Address&) { return handle_command(op, args); });
+}
+
+AdaptationManager::~AdaptationManager() {
+  transport_.set_command_handler(command_target(), nullptr);
+}
+
+void AdaptationManager::manage(orb::StubBase& stub,
+                               const Agreement& agreement, Policy policy) {
+  entries_[agreement.id] = Entry{&stub, agreement, std::move(policy), false};
+}
+
+void AdaptationManager::unmanage(std::uint64_t agreement_id) {
+  entries_.erase(agreement_id);
+}
+
+const Agreement* AdaptationManager::managed_agreement(
+    std::uint64_t agreement_id) const {
+  auto it = entries_.find(agreement_id);
+  return it != entries_.end() ? &it->second.agreement : nullptr;
+}
+
+cdr::Any AdaptationManager::handle_command(
+    const std::string& op, const std::vector<cdr::Any>& args) {
+  if (op != "violation") {
+    throw QosError("adaptation: unknown command '" + op + "'");
+  }
+  if (args.size() < 3) {
+    throw QosError("adaptation: malformed violation notification");
+  }
+  const auto agreement_id = static_cast<std::uint64_t>(args[0].as_integer());
+  const std::string reason = args[2].as_string();
+  adapt(agreement_id, reason);
+  return cdr::Any::make_void();
+}
+
+void AdaptationManager::adapt(std::uint64_t agreement_id,
+                              const std::string& reason) {
+  auto it = entries_.find(agreement_id);
+  if (it == entries_.end()) return;  // unmanaged: nothing to do
+  Entry& entry = it->second;
+  if (entry.adapting) return;  // collapse violation storms
+  entry.adapting = true;
+  try {
+    std::optional<std::map<std::string, cdr::Any>> proposal =
+        entry.policy ? entry.policy(entry.agreement, reason) : std::nullopt;
+    if (proposal.has_value()) {
+      entry.agreement =
+          negotiator_.renegotiate(*entry.stub, entry.agreement, *proposal);
+      ++adaptations_;
+      MAQS_INFO() << "adapted agreement " << agreement_id << " after '"
+                  << reason << "'";
+    } else {
+      negotiator_.terminate(*entry.stub, entry.agreement);
+      ++terminations_;
+      entries_.erase(agreement_id);
+      return;  // entry is gone; do not touch it below
+    }
+  } catch (const Error& e) {
+    MAQS_WARN() << "adaptation of agreement " << agreement_id
+                << " failed: " << e.what();
+  }
+  // Renegotiation pumps the event loop, which may deliver commands that
+  // unmanage this agreement; re-find instead of trusting `entry`.
+  if (auto again = entries_.find(agreement_id); again != entries_.end()) {
+    again->second.adapting = false;
+  }
+}
+
+void AdaptationManager::watch_metric(Monitor& monitor,
+                                     const std::string& metric,
+                                     Threshold threshold,
+                                     std::uint64_t agreement_id) {
+  monitor.set_threshold(metric, threshold);
+  monitor.subscribe([this, metric, agreement_id](const Violation& violation) {
+    if (violation.metric != metric) return;
+    adapt(agreement_id, "monitor:" + metric);
+  });
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,78 @@
+// QoS adaptation.
+//
+// "Varying resource availability should be addressed through adaption,
+// i.e. renegotiations if the resource availability in- or decreases"
+// (§3). The AdaptationManager is the client half of that loop:
+//
+//   server: ResourceManager capacity change
+//     -> NegotiationService::shed_overload -> violation push (command)
+//   client: AdaptationManager "violation" handler
+//     -> adaptation policy proposes degraded parameters
+//     -> Negotiator::renegotiate (or terminate when no level remains)
+//     -> mediator rebinds at the new level
+//
+// It can also react to purely client-side observations by watching a
+// Monitor metric (e.g. observed latency) with the same policy flow.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/monitoring.hpp"
+#include "core/negotiation.hpp"
+
+namespace maqs::core {
+
+class AdaptationManager {
+ public:
+  /// Command target under which the manager registers on the client
+  /// transport ("maqs.adaptation").
+  static const std::string& command_target();
+
+  /// Policy: (current agreement, violation reason) -> new parameter
+  /// proposal, or nullopt to terminate the agreement.
+  using Policy = std::function<std::optional<std::map<std::string, cdr::Any>>(
+      const Agreement&, const std::string& reason)>;
+
+  AdaptationManager(QosTransport& transport, Negotiator& negotiator);
+  ~AdaptationManager();
+
+  /// Puts an agreement under adaptation management. The stub must outlive
+  /// the registration.
+  void manage(orb::StubBase& stub, const Agreement& agreement, Policy policy);
+  void unmanage(std::uint64_t agreement_id);
+
+  /// Current (possibly renegotiated) agreement; nullptr when unmanaged.
+  const Agreement* managed_agreement(std::uint64_t agreement_id) const;
+
+  /// Successful renegotiations performed.
+  std::uint64_t adaptations() const noexcept { return adaptations_; }
+  /// Agreements terminated because no acceptable level remained.
+  std::uint64_t terminations() const noexcept { return terminations_; }
+
+  /// Client-side trigger: a threshold violation on `metric` adapts the
+  /// given managed agreement (reason "monitor:<metric>").
+  void watch_metric(Monitor& monitor, const std::string& metric,
+                    Threshold threshold, std::uint64_t agreement_id);
+
+ private:
+  cdr::Any handle_command(const std::string& op,
+                          const std::vector<cdr::Any>& args);
+  void adapt(std::uint64_t agreement_id, const std::string& reason);
+
+  struct Entry {
+    orb::StubBase* stub = nullptr;
+    Agreement agreement;
+    Policy policy;
+    bool adapting = false;  // re-entrancy guard
+  };
+
+  QosTransport& transport_;
+  Negotiator& negotiator_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t adaptations_ = 0;
+  std::uint64_t terminations_ = 0;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,72 @@
+#include "core/binding.hpp"
+
+#include <algorithm>
+
+namespace maqs::core {
+
+const char* binding_granularity_name(BindingGranularity g) noexcept {
+  switch (g) {
+    case BindingGranularity::kInterface: return "interface";
+    case BindingGranularity::kOperation: return "operation";
+    case BindingGranularity::kParameter: return "parameter";
+  }
+  return "?";
+}
+
+void BindingService::declare_conflict(const std::string& a,
+                                      const std::string& b) {
+  conflicts_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool BindingService::conflicts(const std::string& a,
+                               const std::string& b) const {
+  return conflicts_.contains({std::min(a, b), std::max(a, b)});
+}
+
+void BindingService::bind(const std::string& interface_repo_id,
+                          const std::string& characteristic,
+                          BindingGranularity granularity) {
+  if (granularity != BindingGranularity::kInterface) {
+    throw QosError(
+        std::string("binding: QoS may be assigned to interfaces only; ") +
+        binding_granularity_name(granularity) +
+        "-level assignment is forbidden");
+  }
+  if (!catalog_.contains(characteristic)) {
+    throw QosError("binding: unknown characteristic '" + characteristic +
+                   "'");
+  }
+  auto& bound = bindings_[interface_repo_id];
+  for (const std::string& existing : bound) {
+    if (existing == characteristic) {
+      throw QosError("binding: '" + characteristic +
+                     "' already bound to " + interface_repo_id);
+    }
+    if (conflicts(existing, characteristic)) {
+      throw QosError("binding: '" + characteristic + "' conflicts with '" +
+                     existing + "' on " + interface_repo_id);
+    }
+  }
+  bound.push_back(characteristic);
+}
+
+void BindingService::unbind(const std::string& interface_repo_id,
+                            const std::string& characteristic) {
+  auto it = bindings_.find(interface_repo_id);
+  if (it == bindings_.end()) return;
+  std::erase(it->second, characteristic);
+}
+
+std::vector<std::string> BindingService::bindings(
+    const std::string& interface_repo_id) const {
+  auto it = bindings_.find(interface_repo_id);
+  return it != bindings_.end() ? it->second : std::vector<std::string>{};
+}
+
+bool BindingService::is_bound(const std::string& interface_repo_id,
+                              const std::string& characteristic) const {
+  const auto bound = bindings(interface_repo_id);
+  return std::find(bound.begin(), bound.end(), characteristic) != bound.end();
+}
+
+}  // namespace maqs::core

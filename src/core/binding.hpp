@@ -1,0 +1,62 @@
+// QoS binding service.
+//
+// Paper §3.2: "QoS specifications in QIDL can be assigned to interfaces
+// only. This is an implication from the underlying interface to object
+// relation. Possible conflicts between different QoS characteristics if
+// finer granularity is considered are hard to resolve and therefore
+// forbidden, i.e. QoS assignment to operations or parameters."
+//
+// BindingService enforces exactly that rule and carries the declared
+// compatibility matrix for multi-characteristic assignments on one
+// interface.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/characteristic.hpp"
+
+namespace maqs::core {
+
+/// Requested binding granularity; only kInterface is legal.
+enum class BindingGranularity { kInterface, kOperation, kParameter };
+
+const char* binding_granularity_name(BindingGranularity g) noexcept;
+
+class BindingService {
+ public:
+  explicit BindingService(const CharacteristicCatalog& catalog)
+      : catalog_(catalog) {}
+
+  /// Declares two characteristics as mutually exclusive on one interface
+  /// (e.g. two mechanisms that both re-route requests).
+  void declare_conflict(const std::string& a, const std::string& b);
+  bool conflicts(const std::string& a, const std::string& b) const;
+
+  /// Binds a characteristic to an interface (repository id).
+  /// Throws QosError when:
+  ///   - granularity is operation- or parameter-level (paper rule),
+  ///   - the characteristic is unknown to the catalog,
+  ///   - it is already bound to this interface,
+  ///   - it conflicts with an existing binding on this interface.
+  void bind(const std::string& interface_repo_id,
+            const std::string& characteristic,
+            BindingGranularity granularity = BindingGranularity::kInterface);
+
+  void unbind(const std::string& interface_repo_id,
+              const std::string& characteristic);
+
+  std::vector<std::string> bindings(
+      const std::string& interface_repo_id) const;
+  bool is_bound(const std::string& interface_repo_id,
+                const std::string& characteristic) const;
+
+ private:
+  const CharacteristicCatalog& catalog_;
+  std::map<std::string, std::vector<std::string>> bindings_;
+  std::set<std::pair<std::string, std::string>> conflicts_;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,79 @@
+#include "core/catalog_doc.hpp"
+
+#include <sstream>
+
+namespace maqs::core {
+
+namespace {
+const char* op_kind_label(QosOpKind kind) {
+  switch (kind) {
+    case QosOpKind::kMechanism: return "mechanism";
+    case QosOpKind::kPeer: return "peer (QoS-to-QoS)";
+    case QosOpKind::kAspect: return "aspect (application cross-cut)";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string catalog_entry_markdown(
+    const CharacteristicDescriptor& descriptor) {
+  std::ostringstream out;
+  out << "## " << descriptor.name() << "\n\n";
+  out << "*Category:* " << qos_category_name(descriptor.category())
+      << "\n\n";
+  if (!descriptor.params().empty()) {
+    out << "| parameter | type | default | range |\n";
+    out << "|---|---|---|---|\n";
+    for (const ParamDesc& param : descriptor.params()) {
+      out << "| `" << param.name << "` | " << param.type->to_string()
+          << " | " << param.default_value.to_string() << " | ";
+      if (param.min.has_value() || param.max.has_value()) {
+        out << (param.min.has_value() ? std::to_string(*param.min) : "")
+            << " .. "
+            << (param.max.has_value() ? std::to_string(*param.max) : "");
+      } else {
+        out << "—";
+      }
+      out << " |\n";
+    }
+    out << "\n";
+  }
+  if (!descriptor.operations().empty()) {
+    out << "QoS operations:\n\n";
+    for (const QosOpDesc& op : descriptor.operations()) {
+      out << "- `" << op.name << "` — " << op_kind_label(op.kind) << "\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string catalog_markdown(const ProviderRegistry& providers) {
+  std::ostringstream out;
+  out << "# QoS Characteristic Catalog\n\n";
+  out << "Generated from the provider registry (paper Sec. 6: \"a catalog "
+         "similar to those for design patterns\").\n\n";
+  for (const std::string& name : providers.catalog().names()) {
+    const CharacteristicProvider& provider = providers.get(name);
+    out << catalog_entry_markdown(provider.descriptor);
+    out << "*Weaving:* ";
+    if (provider.make_mediator) out << "client mediator";
+    if (provider.make_mediator && provider.make_impl) out << " + ";
+    if (provider.make_impl) out << "server QoS implementation";
+    if (!provider.make_mediator && !provider.make_impl) {
+      out << "transport only";
+    }
+    out << ".\n\n";
+    if (!provider.module.empty()) {
+      out << "*Reuses transport module:* `" << provider.module
+          << "` (two-layer hierarchy, paper Sec. 4).\n\n";
+    }
+    if (provider.client_setup) {
+      out << "*Bootstrap:* client-side setup handshake on agreement "
+             "(QoS-to-QoS over the plain path).\n\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace maqs::core

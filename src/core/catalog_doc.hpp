@@ -1,0 +1,25 @@
+// QoS characteristic catalog renderer.
+//
+// §6: "We think, that a catalog similar to those for design patterns is
+// an appropriate way to document QoS implementations." — targeted at two
+// audiences: application developers (how to use a characteristic, which
+// adaptation to provide) and QoS implementors (which mechanisms are
+// reusable). This renderer turns a ProviderRegistry into that catalog as
+// Markdown: per characteristic its category, negotiable parameters with
+// defaults/ranges, the three QoS-operation groups, the transport module
+// it reuses (the §4 hierarchy) and which sides it weaves into.
+#pragma once
+
+#include <string>
+
+#include "core/provider.hpp"
+
+namespace maqs::core {
+
+/// Renders one descriptor as a catalog entry.
+std::string catalog_entry_markdown(const CharacteristicDescriptor& descriptor);
+
+/// Renders the full registry as a catalog document.
+std::string catalog_markdown(const ProviderRegistry& providers);
+
+}  // namespace maqs::core

@@ -1,0 +1,126 @@
+#include "core/characteristic.hpp"
+
+namespace maqs::core {
+
+const char* qos_category_name(QosCategory category) noexcept {
+  switch (category) {
+    case QosCategory::kFaultTolerance: return "fault-tolerance";
+    case QosCategory::kPerformance: return "performance";
+    case QosCategory::kBandwidth: return "bandwidth";
+    case QosCategory::kActuality: return "actuality";
+    case QosCategory::kPrivacy: return "privacy";
+    case QosCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+CharacteristicDescriptor::CharacteristicDescriptor(
+    std::string name, QosCategory category, std::vector<ParamDesc> params,
+    std::vector<QosOpDesc> operations)
+    : name_(std::move(name)),
+      category_(category),
+      params_(std::move(params)),
+      operations_(std::move(operations)) {
+  if (name_.empty()) throw QosError("characteristic: empty name");
+  for (const ParamDesc& param : params_) {
+    if (!param.type) {
+      throw QosError("characteristic " + name_ + ": param '" + param.name +
+                     "' has no type");
+    }
+    if (!param.default_value.type()->equal(*param.type)) {
+      throw QosError("characteristic " + name_ + ": param '" + param.name +
+                     "' default has wrong type");
+    }
+  }
+}
+
+const ParamDesc* CharacteristicDescriptor::find_param(
+    const std::string& name) const {
+  for (const ParamDesc& param : params_) {
+    if (param.name == name) return &param;
+  }
+  return nullptr;
+}
+
+const QosOpDesc* CharacteristicDescriptor::find_operation(
+    const std::string& name) const {
+  for (const QosOpDesc& op : operations_) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+std::map<std::string, cdr::Any> CharacteristicDescriptor::default_params()
+    const {
+  std::map<std::string, cdr::Any> out;
+  for (const ParamDesc& param : params_) {
+    out[param.name] = param.default_value;
+  }
+  return out;
+}
+
+std::map<std::string, cdr::Any> CharacteristicDescriptor::validate_params(
+    const std::map<std::string, cdr::Any>& proposed) const {
+  std::map<std::string, cdr::Any> out = default_params();
+  for (const auto& [name, value] : proposed) {
+    const ParamDesc* desc = find_param(name);
+    if (desc == nullptr) {
+      throw QosError("characteristic " + name_ + ": unknown param '" + name +
+                     "'");
+    }
+    if (!value.type()->equal(*desc->type)) {
+      throw QosError("characteristic " + name_ + ": param '" + name +
+                     "' type mismatch: expected " + desc->type->to_string() +
+                     ", got " + value.type()->to_string());
+    }
+    if (desc->min.has_value() || desc->max.has_value()) {
+      const std::int64_t v = value.as_integer();
+      if (desc->min.has_value() && v < *desc->min) {
+        throw QosError("characteristic " + name_ + ": param '" + name +
+                       "' below minimum");
+      }
+      if (desc->max.has_value() && v > *desc->max) {
+        throw QosError("characteristic " + name_ + ": param '" + name +
+                       "' above maximum");
+      }
+    }
+    out[name] = value;
+  }
+  return out;
+}
+
+void CharacteristicCatalog::add(CharacteristicDescriptor descriptor) {
+  const std::string name = descriptor.name();
+  auto [_, inserted] = entries_.emplace(name, std::move(descriptor));
+  if (!inserted) {
+    throw QosError("catalog: duplicate characteristic '" + name + "'");
+  }
+}
+
+bool CharacteristicCatalog::contains(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+const CharacteristicDescriptor& CharacteristicCatalog::get(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw QosError("catalog: unknown characteristic '" + name + "'");
+  }
+  return it->second;
+}
+
+const CharacteristicDescriptor* CharacteristicCatalog::find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> CharacteristicCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,116 @@
+// QoS characteristic descriptors (the QIDL metamodel at runtime).
+//
+// A QIDL `qos characteristic` declaration compiles into one of these
+// descriptors: the QoS parameters that can be negotiated, plus the three
+// operation groups the paper identifies (§3.2):
+//   - mechanism ops: setup/control/monitoring of the QoS mechanism,
+//   - peer ops ("QoS to QoS"): mechanism-to-mechanism communication
+//     through the middleware (multicast addresses, key changes, ...),
+//   - aspect ops: the controlled cross-cut into the application object
+//     (e.g. state access for replica groups).
+//
+// Descriptors live in the CharacteristicCatalog, the runtime analogue of
+// the paper's proposed "catalog similar to design patterns".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cdr/any.hpp"
+#include "util/error.hpp"
+
+namespace maqs::core {
+
+/// QoS management error (bad descriptors, unknown characteristics, ...).
+class QosError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One negotiable QoS parameter.
+struct ParamDesc {
+  std::string name;
+  cdr::TypeCodePtr type;
+  cdr::Any default_value;
+  /// Inclusive numeric bounds (integral params only; ignored otherwise).
+  std::optional<std::int64_t> min;
+  std::optional<std::int64_t> max;
+};
+
+enum class QosOpKind { kMechanism, kPeer, kAspect };
+
+/// One QoS operation declared by the characteristic.
+struct QosOpDesc {
+  std::string name;
+  QosOpKind kind = QosOpKind::kMechanism;
+};
+
+/// QoS categories from the paper's examples.
+enum class QosCategory {
+  kFaultTolerance,
+  kPerformance,
+  kBandwidth,
+  kActuality,
+  kPrivacy,
+  kOther,
+};
+
+const char* qos_category_name(QosCategory category) noexcept;
+
+class CharacteristicDescriptor {
+ public:
+  CharacteristicDescriptor() = default;
+  CharacteristicDescriptor(std::string name, QosCategory category,
+                           std::vector<ParamDesc> params,
+                           std::vector<QosOpDesc> operations);
+
+  const std::string& name() const noexcept { return name_; }
+  QosCategory category() const noexcept { return category_; }
+  const std::vector<ParamDesc>& params() const noexcept { return params_; }
+  const std::vector<QosOpDesc>& operations() const noexcept {
+    return operations_;
+  }
+
+  const ParamDesc* find_param(const std::string& name) const;
+  const QosOpDesc* find_operation(const std::string& name) const;
+  bool owns_operation(const std::string& name) const {
+    return find_operation(name) != nullptr;
+  }
+
+  /// Default parameter assignment.
+  std::map<std::string, cdr::Any> default_params() const;
+
+  /// Validates a proposed parameter assignment: every name must be
+  /// declared, types must match, integral values must respect bounds.
+  /// Throws QosError on violation. Missing params are filled from
+  /// defaults in the returned map.
+  std::map<std::string, cdr::Any> validate_params(
+      const std::map<std::string, cdr::Any>& proposed) const;
+
+ private:
+  std::string name_;
+  QosCategory category_ = QosCategory::kOther;
+  std::vector<ParamDesc> params_;
+  std::vector<QosOpDesc> operations_;
+};
+
+/// Registry of known characteristics (both sides of the wire register the
+/// providers they support; negotiation consults it).
+class CharacteristicCatalog {
+ public:
+  /// Throws QosError on duplicate names.
+  void add(CharacteristicDescriptor descriptor);
+  bool contains(const std::string& name) const;
+  /// Throws QosError when absent.
+  const CharacteristicDescriptor& get(const std::string& name) const;
+  const CharacteristicDescriptor* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, CharacteristicDescriptor> entries_;
+};
+
+}  // namespace maqs::core

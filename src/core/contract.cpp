@@ -1,0 +1,102 @@
+#include "core/contract.hpp"
+
+namespace maqs::core {
+
+const char* agreement_state_name(AgreementState state) noexcept {
+  switch (state) {
+    case AgreementState::kProposed: return "proposed";
+    case AgreementState::kActive: return "active";
+    case AgreementState::kViolated: return "violated";
+    case AgreementState::kRenegotiating: return "renegotiating";
+    case AgreementState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+namespace {
+const cdr::Any& require_param(const Agreement& agreement,
+                              const std::string& name) {
+  auto it = agreement.params.find(name);
+  if (it == agreement.params.end()) {
+    throw QosError("agreement " + std::to_string(agreement.id) +
+                   ": missing param '" + name + "'");
+  }
+  return it->second;
+}
+}  // namespace
+
+std::int64_t Agreement::int_param(const std::string& name) const {
+  return require_param(*this, name).as_integer();
+}
+
+std::string Agreement::string_param(const std::string& name) const {
+  return require_param(*this, name).as_string();
+}
+
+bool Agreement::bool_param(const std::string& name) const {
+  return require_param(*this, name).as_bool();
+}
+
+Agreement& AgreementRepository::create(Agreement agreement) {
+  agreement.id = next_id_++;
+  auto [it, _] = agreements_.emplace(agreement.id, std::move(agreement));
+  return it->second;
+}
+
+Agreement* AgreementRepository::find(std::uint64_t id) {
+  auto it = agreements_.find(id);
+  return it != agreements_.end() ? &it->second : nullptr;
+}
+
+const Agreement* AgreementRepository::find(std::uint64_t id) const {
+  auto it = agreements_.find(id);
+  return it != agreements_.end() ? &it->second : nullptr;
+}
+
+Agreement& AgreementRepository::get(std::uint64_t id) {
+  Agreement* agreement = find(id);
+  if (agreement == nullptr) {
+    throw QosError("agreement repository: unknown id " + std::to_string(id));
+  }
+  return *agreement;
+}
+
+void AgreementRepository::terminate(std::uint64_t id) {
+  if (Agreement* agreement = find(id)) {
+    agreement->state = AgreementState::kTerminated;
+  }
+}
+
+std::vector<Agreement*> AgreementRepository::by_characteristic(
+    const std::string& name) {
+  std::vector<Agreement*> out;
+  for (auto& [_, agreement] : agreements_) {
+    if (agreement.characteristic == name &&
+        agreement.state != AgreementState::kTerminated) {
+      out.push_back(&agreement);
+    }
+  }
+  return out;
+}
+
+std::vector<Agreement*> AgreementRepository::by_object(
+    const std::string& object_key) {
+  std::vector<Agreement*> out;
+  for (auto& [_, agreement] : agreements_) {
+    if (agreement.object_key == object_key &&
+        agreement.state != AgreementState::kTerminated) {
+      out.push_back(&agreement);
+    }
+  }
+  return out;
+}
+
+std::size_t AgreementRepository::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, agreement] : agreements_) {
+    if (agreement.state == AgreementState::kActive) ++n;
+  }
+  return n;
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,70 @@
+// QoS agreements (contracts).
+//
+// "Each QoS agreement has to be negotiated independently" (§3): an
+// Agreement binds one client/server relationship to one characteristic at
+// one negotiated parameter level. There is deliberately no system-wide QoS
+// state — the AgreementRepository is per-ORB-side bookkeeping only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdr/any.hpp"
+#include "core/characteristic.hpp"
+
+namespace maqs::core {
+
+enum class AgreementState : std::uint8_t {
+  kProposed = 0,
+  kActive,
+  kViolated,       // monitoring detected a breach; adaptation pending
+  kRenegotiating,
+  kTerminated,
+};
+
+const char* agreement_state_name(AgreementState state) noexcept;
+
+struct Agreement {
+  /// Unique per server ORB; 0 = invalid.
+  std::uint64_t id = 0;
+  /// Characteristic this agreement instantiates.
+  std::string characteristic;
+  /// Interface (object key) the agreement is bound to.
+  std::string object_key;
+  /// Peer identity (client endpoint string) for bookkeeping.
+  std::string client;
+  /// Negotiated parameter values.
+  std::map<std::string, cdr::Any> params;
+  AgreementState state = AgreementState::kProposed;
+
+  /// Typed param accessors (throw QosError when missing).
+  std::int64_t int_param(const std::string& name) const;
+  std::string string_param(const std::string& name) const;
+  bool bool_param(const std::string& name) const;
+};
+
+/// Per-side store of agreements.
+class AgreementRepository {
+ public:
+  /// Registers a new agreement and assigns its id.
+  Agreement& create(Agreement agreement);
+  Agreement* find(std::uint64_t id);
+  const Agreement* find(std::uint64_t id) const;
+  /// Throws QosError when absent.
+  Agreement& get(std::uint64_t id);
+  void terminate(std::uint64_t id);
+
+  /// All non-terminated agreements for a characteristic.
+  std::vector<Agreement*> by_characteristic(const std::string& name);
+  /// All non-terminated agreements on an object.
+  std::vector<Agreement*> by_object(const std::string& object_key);
+  std::size_t active_count() const;
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Agreement> agreements_;
+};
+
+}  // namespace maqs::core

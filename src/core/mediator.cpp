@@ -1,0 +1,59 @@
+#include "core/mediator.hpp"
+
+#include <algorithm>
+
+namespace maqs::core {
+
+void CompositeMediator::add(std::shared_ptr<Mediator> mediator) {
+  if (!mediator) throw QosError("composite mediator: null delegate");
+  if (find(mediator->characteristic())) {
+    throw QosError("composite mediator: duplicate characteristic '" +
+                   mediator->characteristic() + "'");
+  }
+  chain_.push_back(std::move(mediator));
+}
+
+bool CompositeMediator::remove(const std::string& characteristic) {
+  const auto it = std::find_if(chain_.begin(), chain_.end(),
+                               [&](const std::shared_ptr<Mediator>& m) {
+                                 return m->characteristic() == characteristic;
+                               });
+  if (it == chain_.end()) return false;
+  chain_.erase(it);
+  return true;
+}
+
+std::shared_ptr<Mediator> CompositeMediator::find(
+    const std::string& characteristic) const {
+  for (const auto& mediator : chain_) {
+    if (mediator->characteristic() == characteristic) return mediator;
+  }
+  return nullptr;
+}
+
+std::optional<orb::ReplyMessage> CompositeMediator::try_local(
+    const orb::RequestMessage& req, const orb::ObjRef& target) {
+  for (const auto& mediator : chain_) {
+    if (auto reply = mediator->try_local(req, target)) return reply;
+  }
+  return std::nullopt;
+}
+
+void CompositeMediator::outbound(orb::RequestMessage& req,
+                                 orb::ObjRef& target) {
+  for (const auto& mediator : chain_) {
+    mediator->outbound(req, target);
+  }
+}
+
+void CompositeMediator::inbound(const orb::RequestMessage& req,
+                                orb::ReplyMessage& rep) {
+  // Reverse order: the last outbound transform is outermost on the wire
+  // and must be undone first — e.g. outbound [compress, encrypt] yields
+  // encrypt(compress(x)), so inbound runs decrypt, then decompress.
+  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+    (*it)->inbound(req, rep);
+  }
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,81 @@
+// Client-side aspect weaving: mediators.
+//
+// Paper §3.3: "On the client side the stub is extended by a so called
+// mediator. The QoS implementor implements the generated mediator
+// skeleton. At runtime the mediator of the desired QoS is set in the stub
+// as a delegate."
+//
+// Mediator is that generated skeleton's base: it plugs into StubBase's
+// interceptor slot, carries the agreement it operates under, and exposes
+// the characteristic's QoS operations to client code (mechanism ops run
+// locally on the mediator; peer ops talk to the server-side QoS impl over
+// the middleware).
+//
+// CompositeMediator supports several simultaneously negotiated
+// characteristics on one stub (e.g. Compression + Encryption): it chains
+// the delegates in a defined order — outbound in installation order,
+// inbound reversed — so payload transforms nest correctly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "orb/stub.hpp"
+
+namespace maqs::core {
+
+class Mediator : public orb::ClientInterceptor {
+ public:
+  explicit Mediator(std::string characteristic)
+      : characteristic_(std::move(characteristic)) {}
+
+  const std::string& characteristic() const noexcept {
+    return characteristic_;
+  }
+
+  /// Binds/rebinds the agreement this mediator operates under; called at
+  /// negotiation time and again after every successful renegotiation
+  /// (adaptation swaps parameters without replacing the delegate).
+  virtual void bind_agreement(const Agreement& agreement) {
+    agreement_ = agreement;
+  }
+
+  const Agreement& agreement() const noexcept { return agreement_; }
+
+  /// Client-side entry for the characteristic's QoS operations (the
+  /// mediator half of the QIDL mapping). Mechanism ops usually execute
+  /// locally; peer ops are forwarded to the server's QoS implementation.
+  /// Default: reject (characteristic declares no client-side ops).
+  virtual cdr::Any qos_operation(const std::string& op,
+                                 const std::vector<cdr::Any>& args) {
+    (void)args;
+    throw QosError("mediator " + characteristic_ +
+                   ": unsupported QoS operation '" + op + "'");
+  }
+
+ private:
+  std::string characteristic_;
+  Agreement agreement_;
+};
+
+class CompositeMediator : public orb::ClientInterceptor {
+ public:
+  /// Appends a mediator at the end of the outbound chain.
+  void add(std::shared_ptr<Mediator> mediator);
+  /// Removes by characteristic name; returns false when absent.
+  bool remove(const std::string& characteristic);
+  std::shared_ptr<Mediator> find(const std::string& characteristic) const;
+  std::size_t size() const noexcept { return chain_.size(); }
+
+  std::optional<orb::ReplyMessage> try_local(
+      const orb::RequestMessage& req, const orb::ObjRef& target) override;
+  void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
+  void inbound(const orb::RequestMessage& req,
+               orb::ReplyMessage& rep) override;
+
+ private:
+  std::vector<std::shared_ptr<Mediator>> chain_;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,552 @@
+#include "core/negotiation.hpp"
+
+#include <algorithm>
+
+#include "core/adaptation.hpp"
+#include "orb/dii.hpp"
+#include "util/log.hpp"
+
+namespace maqs::core {
+
+namespace {
+
+/// Heterogeneous tuple as a self-describing struct Any (member names are
+/// positional; only structure matters on the wire).
+cdr::Any make_tuple_any(std::vector<cdr::Any> items) {
+  std::vector<std::pair<std::string, cdr::TypeCodePtr>> members;
+  members.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    members.emplace_back("f" + std::to_string(i), items[i].type());
+  }
+  return cdr::Any::from_struct(
+      cdr::TypeCode::struct_tc("tuple", std::move(members)),
+      std::move(items));
+}
+
+const std::string& arg_string(const std::vector<cdr::Any>& args,
+                              std::size_t i) {
+  if (i >= args.size()) {
+    throw QosError("negotiation: missing argument " + std::to_string(i));
+  }
+  return args[i].as_string();
+}
+
+std::int64_t arg_int(const std::vector<cdr::Any>& args, std::size_t i) {
+  if (i >= args.size()) {
+    throw QosError("negotiation: missing argument " + std::to_string(i));
+  }
+  return args[i].as_integer();
+}
+
+}  // namespace
+
+std::vector<cdr::Any> encode_params(
+    const std::map<std::string, cdr::Any>& params) {
+  std::vector<cdr::Any> out;
+  out.reserve(params.size() * 2);
+  for (const auto& [name, value] : params) {
+    out.push_back(cdr::Any::from_string(name));
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::map<std::string, cdr::Any> decode_params(
+    const std::vector<cdr::Any>& anys, std::size_t offset) {
+  if ((anys.size() - offset) % 2 != 0) {
+    throw QosError("negotiation: odd param list");
+  }
+  std::map<std::string, cdr::Any> out;
+  for (std::size_t i = offset; i + 1 < anys.size(); i += 2) {
+    out[anys[i].as_string()] = anys[i + 1];
+  }
+  return out;
+}
+
+// ---- NegotiationService ----
+
+const std::string& NegotiationService::command_target() {
+  static const std::string kTarget = "maqs.negotiator";
+  return kTarget;
+}
+
+NegotiationService::NegotiationService(QosTransport& transport,
+                                       const ProviderRegistry& providers,
+                                       ResourceManager& resources)
+    : transport_(transport), providers_(providers), resources_(resources) {
+  transport_.set_command_handler(
+      command_target(),
+      [this](const std::string& op, const std::vector<cdr::Any>& args,
+             const net::Address& from) {
+        return handle_command(op, args, from);
+      });
+}
+
+NegotiationService::~NegotiationService() {
+  transport_.set_command_handler(command_target(), nullptr);
+}
+
+cdr::Any NegotiationService::handle_command(const std::string& op,
+                                            const std::vector<cdr::Any>& args,
+                                            const net::Address& from) {
+  if (op == "negotiate") return handle_negotiate(args, from);
+  if (op == "renegotiate") return handle_renegotiate(args);
+  if (op == "terminate") return handle_terminate(args);
+  throw QosError("negotiation: unknown command '" + op + "'");
+}
+
+cdr::Any NegotiationService::result_any(
+    bool accepted, std::uint64_t agreement_id, const std::string& message,
+    const std::map<std::string, cdr::Any>& params) {
+  std::vector<cdr::Any> items;
+  items.push_back(cdr::Any::from_string(accepted ? "accepted" : message));
+  items.push_back(
+      cdr::Any::from_longlong(static_cast<std::int64_t>(agreement_id)));
+  for (cdr::Any& any : encode_params(params)) items.push_back(std::move(any));
+  return make_tuple_any(std::move(items));
+}
+
+AdmissionDecision NegotiationService::admit(
+    const CharacteristicProvider& provider,
+    const std::map<std::string, cdr::Any>& params) {
+  if (policy_) return policy_(provider, params, resources_);
+
+  // Default policy: reserve the declared demand; when it does not fit,
+  // counter-offer the characteristic's minimal integral levels.
+  if (!provider.resource_demand) return {};
+  const ResourceDemand demand = provider.resource_demand(params);
+  for (const auto& [resource, _] : demand) {
+    if (!resources_.is_declared(resource)) {
+      return {AdmissionDecision::Kind::kReject,
+              {},
+              "undeclared resource '" + resource + "'"};
+    }
+  }
+  if (resources_.try_reserve(demand)) {
+    // The reservation is recorded by the caller (needs the agreement id);
+    // release here and let the caller re-reserve would be racy in a
+    // threaded world but is fine single-threaded. Keep it reserved and
+    // hand the demand back through the decision.
+    AdmissionDecision decision;
+    decision.kind = AdmissionDecision::Kind::kAccept;
+    return decision;
+  }
+  // Degrade toward minimal levels.
+  std::map<std::string, cdr::Any> counter = params;
+  bool degraded = false;
+  for (const ParamDesc& param : provider.descriptor.params()) {
+    if (!param.min.has_value()) continue;
+    auto it = counter.find(param.name);
+    if (it == counter.end()) continue;
+    if (it->second.as_integer() > *param.min) {
+      // Preserve the declared parameter type when lowering the level.
+      switch (param.type->kind()) {
+        case cdr::TCKind::kShort:
+          it->second =
+              cdr::Any::from_short(static_cast<std::int16_t>(*param.min));
+          break;
+        case cdr::TCKind::kLong:
+          it->second =
+              cdr::Any::from_long(static_cast<std::int32_t>(*param.min));
+          break;
+        default:
+          it->second = cdr::Any::from_longlong(*param.min);
+          break;
+      }
+      degraded = true;
+    }
+  }
+  if (degraded) {
+    const ResourceDemand degraded_demand = provider.resource_demand(counter);
+    bool fits = true;
+    for (const auto& [resource, amount] : degraded_demand) {
+      if (!resources_.is_declared(resource) ||
+          resources_.available(resource) < amount) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      return {AdmissionDecision::Kind::kCounter, std::move(counter), ""};
+    }
+  }
+  return {AdmissionDecision::Kind::kReject, {}, "insufficient resources"};
+}
+
+void NegotiationService::apply_server_binding(Agreement& agreement) {
+  const CharacteristicProvider& provider =
+      providers_.get(agreement.characteristic);
+  orb::Orb& orb = transport_.orb();
+  std::shared_ptr<orb::Servant> servant =
+      orb.adapter().find(agreement.object_key);
+  if (!servant) {
+    throw NegotiationFailed("negotiation: no such object '" +
+                            agreement.object_key + "'");
+  }
+  auto* qos_servant = dynamic_cast<QosServantBase*>(servant.get());
+  if (qos_servant == nullptr) {
+    throw NegotiationFailed("negotiation: object '" + agreement.object_key +
+                            "' is not QoS-enabled");
+  }
+  if (!qos_servant->is_assigned(agreement.characteristic)) {
+    throw NegotiationFailed("negotiation: characteristic '" +
+                            agreement.characteristic +
+                            "' is not assigned to interface of '" +
+                            agreement.object_key + "'");
+  }
+  if (provider.module.empty() == false) {
+    transport_.load_module(provider.module);
+  }
+  if (provider.make_impl) {
+    std::shared_ptr<QosImpl> impl =
+        provider.make_impl(agreement, orb, transport_);
+    impl->bind_agreement(agreement);
+    // Per-characteristic delegate exchange: other negotiated
+    // characteristics on the same object keep their delegates.
+    qos_servant->install_impl(std::move(impl));
+  }
+}
+
+cdr::Any NegotiationService::handle_negotiate(
+    const std::vector<cdr::Any>& args, const net::Address& from) {
+  const std::string characteristic = arg_string(args, 0);
+  const std::string object_key = arg_string(args, 1);
+  const CharacteristicProvider* provider = providers_.find(characteristic);
+  if (provider == nullptr) {
+    return result_any(false, 0, "unknown characteristic", {});
+  }
+  std::map<std::string, cdr::Any> params;
+  try {
+    params = provider->descriptor.validate_params(decode_params(args, 2));
+  } catch (const QosError& e) {
+    return result_any(false, 0, e.what(), {});
+  }
+
+  AdmissionDecision decision = admit(*provider, params);
+  switch (decision.kind) {
+    case AdmissionDecision::Kind::kReject:
+      return result_any(false, 0,
+                        decision.reason.empty() ? "rejected"
+                                                : decision.reason,
+                        {});
+    case AdmissionDecision::Kind::kCounter:
+      return result_any(false, 0, "counter", decision.counter_params);
+    case AdmissionDecision::Kind::kAccept:
+      break;
+  }
+
+  Agreement draft;
+  draft.characteristic = characteristic;
+  draft.object_key = object_key;
+  draft.client = from.to_string();
+  draft.params = params;
+  draft.state = AgreementState::kActive;
+  Agreement& agreement = agreements_.create(std::move(draft));
+  try {
+    apply_server_binding(agreement);
+  } catch (const Error& e) {
+    if (provider->resource_demand) {
+      resources_.release(provider->resource_demand(params));
+    }
+    agreements_.terminate(agreement.id);
+    return result_any(false, 0, e.what(), {});
+  }
+  client_endpoints_[agreement.id] = from;
+  if (provider->resource_demand) {
+    reservations_[agreement.id] = provider->resource_demand(params);
+  }
+  MAQS_INFO() << "negotiated agreement " << agreement.id << " ("
+              << characteristic << ") for " << object_key;
+  return result_any(true, agreement.id, "", agreement.params);
+}
+
+cdr::Any NegotiationService::handle_renegotiate(
+    const std::vector<cdr::Any>& args) {
+  const std::uint64_t id = static_cast<std::uint64_t>(arg_int(args, 0));
+  Agreement* agreement = agreements_.find(id);
+  if (agreement == nullptr ||
+      agreement->state == AgreementState::kTerminated) {
+    return result_any(false, id, "unknown agreement", {});
+  }
+  const CharacteristicProvider& provider =
+      providers_.get(agreement->characteristic);
+  std::map<std::string, cdr::Any> params;
+  try {
+    params = provider.descriptor.validate_params(decode_params(args, 1));
+  } catch (const QosError& e) {
+    return result_any(false, id, e.what(), {});
+  }
+
+  // Swap the reservation: release the old demand, admit the new one.
+  const auto old_reservation = reservations_.find(id);
+  if (old_reservation != reservations_.end()) {
+    resources_.release(old_reservation->second);
+  }
+  AdmissionDecision decision = admit(provider, params);
+  if (decision.kind != AdmissionDecision::Kind::kAccept) {
+    // Restore the previous reservation; the old level keeps running
+    // (unless this renegotiation was violation-driven, in which case the
+    // client will try again or terminate).
+    if (old_reservation != reservations_.end()) {
+      resources_.try_reserve(old_reservation->second);
+    }
+    return result_any(false, id,
+                      decision.kind == AdmissionDecision::Kind::kCounter
+                          ? "counter"
+                          : decision.reason,
+                      decision.counter_params);
+  }
+  agreement->params = params;
+  agreement->state = AgreementState::kActive;
+  if (provider.resource_demand) {
+    reservations_[id] = provider.resource_demand(params);
+  }
+  // Rebind the server-side implementation at the new level.
+  if (auto servant = transport_.orb().adapter().find(agreement->object_key)) {
+    if (auto* qos_servant = dynamic_cast<QosServantBase*>(servant.get())) {
+      if (auto impl = qos_servant->impl_for(agreement->characteristic)) {
+        impl->bind_agreement(*agreement);
+      }
+    }
+  }
+  return result_any(true, id, "", agreement->params);
+}
+
+cdr::Any NegotiationService::handle_terminate(
+    const std::vector<cdr::Any>& args) {
+  const std::uint64_t id = static_cast<std::uint64_t>(arg_int(args, 0));
+  Agreement* agreement = agreements_.find(id);
+  if (agreement == nullptr ||
+      agreement->state == AgreementState::kTerminated) {
+    return cdr::Any::make_void();
+  }
+  auto reservation = reservations_.find(id);
+  if (reservation != reservations_.end()) {
+    resources_.release(reservation->second);
+    reservations_.erase(reservation);
+  }
+  // Remove the server-side delegate if it belongs to this agreement.
+  if (auto servant = transport_.orb().adapter().find(agreement->object_key)) {
+    if (auto* qos_servant = dynamic_cast<QosServantBase*>(servant.get())) {
+      auto impl = qos_servant->impl_for(agreement->characteristic);
+      if (impl && impl->agreement().id == id) {
+        qos_servant->remove_impl(agreement->characteristic);
+      }
+    }
+  }
+  client_endpoints_.erase(id);
+  agreements_.terminate(id);
+  return cdr::Any::make_void();
+}
+
+void NegotiationService::notify_violation(std::uint64_t agreement_id,
+                                          const std::string& reason) {
+  Agreement* agreement = agreements_.find(agreement_id);
+  if (agreement == nullptr) {
+    throw QosError("negotiation: violation on unknown agreement " +
+                   std::to_string(agreement_id));
+  }
+  agreement->state = AgreementState::kViolated;
+  auto endpoint = client_endpoints_.find(agreement_id);
+  if (endpoint == client_endpoints_.end()) return;
+
+  // Push asynchronously over the middleware: a command addressed to the
+  // client transport's adaptation handler (QoS-to-QoS, §3.2).
+  orb::RequestMessage cmd;
+  cmd.kind = orb::RequestKind::kCommand;
+  cmd.qos_aware = true;
+  cmd.target_module = AdaptationManager::command_target();
+  cmd.operation = "violation";
+  cmd.body = orb::encode_command_args(
+      {cdr::Any::from_longlong(static_cast<std::int64_t>(agreement_id)),
+       cdr::Any::from_string(agreement->characteristic),
+       cdr::Any::from_string(reason)});
+  transport_.orb().send_request(endpoint->second, std::move(cmd),
+                                [](const orb::ReplyMessage&) {});
+}
+
+std::vector<std::uint64_t> NegotiationService::shed_overload(
+    const std::string& resource) {
+  std::vector<std::uint64_t> violated;
+  while (resources_.is_declared(resource) &&
+         resources_.reserved(resource) > resources_.capacity(resource)) {
+    // Newest agreement holding this resource loses first.
+    std::uint64_t victim = 0;
+    for (const auto& [id, demand] : reservations_) {
+      auto it = demand.find(resource);
+      if (it == demand.end() || it->second <= 0) continue;
+      const Agreement* agreement = agreements_.find(id);
+      if (agreement == nullptr ||
+          agreement->state != AgreementState::kActive) {
+        continue;
+      }
+      victim = std::max(victim, id);
+    }
+    if (victim == 0) break;
+    resources_.release(reservations_[victim]);
+    reservations_.erase(victim);
+    notify_violation(victim, "resource overload: " + resource);
+    violated.push_back(victim);
+  }
+  return violated;
+}
+
+// ---- ClientPreferences ----
+
+bool ClientPreferences::acceptable(
+    const std::map<std::string, cdr::Any>& params) const {
+  for (const auto& [name, bound] : bounds) {
+    auto it = params.find(name);
+    if (it == params.end()) continue;
+    const std::int64_t v = it->second.as_integer();
+    if (bound.min.has_value() && v < *bound.min) return false;
+    if (bound.max.has_value() && v > *bound.max) return false;
+  }
+  return true;
+}
+
+// ---- Negotiator ----
+
+Negotiator::Negotiator(QosTransport& transport,
+                       const ProviderRegistry& providers)
+    : transport_(transport), providers_(providers) {}
+
+namespace {
+struct NegotiationResult {
+  std::string kind;  // "accepted" | "counter" | reject reason
+  std::uint64_t agreement_id = 0;
+  std::map<std::string, cdr::Any> params;
+};
+
+NegotiationResult parse_result(const cdr::Any& any) {
+  const std::vector<cdr::Any>& items = any.as_elements();
+  if (items.size() < 2) throw QosError("negotiation: malformed result");
+  NegotiationResult result;
+  result.kind = items[0].as_string();
+  result.agreement_id =
+      static_cast<std::uint64_t>(items[1].as_longlong());
+  result.params = decode_params(items, 2);
+  return result;
+}
+}  // namespace
+
+Agreement Negotiator::negotiate(orb::StubBase& stub,
+                                const std::string& characteristic,
+                                const std::map<std::string, cdr::Any>& params,
+                                const ClientPreferences* prefs) {
+  const orb::ObjRef& ref = stub.ref();
+  std::vector<cdr::Any> args{cdr::Any::from_string(characteristic),
+                             cdr::Any::from_string(ref.object_key)};
+  for (cdr::Any& any : encode_params(params)) args.push_back(std::move(any));
+
+  NegotiationResult result = parse_result(
+      orb::send_command(stub.orb(), ref.endpoint,
+                        NegotiationService::command_target(), "negotiate",
+                        args));
+
+  if (result.kind == "counter") {
+    if (prefs != nullptr && !prefs->acceptable(result.params)) {
+      throw NegotiationFailed(
+          "negotiation: counter-offer outside client preferences for " +
+          characteristic);
+    }
+    // Confirmation round at the server's counter level.
+    std::vector<cdr::Any> confirm{cdr::Any::from_string(characteristic),
+                                  cdr::Any::from_string(ref.object_key)};
+    for (cdr::Any& any : encode_params(result.params)) {
+      confirm.push_back(std::move(any));
+    }
+    result = parse_result(
+        orb::send_command(stub.orb(), ref.endpoint,
+                          NegotiationService::command_target(), "negotiate",
+                          confirm));
+  }
+  if (result.kind != "accepted") {
+    throw NegotiationFailed("negotiation rejected for " + characteristic +
+                            ": " + result.kind);
+  }
+
+  Agreement agreement;
+  agreement.id = result.agreement_id;
+  agreement.characteristic = characteristic;
+  agreement.object_key = ref.object_key;
+  agreement.client = stub.orb().endpoint().to_string();
+  agreement.params = std::move(result.params);
+  agreement.state = AgreementState::kActive;
+  apply_client_binding(stub, agreement);
+  return agreement;
+}
+
+Agreement Negotiator::renegotiate(
+    orb::StubBase& stub, const Agreement& agreement,
+    const std::map<std::string, cdr::Any>& params) {
+  std::vector<cdr::Any> args{
+      cdr::Any::from_longlong(static_cast<std::int64_t>(agreement.id))};
+  for (cdr::Any& any : encode_params(params)) args.push_back(std::move(any));
+  NegotiationResult result = parse_result(orb::send_command(
+      stub.orb(), stub.ref().endpoint, NegotiationService::command_target(),
+      "renegotiate", args));
+  if (result.kind != "accepted") {
+    throw NegotiationFailed("renegotiation rejected for agreement " +
+                            std::to_string(agreement.id) + ": " +
+                            result.kind);
+  }
+  Agreement updated = agreement;
+  updated.params = std::move(result.params);
+  updated.state = AgreementState::kActive;
+  // Rebind the installed mediator at the new level.
+  if (auto composite =
+          std::dynamic_pointer_cast<CompositeMediator>(stub.mediator())) {
+    if (auto mediator = composite->find(agreement.characteristic)) {
+      mediator->bind_agreement(updated);
+    }
+  }
+  return updated;
+}
+
+void Negotiator::terminate(orb::StubBase& stub, const Agreement& agreement) {
+  orb::send_command(
+      stub.orb(), stub.ref().endpoint, NegotiationService::command_target(),
+      "terminate",
+      {cdr::Any::from_longlong(static_cast<std::int64_t>(agreement.id))});
+  if (auto composite =
+          std::dynamic_pointer_cast<CompositeMediator>(stub.mediator())) {
+    composite->remove(agreement.characteristic);
+  }
+  const CharacteristicProvider* provider =
+      providers_.find(agreement.characteristic);
+  if (provider != nullptr && !provider->module.empty()) {
+    transport_.unassign(agreement.object_key);
+  }
+}
+
+void Negotiator::apply_client_binding(orb::StubBase& stub,
+                                      const Agreement& agreement) {
+  const CharacteristicProvider& provider =
+      providers_.get(agreement.characteristic);
+  if (provider.make_mediator) {
+    std::shared_ptr<Mediator> mediator =
+        provider.make_mediator(agreement, stub.orb(), transport_);
+    mediator->bind_agreement(agreement);
+    std::shared_ptr<CompositeMediator> composite =
+        std::dynamic_pointer_cast<CompositeMediator>(stub.mediator());
+    if (!composite) {
+      if (stub.mediator()) {
+        throw QosError(
+            "negotiator: stub already carries a non-composite mediator");
+      }
+      composite = std::make_shared<CompositeMediator>();
+      stub.set_mediator(composite);
+    }
+    composite->remove(agreement.characteristic);
+    composite->add(std::move(mediator));
+  }
+  if (!provider.module.empty()) {
+    transport_.assign(agreement.object_key, provider.module);
+  }
+  if (provider.client_setup) {
+    provider.client_setup(agreement, stub.ref(), stub.orb(), transport_);
+  }
+}
+
+}  // namespace maqs::core

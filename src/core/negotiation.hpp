@@ -1,0 +1,159 @@
+// QoS negotiation.
+//
+// "There is no system wide view on the QoS capability of a system but
+// each QoS agreement has to be negotiated independently" (§3). The
+// protocol runs as commands over the plain GIOP/IIOP path — exactly the
+// bootstrap story of Fig. 3, where a QoS-aware relationship without an
+// assigned module falls back to the plain module: "This allows initial
+// negotiation of a QoS agreement between client and service".
+//
+// Protocol (command target "maqs.negotiator" on the server transport):
+//   negotiate(characteristic, object_key, params)
+//       -> accepted? agreement_id, final/counter params, message
+//   renegotiate(agreement_id, params)      -> same result shape
+//   terminate(agreement_id)                -> void
+//
+// Admission on the server is pluggable; the default reserves the
+// provider's declared resource demand against the ResourceManager and
+// counter-offers by degrading integral params toward their minimum when
+// the demand does not fit.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/contract.hpp"
+#include "core/provider.hpp"
+#include "core/qos_transport.hpp"
+#include "orb/stub.hpp"
+
+namespace maqs::core {
+
+/// Raised on rejected or failed negotiations.
+class NegotiationFailed : public QosError {
+ public:
+  using QosError::QosError;
+};
+
+/// Parameter <-> Any-sequence marshaling shared by both sides.
+std::vector<cdr::Any> encode_params(
+    const std::map<std::string, cdr::Any>& params);
+std::map<std::string, cdr::Any> decode_params(
+    const std::vector<cdr::Any>& anys, std::size_t offset);
+
+/// Admission decision.
+struct AdmissionDecision {
+  enum class Kind { kAccept, kCounter, kReject } kind = Kind::kAccept;
+  /// kCounter: the server's counter-proposal.
+  std::map<std::string, cdr::Any> counter_params;
+  std::string reason;
+};
+
+/// Pluggable admission policy: characteristic + validated params ->
+/// decision. The default (nullptr) uses resource-demand admission.
+using AdmissionPolicy = std::function<AdmissionDecision(
+    const CharacteristicProvider&, const std::map<std::string, cdr::Any>&,
+    ResourceManager&)>;
+
+/// Server half. One instance per server ORB/transport.
+class NegotiationService {
+ public:
+  static const std::string& command_target();  // "maqs.negotiator"
+
+  NegotiationService(QosTransport& transport, const ProviderRegistry& providers,
+                     ResourceManager& resources);
+  ~NegotiationService();
+
+  AgreementRepository& agreements() noexcept { return agreements_; }
+  ResourceManager& resources() noexcept { return resources_; }
+
+  void set_admission_policy(AdmissionPolicy policy) {
+    policy_ = std::move(policy);
+  }
+
+  /// Marks the agreement violated and pushes a violation notification to
+  /// the client's adaptation handler (QoS-to-QoS over the middleware).
+  void notify_violation(std::uint64_t agreement_id, const std::string& reason);
+
+  /// Resolves a resource overload (capacity dropped below reservations):
+  /// newest agreements demanding the resource are violated first until
+  /// reservations fit. Returns the violated agreement ids.
+  std::vector<std::uint64_t> shed_overload(const std::string& resource);
+
+ private:
+  cdr::Any handle_command(const std::string& op,
+                          const std::vector<cdr::Any>& args,
+                          const net::Address& from);
+  cdr::Any handle_negotiate(const std::vector<cdr::Any>& args,
+                            const net::Address& from);
+  cdr::Any handle_renegotiate(const std::vector<cdr::Any>& args);
+  cdr::Any handle_terminate(const std::vector<cdr::Any>& args);
+
+  AdmissionDecision admit(const CharacteristicProvider& provider,
+                          const std::map<std::string, cdr::Any>& params);
+  /// Applies the server-side binding for an accepted agreement: QoS impl
+  /// delegate into the servant, module load.
+  void apply_server_binding(Agreement& agreement);
+
+  cdr::Any result_any(bool accepted, std::uint64_t agreement_id,
+                      const std::string& message,
+                      const std::map<std::string, cdr::Any>& params);
+
+  QosTransport& transport_;
+  const ProviderRegistry& providers_;
+  ResourceManager& resources_;
+  AgreementRepository agreements_;
+  AdmissionPolicy policy_;
+  /// agreement id -> client adaptation endpoint (push channel) and the
+  /// demand reserved for it.
+  std::map<std::uint64_t, net::Address> client_endpoints_;
+  std::map<std::uint64_t, ResourceDemand> reservations_;
+};
+
+/// Client preferences (outlook §6: "client preferences have to be
+/// incorporated in the negotiation process"). Bounds per integral param;
+/// a counter-offer outside any bound is refused.
+struct ClientPreferences {
+  struct Bound {
+    std::optional<std::int64_t> min;
+    std::optional<std::int64_t> max;
+  };
+  std::map<std::string, Bound> bounds;
+
+  bool acceptable(const std::map<std::string, cdr::Any>& params) const;
+};
+
+/// Client half: drives the protocol and applies the client-side binding
+/// (mediator into the stub, module assignment, setup handshakes).
+class Negotiator {
+ public:
+  Negotiator(QosTransport& transport, const ProviderRegistry& providers);
+
+  /// Negotiates `characteristic` for the stub's object and installs the
+  /// woven client side on success. A server counter-offer is accepted iff
+  /// it satisfies `prefs` (when given), confirming it with a second
+  /// round. Throws NegotiationFailed otherwise.
+  Agreement negotiate(orb::StubBase& stub, const std::string& characteristic,
+                      const std::map<std::string, cdr::Any>& params,
+                      const ClientPreferences* prefs = nullptr);
+
+  /// Renegotiates an existing agreement to new parameters, rebinding the
+  /// installed mediator on success.
+  Agreement renegotiate(orb::StubBase& stub, const Agreement& agreement,
+                        const std::map<std::string, cdr::Any>& params);
+
+  /// Terminates the agreement and removes the client-side weaving.
+  void terminate(orb::StubBase& stub, const Agreement& agreement);
+
+ private:
+  /// Installs mediator/module for an accepted agreement.
+  void apply_client_binding(orb::StubBase& stub, const Agreement& agreement);
+
+  QosTransport& transport_;
+  const ProviderRegistry& providers_;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,42 @@
+#include "core/preference.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace maqs::core {
+
+void PreferenceHierarchy::add(ContractProposal proposal) {
+  levels_.push_back(std::move(proposal));
+  std::stable_sort(levels_.begin(), levels_.end(),
+                   [](const ContractProposal& a, const ContractProposal& b) {
+                     return a.utility > b.utility;
+                   });
+}
+
+PreferredAgreement negotiate_preferred(Negotiator& negotiator,
+                                       orb::StubBase& stub,
+                                       const std::string& characteristic,
+                                       const PreferenceHierarchy& hierarchy) {
+  if (hierarchy.empty()) {
+    throw NegotiationFailed("preference hierarchy is empty");
+  }
+  std::string last_error;
+  for (const ContractProposal& level : hierarchy.levels()) {
+    try {
+      Agreement agreement = negotiator.negotiate(
+          stub, characteristic, level.params, &level.bounds);
+      return PreferredAgreement{std::move(agreement), level.utility,
+                                level.label};
+    } catch (const NegotiationFailed& e) {
+      last_error = e.what();
+      MAQS_DEBUG() << "preference level '" << level.label
+                   << "' not admitted: " << e.what();
+    }
+  }
+  throw NegotiationFailed(
+      "no level of the preference hierarchy was admitted (last: " +
+      last_error + ")");
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,61 @@
+// Client QoS preferences as a hierarchy of contract proposals.
+//
+// Outlook §6: "There is no system wide shared view on QoS levels
+// especially when the price is embraced. Therefore, client preferences
+// have to be incorporated in the negotiation process." (The companion
+// paper [5] represents preferences "by hierarchies of contracts".)
+//
+// A PreferenceHierarchy is an ordered list of contract proposals — most
+// preferred first — each with parameter values, hard bounds, and a
+// utility score. negotiate_preferred() walks the hierarchy: it proposes
+// each level in turn, accepts counter-offers only when they satisfy the
+// level's bounds, and returns the first agreement reached together with
+// its utility. This turns the server's take-it-or-counter admission into
+// a genuine two-sided negotiation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/negotiation.hpp"
+
+namespace maqs::core {
+
+/// One level of the hierarchy: a concrete proposal plus acceptance
+/// bounds and the utility the client assigns to getting it.
+struct ContractProposal {
+  std::map<std::string, cdr::Any> params;
+  ClientPreferences bounds;  // counter-offers outside these are refused
+  double utility = 1.0;
+  std::string label;  // for diagnostics ("gold", "silver", ...)
+};
+
+class PreferenceHierarchy {
+ public:
+  /// Adds a level; levels are tried in decreasing utility order.
+  void add(ContractProposal proposal);
+
+  const std::vector<ContractProposal>& levels() const noexcept {
+    return levels_;
+  }
+  bool empty() const noexcept { return levels_.empty(); }
+
+ private:
+  std::vector<ContractProposal> levels_;
+};
+
+struct PreferredAgreement {
+  Agreement agreement;
+  double utility = 0;
+  std::string label;
+};
+
+/// Walks the hierarchy against the server. Returns the first level the
+/// server admits (possibly via an in-bounds counter-offer). Throws
+/// NegotiationFailed when no level is acceptable to both sides.
+PreferredAgreement negotiate_preferred(Negotiator& negotiator,
+                                       orb::StubBase& stub,
+                                       const std::string& characteristic,
+                                       const PreferenceHierarchy& hierarchy);
+
+}  // namespace maqs::core

@@ -1,0 +1,41 @@
+#include "core/provider.hpp"
+
+namespace maqs::core {
+
+void ProviderRegistry::add(CharacteristicProvider provider) {
+  const std::string name = provider.descriptor.name();
+  auto [_, inserted] = providers_.emplace(name, std::move(provider));
+  if (!inserted) {
+    throw QosError("provider registry: duplicate provider '" + name + "'");
+  }
+}
+
+bool ProviderRegistry::contains(const std::string& characteristic) const {
+  return providers_.contains(characteristic);
+}
+
+const CharacteristicProvider& ProviderRegistry::get(
+    const std::string& characteristic) const {
+  auto it = providers_.find(characteristic);
+  if (it == providers_.end()) {
+    throw QosError("provider registry: unknown characteristic '" +
+                   characteristic + "'");
+  }
+  return it->second;
+}
+
+const CharacteristicProvider* ProviderRegistry::find(
+    const std::string& characteristic) const {
+  auto it = providers_.find(characteristic);
+  return it != providers_.end() ? &it->second : nullptr;
+}
+
+CharacteristicCatalog ProviderRegistry::catalog() const {
+  CharacteristicCatalog catalog;
+  for (const auto& [_, provider] : providers_) {
+    catalog.add(provider.descriptor);
+  }
+  return catalog;
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,73 @@
+// Characteristic providers: the implementation catalog.
+//
+// The paper's outlook proposes documenting QoS implementations in "a
+// catalog similar to those for design patterns". ProviderRegistry is that
+// catalog made executable: for each characteristic it bundles the QIDL
+// descriptor with the factories that produce the client-side mediator and
+// the server-side QoS implementation, the transport module the mechanism
+// relies on (if any — the two-layer hierarchy of §4), an optional
+// client-side setup step (module handshakes such as key exchange or group
+// join), and the resource-demand function used by admission control.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/characteristic.hpp"
+#include "core/contract.hpp"
+#include "core/mediator.hpp"
+#include "core/qos_skeleton.hpp"
+#include "core/qos_transport.hpp"
+#include "core/resource.hpp"
+
+namespace maqs::core {
+
+struct CharacteristicProvider {
+  CharacteristicDescriptor descriptor;
+
+  /// Client side: builds the mediator for a fresh agreement. May be null
+  /// for server-only mechanisms.
+  std::function<std::shared_ptr<Mediator>(const Agreement&, orb::Orb&,
+                                          QosTransport&)>
+      make_mediator;
+
+  /// Server side: builds the QoS implementation delegate. May be null for
+  /// client-only mechanisms (e.g. pure caching).
+  std::function<std::shared_ptr<QosImpl>(const Agreement&, orb::Orb&,
+                                         QosTransport&)>
+      make_impl;
+
+  /// Transport module this characteristic reuses ("" = application layer
+  /// only). The client transport assigns it to the object on agreement.
+  std::string module;
+
+  /// Optional client-side post-agreement setup (QoS-to-QoS bootstrap:
+  /// key exchange, group discovery, ...).
+  std::function<void(const Agreement&, const orb::ObjRef& target, orb::Orb&,
+                     QosTransport&)>
+      client_setup;
+
+  /// Resource demand of an agreement at given parameters (admission).
+  std::function<ResourceDemand(const std::map<std::string, cdr::Any>&)>
+      resource_demand;
+};
+
+class ProviderRegistry {
+ public:
+  /// Throws QosError on duplicate characteristic names.
+  void add(CharacteristicProvider provider);
+  bool contains(const std::string& characteristic) const;
+  const CharacteristicProvider& get(const std::string& characteristic) const;
+  const CharacteristicProvider* find(
+      const std::string& characteristic) const;
+
+  /// Descriptor view as a catalog.
+  CharacteristicCatalog catalog() const;
+
+ private:
+  std::map<std::string, CharacteristicProvider> providers_;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,145 @@
+#include "core/qos_skeleton.hpp"
+
+namespace maqs::core {
+
+StateAccess* QosServerContext::state_access() {
+  return host_.state_access();
+}
+
+void QosServantBase::assign_characteristic(
+    const CharacteristicDescriptor& descriptor) {
+  if (assigned_.contains(descriptor.name())) {
+    throw QosError("qos skeleton: characteristic '" + descriptor.name() +
+                   "' already assigned");
+  }
+  // QoS operation names must be unambiguous across assigned
+  // characteristics: the dispatch has to attribute each op to exactly one
+  // owner (this mirrors the paper's conflict avoidance, §3.2). Validate
+  // against a copy so a rejected assignment leaves earlier ones intact.
+  std::map<std::string, std::string> updated = qos_ops_;
+  for (const QosOpDesc& op : descriptor.operations()) {
+    auto [it, inserted] = updated.emplace(op.name, descriptor.name());
+    if (!inserted) {
+      throw QosError("qos skeleton: QoS operation '" + op.name +
+                     "' clashes between '" + it->second + "' and '" +
+                     descriptor.name() + "'");
+    }
+  }
+  qos_ops_ = std::move(updated);
+  assigned_.emplace(descriptor.name(), descriptor);
+}
+
+bool QosServantBase::is_assigned(const std::string& characteristic) const {
+  return assigned_.contains(characteristic);
+}
+
+std::vector<std::string> QosServantBase::assigned_characteristics() const {
+  std::vector<std::string> out;
+  out.reserve(assigned_.size());
+  for (const auto& [name, _] : assigned_) out.push_back(name);
+  return out;
+}
+
+void QosServantBase::install_impl(std::shared_ptr<QosImpl> impl) {
+  if (!impl) throw QosError("qos skeleton: install_impl(nullptr)");
+  if (!assigned_.contains(impl->characteristic())) {
+    throw QosError("qos skeleton: characteristic '" +
+                   impl->characteristic() + "' is not assigned");
+  }
+  remove_impl(impl->characteristic());
+  if (!impl_ctx_) impl_ctx_ = std::make_unique<QosServerContext>(*this);
+  impl->attach(*impl_ctx_);
+  impls_.push_back(std::move(impl));
+}
+
+void QosServantBase::remove_impl(const std::string& characteristic) {
+  for (auto it = impls_.begin(); it != impls_.end(); ++it) {
+    if ((*it)->characteristic() == characteristic) {
+      (*it)->detach();
+      impls_.erase(it);
+      return;
+    }
+  }
+}
+
+void QosServantBase::clear_impls() {
+  for (auto& impl : impls_) impl->detach();
+  impls_.clear();
+}
+
+void QosServantBase::set_active_impl(std::shared_ptr<QosImpl> impl) {
+  clear_impls();
+  if (impl) install_impl(std::move(impl));
+}
+
+const std::shared_ptr<QosImpl>& QosServantBase::active_impl() const {
+  static const std::shared_ptr<QosImpl> kNone;
+  return impls_.empty() ? kNone : impls_.back();
+}
+
+std::shared_ptr<QosImpl> QosServantBase::impl_for(
+    const std::string& characteristic) const {
+  for (const auto& impl : impls_) {
+    if (impl->characteristic() == characteristic) return impl;
+  }
+  return nullptr;
+}
+
+void QosServantBase::dispatch(const std::string& operation,
+                              cdr::Decoder& args, cdr::Encoder& out,
+                              orb::ServerContext& ctx) {
+  // QoS operation? Only negotiated characteristics' are processed; the
+  // rest of the assigned set raises the exception (Fig. 2).
+  auto it = qos_ops_.find(operation);
+  if (it != qos_ops_.end()) {
+    if (std::shared_ptr<QosImpl> owner = impl_for(it->second)) {
+      owner->dispatch_qos_op(operation, args, out, ctx);
+      return;
+    }
+    throw orb::NotNegotiated("qos skeleton: operation '" + operation +
+                             "' belongs to characteristic '" + it->second +
+                             "', which is not negotiated");
+  }
+  // Application operation: prolog* / transform* / app / transform* /
+  // epilog*. Argument transforms run in reverse installation order (the
+  // client's mediator chain applied them in installation order, so the
+  // last one is outermost on the wire); result transforms run in
+  // installation order so the client chain can peel them back.
+  if (impls_.empty()) {
+    dispatch_app(operation, args, out, ctx);
+    return;
+  }
+  for (const auto& impl : impls_) impl->prolog(ctx);
+  util::Bytes raw_args = args.read_remaining();
+  for (auto rit = impls_.rbegin(); rit != impls_.rend(); ++rit) {
+    raw_args = (*rit)->transform_args(std::move(raw_args), ctx);
+  }
+  cdr::Decoder transformed_args{util::BytesView(raw_args)};
+  cdr::Encoder app_out;
+  dispatch_app(operation, transformed_args, app_out, ctx);
+  util::Bytes result = app_out.take();
+  for (const auto& impl : impls_) {
+    result = impl->transform_result(std::move(result), ctx);
+  }
+  out.write_raw(result);
+  for (auto rit = impls_.rbegin(); rit != impls_.rend(); ++rit) {
+    (*rit)->epilog(ctx);
+  }
+}
+
+WovenServant::WovenServant(std::shared_ptr<orb::Servant> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw QosError("woven servant: null inner servant");
+}
+
+StateAccess* WovenServant::state_access() {
+  return dynamic_cast<StateAccess*>(inner_.get());
+}
+
+void WovenServant::dispatch_app(const std::string& operation,
+                                cdr::Decoder& args, cdr::Encoder& out,
+                                orb::ServerContext& ctx) {
+  inner_->dispatch(operation, args, out, ctx);
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,109 @@
+// The QoS transport: Fig. 3's dispatch inside the ORB.
+//
+//                  +-- no QoS?  ------------------> GIOP/IIOP (plain path)
+//   invocation --->|
+//                  +-- QoS-aware request ---+-- module assigned --> module
+//                  |                        +-- none ------------> plain
+//                  +-- command --+-- target_module == "" --> transport cmd
+//                                +-- named module ---------> module cmd
+//
+// The transport also owns module administration ("administrates all QoS
+// transport modules"): loading on request through the factory registry,
+// per-relationship module assignment, and the command channel that makes
+// up the reflection mechanism the paper describes ("a simple reflection
+// mechanism allows the extension of the ORB at runtime").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/module.hpp"
+#include "orb/orb.hpp"
+
+namespace maqs::core {
+
+/// Dispatch counters backing bench_f3_dispatch.
+struct TransportStats {
+  std::uint64_t requests_via_module = 0;
+  std::uint64_t requests_fallback_plain = 0;
+  std::uint64_t commands_to_transport = 0;
+  std::uint64_t commands_to_module = 0;
+  std::uint64_t inbound_module_transforms = 0;
+  std::uint64_t modules_loaded = 0;
+};
+
+class QosTransport final : public orb::RequestRouter {
+ public:
+  /// Installs itself as the ORB's router and registers the transport's
+  /// static pseudo-object ("maqs/qos-transport") in the object adapter so
+  /// it is reachable "like any other object".
+  explicit QosTransport(orb::Orb& orb);
+  ~QosTransport() override;
+  QosTransport(const QosTransport&) = delete;
+  QosTransport& operator=(const QosTransport&) = delete;
+
+  orb::Orb& orb() noexcept { return orb_; }
+  const TransportStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = TransportStats{}; }
+
+  /// Reserved object key of the transport pseudo-object.
+  static const std::string& pseudo_object_key();
+
+  // ---- module administration ----
+
+  /// Loads (instantiates + starts) a module; idempotent. Throws QosError
+  /// when no factory is registered under `name`.
+  QosModule& load_module(const std::string& name);
+  /// Stops and discards the module; assignments to it are removed.
+  void unload_module(const std::string& name);
+  QosModule* find_module(const std::string& name);
+  bool is_loaded(const std::string& name) const;
+  std::vector<std::string> loaded_modules() const;
+
+  // ---- module assignment (client/server relationship -> module) ----
+
+  /// Routes future requests for `object_key` (on any server) through the
+  /// module, loading it on demand.
+  void assign(const std::string& object_key, const std::string& module);
+  void unassign(const std::string& object_key);
+  std::optional<std::string> assignment(const std::string& object_key) const;
+
+  // ---- orb::RequestRouter (Fig. 3) ----
+  orb::ReplyMessage route(const orb::ObjRef& target,
+                          orb::RequestMessage req) override;
+  std::optional<orb::ReplyMessage> inbound(
+      orb::RequestMessage& req, const net::Address& from) override;
+  void outbound(const orb::RequestMessage& req,
+                orb::ReplyMessage& rep) override;
+
+  /// The transport's own dynamic interface (commands with empty
+  /// target_module): load_module, unload_module, list_modules, assign,
+  /// unassign, ping.
+  cdr::Any transport_command(const std::string& op,
+                             const std::vector<cdr::Any>& args);
+
+  /// Hook for negotiation/commands addressed to "maqs.negotiator": the
+  /// negotiation service registers itself here (keeps core decoupled).
+  using CommandHandler = std::function<cdr::Any(
+      const std::string& op, const std::vector<cdr::Any>& args,
+      const net::Address& from)>;
+  void set_command_handler(const std::string& target, CommandHandler handler);
+
+ private:
+  orb::ReplyMessage command_reply(std::uint64_t request_id,
+                                  const cdr::Any& result);
+  orb::ReplyMessage command_error(std::uint64_t request_id,
+                                  const std::string& what);
+
+  orb::Orb& orb_;
+  ModuleContext context_;
+  std::map<std::string, std::unique_ptr<QosModule>> modules_;
+  std::map<std::string, std::string> assignments_;
+  std::map<std::string, CommandHandler> command_handlers_;
+  TransportStats stats_;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,83 @@
+#include "core/resource.hpp"
+
+namespace maqs::core {
+
+void ResourceManager::declare(const std::string& resource, double capacity) {
+  resources_[resource].capacity = capacity;
+}
+
+bool ResourceManager::is_declared(const std::string& resource) const {
+  return resources_.contains(resource);
+}
+
+const ResourceManager::Entry& ResourceManager::entry(
+    const std::string& resource) const {
+  auto it = resources_.find(resource);
+  if (it == resources_.end()) {
+    throw QosError("resource manager: unknown resource '" + resource + "'");
+  }
+  return it->second;
+}
+
+double ResourceManager::capacity(const std::string& resource) const {
+  return entry(resource).capacity;
+}
+
+double ResourceManager::reserved(const std::string& resource) const {
+  return entry(resource).reserved;
+}
+
+double ResourceManager::available(const std::string& resource) const {
+  const Entry& e = entry(resource);
+  return e.capacity - e.reserved;
+}
+
+bool ResourceManager::try_reserve(const ResourceDemand& demand) {
+  for (const auto& [resource, amount] : demand) {
+    const Entry& e = entry(resource);
+    if (e.reserved + amount > e.capacity) return false;
+  }
+  for (const auto& [resource, amount] : demand) {
+    resources_[resource].reserved += amount;
+  }
+  return true;
+}
+
+void ResourceManager::release(const ResourceDemand& demand) {
+  for (const auto& [resource, amount] : demand) {
+    auto it = resources_.find(resource);
+    if (it == resources_.end()) continue;
+    it->second.reserved -= amount;
+    if (it->second.reserved < 0) it->second.reserved = 0;
+  }
+}
+
+void ResourceManager::set_capacity(const std::string& resource,
+                                   double capacity) {
+  Entry& e = resources_[resource];
+  e.capacity = capacity;
+  for (const auto& listener : listeners_) {
+    listener(resource, e.capacity, e.reserved);
+  }
+}
+
+void ResourceManager::subscribe(ChangeListener listener) {
+  if (listener) listeners_.push_back(std::move(listener));
+}
+
+bool ResourceManager::overloaded() const {
+  for (const auto& [_, e] : resources_) {
+    if (e.reserved > e.capacity) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ResourceManager::overloaded_resources() const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : resources_) {
+    if (e.reserved > e.capacity) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace maqs::core

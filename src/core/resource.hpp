@@ -1,0 +1,63 @@
+// Resource availability model.
+//
+// "The possible level of a QoS characteristic depends on the resource
+// availability in the system" (§3, QoS adaptation). The ResourceManager
+// tracks named resources (bandwidth, cpu, replicas, ...) on the server
+// side; admission reserves against them, and capacity changes notify
+// listeners so agreements can be re-negotiated when availability drops.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characteristic.hpp"
+
+namespace maqs::core {
+
+/// Resource demand of one agreement: resource name -> amount.
+using ResourceDemand = std::map<std::string, double>;
+
+class ResourceManager {
+ public:
+  /// Listener: (resource, new capacity, currently reserved).
+  using ChangeListener =
+      std::function<void(const std::string&, double, double)>;
+
+  /// Declares (or re-declares) a resource with the given capacity.
+  void declare(const std::string& resource, double capacity);
+  bool is_declared(const std::string& resource) const;
+
+  double capacity(const std::string& resource) const;
+  double reserved(const std::string& resource) const;
+  double available(const std::string& resource) const;
+
+  /// Atomically reserves a demand bundle; false (and no change) if any
+  /// resource lacks headroom. Unknown resources are admission errors.
+  bool try_reserve(const ResourceDemand& demand);
+  /// Releases a previously reserved bundle (clamped at zero).
+  void release(const ResourceDemand& demand);
+
+  /// Changes capacity; listeners fire (capacity may now be below the
+  /// reserved total — the negotiation layer resolves the overload).
+  void set_capacity(const std::string& resource, double capacity);
+
+  void subscribe(ChangeListener listener);
+
+  /// True if reservations exceed capacity anywhere.
+  bool overloaded() const;
+  std::vector<std::string> overloaded_resources() const;
+
+ private:
+  struct Entry {
+    double capacity = 0;
+    double reserved = 0;
+  };
+  const Entry& entry(const std::string& resource) const;
+
+  std::map<std::string, Entry> resources_;
+  std::vector<ChangeListener> listeners_;
+};
+
+}  // namespace maqs::core

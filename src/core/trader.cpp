@@ -1,0 +1,192 @@
+#include "core/trader.hpp"
+
+#include "orb/stub.hpp"
+
+namespace maqs::core {
+
+std::uint64_t Trader::export_offer(Offer offer) {
+  if (offer.ref.is_nil()) {
+    throw QosError("trader: cannot export a nil reference");
+  }
+  if (offer.characteristics.empty()) {
+    for (const orb::QosProfile& profile : offer.ref.qos) {
+      offer.characteristics.push_back(profile.characteristic);
+    }
+  }
+  const std::uint64_t id = next_id_++;
+  offers_.emplace(id, std::move(offer));
+  return id;
+}
+
+void Trader::withdraw(std::uint64_t offer_id) {
+  offers_.erase(offer_id);
+}
+
+std::vector<Offer> Trader::query(const std::string& characteristic) const {
+  std::vector<Offer> out;
+  for (const auto& [_, offer] : offers_) {
+    for (const std::string& name : offer.characteristics) {
+      if (name == characteristic) {
+        out.push_back(offer);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Offer> Trader::query_interface(const std::string& repo_id) const {
+  std::vector<Offer> out;
+  for (const auto& [_, offer] : offers_) {
+    if (offer.ref.repo_id == repo_id) out.push_back(offer);
+  }
+  return out;
+}
+
+std::vector<Offer> Trader::query_category(
+    QosCategory category, const CharacteristicCatalog& catalog) const {
+  std::vector<Offer> out;
+  for (const auto& [_, offer] : offers_) {
+    for (const std::string& name : offer.characteristics) {
+      const CharacteristicDescriptor* descriptor = catalog.find(name);
+      if (descriptor != nullptr && descriptor->category() == category) {
+        out.push_back(offer);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---- servant ----
+
+const std::string& TraderServant::object_key() {
+  static const std::string kKey = "maqs/trader";
+  return kKey;
+}
+
+const std::string& TraderServant::repo_id() const {
+  static const std::string kId = "IDL:maqs/Trader:1.0";
+  return kId;
+}
+
+void TraderServant::dispatch(const std::string& operation,
+                             cdr::Decoder& args, cdr::Encoder& out,
+                             orb::ServerContext& ctx) {
+  (void)ctx;
+  if (operation == "export_offer") {
+    Offer offer;
+    offer.ref = orb::ObjRef::from_string(args.read_string());
+    const std::uint32_t n_chars = args.read_u32();
+    for (std::uint32_t i = 0; i < n_chars; ++i) {
+      offer.characteristics.push_back(args.read_string());
+    }
+    const std::uint32_t n_props = args.read_u32();
+    for (std::uint32_t i = 0; i < n_props; ++i) {
+      std::string key = args.read_string();
+      offer.properties[key] = args.read_string();
+    }
+    args.expect_end();
+    out.write_u64(trader_.export_offer(std::move(offer)));
+  } else if (operation == "withdraw") {
+    const std::uint64_t id = args.read_u64();
+    args.expect_end();
+    trader_.withdraw(id);
+  } else if (operation == "query" || operation == "query_interface") {
+    const std::string needle = args.read_string();
+    args.expect_end();
+    const std::vector<Offer> offers = operation == "query"
+                                          ? trader_.query(needle)
+                                          : trader_.query_interface(needle);
+    out.write_u32(static_cast<std::uint32_t>(offers.size()));
+    for (const Offer& offer : offers) {
+      out.write_string(offer.ref.to_string());
+    }
+  } else {
+    throw orb::BadOperation("Trader: unknown operation " + operation);
+  }
+}
+
+// ---- client helper ----
+
+orb::ObjRef TraderClient::trader_ref() const {
+  orb::ObjRef ref;
+  ref.repo_id = "IDL:maqs/Trader:1.0";
+  ref.endpoint = endpoint_;
+  ref.object_key = TraderServant::object_key();
+  return ref;
+}
+
+std::uint64_t TraderClient::export_offer(const Offer& offer) {
+  cdr::Encoder args;
+  args.write_string(offer.ref.to_string());
+  args.write_u32(static_cast<std::uint32_t>(offer.characteristics.size()));
+  for (const std::string& name : offer.characteristics) {
+    args.write_string(name);
+  }
+  args.write_u32(static_cast<std::uint32_t>(offer.properties.size()));
+  for (const auto& [key, value] : offer.properties) {
+    args.write_string(key);
+    args.write_string(value);
+  }
+  orb::RequestMessage req;
+  req.object_key = TraderServant::object_key();
+  req.operation = "export_offer";
+  req.body = args.take();
+  orb::ReplyMessage rep = orb_.invoke_plain(endpoint_, std::move(req));
+  orb::raise_for_status(rep);
+  cdr::Decoder dec(rep.body);
+  return dec.read_u64();
+}
+
+void TraderClient::withdraw(std::uint64_t offer_id) {
+  cdr::Encoder args;
+  args.write_u64(offer_id);
+  orb::RequestMessage req;
+  req.object_key = TraderServant::object_key();
+  req.operation = "withdraw";
+  req.body = args.take();
+  orb::raise_for_status(orb_.invoke_plain(endpoint_, std::move(req)));
+}
+
+namespace {
+std::vector<orb::ObjRef> decode_refs(const orb::ReplyMessage& rep) {
+  cdr::Decoder dec(rep.body);
+  const std::uint32_t n = dec.read_u32();
+  std::vector<orb::ObjRef> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(orb::ObjRef::from_string(dec.read_string()));
+  }
+  dec.expect_end();
+  return out;
+}
+}  // namespace
+
+std::vector<orb::ObjRef> TraderClient::query(
+    const std::string& characteristic) {
+  cdr::Encoder args;
+  args.write_string(characteristic);
+  orb::RequestMessage req;
+  req.object_key = TraderServant::object_key();
+  req.operation = "query";
+  req.body = args.take();
+  orb::ReplyMessage rep = orb_.invoke_plain(endpoint_, std::move(req));
+  orb::raise_for_status(rep);
+  return decode_refs(rep);
+}
+
+std::vector<orb::ObjRef> TraderClient::query_interface(
+    const std::string& repo_id) {
+  cdr::Encoder args;
+  args.write_string(repo_id);
+  orb::RequestMessage req;
+  req.object_key = TraderServant::object_key();
+  req.operation = "query_interface";
+  req.body = args.take();
+  orb::ReplyMessage rep = orb_.invoke_plain(endpoint_, std::move(req));
+  orb::raise_for_status(rep);
+  return decode_refs(rep);
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,95 @@
+// QoS trading service.
+//
+// §2.2: "infrastructure services for e.g. trading, negotiation,
+// monitoring and accounting should be an integral part of the
+// framework." The trader matches clients to QoS-enabled offers: servers
+// export object references together with the QoS characteristics their
+// interfaces carry; clients query by characteristic or category and
+// receive candidate references whose IOR QoS tags they can negotiate
+// against.
+//
+// The trader itself is an ordinary CORBA object (a servant under a
+// well-known key), so remote ORBs reach it through the regular
+// invocation path — no special transport.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characteristic.hpp"
+#include "orb/orb.hpp"
+#include "orb/servant.hpp"
+
+namespace maqs::core {
+
+/// One exported service offer.
+struct Offer {
+  orb::ObjRef ref;
+  /// Characteristic names advertised (mirrors the IOR's QoS tag).
+  std::vector<std::string> characteristics;
+  /// Free-form properties ("region=eu", "price=3", ...).
+  std::map<std::string, std::string> properties;
+};
+
+/// In-process trader state; wrapped by TraderServant for remote access.
+class Trader {
+ public:
+  /// Registers an offer; returns its id. Characteristics default to the
+  /// reference's QoS tag when the list is empty.
+  std::uint64_t export_offer(Offer offer);
+  /// Withdraws an offer; unknown ids are ignored.
+  void withdraw(std::uint64_t offer_id);
+
+  /// All offers advertising `characteristic` (exact name).
+  std::vector<Offer> query(const std::string& characteristic) const;
+  /// All offers whose repo id matches `repo_id` (any characteristics).
+  std::vector<Offer> query_interface(const std::string& repo_id) const;
+  /// All offers advertising a characteristic of `category`, resolved
+  /// through the catalog.
+  std::vector<Offer> query_category(QosCategory category,
+                                    const CharacteristicCatalog& catalog) const;
+
+  std::size_t size() const noexcept { return offers_.size(); }
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Offer> offers_;
+};
+
+/// Remote facade: operations export_offer(ior, chars, props) -> id,
+/// withdraw(id), query(characteristic) -> sequence<ior-string>,
+/// query_interface(repo_id) -> sequence<ior-string>.
+class TraderServant final : public orb::Servant {
+ public:
+  explicit TraderServant(Trader& trader) : trader_(trader) {}
+
+  static const std::string& object_key();  // "maqs/trader"
+
+  const std::string& repo_id() const override;
+  void dispatch(const std::string& operation, cdr::Decoder& args,
+                cdr::Encoder& out, orb::ServerContext& ctx) override;
+
+ private:
+  Trader& trader_;
+};
+
+/// Client-side helper for the remote trader.
+class TraderClient {
+ public:
+  TraderClient(orb::Orb& orb, net::Address trader_endpoint)
+      : orb_(orb), endpoint_(std::move(trader_endpoint)) {}
+
+  std::uint64_t export_offer(const Offer& offer);
+  void withdraw(std::uint64_t offer_id);
+  std::vector<orb::ObjRef> query(const std::string& characteristic);
+  std::vector<orb::ObjRef> query_interface(const std::string& repo_id);
+
+ private:
+  orb::ObjRef trader_ref() const;
+
+  orb::Orb& orb_;
+  net::Address endpoint_;
+};
+
+}  // namespace maqs::core

@@ -1,0 +1,44 @@
+#include "crypto/dh.hpp"
+
+namespace maqs::crypto {
+
+const DhGroup& default_group() noexcept {
+  // p = 2305843009213693951 (2^61 - 1, a Mersenne prime), g = 3.
+  static const DhGroup kGroup{2305843009213693951ULL, 3};
+  return kGroup;
+}
+
+std::uint64_t modpow(std::uint64_t base, std::uint64_t exp,
+                     std::uint64_t mod) noexcept {
+  if (mod <= 1) return 0;
+  unsigned __int128 result = 1;
+  unsigned __int128 b = base % mod;
+  while (exp > 0) {
+    if (exp & 1) result = (result * b) % mod;
+    b = (b * b) % mod;
+    exp >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+DhParty::DhParty(const DhGroup& group, std::uint64_t private_key) noexcept
+    : group_(group),
+      private_key_(private_key),
+      public_value_(modpow(group.g, private_key, group.p)) {}
+
+std::uint64_t DhParty::shared_secret(std::uint64_t peer_public) const
+    noexcept {
+  return modpow(peer_public, private_key_, group_.p);
+}
+
+util::Bytes DhParty::shared_secret_bytes(std::uint64_t peer_public) const {
+  const std::uint64_t s = shared_secret(peer_public);
+  util::Bytes out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(s >> (8 * i));
+  }
+  return out;
+}
+
+}  // namespace maqs::crypto

@@ -1,0 +1,49 @@
+// Finite-field Diffie-Hellman key agreement.
+//
+// The encryption characteristic's "QoS-to-QoS" communication (paper §3.2:
+// "on the fly change of encryption keys") performs a real DH exchange over
+// the plain GIOP path before switching the module to the derived key. The
+// group is a fixed 61-bit safe prime — small by modern standards but a
+// genuine modular-exponentiation handshake, which is what the experiment
+// needs to measure.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace maqs::crypto {
+
+/// Fixed group parameters (safe prime p, generator g).
+struct DhGroup {
+  std::uint64_t p;
+  std::uint64_t g;
+};
+
+/// The default group used by the encryption characteristic.
+const DhGroup& default_group() noexcept;
+
+/// (g^exp) mod p via square-and-multiply with 128-bit intermediates.
+std::uint64_t modpow(std::uint64_t base, std::uint64_t exp,
+                     std::uint64_t mod) noexcept;
+
+class DhParty {
+ public:
+  /// private_key must be in [2, p-2]; callers draw it from a seeded Rng.
+  DhParty(const DhGroup& group, std::uint64_t private_key) noexcept;
+
+  std::uint64_t public_value() const noexcept { return public_value_; }
+
+  /// Shared secret from the peer's public value.
+  std::uint64_t shared_secret(std::uint64_t peer_public) const noexcept;
+
+  /// Shared secret serialized for key derivation.
+  util::Bytes shared_secret_bytes(std::uint64_t peer_public) const;
+
+ private:
+  DhGroup group_;
+  std::uint64_t private_key_;
+  std::uint64_t public_value_;
+};
+
+}  // namespace maqs::crypto

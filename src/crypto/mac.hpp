@@ -1,0 +1,21 @@
+// Keyed message authentication (simulation-grade).
+//
+// A keyed FNV-based tag detects payload tampering/corruption in the
+// encryption characteristic's integrity mode. It is not a cryptographic
+// MAC; DESIGN.md §2 records the substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace maqs::crypto {
+
+/// 64-bit authentication tag over (key, data).
+std::uint64_t mac64(std::uint64_t key, util::BytesView data) noexcept;
+
+/// Constant-shape verification helper.
+bool mac_verify(std::uint64_t key, util::BytesView data,
+                std::uint64_t tag) noexcept;
+
+}  // namespace maqs::crypto

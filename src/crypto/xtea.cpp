@@ -1,0 +1,51 @@
+#include "crypto/xtea.hpp"
+
+#include "util/bytes.hpp"
+
+namespace maqs::crypto {
+
+Key128 derive_key(util::BytesView secret) {
+  // Stretch the FNV hash over four lanes with distinct tweaks.
+  Key128 key{};
+  for (std::uint32_t lane = 0; lane < 4; ++lane) {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ (0x9E3779B9ULL * (lane + 1));
+    for (std::uint8_t byte : secret) {
+      h ^= byte;
+      h *= 0x100000001b3ULL;
+    }
+    key[lane] = static_cast<std::uint32_t>(h ^ (h >> 32));
+  }
+  return key;
+}
+
+std::uint64_t XteaCtr::encrypt_block(std::uint64_t block,
+                                     const Key128& key) noexcept {
+  std::uint32_t v0 = static_cast<std::uint32_t>(block);
+  std::uint32_t v1 = static_cast<std::uint32_t>(block >> 32);
+  std::uint32_t sum = 0;
+  constexpr std::uint32_t kDelta = 0x9E3779B9;
+  for (int round = 0; round < 32; ++round) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  return static_cast<std::uint64_t>(v0) |
+         (static_cast<std::uint64_t>(v1) << 32);
+}
+
+util::Bytes XteaCtr::apply(util::BytesView input) const {
+  util::Bytes out(input.begin(), input.end());
+  std::uint64_t counter = 0;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::uint64_t keystream =
+        encrypt_block(nonce_ ^ counter, key_);
+    ++counter;
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] ^= static_cast<std::uint8_t>(keystream >> (8 * b));
+    }
+  }
+  return out;
+}
+
+}  // namespace maqs::crypto

@@ -1,0 +1,44 @@
+// XTEA block cipher with a CTR-mode stream interface.
+//
+// Substrate for the privacy/encryption QoS characteristic. XTEA is a real
+// 64-bit-block cipher (Needham/Wheeler, 1997) that is tiny enough to
+// implement from scratch; CTR mode turns it into a stream cipher so
+// payloads of any length encrypt without padding and encryption equals
+// decryption. This is adequate to reproduce the paper's overhead shapes;
+// it is NOT a modern AEAD and must not be used outside the simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace maqs::crypto {
+
+/// 128-bit key.
+using Key128 = std::array<std::uint32_t, 4>;
+
+/// Derives a Key128 from arbitrary secret bytes (e.g. a DH shared secret).
+Key128 derive_key(util::BytesView secret);
+
+class XteaCtr {
+ public:
+  /// nonce distinguishes streams under the same key (e.g. request id).
+  XteaCtr(const Key128& key, std::uint64_t nonce) noexcept
+      : key_(key), nonce_(nonce) {}
+
+  /// XORs the keystream into a copy of the input. Applying it twice with
+  /// the same key/nonce restores the plaintext.
+  util::Bytes apply(util::BytesView input) const;
+
+  /// Raw 64-bit block encryption (exposed for tests against the
+  /// reference algorithm).
+  static std::uint64_t encrypt_block(std::uint64_t block,
+                                     const Key128& key) noexcept;
+
+ private:
+  Key128 key_;
+  std::uint64_t nonce_;
+};
+
+}  // namespace maqs::crypto

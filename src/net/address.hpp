@@ -1,0 +1,34 @@
+// Network addressing for the simulated transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace maqs::net {
+
+/// A host in the simulated network.
+using NodeId = std::string;
+
+/// A bindable endpoint: (host, port).
+struct Address {
+  NodeId node;
+  std::uint16_t port = 0;
+
+  bool operator==(const Address&) const = default;
+  auto operator<=>(const Address&) const = default;
+
+  std::string to_string() const {
+    return node + ":" + std::to_string(port);
+  }
+};
+
+}  // namespace maqs::net
+
+template <>
+struct std::hash<maqs::net::Address> {
+  std::size_t operator()(const maqs::net::Address& a) const noexcept {
+    return std::hash<std::string>{}(a.node) * 31 +
+           std::hash<std::uint16_t>{}(a.port);
+  }
+};

@@ -1,0 +1,225 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace maqs::net {
+
+namespace {
+constexpr int kMaxRetransmissions = 16;
+}
+
+Network::Network(sim::EventLoop& loop, std::uint64_t seed)
+    : loop_(loop), rng_(seed) {}
+
+void Network::add_node(const NodeId& node) {
+  nodes_.try_emplace(node);
+}
+
+bool Network::has_node(const NodeId& node) const {
+  return nodes_.contains(node);
+}
+
+bool Network::is_alive(const NodeId& node) const {
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.alive;
+}
+
+const Network::NodeState& Network::node_state(const NodeId& node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("network: unknown node '" + node + "'");
+  }
+  return it->second;
+}
+
+void Network::set_link(const NodeId& a, const NodeId& b,
+                       const LinkParams& params) {
+  node_state(a);
+  node_state(b);
+  links_[{a, b}] = params;
+  links_[{b, a}] = params;
+}
+
+const LinkParams& Network::link(const NodeId& from, const NodeId& to) const {
+  auto it = links_.find({from, to});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void Network::crash(const NodeId& node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("network: unknown node '" + node + "'");
+  }
+  it->second.alive = false;
+}
+
+void Network::restart(const NodeId& node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("network: unknown node '" + node + "'");
+  }
+  it->second.alive = true;
+  ++it->second.incarnation;
+}
+
+void Network::set_partition(const NodeId& node, int group) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("network: unknown node '" + node + "'");
+  }
+  it->second.partition = group;
+}
+
+void Network::heal_partitions() {
+  for (auto& [_, state] : nodes_) state.partition = 0;
+}
+
+void Network::bind(const Address& addr, Handler handler) {
+  node_state(addr.node);
+  if (!handler) {
+    throw std::invalid_argument("network: null handler for " +
+                                addr.to_string());
+  }
+  auto [_, inserted] = handlers_.emplace(addr, std::move(handler));
+  if (!inserted) {
+    throw std::invalid_argument("network: address already bound: " +
+                                addr.to_string());
+  }
+}
+
+void Network::unbind(const Address& addr) {
+  handlers_.erase(addr);
+}
+
+bool Network::is_bound(const Address& addr) const {
+  return handlers_.contains(addr);
+}
+
+void Network::send(const Address& from, const Address& to,
+                   util::Bytes payload) {
+  const NodeState& src = node_state(from.node);
+  const NodeState& dst = node_state(to.node);
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  per_pair_bytes_[{from.node, to.node}] += payload.size();
+
+  if (!src.alive) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  sim::Duration delay;
+  if (from.node == to.node) {
+    delay = loopback_latency_;
+  } else {
+    const LinkParams& lp = link(from.node, to.node);
+    sim::Duration transmit = 0;
+    if (lp.bandwidth_bps > 0) {
+      const double bits = static_cast<double>(payload.size()) * 8.0;
+      transmit = sim::from_seconds(bits / lp.bandwidth_bps);
+    }
+    // Bandwidth serialization: back-to-back messages queue behind each
+    // other on the directed link.
+    sim::TimePoint& busy = busy_until_[{from.node, to.node}];
+    const sim::TimePoint start = std::max(loop_.now(), busy);
+    busy = start + transmit;
+
+    delay = (start - loop_.now()) + transmit + lp.latency;
+    if (lp.jitter > 0) {
+      delay += static_cast<sim::Duration>(
+          rng_.next_below(static_cast<std::uint64_t>(lp.jitter) + 1));
+    }
+    // Reliable transport over a lossy link: each lost attempt costs one
+    // retransmission timeout (2x latency + transmit), as a TCP-like
+    // transport would exhibit. After kMaxRetransmissions the "connection"
+    // is declared broken and the message is dropped.
+    int attempts = 0;
+    while (lp.loss_rate > 0.0 && rng_.chance(lp.loss_rate)) {
+      if (++attempts > kMaxRetransmissions) {
+        ++stats_.messages_dropped;
+        return;
+      }
+      ++stats_.retransmissions;
+      delay += 2 * lp.latency + transmit;
+    }
+  }
+
+  const std::uint64_t dest_incarnation = dst.incarnation;
+  loop_.schedule(delay, [this, from, to, dest_incarnation,
+                         payload = std::move(payload)]() mutable {
+    deliver(from, to, dest_incarnation, std::move(payload));
+  });
+}
+
+void Network::deliver(const Address& from, const Address& to,
+                      std::uint64_t dest_incarnation, util::Bytes payload) {
+  auto dst_it = nodes_.find(to.node);
+  if (dst_it == nodes_.end() || !dst_it->second.alive ||
+      dst_it->second.incarnation != dest_incarnation) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  auto src_it = nodes_.find(from.node);
+  if (src_it != nodes_.end() &&
+      src_it->second.partition != dst_it->second.partition) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  auto handler_it = handlers_.find(to);
+  if (handler_it == handlers_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += payload.size();
+  // Copy the handler: it may unbind/rebind itself while running.
+  Handler handler = handler_it->second;
+  handler(from, payload);
+}
+
+void Network::create_group(const std::string& group) {
+  groups_.try_emplace(group);
+}
+
+void Network::join_group(const std::string& group, const Address& member) {
+  auto& members = groups_[group];
+  for (const Address& m : members) {
+    if (m == member) return;
+  }
+  members.push_back(member);
+}
+
+void Network::leave_group(const std::string& group, const Address& member) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  std::erase(it->second, member);
+}
+
+std::vector<Address> Network::group_members(const std::string& group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second : std::vector<Address>{};
+}
+
+void Network::multicast(const Address& from, const std::string& group,
+                        util::Bytes payload) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  // Snapshot membership: handlers triggered by earlier copies must not
+  // affect who receives this datagram.
+  const std::vector<Address> members = it->second;
+  for (const Address& member : members) {
+    if (member == from) continue;
+    send(from, member, payload);
+  }
+}
+
+std::uint64_t Network::bytes_between(const NodeId& a, const NodeId& b) const {
+  auto it = per_pair_bytes_.find({a, b});
+  return it != per_pair_bytes_.end() ? it->second : 0;
+}
+
+}  // namespace maqs::net

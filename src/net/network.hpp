@@ -1,0 +1,157 @@
+// Discrete-event network simulator.
+//
+// This is the substitute for the real IP network under the authors' ORB
+// (DESIGN.md §2): hosts, point-to-point links with latency / bandwidth /
+// jitter / loss, IP-multicast-style groups, and fault injection (crashes,
+// restarts, partitions). The transport models a reliable, in-order message
+// service (loss shows up as retransmission delay, as TCP would exhibit),
+// because CORBA GIOP assumes a reliable transport underneath.
+//
+// Determinism: all randomness (jitter, loss) comes from one seeded RNG; the
+// same seed and workload reproduce identical timelines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/event_loop.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::net {
+
+/// Characteristics of a directed link between two hosts.
+struct LinkParams {
+  /// One-way propagation delay.
+  sim::Duration latency = sim::kMillisecond;
+  /// Serialization bandwidth in bits per second; <= 0 means infinite.
+  double bandwidth_bps = 1e9;
+  /// Probability that a transmission attempt is lost (and retransmitted).
+  double loss_rate = 0.0;
+  /// Extra uniform random delay in [0, jitter] per delivery.
+  sim::Duration jitter = 0;
+};
+
+/// Aggregate traffic counters.
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // dead/partitioned target, retry cap
+  std::uint64_t retransmissions = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  using Handler =
+      std::function<void(const Address& from, const util::Bytes& payload)>;
+
+  explicit Network(sim::EventLoop& loop, std::uint64_t seed = 42);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+
+  // ---- topology ----
+
+  /// Registers a host. Idempotent.
+  void add_node(const NodeId& node);
+  bool has_node(const NodeId& node) const;
+  bool is_alive(const NodeId& node) const;
+
+  /// Default parameters for links with no explicit setting.
+  void set_default_link(const LinkParams& params) { default_link_ = params; }
+  const LinkParams& default_link() const noexcept { return default_link_; }
+
+  /// Sets parameters for both directions between a and b.
+  void set_link(const NodeId& a, const NodeId& b, const LinkParams& params);
+  const LinkParams& link(const NodeId& from, const NodeId& to) const;
+
+  /// Delay and bandwidth applied to same-host (loopback) traffic.
+  void set_loopback_latency(sim::Duration d) { loopback_latency_ = d; }
+
+  // ---- fault injection ----
+
+  /// Marks a host dead: its handlers stop firing, in-flight messages to it
+  /// are dropped at delivery time, and sends from it are discarded.
+  void crash(const NodeId& node);
+
+  /// Revives a crashed host with a new incarnation; messages sent to the
+  /// previous incarnation never arrive (connections were severed).
+  void restart(const NodeId& node);
+
+  /// Assigns the node to a partition group; traffic between different
+  /// groups is dropped at delivery time. Default group is 0.
+  void set_partition(const NodeId& node, int group);
+
+  /// Puts every node back into partition group 0.
+  void heal_partitions();
+
+  // ---- endpoints ----
+
+  /// Binds a receive handler; throws std::invalid_argument if the node is
+  /// unknown or the address is already bound.
+  void bind(const Address& addr, Handler handler);
+  void unbind(const Address& addr);
+  bool is_bound(const Address& addr) const;
+
+  /// Sends one message. Delivery is scheduled on the event loop according
+  /// to the link model; undeliverable messages are silently dropped (the
+  /// RPC layer above implements timeouts).
+  void send(const Address& from, const Address& to, util::Bytes payload);
+
+  // ---- multicast ----
+
+  /// Creates a multicast group (idempotent); returns its name.
+  void create_group(const std::string& group);
+  void join_group(const std::string& group, const Address& member);
+  void leave_group(const std::string& group, const Address& member);
+  std::vector<Address> group_members(const std::string& group) const;
+
+  /// Sends the payload to every group member (excluding `from` itself),
+  /// with per-member independent link timing.
+  void multicast(const Address& from, const std::string& group,
+                 util::Bytes payload);
+
+  // ---- accounting ----
+
+  const NetStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = NetStats{}; per_pair_bytes_.clear(); }
+
+  /// Total payload bytes sent from node a to node b since last reset.
+  std::uint64_t bytes_between(const NodeId& a, const NodeId& b) const;
+
+ private:
+  struct NodeState {
+    bool alive = true;
+    std::uint64_t incarnation = 0;
+    int partition = 0;
+  };
+
+  const NodeState& node_state(const NodeId& node) const;
+  void deliver(const Address& from, const Address& to,
+               std::uint64_t dest_incarnation, util::Bytes payload);
+
+  sim::EventLoop& loop_;
+  util::Rng rng_;
+  LinkParams default_link_;
+  sim::Duration loopback_latency_ = 10 * sim::kMicrosecond;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+  // Earliest time each directed pair's link is free (bandwidth serialization).
+  std::map<std::pair<NodeId, NodeId>, sim::TimePoint> busy_until_;
+  std::unordered_map<Address, Handler> handlers_;
+  std::map<std::string, std::vector<Address>> groups_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> per_pair_bytes_;
+  NetStats stats_;
+};
+
+}  // namespace maqs::net

@@ -1,0 +1,47 @@
+#include "orb/adapter.hpp"
+
+#include <stdexcept>
+
+#include "orb/orb.hpp"
+
+namespace maqs::orb {
+
+ObjRef ObjectAdapter::activate(const std::string& key,
+                               std::shared_ptr<Servant> servant,
+                               std::vector<QosProfile> qos) {
+  if (key.empty()) {
+    throw std::invalid_argument("adapter: empty object key");
+  }
+  if (!servant) {
+    throw std::invalid_argument("adapter: null servant for key " + key);
+  }
+  auto [it, inserted] = servants_.emplace(key, Entry{servant, std::move(qos)});
+  if (!inserted) {
+    throw std::invalid_argument("adapter: key already active: " + key);
+  }
+  return reference(key);
+}
+
+void ObjectAdapter::deactivate(const std::string& key) {
+  servants_.erase(key);
+}
+
+std::shared_ptr<Servant> ObjectAdapter::find(const std::string& key) const {
+  auto it = servants_.find(key);
+  return it != servants_.end() ? it->second.servant : nullptr;
+}
+
+ObjRef ObjectAdapter::reference(const std::string& key) const {
+  auto it = servants_.find(key);
+  if (it == servants_.end()) {
+    throw ObjectNotExist("adapter: no active servant for key " + key);
+  }
+  ObjRef ref;
+  ref.repo_id = it->second.servant->repo_id();
+  ref.endpoint = orb_.endpoint();
+  ref.object_key = key;
+  ref.qos = it->second.qos;
+  return ref;
+}
+
+}  // namespace maqs::orb

@@ -1,0 +1,51 @@
+// Object adapter: the server-side registry mapping object keys to servants
+// (CORBA POA equivalent, minus POA policies).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "orb/ior.hpp"
+#include "orb/servant.hpp"
+
+namespace maqs::orb {
+
+class Orb;
+
+class ObjectAdapter {
+ public:
+  explicit ObjectAdapter(Orb& orb) : orb_(orb) {}
+  ObjectAdapter(const ObjectAdapter&) = delete;
+  ObjectAdapter& operator=(const ObjectAdapter&) = delete;
+
+  /// Activates a servant under `key` and returns its reference. The
+  /// optional `qos` profiles become the IOR's QoS tag (paper §4).
+  /// Throws std::invalid_argument if the key is empty or taken.
+  ObjRef activate(const std::string& key, std::shared_ptr<Servant> servant,
+                  std::vector<QosProfile> qos = {});
+
+  /// Removes the servant; subsequent requests raise NO_SUCH_OBJECT.
+  void deactivate(const std::string& key);
+
+  /// Servant lookup; nullptr when not active.
+  std::shared_ptr<Servant> find(const std::string& key) const;
+
+  /// Re-creates the reference for an activated key (same data as
+  /// activate() returned).
+  ObjRef reference(const std::string& key) const;
+
+  std::size_t active_count() const noexcept { return servants_.size(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Servant> servant;
+    std::vector<QosProfile> qos;
+  };
+
+  Orb& orb_;
+  std::map<std::string, Entry> servants_;
+};
+
+}  // namespace maqs::orb

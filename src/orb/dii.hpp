@@ -1,0 +1,60 @@
+// Dynamic Invocation Interface.
+//
+// Builds requests at runtime from Any arguments — no generated stub
+// needed. Because our compact CDR encodes an Any's *value* with exactly
+// the bytes a typed stub writes, DII requests are wire-compatible with
+// static skeletons. The DII is also the control channel for QoS modules:
+// the paper (Fig. 3/§4) drives each module's "dynamic interface" through
+// DII-built command requests, where arguments travel as self-describing
+// Anys because the receiver has no compiled-in signature.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdr/any.hpp"
+#include "orb/orb.hpp"
+
+namespace maqs::orb {
+
+class DiiRequest {
+ public:
+  /// A dynamic service request on `target`.
+  DiiRequest(Orb& orb, ObjRef target, std::string operation);
+
+  /// Appends an in-argument.
+  DiiRequest& add_arg(cdr::Any arg);
+
+  /// Declares the result type (mandatory for non-void results).
+  DiiRequest& set_return_type(cdr::TypeCodePtr type);
+
+  /// Adds a service-context entry.
+  DiiRequest& set_context(const std::string& key, util::Bytes value);
+
+  /// Blocking invocation. Returns the decoded result (void Any for void
+  /// operations); throws the mapped exception on non-OK replies.
+  cdr::Any invoke();
+
+ private:
+  Orb& orb_;
+  ObjRef target_;
+  std::string operation_;
+  std::vector<cdr::Any> args_;
+  cdr::TypeCodePtr return_type_;
+  ServiceContext context_;
+};
+
+/// Encodes a command body: count + self-describing Anys.
+util::Bytes encode_command_args(const std::vector<cdr::Any>& args);
+
+/// Decodes a command body produced by encode_command_args.
+std::vector<cdr::Any> decode_command_args(util::BytesView body);
+
+/// Sends a command (Fig. 3 dual-use request) to the QoS transport of the
+/// ORB at `dest`. `module` empty addresses the transport itself. Returns
+/// the command's result Any; throws on error replies.
+cdr::Any send_command(Orb& orb, const net::Address& dest,
+                      const std::string& module, const std::string& operation,
+                      const std::vector<cdr::Any>& args);
+
+}  // namespace maqs::orb

@@ -1,0 +1,73 @@
+// ORB exception model (CORBA system/user exception split).
+//
+// System exceptions are raised by the infrastructure; user exceptions are
+// application-defined and travel in reply bodies. NotNegotiated is the
+// exception the paper's server-side mapping mandates for QoS operations of
+// characteristics that are assigned to the interface but not currently
+// negotiated (§3.3: "only the operations of the actual negotiated QoS
+// characteristic are processed while others raise an exception").
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace maqs::orb {
+
+class SystemException : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Transport failure: destination unreachable, timeout, connection broken.
+class TransportError : public SystemException {
+ public:
+  using SystemException::SystemException;
+};
+
+/// The object key does not name an active servant.
+class ObjectNotExist : public SystemException {
+ public:
+  using SystemException::SystemException;
+};
+
+/// The servant does not implement the requested operation.
+class BadOperation : public SystemException {
+ public:
+  using SystemException::SystemException;
+};
+
+/// Malformed argument stream (CdrError surfaced across the wire).
+class MarshalError : public SystemException {
+ public:
+  using SystemException::SystemException;
+};
+
+/// A QoS-aware request or command arrived at an ORB with no QoS transport.
+class NoQosTransport : public SystemException {
+ public:
+  using SystemException::SystemException;
+};
+
+/// QoS operation invoked for a characteristic that is assigned but not the
+/// currently negotiated one (paper §3.3).
+class NotNegotiated : public SystemException {
+ public:
+  using SystemException::SystemException;
+};
+
+/// Application-defined exception; `id` is its repository id.
+class UserException : public Error {
+ public:
+  UserException(std::string id, const std::string& detail)
+      : Error(id + ": " + detail), id_(std::move(id)), detail_(detail) {}
+
+  const std::string& id() const noexcept { return id_; }
+  const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string id_;
+  std::string detail_;
+};
+
+}  // namespace maqs::orb

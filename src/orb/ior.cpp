@@ -1,0 +1,75 @@
+#include "orb/ior.hpp"
+
+#include "cdr/decoder.hpp"
+#include "cdr/encoder.hpp"
+#include "orb/exceptions.hpp"
+#include "util/strings.hpp"
+
+namespace maqs::orb {
+
+const QosProfile* ObjRef::find_profile(
+    const std::string& characteristic) const {
+  for (const QosProfile& profile : qos) {
+    if (profile.characteristic == characteristic) return &profile;
+  }
+  return nullptr;
+}
+
+util::Bytes ObjRef::encode() const {
+  cdr::Encoder enc;
+  enc.write_string(repo_id);
+  enc.write_string(endpoint.node);
+  enc.write_u16(endpoint.port);
+  enc.write_string(object_key);
+  enc.write_u32(static_cast<std::uint32_t>(qos.size()));
+  for (const QosProfile& profile : qos) {
+    enc.write_string(profile.characteristic);
+    enc.write_u32(static_cast<std::uint32_t>(profile.properties.size()));
+    for (const auto& [key, value] : profile.properties) {
+      enc.write_string(key);
+      enc.write_string(value);
+    }
+  }
+  return enc.take();
+}
+
+ObjRef ObjRef::decode(util::BytesView data) {
+  cdr::Decoder dec(data);
+  ObjRef ref;
+  ref.repo_id = dec.read_string();
+  ref.endpoint.node = dec.read_string();
+  ref.endpoint.port = dec.read_u16();
+  ref.object_key = dec.read_string();
+  const std::uint32_t n = dec.read_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    QosProfile profile;
+    profile.characteristic = dec.read_string();
+    const std::uint32_t props = dec.read_u32();
+    for (std::uint32_t j = 0; j < props; ++j) {
+      std::string key = dec.read_string();
+      profile.properties[key] = dec.read_string();
+    }
+    ref.qos.push_back(std::move(profile));
+  }
+  dec.expect_end();
+  return ref;
+}
+
+std::string ObjRef::to_string() const {
+  return "IOR:" + util::to_hex(encode());
+}
+
+ObjRef ObjRef::from_string(const std::string& stringified) {
+  if (!util::starts_with(stringified, "IOR:")) {
+    throw MarshalError("ior: missing IOR: prefix");
+  }
+  try {
+    return decode(util::from_hex(stringified.substr(4)));
+  } catch (const std::invalid_argument& e) {
+    throw MarshalError(std::string("ior: bad hex: ") + e.what());
+  } catch (const cdr::CdrError& e) {
+    throw MarshalError(std::string("ior: bad encoding: ") + e.what());
+  }
+}
+
+}  // namespace maqs::orb

@@ -1,0 +1,57 @@
+// Interoperable object references.
+//
+// An ObjRef names a remote object: repository id, server ORB endpoint and
+// object key. Following the paper (§4), QoS awareness is advertised by a
+// distinct tag in the IOR: a list of QosProfile entries naming the QoS
+// characteristics assigned to the interface plus free-form properties
+// (e.g. the transport module to use, a multicast group address). The
+// invocation interface inspects this tag to decide between the plain
+// GIOP/IIOP path and the QoS transport (Fig. 3).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+
+namespace maqs::orb {
+
+/// One QoS characteristic advertised in an IOR.
+struct QosProfile {
+  /// Characteristic name as declared in QIDL, e.g. "Compression".
+  std::string characteristic;
+  /// Mechanism-specific properties (module name, group address, ...).
+  std::map<std::string, std::string> properties;
+
+  bool operator==(const QosProfile&) const = default;
+};
+
+struct ObjRef {
+  /// Repository id of the interface, e.g. "IDL:demo/Hello:1.0".
+  std::string repo_id;
+  /// Endpoint of the ORB hosting the object.
+  net::Address endpoint;
+  /// Key under which the servant is activated in the object adapter.
+  std::string object_key;
+  /// QoS tag (empty == plain CORBA object, not QoS-aware).
+  std::vector<QosProfile> qos;
+
+  bool is_nil() const noexcept { return object_key.empty(); }
+  bool qos_aware() const noexcept { return !qos.empty(); }
+
+  /// Profile lookup by characteristic name; nullptr if absent.
+  const QosProfile* find_profile(const std::string& characteristic) const;
+
+  bool operator==(const ObjRef&) const = default;
+
+  // ---- marshaling & stringification ----
+  util::Bytes encode() const;
+  static ObjRef decode(util::BytesView data);
+  /// "IOR:<hex>" — stringified form exchanged out of band.
+  std::string to_string() const;
+  static ObjRef from_string(const std::string& stringified);
+};
+
+}  // namespace maqs::orb

@@ -1,0 +1,117 @@
+#include "orb/message.hpp"
+
+#include "cdr/decoder.hpp"
+#include "cdr/encoder.hpp"
+#include "orb/exceptions.hpp"
+
+namespace maqs::orb {
+
+namespace {
+constexpr std::uint8_t kRequestMagic = 0xA1;
+constexpr std::uint8_t kReplyMagic = 0xA2;
+
+void encode_context(cdr::Encoder& enc, const ServiceContext& context) {
+  enc.write_u32(static_cast<std::uint32_t>(context.size()));
+  for (const auto& [key, value] : context) {
+    enc.write_string(key);
+    enc.write_bytes(value);
+  }
+}
+
+ServiceContext decode_context(cdr::Decoder& dec) {
+  ServiceContext context;
+  const std::uint32_t n = dec.read_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = dec.read_string();
+    context[key] = dec.read_bytes();
+  }
+  return context;
+}
+}  // namespace
+
+const char* reply_status_name(ReplyStatus status) noexcept {
+  switch (status) {
+    case ReplyStatus::kOk: return "OK";
+    case ReplyStatus::kUserException: return "USER_EXCEPTION";
+    case ReplyStatus::kSystemException: return "SYSTEM_EXCEPTION";
+    case ReplyStatus::kNotNegotiated: return "NOT_NEGOTIATED";
+    case ReplyStatus::kNoSuchObject: return "NO_SUCH_OBJECT";
+    case ReplyStatus::kBadOperation: return "BAD_OPERATION";
+  }
+  return "?";
+}
+
+util::Bytes RequestMessage::encode() const {
+  cdr::Encoder enc;
+  enc.write_u8(kRequestMagic);
+  enc.write_u64(request_id);
+  enc.write_u8(static_cast<std::uint8_t>(kind));
+  enc.write_bool(qos_aware);
+  enc.write_string(object_key);
+  enc.write_string(target_module);
+  enc.write_string(operation);
+  encode_context(enc, context);
+  enc.write_bytes(body);
+  return enc.take();
+}
+
+RequestMessage RequestMessage::decode(util::BytesView data) {
+  cdr::Decoder dec(data);
+  if (dec.read_u8() != kRequestMagic) {
+    throw MarshalError("message: not a request frame");
+  }
+  RequestMessage req;
+  req.request_id = dec.read_u64();
+  const std::uint8_t kind = dec.read_u8();
+  if (kind > static_cast<std::uint8_t>(RequestKind::kCommand)) {
+    throw MarshalError("message: bad request kind");
+  }
+  req.kind = static_cast<RequestKind>(kind);
+  req.qos_aware = dec.read_bool();
+  req.object_key = dec.read_string();
+  req.target_module = dec.read_string();
+  req.operation = dec.read_string();
+  req.context = decode_context(dec);
+  req.body = dec.read_bytes();
+  dec.expect_end();
+  return req;
+}
+
+util::Bytes ReplyMessage::encode() const {
+  cdr::Encoder enc;
+  enc.write_u8(kReplyMagic);
+  enc.write_u64(request_id);
+  enc.write_u8(static_cast<std::uint8_t>(status));
+  enc.write_string(exception);
+  encode_context(enc, context);
+  enc.write_bytes(body);
+  return enc.take();
+}
+
+ReplyMessage ReplyMessage::decode(util::BytesView data) {
+  cdr::Decoder dec(data);
+  if (dec.read_u8() != kReplyMagic) {
+    throw MarshalError("message: not a reply frame");
+  }
+  ReplyMessage rep;
+  rep.request_id = dec.read_u64();
+  const std::uint8_t status = dec.read_u8();
+  if (status > static_cast<std::uint8_t>(ReplyStatus::kBadOperation)) {
+    throw MarshalError("message: bad reply status");
+  }
+  rep.status = static_cast<ReplyStatus>(status);
+  rep.exception = dec.read_string();
+  rep.context = decode_context(dec);
+  rep.body = dec.read_bytes();
+  dec.expect_end();
+  return rep;
+}
+
+bool is_request_frame(util::BytesView data) {
+  if (data.empty()) throw MarshalError("message: empty frame");
+  if (data[0] == kRequestMagic) return true;
+  if (data[0] == kReplyMagic) return false;
+  throw MarshalError("message: unknown frame magic");
+}
+
+}  // namespace maqs::orb

@@ -1,0 +1,75 @@
+// GIOP-style wire messages.
+//
+// One request format serves two purposes (paper §4, "the CORBA request is
+// used in a dual fashion"): ordinary service requests to application
+// objects, and *commands* that configure/control the QoS transport or one
+// of its modules. The `kind` tag distinguishes them; `qos_aware` mirrors
+// the IOR tag so the receiving invocation interface can dispatch per
+// Fig. 3 without consulting client state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace maqs::orb {
+
+enum class RequestKind : std::uint8_t {
+  kServiceRequest = 0,
+  kCommand = 1,
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kUserException,
+  kSystemException,
+  kNotNegotiated,
+  kNoSuchObject,
+  kBadOperation,
+};
+
+const char* reply_status_name(ReplyStatus status) noexcept;
+
+/// Out-of-band request/reply metadata (CORBA service context). QoS
+/// mechanisms use it to tag payloads: "qos.module", "qos.key-epoch",
+/// "qos.timestamp", ...
+using ServiceContext = std::map<std::string, util::Bytes>;
+
+struct RequestMessage {
+  std::uint64_t request_id = 0;
+  RequestKind kind = RequestKind::kServiceRequest;
+  /// Mirrors ObjRef::qos_aware(); selects the QoS transport path (Fig. 3).
+  bool qos_aware = false;
+  /// Target servant (service requests).
+  std::string object_key;
+  /// Command addressee: "" = the QoS transport itself, else a module name.
+  std::string target_module;
+  std::string operation;
+  ServiceContext context;
+  /// CDR-encoded operation arguments (service requests) or a sequence of
+  /// self-describing Anys (commands, DII).
+  util::Bytes body;
+
+  util::Bytes encode() const;
+  static RequestMessage decode(util::BytesView data);
+};
+
+struct ReplyMessage {
+  std::uint64_t request_id = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  /// Exception repository id / diagnostic when status != kOk.
+  std::string exception;
+  ServiceContext context;
+  util::Bytes body;
+
+  util::Bytes encode() const;
+  static ReplyMessage decode(util::BytesView data);
+};
+
+/// Peeks at the framing byte: true if `data` is a request frame, false for
+/// a reply frame; throws MarshalError otherwise.
+bool is_request_frame(util::BytesView data);
+
+}  // namespace maqs::orb

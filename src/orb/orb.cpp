@@ -1,0 +1,256 @@
+#include "orb/orb.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace maqs::orb {
+
+Orb::Orb(net::Network& network, net::NodeId node, std::uint16_t port)
+    : network_(network), endpoint_{std::move(node), port}, adapter_(*this) {
+  network_.add_node(endpoint_.node);
+  network_.bind(endpoint_,
+                [this](const net::Address& from, const util::Bytes& data) {
+                  on_frame(from, data);
+                });
+}
+
+Orb::~Orb() {
+  network_.unbind(endpoint_);
+}
+
+ReplyMessage Orb::invoke(const ObjRef& target, RequestMessage req) {
+  if (target.is_nil()) {
+    throw ObjectNotExist("orb: invoke on nil reference");
+  }
+  req.object_key = target.object_key;
+  // Fig. 3, "With QoS?": the IOR tag decides the path.
+  if (target.qos_aware() && router_ != nullptr) {
+    req.qos_aware = true;
+    ++stats_.qos_path;
+    return router_->route(target, std::move(req));
+  }
+  ++stats_.plain_path;
+  return invoke_plain(target.endpoint, std::move(req));
+}
+
+ReplyMessage Orb::invoke_plain(const net::Address& dest, RequestMessage req) {
+  std::optional<ReplyMessage> result;
+  const std::uint64_t id = send_request(
+      dest, std::move(req),
+      [&result](const ReplyMessage& rep) { result = rep; });
+  run_until([&result] { return result.has_value(); });
+  if (!result.has_value()) {
+    // Event queue drained without the reply or the timeout firing; this
+    // only happens if the simulation is torn down mid-call.
+    cancel_request(id);
+    throw TransportError("orb: event loop drained while awaiting reply");
+  }
+  if (result->status == ReplyStatus::kSystemException &&
+      result->exception == "maqs/TIMEOUT") {
+    throw TransportError("orb: request timed out");
+  }
+  return *std::move(result);
+}
+
+std::uint64_t Orb::send_request(
+    const net::Address& dest, RequestMessage req,
+    std::function<void(const ReplyMessage&)> on_reply,
+    sim::Duration timeout) {
+  if (req.request_id == 0) req.request_id = next_request_id();
+  if (timeout <= 0) timeout = default_timeout_;
+  const std::uint64_t id = req.request_id;
+
+  Pending pending;
+  pending.on_reply = std::move(on_reply);
+  pending.timeout_event = loop().schedule(timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ++stats_.timeouts;
+    auto callback = std::move(it->second.on_reply);
+    pending_.erase(it);
+    ReplyMessage timeout_reply;
+    timeout_reply.request_id = id;
+    timeout_reply.status = ReplyStatus::kSystemException;
+    timeout_reply.exception = "maqs/TIMEOUT";
+    callback(timeout_reply);
+  });
+  pending_.emplace(id, std::move(pending));
+
+  ++stats_.requests_sent;
+  network_.send(endpoint_, dest, req.encode());
+  return id;
+}
+
+std::uint64_t Orb::send_multicast_request(
+    const std::string& group, RequestMessage req,
+    std::function<void(const ReplyMessage&)> on_reply,
+    sim::Duration timeout) {
+  if (req.request_id == 0) req.request_id = next_request_id();
+  if (timeout <= 0) timeout = default_timeout_;
+  const std::uint64_t id = req.request_id;
+
+  Pending pending;
+  pending.multi = true;
+  pending.on_reply = std::move(on_reply);
+  pending.timeout_event = loop().schedule(timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ++stats_.timeouts;
+    auto callback = std::move(it->second.on_reply);
+    pending_.erase(it);
+    ReplyMessage timeout_reply;
+    timeout_reply.request_id = id;
+    timeout_reply.status = ReplyStatus::kSystemException;
+    timeout_reply.exception = "maqs/TIMEOUT";
+    callback(timeout_reply);
+  });
+  pending_.emplace(id, std::move(pending));
+
+  ++stats_.requests_sent;
+  network_.multicast(endpoint_, group, req.encode());
+  return id;
+}
+
+void Orb::cancel_request(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  loop().cancel(it->second.timeout_event);
+  pending_.erase(it);
+}
+
+void Orb::on_frame(const net::Address& from, const util::Bytes& data) {
+  try {
+    if (is_request_frame(data)) {
+      handle_request(from, RequestMessage::decode(data));
+    } else {
+      handle_reply(ReplyMessage::decode(data));
+    }
+  } catch (const Error& e) {
+    // Garbage frames are dropped; a reliable transport below us means this
+    // indicates a peer bug, not line noise.
+    MAQS_WARN() << "orb " << endpoint_.to_string() << ": bad frame from "
+                << from.to_string() << ": " << e.what();
+  }
+}
+
+void Orb::handle_request(const net::Address& from, RequestMessage req) {
+  const std::uint64_t request_id = req.request_id;
+  ReplyMessage rep = dispatch(std::move(req), from);
+  rep.request_id = request_id;
+  network_.send(endpoint_, from, rep.encode());
+}
+
+ReplyMessage Orb::dispatch(RequestMessage req, const net::Address& from) {
+  // Fig. 3 server half: QoS-aware traffic (including commands) consults the
+  // QoS transport first; it may answer directly (commands, negotiation) or
+  // rewrite the request (inbound payload transforms).
+  if (req.kind == RequestKind::kCommand) {
+    ++stats_.commands_dispatched;
+    if (router_ == nullptr) {
+      ReplyMessage rep;
+      rep.request_id = req.request_id;
+      rep.status = ReplyStatus::kSystemException;
+      rep.exception = "maqs/NO_QOS_TRANSPORT";
+      return rep;
+    }
+    auto direct = router_->inbound(req, from);
+    if (direct.has_value()) {
+      direct->request_id = req.request_id;
+      return *std::move(direct);
+    }
+    ReplyMessage rep;
+    rep.request_id = req.request_id;
+    rep.status = ReplyStatus::kBadOperation;
+    rep.exception = "maqs/UNHANDLED_COMMAND";
+    return rep;
+  }
+
+  ++stats_.requests_dispatched;
+  const bool use_router = req.qos_aware && router_ != nullptr;
+  // Router hooks may fail (bad module state, failed payload restore);
+  // that must surface as an exception reply, never kill the dispatch
+  // loop or silently drop the request.
+  try {
+    if (use_router) {
+      auto direct = router_->inbound(req, from);
+      if (direct.has_value()) {
+        direct->request_id = req.request_id;
+        return *std::move(direct);
+      }
+    }
+    ReplyMessage rep = dispatch_to_servant(req, from);
+    if (use_router) {
+      router_->outbound(req, rep);
+    }
+    return rep;
+  } catch (const Error& e) {
+    ReplyMessage rep;
+    rep.request_id = req.request_id;
+    rep.status = ReplyStatus::kSystemException;
+    rep.exception = e.what();
+    return rep;
+  }
+}
+
+ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
+                                      const net::Address& from) {
+  ReplyMessage rep;
+  rep.request_id = req.request_id;
+  std::shared_ptr<Servant> servant = adapter_.find(req.object_key);
+  if (!servant) {
+    rep.status = ReplyStatus::kNoSuchObject;
+    rep.exception = "maqs/NO_SUCH_OBJECT: " + req.object_key;
+    return rep;
+  }
+  cdr::Decoder args(req.body);
+  cdr::Encoder out;
+  ServerContext ctx(req, from, rep.context);
+  try {
+    servant->dispatch(req.operation, args, out, ctx);
+    rep.status = ReplyStatus::kOk;
+    rep.body = out.take();
+  } catch (const NotNegotiated& e) {
+    rep.status = ReplyStatus::kNotNegotiated;
+    rep.exception = e.what();
+  } catch (const BadOperation& e) {
+    rep.status = ReplyStatus::kBadOperation;
+    rep.exception = e.what();
+  } catch (const UserException& e) {
+    rep.status = ReplyStatus::kUserException;
+    rep.exception = e.id();
+    cdr::Encoder exc_body;
+    exc_body.write_string(e.detail());
+    rep.body = exc_body.take();
+  } catch (const cdr::CdrError& e) {
+    rep.status = ReplyStatus::kSystemException;
+    rep.exception = std::string("maqs/MARSHAL: ") + e.what();
+  } catch (const Error& e) {
+    rep.status = ReplyStatus::kSystemException;
+    rep.exception = e.what();
+  }
+  return rep;
+}
+
+void Orb::handle_reply(ReplyMessage rep) {
+  auto it = pending_.find(rep.request_id);
+  if (it == pending_.end()) {
+    // Late reply after timeout/cancel, or surplus replies of a multicast
+    // request already satisfied: normal, counted for observability.
+    ++stats_.replies_orphaned;
+    return;
+  }
+  if (it->second.multi) {
+    // Keep the entry alive: more replies may follow. Copy the callback so
+    // the handler may cancel_request() from within.
+    auto callback = it->second.on_reply;
+    callback(rep);
+  } else {
+    loop().cancel(it->second.timeout_event);
+    auto callback = std::move(it->second.on_reply);
+    pending_.erase(it);
+    callback(rep);
+  }
+}
+
+}  // namespace maqs::orb

@@ -1,0 +1,157 @@
+// The ORB core: invocation interface, plain GIOP/IIOP-style transport and
+// the hook where the QoS transport (Fig. 3) plugs in.
+//
+// Request routing implements the paper's Fig. 3 decision tree:
+//
+//   invocation interface -- with QoS? --no--> GIOP/IIOP path
+//                                  \--yes--> QoS transport (RequestRouter)
+//
+// and on the receiving side:
+//
+//   frame --request?--> command?        --> QoS transport / module
+//                      service request  --> (module inbound transform) -->
+//                                           object adapter --> servant
+//
+// The ORB itself knows nothing about QoS mechanisms; it only provides the
+// tagged-request plumbing and the RequestRouter extension point that
+// maqs::core::QosTransport implements. This keeps the hierarchy of
+// concerns the paper argues for: the ORB is reusable without any QoS.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "orb/adapter.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/ior.hpp"
+#include "orb/message.hpp"
+
+namespace maqs::orb {
+
+/// Extension point implemented by the QoS transport (maqs::core). See file
+/// comment for where each hook sits in the Fig. 3 flow.
+class RequestRouter {
+ public:
+  virtual ~RequestRouter() = default;
+
+  /// Client side: deliver a QoS-aware service request and return the reply.
+  virtual ReplyMessage route(const ObjRef& target, RequestMessage req) = 0;
+
+  /// Server side, before adapter dispatch. May rewrite the request (e.g.
+  /// decrypt/decompress the body). Returning a reply short-circuits
+  /// dispatch entirely (commands are answered here).
+  virtual std::optional<ReplyMessage> inbound(RequestMessage& req,
+                                              const net::Address& from) = 0;
+
+  /// Server side, after dispatch: transform the outgoing reply.
+  virtual void outbound(const RequestMessage& req, ReplyMessage& rep) = 0;
+};
+
+/// Statistics for the dispatch-path benchmarks (bench_f3_dispatch).
+struct OrbStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t requests_dispatched = 0;
+  std::uint64_t commands_dispatched = 0;
+  std::uint64_t plain_path = 0;     // requests that took GIOP/IIOP
+  std::uint64_t qos_path = 0;       // requests handed to the QoS transport
+  std::uint64_t replies_orphaned = 0;  // replies with no pending entry
+  std::uint64_t timeouts = 0;
+};
+
+class Orb {
+ public:
+  /// Binds the ORB to (node, port) on the simulated network.
+  Orb(net::Network& network, net::NodeId node, std::uint16_t port);
+  ~Orb();
+  Orb(const Orb&) = delete;
+  Orb& operator=(const Orb&) = delete;
+
+  net::Network& network() noexcept { return network_; }
+  sim::EventLoop& loop() noexcept { return network_.loop(); }
+  const net::Address& endpoint() const noexcept { return endpoint_; }
+  ObjectAdapter& adapter() noexcept { return adapter_; }
+  const OrbStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = OrbStats{}; }
+
+  /// Installs/uninstalls the QoS transport. Not owned.
+  void set_router(RequestRouter* router) noexcept { router_ = router; }
+  RequestRouter* router() const noexcept { return router_; }
+
+  void set_default_timeout(sim::Duration timeout) noexcept {
+    default_timeout_ = timeout;
+  }
+  sim::Duration default_timeout() const noexcept { return default_timeout_; }
+
+  /// Fresh request id (unique per ORB; the wire pairs them with the
+  /// requester endpoint, so per-ORB uniqueness suffices).
+  std::uint64_t next_request_id() noexcept { return next_request_id_++; }
+
+  // ---- client side ----
+
+  /// The invocation interface (Fig. 3 client half): QoS-aware references
+  /// go to the installed router, everything else takes the plain path.
+  /// Blocks (pumps the event loop) until the reply arrives; throws
+  /// TransportError on timeout.
+  ReplyMessage invoke(const ObjRef& target, RequestMessage req);
+
+  /// Plain GIOP/IIOP path to an explicit endpoint. Used directly by the
+  /// QoS transport for negotiation bootstrap and module fallback.
+  ReplyMessage invoke_plain(const net::Address& dest, RequestMessage req);
+
+  /// Fire-and-collect: sends without blocking; `on_reply` runs for the
+  /// reply or, on timeout, for a synthesized SYSTEM_EXCEPTION reply with
+  /// exception "maqs/TIMEOUT". Returns the request id.
+  std::uint64_t send_request(const net::Address& dest, RequestMessage req,
+                             std::function<void(const ReplyMessage&)> on_reply,
+                             sim::Duration timeout = 0);
+
+  /// Multicast variant: one frame to every group member; `on_reply` runs
+  /// once per reply until cancel_request() is called or the timeout fires
+  /// (timeout delivers the synthesized "maqs/TIMEOUT" reply once).
+  std::uint64_t send_multicast_request(
+      const std::string& group, RequestMessage req,
+      std::function<void(const ReplyMessage&)> on_reply,
+      sim::Duration timeout = 0);
+
+  /// Stops reply delivery for an outstanding request id.
+  void cancel_request(std::uint64_t request_id);
+
+  /// Convenience: blocking wait for a predicate on this ORB's loop.
+  bool run_until(const std::function<bool()>& pred) {
+    return loop().run_until(pred);
+  }
+
+  // ---- server side (exposed for the QoS transport) ----
+
+  /// Dispatches a service request through the object adapter, applying
+  /// router inbound/outbound transforms when the request is QoS-aware.
+  ReplyMessage dispatch(RequestMessage req, const net::Address& from);
+
+ private:
+  void on_frame(const net::Address& from, const util::Bytes& data);
+  void handle_request(const net::Address& from, RequestMessage req);
+  void handle_reply(ReplyMessage rep);
+  /// Adapter dispatch only (no router hooks).
+  ReplyMessage dispatch_to_servant(const RequestMessage& req,
+                                   const net::Address& from);
+
+  struct Pending {
+    std::function<void(const ReplyMessage&)> on_reply;
+    sim::EventId timeout_event = 0;
+    bool multi = false;
+  };
+
+  net::Network& network_;
+  net::Address endpoint_;
+  ObjectAdapter adapter_;
+  RequestRouter* router_ = nullptr;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  sim::Duration default_timeout_ = 2 * sim::kSecond;
+  OrbStats stats_;
+};
+
+}  // namespace maqs::orb

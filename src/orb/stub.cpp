@@ -1,0 +1,69 @@
+#include "orb/stub.hpp"
+
+#include "cdr/decoder.hpp"
+
+namespace maqs::orb {
+
+void raise_for_status(const ReplyMessage& rep) {
+  switch (rep.status) {
+    case ReplyStatus::kOk:
+      return;
+    case ReplyStatus::kUserException: {
+      std::string detail;
+      try {
+        cdr::Decoder dec(rep.body);
+        detail = dec.read_string();
+      } catch (const cdr::CdrError&) {
+        detail = "<unreadable exception body>";
+      }
+      throw UserException(rep.exception, detail);
+    }
+    case ReplyStatus::kNotNegotiated:
+      throw NotNegotiated(rep.exception);
+    case ReplyStatus::kNoSuchObject:
+      throw ObjectNotExist(rep.exception);
+    case ReplyStatus::kBadOperation:
+      throw BadOperation(rep.exception);
+    case ReplyStatus::kSystemException:
+      if (rep.exception == "maqs/TIMEOUT") {
+        throw TransportError("request timed out");
+      }
+      if (rep.exception == "maqs/NO_QOS_TRANSPORT") {
+        throw NoQosTransport(rep.exception);
+      }
+      throw SystemException(rep.exception);
+  }
+  throw SystemException("orb: unknown reply status");
+}
+
+util::Bytes StubBase::invoke_operation(const std::string& operation,
+                                       util::Bytes args) const {
+  RequestMessage req;
+  req.request_id = orb_.next_request_id();
+  req.kind = RequestKind::kServiceRequest;
+  req.object_key = ref_.object_key;
+  req.operation = operation;
+  req.body = std::move(args);
+
+  ObjRef target = ref_;
+  ReplyMessage rep;
+  if (mediator_) {
+    // Client-side aspect weaving: the mediator sees the call before the
+    // ORB does and again when the reply returns. The request is retained
+    // across the invocation so inbound() can correlate (e.g. cache fills
+    // keyed by operation+arguments).
+    if (auto local = mediator_->try_local(req, target)) {
+      rep = *std::move(local);
+    } else {
+      mediator_->outbound(req, target);
+      rep = orb_.invoke(target, req);
+      mediator_->inbound(req, rep);
+    }
+  } else {
+    rep = orb_.invoke(target, std::move(req));
+  }
+  raise_for_status(rep);
+  return std::move(rep.body);
+}
+
+}  // namespace maqs::orb

@@ -1,0 +1,86 @@
+// Client-side programming model: stubs and the mediator slot.
+//
+// The paper's client-side weaving (§3.3): "the stub is extended by a so
+// called mediator. [...] At runtime the mediator of the desired QoS is set
+// in the stub as a delegate. Each call is intercepted and delegated to the
+// mediator which can issue the QoS behaviour on the client side."
+//
+// StubBase implements exactly that: generated (or generated-style) stubs
+// funnel every operation through invoke_operation(), which consults the
+// installed ClientInterceptor (maqs::core::Mediator derives from it)
+// before and after the ORB invocation. The interceptor may rewrite the
+// request, redirect the target (load balancing), or answer locally
+// (actuality cache) without touching application code.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "orb/orb.hpp"
+
+namespace maqs::orb {
+
+/// Client-side interception hook; the MAQS mediator framework implements
+/// it. Kept in the ORB layer so the ORB stays QoS-agnostic.
+class ClientInterceptor {
+ public:
+  virtual ~ClientInterceptor() = default;
+
+  /// May answer the request locally (e.g. from a cache), bypassing the
+  /// network entirely. Default: no local answer.
+  virtual std::optional<ReplyMessage> try_local(const RequestMessage& req,
+                                                const ObjRef& target) {
+    (void)req;
+    (void)target;
+    return std::nullopt;
+  }
+
+  /// Before the request reaches the ORB; may rewrite body/context and
+  /// redirect `target`.
+  virtual void outbound(RequestMessage& req, ObjRef& target) {
+    (void)req;
+    (void)target;
+  }
+
+  /// After the reply returns, before the stub unmarshals it.
+  virtual void inbound(const RequestMessage& req, ReplyMessage& rep) {
+    (void)req;
+    (void)rep;
+  }
+};
+
+/// Maps a non-OK reply onto the exception hierarchy. Shared by static
+/// stubs and the DII.
+void raise_for_status(const ReplyMessage& rep);
+
+class StubBase {
+ public:
+  StubBase(Orb& orb, ObjRef ref) : orb_(orb), ref_(std::move(ref)) {}
+  virtual ~StubBase() = default;
+
+  Orb& orb() const noexcept { return orb_; }
+  const ObjRef& ref() const noexcept { return ref_; }
+
+  /// Installs the mediator delegate (nullptr removes it).
+  void set_mediator(std::shared_ptr<ClientInterceptor> mediator) {
+    mediator_ = std::move(mediator);
+  }
+  const std::shared_ptr<ClientInterceptor>& mediator() const noexcept {
+    return mediator_;
+  }
+
+ protected:
+  /// Generated stubs call this for every operation: request construction,
+  /// mediator weaving, invocation, reply checking. Returns the reply body
+  /// (CDR-encoded results); throws on any non-OK status.
+  util::Bytes invoke_operation(const std::string& operation,
+                               util::Bytes args) const;
+
+ private:
+  Orb& orb_;
+  ObjRef ref_;
+  std::shared_ptr<ClientInterceptor> mediator_;
+};
+
+}  // namespace maqs::orb

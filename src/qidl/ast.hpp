@@ -1,0 +1,136 @@
+// QIDL abstract syntax tree.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace maqs::qidl {
+
+// ---- types ----
+
+enum class TypeKind {
+  kVoid,
+  kBoolean,
+  kOctet,
+  kShort,
+  kLong,
+  kLongLong,
+  kFloat,
+  kDouble,
+  kString,
+  kSequence,
+  kNamed,  // struct or enum reference, resolved by sema
+};
+
+struct TypeNode;
+using TypePtr = std::shared_ptr<TypeNode>;
+
+struct TypeNode {
+  TypeKind kind = TypeKind::kVoid;
+  TypePtr element;   // kSequence
+  std::string name;  // kNamed
+};
+
+TypePtr make_basic_type(TypeKind kind);
+TypePtr make_sequence_type(TypePtr element);
+TypePtr make_named_type(std::string name);
+
+/// Printable QIDL spelling, e.g. "sequence<long>".
+std::string type_to_string(const TypeNode& type);
+
+// ---- literals ----
+
+using Literal = std::variant<std::monostate, std::int64_t, double,
+                             std::string, bool>;
+
+// ---- declarations ----
+
+struct ParamDecl {
+  std::string name;
+  TypePtr type;
+};
+
+struct OperationDecl {
+  std::string name;
+  TypePtr result;
+  std::vector<ParamDecl> params;
+  std::vector<std::string> raises;
+  int line = 0;
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<ParamDecl> fields;
+  int line = 0;
+};
+
+struct EnumDecl {
+  std::string name;
+  std::vector<std::string> enumerators;
+  int line = 0;
+};
+
+struct ExceptionDecl {
+  std::string name;
+  std::vector<ParamDecl> fields;
+  int line = 0;
+};
+
+struct InterfaceDecl {
+  std::string name;
+  std::vector<OperationDecl> operations;
+  int line = 0;
+};
+
+/// QoS parameter inside a characteristic (paper §3.2).
+struct QosParamDecl {
+  std::string name;
+  TypePtr type;
+  Literal default_value;
+  std::optional<std::int64_t> range_min;
+  std::optional<std::int64_t> range_max;
+  int line = 0;
+};
+
+enum class QosOpGroup { kMechanism, kPeer, kAspect };
+
+struct QosOperationDecl {
+  QosOpGroup group = QosOpGroup::kMechanism;
+  OperationDecl op;
+};
+
+struct CharacteristicDecl {
+  std::string name;
+  std::string category;  // free-form, e.g. "fault_tolerance"
+  std::vector<QosParamDecl> params;
+  std::vector<QosOperationDecl> operations;
+  int line = 0;
+};
+
+/// `bind Interface : CharA, CharB;` — interface-granularity assignment.
+struct BindDecl {
+  std::string interface_name;
+  std::vector<std::string> characteristics;
+  int line = 0;
+};
+
+struct ModuleDecl;
+
+using Declaration =
+    std::variant<StructDecl, EnumDecl, ExceptionDecl, InterfaceDecl,
+                 CharacteristicDecl, BindDecl,
+                 std::shared_ptr<ModuleDecl>>;
+
+struct ModuleDecl {
+  std::string name;  // empty = file scope
+  std::vector<Declaration> declarations;
+  int line = 0;
+};
+
+/// A parsed compilation unit (the anonymous top-level module).
+using Specification = ModuleDecl;
+
+}  // namespace maqs::qidl

@@ -1,0 +1,624 @@
+#include "qidl/emitter.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "qidl/repository.hpp"
+
+namespace maqs::qidl {
+
+namespace {
+
+// ---- type mapping ----
+
+std::string cpp_type(const TypeNode& type) {
+  switch (type.kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kBoolean: return "bool";
+    case TypeKind::kOctet: return "std::uint8_t";
+    case TypeKind::kShort: return "std::int16_t";
+    case TypeKind::kLong: return "std::int32_t";
+    case TypeKind::kLongLong: return "std::int64_t";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kString: return "std::string";
+    case TypeKind::kSequence:
+      return "std::vector<" + cpp_type(*type.element) + ">";
+    case TypeKind::kNamed: return type.name;
+  }
+  return "void";
+}
+
+bool pass_by_value(const TypeNode& type, const CheckedUnit& unit) {
+  switch (type.kind) {
+    case TypeKind::kString:
+    case TypeKind::kSequence:
+      return false;
+    case TypeKind::kNamed:
+      return unit.find_enum(type.name) != nullptr;  // enums by value
+    default:
+      return true;
+  }
+}
+
+std::string cpp_param(const TypeNode& type, const CheckedUnit& unit) {
+  const std::string base = cpp_type(type);
+  return pass_by_value(type, unit) ? base : "const " + base + "&";
+}
+
+/// Any factory / accessor names for basic types (mediator dispatch).
+const char* any_suffix(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBoolean: return "bool";
+    case TypeKind::kOctet: return "octet";
+    case TypeKind::kShort: return "short";
+    case TypeKind::kLong: return "long";
+    case TypeKind::kLongLong: return "longlong";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kString: return "string";
+    default: return nullptr;
+  }
+}
+
+std::string typecode_expr(const TypeNode& type) {
+  switch (type.kind) {
+    case TypeKind::kBoolean: return "maqs::cdr::TypeCode::boolean_tc()";
+    case TypeKind::kOctet: return "maqs::cdr::TypeCode::octet_tc()";
+    case TypeKind::kShort: return "maqs::cdr::TypeCode::short_tc()";
+    case TypeKind::kLong: return "maqs::cdr::TypeCode::long_tc()";
+    case TypeKind::kLongLong: return "maqs::cdr::TypeCode::longlong_tc()";
+    case TypeKind::kFloat: return "maqs::cdr::TypeCode::float_tc()";
+    case TypeKind::kDouble: return "maqs::cdr::TypeCode::double_tc()";
+    case TypeKind::kString: return "maqs::cdr::TypeCode::string_tc()";
+    default: return "maqs::cdr::TypeCode::void_tc()";
+  }
+}
+
+std::string escape_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string default_any_expr(const QosParamDecl& param) {
+  const auto int_value = [&]() -> std::int64_t {
+    if (const auto* v = std::get_if<std::int64_t>(&param.default_value)) {
+      return *v;
+    }
+    return param.range_min.value_or(0);
+  };
+  switch (param.type->kind) {
+    case TypeKind::kBoolean: {
+      const bool v = std::holds_alternative<bool>(param.default_value) &&
+                     std::get<bool>(param.default_value);
+      return std::string("maqs::cdr::Any::from_bool(") +
+             (v ? "true" : "false") + ")";
+    }
+    case TypeKind::kOctet:
+      return "maqs::cdr::Any::from_octet(" + std::to_string(int_value()) +
+             ")";
+    case TypeKind::kShort:
+      return "maqs::cdr::Any::from_short(" + std::to_string(int_value()) +
+             ")";
+    case TypeKind::kLong:
+      return "maqs::cdr::Any::from_long(" + std::to_string(int_value()) +
+             ")";
+    case TypeKind::kLongLong:
+      return "maqs::cdr::Any::from_longlong(" + std::to_string(int_value()) +
+             ")";
+    case TypeKind::kFloat:
+    case TypeKind::kDouble: {
+      double v = 0;
+      if (const auto* d = std::get_if<double>(&param.default_value)) v = *d;
+      std::ostringstream out;
+      out.precision(17);
+      out << (param.type->kind == TypeKind::kFloat
+                  ? "maqs::cdr::Any::from_float("
+                  : "maqs::cdr::Any::from_double(")
+          << v << ")";
+      return out.str();
+    }
+    case TypeKind::kString: {
+      std::string v;
+      if (const auto* s = std::get_if<std::string>(&param.default_value)) {
+        v = *s;
+      }
+      return "maqs::cdr::Any::from_string(" + escape_string(v) + ")";
+    }
+    default:
+      return "maqs::cdr::Any::make_void()";
+  }
+}
+
+// ---- emitter ----
+
+class Emitter {
+ public:
+  Emitter(const CheckedUnit& unit, const EmitterOptions& options)
+      : unit_(unit), options_(options) {}
+
+  std::string run() {
+    line("// " + options_.banner);
+    line("#pragma once");
+    line("");
+    line("#include <cstdint>");
+    line("#include <string>");
+    line("#include <vector>");
+    line("");
+    line("#include \"cdr/decoder.hpp\"");
+    line("#include \"cdr/encoder.hpp\"");
+    line("#include \"core/characteristic.hpp\"");
+    line("#include \"core/mediator.hpp\"");
+    line("#include \"core/qos_skeleton.hpp\"");
+    line("#include \"orb/exceptions.hpp\"");
+    line("#include \"orb/servant.hpp\"");
+    line("#include \"orb/stub.hpp\"");
+    line("#include \"qidl/generated_support.hpp\"");
+    line("");
+
+    // Group declarations by module, preserving first-appearance order.
+    std::vector<std::string> module_order;
+    std::set<std::string> seen;
+    auto note_module = [&](const std::string& module) {
+      if (seen.insert(module).second) module_order.push_back(module);
+    };
+    for (const auto& d : unit_.enums) note_module(d.module);
+    for (const auto& d : unit_.structs) note_module(d.module);
+    for (const auto& d : unit_.exceptions) note_module(d.module);
+    for (const auto& d : unit_.characteristics) note_module(d.module);
+    for (const auto& d : unit_.interfaces) note_module(d.module);
+
+    for (const std::string& module : module_order) {
+      open_namespace(module);
+      for (const auto& d : unit_.enums) {
+        if (d.module == module) emit_enum(d.decl);
+      }
+      emit_structs_for(module);
+      for (const auto& d : unit_.exceptions) {
+        if (d.module == module) emit_exception(d);
+      }
+      for (const auto& d : unit_.characteristics) {
+        if (d.module == module) emit_characteristic(d.decl);
+      }
+      for (const auto& d : unit_.interfaces) {
+        if (d.module == module) emit_interface(d);
+      }
+      close_namespace(module);
+    }
+    return out_.str();
+  }
+
+ private:
+  void line(const std::string& text) { out_ << text << '\n'; }
+
+  void open_namespace(const std::string& module) {
+    std::string ns = options_.root_namespace;
+    if (!module.empty()) ns += "::" + module;
+    line("namespace " + ns + " {");
+    line("");
+  }
+  void close_namespace(const std::string& module) {
+    std::string ns = options_.root_namespace;
+    if (!module.empty()) ns += "::" + module;
+    line("}  // namespace " + ns);
+    line("");
+  }
+
+  void emit_enum(const EnumDecl& decl) {
+    line("enum class " + decl.name + " : std::uint32_t {");
+    for (std::size_t i = 0; i < decl.enumerators.size(); ++i) {
+      line("  " + decl.enumerators[i] + " = " + std::to_string(i) + ",");
+    }
+    line("};");
+    line("");
+    line("inline void write(maqs::cdr::Encoder& enc, " + decl.name +
+         " v) {");
+    line("  enc.write_u32(static_cast<std::uint32_t>(v));");
+    line("}");
+    line("inline void read(maqs::cdr::Decoder& dec, " + decl.name +
+         "& v) {");
+    line("  const std::uint32_t raw = dec.read_u32();");
+    line("  if (raw >= " + std::to_string(decl.enumerators.size()) + "u) {");
+    line("    throw maqs::cdr::CdrError(\"" + decl.name +
+         ": enum ordinal out of range\");");
+    line("  }");
+    line("  v = static_cast<" + decl.name + ">(raw);");
+    line("}");
+    line("");
+  }
+
+  /// Emits structs of a module in dependency order.
+  void emit_structs_for(const std::string& module) {
+    std::vector<const CheckedStruct*> pending;
+    for (const auto& d : unit_.structs) {
+      if (d.module == module) pending.push_back(&d);
+    }
+    std::set<std::string> emitted;
+    while (!pending.empty()) {
+      const std::size_t before = pending.size();
+      for (auto it = pending.begin(); it != pending.end();) {
+        bool ready = true;
+        for (const ParamDecl& field : (*it)->decl.fields) {
+          const TypeNode* t = field.type.get();
+          while (t->kind == TypeKind::kSequence) t = t->element.get();
+          if (t->kind == TypeKind::kNamed && unit_.find_struct(t->name) &&
+              !emitted.contains(t->name)) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          emit_struct((*it)->decl);
+          emitted.insert((*it)->decl.name);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (pending.size() == before) {
+        // Cycle (sema rejects direct self-reference; indirect cycles
+        // land here). Emit in declaration order and let C++ diagnose.
+        for (const CheckedStruct* s : pending) emit_struct(s->decl);
+        return;
+      }
+    }
+  }
+
+  void emit_struct(const StructDecl& decl) {
+    line("struct " + decl.name + " {");
+    for (const ParamDecl& field : decl.fields) {
+      line("  " + cpp_type(*field.type) + " " + field.name + "{};");
+    }
+    line("  bool operator==(const " + decl.name +
+         "&) const = default;");
+    line("};");
+    line("");
+    line("inline void write(maqs::cdr::Encoder& enc, const " + decl.name +
+         "& v) {");
+    line("  using maqs::qidl::gen::write;");
+    for (const ParamDecl& field : decl.fields) {
+      line("  write(enc, v." + field.name + ");");
+    }
+    line("  (void)enc; (void)v;");
+    line("}");
+    line("inline void read(maqs::cdr::Decoder& dec, " + decl.name +
+         "& v) {");
+    line("  using maqs::qidl::gen::read;");
+    for (const ParamDecl& field : decl.fields) {
+      line("  read(dec, v." + field.name + ");");
+    }
+    line("  (void)dec; (void)v;");
+    line("}");
+    line("");
+  }
+
+  void emit_exception(const CheckedException& checked) {
+    const ExceptionDecl& decl = checked.decl;
+    line("struct " + decl.name + " {");
+    for (const ParamDecl& field : decl.fields) {
+      line("  " + cpp_type(*field.type) + " " + field.name + "{};");
+    }
+    line("  static const char* repo_id() { return " +
+         escape_string(checked.repo_id) + "; }");
+    line("};");
+    line("");
+  }
+
+  void emit_descriptor_factory(const CharacteristicDecl& decl) {
+    line("inline maqs::core::CharacteristicDescriptor make_" + decl.name +
+         "_descriptor() {");
+    line("  return maqs::core::CharacteristicDescriptor(");
+    line("      " + escape_string(decl.name) + ",");
+    const std::string category = [&] {
+      switch (category_from_string(decl.category)) {
+        case core::QosCategory::kFaultTolerance:
+          return "kFaultTolerance";
+        case core::QosCategory::kPerformance: return "kPerformance";
+        case core::QosCategory::kBandwidth: return "kBandwidth";
+        case core::QosCategory::kActuality: return "kActuality";
+        case core::QosCategory::kPrivacy: return "kPrivacy";
+        case core::QosCategory::kOther: return "kOther";
+      }
+      return "kOther";
+    }();
+    line("      maqs::core::QosCategory::" + category + ",");
+    line("      {");
+    for (const QosParamDecl& param : decl.params) {
+      const std::string min =
+          param.range_min.has_value()
+              ? "std::optional<std::int64_t>{" +
+                    std::to_string(*param.range_min) + "}"
+              : "std::optional<std::int64_t>{}";
+      const std::string max =
+          param.range_max.has_value()
+              ? "std::optional<std::int64_t>{" +
+                    std::to_string(*param.range_max) + "}"
+              : "std::optional<std::int64_t>{}";
+      line("          maqs::core::ParamDesc{" + escape_string(param.name) +
+           ", " + typecode_expr(*param.type) + ", " +
+           default_any_expr(param) + ", " + min + ", " + max + "},");
+    }
+    line("      },");
+    line("      {");
+    for (const QosOperationDecl& op : decl.operations) {
+      const char* kind = op.group == QosOpGroup::kMechanism ? "kMechanism"
+                         : op.group == QosOpGroup::kPeer    ? "kPeer"
+                                                            : "kAspect";
+      line("          maqs::core::QosOpDesc{" +
+           escape_string(op.op.name) + ", maqs::core::QosOpKind::" + kind +
+           "},");
+    }
+    line("      });");
+    line("}");
+    line("");
+  }
+
+  std::string virtual_signature(const OperationDecl& op) {
+    std::string sig = "virtual " + cpp_type(*op.result) + " " + op.name + "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i > 0) sig += ", ";
+      sig += cpp_param(*op.params[i].type, unit_) + " " + op.params[i].name;
+    }
+    sig += ") = 0;";
+    return sig;
+  }
+
+  /// Shared unmarshal-call-marshal body used by skeleton dispatch and the
+  /// QoS impl dispatch.
+  void emit_dispatch_case(const OperationDecl& op, bool first) {
+    line(std::string("    ") + (first ? "if" : "} else if") + " (_op == " +
+         escape_string(op.name) + ") {");
+    line("      using maqs::qidl::gen::read;");
+    line("      using maqs::qidl::gen::write;");
+    for (const ParamDecl& param : op.params) {
+      line("      " + cpp_type(*param.type) + " " + param.name + "{};");
+      line("      read(_args, " + param.name + ");");
+    }
+    line("      _args.expect_end();");
+    std::string call = op.name + "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i > 0) call += ", ";
+      call += op.params[i].name;
+    }
+    call += ")";
+    if (op.result->kind == TypeKind::kVoid) {
+      line("      " + call + ";");
+    } else {
+      line("      write(_out, " + call + ");");
+    }
+  }
+
+  void emit_mediator_base(const CharacteristicDecl& decl) {
+    line("class " + decl.name +
+         "MediatorBase : public maqs::core::Mediator {");
+    line(" public:");
+    line("  " + decl.name + "MediatorBase() : maqs::core::Mediator(" +
+         escape_string(decl.name) + ") {}");
+    line("");
+    line("  // QoS operations (client half of the QIDL mapping).");
+    for (const QosOperationDecl& op : decl.operations) {
+      line("  " + virtual_signature(op.op));
+    }
+    line("");
+    line("  maqs::cdr::Any qos_operation(const std::string& _op,");
+    line("      const std::vector<maqs::cdr::Any>& _args) override {");
+    bool first = true;
+    for (const QosOperationDecl& op : decl.operations) {
+      // Only ops with Any-mappable signatures are client-dispatchable.
+      bool mappable = any_suffix(op.op.result->kind) != nullptr ||
+                      op.op.result->kind == TypeKind::kVoid;
+      for (const ParamDecl& param : op.op.params) {
+        mappable = mappable && any_suffix(param.type->kind) != nullptr;
+      }
+      if (!mappable) continue;
+      line(std::string("    ") + (first ? "if" : "} else if") +
+           " (_op == " + escape_string(op.op.name) + ") {");
+      first = false;
+      line("      if (_args.size() != " +
+           std::to_string(op.op.params.size()) + ") {");
+      line("        throw maqs::core::QosError(\"" + op.op.name +
+           ": wrong argument count\");");
+      line("      }");
+      std::string call = op.op.name + "(";
+      for (std::size_t i = 0; i < op.op.params.size(); ++i) {
+        if (i > 0) call += ", ";
+        call += "_args[" + std::to_string(i) + "].as_" +
+                any_suffix(op.op.params[i].type->kind) + "()";
+      }
+      call += ")";
+      if (op.op.result->kind == TypeKind::kVoid) {
+        line("      " + call + ";");
+        line("      return maqs::cdr::Any::make_void();");
+      } else {
+        line("      return maqs::cdr::Any::from_" +
+             std::string(any_suffix(op.op.result->kind)) + "(" + call +
+             ");");
+      }
+    }
+    if (!first) line("    }");
+    line("    return maqs::core::Mediator::qos_operation(_op, _args);");
+    line("  }");
+    line("};");
+    line("");
+  }
+
+  void emit_impl_base(const CharacteristicDecl& decl) {
+    line("class " + decl.name + "ImplBase : public maqs::core::QosImpl {");
+    line(" public:");
+    line("  " + decl.name + "ImplBase() : maqs::core::QosImpl(" +
+         escape_string(decl.name) + ") {}");
+    line("");
+    line("  // QoS operations (server half of the QIDL mapping).");
+    for (const QosOperationDecl& op : decl.operations) {
+      line("  " + virtual_signature(op.op));
+    }
+    line("");
+    line("  void dispatch_qos_op(const std::string& _op,");
+    line("      maqs::cdr::Decoder& _args, maqs::cdr::Encoder& _out,");
+    line("      maqs::orb::ServerContext& _ctx) override {");
+    bool first = true;
+    for (const QosOperationDecl& op : decl.operations) {
+      emit_dispatch_case(op.op, first);
+      first = false;
+      line("      return;");
+    }
+    if (!first) line("    }");
+    line("    maqs::core::QosImpl::dispatch_qos_op(_op, _args, _out, "
+         "_ctx);");
+    line("  }");
+    line("};");
+    line("");
+  }
+
+  void emit_characteristic(const CharacteristicDecl& decl) {
+    emit_descriptor_factory(decl);
+    emit_mediator_base(decl);
+    emit_impl_base(decl);
+  }
+
+  void emit_stub(const CheckedInterface& iface) {
+    const std::string name = iface.decl.name;
+    line("class " + name + "Stub : public maqs::orb::StubBase {");
+    line(" public:");
+    line("  " + name +
+         "Stub(maqs::orb::Orb& orb, maqs::orb::ObjRef ref)");
+    line("      : maqs::orb::StubBase(orb, std::move(ref)) {}");
+    line("");
+    for (const OperationDecl& op : iface.decl.operations) {
+      std::string sig = "  " + cpp_type(*op.result) + " " + op.name + "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        if (i > 0) sig += ", ";
+        sig += cpp_param(*op.params[i].type, unit_) + " " +
+               op.params[i].name;
+      }
+      sig += ") const {";
+      line(sig);
+      line("    using maqs::qidl::gen::read;");
+      line("    using maqs::qidl::gen::write;");
+      line("    maqs::cdr::Encoder _args;");
+      for (const ParamDecl& param : op.params) {
+        line("    write(_args, " + param.name + ");");
+      }
+      if (op.result->kind == TypeKind::kVoid) {
+        line("    invoke_operation(" + escape_string(op.name) +
+             ", _args.take());");
+      } else {
+        line("    maqs::cdr::Decoder _result(invoke_operation(" +
+             escape_string(op.name) + ", _args.take()));");
+        line("    " + cpp_type(*op.result) + " _out{};");
+        line("    read(_result, _out);");
+        line("    _result.expect_end();");
+        line("    return _out;");
+      }
+      line("  }");
+      line("");
+    }
+    line("};");
+    line("");
+  }
+
+  void emit_dispatch_body(const CheckedInterface& iface) {
+    line("    (void)_ctx;");
+    bool first = true;
+    for (const OperationDecl& op : iface.decl.operations) {
+      emit_dispatch_case(op, first);
+      first = false;
+    }
+    if (!first) {
+      line("    } else {");
+      line("      throw maqs::orb::BadOperation(\"" + iface.decl.name +
+           ": unknown operation \" + _op);");
+      line("    }");
+    } else {
+      line("    throw maqs::orb::BadOperation(\"" + iface.decl.name +
+           ": unknown operation \" + _op);");
+    }
+  }
+
+  void emit_skeleton(const CheckedInterface& iface) {
+    const std::string name = iface.decl.name;
+    line("class " + name + "Skeleton : public maqs::orb::Servant {");
+    line(" public:");
+    line("  const std::string& repo_id() const override {");
+    line("    static const std::string _id = " +
+         escape_string(iface.repo_id) + ";");
+    line("    return _id;");
+    line("  }");
+    line("");
+    for (const OperationDecl& op : iface.decl.operations) {
+      line("  " + virtual_signature(op));
+    }
+    line("");
+    line("  void dispatch(const std::string& _op, maqs::cdr::Decoder& "
+         "_args,");
+    line("      maqs::cdr::Encoder& _out, maqs::orb::ServerContext& _ctx) "
+         "override {");
+    emit_dispatch_body(iface);
+    line("  }");
+    line("};");
+    line("");
+  }
+
+  void emit_qos_skeleton(const CheckedInterface& iface) {
+    const std::string name = iface.decl.name;
+    line("// QoS-enabled server skeleton (Fig. 2): inherits the QoS");
+    line("// skeleton base; the bound characteristics are assigned in the");
+    line("// constructor, their delegates exchanged at negotiation time.");
+    line("class " + name +
+         "QosSkeleton : public maqs::core::QosServantBase {");
+    line(" public:");
+    line("  " + name + "QosSkeleton() {");
+    for (const std::string& characteristic : iface.bound_characteristics) {
+      line("    assign_characteristic(make_" + characteristic +
+           "_descriptor());");
+    }
+    line("  }");
+    line("");
+    line("  const std::string& repo_id() const override {");
+    line("    static const std::string _id = " +
+         escape_string(iface.repo_id) + ";");
+    line("    return _id;");
+    line("  }");
+    line("");
+    for (const OperationDecl& op : iface.decl.operations) {
+      line("  " + virtual_signature(op));
+    }
+    line("");
+    line(" protected:");
+    line("  void dispatch_app(const std::string& _op, maqs::cdr::Decoder& "
+         "_args,");
+    line("      maqs::cdr::Encoder& _out, maqs::orb::ServerContext& _ctx) "
+         "override {");
+    emit_dispatch_body(iface);
+    line("  }");
+    line("};");
+    line("");
+  }
+
+  void emit_interface(const CheckedInterface& iface) {
+    emit_stub(iface);
+    emit_skeleton(iface);
+    if (!iface.bound_characteristics.empty()) {
+      emit_qos_skeleton(iface);
+    }
+  }
+
+  const CheckedUnit& unit_;
+  EmitterOptions options_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string emit_header(const CheckedUnit& unit,
+                        const EmitterOptions& options) {
+  return Emitter(unit, options).run();
+}
+
+}  // namespace maqs::qidl

@@ -1,0 +1,214 @@
+#include "qidl/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace maqs::qidl {
+
+namespace {
+constexpr std::array kKeywords = {
+    // IDL core
+    "module", "interface", "struct", "enum", "exception", "void", "boolean",
+    "octet", "short", "long", "float", "double", "string", "sequence", "in",
+    "out", "inout", "raises",
+    // QoS extension (paper §3.2)
+    "qos", "characteristic", "param", "mechanism", "peer", "aspect",
+    "category", "bind", "range",
+};
+}  // namespace
+
+bool is_qidl_keyword(std::string_view word) {
+  for (const char* kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  const auto peek = [&](std::size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+  const auto advance = [&]() -> char {
+    const char c = source[i++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      const int start_column = column;
+      advance();
+      advance();
+      while (true) {
+        if (i >= source.size()) {
+          throw QidlError("unterminated block comment", start_line,
+                          start_column);
+        }
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          break;
+        }
+        advance();
+      }
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    // Identifiers / keywords / bool literals.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        word.push_back(advance());
+      }
+      if (word == "true" || word == "false") {
+        token.kind = TokenKind::kBoolLiteral;
+        token.bool_value = (word == "true");
+      } else if (is_qidl_keyword(word)) {
+        token.kind = TokenKind::kKeyword;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+      }
+      token.text = std::move(word);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Numbers (int or float; optional leading '-').
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string number;
+      if (peek() == '-') number.push_back(advance());
+      bool is_float = false;
+      while (i < source.size()) {
+        const char d = peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          number.push_back(advance());
+        } else if (d == '.' && peek(1) != '.') {
+          // ".." is the range punctuator, not a decimal point.
+          if (is_float) break;
+          is_float = true;
+          number.push_back(advance());
+        } else {
+          break;
+        }
+      }
+      if (is_float) {
+        token.kind = TokenKind::kFloatLiteral;
+        token.float_value = std::stod(number);
+      } else {
+        token.kind = TokenKind::kIntLiteral;
+        try {
+          token.int_value = std::stoll(number);
+        } catch (const std::out_of_range&) {
+          throw QidlError("integer literal out of range", token.line,
+                          token.column);
+        }
+      }
+      token.text = std::move(number);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // String literals.
+    if (c == '"') {
+      advance();
+      std::string value;
+      while (true) {
+        if (i >= source.size() || peek() == '\n') {
+          throw QidlError("unterminated string literal", token.line,
+                          token.column);
+        }
+        const char d = advance();
+        if (d == '"') break;
+        if (d == '\\') {
+          if (i >= source.size()) {
+            throw QidlError("unterminated escape", token.line, token.column);
+          }
+          const char e = advance();
+          switch (e) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case '"': value.push_back('"'); break;
+            case '\\': value.push_back('\\'); break;
+            default:
+              throw QidlError(std::string("bad escape '\\") + e + "'",
+                              token.line, token.column);
+          }
+          continue;
+        }
+        value.push_back(d);
+      }
+      token.kind = TokenKind::kStringLiteral;
+      token.string_value = std::move(value);
+      token.text = "\"...\"";
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Punctuation (multi-char first).
+    if (c == ':' && peek(1) == ':') {
+      advance();
+      advance();
+      token.kind = TokenKind::kPunct;
+      token.text = "::";
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      token.kind = TokenKind::kPunct;
+      token.text = "..";
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    static constexpr std::string_view kSingle = "{}()<>,;:=";
+    if (kSingle.find(c) != std::string_view::npos) {
+      advance();
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    throw QidlError(std::string("stray character '") + c + "'", line,
+                    column);
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace maqs::qidl

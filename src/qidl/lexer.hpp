@@ -1,0 +1,24 @@
+// QIDL lexer.
+//
+// QIDL is OMG IDL plus the QoS extension keywords of the paper (§3.2):
+// `qos characteristic`, the operation groups `mechanism` / `peer` /
+// `aspect`, `param` declarations with defaults and ranges, `category`,
+// and `bind` statements attaching characteristics to interfaces.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "qidl/token.hpp"
+
+namespace maqs::qidl {
+
+/// True for QIDL keywords (IDL core + QoS extension).
+bool is_qidl_keyword(std::string_view word);
+
+/// Tokenizes a complete QIDL source. Throws QidlError on malformed input
+/// (unterminated strings/comments, stray characters). The result always
+/// ends with a kEnd token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace maqs::qidl

@@ -1,0 +1,385 @@
+#include "qidl/parser.hpp"
+
+#include "qidl/lexer.hpp"
+
+namespace maqs::qidl {
+
+// ---- AST helpers ----
+
+TypePtr make_basic_type(TypeKind kind) {
+  auto t = std::make_shared<TypeNode>();
+  t->kind = kind;
+  return t;
+}
+
+TypePtr make_sequence_type(TypePtr element) {
+  auto t = std::make_shared<TypeNode>();
+  t->kind = TypeKind::kSequence;
+  t->element = std::move(element);
+  return t;
+}
+
+TypePtr make_named_type(std::string name) {
+  auto t = std::make_shared<TypeNode>();
+  t->kind = TypeKind::kNamed;
+  t->name = std::move(name);
+  return t;
+}
+
+std::string type_to_string(const TypeNode& type) {
+  switch (type.kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kBoolean: return "boolean";
+    case TypeKind::kOctet: return "octet";
+    case TypeKind::kShort: return "short";
+    case TypeKind::kLong: return "long";
+    case TypeKind::kLongLong: return "long long";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kString: return "string";
+    case TypeKind::kSequence:
+      return "sequence<" + type_to_string(*type.element) + ">";
+    case TypeKind::kNamed: return type.name;
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  Specification parse_specification() {
+    Specification spec;
+    while (!at_end()) {
+      spec.declarations.push_back(parse_declaration());
+    }
+    return spec;
+  }
+
+ private:
+  const Token& peek(std::size_t offset = 0) const {
+    const std::size_t index = std::min(pos_ + offset, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool at_end() const { return peek().kind == TokenKind::kEnd; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw QidlError(what + " (found '" + peek().text + "')", peek().line,
+                    peek().column);
+  }
+
+  const Token& expect_punct(const std::string& p) {
+    if (!peek().is_punct(p)) fail("expected '" + p + "'");
+    return advance();
+  }
+  const Token& expect_keyword(const std::string& kw) {
+    if (!peek().is_keyword(kw)) fail("expected '" + kw + "'");
+    return advance();
+  }
+  std::string expect_identifier(const std::string& what) {
+    if (!peek().is_identifier()) fail("expected " + what);
+    return advance().text;
+  }
+  bool accept_punct(const std::string& p) {
+    if (peek().is_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Declaration parse_declaration() {
+    const Token& token = peek();
+    if (token.is_keyword("module")) return parse_module();
+    if (token.is_keyword("interface")) return parse_interface();
+    if (token.is_keyword("struct")) return parse_struct();
+    if (token.is_keyword("enum")) return parse_enum();
+    if (token.is_keyword("exception")) return parse_exception();
+    if (token.is_keyword("qos")) return parse_characteristic();
+    if (token.is_keyword("bind")) return parse_bind();
+    fail("expected a declaration");
+  }
+
+  std::shared_ptr<ModuleDecl> parse_module() {
+    auto module = std::make_shared<ModuleDecl>();
+    module->line = peek().line;
+    expect_keyword("module");
+    module->name = expect_identifier("module name");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail("unterminated module");
+      module->declarations.push_back(parse_declaration());
+    }
+    expect_punct("}");
+    accept_punct(";");
+    return module;
+  }
+
+  TypePtr parse_type() {
+    const Token& token = peek();
+    if (token.is_keyword("void")) {
+      advance();
+      return make_basic_type(TypeKind::kVoid);
+    }
+    if (token.is_keyword("boolean")) {
+      advance();
+      return make_basic_type(TypeKind::kBoolean);
+    }
+    if (token.is_keyword("octet")) {
+      advance();
+      return make_basic_type(TypeKind::kOctet);
+    }
+    if (token.is_keyword("short")) {
+      advance();
+      return make_basic_type(TypeKind::kShort);
+    }
+    if (token.is_keyword("long")) {
+      advance();
+      if (peek().is_keyword("long")) {
+        advance();
+        return make_basic_type(TypeKind::kLongLong);
+      }
+      return make_basic_type(TypeKind::kLong);
+    }
+    if (token.is_keyword("float")) {
+      advance();
+      return make_basic_type(TypeKind::kFloat);
+    }
+    if (token.is_keyword("double")) {
+      advance();
+      return make_basic_type(TypeKind::kDouble);
+    }
+    if (token.is_keyword("string")) {
+      advance();
+      return make_basic_type(TypeKind::kString);
+    }
+    if (token.is_keyword("sequence")) {
+      advance();
+      expect_punct("<");
+      TypePtr element = parse_type();
+      if (element->kind == TypeKind::kVoid) {
+        fail("sequence of void is not a type");
+      }
+      expect_punct(">");
+      return make_sequence_type(std::move(element));
+    }
+    if (token.is_identifier()) {
+      return make_named_type(advance().text);
+    }
+    fail("expected a type");
+  }
+
+  OperationDecl parse_operation() {
+    OperationDecl op;
+    op.line = peek().line;
+    op.result = parse_type();
+    op.name = expect_identifier("operation name");
+    expect_punct("(");
+    if (!peek().is_punct(")")) {
+      while (true) {
+        ParamDecl param;
+        if (peek().is_keyword("in")) {
+          advance();
+        } else if (peek().is_keyword("out") || peek().is_keyword("inout")) {
+          fail("only 'in' parameters are supported by the QIDL mapping");
+        }
+        param.type = parse_type();
+        if (param.type->kind == TypeKind::kVoid) {
+          fail("void parameter");
+        }
+        param.name = expect_identifier("parameter name");
+        op.params.push_back(std::move(param));
+        if (!accept_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    if (peek().is_keyword("raises")) {
+      advance();
+      expect_punct("(");
+      while (true) {
+        op.raises.push_back(expect_identifier("exception name"));
+        if (!accept_punct(",")) break;
+      }
+      expect_punct(")");
+    }
+    expect_punct(";");
+    return op;
+  }
+
+  InterfaceDecl parse_interface() {
+    InterfaceDecl decl;
+    decl.line = peek().line;
+    expect_keyword("interface");
+    decl.name = expect_identifier("interface name");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail("unterminated interface");
+      decl.operations.push_back(parse_operation());
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return decl;
+  }
+
+  std::vector<ParamDecl> parse_field_block(const char* what) {
+    std::vector<ParamDecl> fields;
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail(std::string("unterminated ") + what);
+      ParamDecl field;
+      field.type = parse_type();
+      if (field.type->kind == TypeKind::kVoid) fail("void field");
+      field.name = expect_identifier("field name");
+      expect_punct(";");
+      fields.push_back(std::move(field));
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return fields;
+  }
+
+  StructDecl parse_struct() {
+    StructDecl decl;
+    decl.line = peek().line;
+    expect_keyword("struct");
+    decl.name = expect_identifier("struct name");
+    decl.fields = parse_field_block("struct");
+    return decl;
+  }
+
+  ExceptionDecl parse_exception() {
+    ExceptionDecl decl;
+    decl.line = peek().line;
+    expect_keyword("exception");
+    decl.name = expect_identifier("exception name");
+    decl.fields = parse_field_block("exception");
+    return decl;
+  }
+
+  EnumDecl parse_enum() {
+    EnumDecl decl;
+    decl.line = peek().line;
+    expect_keyword("enum");
+    decl.name = expect_identifier("enum name");
+    expect_punct("{");
+    while (true) {
+      decl.enumerators.push_back(expect_identifier("enumerator"));
+      if (!accept_punct(",")) break;
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return decl;
+  }
+
+  Literal parse_literal() {
+    const Token& token = peek();
+    switch (token.kind) {
+      case TokenKind::kIntLiteral:
+        advance();
+        return token.int_value;
+      case TokenKind::kFloatLiteral:
+        advance();
+        return token.float_value;
+      case TokenKind::kStringLiteral:
+        advance();
+        return token.string_value;
+      case TokenKind::kBoolLiteral:
+        advance();
+        return token.bool_value;
+      default:
+        fail("expected a literal");
+    }
+  }
+
+  CharacteristicDecl parse_characteristic() {
+    CharacteristicDecl decl;
+    decl.line = peek().line;
+    expect_keyword("qos");
+    expect_keyword("characteristic");
+    decl.name = expect_identifier("characteristic name");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail("unterminated characteristic");
+      if (peek().is_keyword("category")) {
+        advance();
+        decl.category = expect_identifier("category name");
+        expect_punct(";");
+        continue;
+      }
+      if (peek().is_keyword("param")) {
+        advance();
+        QosParamDecl param;
+        param.line = peek().line;
+        param.type = parse_type();
+        if (param.type->kind == TypeKind::kVoid) fail("void QoS param");
+        param.name = expect_identifier("QoS param name");
+        if (accept_punct("=")) {
+          param.default_value = parse_literal();
+        }
+        if (peek().is_keyword("range")) {
+          advance();
+          if (peek().kind != TokenKind::kIntLiteral) {
+            fail("expected range lower bound");
+          }
+          param.range_min = advance().int_value;
+          expect_punct("..");
+          if (peek().kind != TokenKind::kIntLiteral) {
+            fail("expected range upper bound");
+          }
+          param.range_max = advance().int_value;
+        }
+        expect_punct(";");
+        decl.params.push_back(std::move(param));
+        continue;
+      }
+      QosOperationDecl op;
+      if (peek().is_keyword("mechanism")) {
+        advance();
+        op.group = QosOpGroup::kMechanism;
+      } else if (peek().is_keyword("peer")) {
+        advance();
+        op.group = QosOpGroup::kPeer;
+      } else if (peek().is_keyword("aspect")) {
+        advance();
+        op.group = QosOpGroup::kAspect;
+      } else {
+        fail("expected 'category', 'param', 'mechanism', 'peer' or "
+             "'aspect'");
+      }
+      op.op = parse_operation();
+      decl.operations.push_back(std::move(op));
+    }
+    expect_punct("}");
+    expect_punct(";");
+    return decl;
+  }
+
+  BindDecl parse_bind() {
+    BindDecl decl;
+    decl.line = peek().line;
+    expect_keyword("bind");
+    decl.interface_name = expect_identifier("interface name");
+    expect_punct(":");
+    while (true) {
+      decl.characteristics.push_back(
+          expect_identifier("characteristic name"));
+      if (!accept_punct(",")) break;
+    }
+    expect_punct(";");
+    return decl;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Specification parse(std::string_view source) {
+  return Parser(source).parse_specification();
+}
+
+}  // namespace maqs::qidl

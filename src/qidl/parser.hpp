@@ -1,0 +1,15 @@
+// QIDL recursive-descent parser.
+#pragma once
+
+#include <string_view>
+
+#include "qidl/ast.hpp"
+#include "qidl/token.hpp"
+
+namespace maqs::qidl {
+
+/// Parses a QIDL source into its AST. Throws QidlError with position
+/// information on syntax errors.
+Specification parse(std::string_view source);
+
+}  // namespace maqs::qidl

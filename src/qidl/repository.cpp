@@ -1,0 +1,221 @@
+#include "qidl/repository.hpp"
+
+namespace maqs::qidl {
+
+const OperationSignature* InterfaceEntry::find_operation(
+    const std::string& op_name) const {
+  for (const OperationSignature& op : operations) {
+    if (op.name == op_name) return &op;
+  }
+  return nullptr;
+}
+
+cdr::TypeCodePtr typecode_for(
+    const TypeNode& type,
+    const std::map<std::string, cdr::TypeCodePtr>& named) {
+  switch (type.kind) {
+    case TypeKind::kVoid: return cdr::TypeCode::void_tc();
+    case TypeKind::kBoolean: return cdr::TypeCode::boolean_tc();
+    case TypeKind::kOctet: return cdr::TypeCode::octet_tc();
+    case TypeKind::kShort: return cdr::TypeCode::short_tc();
+    case TypeKind::kLong: return cdr::TypeCode::long_tc();
+    case TypeKind::kLongLong: return cdr::TypeCode::longlong_tc();
+    case TypeKind::kFloat: return cdr::TypeCode::float_tc();
+    case TypeKind::kDouble: return cdr::TypeCode::double_tc();
+    case TypeKind::kString: return cdr::TypeCode::string_tc();
+    case TypeKind::kSequence:
+      return cdr::TypeCode::sequence_tc(typecode_for(*type.element, named));
+    case TypeKind::kNamed: {
+      auto it = named.find(type.name);
+      if (it == named.end()) {
+        throw QidlError("repository: unresolved type '" + type.name + "'",
+                        0, 0);
+      }
+      return it->second;
+    }
+  }
+  throw QidlError("repository: bad type kind", 0, 0);
+}
+
+core::QosCategory category_from_string(const std::string& category) {
+  if (category == "fault_tolerance") return core::QosCategory::kFaultTolerance;
+  if (category == "performance") return core::QosCategory::kPerformance;
+  if (category == "bandwidth") return core::QosCategory::kBandwidth;
+  if (category == "actuality") return core::QosCategory::kActuality;
+  if (category == "privacy") return core::QosCategory::kPrivacy;
+  return core::QosCategory::kOther;
+}
+
+namespace {
+
+cdr::Any default_any_for(const QosParamDecl& param) {
+  const TypeKind kind = param.type->kind;
+  const Literal& literal = param.default_value;
+  const auto int_default = [&]() -> std::int64_t {
+    if (const auto* v = std::get_if<std::int64_t>(&literal)) return *v;
+    return param.range_min.value_or(0);
+  };
+  switch (kind) {
+    case TypeKind::kBoolean:
+      return cdr::Any::from_bool(
+          std::holds_alternative<bool>(literal) && std::get<bool>(literal));
+    case TypeKind::kOctet:
+      return cdr::Any::from_octet(static_cast<std::uint8_t>(int_default()));
+    case TypeKind::kShort:
+      return cdr::Any::from_short(static_cast<std::int16_t>(int_default()));
+    case TypeKind::kLong:
+      return cdr::Any::from_long(static_cast<std::int32_t>(int_default()));
+    case TypeKind::kLongLong:
+      return cdr::Any::from_longlong(int_default());
+    case TypeKind::kFloat:
+      return cdr::Any::from_float(
+          std::holds_alternative<double>(literal)
+              ? static_cast<float>(std::get<double>(literal))
+              : 0.0f);
+    case TypeKind::kDouble:
+      return cdr::Any::from_double(std::holds_alternative<double>(literal)
+                                       ? std::get<double>(literal)
+                                       : 0.0);
+    case TypeKind::kString:
+      return cdr::Any::from_string(
+          std::holds_alternative<std::string>(literal)
+              ? std::get<std::string>(literal)
+              : "");
+    default:
+      throw QidlError("QoS param '" + param.name + "' has no Any mapping",
+                      param.line, 1);
+  }
+}
+
+core::QosOpKind op_kind(QosOpGroup group) {
+  switch (group) {
+    case QosOpGroup::kMechanism: return core::QosOpKind::kMechanism;
+    case QosOpGroup::kPeer: return core::QosOpKind::kPeer;
+    case QosOpGroup::kAspect: return core::QosOpKind::kAspect;
+  }
+  return core::QosOpKind::kMechanism;
+}
+
+}  // namespace
+
+core::CharacteristicDescriptor to_descriptor(const CharacteristicDecl& decl) {
+  static const std::map<std::string, cdr::TypeCodePtr> kNoNamed;
+  std::vector<core::ParamDesc> params;
+  for (const QosParamDecl& param : decl.params) {
+    core::ParamDesc desc;
+    desc.name = param.name;
+    desc.type = typecode_for(*param.type, kNoNamed);
+    desc.default_value = default_any_for(param);
+    desc.min = param.range_min;
+    desc.max = param.range_max;
+    params.push_back(std::move(desc));
+  }
+  std::vector<core::QosOpDesc> ops;
+  for (const QosOperationDecl& op : decl.operations) {
+    ops.push_back(core::QosOpDesc{op.op.name, op_kind(op.group)});
+  }
+  return core::CharacteristicDescriptor(
+      decl.name, category_from_string(decl.category), std::move(params),
+      std::move(ops));
+}
+
+InterfaceRepository InterfaceRepository::build(const CheckedUnit& unit) {
+  InterfaceRepository repo;
+  // Enums first (no dependencies), then structs (may reference enums and
+  // earlier structs; sema guarantees definition-before-use ordering is
+  // resolvable because self-reference is rejected and forward references
+  // across structs are rare — resolve iteratively).
+  for (const CheckedEnum& e : unit.enums) {
+    repo.named_types_[e.decl.name] =
+        cdr::TypeCode::enum_tc(e.decl.name, e.decl.enumerators);
+  }
+  // Iterate until all structs resolve (handles any declaration order).
+  std::vector<const CheckedStruct*> pending;
+  for (const CheckedStruct& s : unit.structs) pending.push_back(&s);
+  while (!pending.empty()) {
+    const std::size_t before = pending.size();
+    for (auto it = pending.begin(); it != pending.end();) {
+      const CheckedStruct* s = *it;
+      try {
+        std::vector<std::pair<std::string, cdr::TypeCodePtr>> members;
+        for (const ParamDecl& field : s->decl.fields) {
+          members.emplace_back(
+              field.name, typecode_for(*field.type, repo.named_types_));
+        }
+        repo.named_types_[s->decl.name] =
+            cdr::TypeCode::struct_tc(s->decl.name, std::move(members));
+        it = pending.erase(it);
+      } catch (const QidlError&) {
+        ++it;  // dependency not resolved yet
+      }
+    }
+    if (pending.size() == before) {
+      throw QidlError("repository: cyclic or unresolved struct '" +
+                          pending.front()->decl.name + "'",
+                      pending.front()->decl.line, 1);
+    }
+  }
+
+  for (const CheckedInterface& iface : unit.interfaces) {
+    InterfaceEntry entry;
+    entry.name = iface.decl.name;
+    entry.repo_id = iface.repo_id;
+    entry.bound_characteristics = iface.bound_characteristics;
+    for (const OperationDecl& op : iface.decl.operations) {
+      OperationSignature signature;
+      signature.name = op.name;
+      signature.result = typecode_for(*op.result, repo.named_types_);
+      for (const ParamDecl& param : op.params) {
+        signature.params.emplace_back(
+            param.name, typecode_for(*param.type, repo.named_types_));
+      }
+      for (const std::string& raised : op.raises) {
+        signature.raises.push_back(
+            unit.find_exception(raised)->repo_id);
+      }
+      entry.operations.push_back(std::move(signature));
+    }
+    repo.interfaces_.push_back(std::move(entry));
+  }
+
+  for (const CheckedCharacteristic& characteristic : unit.characteristics) {
+    repo.catalog_.add(to_descriptor(characteristic.decl));
+  }
+  return repo;
+}
+
+const InterfaceEntry* InterfaceRepository::find_interface(
+    const std::string& name) const {
+  for (const InterfaceEntry& entry : interfaces_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const InterfaceEntry* InterfaceRepository::find_by_repo_id(
+    const std::string& repo_id) const {
+  for (const InterfaceEntry& entry : interfaces_) {
+    if (entry.repo_id == repo_id) return &entry;
+  }
+  return nullptr;
+}
+
+const core::CharacteristicDescriptor& InterfaceRepository::characteristic(
+    const std::string& name) const {
+  return catalog_.get(name);
+}
+
+cdr::TypeCodePtr InterfaceRepository::named_type(
+    const std::string& name) const {
+  auto it = named_types_.find(name);
+  return it != named_types_.end() ? it->second : nullptr;
+}
+
+std::vector<std::string> InterfaceRepository::interface_names() const {
+  std::vector<std::string> out;
+  out.reserve(interfaces_.size());
+  for (const InterfaceEntry& entry : interfaces_) out.push_back(entry.name);
+  return out;
+}
+
+}  // namespace maqs::qidl

@@ -1,0 +1,75 @@
+// Interface repository: the checked QIDL unit exposed at runtime.
+//
+// Bridges the QIDL front-end to the DII and the QoS core: operation
+// signatures as TypeCodes (so dynamic clients can build requests without
+// generated stubs) and `qos characteristic` declarations as the
+// CharacteristicDescriptor objects the negotiation layer consumes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdr/typecode.hpp"
+#include "core/characteristic.hpp"
+#include "qidl/sema.hpp"
+
+namespace maqs::qidl {
+
+struct OperationSignature {
+  std::string name;
+  cdr::TypeCodePtr result;
+  std::vector<std::pair<std::string, cdr::TypeCodePtr>> params;
+  std::vector<std::string> raises;  // repository ids
+};
+
+struct InterfaceEntry {
+  std::string name;
+  std::string repo_id;
+  std::vector<OperationSignature> operations;
+  std::vector<std::string> bound_characteristics;
+
+  const OperationSignature* find_operation(const std::string& name) const;
+};
+
+class InterfaceRepository {
+ public:
+  /// Builds the repository from a checked unit. Throws QidlError on
+  /// constructs that have no runtime mapping.
+  static InterfaceRepository build(const CheckedUnit& unit);
+
+  const InterfaceEntry* find_interface(const std::string& name) const;
+  const InterfaceEntry* find_by_repo_id(const std::string& repo_id) const;
+  /// Throws QosError when unknown.
+  const core::CharacteristicDescriptor& characteristic(
+      const std::string& name) const;
+  const core::CharacteristicCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  /// TypeCode of a named struct/enum.
+  cdr::TypeCodePtr named_type(const std::string& name) const;
+
+  std::vector<std::string> interface_names() const;
+
+ private:
+  std::vector<InterfaceEntry> interfaces_;
+  core::CharacteristicCatalog catalog_;
+  std::map<std::string, cdr::TypeCodePtr> named_types_;
+};
+
+/// Maps a QIDL type to its runtime TypeCode. `named` resolves struct/enum
+/// references; throws QidlError on unresolved names.
+cdr::TypeCodePtr typecode_for(
+    const TypeNode& type,
+    const std::map<std::string, cdr::TypeCodePtr>& named);
+
+/// Maps a QIDL category identifier ("fault_tolerance", "performance",
+/// "bandwidth", "actuality", "privacy", anything else -> kOther).
+core::QosCategory category_from_string(const std::string& category);
+
+/// Converts a checked characteristic into the runtime descriptor
+/// (synthesizing zero-value defaults for params without one).
+core::CharacteristicDescriptor to_descriptor(
+    const CharacteristicDecl& decl);
+
+}  // namespace maqs::qidl

@@ -1,0 +1,339 @@
+#include "qidl/sema.hpp"
+
+#include <set>
+
+#include "qidl/parser.hpp"
+
+namespace maqs::qidl {
+
+namespace {
+
+bool is_integral(TypeKind kind) {
+  return kind == TypeKind::kOctet || kind == TypeKind::kShort ||
+         kind == TypeKind::kLong || kind == TypeKind::kLongLong;
+}
+
+class Checker {
+ public:
+  CheckedUnit run(const Specification& spec) {
+    collect(spec, "");
+    resolve_and_check();
+    return std::move(unit_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what, int line) const {
+    throw QidlError(what, line, 1);
+  }
+
+  void collect(const ModuleDecl& module, const std::string& path) {
+    for (const Declaration& declaration : module.declarations) {
+      std::visit(
+          [&](const auto& decl) { collect_one(decl, path); },
+          declaration);
+    }
+  }
+
+  void declare_name(const std::string& name, const char* kind, int line) {
+    if (!declared_.insert(name).second) {
+      fail(std::string("duplicate declaration of '") + name + "' (" + kind +
+               ")",
+           line);
+    }
+  }
+
+  void collect_one(const StructDecl& decl, const std::string& path) {
+    declare_name(decl.name, "struct", decl.line);
+    unit_.structs.push_back({path, decl});
+  }
+  void collect_one(const EnumDecl& decl, const std::string& path) {
+    declare_name(decl.name, "enum", decl.line);
+    std::set<std::string> seen;
+    for (const std::string& enumerator : decl.enumerators) {
+      if (!seen.insert(enumerator).second) {
+        fail("duplicate enumerator '" + enumerator + "' in enum " + decl.name,
+             decl.line);
+      }
+    }
+    unit_.enums.push_back({path, decl});
+  }
+  void collect_one(const ExceptionDecl& decl, const std::string& path) {
+    declare_name(decl.name, "exception", decl.line);
+    unit_.exceptions.push_back(
+        {path, decl, repo_id_for(path, decl.name)});
+  }
+  void collect_one(const InterfaceDecl& decl, const std::string& path) {
+    declare_name(decl.name, "interface", decl.line);
+    unit_.interfaces.push_back(
+        {path, decl, {}, repo_id_for(path, decl.name)});
+  }
+  void collect_one(const CharacteristicDecl& decl, const std::string& path) {
+    declare_name(decl.name, "characteristic", decl.line);
+    unit_.characteristics.push_back({path, decl});
+  }
+  void collect_one(const BindDecl& decl, const std::string& path) {
+    (void)path;
+    binds_.push_back(decl);
+  }
+  void collect_one(const std::shared_ptr<ModuleDecl>& module,
+                   const std::string& path) {
+    const std::string nested =
+        path.empty() ? module->name : path + "::" + module->name;
+    collect(*module, nested);
+  }
+
+  static std::string repo_id_for(const std::string& path,
+                                 const std::string& name) {
+    std::string p = path;
+    for (auto& c : p) {
+      if (c == ':') c = '/';
+    }
+    // "a::b" became "a//b"; compact.
+    std::string compact;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] == '/' && i + 1 < p.size() && p[i + 1] == '/') continue;
+      compact.push_back(p[i]);
+    }
+    if (!compact.empty()) compact += "/";
+    return "IDL:" + compact + name + ":1.0";
+  }
+
+  void resolve_type(const TypePtr& type, int line) {
+    if (type->kind == TypeKind::kSequence) {
+      resolve_type(type->element, line);
+      return;
+    }
+    if (type->kind != TypeKind::kNamed) return;
+    if (unit_.find_struct(type->name) || unit_.find_enum(type->name)) {
+      return;
+    }
+    if (unit_.find_exception(type->name)) {
+      fail("exception '" + type->name + "' cannot be used as a data type",
+           line);
+    }
+    fail("unknown type '" + type->name + "'", line);
+  }
+
+  void check_operation(const OperationDecl& op) {
+    resolve_type(op.result, op.line);
+    std::set<std::string> names;
+    for (const ParamDecl& param : op.params) {
+      resolve_type(param.type, op.line);
+      if (!names.insert(param.name).second) {
+        fail("duplicate parameter '" + param.name + "' in operation " +
+                 op.name,
+             op.line);
+      }
+    }
+    for (const std::string& raised : op.raises) {
+      if (unit_.find_exception(raised) == nullptr) {
+        fail("operation " + op.name + " raises unknown exception '" +
+                 raised + "'",
+             op.line);
+      }
+    }
+  }
+
+  void check_default_literal(const QosParamDecl& param) {
+    const TypeKind kind = param.type->kind;
+    const Literal& value = param.default_value;
+    if (std::holds_alternative<std::monostate>(value)) return;  // synthesized
+    const bool ok =
+        (std::holds_alternative<std::int64_t>(value) && is_integral(kind)) ||
+        (std::holds_alternative<double>(value) &&
+         (kind == TypeKind::kFloat || kind == TypeKind::kDouble)) ||
+        (std::holds_alternative<std::string>(value) &&
+         kind == TypeKind::kString) ||
+        (std::holds_alternative<bool>(value) && kind == TypeKind::kBoolean);
+    if (!ok) {
+      fail("default value of QoS param '" + param.name +
+               "' does not match its type " + type_to_string(*param.type),
+           param.line);
+    }
+  }
+
+  void check_characteristic(const CheckedCharacteristic& characteristic) {
+    const CharacteristicDecl& decl = characteristic.decl;
+    std::set<std::string> param_names;
+    for (const QosParamDecl& param : decl.params) {
+      if (param.type->kind == TypeKind::kSequence ||
+          param.type->kind == TypeKind::kNamed) {
+        fail("QoS param '" + param.name +
+                 "' must have a basic type (negotiation marshals them as "
+                 "Any scalars)",
+             param.line);
+      }
+      if (!param_names.insert(param.name).second) {
+        fail("duplicate QoS param '" + param.name + "'", param.line);
+      }
+      check_default_literal(param);
+      if (param.range_min.has_value()) {
+        if (!is_integral(param.type->kind)) {
+          fail("range on non-integral QoS param '" + param.name + "'",
+               param.line);
+        }
+        if (*param.range_min > *param.range_max) {
+          fail("empty range on QoS param '" + param.name + "'", param.line);
+        }
+        if (const auto* v = std::get_if<std::int64_t>(&param.default_value)) {
+          if (*v < *param.range_min || *v > *param.range_max) {
+            fail("default of QoS param '" + param.name +
+                     "' lies outside its range",
+                 param.line);
+          }
+        }
+      }
+    }
+    std::set<std::string> op_names;
+    for (const QosOperationDecl& op : decl.operations) {
+      check_operation(op.op);
+      if (!op_names.insert(op.op.name).second) {
+        fail("duplicate QoS operation '" + op.op.name +
+                 "' in characteristic " + decl.name,
+             op.op.line);
+      }
+    }
+  }
+
+  void check_bind(const BindDecl& bind) {
+    CheckedInterface* iface = nullptr;
+    for (CheckedInterface& candidate : unit_.interfaces) {
+      if (candidate.decl.name == bind.interface_name) {
+        iface = &candidate;
+        break;
+      }
+    }
+    if (iface == nullptr) {
+      fail("bind: unknown interface '" + bind.interface_name + "'",
+           bind.line);
+    }
+    // Interface-granularity only; gather all QoS op names of all bound
+    // characteristics and reject clashes (paper §3.2).
+    std::set<std::string> qos_op_owner;
+    for (const OperationDecl& op : iface->decl.operations) {
+      qos_op_owner.insert(op.name);
+    }
+    std::set<std::string> bound(iface->bound_characteristics.begin(),
+                                iface->bound_characteristics.end());
+    for (const std::string& name : bind.characteristics) {
+      const CheckedCharacteristic* characteristic =
+          unit_.find_characteristic(name);
+      if (characteristic == nullptr) {
+        fail("bind: unknown characteristic '" + name + "'", bind.line);
+      }
+      if (!bound.insert(name).second) {
+        fail("bind: characteristic '" + name + "' bound twice to " +
+                 bind.interface_name,
+             bind.line);
+      }
+      iface->bound_characteristics.push_back(name);
+    }
+    // Clash detection across the complete bound set.
+    for (const std::string& name : iface->bound_characteristics) {
+      const CheckedCharacteristic* characteristic =
+          unit_.find_characteristic(name);
+      for (const QosOperationDecl& op : characteristic->decl.operations) {
+        if (!qos_op_owner.insert(op.op.name).second) {
+          fail("bind: QoS operation '" + op.op.name + "' of '" + name +
+                   "' clashes on interface " + bind.interface_name,
+               bind.line);
+        }
+      }
+    }
+  }
+
+  void resolve_and_check() {
+    for (const CheckedStruct& s : unit_.structs) {
+      std::set<std::string> field_names;
+      for (const ParamDecl& field : s.decl.fields) {
+        resolve_type(field.type, s.decl.line);
+        if (field.type->kind == TypeKind::kNamed &&
+            field.type->name == s.decl.name) {
+          fail("struct '" + s.decl.name + "' contains itself", s.decl.line);
+        }
+        if (!field_names.insert(field.name).second) {
+          fail("duplicate field '" + field.name + "' in struct " +
+                   s.decl.name,
+               s.decl.line);
+        }
+      }
+    }
+    for (const CheckedException& e : unit_.exceptions) {
+      for (const ParamDecl& field : e.decl.fields) {
+        resolve_type(field.type, e.decl.line);
+      }
+    }
+    for (const CheckedInterface& iface : unit_.interfaces) {
+      std::set<std::string> op_names;
+      for (const OperationDecl& op : iface.decl.operations) {
+        check_operation(op);
+        if (!op_names.insert(op.name).second) {
+          fail("duplicate operation '" + op.name + "' in interface " +
+                   iface.decl.name,
+               op.line);
+        }
+      }
+    }
+    for (const CheckedCharacteristic& characteristic :
+         unit_.characteristics) {
+      check_characteristic(characteristic);
+    }
+    for (const BindDecl& bind : binds_) {
+      check_bind(bind);
+    }
+  }
+
+  CheckedUnit unit_;
+  std::vector<BindDecl> binds_;
+  std::set<std::string> declared_;
+};
+
+}  // namespace
+
+const CheckedStruct* CheckedUnit::find_struct(const std::string& name) const {
+  for (const CheckedStruct& s : structs) {
+    if (s.decl.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const CheckedEnum* CheckedUnit::find_enum(const std::string& name) const {
+  for (const CheckedEnum& e : enums) {
+    if (e.decl.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const CheckedException* CheckedUnit::find_exception(
+    const std::string& name) const {
+  for (const CheckedException& e : exceptions) {
+    if (e.decl.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const CheckedInterface* CheckedUnit::find_interface(
+    const std::string& name) const {
+  for (const CheckedInterface& i : interfaces) {
+    if (i.decl.name == name) return &i;
+  }
+  return nullptr;
+}
+
+const CheckedCharacteristic* CheckedUnit::find_characteristic(
+    const std::string& name) const {
+  for (const CheckedCharacteristic& c : characteristics) {
+    if (c.decl.name == name) return &c;
+  }
+  return nullptr;
+}
+
+CheckedUnit check(const Specification& spec) {
+  return Checker().run(spec);
+}
+
+CheckedUnit analyze(std::string_view source) {
+  return check(parse(source));
+}
+
+}  // namespace maqs::qidl

@@ -1,0 +1,78 @@
+// QIDL semantic analysis.
+//
+// Resolves names, enforces the QIDL rules and produces a flattened,
+// checked unit that the interface repository and the emitter consume.
+// Notable rules from the paper:
+//   - QoS assignment (`bind`) targets interfaces only (§3.2); there is no
+//     syntax for finer granularity, and sema additionally rejects
+//     characteristics whose QoS operation names clash when bound to the
+//     same interface, or clash with the interface's own operations —
+//     "possible conflicts ... are hard to resolve and therefore
+//     forbidden".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qidl/ast.hpp"
+#include "qidl/token.hpp"
+
+namespace maqs::qidl {
+
+/// Fully-qualified, resolved view of one interface.
+struct CheckedInterface {
+  std::string module;  // "" = file scope
+  InterfaceDecl decl;
+  std::vector<std::string> bound_characteristics;  // names, checked
+  /// CORBA-style repository id, e.g. "IDL:demo/Hello:1.0".
+  std::string repo_id;
+};
+
+struct CheckedCharacteristic {
+  std::string module;
+  CharacteristicDecl decl;
+};
+
+struct CheckedStruct {
+  std::string module;
+  StructDecl decl;
+};
+
+struct CheckedEnum {
+  std::string module;
+  EnumDecl decl;
+};
+
+struct CheckedException {
+  std::string module;
+  ExceptionDecl decl;
+  std::string repo_id;
+};
+
+/// The checked compilation unit. Declarations are flattened with their
+/// module path; lookups are by simple name (QIDL modules are namespaces
+/// for emitted code, not for name resolution, which keeps the language
+/// small).
+struct CheckedUnit {
+  std::vector<CheckedStruct> structs;
+  std::vector<CheckedEnum> enums;
+  std::vector<CheckedException> exceptions;
+  std::vector<CheckedInterface> interfaces;
+  std::vector<CheckedCharacteristic> characteristics;
+
+  const CheckedStruct* find_struct(const std::string& name) const;
+  const CheckedEnum* find_enum(const std::string& name) const;
+  const CheckedException* find_exception(const std::string& name) const;
+  const CheckedInterface* find_interface(const std::string& name) const;
+  const CheckedCharacteristic* find_characteristic(
+      const std::string& name) const;
+};
+
+/// Runs all checks. Throws QidlError on the first violation.
+CheckedUnit check(const Specification& spec);
+
+/// Convenience: parse + check.
+CheckedUnit analyze(std::string_view source);
+
+}  // namespace maqs::qidl

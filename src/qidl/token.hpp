@@ -1,0 +1,58 @@
+// QIDL token model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace maqs::qidl {
+
+/// Raised by any front-end stage; carries line/column of the offence.
+class QidlError : public Error {
+ public:
+  QidlError(const std::string& what, int line, int column)
+      : Error("qidl:" + std::to_string(line) + ":" + std::to_string(column) +
+              ": " + what),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kBoolLiteral,
+  kPunct,  // one of { } ( ) < > , ; : = .. ::
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier/keyword/punct spelling
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  std::string string_value;
+  bool bool_value = false;
+  int line = 1;
+  int column = 1;
+
+  bool is_keyword(const std::string& kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool is_punct(const std::string& p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool is_identifier() const { return kind == TokenKind::kIdentifier; }
+};
+
+}  // namespace maqs::qidl

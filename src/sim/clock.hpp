@@ -1,0 +1,37 @@
+// Virtual time.
+//
+// The whole stack runs on a discrete-event virtual clock (DESIGN.md D1):
+// network latency, bandwidth serialization delays, timers and timeouts all
+// advance this clock, never the wall clock. Benchmarks that report
+// "transfer took 120 ms on a 64 kbit/s link" read virtual time; CPU-bound
+// overhead benchmarks use google-benchmark wall time on the same code.
+#pragma once
+
+#include <cstdint>
+
+namespace maqs::sim {
+
+/// Nanoseconds of virtual time.
+using Duration = std::int64_t;
+
+/// Absolute virtual time (nanoseconds since simulation start).
+using TimePoint = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace maqs::sim

@@ -1,0 +1,72 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace maqs::sim {
+
+EventId EventLoop::schedule(Duration delay, Handler fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::schedule_at(TimePoint when, Handler fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // We cannot remove from the middle of a priority queue; mark instead and
+  // skip on pop. The set stays small because ids are erased when skipped.
+  return cancelled_ids_.insert(id).second;
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_ids_.find(entry.id); it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      continue;
+    }
+    now_ = entry.when;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run_until_idle() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+bool EventLoop::run_until(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!step()) return pred();
+  }
+  return true;
+}
+
+void EventLoop::run_for(Duration duration) {
+  const TimePoint deadline = now_ + duration;
+  // step() would run the next *non-cancelled* event even when that event is
+  // past the deadline (cancelled entries at the queue head hide it), so pop
+  // explicitly here.
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_ids_.find(entry.id); it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      continue;
+    }
+    now_ = entry.when;
+    entry.fn();
+  }
+  now_ = deadline;
+}
+
+}  // namespace maqs::sim

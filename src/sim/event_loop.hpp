@@ -1,0 +1,86 @@
+// Discrete-event loop with support for nested pumping.
+//
+// Blocking RPC on a single-threaded simulator works by "pumping": the caller
+// schedules the request and then runs the loop until its reply arrives
+// (EventLoop::run_until). Handlers may themselves issue blocking calls,
+// which re-enter run_until; events keep draining from the same queue, so a
+// server that calls another server mid-request behaves like a nested message
+// loop. This mirrors how a CORBA ORB's work queue behaves for collocated
+// re-entrant invocations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace maqs::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Handler = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  EventId schedule(Duration delay, Handler fn);
+
+  /// Schedules `fn` at an absolute virtual time (past times run "now").
+  EventId schedule_at(TimePoint when, Handler fn);
+
+  /// Cancels a pending event. Returns false if it already ran or never
+  /// existed. Cancelling during execution of the event itself is a no-op.
+  bool cancel(EventId id);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_ids_.size();
+  }
+
+  /// Runs events until the queue is empty. Returns the number executed.
+  std::size_t run_until_idle();
+
+  /// Runs events until `pred()` is true or the queue drains.
+  /// Returns true if the predicate was satisfied. Re-entrant.
+  bool run_until(const std::function<bool()>& pred);
+
+  /// Runs events with timestamps <= now + duration; virtual time ends up
+  /// advanced by exactly `duration` even if the queue drains earlier.
+  void run_for(Duration duration);
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    EventId id;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the earliest event; returns false if the queue is empty.
+  bool step();
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_ids_;
+};
+
+}  // namespace maqs::sim

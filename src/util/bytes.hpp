@@ -1,0 +1,39 @@
+// Byte-buffer utilities shared by marshaling, networking and codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maqs::util {
+
+/// The universal octet buffer used across the stack (CDR streams, network
+/// payloads, codec input/output).
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view of a byte buffer.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts an arbitrary string into a byte buffer (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Converts a byte buffer back into a std::string (no encoding applied).
+std::string to_string(BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Lower-case hex encoding, e.g. {0xDE, 0xAD} -> "dead".
+std::string to_hex(BytesView b);
+
+/// Parses a lower/upper-case hex string. Throws std::invalid_argument on
+/// malformed input (odd length or non-hex character).
+Bytes from_hex(std::string_view hex);
+
+/// FNV-1a 64-bit hash; used for content fingerprints and cheap MACs in the
+/// simulated security substrate (not cryptographically strong).
+std::uint64_t fnv1a(BytesView b) noexcept;
+
+}  // namespace maqs::util

@@ -1,0 +1,18 @@
+// Root of the library's exception hierarchy.
+//
+// Per the C++ Core Guidelines (I.10, E.2) errors that prevent a function
+// from doing its job are reported as exceptions. Every MAQS-specific
+// exception derives from maqs::Error so callers can catch the whole family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace maqs {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace maqs

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace maqs::util {
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  set_sink(nullptr);
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::cerr << "[maqs:" << log_level_name(level) << "] " << message
+                << '\n';
+    };
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace maqs::util

@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// The library is deliberately quiet by default (benchmarks must not pay for
+// I/O); tests raise the level when diagnosing failures. Sinks are pluggable
+// so tests can capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace maqs::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the printable name of a level ("TRACE", "DEBUG", ...).
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Global logging configuration. Not thread-safe by design: the whole stack
+/// is single-threaded (discrete-event core, see DESIGN.md D1).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Replaces the sink; pass nullptr to restore the default (stderr).
+  void set_sink(Sink sink);
+
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement builder.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::instance().write(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace maqs::util
+
+#define MAQS_LOG(level)                                             \
+  if (!::maqs::util::Logger::instance().enabled(level)) {           \
+  } else                                                            \
+    ::maqs::util::LogStatement(level)
+
+#define MAQS_TRACE() MAQS_LOG(::maqs::util::LogLevel::kTrace)
+#define MAQS_DEBUG() MAQS_LOG(::maqs::util::LogLevel::kDebug)
+#define MAQS_INFO() MAQS_LOG(::maqs::util::LogLevel::kInfo)
+#define MAQS_WARN() MAQS_LOG(::maqs::util::LogLevel::kWarn)
+#define MAQS_ERROR() MAQS_LOG(::maqs::util::LogLevel::kError)

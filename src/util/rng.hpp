@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (message loss, jitter, workload
+// generation, fault injection) draws from explicitly seeded generators so
+// that every test and benchmark run is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace maqs::util {
+
+/// xoshiro256** generator seeded via SplitMix64. Small, fast, and decoupled
+/// from the platform's std::mt19937 implementation details.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace maqs::util

@@ -1,0 +1,25 @@
+// Small string helpers used by the QIDL front-end and diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maqs::util {
+
+/// Splits `s` on the separator character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins pieces with the separator string.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+}  // namespace maqs::util

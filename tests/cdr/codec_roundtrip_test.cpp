@@ -1,0 +1,133 @@
+// Encoder/Decoder primitive round-trips and malformed-stream handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cdr/decoder.hpp"
+#include "cdr/encoder.hpp"
+
+namespace maqs::cdr {
+namespace {
+
+TEST(Cdr, PrimitiveRoundTrip) {
+  Encoder enc;
+  enc.write_u8(0xAB);
+  enc.write_bool(true);
+  enc.write_bool(false);
+  enc.write_u16(0xBEEF);
+  enc.write_u32(0xDEADBEEF);
+  enc.write_u64(0x0123456789ABCDEFULL);
+  enc.write_i16(-12345);
+  enc.write_i32(-123456789);
+  enc.write_i64(-1234567890123456789LL);
+  enc.write_f32(3.5f);
+  enc.write_f64(-2.25);
+  enc.write_string("héllo");
+  enc.write_bytes(util::Bytes{1, 2, 3});
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.read_u8(), 0xAB);
+  EXPECT_TRUE(dec.read_bool());
+  EXPECT_FALSE(dec.read_bool());
+  EXPECT_EQ(dec.read_u16(), 0xBEEF);
+  EXPECT_EQ(dec.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(dec.read_i16(), -12345);
+  EXPECT_EQ(dec.read_i32(), -123456789);
+  EXPECT_EQ(dec.read_i64(), -1234567890123456789LL);
+  EXPECT_EQ(dec.read_f32(), 3.5f);
+  EXPECT_EQ(dec.read_f64(), -2.25);
+  EXPECT_EQ(dec.read_string(), "héllo");
+  EXPECT_EQ(dec.read_bytes(), (util::Bytes{1, 2, 3}));
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(Cdr, ExtremeValues) {
+  Encoder enc;
+  enc.write_i64(std::numeric_limits<std::int64_t>::min());
+  enc.write_i64(std::numeric_limits<std::int64_t>::max());
+  enc.write_f64(std::numeric_limits<double>::infinity());
+  enc.write_f64(std::numeric_limits<double>::denorm_min());
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.read_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(dec.read_i64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(dec.read_f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.read_f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Cdr, NanRoundTripsBitExact) {
+  Encoder enc;
+  enc.write_f64(std::numeric_limits<double>::quiet_NaN());
+  Decoder dec(enc.buffer());
+  EXPECT_TRUE(std::isnan(dec.read_f64()));
+}
+
+TEST(Cdr, EmptyStringAndBytes) {
+  Encoder enc;
+  enc.write_string("");
+  enc.write_bytes(util::Bytes{});
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.read_string(), "");
+  EXPECT_TRUE(dec.read_bytes().empty());
+}
+
+TEST(Cdr, StringWithEmbeddedNul) {
+  Encoder enc;
+  const std::string s("a\0b", 3);
+  enc.write_string(s);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.read_string(), s);
+}
+
+TEST(Cdr, UnderflowThrows) {
+  Encoder enc;
+  enc.write_u16(7);
+  Decoder dec(enc.buffer());
+  EXPECT_THROW(dec.read_u32(), CdrError);
+}
+
+TEST(Cdr, TruncatedStringThrows) {
+  Encoder enc;
+  enc.write_u32(100);  // claims 100 bytes follow
+  enc.write_u8('x');
+  Decoder dec(enc.buffer());
+  EXPECT_THROW(dec.read_string(), CdrError);
+}
+
+TEST(Cdr, ExpectEndRejectsTrailingBytes) {
+  Encoder enc;
+  enc.write_u8(1);
+  enc.write_u8(2);
+  Decoder dec(enc.buffer());
+  dec.read_u8();
+  EXPECT_THROW(dec.expect_end(), CdrError);
+  dec.read_u8();
+  EXPECT_NO_THROW(dec.expect_end());
+}
+
+TEST(Cdr, RemainingTracksPosition) {
+  Encoder enc;
+  enc.write_u32(1);
+  enc.write_u32(2);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.remaining(), 8u);
+  dec.read_u32();
+  EXPECT_EQ(dec.remaining(), 4u);
+}
+
+TEST(Cdr, WriteRawHasNoLengthPrefix) {
+  Encoder enc;
+  enc.write_raw(util::Bytes{9, 8, 7});
+  EXPECT_EQ(enc.size(), 3u);
+}
+
+TEST(Cdr, TakeMovesBuffer) {
+  Encoder enc;
+  enc.write_u32(42);
+  util::Bytes buf = enc.take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+}  // namespace
+}  // namespace maqs::cdr

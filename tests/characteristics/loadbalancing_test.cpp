@@ -1,0 +1,198 @@
+// Load-balancing characteristic: policy distribution, redirection through
+// the mediator, load reporting via QoS operations.
+#include "characteristics/loadbalancing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/negotiation.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+#include "util/strings.hpp"
+
+namespace maqs::characteristics {
+namespace {
+
+using maqs::testing::EchoStub;
+using maqs::testing::QosEchoImpl;
+
+class LoadBalancingTest : public ::testing::Test {
+ protected:
+  LoadBalancingTest()
+      : net_(loop_), client_(net_, "client", 1), client_transport_(client_) {}
+
+  /// Brings up `n` workers, each with LoadBalancing assigned and the
+  /// reporting impl armed.
+  void start_workers(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto orb = std::make_unique<orb::Orb>(net_, "w" + std::to_string(i),
+                                            9000);
+      auto servant = std::make_shared<QosEchoImpl>();
+      servant->assign_characteristic(loadbalancing_descriptor());
+      auto reporting = std::make_shared<LoadReportingImpl>();
+      core::Agreement agreement;
+      agreement.characteristic = loadbalancing_name();
+      agreement.params = loadbalancing_descriptor().default_params();
+      reporting->bind_agreement(agreement);
+      servant->set_active_impl(reporting);
+      refs_.push_back(orb->adapter().activate("worker", servant));
+      workers_.push_back(std::move(orb));
+      servants_.push_back(servant);
+      reporting_.push_back(reporting);
+    }
+  }
+
+  std::shared_ptr<LoadBalancingMediator> make_mediator(
+      const std::string& policy, std::int64_t probe_interval = 16) {
+    auto mediator = std::make_shared<LoadBalancingMediator>();
+    mediator->attach_orb(&client_);
+    std::vector<std::string> iors;
+    for (const auto& ref : refs_) iors.push_back(ref.to_string());
+    core::Agreement agreement;
+    agreement.characteristic = loadbalancing_name();
+    agreement.params = loadbalancing_descriptor().validate_params(
+        {{"policy", cdr::Any::from_string(policy)},
+         {"probe_interval",
+          cdr::Any::from_long(static_cast<std::int32_t>(probe_interval))},
+         {"replicas", cdr::Any::from_string(util::join(iors, ";"))}});
+    mediator->bind_agreement(agreement);
+    return mediator;
+  }
+
+  EchoStub stub_with(const std::shared_ptr<LoadBalancingMediator>& mediator) {
+    EchoStub stub(client_, refs_.front());
+    auto composite = std::make_shared<core::CompositeMediator>();
+    composite->add(mediator);
+    stub.set_mediator(composite);
+    return stub;
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb client_;
+  core::QosTransport client_transport_;
+  std::vector<std::unique_ptr<orb::Orb>> workers_;
+  std::vector<std::shared_ptr<QosEchoImpl>> servants_;
+  std::vector<std::shared_ptr<LoadReportingImpl>> reporting_;
+  std::vector<orb::ObjRef> refs_;
+};
+
+TEST_F(LoadBalancingTest, RoundRobinSpreadsEvenly) {
+  start_workers(4);
+  auto mediator = make_mediator("round-robin");
+  EchoStub stub = stub_with(mediator);
+  for (int i = 0; i < 40; ++i) stub.echo("x");
+  for (const auto& count : mediator->dispatch_counts()) {
+    EXPECT_EQ(count, 10u);
+  }
+  // Each worker actually served its share (redirection happened).
+  for (const auto& servant : servants_) {
+    EXPECT_EQ(servant->calls, 10);
+  }
+}
+
+TEST_F(LoadBalancingTest, RandomHitsEveryWorkerEventually) {
+  start_workers(3);
+  auto mediator = make_mediator("random");
+  EchoStub stub = stub_with(mediator);
+  for (int i = 0; i < 90; ++i) stub.echo("x");
+  for (const auto& count : mediator->dispatch_counts()) {
+    EXPECT_GT(count, 10u);  // roughly 30 each; 10 is a loose floor
+  }
+}
+
+TEST_F(LoadBalancingTest, LeastLoadedAvoidsBusyWorker) {
+  start_workers(3);
+  // Worker 0 is very busy.
+  reporting_[0]->add_synthetic_load(1000.0);
+  auto mediator = make_mediator("least-loaded", /*probe_interval=*/8);
+  EchoStub stub = stub_with(mediator);
+  for (int i = 0; i < 60; ++i) stub.echo("x");
+  const auto& counts = mediator->dispatch_counts();
+  EXPECT_LT(counts[0], 5u);  // probes keep steering away from the busy one
+  EXPECT_GT(counts[1] + counts[2], 55u);
+}
+
+TEST_F(LoadBalancingTest, QosLoadOperationReportsServerLoad) {
+  start_workers(1);
+  EchoStub stub(client_, refs_[0]);
+  for (int i = 0; i < 5; ++i) stub.echo("warm");
+  orb::RequestMessage probe;
+  probe.object_key = "worker";
+  probe.operation = "qos_load";
+  orb::ReplyMessage rep =
+      client_.invoke_plain(refs_[0].endpoint, std::move(probe));
+  ASSERT_EQ(rep.status, orb::ReplyStatus::kOk);
+  cdr::Decoder dec(rep.body);
+  EXPECT_GT(dec.read_f64(), 0.0);
+  EXPECT_EQ(reporting_[0]->served(), 5u);
+}
+
+TEST_F(LoadBalancingTest, EmptyReplicaSetKeepsOriginalTarget) {
+  start_workers(1);
+  auto mediator = std::make_shared<LoadBalancingMediator>();
+  core::Agreement agreement;
+  agreement.characteristic = loadbalancing_name();
+  agreement.params = loadbalancing_descriptor().default_params();
+  mediator->bind_agreement(agreement);
+  EchoStub stub = stub_with(mediator);
+  EXPECT_EQ(stub.echo("fallthrough"), "fallthrough");
+}
+
+TEST_F(LoadBalancingTest, UnknownPolicyRejected) {
+  auto mediator = std::make_shared<LoadBalancingMediator>();
+  core::Agreement agreement;
+  agreement.characteristic = loadbalancing_name();
+  agreement.params = loadbalancing_descriptor().validate_params(
+      {{"policy", cdr::Any::from_string("chaotic")}});
+  EXPECT_THROW(mediator->bind_agreement(agreement), core::QosError);
+}
+
+TEST_F(LoadBalancingTest, CrashedWorkerSteeredAroundByLeastLoaded) {
+  start_workers(3);
+  client_.set_default_timeout(50 * sim::kMillisecond);
+  auto mediator = make_mediator("least-loaded", /*probe_interval=*/4);
+  EchoStub stub = stub_with(mediator);
+  net_.crash("w1");
+  int failures = 0;
+  for (int i = 0; i < 40; ++i) {
+    try {
+      stub.echo("x");
+    } catch (const orb::TransportError&) {
+      ++failures;  // calls routed at the dead worker before a probe ran
+    }
+  }
+  const auto& counts = mediator->dispatch_counts();
+  // After the first probe marks w1 unreachable, traffic avoids it.
+  EXPECT_LT(counts[1], 8u);
+  EXPECT_LT(failures, 8);
+}
+
+TEST_F(LoadBalancingTest, FullNegotiationInstallsBalancer) {
+  start_workers(2);
+  core::ResourceManager resources;
+  resources.declare("cpu", 100.0);
+  core::ProviderRegistry providers;
+  providers.add(make_loadbalancing_provider());
+  // Negotiation service lives on worker 0's ORB.
+  core::QosTransport server_transport(*workers_[0]);
+  core::NegotiationService negotiation(server_transport, providers,
+                                       resources);
+  core::Negotiator negotiator(client_transport_, providers);
+
+  orb::QosProfile profile;
+  profile.characteristic = loadbalancing_name();
+  orb::ObjRef ref = refs_[0];
+  ref.qos = {profile};
+  EchoStub stub(client_, ref);
+  std::vector<std::string> iors;
+  for (const auto& r : refs_) iors.push_back(r.to_string());
+  negotiator.negotiate(
+      stub, loadbalancing_name(),
+      {{"replicas", cdr::Any::from_string(util::join(iors, ";"))}});
+  for (int i = 0; i < 10; ++i) stub.echo("x");
+  EXPECT_EQ(servants_[0]->calls, 5);
+  EXPECT_EQ(servants_[1]->calls, 5);
+}
+
+}  // namespace
+}  // namespace maqs::characteristics

@@ -1,0 +1,182 @@
+#include "compress/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compress/lz77.hpp"
+#include "compress/rle.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::compress {
+namespace {
+
+using util::Bytes;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Bytes b(n);
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+Bytes compressible_bytes(std::size_t n, std::uint64_t seed) {
+  // Repeating phrases with occasional noise: typical structured payload.
+  util::Rng rng(seed);
+  const std::string phrase = "quality-of-service middleware telemetry ";
+  Bytes b;
+  while (b.size() < n) {
+    if (rng.chance(0.1)) {
+      b.push_back(static_cast<std::uint8_t>(rng.next()));
+    } else {
+      for (char c : phrase) {
+        if (b.size() >= n) break;
+        b.push_back(static_cast<std::uint8_t>(c));
+      }
+    }
+  }
+  b.resize(n);
+  return b;
+}
+
+// ---- parameterized round-trip sweep over all codecs ----
+
+class CodecRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodecRoundTrip, EmptyInput) {
+  auto codec = make_codec(GetParam());
+  EXPECT_TRUE(codec->decompress(codec->compress(Bytes{})).empty());
+}
+
+TEST_P(CodecRoundTrip, SingleByte) {
+  auto codec = make_codec(GetParam());
+  const Bytes in{0x42};
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, AllByteValues) {
+  auto codec = make_codec(GetParam());
+  Bytes in;
+  for (int i = 0; i < 256; ++i) in.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, LongUniformRun) {
+  auto codec = make_codec(GetParam());
+  const Bytes in(100000, 0xAA);
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, RandomData) {
+  auto codec = make_codec(GetParam());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Bytes in = random_bytes(4096, seed);
+    EXPECT_EQ(codec->decompress(codec->compress(in)), in) << "seed " << seed;
+  }
+}
+
+TEST_P(CodecRoundTrip, CompressibleData) {
+  auto codec = make_codec(GetParam());
+  const Bytes in = compressible_bytes(20000, 7);
+  EXPECT_EQ(codec->decompress(codec->compress(in)), in);
+}
+
+TEST_P(CodecRoundTrip, ManySmallSizes) {
+  auto codec = make_codec(GetParam());
+  for (std::size_t n = 0; n < 64; ++n) {
+    const Bytes in = random_bytes(n, 100 + n);
+    EXPECT_EQ(codec->decompress(codec->compress(in)), in) << "size " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
+                         ::testing::Values("identity", "rle", "lz77"));
+
+// ---- codec-specific behaviour ----
+
+TEST(Identity, IsByteExactAndSizePreserving) {
+  IdentityCodec codec;
+  const Bytes in = random_bytes(100, 1);
+  EXPECT_EQ(codec.compress(in), in);
+  EXPECT_EQ(codec.name(), "identity");
+}
+
+TEST(Rle, CompressesRunsWell) {
+  RleCodec codec;
+  const Bytes in(10000, 0x00);
+  const Bytes out = codec.compress(in);
+  EXPECT_LT(out.size(), 100u);  // ~40 pairs of (255, 0)
+}
+
+TEST(Rle, WorstCaseBoundedAtTwoX) {
+  RleCodec codec;
+  Bytes in;
+  for (int i = 0; i < 1000; ++i) in.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_LE(codec.compress(in).size(), 2 * in.size());
+}
+
+TEST(Rle, RejectsTruncatedStream) {
+  RleCodec codec;
+  EXPECT_THROW(codec.decompress(Bytes{5}), CodecError);
+}
+
+TEST(Rle, RejectsZeroRun) {
+  RleCodec codec;
+  EXPECT_THROW(codec.decompress(Bytes{0, 0x41}), CodecError);
+}
+
+TEST(Lz77, CompressesRepetitiveTextWell) {
+  Lz77Codec codec;
+  const Bytes in = compressible_bytes(50000, 3);
+  const Bytes out = codec.compress(in);
+  EXPECT_LT(out.size(), in.size() / 3);
+}
+
+TEST(Lz77, HandlesOverlappingMatches) {
+  Lz77Codec codec;
+  // "abcabcabc..." forces overlapping back-references.
+  Bytes in;
+  for (int i = 0; i < 5000; ++i) in.push_back("abc"[i % 3]);
+  EXPECT_EQ(codec.decompress(codec.compress(in)), in);
+  EXPECT_LT(codec.compress(in).size(), 100u);
+}
+
+TEST(Lz77, ProbeDepthTradesRatioForSpeed) {
+  const Bytes in = compressible_bytes(30000, 9);
+  const auto shallow = Lz77Codec(1).compress(in);
+  const auto deep = Lz77Codec(128).compress(in);
+  EXPECT_LE(deep.size(), shallow.size());
+  EXPECT_EQ(Lz77Codec().decompress(shallow), in);
+  EXPECT_EQ(Lz77Codec().decompress(deep), in);
+}
+
+TEST(Lz77, RejectsBadTag) {
+  Lz77Codec codec;
+  EXPECT_THROW(codec.decompress(Bytes{0x02, 0, 0}), CodecError);
+}
+
+TEST(Lz77, RejectsOutOfWindowReference) {
+  Lz77Codec codec;
+  // match token: offset 10 with empty output so far
+  EXPECT_THROW(codec.decompress(Bytes{0x01, 10, 0, 8, 0}), CodecError);
+}
+
+TEST(Lz77, RejectsTruncatedLiteralRun) {
+  Lz77Codec codec;
+  EXPECT_THROW(codec.decompress(Bytes{0x00, 10, 0, 'a'}), CodecError);
+}
+
+TEST(Lz77, RejectsZeroLengthLiteralRun) {
+  Lz77Codec codec;
+  EXPECT_THROW(codec.decompress(Bytes{0x00, 0, 0}), CodecError);
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_codec("zstd"), CodecError);
+}
+
+TEST(Factory, NamesMatch) {
+  EXPECT_EQ(make_codec("rle")->name(), "rle");
+  EXPECT_EQ(make_codec("lz77")->name(), "lz77");
+}
+
+}  // namespace
+}  // namespace maqs::compress

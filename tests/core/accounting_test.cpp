@@ -1,0 +1,91 @@
+#include "core/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::core {
+namespace {
+
+Agreement agreement_with_level(std::uint64_t id, std::int32_t level) {
+  Agreement agreement;
+  agreement.id = id;
+  agreement.characteristic = "Compression";
+  agreement.params = {{"level", cdr::Any::from_long(level)}};
+  agreement.state = AgreementState::kActive;
+  return agreement;
+}
+
+class AccountingTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop_;
+  AccountingService accounting_{loop_};
+};
+
+TEST_F(AccountingTest, MetersRequestsAndBytes) {
+  accounting_.open(agreement_with_level(1, 4));
+  accounting_.charge(1, 1000);
+  accounting_.charge(1, 500);
+  const UsageRecord* usage = accounting_.usage(1);
+  ASSERT_NE(usage, nullptr);
+  EXPECT_EQ(usage->requests, 2u);
+  EXPECT_EQ(usage->bytes, 1500u);
+}
+
+TEST_F(AccountingTest, RejectsUnknownAndClosedAccounts) {
+  EXPECT_THROW(accounting_.charge(9, 1), QosError);
+  EXPECT_THROW(accounting_.invoice(9, linear_tariff(1, 1)), QosError);
+  accounting_.open(agreement_with_level(1, 4));
+  accounting_.close(1);
+  EXPECT_THROW(accounting_.charge(1, 1), QosError);
+  EXPECT_EQ(accounting_.usage(9), nullptr);
+  EXPECT_THROW(accounting_.open(Agreement{}), QosError);  // id 0
+}
+
+TEST_F(AccountingTest, ActiveTimeTracksVirtualClock) {
+  accounting_.open(agreement_with_level(1, 4));
+  loop_.run_for(2 * sim::kSecond);
+  EXPECT_EQ(accounting_.usage(1)->active_for(loop_.now()), 2 * sim::kSecond);
+  accounting_.close(1);
+  loop_.run_for(3 * sim::kSecond);
+  // Closed accounts stop accruing time.
+  EXPECT_EQ(accounting_.usage(1)->active_for(loop_.now()), 2 * sim::kSecond);
+}
+
+TEST_F(AccountingTest, LinearTariffPricesLevelTimeAndVolume) {
+  accounting_.open(agreement_with_level(1, 10));
+  loop_.run_for(5 * sim::kSecond);
+  accounting_.charge(1, 2 * 1024 * 1024);  // 2 MiB
+  // 0.1 credits per level-second + 3 credits per MiB:
+  // 0.1 * 10 * 5 + 3 * 2 = 5 + 6 = 11.
+  EXPECT_NEAR(accounting_.invoice(1, linear_tariff(0.1, 3.0)), 11.0, 1e-9);
+}
+
+TEST_F(AccountingTest, TariffDefaultsLevelToOneWhenParamMissing) {
+  Agreement agreement;
+  agreement.id = 2;
+  agreement.characteristic = "Actuality";  // no "level" param
+  accounting_.open(agreement);
+  loop_.run_for(4 * sim::kSecond);
+  EXPECT_NEAR(accounting_.invoice(2, linear_tariff(1.0, 0.0)), 4.0, 1e-9);
+}
+
+TEST_F(AccountingTest, ReopenAfterRenegotiationKeepsUsage) {
+  accounting_.open(agreement_with_level(1, 4));
+  accounting_.charge(1, 100);
+  accounting_.close(1);
+  // Renegotiated to a new level: usage continues, level updates.
+  accounting_.open(agreement_with_level(1, 8));
+  accounting_.charge(1, 100);
+  EXPECT_EQ(accounting_.usage(1)->bytes, 200u);
+  EXPECT_EQ(accounting_.open_accounts(), 1u);
+}
+
+TEST_F(AccountingTest, OpenAccountsCount) {
+  accounting_.open(agreement_with_level(1, 1));
+  accounting_.open(agreement_with_level(2, 1));
+  EXPECT_EQ(accounting_.open_accounts(), 2u);
+  accounting_.close(1);
+  EXPECT_EQ(accounting_.open_accounts(), 1u);
+}
+
+}  // namespace
+}  // namespace maqs::core

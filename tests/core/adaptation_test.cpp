@@ -1,0 +1,197 @@
+// The adaptation loop: server resource drop -> violation push -> client
+// policy -> renegotiation -> rebound delegates; plus client-side
+// monitor-driven adaptation.
+#include <gtest/gtest.h>
+
+#include "characteristics/compression.hpp"
+#include "core/adaptation.hpp"
+#include "net/network.hpp"
+#include "orb/dii.hpp"
+#include "support/qos_echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+using characteristics::compression_name;
+using maqs::testing::EchoStub;
+using maqs::testing::QosEchoImpl;
+
+class AdaptationTest : public ::testing::Test {
+ protected:
+  AdaptationTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001),
+        server_transport_(server_),
+        client_transport_(client_),
+        negotiation_(server_transport_, providers(), resources_),
+        negotiator_(client_transport_, providers()),
+        adaptation_(client_transport_, negotiator_) {
+    resources_.declare("cpu", 100.0);
+    servant_ = std::make_shared<QosEchoImpl>();
+    servant_->assign_characteristic(
+        characteristics::compression_descriptor());
+    orb::QosProfile profile;
+    profile.characteristic = compression_name();
+    ref_ = server_.adapter().activate("echo-1", servant_, {profile});
+
+    // Wire the server loop: capacity drops shed overload, which pushes
+    // violations to clients.
+    resources_.subscribe([this](const std::string& resource, double, double) {
+      negotiation_.shed_overload(resource);
+    });
+  }
+
+  static const ProviderRegistry& providers() {
+    static const ProviderRegistry registry = [] {
+      ProviderRegistry r;
+      r.add(characteristics::make_compression_provider());
+      return r;
+    }();
+    return registry;
+  }
+
+  /// Halve the level on every violation, down to 1.
+  static AdaptationManager::Policy halving_policy() {
+    return [](const Agreement& agreement, const std::string&)
+               -> std::optional<std::map<std::string, cdr::Any>> {
+      const std::int64_t level = agreement.int_param("level");
+      if (level <= 1) return std::nullopt;  // give up -> terminate
+      return std::map<std::string, cdr::Any>{
+          {"level",
+           cdr::Any::from_long(static_cast<std::int32_t>(level / 2))}};
+    };
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb server_;
+  orb::Orb client_;
+  QosTransport server_transport_;
+  QosTransport client_transport_;
+  ResourceManager resources_;
+  NegotiationService negotiation_;
+  Negotiator negotiator_;
+  AdaptationManager adaptation_;
+  std::shared_ptr<QosEchoImpl> servant_;
+  orb::ObjRef ref_;
+};
+
+TEST_F(AdaptationTest, ResourceDropTriggersRenegotiation) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(64)}});
+  adaptation_.manage(stub, agreement, halving_policy());
+
+  // Capacity drops below the reserved 64: the server sheds the agreement,
+  // the client adapts by halving (64 -> 32, fits into 40).
+  resources_.set_capacity("cpu", 40.0);
+  loop_.run_until_idle();  // deliver the violation push + renegotiation
+
+  EXPECT_EQ(adaptation_.adaptations(), 1u);
+  const Agreement* adapted = adaptation_.managed_agreement(agreement.id);
+  ASSERT_NE(adapted, nullptr);
+  EXPECT_EQ(adapted->int_param("level"), 32);
+  EXPECT_EQ(resources_.reserved("cpu"), 32.0);
+  EXPECT_FALSE(resources_.overloaded());
+  // Traffic flows at the adapted level.
+  EXPECT_EQ(stub.echo("adapted"), "adapted");
+}
+
+TEST_F(AdaptationTest, RepeatedDropsDegradeStepwise) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(64)}});
+  adaptation_.manage(stub, agreement, halving_policy());
+
+  resources_.set_capacity("cpu", 40.0);  // 64 -> 32
+  loop_.run_until_idle();
+  resources_.set_capacity("cpu", 20.0);  // 32 -> 16
+  loop_.run_until_idle();
+  resources_.set_capacity("cpu", 10.0);  // 16 -> 8
+  loop_.run_until_idle();
+
+  EXPECT_EQ(adaptation_.adaptations(), 3u);
+  EXPECT_EQ(adaptation_.managed_agreement(agreement.id)->int_param("level"),
+            8);
+}
+
+TEST_F(AdaptationTest, PolicyGivingUpTerminatesAgreement) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(1)}});
+  adaptation_.manage(stub, agreement, halving_policy());
+
+  resources_.set_capacity("cpu", 0.0);  // nothing fits anymore
+  loop_.run_until_idle();
+
+  EXPECT_EQ(adaptation_.terminations(), 1u);
+  EXPECT_EQ(adaptation_.managed_agreement(agreement.id), nullptr);
+  EXPECT_EQ(negotiation_.agreements().get(agreement.id).state,
+            AgreementState::kTerminated);
+  EXPECT_EQ(servant_->active_impl(), nullptr);
+}
+
+TEST_F(AdaptationTest, UnmanagedViolationsAreIgnored) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(64)}});
+  (void)agreement;  // not managed
+  resources_.set_capacity("cpu", 10.0);
+  loop_.run_until_idle();
+  EXPECT_EQ(adaptation_.adaptations(), 0u);
+  // Server marked it violated regardless.
+  EXPECT_EQ(negotiation_.agreements().get(agreement.id).state,
+            AgreementState::kViolated);
+}
+
+TEST_F(AdaptationTest, NewestAgreementShedFirst) {
+  EchoStub stub1(client_, ref_);
+  auto servant2 = std::make_shared<QosEchoImpl>();
+  servant2->assign_characteristic(characteristics::compression_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = compression_name();
+  orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant2, {profile});
+  EchoStub stub2(client_, ref2);
+
+  Agreement a1 = negotiator_.negotiate(stub1, compression_name(),
+                                       {{"level", cdr::Any::from_long(40)}});
+  Agreement a2 = negotiator_.negotiate(stub2, compression_name(),
+                                       {{"level", cdr::Any::from_long(40)}});
+  adaptation_.manage(stub1, a1, halving_policy());
+  adaptation_.manage(stub2, a2, halving_policy());
+
+  // 80 reserved; drop to 60: only the newer (a2) must adapt (40 -> 20).
+  resources_.set_capacity("cpu", 60.0);
+  loop_.run_until_idle();
+  EXPECT_EQ(adaptation_.adaptations(), 1u);
+  EXPECT_EQ(adaptation_.managed_agreement(a1.id)->int_param("level"), 40);
+  EXPECT_EQ(adaptation_.managed_agreement(a2.id)->int_param("level"), 20);
+}
+
+TEST_F(AdaptationTest, MonitorDrivenAdaptation) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(64)}});
+  adaptation_.manage(stub, agreement, halving_policy());
+
+  Monitor monitor;
+  adaptation_.watch_metric(monitor, "latency_ms", Threshold{.min = {}, .max = 50.0},
+                           agreement.id);
+  monitor.record("latency_ms", loop_.now(), 10.0);  // fine
+  EXPECT_EQ(adaptation_.adaptations(), 0u);
+  monitor.record("latency_ms", loop_.now(), 80.0);  // violation
+  EXPECT_EQ(adaptation_.adaptations(), 1u);
+  EXPECT_EQ(adaptation_.managed_agreement(agreement.id)->int_param("level"),
+            32);
+}
+
+TEST_F(AdaptationTest, UnknownCommandRejected) {
+  EXPECT_THROW(orb::send_command(server_, client_.endpoint(),
+                                 AdaptationManager::command_target(),
+                                 "frobnicate", {}),
+               orb::SystemException);
+}
+
+}  // namespace
+}  // namespace maqs::core

@@ -1,0 +1,86 @@
+#include "core/binding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::core {
+namespace {
+
+class BindingTest : public ::testing::Test {
+ protected:
+  BindingTest() : service_(catalog_) {
+    catalog_.add(CharacteristicDescriptor("Compression",
+                                          QosCategory::kBandwidth, {}, {}));
+    catalog_.add(CharacteristicDescriptor(
+        "Encryption", QosCategory::kPrivacy, {}, {}));
+    catalog_.add(CharacteristicDescriptor(
+        "Replication", QosCategory::kFaultTolerance, {}, {}));
+  }
+
+  CharacteristicCatalog catalog_;
+  BindingService service_;
+};
+
+TEST_F(BindingTest, InterfaceLevelBindingAllowed) {
+  service_.bind("IDL:demo/Hello:1.0", "Compression");
+  EXPECT_TRUE(service_.is_bound("IDL:demo/Hello:1.0", "Compression"));
+  EXPECT_EQ(service_.bindings("IDL:demo/Hello:1.0"),
+            (std::vector<std::string>{"Compression"}));
+}
+
+TEST_F(BindingTest, OperationLevelForbidden) {
+  // Paper §3.2: assignment to operations or parameters is forbidden.
+  EXPECT_THROW(service_.bind("IDL:demo/Hello:1.0", "Compression",
+                             BindingGranularity::kOperation),
+               QosError);
+}
+
+TEST_F(BindingTest, ParameterLevelForbidden) {
+  EXPECT_THROW(service_.bind("IDL:demo/Hello:1.0", "Compression",
+                             BindingGranularity::kParameter),
+               QosError);
+}
+
+TEST_F(BindingTest, UnknownCharacteristicRejected) {
+  EXPECT_THROW(service_.bind("IDL:demo/Hello:1.0", "Nope"), QosError);
+}
+
+TEST_F(BindingTest, DuplicateBindingRejected) {
+  service_.bind("IDL:demo/Hello:1.0", "Compression");
+  EXPECT_THROW(service_.bind("IDL:demo/Hello:1.0", "Compression"), QosError);
+}
+
+TEST_F(BindingTest, MultipleCompatibleCharacteristics) {
+  service_.bind("IDL:demo/Hello:1.0", "Compression");
+  service_.bind("IDL:demo/Hello:1.0", "Encryption");
+  EXPECT_EQ(service_.bindings("IDL:demo/Hello:1.0").size(), 2u);
+}
+
+TEST_F(BindingTest, ConflictsBlockCoBinding) {
+  service_.declare_conflict("Replication", "Encryption");
+  EXPECT_TRUE(service_.conflicts("Encryption", "Replication"));  // symmetric
+  service_.bind("IDL:demo/Hello:1.0", "Replication");
+  EXPECT_THROW(service_.bind("IDL:demo/Hello:1.0", "Encryption"), QosError);
+  // On another interface, Encryption alone is fine.
+  service_.bind("IDL:demo/Other:1.0", "Encryption");
+}
+
+TEST_F(BindingTest, UnbindAllowsRebinding) {
+  service_.bind("IDL:demo/Hello:1.0", "Compression");
+  service_.unbind("IDL:demo/Hello:1.0", "Compression");
+  EXPECT_FALSE(service_.is_bound("IDL:demo/Hello:1.0", "Compression"));
+  service_.bind("IDL:demo/Hello:1.0", "Compression");
+  // Unbinding unknown things is harmless.
+  service_.unbind("IDL:none", "Compression");
+}
+
+TEST_F(BindingTest, GranularityNames) {
+  EXPECT_STREQ(binding_granularity_name(BindingGranularity::kInterface),
+               "interface");
+  EXPECT_STREQ(binding_granularity_name(BindingGranularity::kOperation),
+               "operation");
+  EXPECT_STREQ(binding_granularity_name(BindingGranularity::kParameter),
+               "parameter");
+}
+
+}  // namespace
+}  // namespace maqs::core

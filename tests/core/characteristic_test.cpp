@@ -1,0 +1,124 @@
+#include "core/characteristic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::core {
+namespace {
+
+CharacteristicDescriptor sample() {
+  return CharacteristicDescriptor(
+      "Sample", QosCategory::kPerformance,
+      {
+          ParamDesc{"level", cdr::TypeCode::long_tc(),
+                    cdr::Any::from_long(5), 1, 10},
+          ParamDesc{"label", cdr::TypeCode::string_tc(),
+                    cdr::Any::from_string("x"), {}, {}},
+      },
+      {
+          QosOpDesc{"qos_setup", QosOpKind::kMechanism},
+          QosOpDesc{"qos_sync", QosOpKind::kPeer},
+          QosOpDesc{"qos_get_state", QosOpKind::kAspect},
+      });
+}
+
+TEST(Characteristic, BasicAccessors) {
+  const auto d = sample();
+  EXPECT_EQ(d.name(), "Sample");
+  EXPECT_EQ(d.category(), QosCategory::kPerformance);
+  EXPECT_EQ(d.params().size(), 2u);
+  EXPECT_EQ(d.operations().size(), 3u);
+  EXPECT_TRUE(d.owns_operation("qos_sync"));
+  EXPECT_FALSE(d.owns_operation("echo"));
+  ASSERT_NE(d.find_param("level"), nullptr);
+  EXPECT_EQ(d.find_param("nope"), nullptr);
+}
+
+TEST(Characteristic, EmptyNameRejected) {
+  EXPECT_THROW(CharacteristicDescriptor("", QosCategory::kOther, {}, {}),
+               QosError);
+}
+
+TEST(Characteristic, ParamWithoutTypeRejected) {
+  EXPECT_THROW(
+      CharacteristicDescriptor(
+          "X", QosCategory::kOther,
+          {ParamDesc{"p", nullptr, cdr::Any::from_long(1), {}, {}}}, {}),
+      QosError);
+}
+
+TEST(Characteristic, DefaultValueTypeMismatchRejected) {
+  EXPECT_THROW(
+      CharacteristicDescriptor(
+          "X", QosCategory::kOther,
+          {ParamDesc{"p", cdr::TypeCode::long_tc(),
+                     cdr::Any::from_string("not a long"), {}, {}}},
+          {}),
+      QosError);
+}
+
+TEST(Characteristic, DefaultParams) {
+  const auto defaults = sample().default_params();
+  EXPECT_EQ(defaults.at("level").as_long(), 5);
+  EXPECT_EQ(defaults.at("label").as_string(), "x");
+}
+
+TEST(Characteristic, ValidateFillsDefaults) {
+  const auto validated = sample().validate_params(
+      {{"level", cdr::Any::from_long(7)}});
+  EXPECT_EQ(validated.at("level").as_long(), 7);
+  EXPECT_EQ(validated.at("label").as_string(), "x");
+}
+
+TEST(Characteristic, ValidateRejectsUnknownParam) {
+  EXPECT_THROW(sample().validate_params({{"zzz", cdr::Any::from_long(1)}}),
+               QosError);
+}
+
+TEST(Characteristic, ValidateRejectsTypeMismatch) {
+  EXPECT_THROW(
+      sample().validate_params({{"level", cdr::Any::from_string("7")}}),
+      QosError);
+}
+
+TEST(Characteristic, ValidateEnforcesBounds) {
+  EXPECT_THROW(sample().validate_params({{"level", cdr::Any::from_long(0)}}),
+               QosError);
+  EXPECT_THROW(sample().validate_params({{"level", cdr::Any::from_long(11)}}),
+               QosError);
+  EXPECT_NO_THROW(
+      sample().validate_params({{"level", cdr::Any::from_long(10)}}));
+  EXPECT_NO_THROW(
+      sample().validate_params({{"level", cdr::Any::from_long(1)}}));
+}
+
+TEST(Catalog, AddAndLookup) {
+  CharacteristicCatalog catalog;
+  catalog.add(sample());
+  EXPECT_TRUE(catalog.contains("Sample"));
+  EXPECT_EQ(catalog.get("Sample").name(), "Sample");
+  EXPECT_NE(catalog.find("Sample"), nullptr);
+  EXPECT_EQ(catalog.find("Other"), nullptr);
+  EXPECT_THROW(catalog.get("Other"), QosError);
+}
+
+TEST(Catalog, RejectsDuplicates) {
+  CharacteristicCatalog catalog;
+  catalog.add(sample());
+  EXPECT_THROW(catalog.add(sample()), QosError);
+}
+
+TEST(Catalog, NamesSorted) {
+  CharacteristicCatalog catalog;
+  catalog.add(CharacteristicDescriptor("B", QosCategory::kOther, {}, {}));
+  catalog.add(CharacteristicDescriptor("A", QosCategory::kOther, {}, {}));
+  EXPECT_EQ(catalog.names(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Category, Names) {
+  EXPECT_STREQ(qos_category_name(QosCategory::kFaultTolerance),
+               "fault-tolerance");
+  EXPECT_STREQ(qos_category_name(QosCategory::kPrivacy), "privacy");
+}
+
+}  // namespace
+}  // namespace maqs::core

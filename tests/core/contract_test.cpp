@@ -1,0 +1,81 @@
+#include "core/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::core {
+namespace {
+
+Agreement sample_agreement() {
+  Agreement agreement;
+  agreement.characteristic = "Compression";
+  agreement.object_key = "obj-1";
+  agreement.params = {{"level", cdr::Any::from_long(3)},
+                      {"codec", cdr::Any::from_string("lz77")},
+                      {"integrity", cdr::Any::from_bool(true)}};
+  agreement.state = AgreementState::kActive;
+  return agreement;
+}
+
+TEST(Agreement, TypedParamAccessors) {
+  const Agreement a = sample_agreement();
+  EXPECT_EQ(a.int_param("level"), 3);
+  EXPECT_EQ(a.string_param("codec"), "lz77");
+  EXPECT_TRUE(a.bool_param("integrity"));
+}
+
+TEST(Agreement, MissingParamThrows) {
+  EXPECT_THROW(sample_agreement().int_param("nope"), QosError);
+}
+
+TEST(Agreement, StateNames) {
+  EXPECT_STREQ(agreement_state_name(AgreementState::kActive), "active");
+  EXPECT_STREQ(agreement_state_name(AgreementState::kViolated), "violated");
+}
+
+TEST(AgreementRepository, CreateAssignsIncreasingIds) {
+  AgreementRepository repo;
+  const auto& a = repo.create(sample_agreement());
+  const auto& b = repo.create(sample_agreement());
+  EXPECT_GT(a.id, 0u);
+  EXPECT_GT(b.id, a.id);
+}
+
+TEST(AgreementRepository, FindAndGet) {
+  AgreementRepository repo;
+  const auto id = repo.create(sample_agreement()).id;
+  EXPECT_NE(repo.find(id), nullptr);
+  EXPECT_EQ(repo.find(9999), nullptr);
+  EXPECT_EQ(repo.get(id).id, id);
+  EXPECT_THROW(repo.get(9999), QosError);
+}
+
+TEST(AgreementRepository, TerminateChangesState) {
+  AgreementRepository repo;
+  const auto id = repo.create(sample_agreement()).id;
+  EXPECT_EQ(repo.active_count(), 1u);
+  repo.terminate(id);
+  EXPECT_EQ(repo.get(id).state, AgreementState::kTerminated);
+  EXPECT_EQ(repo.active_count(), 0u);
+  // Terminating again or terminating unknown ids is harmless.
+  repo.terminate(id);
+  repo.terminate(424242);
+}
+
+TEST(AgreementRepository, QueriesExcludeTerminated) {
+  AgreementRepository repo;
+  const auto id1 = repo.create(sample_agreement()).id;
+  repo.create(sample_agreement());
+  Agreement other = sample_agreement();
+  other.characteristic = "Encryption";
+  other.object_key = "obj-2";
+  repo.create(other);
+
+  EXPECT_EQ(repo.by_characteristic("Compression").size(), 2u);
+  EXPECT_EQ(repo.by_characteristic("Encryption").size(), 1u);
+  EXPECT_EQ(repo.by_object("obj-1").size(), 3u - 1u);
+  repo.terminate(id1);
+  EXPECT_EQ(repo.by_characteristic("Compression").size(), 1u);
+}
+
+}  // namespace
+}  // namespace maqs::core

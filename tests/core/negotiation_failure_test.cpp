@@ -1,0 +1,150 @@
+// Failure injection on the infrastructure services: crashed servers,
+// lossy links, restarts mid-agreement.
+#include <gtest/gtest.h>
+
+#include "characteristics/compression.hpp"
+#include "core/negotiation.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+using characteristics::compression_name;
+using maqs::testing::EchoStub;
+using maqs::testing::QosEchoImpl;
+
+class NegotiationFailureTest : public ::testing::Test {
+ protected:
+  NegotiationFailureTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001),
+        server_transport_(server_),
+        client_transport_(client_),
+        negotiation_(server_transport_, providers(), resources_),
+        negotiator_(client_transport_, providers()) {
+    resources_.declare("cpu", 1000.0);
+    client_.set_default_timeout(200 * sim::kMillisecond);
+    servant_ = std::make_shared<QosEchoImpl>();
+    servant_->assign_characteristic(
+        characteristics::compression_descriptor());
+    orb::QosProfile profile;
+    profile.characteristic = compression_name();
+    ref_ = server_.adapter().activate("echo-1", servant_, {profile});
+  }
+
+  static const ProviderRegistry& providers() {
+    static const ProviderRegistry registry = [] {
+      ProviderRegistry r;
+      r.add(characteristics::make_compression_provider());
+      return r;
+    }();
+    return registry;
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb server_;
+  orb::Orb client_;
+  QosTransport server_transport_;
+  QosTransport client_transport_;
+  ResourceManager resources_;
+  NegotiationService negotiation_;
+  Negotiator negotiator_;
+  std::shared_ptr<QosEchoImpl> servant_;
+  orb::ObjRef ref_;
+};
+
+TEST_F(NegotiationFailureTest, NegotiationWithCrashedServerTimesOut) {
+  net_.crash("server");
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(negotiator_.negotiate(stub, compression_name(), {}),
+               orb::TransportError);
+  // No client-side residue: no mediator, no module assignment.
+  EXPECT_EQ(stub.mediator(), nullptr);
+  EXPECT_EQ(client_transport_.assignment("echo-1"), std::nullopt);
+}
+
+TEST_F(NegotiationFailureTest, NegotiationSurvivesLossyLink) {
+  net_.set_link("client", "server",
+                net::LinkParams{.latency = 2 * sim::kMillisecond,
+                                .bandwidth_bps = 1e6,
+                                .loss_rate = 0.4});
+  client_.set_default_timeout(5 * sim::kSecond);
+  EchoStub stub(client_, ref_);
+  // Reliable transport: loss costs time, not correctness.
+  Agreement agreement = negotiator_.negotiate(stub, compression_name(), {});
+  EXPECT_EQ(agreement.state, AgreementState::kActive);
+  EXPECT_EQ(stub.echo("over lossy link"), "over lossy link");
+}
+
+TEST_F(NegotiationFailureTest, TrafficFailsCleanlyWhenServerCrashesLater) {
+  EchoStub stub(client_, ref_);
+  negotiator_.negotiate(stub, compression_name(), {});
+  EXPECT_EQ(stub.echo("ok"), "ok");
+  net_.crash("server");
+  EXPECT_THROW(stub.echo("dead"), orb::TransportError);
+}
+
+TEST_F(NegotiationFailureTest, ServerRestartInvalidatesOldAgreementState) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(stub, compression_name(), {});
+  net_.crash("server");
+  net_.restart("server");
+  // The server process state survived in this harness (same Orb object),
+  // so traffic still flows; renegotiation to the same id also works.
+  EXPECT_EQ(stub.echo("after restart"), "after restart");
+  Agreement updated = negotiator_.renegotiate(
+      stub, agreement, {{"level", cdr::Any::from_long(2)}});
+  EXPECT_EQ(updated.int_param("level"), 2);
+}
+
+TEST_F(NegotiationFailureTest, TerminateOnCrashedServerThrowsButCleansClient) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(stub, compression_name(), {});
+  net_.crash("server");
+  EXPECT_THROW(negotiator_.terminate(stub, agreement), orb::TransportError);
+  // Client-side weaving removal happens only on success; the mediator is
+  // still installed (the agreement may well still exist server-side).
+  auto composite =
+      std::dynamic_pointer_cast<CompositeMediator>(stub.mediator());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_NE(composite->find(compression_name()), nullptr);
+}
+
+TEST_F(NegotiationFailureTest, ViolationPushToCrashedClientIsHarmless) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(stub, compression_name(), {});
+  net_.crash("client");
+  // The push is fire-and-forget; the server must not wedge.
+  negotiation_.notify_violation(agreement.id, "test");
+  loop_.run_until_idle();
+  EXPECT_EQ(negotiation_.agreements().get(agreement.id).state,
+            AgreementState::kViolated);
+}
+
+TEST_F(NegotiationFailureTest, ConcurrentNegotiationsFromTwoClients) {
+  orb::Orb client2(net_, "client2", 9001);
+  QosTransport transport2(client2);
+  Negotiator negotiator2(transport2, providers());
+  auto servant2 = std::make_shared<QosEchoImpl>();
+  servant2->assign_characteristic(characteristics::compression_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = compression_name();
+  orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant2, {profile});
+
+  EchoStub stub1(client_, ref_);
+  EchoStub stub2(client2, ref2);
+  Agreement a1 = negotiator_.negotiate(stub1, compression_name(),
+                                       {{"level", cdr::Any::from_long(3)}});
+  Agreement a2 = negotiator2.negotiate(stub2, compression_name(),
+                                       {{"level", cdr::Any::from_long(5)}});
+  EXPECT_NE(a1.id, a2.id);
+  EXPECT_EQ(stub1.echo("one"), "one");
+  EXPECT_EQ(stub2.echo("two"), "two");
+  EXPECT_EQ(negotiation_.agreements().active_count(), 2u);
+}
+
+}  // namespace
+}  // namespace maqs::core

@@ -1,0 +1,250 @@
+// Negotiation protocol end-to-end: accept, counter, reject, preferences,
+// renegotiate, terminate — with the Compression provider as the mechanism.
+#include <gtest/gtest.h>
+
+#include "characteristics/compression.hpp"
+#include "core/adaptation.hpp"
+#include "core/negotiation.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+using characteristics::compression_name;
+using characteristics::make_compression_provider;
+using maqs::testing::EchoStub;
+using maqs::testing::QosEchoImpl;
+
+class NegotiationTest : public ::testing::Test {
+ protected:
+  NegotiationTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001),
+        server_transport_(server_),
+        client_transport_(client_),
+        negotiation_(server_transport_, providers(), resources_),
+        negotiator_(client_transport_, providers()) {
+    resources_.declare("cpu", 100.0);
+    servant_ = std::make_shared<QosEchoImpl>();
+    servant_->assign_characteristic(
+        characteristics::compression_descriptor());
+    orb::QosProfile profile;
+    profile.characteristic = compression_name();
+    ref_ = server_.adapter().activate("echo-1", servant_, {profile});
+  }
+
+  static const ProviderRegistry& providers() {
+    static const ProviderRegistry registry = [] {
+      ProviderRegistry r;
+      r.add(make_compression_provider());
+      return r;
+    }();
+    return registry;
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb server_;
+  orb::Orb client_;
+  QosTransport server_transport_;
+  QosTransport client_transport_;
+  ResourceManager resources_;
+  NegotiationService negotiation_;
+  Negotiator negotiator_;
+  std::shared_ptr<QosEchoImpl> servant_;
+  orb::ObjRef ref_;
+};
+
+TEST_F(NegotiationTest, SuccessfulNegotiationInstallsBothSides) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(16)}});
+  EXPECT_GT(agreement.id, 0u);
+  EXPECT_EQ(agreement.state, AgreementState::kActive);
+  EXPECT_EQ(agreement.int_param("level"), 16);
+  // Defaults were filled in by the server.
+  EXPECT_EQ(agreement.string_param("codec"), "lz77");
+
+  // Client weaving installed.
+  auto composite =
+      std::dynamic_pointer_cast<CompositeMediator>(stub.mediator());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_NE(composite->find(compression_name()), nullptr);
+  // Server weaving installed.
+  ASSERT_NE(servant_->active_impl(), nullptr);
+  EXPECT_EQ(servant_->active_impl()->characteristic(), compression_name());
+  EXPECT_EQ(servant_->active_impl()->agreement().id, agreement.id);
+  // Resources reserved.
+  EXPECT_EQ(resources_.reserved("cpu"), 16.0);
+
+  // And traffic flows correctly through the woven path.
+  EXPECT_EQ(stub.echo("compressed hello"), "compressed hello");
+  EXPECT_EQ(stub.add(4, 5), 9);
+}
+
+TEST_F(NegotiationTest, QosOpsWorkAfterNegotiationOnly) {
+  EchoStub stub(client_, ref_);
+  orb::RequestMessage probe;
+  probe.object_key = "echo-1";
+  probe.operation = "qos_compression_ratio";
+  EXPECT_EQ(client_.invoke_plain(ref_.endpoint, probe).status,
+            orb::ReplyStatus::kNotNegotiated);
+  negotiator_.negotiate(stub, compression_name(), {});
+  orb::ReplyMessage rep = client_.invoke_plain(ref_.endpoint, probe);
+  EXPECT_EQ(rep.status, orb::ReplyStatus::kOk);
+}
+
+TEST_F(NegotiationTest, UnknownCharacteristicRejected) {
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(negotiator_.negotiate(stub, "NoSuchQoS", {}),
+               NegotiationFailed);
+}
+
+TEST_F(NegotiationTest, InvalidParamsRejected) {
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(
+      negotiator_.negotiate(stub, compression_name(),
+                            {{"level", cdr::Any::from_long(9999)}}),
+      NegotiationFailed);
+}
+
+TEST_F(NegotiationTest, NonQosObjectRejected) {
+  auto plain = std::make_shared<maqs::testing::EchoImpl>();
+  orb::QosProfile profile;
+  profile.characteristic = compression_name();
+  orb::ObjRef plain_ref =
+      server_.adapter().activate("plain-1", plain, {profile});
+  EchoStub stub(client_, plain_ref);
+  EXPECT_THROW(negotiator_.negotiate(stub, compression_name(), {}),
+               NegotiationFailed);
+  // Failed binding must not leak the reservation.
+  EXPECT_EQ(resources_.reserved("cpu"), 0.0);
+}
+
+TEST_F(NegotiationTest, UnassignedCharacteristicRejected) {
+  auto servant = std::make_shared<QosEchoImpl>();  // nothing assigned
+  orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant);
+  EchoStub stub(client_, ref2);
+  EXPECT_THROW(negotiator_.negotiate(stub, compression_name(), {}),
+               NegotiationFailed);
+}
+
+TEST_F(NegotiationTest, CounterOfferAcceptedByDefault) {
+  // Demand 80 + 80 cpu: the second negotiation cannot fit and the server
+  // counters with the minimum level (1).
+  EchoStub stub1(client_, ref_);
+  negotiator_.negotiate(stub1, compression_name(),
+                        {{"level", cdr::Any::from_long(80)}});
+  auto servant2 = std::make_shared<QosEchoImpl>();
+  servant2->assign_characteristic(characteristics::compression_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = compression_name();
+  orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant2, {profile});
+  EchoStub stub2(client_, ref2);
+  Agreement degraded = negotiator_.negotiate(
+      stub2, compression_name(), {{"level", cdr::Any::from_long(80)}});
+  EXPECT_EQ(degraded.int_param("level"), 1);
+  EXPECT_EQ(resources_.reserved("cpu"), 81.0);
+}
+
+TEST_F(NegotiationTest, CounterOfferRefusedByPreferences) {
+  EchoStub stub1(client_, ref_);
+  negotiator_.negotiate(stub1, compression_name(),
+                        {{"level", cdr::Any::from_long(80)}});
+  auto servant2 = std::make_shared<QosEchoImpl>();
+  servant2->assign_characteristic(characteristics::compression_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = compression_name();
+  orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant2, {profile});
+  EchoStub stub2(client_, ref2);
+  ClientPreferences prefs;
+  prefs.bounds["level"] = {.min = 10, .max = std::nullopt};
+  EXPECT_THROW(
+      negotiator_.negotiate(stub2, compression_name(),
+                            {{"level", cdr::Any::from_long(80)}}, &prefs),
+      NegotiationFailed);
+}
+
+TEST_F(NegotiationTest, RejectWhenNothingFits) {
+  resources_.declare("cpu", 0.5);  // below even level 1
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(negotiator_.negotiate(stub, compression_name(),
+                                     {{"level", cdr::Any::from_long(4)}}),
+               NegotiationFailed);
+}
+
+TEST_F(NegotiationTest, RenegotiateSwapsLevel) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(32)}});
+  EXPECT_EQ(resources_.reserved("cpu"), 32.0);
+  Agreement updated = negotiator_.renegotiate(
+      stub, agreement, {{"level", cdr::Any::from_long(8)}});
+  EXPECT_EQ(updated.id, agreement.id);
+  EXPECT_EQ(updated.int_param("level"), 8);
+  EXPECT_EQ(resources_.reserved("cpu"), 8.0);
+  // Server-side impl rebound at the new level.
+  EXPECT_EQ(servant_->active_impl()->agreement().int_param("level"), 8);
+  // Traffic still flows.
+  EXPECT_EQ(stub.echo("renegotiated"), "renegotiated");
+}
+
+TEST_F(NegotiationTest, RenegotiateUnknownAgreementFails) {
+  EchoStub stub(client_, ref_);
+  Agreement bogus;
+  bogus.id = 4242;
+  bogus.characteristic = compression_name();
+  bogus.object_key = "echo-1";
+  EXPECT_THROW(negotiator_.renegotiate(stub, bogus, {}), NegotiationFailed);
+}
+
+TEST_F(NegotiationTest, TerminateRemovesWeavingAndReservation) {
+  EchoStub stub(client_, ref_);
+  Agreement agreement = negotiator_.negotiate(
+      stub, compression_name(), {{"level", cdr::Any::from_long(16)}});
+  negotiator_.terminate(stub, agreement);
+  EXPECT_EQ(resources_.reserved("cpu"), 0.0);
+  EXPECT_EQ(servant_->active_impl(), nullptr);
+  auto composite =
+      std::dynamic_pointer_cast<CompositeMediator>(stub.mediator());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_EQ(composite->find(compression_name()), nullptr);
+  // Plain traffic unaffected afterwards.
+  EXPECT_EQ(stub.echo("plain again"), "plain again");
+  EXPECT_EQ(negotiation_.agreements().get(agreement.id).state,
+            AgreementState::kTerminated);
+}
+
+TEST_F(NegotiationTest, ParamsCodecRoundTrip) {
+  std::map<std::string, cdr::Any> params{
+      {"a", cdr::Any::from_long(1)},
+      {"b", cdr::Any::from_string("x")},
+      {"c", cdr::Any::from_bool(true)}};
+  EXPECT_EQ(decode_params(encode_params(params), 0), params);
+  EXPECT_THROW(decode_params({cdr::Any::from_string("dangling")}, 0),
+               QosError);
+}
+
+TEST_F(NegotiationTest, EachAgreementIndependent) {
+  // Two clients, two agreements at different levels on different objects.
+  auto servant2 = std::make_shared<QosEchoImpl>();
+  servant2->assign_characteristic(characteristics::compression_descriptor());
+  orb::QosProfile profile;
+  profile.characteristic = compression_name();
+  orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant2, {profile});
+
+  EchoStub stub1(client_, ref_);
+  EchoStub stub2(client_, ref2);
+  Agreement a1 = negotiator_.negotiate(stub1, compression_name(),
+                                       {{"level", cdr::Any::from_long(4)}});
+  Agreement a2 = negotiator_.negotiate(stub2, compression_name(),
+                                       {{"level", cdr::Any::from_long(8)}});
+  EXPECT_NE(a1.id, a2.id);
+  EXPECT_EQ(negotiation_.agreements().active_count(), 2u);
+  EXPECT_EQ(resources_.reserved("cpu"), 12.0);
+}
+
+}  // namespace
+}  // namespace maqs::core

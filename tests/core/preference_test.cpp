@@ -1,0 +1,160 @@
+#include "core/preference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "characteristics/compression.hpp"
+#include "core/catalog_doc.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+using characteristics::compression_name;
+using maqs::testing::EchoStub;
+using maqs::testing::QosEchoImpl;
+
+ContractProposal level(const std::string& label, std::int32_t value,
+                       double utility, std::int64_t min_acceptable) {
+  ContractProposal proposal;
+  proposal.label = label;
+  proposal.params = {{"level", cdr::Any::from_long(value)}};
+  proposal.bounds.bounds["level"] = {min_acceptable, std::nullopt};
+  proposal.utility = utility;
+  return proposal;
+}
+
+class PreferenceTest : public ::testing::Test {
+ protected:
+  PreferenceTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001),
+        server_transport_(server_),
+        client_transport_(client_),
+        negotiation_(server_transport_, providers(), resources_),
+        negotiator_(client_transport_, providers()) {
+    resources_.declare("cpu", 100.0);
+    servant_ = std::make_shared<QosEchoImpl>();
+    servant_->assign_characteristic(
+        characteristics::compression_descriptor());
+    orb::QosProfile profile;
+    profile.characteristic = compression_name();
+    ref_ = server_.adapter().activate("echo-1", servant_, {profile});
+  }
+
+  static const ProviderRegistry& providers() {
+    static const ProviderRegistry registry = [] {
+      ProviderRegistry r;
+      r.add(characteristics::make_compression_provider());
+      return r;
+    }();
+    return registry;
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb server_;
+  orb::Orb client_;
+  QosTransport server_transport_;
+  QosTransport client_transport_;
+  ResourceManager resources_;
+  NegotiationService negotiation_;
+  Negotiator negotiator_;
+  std::shared_ptr<QosEchoImpl> servant_;
+  orb::ObjRef ref_;
+};
+
+TEST_F(PreferenceTest, MostPreferredLevelWinsWhenResourcesAllow) {
+  PreferenceHierarchy hierarchy;
+  hierarchy.add(level("bronze", 8, 0.3, 1));
+  hierarchy.add(level("gold", 80, 1.0, 64));
+  hierarchy.add(level("silver", 32, 0.6, 16));
+  EchoStub stub(client_, ref_);
+  const PreferredAgreement result = negotiate_preferred(
+      negotiator_, stub, compression_name(), hierarchy);
+  EXPECT_EQ(result.label, "gold");  // sorted by utility, tried first
+  EXPECT_EQ(result.utility, 1.0);
+  EXPECT_EQ(result.agreement.int_param("level"), 80);
+}
+
+TEST_F(PreferenceTest, FallsThroughToAdmissibleLevel) {
+  resources_.declare("cpu", 40.0);  // gold (80) does not fit
+  PreferenceHierarchy hierarchy;
+  hierarchy.add(level("gold", 80, 1.0, 64));
+  hierarchy.add(level("silver", 32, 0.6, 16));
+  hierarchy.add(level("bronze", 8, 0.3, 1));
+  EchoStub stub(client_, ref_);
+  const PreferredAgreement result = negotiate_preferred(
+      negotiator_, stub, compression_name(), hierarchy);
+  // gold's counter-offer (level 1) violates its min 64 bound -> refused;
+  // silver (32) fits directly.
+  EXPECT_EQ(result.label, "silver");
+  EXPECT_EQ(result.agreement.int_param("level"), 32);
+  // Traffic flows at the admitted level.
+  EXPECT_EQ(stub.echo("preferred"), "preferred");
+}
+
+TEST_F(PreferenceTest, FailsWhenNoLevelAdmissible) {
+  resources_.declare("cpu", 0.5);
+  PreferenceHierarchy hierarchy;
+  hierarchy.add(level("gold", 80, 1.0, 64));
+  hierarchy.add(level("silver", 32, 0.6, 16));
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(
+      negotiate_preferred(negotiator_, stub, compression_name(), hierarchy),
+      NegotiationFailed);
+}
+
+TEST_F(PreferenceTest, EmptyHierarchyRejected) {
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(negotiate_preferred(negotiator_, stub, compression_name(),
+                                   PreferenceHierarchy{}),
+               NegotiationFailed);
+}
+
+TEST_F(PreferenceTest, LevelsSortedByUtility) {
+  PreferenceHierarchy hierarchy;
+  hierarchy.add(level("c", 1, 0.1, 1));
+  hierarchy.add(level("a", 1, 0.9, 1));
+  hierarchy.add(level("b", 1, 0.5, 1));
+  ASSERT_EQ(hierarchy.levels().size(), 3u);
+  EXPECT_EQ(hierarchy.levels()[0].label, "a");
+  EXPECT_EQ(hierarchy.levels()[1].label, "b");
+  EXPECT_EQ(hierarchy.levels()[2].label, "c");
+}
+
+// ---- catalog rendering (paper §6) ----
+
+TEST(CatalogDoc, RendersEntries) {
+  const std::string entry = catalog_entry_markdown(
+      characteristics::compression_descriptor());
+  EXPECT_NE(entry.find("## Compression"), std::string::npos);
+  EXPECT_NE(entry.find("*Category:* bandwidth"), std::string::npos);
+  EXPECT_NE(entry.find("`codec`"), std::string::npos);
+  EXPECT_NE(entry.find("1 .. 128"), std::string::npos);
+  EXPECT_NE(entry.find("`qos_compression_ratio` — mechanism"),
+            std::string::npos);
+}
+
+TEST(CatalogDoc, RendersFullRegistryWithWeavingInfo) {
+  ProviderRegistry providers;
+  providers.add(characteristics::make_compression_provider());
+  const std::string doc = catalog_markdown(providers);
+  EXPECT_NE(doc.find("# QoS Characteristic Catalog"), std::string::npos);
+  EXPECT_NE(doc.find("client mediator + server QoS implementation"),
+            std::string::npos);
+}
+
+TEST(CatalogDoc, ModuleReuseDocumented) {
+  ProviderRegistry providers;
+  providers.add(characteristics::make_compression_module_provider());
+  const std::string doc = catalog_markdown(providers);
+  EXPECT_NE(doc.find("*Reuses transport module:* `compression`"),
+            std::string::npos);
+  EXPECT_NE(doc.find("transport only"), std::string::npos);
+  EXPECT_NE(doc.find("*Bootstrap:*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maqs::core

@@ -1,0 +1,82 @@
+#include "core/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::core {
+namespace {
+
+TEST(ResourceManager, DeclareAndQuery) {
+  ResourceManager rm;
+  rm.declare("cpu", 100.0);
+  EXPECT_TRUE(rm.is_declared("cpu"));
+  EXPECT_FALSE(rm.is_declared("gpu"));
+  EXPECT_EQ(rm.capacity("cpu"), 100.0);
+  EXPECT_EQ(rm.available("cpu"), 100.0);
+  EXPECT_EQ(rm.reserved("cpu"), 0.0);
+  EXPECT_THROW(rm.capacity("gpu"), QosError);
+}
+
+TEST(ResourceManager, ReserveAndRelease) {
+  ResourceManager rm;
+  rm.declare("cpu", 100.0);
+  EXPECT_TRUE(rm.try_reserve({{"cpu", 60.0}}));
+  EXPECT_EQ(rm.available("cpu"), 40.0);
+  EXPECT_FALSE(rm.try_reserve({{"cpu", 50.0}}));
+  EXPECT_EQ(rm.reserved("cpu"), 60.0);  // failed reserve changes nothing
+  rm.release({{"cpu", 60.0}});
+  EXPECT_EQ(rm.available("cpu"), 100.0);
+}
+
+TEST(ResourceManager, BundleReservationIsAtomic) {
+  ResourceManager rm;
+  rm.declare("cpu", 10.0);
+  rm.declare("mem", 10.0);
+  // mem does not fit -> neither resource must be touched.
+  EXPECT_FALSE(rm.try_reserve({{"cpu", 5.0}, {"mem", 20.0}}));
+  EXPECT_EQ(rm.reserved("cpu"), 0.0);
+  EXPECT_EQ(rm.reserved("mem"), 0.0);
+  EXPECT_TRUE(rm.try_reserve({{"cpu", 5.0}, {"mem", 5.0}}));
+}
+
+TEST(ResourceManager, UnknownResourceInDemandThrows) {
+  ResourceManager rm;
+  rm.declare("cpu", 10.0);
+  EXPECT_THROW(rm.try_reserve({{"gpu", 1.0}}), QosError);
+}
+
+TEST(ResourceManager, ReleaseClampsAtZeroAndIgnoresUnknown) {
+  ResourceManager rm;
+  rm.declare("cpu", 10.0);
+  rm.release({{"cpu", 5.0}, {"gpu", 5.0}});
+  EXPECT_EQ(rm.reserved("cpu"), 0.0);
+}
+
+TEST(ResourceManager, CapacityChangeNotifiesListeners) {
+  ResourceManager rm;
+  rm.declare("cpu", 100.0);
+  rm.try_reserve({{"cpu", 80.0}});
+  std::vector<std::tuple<std::string, double, double>> events;
+  rm.subscribe([&](const std::string& name, double cap, double reserved) {
+    events.emplace_back(name, cap, reserved);
+  });
+  rm.set_capacity("cpu", 50.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<0>(events[0]), "cpu");
+  EXPECT_EQ(std::get<1>(events[0]), 50.0);
+  EXPECT_EQ(std::get<2>(events[0]), 80.0);
+}
+
+TEST(ResourceManager, OverloadDetection) {
+  ResourceManager rm;
+  rm.declare("cpu", 100.0);
+  rm.declare("mem", 100.0);
+  rm.try_reserve({{"cpu", 80.0}});
+  EXPECT_FALSE(rm.overloaded());
+  rm.set_capacity("cpu", 50.0);
+  EXPECT_TRUE(rm.overloaded());
+  EXPECT_EQ(rm.overloaded_resources(),
+            (std::vector<std::string>{"cpu"}));
+}
+
+}  // namespace
+}  // namespace maqs::core

@@ -1,0 +1,151 @@
+#include "core/trader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "characteristics/compression.hpp"
+#include "characteristics/replication.hpp"
+#include "net/network.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+orb::ObjRef make_ref(const std::string& key,
+                     const std::vector<std::string>& characteristics,
+                     const std::string& repo_id = "IDL:test/Echo:1.0") {
+  orb::ObjRef ref;
+  ref.repo_id = repo_id;
+  ref.endpoint = {"host", 9};
+  ref.object_key = key;
+  for (const std::string& name : characteristics) {
+    orb::QosProfile profile;
+    profile.characteristic = name;
+    ref.qos.push_back(profile);
+  }
+  return ref;
+}
+
+TEST(Trader, ExportAndQueryByCharacteristic) {
+  Trader trader;
+  trader.export_offer({make_ref("a", {"Compression"}), {}, {}});
+  trader.export_offer({make_ref("b", {"Replication"}), {}, {}});
+  trader.export_offer({make_ref("c", {"Compression", "Encryption"}), {}, {}});
+  EXPECT_EQ(trader.size(), 3u);
+  EXPECT_EQ(trader.query("Compression").size(), 2u);
+  EXPECT_EQ(trader.query("Replication").size(), 1u);
+  EXPECT_EQ(trader.query("Actuality").size(), 0u);
+}
+
+TEST(Trader, CharacteristicsDefaultFromIorTag) {
+  Trader trader;
+  Offer offer;
+  offer.ref = make_ref("a", {"Compression", "Encryption"});
+  trader.export_offer(offer);  // empty characteristic list
+  EXPECT_EQ(trader.query("Encryption").size(), 1u);
+}
+
+TEST(Trader, NilRefRejected) {
+  Trader trader;
+  EXPECT_THROW(trader.export_offer({orb::ObjRef{}, {}, {}}), QosError);
+}
+
+TEST(Trader, WithdrawRemovesOffer) {
+  Trader trader;
+  const auto id = trader.export_offer({make_ref("a", {"Compression"}), {}, {}});
+  trader.withdraw(id);
+  EXPECT_EQ(trader.query("Compression").size(), 0u);
+  trader.withdraw(4242);  // harmless
+}
+
+TEST(Trader, QueryByInterface) {
+  Trader trader;
+  trader.export_offer(
+      {make_ref("a", {"Compression"}, "IDL:x/A:1.0"), {}, {}});
+  trader.export_offer(
+      {make_ref("b", {"Compression"}, "IDL:x/B:1.0"), {}, {}});
+  EXPECT_EQ(trader.query_interface("IDL:x/A:1.0").size(), 1u);
+  EXPECT_EQ(trader.query_interface("IDL:x/C:1.0").size(), 0u);
+}
+
+TEST(Trader, QueryByCategory) {
+  CharacteristicCatalog catalog;
+  catalog.add(characteristics::compression_descriptor());
+  catalog.add(characteristics::replication_descriptor());
+  Trader trader;
+  trader.export_offer({make_ref("a", {"Compression"}), {}, {}});
+  trader.export_offer({make_ref("b", {"Replication"}), {}, {}});
+  trader.export_offer({make_ref("c", {"UnknownChar"}), {}, {}});
+  EXPECT_EQ(trader.query_category(QosCategory::kBandwidth, catalog).size(),
+            1u);
+  EXPECT_EQ(
+      trader.query_category(QosCategory::kFaultTolerance, catalog).size(),
+      1u);
+  EXPECT_EQ(trader.query_category(QosCategory::kPrivacy, catalog).size(),
+            0u);
+}
+
+class RemoteTraderTest : public ::testing::Test {
+ protected:
+  RemoteTraderTest()
+      : net_(loop_),
+        market_(net_, "market", 9000),
+        seller_(net_, "seller", 9001),
+        buyer_(net_, "buyer", 9002),
+        client_(buyer_, market_.endpoint()),
+        seller_client_(seller_, market_.endpoint()) {
+    market_.adapter().activate(TraderServant::object_key(),
+                               std::make_shared<TraderServant>(trader_));
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb market_;
+  orb::Orb seller_;
+  orb::Orb buyer_;
+  Trader trader_;
+  TraderClient client_;
+  TraderClient seller_client_;
+};
+
+TEST_F(RemoteTraderTest, ExportQueryWithdrawOverTheWire) {
+  Offer offer;
+  offer.ref = make_ref("svc-1", {"Compression"});
+  offer.properties = {{"region", "eu"}};
+  const std::uint64_t id = seller_client_.export_offer(offer);
+  EXPECT_GT(id, 0u);
+
+  const auto found = client_.query("Compression");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].object_key, "svc-1");
+  EXPECT_TRUE(found[0].qos_aware());
+
+  EXPECT_EQ(client_.query_interface("IDL:test/Echo:1.0").size(), 1u);
+  seller_client_.withdraw(id);
+  EXPECT_TRUE(client_.query("Compression").empty());
+}
+
+TEST_F(RemoteTraderTest, QueriedRefIsInvokable) {
+  // The trader round-trip must preserve a usable reference.
+  auto servant = std::make_shared<maqs::testing::EchoImpl>();
+  orb::ObjRef real = seller_.adapter().activate("echo-1", servant);
+  Offer offer;
+  offer.ref = real;
+  offer.characteristics = {"Compression"};
+  seller_client_.export_offer(offer);
+
+  const auto found = client_.query("Compression");
+  ASSERT_EQ(found.size(), 1u);
+  maqs::testing::EchoStub stub(buyer_, found[0]);
+  EXPECT_EQ(stub.echo("via trader"), "via trader");
+}
+
+TEST_F(RemoteTraderTest, UnknownOperationRejected) {
+  orb::RequestMessage req;
+  req.object_key = TraderServant::object_key();
+  req.operation = "frobnicate";
+  EXPECT_EQ(buyer_.invoke_plain(market_.endpoint(), std::move(req)).status,
+            orb::ReplyStatus::kBadOperation);
+}
+
+}  // namespace
+}  // namespace maqs::core

@@ -1,0 +1,222 @@
+// Fig. 3 dispatch: module administration, dual-use requests (commands vs
+// service requests), dynamic loading, fallback path, pseudo object.
+#include <gtest/gtest.h>
+
+#include "core/qos_transport.hpp"
+#include "net/network.hpp"
+#include "orb/dii.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+/// Test module: reverses message bodies (self-inverse transform) and
+/// counts command invocations.
+class ReverseModule : public QosModule {
+ public:
+  ReverseModule() : QosModule("reverse") {}
+
+  void transform_request(orb::RequestMessage& req) override {
+    std::reverse(req.body.begin(), req.body.end());
+  }
+  void restore_request(orb::RequestMessage& req) override {
+    std::reverse(req.body.begin(), req.body.end());
+  }
+  void transform_reply(const orb::RequestMessage&,
+                       orb::ReplyMessage& rep) override {
+    std::reverse(rep.body.begin(), rep.body.end());
+  }
+  void restore_reply(orb::ReplyMessage& rep) override {
+    std::reverse(rep.body.begin(), rep.body.end());
+  }
+  cdr::Any command(const std::string& op,
+                   const std::vector<cdr::Any>& args) override {
+    if (op == "count") {
+      return cdr::Any::from_long(static_cast<std::int32_t>(++count_));
+    }
+    return QosModule::command(op, args);
+  }
+
+ private:
+  int count_ = 0;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001),
+        server_transport_(server_),
+        client_transport_(client_) {
+    auto& registry = ModuleFactoryRegistry::instance();
+    if (!registry.contains("reverse")) {
+      registry.register_factory(
+          "reverse", [] { return std::make_unique<ReverseModule>(); });
+    }
+    impl_ = std::make_shared<maqs::testing::EchoImpl>();
+    orb::QosProfile profile;
+    profile.characteristic = "Reverse";
+    ref_ = server_.adapter().activate("echo-1", impl_, {profile});
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb server_;
+  orb::Orb client_;
+  QosTransport server_transport_;
+  QosTransport client_transport_;
+  std::shared_ptr<maqs::testing::EchoImpl> impl_;
+  orb::ObjRef ref_;
+};
+
+TEST_F(TransportTest, LoadUnloadModules) {
+  EXPECT_FALSE(client_transport_.is_loaded("reverse"));
+  client_transport_.load_module("reverse");
+  EXPECT_TRUE(client_transport_.is_loaded("reverse"));
+  client_transport_.load_module("reverse");  // idempotent
+  EXPECT_EQ(client_transport_.stats().modules_loaded, 1u);
+  client_transport_.unload_module("reverse");
+  EXPECT_FALSE(client_transport_.is_loaded("reverse"));
+  EXPECT_THROW(client_transport_.load_module("no-such-module"), QosError);
+}
+
+TEST_F(TransportTest, QosAwareRequestWithModuleTakesModulePath) {
+  client_transport_.assign("echo-1", "reverse");
+  maqs::testing::EchoStub stub(client_, ref_);
+  // Round-trip still correct: server transport reverses it back.
+  EXPECT_EQ(stub.echo("through module"), "through module");
+  EXPECT_EQ(client_transport_.stats().requests_via_module, 1u);
+  EXPECT_EQ(server_transport_.stats().inbound_module_transforms, 1u);
+  EXPECT_EQ(client_.stats().qos_path, 1u);
+}
+
+TEST_F(TransportTest, QosAwareRequestWithoutModuleFallsBackToPlain) {
+  maqs::testing::EchoStub stub(client_, ref_);
+  EXPECT_EQ(stub.echo("bootstrap"), "bootstrap");
+  EXPECT_EQ(client_transport_.stats().requests_fallback_plain, 1u);
+  EXPECT_EQ(client_transport_.stats().requests_via_module, 0u);
+}
+
+TEST_F(TransportTest, NonQosReferenceSkipsTransportEntirely) {
+  auto plain_ref = ref_;
+  plain_ref.qos.clear();
+  maqs::testing::EchoStub stub(client_, plain_ref);
+  EXPECT_EQ(stub.echo("plain"), "plain");
+  EXPECT_EQ(client_.stats().plain_path, 1u);
+  EXPECT_EQ(client_.stats().qos_path, 0u);
+}
+
+TEST_F(TransportTest, UnassignRestoresFallback) {
+  client_transport_.assign("echo-1", "reverse");
+  EXPECT_EQ(client_transport_.assignment("echo-1"), "reverse");
+  client_transport_.unassign("echo-1");
+  EXPECT_EQ(client_transport_.assignment("echo-1"), std::nullopt);
+  maqs::testing::EchoStub stub(client_, ref_);
+  stub.echo("x");
+  EXPECT_EQ(client_transport_.stats().requests_fallback_plain, 1u);
+}
+
+TEST_F(TransportTest, UnloadRemovesAssignments) {
+  client_transport_.assign("echo-1", "reverse");
+  client_transport_.unload_module("reverse");
+  EXPECT_EQ(client_transport_.assignment("echo-1"), std::nullopt);
+}
+
+TEST_F(TransportTest, TransportCommandsOverTheWire) {
+  // "ping" on the remote transport.
+  cdr::Any pong =
+      orb::send_command(client_, server_.endpoint(), "", "ping", {});
+  EXPECT_EQ(pong.as_string(), "pong");
+  EXPECT_EQ(server_transport_.stats().commands_to_transport, 1u);
+
+  // Remote module loading through a transport command (reflection:
+  // extending the ORB at runtime).
+  orb::send_command(client_, server_.endpoint(), "", "load_module",
+                    {cdr::Any::from_string("reverse")});
+  EXPECT_TRUE(server_transport_.is_loaded("reverse"));
+
+  cdr::Any modules =
+      orb::send_command(client_, server_.endpoint(), "", "list_modules", {});
+  ASSERT_EQ(modules.as_elements().size(), 1u);
+  EXPECT_EQ(modules.as_elements()[0].as_string(), "reverse");
+
+  orb::send_command(client_, server_.endpoint(), "", "unload_module",
+                    {cdr::Any::from_string("reverse")});
+  EXPECT_FALSE(server_transport_.is_loaded("reverse"));
+}
+
+TEST_F(TransportTest, ModuleCommandsDispatchToModule) {
+  // Command to an unloaded module loads it on request.
+  cdr::Any count = orb::send_command(client_, server_.endpoint(), "reverse",
+                                     "count", {});
+  EXPECT_EQ(count.as_long(), 1);
+  EXPECT_TRUE(server_transport_.is_loaded("reverse"));
+  EXPECT_EQ(orb::send_command(client_, server_.endpoint(), "reverse",
+                              "count", {})
+                .as_long(),
+            2);
+  EXPECT_EQ(server_transport_.stats().commands_to_module, 2u);
+}
+
+TEST_F(TransportTest, UnknownCommandsReportErrors) {
+  EXPECT_THROW(
+      orb::send_command(client_, server_.endpoint(), "", "frobnicate", {}),
+      orb::SystemException);
+  EXPECT_THROW(orb::send_command(client_, server_.endpoint(), "reverse",
+                                 "frobnicate", {}),
+               orb::SystemException);
+  EXPECT_THROW(orb::send_command(client_, server_.endpoint(),
+                                 "no-such-module", "x", {}),
+               orb::SystemException);
+}
+
+TEST_F(TransportTest, PseudoObjectAccessibleLikeAnyObject) {
+  // The transport's static interface as a regular object (paper §4).
+  orb::ObjRef pseudo_ref =
+      server_.adapter().reference(QosTransport::pseudo_object_key());
+  orb::DiiRequest load(client_, pseudo_ref, "load_module");
+  load.add_arg(cdr::Any::from_string("reverse"));
+  load.invoke();
+  EXPECT_TRUE(server_transport_.is_loaded("reverse"));
+
+  orb::DiiRequest is_loaded(client_, pseudo_ref, "is_loaded");
+  is_loaded.add_arg(cdr::Any::from_string("reverse"));
+  is_loaded.set_return_type(cdr::TypeCode::boolean_tc());
+  EXPECT_TRUE(is_loaded.invoke().as_bool());
+
+  orb::DiiRequest unload(client_, pseudo_ref, "unload_module");
+  unload.add_arg(cdr::Any::from_string("reverse"));
+  unload.invoke();
+  EXPECT_FALSE(server_transport_.is_loaded("reverse"));
+}
+
+TEST_F(TransportTest, LocalTransportCommandInterface) {
+  EXPECT_EQ(client_transport_.transport_command("ping", {}).as_string(),
+            "pong");
+  client_transport_.transport_command(
+      "assign", {cdr::Any::from_string("obj"),
+                 cdr::Any::from_string("reverse")});
+  EXPECT_EQ(client_transport_.assignment("obj"), "reverse");
+  client_transport_.transport_command("unassign",
+                                      {cdr::Any::from_string("obj")});
+  EXPECT_EQ(client_transport_.assignment("obj"), std::nullopt);
+  EXPECT_THROW(client_transport_.transport_command("nope", {}), QosError);
+  EXPECT_THROW(client_transport_.transport_command("assign", {}), QosError);
+}
+
+TEST_F(TransportTest, FactoryRegistryValidation) {
+  auto& registry = ModuleFactoryRegistry::instance();
+  EXPECT_THROW(registry.register_factory("bad", nullptr), QosError);
+  EXPECT_THROW(registry.register_factory(
+                   "reverse", [] { return std::make_unique<ReverseModule>(); }),
+               QosError);
+  // Factory producing a mismatched module name is rejected at load.
+  registry.register_factory(
+      "mismatch", [] { return std::make_unique<ReverseModule>(); });
+  EXPECT_THROW(client_transport_.load_module("mismatch"), QosError);
+  registry.unregister("mismatch");
+}
+
+}  // namespace
+}  // namespace maqs::core

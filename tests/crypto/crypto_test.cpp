@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "crypto/dh.hpp"
+#include "crypto/mac.hpp"
+#include "crypto/xtea.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::crypto {
+namespace {
+
+using util::Bytes;
+
+TEST(Xtea, ReferenceVector) {
+  // XTEA with zero key, zero plaintext, 32 rounds:
+  // well-known result DE E9 D4 D8 F7 13 1E D9 (big-endian v0,v1).
+  const Key128 key{0, 0, 0, 0};
+  const std::uint64_t ct = XteaCtr::encrypt_block(0, key);
+  const std::uint32_t v0 = static_cast<std::uint32_t>(ct);
+  const std::uint32_t v1 = static_cast<std::uint32_t>(ct >> 32);
+  EXPECT_EQ(v0, 0xDEE9D4D8u);
+  EXPECT_EQ(v1, 0xF7131ED9u);
+}
+
+TEST(Xtea, CtrIsInvolution) {
+  const Key128 key = derive_key(util::to_bytes("secret"));
+  XteaCtr ctr(key, /*nonce=*/7);
+  util::Rng rng(1);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 1000u}) {
+    Bytes plain(n);
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+    const Bytes cipher = ctr.apply(plain);
+    EXPECT_EQ(ctr.apply(cipher), plain) << "size " << n;
+    if (n >= 8) {
+      EXPECT_NE(cipher, plain);
+    }
+  }
+}
+
+TEST(Xtea, DifferentNoncesGiveDifferentStreams) {
+  const Key128 key = derive_key(util::to_bytes("secret"));
+  const Bytes plain(64, 0);
+  EXPECT_NE(XteaCtr(key, 1).apply(plain), XteaCtr(key, 2).apply(plain));
+}
+
+TEST(Xtea, DifferentKeysGiveDifferentStreams) {
+  const Bytes plain(64, 0);
+  const Key128 k1 = derive_key(util::to_bytes("a"));
+  const Key128 k2 = derive_key(util::to_bytes("b"));
+  EXPECT_NE(XteaCtr(k1, 1).apply(plain), XteaCtr(k2, 1).apply(plain));
+}
+
+TEST(DeriveKey, DeterministicAndSensitive) {
+  EXPECT_EQ(derive_key(util::to_bytes("x")), derive_key(util::to_bytes("x")));
+  EXPECT_NE(derive_key(util::to_bytes("x")), derive_key(util::to_bytes("y")));
+}
+
+TEST(Modpow, SmallKnownValues) {
+  EXPECT_EQ(modpow(2, 10, 1000), 24u);  // 1024 mod 1000
+  EXPECT_EQ(modpow(3, 0, 7), 1u);
+  EXPECT_EQ(modpow(5, 1, 7), 5u);
+  EXPECT_EQ(modpow(7, 3, 11), 343 % 11);
+  EXPECT_EQ(modpow(9, 5, 1), 0u);  // degenerate modulus
+}
+
+TEST(Modpow, LargeOperandsNoOverflow) {
+  const std::uint64_t p = default_group().p;
+  // Fermat: g^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(modpow(default_group().g, p - 1, p), 1u);
+}
+
+TEST(Dh, SharedSecretAgrees) {
+  util::Rng rng(99);
+  const DhGroup& group = default_group();
+  for (int i = 0; i < 20; ++i) {
+    DhParty alice(group, 2 + rng.next_below(group.p - 4));
+    DhParty bob(group, 2 + rng.next_below(group.p - 4));
+    EXPECT_EQ(alice.shared_secret(bob.public_value()),
+              bob.shared_secret(alice.public_value()));
+  }
+}
+
+TEST(Dh, DifferentPrivatesDisagreeWithEavesdropper) {
+  const DhGroup& group = default_group();
+  DhParty alice(group, 123456789);
+  DhParty bob(group, 987654321);
+  DhParty eve(group, 55555);
+  EXPECT_NE(eve.shared_secret(bob.public_value()),
+            alice.shared_secret(bob.public_value()));
+}
+
+TEST(Dh, SecretBytesFeedKeyDerivation) {
+  const DhGroup& group = default_group();
+  DhParty alice(group, 111), bob(group, 222);
+  const Bytes sa = alice.shared_secret_bytes(bob.public_value());
+  const Bytes sb = bob.shared_secret_bytes(alice.public_value());
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), 8u);
+  EXPECT_EQ(derive_key(sa), derive_key(sb));
+}
+
+TEST(Mac, DetectsTampering) {
+  const Bytes data = util::to_bytes("transfer 100 to account 7");
+  const std::uint64_t tag = mac64(42, data);
+  EXPECT_TRUE(mac_verify(42, data, tag));
+  Bytes tampered = data;
+  tampered[9] = '9';
+  EXPECT_FALSE(mac_verify(42, tampered, tag));
+}
+
+TEST(Mac, KeyDependent) {
+  const Bytes data = util::to_bytes("hello");
+  EXPECT_NE(mac64(1, data), mac64(2, data));
+}
+
+TEST(Mac, EmptyDataStillKeyed) {
+  EXPECT_NE(mac64(1, Bytes{}), mac64(2, Bytes{}));
+}
+
+}  // namespace
+}  // namespace maqs::crypto

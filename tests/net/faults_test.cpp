@@ -1,0 +1,122 @@
+// Fault-injection semantics: crashes, restarts (incarnations), partitions.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "util/bytes.hpp"
+
+namespace maqs::net {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  FaultsTest() : net_(loop_) {
+    net_.add_node("a");
+    net_.add_node("b");
+    net_.bind({"b", 1}, [this](const Address&, const Bytes&) { ++b_got_; });
+  }
+
+  sim::EventLoop loop_;
+  Network net_;
+  int b_got_ = 0;
+};
+
+TEST_F(FaultsTest, CrashedNodeReceivesNothing) {
+  net_.crash("b");
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 0);
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(FaultsTest, CrashedNodeCannotSend) {
+  net_.crash("a");
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 0);
+}
+
+TEST_F(FaultsTest, InFlightMessageToCrashingNodeIsLost) {
+  net_.set_link("a", "b", LinkParams{.latency = 10 * sim::kMillisecond,
+                                     .bandwidth_bps = 0});
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  // Crash while the message is in flight.
+  loop_.schedule(5 * sim::kMillisecond, [this] { net_.crash("b"); });
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 0);
+}
+
+TEST_F(FaultsTest, MessageSentBeforeRestartIsNotDeliveredAfter) {
+  net_.set_link("a", "b", LinkParams{.latency = 10 * sim::kMillisecond,
+                                     .bandwidth_bps = 0});
+  net_.crash("b");
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));  // to dead incarnation
+  loop_.schedule(2 * sim::kMillisecond, [this] { net_.restart("b"); });
+  loop_.run_until_idle();
+  // The restart creates a new incarnation; the old message must not leak
+  // into it (connections were severed by the crash).
+  EXPECT_EQ(b_got_, 0);
+}
+
+TEST_F(FaultsTest, RestartedNodeReceivesNewTraffic) {
+  net_.crash("b");
+  net_.restart("b");
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 1);
+  EXPECT_TRUE(net_.is_alive("b"));
+}
+
+TEST_F(FaultsTest, CrashIsVisibleInIsAlive) {
+  EXPECT_TRUE(net_.is_alive("b"));
+  net_.crash("b");
+  EXPECT_FALSE(net_.is_alive("b"));
+}
+
+TEST_F(FaultsTest, CrashUnknownNodeThrows) {
+  EXPECT_THROW(net_.crash("zz"), std::invalid_argument);
+  EXPECT_THROW(net_.restart("zz"), std::invalid_argument);
+}
+
+TEST_F(FaultsTest, PartitionBlocksCrossTraffic) {
+  net_.set_partition("a", 1);
+  net_.set_partition("b", 2);
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 0);
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(FaultsTest, SamePartitionTrafficFlows) {
+  net_.set_partition("a", 1);
+  net_.set_partition("b", 1);
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 1);
+}
+
+TEST_F(FaultsTest, HealPartitionsRestoresTraffic) {
+  net_.set_partition("a", 1);
+  net_.set_partition("b", 2);
+  net_.heal_partitions();
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 1);
+}
+
+TEST_F(FaultsTest, PartitionCheckedAtDeliveryTime) {
+  net_.set_link("a", "b", LinkParams{.latency = 10 * sim::kMillisecond,
+                                     .bandwidth_bps = 0});
+  net_.send({"a", 1}, {"b", 1}, to_bytes("x"));
+  // Partition forms while the message is in flight: it is lost.
+  loop_.schedule(5 * sim::kMillisecond, [this] {
+    net_.set_partition("b", 7);
+  });
+  loop_.run_until_idle();
+  EXPECT_EQ(b_got_, 0);
+}
+
+}  // namespace
+}  // namespace maqs::net

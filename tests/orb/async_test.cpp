@@ -1,0 +1,167 @@
+// Asynchronous and multicast request plumbing (used by the replication
+// module for active replication and voting).
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::orb {
+namespace {
+
+RequestMessage echo_request(const std::string& payload) {
+  RequestMessage req;
+  req.operation = "echo";
+  req.object_key = "echo";
+  cdr::Encoder enc;
+  enc.write_string(payload);
+  req.body = enc.take();
+  return req;
+}
+
+std::string reply_payload(const ReplyMessage& rep) {
+  cdr::Decoder dec(rep.body);
+  return dec.read_string();
+}
+
+class AsyncTest : public ::testing::Test {
+ protected:
+  AsyncTest() : net_(loop_), client_(net_, "client", 1) {
+    for (int i = 0; i < 3; ++i) {
+      auto orb = std::make_unique<Orb>(net_, "s" + std::to_string(i), 9000);
+      orb->adapter().activate("echo", std::make_shared<maqs::testing::EchoImpl>());
+      servers_.push_back(std::move(orb));
+    }
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  Orb client_;
+  std::vector<std::unique_ptr<Orb>> servers_;
+};
+
+TEST_F(AsyncTest, SendRequestDeliversReplyAsynchronously) {
+  std::vector<std::string> replies;
+  client_.send_request(servers_[0]->endpoint(), echo_request("a"),
+                       [&](const ReplyMessage& rep) {
+                         replies.push_back(reply_payload(rep));
+                       });
+  client_.send_request(servers_[1]->endpoint(), echo_request("b"),
+                       [&](const ReplyMessage& rep) {
+                         replies.push_back(reply_payload(rep));
+                       });
+  EXPECT_TRUE(replies.empty());  // nothing before the loop runs
+  loop_.run_until_idle();
+  EXPECT_EQ(replies.size(), 2u);
+}
+
+TEST_F(AsyncTest, TimeoutSynthesizesReply) {
+  net_.crash("s0");
+  ReplyMessage got;
+  bool called = false;
+  client_.send_request(servers_[0]->endpoint(), echo_request("x"),
+                       [&](const ReplyMessage& rep) {
+                         got = rep;
+                         called = true;
+                       },
+                       50 * sim::kMillisecond);
+  loop_.run_until_idle();
+  ASSERT_TRUE(called);
+  EXPECT_EQ(got.status, ReplyStatus::kSystemException);
+  EXPECT_EQ(got.exception, "maqs/TIMEOUT");
+  EXPECT_EQ(client_.stats().timeouts, 1u);
+}
+
+TEST_F(AsyncTest, CancelSuppressesReply) {
+  bool called = false;
+  const std::uint64_t id = client_.send_request(
+      servers_[0]->endpoint(), echo_request("x"),
+      [&](const ReplyMessage&) { called = true; });
+  client_.cancel_request(id);
+  loop_.run_until_idle();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(client_.stats().replies_orphaned, 1u);
+}
+
+TEST_F(AsyncTest, MulticastCollectsAllReplies) {
+  net_.create_group("echo-grp");
+  for (auto& server : servers_) {
+    net_.join_group("echo-grp", server->endpoint());
+  }
+  int replies = 0;
+  std::uint64_t id = client_.send_multicast_request(
+      "echo-grp", echo_request("fanout"),
+      [&](const ReplyMessage& rep) {
+        if (rep.exception == "maqs/TIMEOUT") return;
+        EXPECT_EQ(reply_payload(rep), "fanout");
+        ++replies;
+      },
+      sim::kSecond);
+  loop_.run_until_idle();
+  EXPECT_EQ(replies, 3);
+  client_.cancel_request(id);
+}
+
+TEST_F(AsyncTest, MulticastFirstReplyWinsPattern) {
+  net_.create_group("echo-grp");
+  for (auto& server : servers_) {
+    net_.join_group("echo-grp", server->endpoint());
+  }
+  // Make s0 far, s1 near, s2 middle: first reply should be s1's.
+  net_.set_link("client", "s0", net::LinkParams{.latency = 30 * sim::kMillisecond});
+  net_.set_link("client", "s1", net::LinkParams{.latency = 1 * sim::kMillisecond});
+  net_.set_link("client", "s2", net::LinkParams{.latency = 10 * sim::kMillisecond});
+
+  int replies = 0;
+  std::uint64_t id = 0;
+  id = client_.send_multicast_request(
+      "echo-grp", echo_request("race"),
+      [&](const ReplyMessage& rep) {
+        if (rep.exception == "maqs/TIMEOUT") return;
+        ++replies;
+        // First (and only, because we cancel) reply arrives at roughly
+        // s1's RTT (plus sub-microsecond serialization delay), well before
+        // s2's 20 ms RTT.
+        EXPECT_GE(loop_.now(), 2 * sim::kMillisecond);
+        EXPECT_LT(loop_.now(), 3 * sim::kMillisecond);
+        client_.cancel_request(id);
+      },
+      sim::kSecond);
+  loop_.run_until_idle();
+  EXPECT_EQ(replies, 1);
+  // The two later replies were orphaned.
+  EXPECT_EQ(client_.stats().replies_orphaned, 2u);
+}
+
+TEST_F(AsyncTest, MulticastTimeoutWhenAllCrashed) {
+  net_.create_group("echo-grp");
+  for (auto& server : servers_) {
+    net_.join_group("echo-grp", server->endpoint());
+  }
+  net_.crash("s0");
+  net_.crash("s1");
+  net_.crash("s2");
+  int timeouts = 0;
+  client_.send_multicast_request(
+      "echo-grp", echo_request("void"),
+      [&](const ReplyMessage& rep) {
+        if (rep.exception == "maqs/TIMEOUT") ++timeouts;
+      },
+      100 * sim::kMillisecond);
+  loop_.run_until_idle();
+  EXPECT_EQ(timeouts, 1);
+}
+
+TEST_F(AsyncTest, DistinctRequestIdsAssigned) {
+  const auto id1 = client_.send_request(servers_[0]->endpoint(),
+                                        echo_request("a"),
+                                        [](const ReplyMessage&) {});
+  const auto id2 = client_.send_request(servers_[0]->endpoint(),
+                                        echo_request("b"),
+                                        [](const ReplyMessage&) {});
+  EXPECT_NE(id1, id2);
+  loop_.run_until_idle();
+}
+
+}  // namespace
+}  // namespace maqs::orb

@@ -1,0 +1,85 @@
+#include "orb/ior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orb/exceptions.hpp"
+
+namespace maqs::orb {
+namespace {
+
+ObjRef sample_ref() {
+  ObjRef ref;
+  ref.repo_id = "IDL:demo/Hello:1.0";
+  ref.endpoint = {"server-1", 9000};
+  ref.object_key = "hello-42";
+  QosProfile compression;
+  compression.characteristic = "Compression";
+  compression.properties = {{"module", "compression"}, {"codec", "lz77"}};
+  QosProfile replication;
+  replication.characteristic = "Replication";
+  replication.properties = {{"group", "grp-hello"}};
+  ref.qos = {compression, replication};
+  return ref;
+}
+
+TEST(Ior, EncodeDecodeRoundTrip) {
+  const ObjRef ref = sample_ref();
+  EXPECT_EQ(ObjRef::decode(ref.encode()), ref);
+}
+
+TEST(Ior, StringifyRoundTrip) {
+  const ObjRef ref = sample_ref();
+  const std::string s = ref.to_string();
+  EXPECT_TRUE(s.starts_with("IOR:"));
+  EXPECT_EQ(ObjRef::from_string(s), ref);
+}
+
+TEST(Ior, PlainRefIsNotQosAware) {
+  ObjRef ref;
+  ref.repo_id = "IDL:demo/Hello:1.0";
+  ref.endpoint = {"n", 1};
+  ref.object_key = "k";
+  EXPECT_FALSE(ref.qos_aware());
+  EXPECT_FALSE(ref.is_nil());
+  EXPECT_EQ(ObjRef::decode(ref.encode()), ref);
+}
+
+TEST(Ior, QosTagMakesRefQosAware) {
+  EXPECT_TRUE(sample_ref().qos_aware());
+}
+
+TEST(Ior, NilDetection) {
+  ObjRef nil;
+  EXPECT_TRUE(nil.is_nil());
+}
+
+TEST(Ior, FindProfile) {
+  const ObjRef ref = sample_ref();
+  ASSERT_NE(ref.find_profile("Compression"), nullptr);
+  EXPECT_EQ(ref.find_profile("Compression")->properties.at("codec"), "lz77");
+  EXPECT_EQ(ref.find_profile("Encryption"), nullptr);
+}
+
+TEST(Ior, FromStringRejectsMissingPrefix) {
+  EXPECT_THROW(ObjRef::from_string("ior:abcd"), MarshalError);
+  EXPECT_THROW(ObjRef::from_string(""), MarshalError);
+}
+
+TEST(Ior, FromStringRejectsBadHex) {
+  EXPECT_THROW(ObjRef::from_string("IOR:zz"), MarshalError);
+}
+
+TEST(Ior, FromStringRejectsTruncatedBody) {
+  const std::string good = sample_ref().to_string();
+  EXPECT_THROW(ObjRef::from_string(good.substr(0, good.size() - 8)),
+               MarshalError);
+}
+
+TEST(Ior, EmptyPropertiesSupported) {
+  ObjRef ref = sample_ref();
+  ref.qos[0].properties.clear();
+  EXPECT_EQ(ObjRef::decode(ref.encode()), ref);
+}
+
+}  // namespace
+}  // namespace maqs::orb

@@ -1,0 +1,202 @@
+// End-to-end RPC through the ORB over the simulated network.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::orb {
+namespace {
+
+using testing::EchoImpl;
+using testing::EchoStub;
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001) {
+    impl_ = std::make_shared<EchoImpl>();
+    ref_ = server_.adapter().activate("echo-1", impl_);
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  Orb server_;
+  Orb client_;
+  std::shared_ptr<EchoImpl> impl_;
+  ObjRef ref_;
+};
+
+TEST_F(RpcTest, StringRoundTrip) {
+  EchoStub stub(client_, ref_);
+  EXPECT_EQ(stub.echo("hello middleware"), "hello middleware");
+  EXPECT_EQ(impl_->calls, 1);
+}
+
+TEST_F(RpcTest, IntegersAndState) {
+  EchoStub stub(client_, ref_);
+  EXPECT_EQ(stub.add(20, 22), 42);
+  stub.set_value(-7);
+  EXPECT_EQ(stub.value(), -7);
+}
+
+TEST_F(RpcTest, LargePayloadRoundTrip) {
+  EchoStub stub(client_, ref_);
+  util::Bytes big(64 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  EXPECT_EQ(stub.blob(big), big);
+}
+
+TEST_F(RpcTest, VirtualTimeAdvancesByRoundTripLatency) {
+  net_.set_link("client", "server",
+                net::LinkParams{.latency = 10 * sim::kMillisecond,
+                                .bandwidth_bps = 0});
+  EchoStub stub(client_, ref_);
+  const sim::TimePoint before = loop_.now();
+  stub.echo("x");
+  EXPECT_EQ(loop_.now() - before, 20 * sim::kMillisecond);
+}
+
+TEST_F(RpcTest, UserExceptionPropagates) {
+  EchoStub stub(client_, ref_);
+  try {
+    stub.boom();
+    FAIL() << "expected UserException";
+  } catch (const UserException& e) {
+    EXPECT_EQ(e.id(), testing::kEchoFaultId);
+    EXPECT_EQ(e.detail(), "boom requested");
+  }
+}
+
+TEST_F(RpcTest, UnknownObjectRaisesObjectNotExist) {
+  ObjRef bad = ref_;
+  bad.object_key = "nope";
+  EchoStub stub(client_, bad);
+  EXPECT_THROW(stub.echo("x"), ObjectNotExist);
+}
+
+TEST_F(RpcTest, UnknownOperationRaisesBadOperation) {
+  // Drive a raw request with an operation the skeleton rejects.
+  RequestMessage req;
+  req.operation = "no_such_op";
+  req.object_key = ref_.object_key;
+  ReplyMessage rep = client_.invoke_plain(ref_.endpoint, std::move(req));
+  EXPECT_EQ(rep.status, ReplyStatus::kBadOperation);
+}
+
+TEST_F(RpcTest, MalformedArgumentsRaiseSystemException) {
+  RequestMessage req;
+  req.operation = "add";  // expects 8 bytes of args
+  req.object_key = ref_.object_key;
+  req.body = {1, 2};  // truncated
+  ReplyMessage rep = client_.invoke_plain(ref_.endpoint, std::move(req));
+  EXPECT_EQ(rep.status, ReplyStatus::kSystemException);
+  EXPECT_TRUE(rep.exception.find("MARSHAL") != std::string::npos ||
+              rep.exception.find("underflow") != std::string::npos);
+}
+
+TEST_F(RpcTest, TimeoutWhenServerCrashed) {
+  net_.crash("server");
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(stub.echo("x"), TransportError);
+  EXPECT_EQ(client_.stats().timeouts, 1u);
+}
+
+TEST_F(RpcTest, DeactivatedObjectRaises) {
+  server_.adapter().deactivate("echo-1");
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(stub.echo("x"), ObjectNotExist);
+}
+
+TEST_F(RpcTest, NilReferenceRejectedLocally) {
+  EchoStub stub(client_, ObjRef{});
+  EXPECT_THROW(stub.echo("x"), ObjectNotExist);
+  EXPECT_EQ(client_.stats().requests_sent, 0u);
+}
+
+TEST_F(RpcTest, ConcurrentClientsInterleave) {
+  Orb client2(net_, "client2", 9001);
+  EchoStub s1(client_, ref_);
+  EchoStub s2(client2, ref_);
+  EXPECT_EQ(s1.add(1, 2), 3);
+  EXPECT_EQ(s2.add(3, 4), 7);
+  EXPECT_EQ(s1.echo("a"), "a");
+  EXPECT_EQ(impl_->calls, 3);
+}
+
+// A servant that itself performs an outgoing call: exercises nested
+// event-loop pumping (server calls server).
+class ChainedEcho : public testing::EchoSkeleton {
+ public:
+  ChainedEcho(Orb& orb, ObjRef next) : stub_(orb, std::move(next)) {}
+
+  std::string echo(const std::string& s) override {
+    return "chained:" + stub_.echo(s);
+  }
+  std::int32_t add(std::int32_t a, std::int32_t b) override {
+    return stub_.add(a, b);
+  }
+  void set_value(std::int32_t v) override { stub_.set_value(v); }
+  std::int32_t value() override { return stub_.value(); }
+  util::Bytes blob(const util::Bytes& d) override { return stub_.blob(d); }
+  void boom() override { stub_.boom(); }
+
+ private:
+  EchoStub stub_;
+};
+
+TEST_F(RpcTest, NestedServerToServerCall) {
+  Orb middle(net_, "middle", 9000);
+  auto chained = std::make_shared<ChainedEcho>(middle, ref_);
+  ObjRef chain_ref = middle.adapter().activate("chain-1", chained);
+  EchoStub stub(client_, chain_ref);
+  EXPECT_EQ(stub.echo("x"), "chained:x");
+  EXPECT_EQ(stub.add(5, 6), 11);
+  // Exceptions propagate through the chain.
+  EXPECT_THROW(stub.boom(), UserException);
+}
+
+TEST_F(RpcTest, StatsCountPaths) {
+  EchoStub stub(client_, ref_);
+  stub.echo("a");
+  stub.echo("b");
+  EXPECT_EQ(client_.stats().plain_path, 2u);
+  EXPECT_EQ(client_.stats().qos_path, 0u);
+  EXPECT_EQ(server_.stats().requests_dispatched, 2u);
+}
+
+TEST_F(RpcTest, AdapterDuplicateKeyRejected) {
+  EXPECT_THROW(server_.adapter().activate("echo-1", impl_),
+               std::invalid_argument);
+}
+
+TEST_F(RpcTest, AdapterEmptyKeyAndNullServantRejected) {
+  EXPECT_THROW(server_.adapter().activate("", impl_), std::invalid_argument);
+  EXPECT_THROW(server_.adapter().activate("x", nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(RpcTest, ReferenceReconstructsIor) {
+  const ObjRef again = server_.adapter().reference("echo-1");
+  EXPECT_EQ(again, ref_);
+  EXPECT_THROW(server_.adapter().reference("nope"), ObjectNotExist);
+}
+
+TEST_F(RpcTest, CommandWithoutQosTransportFails) {
+  RequestMessage cmd;
+  cmd.kind = RequestKind::kCommand;
+  cmd.operation = "list_modules";
+  ReplyMessage rep = client_.invoke_plain(ref_.endpoint, std::move(cmd));
+  EXPECT_EQ(rep.status, ReplyStatus::kSystemException);
+  EXPECT_EQ(rep.exception, "maqs/NO_QOS_TRANSPORT");
+}
+
+}  // namespace
+}  // namespace maqs::orb

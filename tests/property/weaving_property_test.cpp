@@ -1,0 +1,149 @@
+// Property tests for the weaving stack.
+//
+//  P1  for any payload and any stack of payload-transforming
+//      characteristics (compression, encryption-psk, both), the woven
+//      round trip is the identity on application data.
+//  P2  random negotiate / renegotiate / terminate interleavings keep the
+//      system consistent: reservations never go negative, traffic always
+//      round-trips, terminated agreements release exactly what they
+//      reserved.
+#include <gtest/gtest.h>
+
+#include "characteristics/compression.hpp"
+#include "characteristics/encryption.hpp"
+#include "core/negotiation.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+#include "util/rng.hpp"
+
+namespace maqs {
+namespace {
+
+using maqs::testing::EchoStub;
+using maqs::testing::QosEchoImpl;
+
+util::Bytes random_payload(util::Rng& rng, std::size_t max_size) {
+  util::Bytes out(rng.next_below(max_size + 1));
+  for (auto& b : out) {
+    // Mix of compressible and random content.
+    b = rng.chance(0.7) ? static_cast<std::uint8_t>('a' + (out.size() % 7))
+                        : static_cast<std::uint8_t>(rng.next());
+  }
+  return out;
+}
+
+struct StackWorld {
+  sim::EventLoop loop;
+  net::Network network{loop};
+  orb::Orb server{network, "server", 9000};
+  orb::Orb client{network, "client", 9001};
+  core::QosTransport server_transport{server};
+  core::QosTransport client_transport{client};
+  core::ResourceManager resources;
+  core::ProviderRegistry providers;
+  std::unique_ptr<core::NegotiationService> negotiation;
+  std::unique_ptr<core::Negotiator> negotiator;
+  std::shared_ptr<QosEchoImpl> servant;
+  orb::ObjRef ref;
+
+  StackWorld() {
+    resources.declare("cpu", 1e9);
+    providers.add(characteristics::make_compression_provider());
+    providers.add(characteristics::make_encryption_psk_provider());
+    negotiation = std::make_unique<core::NegotiationService>(
+        server_transport, providers, resources);
+    negotiator =
+        std::make_unique<core::Negotiator>(client_transport, providers);
+    servant = std::make_shared<QosEchoImpl>();
+    servant->assign_characteristic(characteristics::compression_descriptor());
+    servant->assign_characteristic(characteristics::encryption_descriptor());
+    orb::QosProfile c;
+    c.characteristic = characteristics::compression_name();
+    orb::QosProfile e;
+    e.characteristic = characteristics::encryption_name();
+    ref = server.adapter().activate("echo", servant, {c, e});
+  }
+};
+
+class WovenIdentityP
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(WovenIdentityP, RoundTripIsIdentityUnderAnyStack) {
+  const int stack = std::get<0>(GetParam());
+  util::Rng rng(std::get<1>(GetParam()));
+  StackWorld world;
+  EchoStub stub(world.client, world.ref);
+  if (stack & 1) {
+    world.negotiator->negotiate(stub,
+                                characteristics::compression_name(), {});
+  }
+  if (stack & 2) {
+    world.negotiator->negotiate(
+        stub, characteristics::encryption_name(),
+        {{"psk", cdr::Any::from_string("property-secret")}});
+  }
+  for (int i = 0; i < 30; ++i) {
+    const util::Bytes data = random_payload(rng, 8192);
+    EXPECT_EQ(stub.blob(data), data) << "stack=" << stack << " i=" << i;
+    const std::string text = "msg-" + std::to_string(rng.next());
+    EXPECT_EQ(stub.echo(text), text);
+  }
+  // Exceptions survive the stack too.
+  EXPECT_THROW(stub.boom(), orb::UserException);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StacksAndSeeds, WovenIdentityP,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(101u, 202u)));
+
+class LifecycleP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LifecycleP, RandomAgreementLifecyclesStayConsistent) {
+  util::Rng rng(GetParam());
+  StackWorld world;
+  world.resources.declare("cpu", 500.0);
+  EchoStub stub(world.client, world.ref);
+
+  std::optional<core::Agreement> active;  // Compression agreement
+  for (int step = 0; step < 60; ++step) {
+    const int action = static_cast<int>(rng.next_below(4));
+    try {
+      if (action == 0 && !active) {
+        active = world.negotiator->negotiate(
+            stub, characteristics::compression_name(),
+            {{"level",
+              cdr::Any::from_long(
+                  static_cast<std::int32_t>(rng.uniform(1, 128)))}});
+      } else if (action == 1 && active) {
+        active = world.negotiator->renegotiate(
+            stub, *active,
+            {{"level",
+              cdr::Any::from_long(
+                  static_cast<std::int32_t>(rng.uniform(1, 128)))}});
+      } else if (action == 2 && active) {
+        world.negotiator->terminate(stub, *active);
+        active.reset();
+      }
+    } catch (const core::NegotiationFailed&) {
+      // Admission may reject under the 500-cpu cap: legal outcome.
+    }
+    // Invariants after every step:
+    EXPECT_GE(world.resources.available("cpu"), 0.0);
+    if (active) {
+      EXPECT_EQ(world.resources.reserved("cpu"),
+                static_cast<double>(active->int_param("level")));
+    } else {
+      EXPECT_EQ(world.resources.reserved("cpu"), 0.0);
+    }
+    // Traffic always round-trips, woven or not.
+    const util::Bytes data = random_payload(rng, 1024);
+    EXPECT_EQ(stub.blob(data), data) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleP,
+                         ::testing::Values(1u, 9u, 42u, 1337u));
+
+}  // namespace
+}  // namespace maqs

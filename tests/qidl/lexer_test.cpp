@@ -1,0 +1,124 @@
+#include "qidl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::qidl {
+namespace {
+
+TEST(Lexer, EmptySourceYieldsEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto tokens = lex("interface Hello qos characteristic my_name");
+  EXPECT_TRUE(tokens[0].is_keyword("interface"));
+  EXPECT_TRUE(tokens[1].is_identifier());
+  EXPECT_EQ(tokens[1].text, "Hello");
+  EXPECT_TRUE(tokens[2].is_keyword("qos"));
+  EXPECT_TRUE(tokens[3].is_keyword("characteristic"));
+  EXPECT_TRUE(tokens[4].is_identifier());
+}
+
+TEST(Lexer, QosExtensionKeywords) {
+  for (const char* kw :
+       {"qos", "characteristic", "param", "mechanism", "peer", "aspect",
+        "category", "bind", "range"}) {
+    EXPECT_TRUE(is_qidl_keyword(kw)) << kw;
+  }
+  EXPECT_FALSE(is_qidl_keyword("quality"));
+}
+
+TEST(Lexer, IntAndFloatLiterals) {
+  const auto tokens = lex("42 -7 3.25 -0.5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, -7);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[2].float_value, 3.25);
+  EXPECT_EQ(tokens[3].float_value, -0.5);
+}
+
+TEST(Lexer, RangeDotsNotConfusedWithDecimalPoint) {
+  const auto tokens = lex("1 .. 128");
+  EXPECT_EQ(tokens[0].int_value, 1);
+  EXPECT_TRUE(tokens[1].is_punct(".."));
+  EXPECT_EQ(tokens[2].int_value, 128);
+  // Adjacent form too.
+  const auto adjacent = lex("1..128");
+  EXPECT_EQ(adjacent[0].int_value, 1);
+  EXPECT_TRUE(adjacent[1].is_punct(".."));
+  EXPECT_EQ(adjacent[2].int_value, 128);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  const auto tokens = lex(R"("hello" "a\"b" "line\nbreak")");
+  EXPECT_EQ(tokens[0].string_value, "hello");
+  EXPECT_EQ(tokens[1].string_value, "a\"b");
+  EXPECT_EQ(tokens[2].string_value, "line\nbreak");
+}
+
+TEST(Lexer, BoolLiterals) {
+  const auto tokens = lex("true false");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBoolLiteral);
+  EXPECT_TRUE(tokens[0].bool_value);
+  EXPECT_FALSE(tokens[1].bool_value);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto tokens = lex(
+      "// line comment\n"
+      "module /* block\ncomment */ m");
+  EXPECT_TRUE(tokens[0].is_keyword("module"));
+  EXPECT_EQ(tokens[1].text, "m");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, PunctuationIncludingScopeOperator) {
+  const auto tokens = lex("{ } ( ) < > , ; : = ::");
+  const char* expected[] = {"{", "}", "(", ")", "<", ">",
+                            ",", ";", ":", "=", "::"};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_TRUE(tokens[i].is_punct(expected[i])) << i;
+  }
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("module\n  demo");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(lex("module @"), QidlError);
+  EXPECT_THROW(lex("#include"), QidlError);
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_THROW(lex("\"abc"), QidlError);
+  EXPECT_THROW(lex("\"abc\ndef\""), QidlError);
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_THROW(lex("/* never ends"), QidlError);
+}
+
+TEST(Lexer, RejectsBadEscape) {
+  EXPECT_THROW(lex(R"("\q")"), QidlError);
+}
+
+TEST(Lexer, ErrorCarriesPosition) {
+  try {
+    lex("module\n   @");
+    FAIL();
+  } catch (const QidlError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace maqs::qidl

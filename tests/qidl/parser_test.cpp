@@ -1,0 +1,203 @@
+#include "qidl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::qidl {
+namespace {
+
+template <typename T>
+const T& only(const Specification& spec) {
+  EXPECT_EQ(spec.declarations.size(), 1u);
+  return std::get<T>(spec.declarations.front());
+}
+
+TEST(Parser, EmptySpecification) {
+  EXPECT_TRUE(parse("").declarations.empty());
+}
+
+TEST(Parser, InterfaceWithOperations) {
+  const auto spec = parse(R"(
+    interface Hello {
+      string greet(in string name);
+      long add(in long a, in long b);
+      void reset();
+    };
+  )");
+  const auto& iface = only<InterfaceDecl>(spec);
+  EXPECT_EQ(iface.name, "Hello");
+  ASSERT_EQ(iface.operations.size(), 3u);
+  EXPECT_EQ(iface.operations[0].name, "greet");
+  EXPECT_EQ(iface.operations[0].result->kind, TypeKind::kString);
+  ASSERT_EQ(iface.operations[1].params.size(), 2u);
+  EXPECT_EQ(iface.operations[1].params[1].name, "b");
+  EXPECT_EQ(iface.operations[2].result->kind, TypeKind::kVoid);
+  EXPECT_TRUE(iface.operations[2].params.empty());
+}
+
+TEST(Parser, AllBasicTypes) {
+  const auto spec = parse(R"(
+    interface T {
+      boolean f1(in octet a, in short b, in long c, in long long d);
+      float f2(in double x, in string s);
+    };
+  )");
+  const auto& iface = only<InterfaceDecl>(spec);
+  const auto& p = iface.operations[0].params;
+  EXPECT_EQ(p[0].type->kind, TypeKind::kOctet);
+  EXPECT_EQ(p[1].type->kind, TypeKind::kShort);
+  EXPECT_EQ(p[2].type->kind, TypeKind::kLong);
+  EXPECT_EQ(p[3].type->kind, TypeKind::kLongLong);
+  EXPECT_EQ(iface.operations[0].result->kind, TypeKind::kBoolean);
+  EXPECT_EQ(iface.operations[1].result->kind, TypeKind::kFloat);
+}
+
+TEST(Parser, SequencesNest) {
+  const auto spec = parse(R"(
+    interface T { sequence<sequence<octet>> blobs(); };
+  )");
+  const auto& op = only<InterfaceDecl>(spec).operations[0];
+  ASSERT_EQ(op.result->kind, TypeKind::kSequence);
+  ASSERT_EQ(op.result->element->kind, TypeKind::kSequence);
+  EXPECT_EQ(op.result->element->element->kind, TypeKind::kOctet);
+}
+
+TEST(Parser, StructsEnumsExceptions) {
+  const auto spec = parse(R"(
+    struct Point { long x; long y; };
+    enum Color { red, green, blue };
+    exception Oops { string why; };
+  )");
+  ASSERT_EQ(spec.declarations.size(), 3u);
+  const auto& s = std::get<StructDecl>(spec.declarations[0]);
+  EXPECT_EQ(s.fields.size(), 2u);
+  const auto& e = std::get<EnumDecl>(spec.declarations[1]);
+  EXPECT_EQ(e.enumerators,
+            (std::vector<std::string>{"red", "green", "blue"}));
+  const auto& x = std::get<ExceptionDecl>(spec.declarations[2]);
+  EXPECT_EQ(x.name, "Oops");
+}
+
+TEST(Parser, RaisesClause) {
+  const auto spec = parse(R"(
+    exception A { }; exception B { };
+    interface T { void f() raises (A, B); };
+  )");
+  const auto& iface = std::get<InterfaceDecl>(spec.declarations[2]);
+  EXPECT_EQ(iface.operations[0].raises,
+            (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Parser, NestedModules) {
+  const auto spec = parse(R"(
+    module outer {
+      module inner {
+        interface X { void f(); };
+      };
+    };
+  )");
+  const auto& outer =
+      *std::get<std::shared_ptr<ModuleDecl>>(spec.declarations[0]);
+  EXPECT_EQ(outer.name, "outer");
+  const auto& inner =
+      *std::get<std::shared_ptr<ModuleDecl>>(outer.declarations[0]);
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(std::get<InterfaceDecl>(inner.declarations[0]).name, "X");
+}
+
+TEST(Parser, CharacteristicFull) {
+  const auto spec = parse(R"(
+    qos characteristic Compression {
+      category bandwidth;
+      param string codec = "lz77";
+      param long level = 32 range 1 .. 128;
+      param boolean verbose = false;
+      param double target = 0.5;
+      mechanism double ratio();
+      peer void sync(in long long seqno);
+      aspect sequence<octet> get_state();
+    };
+  )");
+  const auto& c = only<CharacteristicDecl>(spec);
+  EXPECT_EQ(c.name, "Compression");
+  EXPECT_EQ(c.category, "bandwidth");
+  ASSERT_EQ(c.params.size(), 4u);
+  EXPECT_EQ(std::get<std::string>(c.params[0].default_value), "lz77");
+  EXPECT_EQ(std::get<std::int64_t>(c.params[1].default_value), 32);
+  EXPECT_EQ(c.params[1].range_min, 1);
+  EXPECT_EQ(c.params[1].range_max, 128);
+  EXPECT_EQ(std::get<bool>(c.params[2].default_value), false);
+  EXPECT_EQ(std::get<double>(c.params[3].default_value), 0.5);
+  ASSERT_EQ(c.operations.size(), 3u);
+  EXPECT_EQ(c.operations[0].group, QosOpGroup::kMechanism);
+  EXPECT_EQ(c.operations[1].group, QosOpGroup::kPeer);
+  EXPECT_EQ(c.operations[2].group, QosOpGroup::kAspect);
+}
+
+TEST(Parser, ParamWithoutDefault) {
+  const auto spec = parse(R"(
+    qos characteristic X { param long n; };
+  )");
+  const auto& c = only<CharacteristicDecl>(spec);
+  EXPECT_TRUE(
+      std::holds_alternative<std::monostate>(c.params[0].default_value));
+}
+
+TEST(Parser, BindStatement) {
+  const auto spec = parse(R"(
+    qos characteristic A { };
+    qos characteristic B { };
+    interface X { void f(); };
+    bind X : A, B;
+  )");
+  const auto& bind = std::get<BindDecl>(spec.declarations[3]);
+  EXPECT_EQ(bind.interface_name, "X");
+  EXPECT_EQ(bind.characteristics, (std::vector<std::string>{"A", "B"}));
+}
+
+// ---- syntax errors ----
+
+TEST(Parser, RejectsOutParameters) {
+  EXPECT_THROW(parse("interface T { void f(out long x); };"), QidlError);
+  EXPECT_THROW(parse("interface T { void f(inout long x); };"), QidlError);
+}
+
+TEST(Parser, RejectsVoidParamAndField) {
+  EXPECT_THROW(parse("interface T { void f(in void x); };"), QidlError);
+  EXPECT_THROW(parse("struct S { void x; };"), QidlError);
+  EXPECT_THROW(parse("interface T { sequence<void> f(); };"), QidlError);
+}
+
+TEST(Parser, RejectsMissingSemicolons) {
+  EXPECT_THROW(parse("interface T { void f() }"), QidlError);
+  EXPECT_THROW(parse("struct S { long x; }"), QidlError);
+}
+
+TEST(Parser, RejectsUnterminatedBlocks) {
+  EXPECT_THROW(parse("interface T { void f();"), QidlError);
+  EXPECT_THROW(parse("module m { interface T { void f(); };"), QidlError);
+  EXPECT_THROW(parse("qos characteristic C { param long x;"), QidlError);
+}
+
+TEST(Parser, RejectsGarbageDeclarations) {
+  EXPECT_THROW(parse("banana;"), QidlError);
+  EXPECT_THROW(parse("qos interface X {};"), QidlError);
+}
+
+TEST(Parser, RejectsBadRange) {
+  EXPECT_THROW(parse("qos characteristic C { param long x range a .. 3; };"),
+               QidlError);
+  EXPECT_THROW(parse("qos characteristic C { param long x range 1 . 3; };"),
+               QidlError);
+}
+
+TEST(Parser, ErrorMentionsPosition) {
+  try {
+    parse("interface T {\n  void f(\n}");
+    FAIL();
+  } catch (const QidlError& e) {
+    EXPECT_GE(e.line(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace maqs::qidl

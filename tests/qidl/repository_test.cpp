@@ -1,0 +1,148 @@
+#include "qidl/repository.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::qidl {
+namespace {
+
+InterfaceRepository build(const std::string& source) {
+  return InterfaceRepository::build(analyze(source));
+}
+
+TEST(Repository, OperationSignaturesAsTypeCodes) {
+  const auto repo = build(R"(
+    module demo {
+      interface Calc {
+        long add(in long a, in long b);
+        sequence<double> stats(in string name);
+      };
+    };
+  )");
+  const InterfaceEntry* calc = repo.find_interface("Calc");
+  ASSERT_NE(calc, nullptr);
+  EXPECT_EQ(calc->repo_id, "IDL:demo/Calc:1.0");
+  const OperationSignature* add = calc->find_operation("add");
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->result->kind(), cdr::TCKind::kLong);
+  ASSERT_EQ(add->params.size(), 2u);
+  EXPECT_EQ(add->params[0].first, "a");
+  EXPECT_EQ(add->params[0].second->kind(), cdr::TCKind::kLong);
+  const OperationSignature* stats = calc->find_operation("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->result->kind(), cdr::TCKind::kSequence);
+  EXPECT_EQ(stats->result->element()->kind(), cdr::TCKind::kDouble);
+  EXPECT_EQ(calc->find_operation("nope"), nullptr);
+}
+
+TEST(Repository, FindByRepoId) {
+  const auto repo = build("interface X { void f(); };");
+  EXPECT_NE(repo.find_by_repo_id("IDL:X:1.0"), nullptr);
+  EXPECT_EQ(repo.find_by_repo_id("IDL:Y:1.0"), nullptr);
+}
+
+TEST(Repository, StructAndEnumTypeCodes) {
+  const auto repo = build(R"(
+    enum Color { red, green };
+    struct Point { long x; long y; Color c; };
+    interface T { Point origin(); };
+  )");
+  const cdr::TypeCodePtr point = repo.named_type("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->kind(), cdr::TCKind::kStruct);
+  ASSERT_EQ(point->members().size(), 3u);
+  EXPECT_EQ(point->members()[2].second->kind(), cdr::TCKind::kEnum);
+  EXPECT_EQ(repo.named_type("Color")->enumerators().size(), 2u);
+  EXPECT_EQ(repo.named_type("Nope"), nullptr);
+}
+
+TEST(Repository, StructsResolveRegardlessOfOrder) {
+  const auto repo = build(R"(
+    struct Outer { Inner i; };
+    struct Inner { long x; };
+  )");
+  const cdr::TypeCodePtr outer = repo.named_type("Outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->members()[0].second->kind(), cdr::TCKind::kStruct);
+}
+
+TEST(Repository, RaisesCarryExceptionRepoIds) {
+  const auto repo = build(R"(
+    module m {
+      exception Bad { };
+      interface T { void f() raises (Bad); };
+    };
+  )");
+  const auto* op = repo.find_interface("T")->find_operation("f");
+  ASSERT_EQ(op->raises.size(), 1u);
+  EXPECT_EQ(op->raises[0], "IDL:m/Bad:1.0");
+}
+
+TEST(Repository, CharacteristicsBecomeDescriptors) {
+  const auto repo = build(R"(
+    qos characteristic Compression {
+      category bandwidth;
+      param string codec = "lz77";
+      param long level = 32 range 1 .. 128;
+      mechanism double qos_ratio();
+      peer void qos_sync(in long long seqno);
+      aspect sequence<octet> qos_get_state();
+    };
+  )");
+  const core::CharacteristicDescriptor& d =
+      repo.characteristic("Compression");
+  EXPECT_EQ(d.category(), core::QosCategory::kBandwidth);
+  ASSERT_NE(d.find_param("level"), nullptr);
+  EXPECT_EQ(d.find_param("level")->default_value.as_long(), 32);
+  EXPECT_EQ(d.find_param("level")->min, 1);
+  EXPECT_EQ(d.find_param("level")->max, 128);
+  EXPECT_EQ(d.find_param("codec")->default_value.as_string(), "lz77");
+  ASSERT_NE(d.find_operation("qos_sync"), nullptr);
+  EXPECT_EQ(d.find_operation("qos_sync")->kind, core::QosOpKind::kPeer);
+  EXPECT_EQ(d.find_operation("qos_get_state")->kind,
+            core::QosOpKind::kAspect);
+}
+
+TEST(Repository, SynthesizedDefaultsRespectRanges) {
+  const auto repo = build(R"(
+    qos characteristic C { param long level range 5 .. 9; };
+  )");
+  // No explicit default: synthesized from the range minimum.
+  EXPECT_EQ(repo.characteristic("C").find_param("level")
+                ->default_value.as_long(),
+            5);
+}
+
+TEST(Repository, CategoryMapping) {
+  EXPECT_EQ(category_from_string("fault_tolerance"),
+            core::QosCategory::kFaultTolerance);
+  EXPECT_EQ(category_from_string("performance"),
+            core::QosCategory::kPerformance);
+  EXPECT_EQ(category_from_string("bandwidth"), core::QosCategory::kBandwidth);
+  EXPECT_EQ(category_from_string("actuality"), core::QosCategory::kActuality);
+  EXPECT_EQ(category_from_string("privacy"), core::QosCategory::kPrivacy);
+  EXPECT_EQ(category_from_string("whatever"), core::QosCategory::kOther);
+}
+
+TEST(Repository, BoundCharacteristicsListed) {
+  const auto repo = build(R"(
+    qos characteristic A { };
+    interface X { void f(); };
+    bind X : A;
+  )");
+  EXPECT_EQ(repo.find_interface("X")->bound_characteristics,
+            (std::vector<std::string>{"A"}));
+  EXPECT_EQ(repo.interface_names(), (std::vector<std::string>{"X"}));
+}
+
+TEST(Repository, DescriptorValidateIntegratesWithNegotiationRules) {
+  const auto repo = build(R"(
+    qos characteristic C { param long level = 3 range 1 .. 5; };
+  )");
+  const auto& d = repo.characteristic("C");
+  EXPECT_NO_THROW(d.validate_params({{"level", cdr::Any::from_long(5)}}));
+  EXPECT_THROW(d.validate_params({{"level", cdr::Any::from_long(6)}}),
+               core::QosError);
+}
+
+}  // namespace
+}  // namespace maqs::qidl

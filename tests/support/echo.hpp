@@ -1,0 +1,158 @@
+// Hand-written "generated-style" stub/skeleton pair for the interface
+//
+//   interface Echo {
+//     string echo(in string s);
+//     long   add(in long a, in long b);
+//     void   set_value(in long v);
+//     long   value();
+//     sequence<octet> blob(in sequence<octet> data);   // payload echo
+//     void   boom();                                   // raises EchoFault
+//   };
+//
+// This is exactly the code shape the qidlc emitter produces (the emitter
+// tests assert that); sharing it keeps ORB/core tests independent from the
+// code generator.
+#pragma once
+
+#include <string>
+
+#include "cdr/decoder.hpp"
+#include "cdr/encoder.hpp"
+#include "orb/exceptions.hpp"
+#include "orb/servant.hpp"
+#include "orb/stub.hpp"
+
+namespace maqs::testing {
+
+inline const std::string kEchoRepoId = "IDL:test/Echo:1.0";
+inline const std::string kEchoFaultId = "IDL:test/EchoFault:1.0";
+
+class EchoStub : public orb::StubBase {
+ public:
+  EchoStub(orb::Orb& orb, orb::ObjRef ref)
+      : orb::StubBase(orb, std::move(ref)) {}
+
+  std::string echo(const std::string& s) const {
+    cdr::Encoder args;
+    args.write_string(s);
+    cdr::Decoder result(invoke_operation("echo", args.take()));
+    std::string out = result.read_string();
+    result.expect_end();
+    return out;
+  }
+
+  std::int32_t add(std::int32_t a, std::int32_t b) const {
+    cdr::Encoder args;
+    args.write_i32(a);
+    args.write_i32(b);
+    cdr::Decoder result(invoke_operation("add", args.take()));
+    const std::int32_t out = result.read_i32();
+    result.expect_end();
+    return out;
+  }
+
+  void set_value(std::int32_t v) const {
+    cdr::Encoder args;
+    args.write_i32(v);
+    invoke_operation("set_value", args.take());
+  }
+
+  std::int32_t value() const {
+    cdr::Decoder result(invoke_operation("value", {}));
+    const std::int32_t out = result.read_i32();
+    result.expect_end();
+    return out;
+  }
+
+  util::Bytes blob(const util::Bytes& data) const {
+    cdr::Encoder args;
+    args.write_bytes(data);
+    cdr::Decoder result(invoke_operation("blob", args.take()));
+    util::Bytes out = result.read_bytes();
+    result.expect_end();
+    return out;
+  }
+
+  void boom() const { invoke_operation("boom", {}); }
+};
+
+/// Skeleton: unmarshals and delegates to the pure-virtual implementation
+/// hooks, exactly like emitted code.
+class EchoSkeleton : public orb::Servant {
+ public:
+  const std::string& repo_id() const override { return kEchoRepoId; }
+
+  void dispatch(const std::string& operation, cdr::Decoder& args,
+                cdr::Encoder& out, orb::ServerContext& ctx) override {
+    (void)ctx;
+    if (operation == "echo") {
+      const std::string s = args.read_string();
+      args.expect_end();
+      out.write_string(echo(s));
+    } else if (operation == "add") {
+      const std::int32_t a = args.read_i32();
+      const std::int32_t b = args.read_i32();
+      args.expect_end();
+      out.write_i32(add(a, b));
+    } else if (operation == "set_value") {
+      const std::int32_t v = args.read_i32();
+      args.expect_end();
+      set_value(v);
+    } else if (operation == "value") {
+      args.expect_end();
+      out.write_i32(value());
+    } else if (operation == "blob") {
+      const util::Bytes data = args.read_bytes();
+      args.expect_end();
+      out.write_bytes(blob(data));
+    } else if (operation == "boom") {
+      args.expect_end();
+      boom();
+    } else {
+      throw orb::BadOperation("Echo: unknown operation " + operation);
+    }
+  }
+
+  virtual std::string echo(const std::string& s) = 0;
+  virtual std::int32_t add(std::int32_t a, std::int32_t b) = 0;
+  virtual void set_value(std::int32_t v) = 0;
+  virtual std::int32_t value() = 0;
+  virtual util::Bytes blob(const util::Bytes& data) = 0;
+  virtual void boom() = 0;
+};
+
+/// Plain implementation used across the test suite.
+class EchoImpl : public EchoSkeleton {
+ public:
+  std::string echo(const std::string& s) override {
+    ++calls;
+    return s;
+  }
+  std::int32_t add(std::int32_t a, std::int32_t b) override {
+    ++calls;
+    return a + b;
+  }
+  void set_value(std::int32_t v) override {
+    ++calls;
+    value_ = v;
+  }
+  std::int32_t value() override {
+    ++calls;
+    return value_;
+  }
+  util::Bytes blob(const util::Bytes& data) override {
+    ++calls;
+    return data;
+  }
+  void boom() override {
+    ++calls;
+    throw orb::UserException(kEchoFaultId, "boom requested");
+  }
+
+  int calls = 0;
+
+ private:
+  std::int32_t value_ = 0;
+};
+
+}  // namespace maqs::testing

@@ -1,0 +1,106 @@
+// QoS-enabled Echo: the generated-style *QoS* server skeleton (Fig. 2
+// shape — derives from the QoS skeleton base and implements the
+// application dispatch), plus a stateful implementation exposing the
+// state-access aspect used by replication.
+#pragma once
+
+#include "core/qos_skeleton.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::testing {
+
+/// What qidlc emits for `interface Echo` when QoS characteristics are
+/// assigned: same operation unmarshaling as EchoSkeleton, woven through
+/// QosServantBase::dispatch.
+class QosEchoSkeleton : public core::QosServantBase {
+ public:
+  const std::string& repo_id() const override { return kEchoRepoId; }
+
+  virtual std::string echo(const std::string& s) = 0;
+  virtual std::int32_t add(std::int32_t a, std::int32_t b) = 0;
+  virtual void set_value(std::int32_t v) = 0;
+  virtual std::int32_t value() = 0;
+  virtual util::Bytes blob(const util::Bytes& data) = 0;
+  virtual void boom() = 0;
+
+ protected:
+  void dispatch_app(const std::string& operation, cdr::Decoder& args,
+                    cdr::Encoder& out, orb::ServerContext& ctx) override {
+    (void)ctx;
+    if (operation == "echo") {
+      const std::string s = args.read_string();
+      args.expect_end();
+      out.write_string(echo(s));
+    } else if (operation == "add") {
+      const std::int32_t a = args.read_i32();
+      const std::int32_t b = args.read_i32();
+      args.expect_end();
+      out.write_i32(add(a, b));
+    } else if (operation == "set_value") {
+      const std::int32_t v = args.read_i32();
+      args.expect_end();
+      set_value(v);
+    } else if (operation == "value") {
+      args.expect_end();
+      out.write_i32(value());
+    } else if (operation == "blob") {
+      const util::Bytes data = args.read_bytes();
+      args.expect_end();
+      out.write_bytes(blob(data));
+    } else if (operation == "boom") {
+      args.expect_end();
+      boom();
+    } else {
+      throw orb::BadOperation("Echo: unknown operation " + operation);
+    }
+  }
+};
+
+/// Stateful QoS-enabled Echo with the state-access aspect: `value` is the
+/// replicated state.
+class QosEchoImpl : public QosEchoSkeleton, public core::StateAccess {
+ public:
+  std::string echo(const std::string& s) override {
+    ++calls;
+    return s;
+  }
+  std::int32_t add(std::int32_t a, std::int32_t b) override {
+    ++calls;
+    return a + b;
+  }
+  void set_value(std::int32_t v) override {
+    ++calls;
+    value_ = v;
+  }
+  std::int32_t value() override {
+    ++calls;
+    return value_;
+  }
+  util::Bytes blob(const util::Bytes& data) override {
+    ++calls;
+    return data;
+  }
+  void boom() override {
+    ++calls;
+    throw orb::UserException(kEchoFaultId, "boom requested");
+  }
+
+  // ---- state-access aspect (replication cross-cut) ----
+  core::StateAccess* state_access() override { return this; }
+  util::Bytes get_state() override {
+    cdr::Encoder enc;
+    enc.write_i32(value_);
+    return enc.take();
+  }
+  void set_state(util::BytesView state) override {
+    cdr::Decoder dec(state);
+    value_ = dec.read_i32();
+  }
+
+  int calls = 0;
+
+ private:
+  std::int32_t value_ = 0;
+};
+
+}  // namespace maqs::testing

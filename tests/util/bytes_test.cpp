@@ -1,0 +1,67 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::util {
+namespace {
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello \0 world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, EmptyStringRoundTrip) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(Bytes, Append) {
+  Bytes a = to_bytes("ab");
+  append(a, to_bytes("cd"));
+  EXPECT_EQ(to_string(a), "abcd");
+}
+
+TEST(Bytes, AppendEmpty) {
+  Bytes a = to_bytes("ab");
+  append(a, Bytes{});
+  EXPECT_EQ(to_string(a), "ab");
+}
+
+TEST(Hex, Encode) {
+  EXPECT_EQ(to_hex(Bytes{0xDE, 0xAD, 0xBE, 0xEF}), "deadbeef");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_hex(Bytes{0x00, 0x0F}), "000f");
+}
+
+TEST(Hex, DecodeLowerAndUpper) {
+  EXPECT_EQ(from_hex("deadBEEF"), (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a("") = offset basis; FNV-1a("a") from the reference spec.
+  EXPECT_EQ(fnv1a(Bytes{}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a(to_bytes("a")), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, DiffersOnContent) {
+  EXPECT_NE(fnv1a(to_bytes("abc")), fnv1a(to_bytes("abd")));
+}
+
+}  // namespace
+}  // namespace maqs::util

@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace maqs::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& message) {
+          captured_.emplace_back(level, message);
+        });
+    saved_level_ = Logger::instance().level();
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel saved_level_{};
+};
+
+TEST_F(LogTest, RespectsLevelThreshold) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  MAQS_DEBUG() << "hidden";
+  MAQS_WARN() << "shown";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "shown");
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+}
+
+TEST_F(LogTest, StreamsComposeValues) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  MAQS_INFO() << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  MAQS_ERROR() << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(LogLevelName, AllNamed) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace maqs::util

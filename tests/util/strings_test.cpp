@@ -1,0 +1,61 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maqs::util {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(Split, NoSeparator) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInput) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+}
+
+TEST(Join, SingleAndEmpty) {
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(JoinSplit, RoundTrip) {
+  const std::vector<std::string> v{"x", "", "yz", "w"};
+  EXPECT_EQ(split(join(v, "|"), '|'), v);
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, InteriorWhitespaceKept) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("IOR:abcd", "IOR:"));
+  EXPECT_FALSE(starts_with("IO", "IOR:"));
+  EXPECT_TRUE(ends_with("file.qidl", ".qidl"));
+  EXPECT_FALSE(ends_with("qidl", ".qidl"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+}  // namespace
+}  // namespace maqs::util
