@@ -1,0 +1,235 @@
+// F4 — request hot path: requests/sec and allocations/request.
+//
+// Tracks the cost of one blocking request end to end (stub marshal ->
+// ORB -> simulated loopback wire -> adapter dispatch -> reply) for the
+// three paths of Fig. 3 that matter for the weaving-overhead story:
+//   - plain            GIOP/IIOP path, no QoS anywhere
+//   - qos_unmodified   QoS-aware reference, transport installed, no
+//                      module assigned (the "QoS costs nothing when
+//                      unused" claim)
+//   - woven            compression + encryption mediators/impls woven on
+//                      both sides (application-centered, Fig. 2)
+// Unlike the virtual-time benches this measures wall-clock throughput and
+// real heap traffic (global operator new interposition), and emits a
+// machine-readable BENCH_hotpath.json so the perf trajectory is diffable
+// across PRs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "bench/support.hpp"
+#include "characteristics/compression.hpp"
+#include "characteristics/encryption.hpp"
+#include "core/mediator.hpp"
+
+// ---- allocation counters (single-threaded bench, plain globals) ----
+
+namespace {
+std::size_t g_alloc_count = 0;
+std::size_t g_alloc_bytes = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  g_alloc_bytes += size;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace maqs;
+using namespace maqs::bench;
+
+struct Row {
+  std::string scenario;
+  std::string op;
+  double requests_per_sec = 0;
+  double bytes_alloc_per_request = 0;
+  double allocs_per_request = 0;
+};
+
+/// Runs `call` until ~min_duration of wall clock has elapsed (at least
+/// min_iters) and fills in the three metrics.
+template <typename Fn>
+Row measure(std::string scenario, std::string op, Fn&& call) {
+  using clock = std::chrono::steady_clock;
+  constexpr int kWarmup = 200;
+  constexpr int kMinIters = 2000;
+  constexpr double kMinSeconds = 0.25;
+
+  for (int i = 0; i < kWarmup; ++i) call();
+
+  std::size_t iters = 0;
+  const std::size_t count0 = g_alloc_count;
+  const std::size_t bytes0 = g_alloc_bytes;
+  const clock::time_point t0 = clock::now();
+  double elapsed = 0;
+  do {
+    for (int i = 0; i < kMinIters; ++i) call();
+    iters += kMinIters;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < kMinSeconds);
+
+  Row row;
+  row.scenario = std::move(scenario);
+  row.op = std::move(op);
+  row.requests_per_sec = static_cast<double>(iters) / elapsed;
+  row.allocs_per_request =
+      static_cast<double>(g_alloc_count - count0) / static_cast<double>(iters);
+  row.bytes_alloc_per_request =
+      static_cast<double>(g_alloc_bytes - bytes0) / static_cast<double>(iters);
+  return row;
+}
+
+core::Agreement make_agreement(const std::string& characteristic,
+                               std::map<std::string, cdr::Any> params) {
+  core::Agreement agreement;
+  agreement.id = 1;
+  agreement.characteristic = characteristic;
+  agreement.object_key = "echo";
+  agreement.params = std::move(params);
+  agreement.state = core::AgreementState::kActive;
+  return agreement;
+}
+
+/// Fast loopback world: zero virtual latency, infinite bandwidth, so the
+/// wall-clock cost is pure software overhead.
+void make_fast(World& world) {
+  world.set_link(0, 0);
+  world.network.set_loopback_latency(0);
+}
+
+void run_scenarios(std::vector<Row>& rows) {
+  const util::Bytes blob_data = payload(4096, 0.9);
+
+  {  // plain: no QoS tag, router never consulted
+    World world;
+    make_fast(world);
+    auto servant = std::make_shared<maqs::testing::EchoImpl>();
+    orb::ObjRef ref = world.server.adapter().activate("echo", servant);
+    maqs::testing::EchoStub stub(world.client, ref);
+    rows.push_back(measure("plain", "add", [&] { stub.add(1, 2); }));
+    rows.push_back(
+        measure("plain", "blob4k", [&] { stub.blob(blob_data); }));
+  }
+
+  {  // qos_unmodified: QoS-aware reference, no module assigned -> fallback
+    World world;
+    make_fast(world);
+    auto servant = std::make_shared<maqs::testing::EchoImpl>();
+    orb::ObjRef ref = world.server.adapter().activate("echo", servant);
+    orb::QosProfile profile;
+    profile.characteristic = "Unassigned";
+    ref.qos = {profile};
+    maqs::testing::EchoStub stub(world.client, ref);
+    rows.push_back(
+        measure("qos_unmodified", "add", [&] { stub.add(1, 2); }));
+    rows.push_back(
+        measure("qos_unmodified", "blob4k", [&] { stub.blob(blob_data); }));
+  }
+
+  {  // woven: compression + encryption at the stub/skeleton layer
+    World world;
+    make_fast(world);
+    auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+    servant->assign_characteristic(characteristics::compression_descriptor());
+    servant->assign_characteristic(characteristics::encryption_descriptor());
+    orb::QosProfile compression;
+    compression.characteristic = characteristics::compression_name();
+    orb::QosProfile encryption;
+    encryption.characteristic = characteristics::encryption_name();
+    orb::ObjRef ref = world.server.adapter().activate(
+        "echo", servant, {compression, encryption});
+
+    const core::Agreement compress_agreement = make_agreement(
+        characteristics::compression_name(),
+        {{"codec", cdr::Any::from_string("lz77")},
+         {"level", cdr::Any::from_long(32)},
+         {"min_size", cdr::Any::from_long(64)}});
+    const core::Agreement encrypt_agreement =
+        make_agreement(characteristics::encryption_name(),
+                       {{"psk", cdr::Any::from_string("bench-psk")},
+                        {"integrity", cdr::Any::from_bool(true)}});
+
+    // Client side: mediator chain [compression, encryption] -> the wire
+    // carries encrypt(compress(x)). Server side: impls installed in the
+    // same order; transform_args runs reversed (decrypt, then inflate).
+    auto mediator = std::make_shared<core::CompositeMediator>();
+    auto compress_mediator =
+        std::make_shared<characteristics::CompressionMediator>();
+    compress_mediator->bind_agreement(compress_agreement);
+    mediator->add(compress_mediator);
+    auto encrypt_mediator =
+        std::make_shared<characteristics::EncryptionMediator>();
+    encrypt_mediator->bind_agreement(encrypt_agreement);
+    mediator->add(encrypt_mediator);
+
+    auto compress_impl = std::make_shared<characteristics::CompressionImpl>();
+    compress_impl->bind_agreement(compress_agreement);
+    servant->install_impl(compress_impl);
+    auto encrypt_impl = std::make_shared<characteristics::EncryptionImpl>();
+    encrypt_impl->bind_agreement(encrypt_agreement);
+    servant->install_impl(encrypt_impl);
+
+    maqs::testing::EchoStub stub(world.client, ref);
+    stub.set_mediator(mediator);
+    rows.push_back(measure("woven_compress_encrypt", "add",
+                           [&] { stub.add(1, 2); }));
+    rows.push_back(measure("woven_compress_encrypt", "blob4k",
+                           [&] { stub.blob(blob_data); }));
+  }
+}
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"f4_hotpath\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"op\": \"%s\", "
+                 "\"requests_per_sec\": %.0f, "
+                 "\"bytes_alloc_per_request\": %.1f, "
+                 "\"allocs_per_request\": %.2f}%s\n",
+                 r.scenario.c_str(), r.op.c_str(), r.requests_per_sec,
+                 r.bytes_alloc_per_request, r.allocs_per_request,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+
+  header("F4: request hot path (wall clock, heap traffic)");
+  std::vector<Row> rows;
+  run_scenarios(rows);
+
+  std::printf("%-24s %-8s %14s %12s %10s\n", "scenario", "op", "req/s",
+              "bytes/req", "allocs/req");
+  row_rule();
+  for (const Row& r : rows) {
+    std::printf("%-24s %-8s %14.0f %12.1f %10.2f\n", r.scenario.c_str(),
+                r.op.c_str(), r.requests_per_sec, r.bytes_alloc_per_request,
+                r.allocs_per_request);
+  }
+  write_json(rows, json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 // regenerates one experiment from DESIGN.md §4 and prints its rows.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -46,12 +47,16 @@ inline util::Bytes payload(std::size_t size, double compressibility,
   out.reserve(size);
   while (out.size() < size) {
     if (rng.next_double() < compressibility) {
-      for (char c : phrase) {
-        if (out.size() >= size) break;
-        out.push_back(static_cast<std::uint8_t>(c));
-      }
+      // Bulk-append the phrase (clipped to the remaining space) instead of
+      // pushing byte by byte.
+      const std::size_t n = std::min(phrase.size(), size - out.size());
+      out.insert(out.end(), phrase.begin(), phrase.begin() + n);
     } else {
-      out.push_back(static_cast<std::uint8_t>(rng.next()));
+      // One RNG draw yields 8 noise bytes at a time.
+      const std::uint64_t word = rng.next();
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(&word);
+      const std::size_t n = std::min(sizeof(word), size - out.size());
+      out.insert(out.end(), bytes, bytes + n);
     }
   }
   return out;

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Rebuilds the tracked perf benches in Release and refreshes
+# BENCH_hotpath.json at the repo root. Run after touching the request hot
+# path (cdr/, orb/message, orb/orb, net/network, sim/event_loop) and
+# commit the refreshed JSON alongside the change.
+set -e
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$(nproc)" --target maqs_bench
+
+./build-release/bench/bench_f2_weaving
+./build-release/bench/bench_f3_dispatch
+./build-release/bench/bench_f4_hotpath BENCH_hotpath.json
+
+echo "wrote $(pwd)/BENCH_hotpath.json"

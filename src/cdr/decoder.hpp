@@ -3,7 +3,9 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -39,25 +41,9 @@ class Decoder {
 
   bool read_bool() { return read_u8() != 0; }
 
-  std::uint16_t read_u16() {
-    require(2);
-    const std::uint16_t v = static_cast<std::uint16_t>(
-        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
-    pos_ += 2;
-    return v;
-  }
-
-  std::uint32_t read_u32() {
-    const std::uint32_t lo = read_u16();
-    const std::uint32_t hi = read_u16();
-    return lo | (hi << 16);
-  }
-
-  std::uint64_t read_u64() {
-    const std::uint64_t lo = read_u32();
-    const std::uint64_t hi = read_u32();
-    return lo | (hi << 32);
-  }
+  std::uint16_t read_u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t read_u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_le<std::uint64_t>(); }
 
   std::int16_t read_i16() { return static_cast<std::int16_t>(read_u16()); }
   std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
@@ -66,21 +52,32 @@ class Decoder {
   float read_f32() { return std::bit_cast<float>(read_u32()); }
   double read_f64() { return std::bit_cast<double>(read_u64()); }
 
-  std::string read_string() {
+  std::string read_string() { return std::string(read_string_view()); }
+
+  /// Zero-copy string read: the view aliases the decoder's buffer and is
+  /// valid only while that buffer lives (for the owning constructor, while
+  /// the decoder itself lives). Use when the caller doesn't keep the value.
+  std::string_view read_string_view() {
     const std::uint32_t n = read_u32();
     require(n);
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return s;
   }
 
   util::Bytes read_bytes() {
+    const util::BytesView v = read_bytes_view();
+    return util::Bytes(v.begin(), v.end());
+  }
+
+  /// Zero-copy octet-sequence read; same lifetime rule as
+  /// read_string_view().
+  util::BytesView read_bytes_view() {
     const std::uint32_t n = read_u32();
     require(n);
-    util::Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    const util::BytesView v = data_.subspan(pos_, n);
     pos_ += n;
-    return b;
+    return v;
   }
 
   /// Remaining unread octets.
@@ -90,11 +87,18 @@ class Decoder {
   /// prefix). QoS skeletons use this to lift the raw argument stream out
   /// for aspect transforms (decompression, decryption).
   util::Bytes read_remaining() {
-    util::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                    data_.end());
-    pos_ = data_.size();
-    return out;
+    const util::BytesView v = read_remaining_view();
+    return util::Bytes(v.begin(), v.end());
   }
+
+  /// Zero-copy variant of read_remaining(); same lifetime rule as
+  /// read_string_view().
+  util::BytesView read_remaining_view() {
+    const util::BytesView v = data_.subspan(pos_);
+    pos_ = data_.size();
+    return v;
+  }
+
   bool at_end() const noexcept { return remaining() == 0; }
 
   /// Throws CdrError unless the stream is fully consumed; skeletons call
@@ -104,6 +108,22 @@ class Decoder {
   }
 
  private:
+  template <typename T>
+  T read_le() {
+    require(sizeof(T));
+    T v;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      v = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+      }
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
   void require(std::size_t n) const {
     if (data_.size() - pos_ < n) throw CdrError("cdr: stream underflow");
   }

@@ -5,6 +5,11 @@
 // order and drop alignment padding ("compact CDR"); both simplifications
 // are transparent to the layers above, which only see the Encoder/Decoder
 // API, and are called out in DESIGN.md §2.
+//
+// Hot-path discipline: integers and strings are appended in bulk (one
+// capacity check per write, memcpy-able ranges), and callers that know the
+// frame size ahead of time pre-size the buffer via the reserve-aware
+// constructor so a whole message encodes with a single allocation.
 #pragma once
 
 #include <bit>
@@ -19,23 +24,19 @@ class Encoder {
  public:
   Encoder() = default;
 
+  /// Pre-sizes the buffer; callers with a size hint (message encoders,
+  /// generated stubs) avoid all regrowth reallocations.
+  explicit Encoder(std::size_t reserve_hint) { buf_.reserve(reserve_hint); }
+
+  /// Reserves room for `n` more octets on top of what is already written.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void write_u8(std::uint8_t v) { buf_.push_back(v); }
   void write_bool(bool v) { write_u8(v ? 1 : 0); }
 
-  void write_u16(std::uint16_t v) {
-    write_u8(static_cast<std::uint8_t>(v));
-    write_u8(static_cast<std::uint8_t>(v >> 8));
-  }
-
-  void write_u32(std::uint32_t v) {
-    write_u16(static_cast<std::uint16_t>(v));
-    write_u16(static_cast<std::uint16_t>(v >> 16));
-  }
-
-  void write_u64(std::uint64_t v) {
-    write_u32(static_cast<std::uint32_t>(v));
-    write_u32(static_cast<std::uint32_t>(v >> 32));
-  }
+  void write_u16(std::uint16_t v) { append_le(v); }
+  void write_u32(std::uint32_t v) { append_le(v); }
+  void write_u64(std::uint64_t v) { append_le(v); }
 
   void write_i16(std::int16_t v) { write_u16(static_cast<std::uint16_t>(v)); }
   void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
@@ -47,17 +48,19 @@ class Encoder {
   /// Length-prefixed (u32) string, no terminator.
   void write_string(std::string_view s) {
     write_u32(static_cast<std::uint32_t>(s.size()));
-    util::append(buf_, util::Bytes(s.begin(), s.end()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   /// Length-prefixed (u32) octet sequence.
   void write_bytes(util::BytesView b) {
     write_u32(static_cast<std::uint32_t>(b.size()));
-    util::append(buf_, b);
+    buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
   /// Raw octets, no length prefix (for nested pre-encoded buffers).
-  void write_raw(util::BytesView b) { util::append(buf_, b); }
+  void write_raw(util::BytesView b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
 
   std::size_t size() const noexcept { return buf_.size(); }
 
@@ -65,6 +68,20 @@ class Encoder {
   util::Bytes take() { return std::move(buf_); }
 
  private:
+  template <typename T>
+  void append_le(T v) {
+    if constexpr (std::endian::native == std::endian::little) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+      buf_.insert(buf_.end(), p, p + sizeof(T));
+    } else {
+      std::uint8_t le[sizeof(T)];
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+      }
+      buf_.insert(buf_.end(), le, le + sizeof(T));
+    }
+  }
+
   util::Bytes buf_;
 };
 

@@ -53,6 +53,9 @@ class CompressionMediator final : public core::Mediator {
   void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
   void inbound(const orb::RequestMessage& req,
                orb::ReplyMessage& rep) override;
+  /// inbound() only decompresses the reply; the stub need not keep the
+  /// compressed argument stream alive across the call.
+  bool needs_request_payload() const override { return false; }
   cdr::Any qos_operation(const std::string& op,
                          const std::vector<cdr::Any>& args) override;
 

@@ -92,6 +92,9 @@ class EncryptionMediator final : public core::Mediator {
   void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
   void inbound(const orb::RequestMessage& req,
                orb::ReplyMessage& rep) override;
+  /// inbound() derives the reply nonce from request_id alone (a retained
+  /// header field), so the ciphertext body need not be kept.
+  bool needs_request_payload() const override { return false; }
 
  private:
   crypto::Key128 key_{};

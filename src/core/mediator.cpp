@@ -46,6 +46,13 @@ void CompositeMediator::outbound(orb::RequestMessage& req,
   }
 }
 
+bool CompositeMediator::needs_request_payload() const {
+  for (const auto& mediator : chain_) {
+    if (mediator->needs_request_payload()) return true;
+  }
+  return false;
+}
+
 void CompositeMediator::inbound(const orb::RequestMessage& req,
                                 orb::ReplyMessage& rep) {
   // Reverse order: the last outbound transform is outermost on the wire

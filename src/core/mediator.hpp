@@ -73,6 +73,9 @@ class CompositeMediator : public orb::ClientInterceptor {
   void outbound(orb::RequestMessage& req, orb::ObjRef& target) override;
   void inbound(const orb::RequestMessage& req,
                orb::ReplyMessage& rep) override;
+  /// True iff any delegate in the chain needs it: the retained request is
+  /// shared across the whole chain, so one payload-hungry mediator pins it.
+  bool needs_request_payload() const override;
 
  private:
   std::vector<std::shared_ptr<Mediator>> chain_;

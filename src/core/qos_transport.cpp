@@ -165,7 +165,7 @@ void QosTransport::unload_module(const std::string& name) {
                 [&](const auto& entry) { return entry.second == name; });
 }
 
-QosModule* QosTransport::find_module(const std::string& name) {
+QosModule* QosTransport::find_module(std::string_view name) {
   auto it = modules_.find(name);
   return it != modules_.end() ? it->second.get() : nullptr;
 }
@@ -246,10 +246,15 @@ std::optional<orb::ReplyMessage> QosTransport::inbound(
   // QoS-aware service request: undo the peer module's payload transform.
   auto tag = req.context.find(kModuleContextKey);
   if (tag != req.context.end()) {
-    const std::string module_name = util::to_string(tag->second);
+    // Probe the module table straight from the tag bytes; only the first
+    // frame from a not-yet-loaded module pays a string allocation.
+    const std::string_view module_name(
+        reinterpret_cast<const char*>(tag->second.data()),
+        tag->second.size());
     try {
-      QosModule& module = load_module(module_name);
-      module.restore_request(req);
+      QosModule* module = find_module(module_name);
+      if (module == nullptr) module = &load_module(std::string(module_name));
+      module->restore_request(req);
       ++stats_.inbound_module_transforms;
     } catch (const Error& e) {
       return command_error(req.request_id,
@@ -263,7 +268,9 @@ void QosTransport::outbound(const orb::RequestMessage& req,
                             orb::ReplyMessage& rep) {
   auto tag = req.context.find(kModuleContextKey);
   if (tag == req.context.end()) return;
-  if (QosModule* module = find_module(util::to_string(tag->second))) {
+  const std::string_view module_name(
+      reinterpret_cast<const char*>(tag->second.data()), tag->second.size());
+  if (QosModule* module = find_module(module_name)) {
     module->transform_reply(req, rep);
   }
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/module.hpp"
@@ -59,7 +60,9 @@ class QosTransport final : public orb::RequestRouter {
   QosModule& load_module(const std::string& name);
   /// Stops and discards the module; assignments to it are removed.
   void unload_module(const std::string& name);
-  QosModule* find_module(const std::string& name);
+  /// string_view key: the per-request inbound/outbound lookups probe the
+  /// module table straight from context-tag bytes, no temporary string.
+  QosModule* find_module(std::string_view name);
   bool is_loaded(const std::string& name) const;
   std::vector<std::string> loaded_modules() const;
 
@@ -100,8 +103,8 @@ class QosTransport final : public orb::RequestRouter {
 
   orb::Orb& orb_;
   ModuleContext context_;
-  std::map<std::string, std::unique_ptr<QosModule>> modules_;
-  std::map<std::string, std::string> assignments_;
+  std::map<std::string, std::unique_ptr<QosModule>, std::less<>> modules_;
+  std::map<std::string, std::string, std::less<>> assignments_;
   std::map<std::string, CommandHandler> command_handlers_;
   TransportStats stats_;
 };

@@ -41,6 +41,9 @@ void Network::set_link(const NodeId& a, const NodeId& b,
   node_state(b);
   links_[{a, b}] = params;
   links_[{b, a}] = params;
+  // A cached pair may have resolved to default_link_ before this entry
+  // existed.
+  invalidate_fast_paths();
 }
 
 const LinkParams& Network::link(const NodeId& from, const NodeId& to) const {
@@ -83,7 +86,8 @@ void Network::bind(const Address& addr, Handler handler) {
     throw std::invalid_argument("network: null handler for " +
                                 addr.to_string());
   }
-  auto [_, inserted] = handlers_.emplace(addr, std::move(handler));
+  auto [_, inserted] =
+      handlers_.emplace(addr, std::make_shared<Handler>(std::move(handler)));
   if (!inserted) {
     throw std::invalid_argument("network: address already bound: " +
                                 addr.to_string());
@@ -98,37 +102,64 @@ bool Network::is_bound(const Address& addr) const {
   return handlers_.contains(addr);
 }
 
+Network::FastPath& Network::fast_path(const NodeId& from, const NodeId& to) {
+  for (FastPath& cached : fast_path_cache_) {
+    if (cached.src != nullptr && cached.from == from && cached.to == to) {
+      return cached;
+    }
+  }
+  auto src_it = nodes_.find(from);
+  if (src_it == nodes_.end()) {
+    throw std::invalid_argument("network: unknown node '" + from + "'");
+  }
+  auto dst_it = nodes_.find(to);
+  if (dst_it == nodes_.end()) {
+    throw std::invalid_argument("network: unknown node '" + to + "'");
+  }
+  FastPath& entry = fast_path_cache_[fast_path_next_];
+  fast_path_next_ = (fast_path_next_ + 1) % fast_path_cache_.size();
+  entry.from = from;
+  entry.to = to;
+  entry.src = &src_it->second;
+  entry.dst = &dst_it->second;
+  entry.link = from == to ? nullptr : &link(from, to);
+  entry.pair_bytes = &per_pair_bytes_[{from, to}];
+  return entry;
+}
+
 void Network::send(const Address& from, const Address& to,
                    util::Bytes payload) {
-  const NodeState& src = node_state(from.node);
-  const NodeState& dst = node_state(to.node);
+  const FastPath& path = fast_path(from.node, to.node);
 
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
-  per_pair_bytes_[{from.node, to.node}] += payload.size();
+  *path.pair_bytes += payload.size();
 
-  if (!src.alive) {
+  if (!path.src->alive) {
     ++stats_.messages_dropped;
     return;
   }
 
   sim::Duration delay;
-  if (from.node == to.node) {
+  if (path.link == nullptr) {  // loopback
     delay = loopback_latency_;
   } else {
-    const LinkParams& lp = link(from.node, to.node);
+    const LinkParams& lp = *path.link;
     sim::Duration transmit = 0;
     if (lp.bandwidth_bps > 0) {
       const double bits = static_cast<double>(payload.size()) * 8.0;
       transmit = sim::from_seconds(bits / lp.bandwidth_bps);
+      // Bandwidth serialization: back-to-back messages queue behind each
+      // other on the directed link.
+      sim::TimePoint& busy = busy_until_[{from.node, to.node}];
+      const sim::TimePoint start = std::max(loop_.now(), busy);
+      busy = start + transmit;
+      delay = (start - loop_.now()) + transmit + lp.latency;
+    } else {
+      // Infinite bandwidth: transmission is instant and the link never
+      // serializes, so skip the busy-until bookkeeping entirely.
+      delay = lp.latency;
     }
-    // Bandwidth serialization: back-to-back messages queue behind each
-    // other on the directed link.
-    sim::TimePoint& busy = busy_until_[{from.node, to.node}];
-    const sim::TimePoint start = std::max(loop_.now(), busy);
-    busy = start + transmit;
-
-    delay = (start - loop_.now()) + transmit + lp.latency;
     if (lp.jitter > 0) {
       delay += static_cast<sim::Duration>(
           rng_.next_below(static_cast<std::uint64_t>(lp.jitter) + 1));
@@ -148,24 +179,58 @@ void Network::send(const Address& from, const Address& to,
     }
   }
 
-  const std::uint64_t dest_incarnation = dst.incarnation;
-  loop_.schedule(delay, [this, from, to, dest_incarnation,
-                         payload = std::move(payload)]() mutable {
-    deliver(from, to, dest_incarnation, std::move(payload));
-  });
+  const std::size_t slot =
+      park_in_flight(from, to, path.src, path.dst, std::move(payload));
+  loop_.schedule(delay, [this, slot] { deliver_slot(slot); });
+}
+
+std::size_t Network::park_in_flight(const Address& from, const Address& to,
+                                    const NodeState* src,
+                                    const NodeState* dst,
+                                    util::Bytes payload) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = in_flight_.size();
+    in_flight_.emplace_back();
+  }
+  InFlight& msg = in_flight_[slot];
+  msg.from = from;  // assignment reuses the slot's string/port storage
+  msg.to = to;
+  msg.src = src;
+  msg.dst = dst;
+  msg.dest_incarnation = dst->incarnation;  // incarnation as of send time
+  msg.payload = std::move(payload);
+  return slot;
+}
+
+void Network::deliver_slot(std::size_t slot) {
+  // Move everything to locals and release the slot BEFORE running the
+  // handler: nested sends re-enter the pool and may grow in_flight_,
+  // invalidating any reference into it.
+  InFlight& msg = in_flight_[slot];
+  Address from = std::move(msg.from);
+  Address to = std::move(msg.to);
+  const NodeState* src = msg.src;
+  const NodeState* dst = msg.dst;
+  const std::uint64_t dest_incarnation = msg.dest_incarnation;
+  util::Bytes payload = std::move(msg.payload);
+  free_slots_.push_back(slot);
+  deliver(from, to, *src, *dst, dest_incarnation, std::move(payload));
 }
 
 void Network::deliver(const Address& from, const Address& to,
+                      const NodeState& src, const NodeState& dst,
                       std::uint64_t dest_incarnation, util::Bytes payload) {
-  auto dst_it = nodes_.find(to.node);
-  if (dst_it == nodes_.end() || !dst_it->second.alive ||
-      dst_it->second.incarnation != dest_incarnation) {
+  // src/dst are read at delivery time: crashes, restarts and partitions
+  // that happened while the message was in flight are observed here.
+  if (!dst.alive || dst.incarnation != dest_incarnation) {
     ++stats_.messages_dropped;
     return;
   }
-  auto src_it = nodes_.find(from.node);
-  if (src_it != nodes_.end() &&
-      src_it->second.partition != dst_it->second.partition) {
+  if (src.partition != dst.partition) {
     ++stats_.messages_dropped;
     return;
   }
@@ -176,9 +241,10 @@ void Network::deliver(const Address& from, const Address& to,
   }
   ++stats_.messages_delivered;
   stats_.bytes_delivered += payload.size();
-  // Copy the handler: it may unbind/rebind itself while running.
-  Handler handler = handler_it->second;
-  handler(from, payload);
+  // Pin the handler (it may unbind/rebind itself while running); the
+  // shared_ptr copy is a refcount bump, not a std::function clone.
+  std::shared_ptr<Handler> handler = handler_it->second;
+  (*handler)(from, payload);
 }
 
 void Network::create_group(const std::string& group) {
@@ -211,9 +277,17 @@ void Network::multicast(const Address& from, const std::string& group,
   // Snapshot membership: handlers triggered by earlier copies must not
   // affect who receives this datagram.
   const std::vector<Address> members = it->second;
+  const Address* last = nullptr;
+  for (const Address& member : members) {
+    if (!(member == from)) last = &member;
+  }
   for (const Address& member : members) {
     if (member == from) continue;
-    send(from, member, payload);
+    if (&member == last) {
+      send(from, member, std::move(payload));  // last copy moves, not clones
+    } else {
+      send(from, member, payload);
+    }
   }
 }
 

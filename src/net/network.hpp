@@ -11,9 +11,11 @@
 // same seed and workload reproduce identical timelines.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -124,7 +126,11 @@ class Network {
   // ---- accounting ----
 
   const NetStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = NetStats{}; per_pair_bytes_.clear(); }
+  void reset_stats() {
+    stats_ = NetStats{};
+    per_pair_bytes_.clear();  // cached counter pointers die with the map
+    invalidate_fast_paths();
+  }
 
   /// Total payload bytes sent from node a to node b since last reset.
   std::uint64_t bytes_between(const NodeId& a, const NodeId& b) const;
@@ -136,9 +142,44 @@ class Network {
     int partition = 0;
   };
 
+  /// One in-flight message. Parked in a pooled slot so the event-loop
+  /// closure captures only {network, slot index} and stays within
+  /// std::function's small-buffer optimization — no heap allocation per
+  /// send.
+  struct InFlight {
+    Address from;
+    Address to;
+    const NodeState* src = nullptr;  // stable: nodes are never removed
+    const NodeState* dst = nullptr;
+    std::uint64_t dest_incarnation = 0;
+    util::Bytes payload;
+  };
+
+  /// Resolved lookups for one (from, to) node pair. A request/reply cycle
+  /// alternates between exactly two directions, so a 2-entry cache turns
+  /// the four map probes per send (two node states, link params, per-pair
+  /// byte counter) into one or two short string compares. All cached
+  /// pointers are stable: nodes_ never erases, links_ and per_pair_bytes_
+  /// are node-based maps mutated in place.
+  struct FastPath {
+    NodeId from;
+    NodeId to;
+    NodeState* src = nullptr;
+    NodeState* dst = nullptr;
+    const LinkParams* link = nullptr;  // nullptr for loopback pairs
+    std::uint64_t* pair_bytes = nullptr;
+  };
+
   const NodeState& node_state(const NodeId& node) const;
-  void deliver(const Address& from, const Address& to,
-               std::uint64_t dest_incarnation, util::Bytes payload);
+  FastPath& fast_path(const NodeId& from, const NodeId& to);
+  void invalidate_fast_paths() { fast_path_cache_ = {}; }
+  std::size_t park_in_flight(const Address& from, const Address& to,
+                             const NodeState* src, const NodeState* dst,
+                             util::Bytes payload);
+  void deliver_slot(std::size_t slot);
+  void deliver(const Address& from, const Address& to, const NodeState& src,
+               const NodeState& dst, std::uint64_t dest_incarnation,
+               util::Bytes payload);
 
   sim::EventLoop& loop_;
   util::Rng rng_;
@@ -148,9 +189,15 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
   // Earliest time each directed pair's link is free (bandwidth serialization).
   std::map<std::pair<NodeId, NodeId>, sim::TimePoint> busy_until_;
-  std::unordered_map<Address, Handler> handlers_;
+  // shared_ptr so a delivery pins the handler with a refcount bump instead
+  // of copying the std::function, while unbind-during-delivery stays safe.
+  std::unordered_map<Address, std::shared_ptr<Handler>> handlers_;
   std::map<std::string, std::vector<Address>> groups_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> per_pair_bytes_;
+  std::vector<InFlight> in_flight_;     // slot-indexed; recycled via free list
+  std::vector<std::size_t> free_slots_;
+  std::array<FastPath, 2> fast_path_cache_;
+  std::size_t fast_path_next_ = 0;
   NetStats stats_;
 };
 

@@ -22,24 +22,26 @@ ObjRef ObjectAdapter::activate(const std::string& key,
   return reference(key);
 }
 
-void ObjectAdapter::deactivate(const std::string& key) {
-  servants_.erase(key);
+void ObjectAdapter::deactivate(std::string_view key) {
+  auto it = servants_.find(key);
+  if (it != servants_.end()) servants_.erase(it);
 }
 
-std::shared_ptr<Servant> ObjectAdapter::find(const std::string& key) const {
+std::shared_ptr<Servant> ObjectAdapter::find(std::string_view key) const {
   auto it = servants_.find(key);
   return it != servants_.end() ? it->second.servant : nullptr;
 }
 
-ObjRef ObjectAdapter::reference(const std::string& key) const {
+ObjRef ObjectAdapter::reference(std::string_view key) const {
   auto it = servants_.find(key);
   if (it == servants_.end()) {
-    throw ObjectNotExist("adapter: no active servant for key " + key);
+    throw ObjectNotExist("adapter: no active servant for key " +
+                         std::string(key));
   }
   ObjRef ref;
   ref.repo_id = it->second.servant->repo_id();
   ref.endpoint = orb_.endpoint();
-  ref.object_key = key;
+  ref.object_key = std::string(key);
   ref.qos = it->second.qos;
   return ref;
 }

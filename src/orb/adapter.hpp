@@ -2,9 +2,10 @@
 // (CORBA POA equivalent, minus POA policies).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "orb/ior.hpp"
@@ -27,14 +28,15 @@ class ObjectAdapter {
                   std::vector<QosProfile> qos = {});
 
   /// Removes the servant; subsequent requests raise NO_SUCH_OBJECT.
-  void deactivate(const std::string& key);
+  void deactivate(std::string_view key);
 
-  /// Servant lookup; nullptr when not active.
-  std::shared_ptr<Servant> find(const std::string& key) const;
+  /// Servant lookup; nullptr when not active. Heterogeneous string_view
+  /// key: the per-request dispatch lookup never allocates.
+  std::shared_ptr<Servant> find(std::string_view key) const;
 
   /// Re-creates the reference for an activated key (same data as
   /// activate() returned).
-  ObjRef reference(const std::string& key) const;
+  ObjRef reference(std::string_view key) const;
 
   std::size_t active_count() const noexcept { return servants_.size(); }
 
@@ -43,9 +45,17 @@ class ObjectAdapter {
     std::shared_ptr<Servant> servant;
     std::vector<QosProfile> qos;
   };
+  /// Transparent hash so string_view keys probe without a temporary
+  /// std::string.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view key) const noexcept {
+      return std::hash<std::string_view>{}(key);
+    }
+  };
 
   Orb& orb_;
-  std::map<std::string, Entry> servants_;
+  std::unordered_map<std::string, Entry, KeyHash, std::equal_to<>> servants_;
 };
 
 }  // namespace maqs::orb

@@ -1,5 +1,8 @@
 #include "orb/message.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "cdr/decoder.hpp"
 #include "cdr/encoder.hpp"
 #include "orb/exceptions.hpp"
@@ -9,6 +12,19 @@ namespace maqs::orb {
 namespace {
 constexpr std::uint8_t kRequestMagic = 0xA1;
 constexpr std::uint8_t kReplyMagic = 0xA2;
+
+bool key_less(const ServiceContext::value_type& entry,
+              std::string_view key) noexcept {
+  return entry.first < key;
+}
+
+std::size_t context_wire_size(const ServiceContext& context) noexcept {
+  std::size_t n = 4;  // entry count
+  for (const auto& [key, value] : context) {
+    n += 8 + key.size() + value.size();  // two length prefixes + payloads
+  }
+  return n;
+}
 
 void encode_context(cdr::Encoder& enc, const ServiceContext& context) {
   enc.write_u32(static_cast<std::uint32_t>(context.size()));
@@ -21,13 +37,66 @@ void encode_context(cdr::Encoder& enc, const ServiceContext& context) {
 ServiceContext decode_context(cdr::Decoder& dec) {
   ServiceContext context;
   const std::uint32_t n = dec.read_u32();
+  context.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::string key = dec.read_string();
+    // Well-formed peers send sorted keys, so each insert lands at the back;
+    // operator[] still handles (and dedupes) adversarial orderings.
+    const std::string_view key = dec.read_string_view();
     context[key] = dec.read_bytes();
   }
   return context;
 }
 }  // namespace
+
+// ---- ServiceContext ----
+
+ServiceContext::iterator ServiceContext::find(std::string_view key) noexcept {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key, key_less);
+  if (it != entries_.end() && it->first == key) return it;
+  return entries_.end();
+}
+
+ServiceContext::const_iterator ServiceContext::find(
+    std::string_view key) const noexcept {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key, key_less);
+  if (it != entries_.end() && it->first == key) return it;
+  return entries_.end();
+}
+
+util::Bytes& ServiceContext::operator[](std::string_view key) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key, key_less);
+  if (it == entries_.end() || it->first != key) {
+    it = entries_.emplace(it, std::string(key), util::Bytes{});
+  }
+  return it->second;
+}
+
+const util::Bytes& ServiceContext::at(std::string_view key) const {
+  auto it = find(key);
+  if (it == end()) {
+    throw std::out_of_range("ServiceContext: no entry '" + std::string(key) +
+                            "'");
+  }
+  return it->second;
+}
+
+void ServiceContext::set(std::string_view key, util::Bytes value) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key, key_less);
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    entries_.emplace(it, std::string(key), std::move(value));
+  }
+}
+
+bool ServiceContext::erase(std::string_view key) {
+  auto it = find(key);
+  if (it == end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+// ---- messages ----
 
 const char* reply_status_name(ReplyStatus status) noexcept {
   switch (status) {
@@ -41,8 +110,16 @@ const char* reply_status_name(ReplyStatus status) noexcept {
   return "?";
 }
 
+std::size_t RequestMessage::encoded_size() const noexcept {
+  return 1 + 8 + 1 + 1                                        // magic, id,
+                                                              // kind, qos
+         + 4 + object_key.size() + 4 + target_module.size()   // keys
+         + 4 + operation.size() + context_wire_size(context)  //
+         + 4 + body.size();
+}
+
 util::Bytes RequestMessage::encode() const {
-  cdr::Encoder enc;
+  cdr::Encoder enc(encoded_size());
   enc.write_u8(kRequestMagic);
   enc.write_u64(request_id);
   enc.write_u8(static_cast<std::uint8_t>(kind));
@@ -77,8 +154,15 @@ RequestMessage RequestMessage::decode(util::BytesView data) {
   return req;
 }
 
+std::size_t ReplyMessage::encoded_size() const noexcept {
+  return 1 + 8 + 1                                            // magic, id,
+                                                              // status
+         + 4 + exception.size() + context_wire_size(context)  //
+         + 4 + body.size();
+}
+
 util::Bytes ReplyMessage::encode() const {
-  cdr::Encoder enc;
+  cdr::Encoder enc(encoded_size());
   enc.write_u8(kReplyMagic);
   enc.write_u64(request_id);
   enc.write_u8(static_cast<std::uint8_t>(status));

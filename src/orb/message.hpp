@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/bytes.hpp"
 
@@ -35,7 +37,53 @@ const char* reply_status_name(ReplyStatus status) noexcept;
 /// Out-of-band request/reply metadata (CORBA service context). QoS
 /// mechanisms use it to tag payloads: "qos.module", "qos.key-epoch",
 /// "qos.timestamp", ...
-using ServiceContext = std::map<std::string, util::Bytes>;
+///
+/// Stored as a small flat vector kept sorted by key. Contexts carry a
+/// handful of entries at most, so the flat layout beats node-based
+/// std::map on every hot-path operation (no per-entry allocation, one
+/// contiguous block, cheap iteration during encode) while preserving the
+/// deterministic sorted wire order the std::map representation produced.
+class ServiceContext {
+ public:
+  using value_type = std::pair<std::string, util::Bytes>;
+  using Entries = std::vector<value_type>;
+  using iterator = Entries::iterator;
+  using const_iterator = Entries::const_iterator;
+
+  iterator begin() noexcept { return entries_.begin(); }
+  iterator end() noexcept { return entries_.end(); }
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  iterator find(std::string_view key) noexcept;
+  const_iterator find(std::string_view key) const noexcept;
+  bool contains(std::string_view key) const noexcept {
+    return find(key) != end();
+  }
+
+  /// Returns the value for `key`, inserting an empty one if absent
+  /// (std::map-compatible insertion point, sorted position).
+  util::Bytes& operator[](std::string_view key);
+
+  /// Checked lookup; throws std::out_of_range when the key is absent.
+  const util::Bytes& at(std::string_view key) const;
+
+  /// Insert-or-assign without the default-construct-then-assign dance.
+  void set(std::string_view key, util::Bytes value);
+
+  /// Removes the entry; returns false when absent.
+  bool erase(std::string_view key);
+
+  bool operator==(const ServiceContext&) const = default;
+
+ private:
+  Entries entries_;  // sorted ascending by key
+};
 
 struct RequestMessage {
   std::uint64_t request_id = 0;
@@ -52,6 +100,8 @@ struct RequestMessage {
   /// self-describing Anys (commands, DII).
   util::Bytes body;
 
+  /// Exact wire size of encode()'s output; used to pre-size the buffer.
+  std::size_t encoded_size() const noexcept;
   util::Bytes encode() const;
   static RequestMessage decode(util::BytesView data);
 };
@@ -64,6 +114,8 @@ struct ReplyMessage {
   ServiceContext context;
   util::Bytes body;
 
+  /// Exact wire size of encode()'s output; used to pre-size the buffer.
+  std::size_t encoded_size() const noexcept;
   util::Bytes encode() const;
   static ReplyMessage decode(util::BytesView data);
 };

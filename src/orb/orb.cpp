@@ -16,6 +16,12 @@ Orb::Orb(net::Network& network, net::NodeId node, std::uint16_t port)
 }
 
 Orb::~Orb() {
+  // Cancel outstanding timeout events: they capture `this` and the loop
+  // outlives the ORB, so a stale timeout firing after destruction would be
+  // a use-after-free.
+  for (const Pending& pending : pending_) {
+    loop().cancel(pending.timeout_event);
+  }
   network_.unbind(endpoint_);
 }
 
@@ -38,7 +44,7 @@ ReplyMessage Orb::invoke_plain(const net::Address& dest, RequestMessage req) {
   std::optional<ReplyMessage> result;
   const std::uint64_t id = send_request(
       dest, std::move(req),
-      [&result](const ReplyMessage& rep) { result = rep; });
+      [&result](ReplyMessage rep) { result = std::move(rep); });
   run_until([&result] { return result.has_value(); });
   if (!result.has_value()) {
     // Event queue drained without the reply or the timeout firing; this
@@ -53,78 +59,102 @@ ReplyMessage Orb::invoke_plain(const net::Address& dest, RequestMessage req) {
   return *std::move(result);
 }
 
-std::uint64_t Orb::send_request(
-    const net::Address& dest, RequestMessage req,
-    std::function<void(const ReplyMessage&)> on_reply,
-    sim::Duration timeout) {
-  if (req.request_id == 0) req.request_id = next_request_id();
-  if (timeout <= 0) timeout = default_timeout_;
-  const std::uint64_t id = req.request_id;
-
+void Orb::add_pending(std::uint64_t id, ReplyHandler on_reply,
+                      sim::Duration timeout, bool multi) {
   Pending pending;
+  pending.id = id;
+  pending.multi = multi;
   pending.on_reply = std::move(on_reply);
   pending.timeout_event = loop().schedule(timeout, [this, id] {
-    auto it = pending_.find(id);
+    auto it = find_pending(id);
     if (it == pending_.end()) return;
     ++stats_.timeouts;
-    auto callback = std::move(it->second.on_reply);
-    pending_.erase(it);
+    auto callback = std::move(it->on_reply);
+    // The timeout event is firing right now, so there is nothing stale to
+    // cancel: plain swap-and-pop erase.
+    if (it != pending_.end() - 1) *it = std::move(pending_.back());
+    pending_.pop_back();
     ReplyMessage timeout_reply;
     timeout_reply.request_id = id;
     timeout_reply.status = ReplyStatus::kSystemException;
     timeout_reply.exception = "maqs/TIMEOUT";
-    callback(timeout_reply);
+    callback(std::move(timeout_reply));
   });
-  pending_.emplace(id, std::move(pending));
+  pending_.push_back(std::move(pending));
+}
 
+std::vector<Orb::Pending>::iterator Orb::find_pending(
+    std::uint64_t id) noexcept {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) return it;
+  }
+  return pending_.end();
+}
+
+void Orb::erase_pending(std::vector<Pending>::iterator it) {
+  loop().cancel(it->timeout_event);
+  if (it != pending_.end() - 1) *it = std::move(pending_.back());
+  pending_.pop_back();
+}
+
+std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
+                                ReplyHandler on_reply, sim::Duration timeout) {
+  if (req.request_id == 0) req.request_id = next_request_id();
+  if (timeout <= 0) timeout = default_timeout_;
+  const std::uint64_t id = req.request_id;
+
+  add_pending(id, std::move(on_reply), timeout, /*multi=*/false);
   ++stats_.requests_sent;
-  network_.send(endpoint_, dest, req.encode());
+  util::Bytes wire = req.encode();
+  stats_.bytes_marshaled_out += wire.size();
+  try {
+    network_.send(endpoint_, dest, std::move(wire));
+  } catch (...) {
+    // Undeliverable (e.g. unknown node): roll back the pending entry and
+    // its timeout instead of leaving a stale event armed.
+    if (auto it = find_pending(id); it != pending_.end()) erase_pending(it);
+    throw;
+  }
   return id;
 }
 
-std::uint64_t Orb::send_multicast_request(
-    const std::string& group, RequestMessage req,
-    std::function<void(const ReplyMessage&)> on_reply,
-    sim::Duration timeout) {
+std::uint64_t Orb::send_multicast_request(const std::string& group,
+                                          RequestMessage req,
+                                          ReplyHandler on_reply,
+                                          sim::Duration timeout) {
   if (req.request_id == 0) req.request_id = next_request_id();
   if (timeout <= 0) timeout = default_timeout_;
   const std::uint64_t id = req.request_id;
 
-  Pending pending;
-  pending.multi = true;
-  pending.on_reply = std::move(on_reply);
-  pending.timeout_event = loop().schedule(timeout, [this, id] {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    ++stats_.timeouts;
-    auto callback = std::move(it->second.on_reply);
-    pending_.erase(it);
-    ReplyMessage timeout_reply;
-    timeout_reply.request_id = id;
-    timeout_reply.status = ReplyStatus::kSystemException;
-    timeout_reply.exception = "maqs/TIMEOUT";
-    callback(timeout_reply);
-  });
-  pending_.emplace(id, std::move(pending));
-
+  add_pending(id, std::move(on_reply), timeout, /*multi=*/true);
   ++stats_.requests_sent;
-  network_.multicast(endpoint_, group, req.encode());
+  util::Bytes wire = req.encode();
+  stats_.bytes_marshaled_out += wire.size();
+  try {
+    network_.multicast(endpoint_, group, std::move(wire));
+  } catch (...) {
+    if (auto it = find_pending(id); it != pending_.end()) erase_pending(it);
+    throw;
+  }
   return id;
 }
 
 void Orb::cancel_request(std::uint64_t request_id) {
-  auto it = pending_.find(request_id);
+  auto it = find_pending(request_id);
   if (it == pending_.end()) return;
-  loop().cancel(it->second.timeout_event);
-  pending_.erase(it);
+  erase_pending(it);
 }
 
 void Orb::on_frame(const net::Address& from, const util::Bytes& data) {
   try {
     if (is_request_frame(data)) {
-      handle_request(from, RequestMessage::decode(data));
+      RequestMessage req = RequestMessage::decode(data);
+      stats_.bytes_marshaled_in += data.size();
+      handle_request(from, std::move(req));
     } else {
-      handle_reply(ReplyMessage::decode(data));
+      ReplyMessage rep = ReplyMessage::decode(data);
+      stats_.bytes_marshaled_in += data.size();
+      handle_reply(std::move(rep));
     }
   } catch (const Error& e) {
     // Garbage frames are dropped; a reliable transport below us means this
@@ -138,7 +168,9 @@ void Orb::handle_request(const net::Address& from, RequestMessage req) {
   const std::uint64_t request_id = req.request_id;
   ReplyMessage rep = dispatch(std::move(req), from);
   rep.request_id = request_id;
-  network_.send(endpoint_, from, rep.encode());
+  util::Bytes wire = rep.encode();
+  stats_.bytes_marshaled_out += wire.size();
+  network_.send(endpoint_, from, std::move(wire));
 }
 
 ReplyMessage Orb::dispatch(RequestMessage req, const net::Address& from) {
@@ -204,7 +236,10 @@ ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
     return rep;
   }
   cdr::Decoder args(req.body);
-  cdr::Encoder out;
+  // Results are usually the same order of magnitude as the arguments
+  // (echo-shaped traffic); pre-sizing turns the common case into one
+  // allocation without hurting small results.
+  cdr::Encoder out(req.body.size() + 32);
   ServerContext ctx(req, from, rep.context);
   try {
     servant->dispatch(req.operation, args, out, ctx);
@@ -233,23 +268,24 @@ ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
 }
 
 void Orb::handle_reply(ReplyMessage rep) {
-  auto it = pending_.find(rep.request_id);
+  auto it = find_pending(rep.request_id);
   if (it == pending_.end()) {
     // Late reply after timeout/cancel, or surplus replies of a multicast
     // request already satisfied: normal, counted for observability.
     ++stats_.replies_orphaned;
     return;
   }
-  if (it->second.multi) {
+  if (it->multi) {
     // Keep the entry alive: more replies may follow. Copy the callback so
     // the handler may cancel_request() from within.
-    auto callback = it->second.on_reply;
-    callback(rep);
+    auto callback = it->on_reply;
+    callback(std::move(rep));
   } else {
-    loop().cancel(it->second.timeout_event);
-    auto callback = std::move(it->second.on_reply);
-    pending_.erase(it);
-    callback(rep);
+    // Move the callback out before erasing so the handler may re-enter the
+    // ORB (issue a nested call) without touching a dead entry.
+    auto callback = std::move(it->on_reply);
+    erase_pending(it);
+    callback(std::move(rep));
   }
 }
 

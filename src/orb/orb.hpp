@@ -21,7 +21,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/network.hpp"
 #include "orb/adapter.hpp"
@@ -50,7 +50,8 @@ class RequestRouter {
   virtual void outbound(const RequestMessage& req, ReplyMessage& rep) = 0;
 };
 
-/// Statistics for the dispatch-path benchmarks (bench_f3_dispatch).
+/// Statistics for the dispatch-path benchmarks (bench_f3_dispatch,
+/// bench_f4_hotpath).
 struct OrbStats {
   std::uint64_t requests_sent = 0;
   std::uint64_t requests_dispatched = 0;
@@ -59,6 +60,8 @@ struct OrbStats {
   std::uint64_t qos_path = 0;       // requests handed to the QoS transport
   std::uint64_t replies_orphaned = 0;  // replies with no pending entry
   std::uint64_t timeouts = 0;
+  std::uint64_t bytes_marshaled_out = 0;  // frame bytes encoded and sent
+  std::uint64_t bytes_marshaled_in = 0;   // frame bytes decoded successfully
 };
 
 class Orb {
@@ -101,11 +104,16 @@ class Orb {
   /// QoS transport for negotiation bootstrap and module fallback.
   ReplyMessage invoke_plain(const net::Address& dest, RequestMessage req);
 
+  /// Reply callback. Takes the reply by value so the ORB can move the
+  /// decoded message straight into the handler (zero-copy reply path);
+  /// lambdas taking `const ReplyMessage&` remain compatible.
+  using ReplyHandler = std::function<void(ReplyMessage)>;
+
   /// Fire-and-collect: sends without blocking; `on_reply` runs for the
   /// reply or, on timeout, for a synthesized SYSTEM_EXCEPTION reply with
   /// exception "maqs/TIMEOUT". Returns the request id.
   std::uint64_t send_request(const net::Address& dest, RequestMessage req,
-                             std::function<void(const ReplyMessage&)> on_reply,
+                             ReplyHandler on_reply,
                              sim::Duration timeout = 0);
 
   /// Multicast variant: one frame to every group member; `on_reply` runs
@@ -113,7 +121,7 @@ class Orb {
   /// (timeout delivers the synthesized "maqs/TIMEOUT" reply once).
   std::uint64_t send_multicast_request(
       const std::string& group, RequestMessage req,
-      std::function<void(const ReplyMessage&)> on_reply,
+      ReplyHandler on_reply,
       sim::Duration timeout = 0);
 
   /// Stops reply delivery for an outstanding request id.
@@ -139,17 +147,30 @@ class Orb {
                                    const net::Address& from);
 
   struct Pending {
-    std::function<void(const ReplyMessage&)> on_reply;
+    std::uint64_t id = 0;
+    ReplyHandler on_reply;
     sim::EventId timeout_event = 0;
     bool multi = false;
   };
+
+  /// Registers a pending entry with its timeout; shared by send_request and
+  /// send_multicast_request.
+  void add_pending(std::uint64_t id, ReplyHandler on_reply,
+                   sim::Duration timeout, bool multi);
+  std::vector<Pending>::iterator find_pending(std::uint64_t id) noexcept;
+  /// Erases a pending entry, always cancelling its timeout event first so
+  /// no stale timeout can fire for a completed/cancelled request.
+  void erase_pending(std::vector<Pending>::iterator it);
 
   net::Network& network_;
   net::Address endpoint_;
   ObjectAdapter adapter_;
   RequestRouter* router_ = nullptr;
   std::uint64_t next_request_id_ = 1;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Flat store: only a handful of requests are in flight at once, so a
+  // linear scan beats a node-based map and reuses its capacity without
+  // allocating per request.
+  std::vector<Pending> pending_;
   sim::Duration default_timeout_ = 2 * sim::kSecond;
   OrbStats stats_;
 };

@@ -45,22 +45,36 @@ util::Bytes StubBase::invoke_operation(const std::string& operation,
   req.operation = operation;
   req.body = std::move(args);
 
-  ObjRef target = ref_;
   ReplyMessage rep;
   if (mediator_) {
     // Client-side aspect weaving: the mediator sees the call before the
     // ORB does and again when the reply returns. The request is retained
     // across the invocation so inbound() can correlate (e.g. cache fills
     // keyed by operation+arguments).
+    ObjRef target = ref_;
     if (auto local = mediator_->try_local(req, target)) {
       rep = *std::move(local);
     } else {
       mediator_->outbound(req, target);
-      rep = orb_.invoke(target, req);
-      mediator_->inbound(req, rep);
+      if (mediator_->needs_request_payload()) {
+        rep = orb_.invoke(target, req);
+        mediator_->inbound(req, rep);
+      } else {
+        // The mediator's inbound() only correlates on the header, so hand
+        // the (possibly large) body to the ORB by move instead of copying.
+        RequestMessage retained;
+        retained.request_id = req.request_id;
+        retained.kind = req.kind;
+        retained.qos_aware = req.qos_aware;
+        retained.object_key = req.object_key;
+        retained.target_module = req.target_module;
+        retained.operation = req.operation;
+        rep = orb_.invoke(target, std::move(req));
+        mediator_->inbound(retained, rep);
+      }
     }
   } else {
-    rep = orb_.invoke(target, std::move(req));
+    rep = orb_.invoke(ref_, std::move(req));
   }
   raise_for_status(rep);
   return std::move(rep.body);

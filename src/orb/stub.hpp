@@ -48,6 +48,14 @@ class ClientInterceptor {
     (void)req;
     (void)rep;
   }
+
+  /// Whether inbound() reads the request's body/context. When false the
+  /// stub moves the request (body included) into the ORB and retains only
+  /// the cheap header fields for inbound() correlation, sparing a copy of
+  /// the marshaled arguments. Payload transforms that only touch the reply
+  /// (compression, encryption) override this to false; the conservative
+  /// default keeps the full request alive.
+  virtual bool needs_request_payload() const { return true; }
 };
 
 /// Maps a non-OK reply onto the exception hierarchy. Shared by static

@@ -73,13 +73,21 @@ class EventLoop {
     }
   };
 
+  /// Exposes the underlying container so purge_cancelled() can compact it.
+  struct Queue : std::priority_queue<Entry, std::vector<Entry>, Later> {
+    std::vector<Entry>& container() noexcept { return c; }
+  };
+
   /// Pops and runs the earliest event; returns false if the queue is empty.
   bool step();
+
+  /// Removes cancelled entries still in the queue and rebuilds the heap.
+  void purge_cancelled();
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Queue queue_;
   std::unordered_set<EventId> cancelled_ids_;
 };
 

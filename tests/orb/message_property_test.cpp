@@ -1,0 +1,212 @@
+// Property tests for the GIOP-style message codecs and the flat
+// ServiceContext: randomized round-trips, wire-order determinism, and a
+// hand-built frame pinning the wire format the old std::map-based context
+// produced (sorted keys), so the flat representation cannot drift.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "orb/message.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::orb {
+namespace {
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t size) {
+  util::Bytes out;
+  out.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.next()));
+  }
+  return out;
+}
+
+std::string random_key(util::Rng& rng) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz._-";
+  const std::size_t len = 1 + rng.next_below(24);
+  std::string key;
+  key.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    key.push_back(kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)]);
+  }
+  return key;
+}
+
+ServiceContext random_context(util::Rng& rng, std::size_t max_entries) {
+  ServiceContext context;
+  const std::size_t n = rng.next_below(max_entries + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    context[random_key(rng)] = random_bytes(rng, rng.next_below(64));
+  }
+  return context;
+}
+
+TEST(MessageProperty, RequestRoundTripRandomized) {
+  util::Rng rng(0xF4F4);
+  for (int iter = 0; iter < 200; ++iter) {
+    RequestMessage req;
+    req.request_id = rng.next();
+    req.kind = rng.chance(0.3) ? RequestKind::kCommand
+                               : RequestKind::kServiceRequest;
+    req.qos_aware = rng.chance(0.5);
+    req.object_key = random_key(rng);
+    req.target_module = rng.chance(0.5) ? random_key(rng) : std::string{};
+    req.operation = random_key(rng);
+    req.context = random_context(rng, 8);
+    req.body = random_bytes(rng, rng.next_below(512));
+
+    const util::Bytes wire = req.encode();
+    ASSERT_EQ(wire.size(), req.encoded_size())
+        << "encoded_size() must match the bytes actually produced";
+    const RequestMessage back = RequestMessage::decode(wire);
+    EXPECT_EQ(back.request_id, req.request_id);
+    EXPECT_EQ(back.kind, req.kind);
+    EXPECT_EQ(back.qos_aware, req.qos_aware);
+    EXPECT_EQ(back.object_key, req.object_key);
+    EXPECT_EQ(back.target_module, req.target_module);
+    EXPECT_EQ(back.operation, req.operation);
+    EXPECT_EQ(back.context, req.context);
+    EXPECT_EQ(back.body, req.body);
+  }
+}
+
+TEST(MessageProperty, ReplyRoundTripRandomized) {
+  util::Rng rng(0xBEEF);
+  const ReplyStatus statuses[] = {
+      ReplyStatus::kOk,           ReplyStatus::kUserException,
+      ReplyStatus::kSystemException, ReplyStatus::kNotNegotiated,
+      ReplyStatus::kNoSuchObject, ReplyStatus::kBadOperation,
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    ReplyMessage rep;
+    rep.request_id = rng.next();
+    rep.status = statuses[rng.next_below(std::size(statuses))];
+    rep.exception =
+        rep.status == ReplyStatus::kOk ? std::string{} : random_key(rng);
+    rep.context = random_context(rng, 8);
+    rep.body = random_bytes(rng, rng.next_below(512));
+
+    const util::Bytes wire = rep.encode();
+    ASSERT_EQ(wire.size(), rep.encoded_size());
+    const ReplyMessage back = ReplyMessage::decode(wire);
+    EXPECT_EQ(back.request_id, rep.request_id);
+    EXPECT_EQ(back.status, rep.status);
+    EXPECT_EQ(back.exception, rep.exception);
+    EXPECT_EQ(back.context, rep.context);
+    EXPECT_EQ(back.body, rep.body);
+  }
+}
+
+TEST(MessageProperty, LargeBodyRoundTrip) {
+  util::Rng rng(0xCAFE);
+  RequestMessage req;
+  req.request_id = 42;
+  req.object_key = "bulk";
+  req.operation = "put";
+  req.body = random_bytes(rng, 100 * 1024);
+  req.context["qos.module"] = random_bytes(rng, 1024);
+
+  const RequestMessage back = RequestMessage::decode(req.encode());
+  EXPECT_EQ(back.body, req.body);
+  EXPECT_EQ(back.context, req.context);
+}
+
+TEST(MessageProperty, WireOrderIndependentOfInsertionOrder) {
+  // The old std::map context serialized keys in sorted order regardless of
+  // insertion order; the flat context must keep producing those bytes.
+  util::Rng rng(0x51DE);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::pair<std::string, util::Bytes>> entries;
+    const std::size_t n = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      entries.emplace_back(random_key(rng), random_bytes(rng, 16));
+    }
+
+    RequestMessage sorted_insert;
+    sorted_insert.request_id = 7;
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [key, value] : entries) {
+      sorted_insert.context[key] = value;
+    }
+
+    RequestMessage shuffled_insert;
+    shuffled_insert.request_id = 7;
+    // Deterministic shuffle via the seeded Rng.
+    for (std::size_t i = entries.size(); i > 1; --i) {
+      std::swap(entries[i - 1], entries[rng.next_below(i)]);
+    }
+    for (const auto& [key, value] : entries) {
+      shuffled_insert.context[key] = value;
+    }
+
+    EXPECT_EQ(sorted_insert.encode(), shuffled_insert.encode());
+  }
+}
+
+TEST(MessageProperty, DecodedContextKeysAreSorted) {
+  util::Rng rng(0xD00D);
+  RequestMessage req;
+  req.request_id = 1;
+  req.context = random_context(rng, 12);
+  const RequestMessage back = RequestMessage::decode(req.encode());
+  std::string prev;
+  bool first = true;
+  for (const auto& [key, value] : back.context) {
+    if (!first) EXPECT_LT(prev, key);
+    prev = key;
+    first = false;
+  }
+}
+
+TEST(MessageProperty, WireFormatPinnedAgainstHandBuiltFrame) {
+  // Byte-for-byte reference frame, written out the way the pre-flat
+  // (std::map) encoder laid it down: magic, u64 id, kind, qos flag,
+  // length-prefixed strings, count-prefixed context sorted by key,
+  // length-prefixed body. All integers little-endian.
+  RequestMessage req;
+  req.request_id = 0x0102030405060708ULL;
+  req.kind = RequestKind::kServiceRequest;
+  req.qos_aware = true;
+  req.object_key = "obj";
+  req.target_module = "";
+  req.operation = "op";
+  req.context["b"] = util::Bytes{0xBB};
+  req.context["a"] = util::Bytes{0xAA};
+  req.body = util::Bytes{0x01, 0x02};
+
+  const util::Bytes expected = {
+      0xA1,                                            // request magic
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // request id (LE)
+      0x00,                                            // kind = service
+      0x01,                                            // qos_aware
+      0x03, 0x00, 0x00, 0x00, 'o',  'b',  'j',         // object_key
+      0x00, 0x00, 0x00, 0x00,                          // target_module ""
+      0x02, 0x00, 0x00, 0x00, 'o',  'p',               // operation
+      0x02, 0x00, 0x00, 0x00,                          // context count
+      0x01, 0x00, 0x00, 0x00, 'a',                     // key "a" first
+      0x01, 0x00, 0x00, 0x00, 0xAA,                    //   value
+      0x01, 0x00, 0x00, 0x00, 'b',                     // key "b" second
+      0x01, 0x00, 0x00, 0x00, 0xBB,                    //   value
+      0x02, 0x00, 0x00, 0x00, 0x01, 0x02,              // body
+  };
+  EXPECT_EQ(req.encode(), expected);
+}
+
+TEST(MessageProperty, ContextDuplicateInsertOverwrites) {
+  ServiceContext context;
+  context["k"] = util::Bytes{1};
+  context["k"] = util::Bytes{2};
+  EXPECT_EQ(context.size(), 1u);
+  EXPECT_EQ(context.at("k"), util::Bytes{2});
+  context.set("k", util::Bytes{3});
+  EXPECT_EQ(context.at("k"), util::Bytes{3});
+  EXPECT_TRUE(context.erase("k"));
+  EXPECT_FALSE(context.erase("k"));
+  EXPECT_TRUE(context.empty());
+}
+
+}  // namespace
+}  // namespace maqs::orb
