@@ -23,6 +23,7 @@
 #include "characteristics/compression.hpp"
 #include "characteristics/encryption.hpp"
 #include "core/mediator.hpp"
+#include "trace/trace.hpp"
 
 // ---- allocation counters (single-threaded bench, plain globals) ----
 
@@ -121,6 +122,18 @@ void run_scenarios(std::vector<Row>& rows) {
     rows.push_back(measure("plain", "add", [&] { stub.add(1, 2); }));
     rows.push_back(
         measure("plain", "blob4k", [&] { stub.blob(blob_data); }));
+
+    // Tracing overhead, same world: recorder installed but disabled (the
+    // branch-and-skip cost the zero-cost-when-off claim is about), then
+    // enabled with head sampling at 1 (every request fully traced).
+    trace::TraceRecorder recorder(world.loop);
+    world.client.set_trace_recorder(&recorder);
+    world.server.set_trace_recorder(&recorder);
+    rows.push_back(
+        measure("plain_trace_off", "add", [&] { stub.add(1, 2); }));
+    recorder.set_enabled(true);
+    rows.push_back(
+        measure("plain_trace_sampled", "add", [&] { stub.add(1, 2); }));
   }
 
   {  // qos_unmodified: QoS-aware reference, no module assigned -> fallback
@@ -187,6 +200,17 @@ void run_scenarios(std::vector<Row>& rows) {
                            [&] { stub.add(1, 2); }));
     rows.push_back(measure("woven_compress_encrypt", "blob4k",
                            [&] { stub.blob(blob_data); }));
+
+    // Tracing cost on the woven path: ~19 spans per request (mediators,
+    // transport, transits, skeleton stages) when sampled.
+    trace::TraceRecorder recorder(world.loop);
+    world.client.set_trace_recorder(&recorder);
+    world.server.set_trace_recorder(&recorder);
+    rows.push_back(
+        measure("woven_trace_off", "add", [&] { stub.add(1, 2); }));
+    recorder.set_enabled(true);
+    rows.push_back(
+        measure("woven_trace_sampled", "add", [&] { stub.add(1, 2); }));
   }
 }
 

@@ -12,8 +12,10 @@
 #include "characteristics/actuality.hpp"
 #include "characteristics/compression.hpp"
 #include "core/negotiation.hpp"
+#include "core/stats.hpp"
 #include "net/network.hpp"
 #include "support/qos_echo_example.hpp"
+#include "trace/trace.hpp"
 
 using namespace maqs;
 
@@ -42,6 +44,12 @@ int main() {
 
   orb::Orb sensor(network, "sensor", 9000);
   orb::Orb gateway(network, "gateway", 9001);
+  // One recorder shared by both ends: client and server spans of each
+  // request land in the same ring, joined by the propagated context.
+  trace::TraceRecorder recorder(loop);
+  recorder.set_enabled(true);
+  sensor.set_trace_recorder(&recorder);
+  gateway.set_trace_recorder(&recorder);
   // Bulk transfers over 64 kbit/s take seconds; raise the RPC timeout.
   gateway.set_default_timeout(120 * sim::kSecond);
   core::QosTransport sensor_transport(sensor);
@@ -97,6 +105,7 @@ int main() {
 
   // --- freshness bound honoured; refetch is now compressed ---
   loop.run_for(40 * sim::kSecond);  // cache entry ages out
+  recorder.clear();  // keep only the refetch in the dump below
   t0 = loop.now();
   stub.fetch_archive();
   std::cout << "stale refetch:      " << sim::to_millis(loop.now() - t0)
@@ -106,5 +115,16 @@ int main() {
       std::dynamic_pointer_cast<core::CompositeMediator>(stub.mediator());
   std::cout << "mediator chain length on the stub: " << composite->size()
             << " (Compression + Actuality woven together)\n";
+
+  // The unified counter view: one snapshot gathers the gateway ORB's
+  // dispatch counters, its transport's routing decisions, the shared
+  // network's byte counts and the recorder's sampling totals.
+  std::cout << "\n--- gateway stats snapshot ---\n"
+            << core::collect_stats(gateway, &gateway_transport).to_string();
+
+  // Where did the stale refetch spend its time? The last trace in the
+  // ring shows the woven path stage by stage.
+  std::cout << "\n--- last trace (stale refetch) ---\n";
+  recorder.dump_tree(std::cout);
   return 0;
 }

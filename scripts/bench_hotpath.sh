@@ -1,8 +1,10 @@
 #!/bin/sh
 # Rebuilds the tracked perf benches in Release and refreshes
 # BENCH_hotpath.json at the repo root. Run after touching the request hot
-# path (cdr/, orb/message, orb/orb, net/network, sim/event_loop) and
-# commit the refreshed JSON alongside the change.
+# path (cdr/, orb/message, orb/orb, net/network, sim/event_loop, trace/)
+# and commit the refreshed JSON alongside the change. The *_trace_off rows
+# guard the zero-cost-when-off claim: they must stay within noise of the
+# untraced rows.
 set -e
 
 cd "$(dirname "$0")/.."

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace maqs::core {
 
 void CompositeMediator::add(std::shared_ptr<Mediator> mediator) {
@@ -41,7 +43,10 @@ std::optional<orb::ReplyMessage> CompositeMediator::try_local(
 
 void CompositeMediator::outbound(orb::RequestMessage& req,
                                  orb::ObjRef& target) {
+  // One span per characteristic: the trace attributes transform cost to
+  // the mediator that caused it (compress vs. encrypt), not to the chain.
   for (const auto& mediator : chain_) {
+    trace::SpanScope span("mediator.outbound", mediator->characteristic());
     mediator->outbound(req, target);
   }
 }
@@ -59,6 +64,7 @@ void CompositeMediator::inbound(const orb::RequestMessage& req,
   // and must be undone first — e.g. outbound [compress, encrypt] yields
   // encrypt(compress(x)), so inbound runs decrypt, then decompress.
   for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+    trace::SpanScope span("mediator.inbound", (*it)->characteristic());
     (*it)->inbound(req, rep);
   }
 }

@@ -1,5 +1,7 @@
 #include "core/qos_skeleton.hpp"
 
+#include "trace/trace.hpp"
+
 namespace maqs::core {
 
 StateAccess* QosServerContext::state_access() {
@@ -106,23 +108,36 @@ void QosServantBase::dispatch(const std::string& operation,
   // last one is outermost on the wire); result transforms run in
   // installation order so the client chain can peel them back.
   if (impls_.empty()) {
+    trace::SpanScope app_span("skeleton.app", operation);
     dispatch_app(operation, args, out, ctx);
     return;
   }
-  for (const auto& impl : impls_) impl->prolog(ctx);
+  // Each weaving stage gets its own span (detail = characteristic) so a
+  // trace shows where the woven dispatch spends its time — prolog vs.
+  // transform vs. the application itself.
+  for (const auto& impl : impls_) {
+    trace::SpanScope span("skeleton.prolog", impl->characteristic());
+    impl->prolog(ctx);
+  }
   util::Bytes raw_args = args.read_remaining();
   for (auto rit = impls_.rbegin(); rit != impls_.rend(); ++rit) {
+    trace::SpanScope span("skeleton.transform_args", (*rit)->characteristic());
     raw_args = (*rit)->transform_args(std::move(raw_args), ctx);
   }
   cdr::Decoder transformed_args{util::BytesView(raw_args)};
   cdr::Encoder app_out;
-  dispatch_app(operation, transformed_args, app_out, ctx);
+  {
+    trace::SpanScope app_span("skeleton.app", operation);
+    dispatch_app(operation, transformed_args, app_out, ctx);
+  }
   util::Bytes result = app_out.take();
   for (const auto& impl : impls_) {
+    trace::SpanScope span("skeleton.transform_result", impl->characteristic());
     result = impl->transform_result(std::move(result), ctx);
   }
   out.write_raw(result);
   for (auto rit = impls_.rbegin(); rit != impls_.rend(); ++rit) {
+    trace::SpanScope span("skeleton.epilog", (*rit)->characteristic());
     (*rit)->epilog(ctx);
   }
 }

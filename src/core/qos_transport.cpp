@@ -2,6 +2,7 @@
 
 #include "core/characteristic.hpp"
 #include "orb/dii.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace maqs::core {
@@ -205,6 +206,7 @@ orb::ReplyMessage QosTransport::route(const orb::ObjRef& target,
     QosModule* module = find_module(it->second);
     if (module != nullptr) {
       ++stats_.requests_via_module;
+      trace::SpanScope span("transport.module", it->second);
       return module->invoke(std::move(req), target);
     }
   }
@@ -212,6 +214,7 @@ orb::ReplyMessage QosTransport::route(const orb::ObjRef& target,
   // GIOP/IIOP module is used" — the bootstrap path for negotiation and
   // QoS-to-QoS traffic.
   ++stats_.requests_fallback_plain;
+  trace::SpanScope span("transport.plain");
   return orb_.invoke_plain(target.endpoint, std::move(req));
 }
 
@@ -220,6 +223,7 @@ std::optional<orb::ReplyMessage> QosTransport::inbound(
   if (req.kind == orb::RequestKind::kCommand) {
     // Module-command or transport-command ("Modul-Command" vs
     // "Transport-Command" in Fig. 3).
+    trace::SpanScope span("transport.command", req.operation);
     try {
       const std::vector<cdr::Any> args = orb::decode_command_args(req.body);
       if (req.target_module.empty()) {
@@ -239,6 +243,7 @@ std::optional<orb::ReplyMessage> QosTransport::inbound(
       QosModule& module = load_module(req.target_module);
       return command_reply(req.request_id, module.command(req.operation, args));
     } catch (const Error& e) {
+      trace::note_error(e.what());
       return command_error(req.request_id, e.what());
     }
   }
@@ -257,6 +262,7 @@ std::optional<orb::ReplyMessage> QosTransport::inbound(
       module->restore_request(req);
       ++stats_.inbound_module_transforms;
     } catch (const Error& e) {
+      trace::note_error(e.what());
       return command_error(req.request_id,
                            std::string("qos-transport inbound: ") + e.what());
     }

@@ -1,0 +1,80 @@
+#include "core/stats.hpp"
+
+namespace maqs::core {
+
+namespace {
+
+void line(std::string& out, const char* key, std::uint64_t value) {
+  out += key;
+  out += " = ";
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string StatsSnapshot::to_string() const {
+  std::string out;
+  out.reserve(1024);
+  out += "[orb]\n";
+  line(out, "requests_sent", orb.requests_sent);
+  line(out, "requests_dispatched", orb.requests_dispatched);
+  line(out, "commands_dispatched", orb.commands_dispatched);
+  line(out, "plain_path", orb.plain_path);
+  line(out, "qos_path", orb.qos_path);
+  line(out, "replies_orphaned", orb.replies_orphaned);
+  line(out, "timeouts", orb.timeouts);
+  line(out, "bytes_marshaled_out", orb.bytes_marshaled_out);
+  line(out, "bytes_marshaled_in", orb.bytes_marshaled_in);
+  if (has_transport) {
+    out += "[qos-transport]\n";
+    line(out, "requests_via_module", transport.requests_via_module);
+    line(out, "requests_fallback_plain", transport.requests_fallback_plain);
+    line(out, "commands_to_transport", transport.commands_to_transport);
+    line(out, "commands_to_module", transport.commands_to_module);
+    line(out, "inbound_module_transforms",
+         transport.inbound_module_transforms);
+    line(out, "modules_loaded", transport.modules_loaded);
+  }
+  out += "[net]\n";
+  line(out, "messages_sent", net.messages_sent);
+  line(out, "messages_delivered", net.messages_delivered);
+  line(out, "messages_dropped", net.messages_dropped);
+  line(out, "retransmissions", net.retransmissions);
+  line(out, "bytes_sent", net.bytes_sent);
+  line(out, "bytes_delivered", net.bytes_delivered);
+  if (has_trace) {
+    out += "[trace]\n";
+    line(out, "traces_started", trace.traces_started);
+    line(out, "traces_sampled", trace.traces_sampled);
+    line(out, "spans_recorded", trace.spans_recorded);
+    line(out, "spans_evicted", trace.spans_evicted);
+    line(out, "span_errors", trace.span_errors);
+  }
+  return out;
+}
+
+StatsSnapshot collect_stats(const orb::Orb& orb,
+                            const QosTransport* transport) {
+  StatsSnapshot snap;
+  snap.orb = orb.stats();
+  snap.net = orb.network().stats();
+  if (transport != nullptr) {
+    snap.transport = transport->stats();
+    snap.has_transport = true;
+  }
+  if (const maqs::trace::TraceRecorder* rec = orb.trace_recorder()) {
+    snap.trace = rec->stats();
+    snap.has_trace = true;
+  }
+  return snap;
+}
+
+void attach_recorder(Monitor& monitor, trace::TraceRecorder& recorder) {
+  recorder.set_metrics_sink(
+      [&monitor](const std::string& metric, sim::TimePoint at, double millis) {
+        monitor.record(metric, at, millis);
+      });
+}
+
+}  // namespace maqs::core

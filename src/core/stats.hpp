@@ -1,0 +1,48 @@
+// One snapshot type for every counter the middleware keeps: ORB dispatch
+// counters, QoS transport routing counters, network counters and the trace
+// recorder's counters. The paper treats monitoring as its own concern
+// (§2.1); this is the read-side of that concern — a single call that
+// gathers the per-layer stats structs instead of callers chasing four
+// accessors, and one formatter for examples and tools.
+#pragma once
+
+#include <string>
+
+#include "core/monitoring.hpp"
+#include "core/qos_transport.hpp"
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "trace/trace.hpp"
+
+namespace maqs::core {
+
+/// Merged view of the observability counters around one ORB. The `has_*`
+/// flags record which optional layers were present at collection time so
+/// to_string() can omit absent sections instead of printing zeros.
+struct StatsSnapshot {
+  orb::OrbStats orb;
+  TransportStats transport;
+  net::NetStats net;
+  trace::RecorderStats trace;
+  bool has_transport = false;
+  bool has_trace = false;
+
+  /// Human-readable multi-line dump ("orb.requests_sent = 12" style),
+  /// stable ordering, suitable for example output and golden logs.
+  std::string to_string() const;
+};
+
+/// Gathers the counters reachable from `orb`: its own stats, its
+/// network's, its trace recorder's (when installed) and — when `transport`
+/// is non-null — the QoS transport's routing stats.
+StatsSnapshot collect_stats(const orb::Orb& orb,
+                            const QosTransport* transport = nullptr);
+
+/// Feeds every recorded span's duration into `monitor` as a sample of
+/// metric "span.<name>" (milliseconds, timestamped at span start). This is
+/// the bridge from tracing to the paper's monitoring concern: thresholds
+/// and violation handlers on span metrics work like on any other series.
+/// Both objects must outlive the subscription (recorder holds a reference).
+void attach_recorder(Monitor& monitor, trace::TraceRecorder& recorder);
+
+}  // namespace maqs::core

@@ -3,13 +3,29 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace maqs::net {
 
 namespace {
 constexpr int kMaxRetransmissions = 16;
+
+/// Transit span detail: "src>dst <bytes>B [queue=<ns>ns] [retx=<n>]".
+/// Built only when a trace is in flight; all values are virtual-time
+/// deterministic.
+std::string transit_detail(const Address& from, const Address& to,
+                           std::size_t bytes, sim::Duration queue_wait,
+                           int retransmits) {
+  std::string detail = from.node + ">" + to.node;
+  detail += " " + std::to_string(bytes) + "B";
+  if (queue_wait > 0) {
+    detail += " queue=" + std::to_string(queue_wait) + "ns";
+  }
+  if (retransmits > 0) detail += " retx=" + std::to_string(retransmits);
+  return detail;
 }
+}  // namespace
 
 Network::Network(sim::EventLoop& loop, std::uint64_t seed)
     : loop_(loop), rng_(seed) {}
@@ -135,12 +151,22 @@ void Network::send(const Address& from, const Address& to,
   stats_.bytes_sent += payload.size();
   *path.pair_bytes += payload.size();
 
+  const trace::SpanScope::Active* act = trace::SpanScope::active();
+
   if (!path.src->alive) {
     ++stats_.messages_dropped;
+    if (act != nullptr) {
+      act->recorder->record_complete(
+          act->ctx, "net.transit",
+          transit_detail(from, to, payload.size(), 0, 0), loop_.now(),
+          loop_.now(), "dropped: source down");
+    }
     return;
   }
 
   sim::Duration delay;
+  sim::Duration queue_wait = 0;
+  int retransmits = 0;
   if (path.link == nullptr) {  // loopback
     delay = loopback_latency_;
   } else {
@@ -154,7 +180,8 @@ void Network::send(const Address& from, const Address& to,
       sim::TimePoint& busy = busy_until_[{from.node, to.node}];
       const sim::TimePoint start = std::max(loop_.now(), busy);
       busy = start + transmit;
-      delay = (start - loop_.now()) + transmit + lp.latency;
+      queue_wait = start - loop_.now();
+      delay = queue_wait + transmit + lp.latency;
     } else {
       // Infinite bandwidth: transmission is instant and the link never
       // serializes, so skip the busy-until bookkeeping entirely.
@@ -168,15 +195,32 @@ void Network::send(const Address& from, const Address& to,
     // retransmission timeout (2x latency + transmit), as a TCP-like
     // transport would exhibit. After kMaxRetransmissions the "connection"
     // is declared broken and the message is dropped.
-    int attempts = 0;
     while (lp.loss_rate > 0.0 && rng_.chance(lp.loss_rate)) {
-      if (++attempts > kMaxRetransmissions) {
+      if (++retransmits > kMaxRetransmissions) {
         ++stats_.messages_dropped;
+        if (act != nullptr) {
+          act->recorder->record_complete(
+              act->ctx, "net.transit",
+              transit_detail(from, to, payload.size(), queue_wait,
+                             retransmits - 1),
+              loop_.now(), loop_.now() + delay,
+              "dropped: retransmission cap");
+        }
         return;
       }
       ++stats_.retransmissions;
       delay += 2 * lp.latency + transmit;
     }
+  }
+
+  // Transit span of the trace active at send time, closed at the computed
+  // delivery instant: queueing and retransmission delay are visible as
+  // span length (plus the detail breakdown) without waiting for delivery.
+  if (act != nullptr) {
+    act->recorder->record_complete(
+        act->ctx, "net.transit",
+        transit_detail(from, to, payload.size(), queue_wait, retransmits),
+        loop_.now(), loop_.now() + delay);
   }
 
   const std::size_t slot =

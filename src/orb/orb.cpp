@@ -1,7 +1,9 @@
 #include "orb/orb.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace maqs::orb {
@@ -166,6 +168,19 @@ void Orb::on_frame(const net::Address& from, const util::Bytes& data) {
 
 void Orb::handle_request(const net::Address& from, RequestMessage req) {
   const std::uint64_t request_id = req.request_id;
+  // Re-attach the client's trace so server spans (and the reply's transit
+  // span, sent below while the scope is open) share it. When no recorder
+  // is installed the entry is ignored — tolerance for tracing peers.
+  std::optional<trace::SpanScope> scope;
+  if (trace_recorder_ != nullptr && trace_recorder_->enabled()) {
+    if (auto tag = req.context.find(trace::kTraceContextKey);
+        tag != req.context.end()) {
+      if (auto ctx = trace::decode_context(tag->second)) {
+        scope.emplace(*trace_recorder_, *ctx, "server.request",
+                      req.operation);
+      }
+    }
+  }
   ReplyMessage rep = dispatch(std::move(req), from);
   rep.request_id = request_id;
   util::Bytes wire = rep.encode();
@@ -217,6 +232,7 @@ ReplyMessage Orb::dispatch(RequestMessage req, const net::Address& from) {
     }
     return rep;
   } catch (const Error& e) {
+    trace::note_error(e.what());
     ReplyMessage rep;
     rep.request_id = req.request_id;
     rep.status = ReplyStatus::kSystemException;
@@ -242,25 +258,31 @@ ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
   cdr::Encoder out(req.body.size() + 32);
   ServerContext ctx(req, from, rep.context);
   try {
+    trace::SpanScope span("adapter.dispatch", req.operation);
     servant->dispatch(req.operation, args, out, ctx);
     rep.status = ReplyStatus::kOk;
     rep.body = out.take();
   } catch (const NotNegotiated& e) {
+    trace::note_error(e.what());
     rep.status = ReplyStatus::kNotNegotiated;
     rep.exception = e.what();
   } catch (const BadOperation& e) {
+    trace::note_error(e.what());
     rep.status = ReplyStatus::kBadOperation;
     rep.exception = e.what();
   } catch (const UserException& e) {
+    trace::note_error(e.what());
     rep.status = ReplyStatus::kUserException;
     rep.exception = e.id();
     cdr::Encoder exc_body;
     exc_body.write_string(e.detail());
     rep.body = exc_body.take();
   } catch (const cdr::CdrError& e) {
+    trace::note_error(e.what());
     rep.status = ReplyStatus::kSystemException;
     rep.exception = std::string("maqs/MARSHAL: ") + e.what();
   } catch (const Error& e) {
+    trace::note_error(e.what());
     rep.status = ReplyStatus::kSystemException;
     rep.exception = e.what();
   }

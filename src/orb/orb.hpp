@@ -29,6 +29,10 @@
 #include "orb/ior.hpp"
 #include "orb/message.hpp"
 
+namespace maqs::trace {
+class TraceRecorder;
+}
+
 namespace maqs::orb {
 
 /// Extension point implemented by the QoS transport (maqs::core). See file
@@ -73,6 +77,7 @@ class Orb {
   Orb& operator=(const Orb&) = delete;
 
   net::Network& network() noexcept { return network_; }
+  const net::Network& network() const noexcept { return network_; }
   sim::EventLoop& loop() noexcept { return network_.loop(); }
   const net::Address& endpoint() const noexcept { return endpoint_; }
   ObjectAdapter& adapter() noexcept { return adapter_; }
@@ -82,6 +87,17 @@ class Orb {
   /// Installs/uninstalls the QoS transport. Not owned.
   void set_router(RequestRouter* router) noexcept { router_ = router; }
   RequestRouter* router() const noexcept { return router_; }
+
+  /// Installs/uninstalls the causal trace recorder (not owned; may be
+  /// shared between ORBs so client and server spans land in one ring).
+  /// nullptr (the default) keeps every instrumentation point on the
+  /// branch-and-skip fast path.
+  void set_trace_recorder(trace::TraceRecorder* recorder) noexcept {
+    trace_recorder_ = recorder;
+  }
+  trace::TraceRecorder* trace_recorder() const noexcept {
+    return trace_recorder_;
+  }
 
   void set_default_timeout(sim::Duration timeout) noexcept {
     default_timeout_ = timeout;
@@ -166,6 +182,7 @@ class Orb {
   net::Address endpoint_;
   ObjectAdapter adapter_;
   RequestRouter* router_ = nullptr;
+  trace::TraceRecorder* trace_recorder_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   // Flat store: only a handful of requests are in flight at once, so a
   // linear scan beats a node-based map and reuses its capacity without

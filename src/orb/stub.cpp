@@ -1,6 +1,9 @@
 #include "orb/stub.hpp"
 
+#include <optional>
+
 #include "cdr/decoder.hpp"
+#include "trace/trace.hpp"
 
 namespace maqs::orb {
 
@@ -44,6 +47,22 @@ util::Bytes StubBase::invoke_operation(const std::string& operation,
   req.object_key = ref_.object_key;
   req.operation = operation;
   req.body = std::move(args);
+
+  // Causal tracing is minted here, at the invocation interface: one root
+  // span covers the whole blocking call (mediator weaving, transport
+  // dispatch, wire, reply unweaving), and the context entry lets the
+  // server re-attach its spans to the same trace. Sampled-out traces pay
+  // nothing — no scope, no wire entry.
+  std::optional<trace::SpanScope> span;
+  if (trace::TraceRecorder* rec = orb_.trace_recorder();
+      rec != nullptr && rec->enabled()) {
+    const trace::TraceContext minted = rec->make_trace();
+    if (minted.sampled()) {
+      span.emplace(*rec, minted, "client.request", operation);
+      req.context.set(trace::kTraceContextKey,
+                      trace::encode_context(span->context()));
+    }
+  }
 
   ReplyMessage rep;
   if (mediator_) {

@@ -1,0 +1,325 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace maqs::trace {
+
+// ---- wire codec ----
+
+namespace {
+constexpr std::size_t kWireSize = 17;  // u64 + u64 + u8
+
+void put_u64_le(util::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64_le(util::BytesView data, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data[at + i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+util::Bytes encode_context(const TraceContext& ctx) {
+  util::Bytes out;
+  out.reserve(kWireSize);
+  put_u64_le(out, ctx.trace_id);
+  put_u64_le(out, ctx.span_id);
+  out.push_back(ctx.flags);
+  return out;
+}
+
+std::optional<TraceContext> decode_context(util::BytesView data) {
+  if (data.size() != kWireSize) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = get_u64_le(data, 0);
+  ctx.span_id = get_u64_le(data, 8);
+  ctx.flags = data[16];
+  if (!ctx.valid()) return std::nullopt;
+  return ctx;
+}
+
+// ---- TraceRecorder ----
+
+TraceRecorder::TraceRecorder(sim::EventLoop& loop, std::size_t capacity)
+    : loop_(loop), capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceContext TraceRecorder::make_trace() {
+  ++stats_.traces_started;
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_++;
+  // Head sampling: the whole trace records or none of it does; the bit
+  // rides the wire so the server never second-guesses the decision.
+  if (sample_every_ != 0 &&
+      (stats_.traces_started - 1) % sample_every_ == 0) {
+    ctx.flags = kSampledFlag;
+    ++stats_.traces_sampled;
+  }
+  return ctx;
+}
+
+void TraceRecorder::record(TraceId trace_id, SpanId span_id, SpanId parent_id,
+                           const char* name, std::string detail,
+                           sim::TimePoint start, sim::TimePoint end,
+                           std::string error) {
+  ++stats_.spans_recorded;
+  if (!error.empty()) ++stats_.span_errors;
+  if (metrics_sink_) {
+    metrics_sink_(std::string("span.") + name, end,
+                  sim::to_millis(end - start));
+  }
+  if (capacity_ == 0) {
+    ++stats_.spans_evicted;
+    return;
+  }
+  Span span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_id = parent_id;
+  span.name = name;
+  span.detail = std::move(detail);
+  span.start = start;
+  span.end = end;
+  span.error = std::move(error);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[ring_head_] = std::move(span);
+    ring_head_ = (ring_head_ + 1) % capacity_;
+    ++stats_.spans_evicted;
+  }
+}
+
+void TraceRecorder::record_complete(const TraceContext& parent,
+                                    const char* name, std::string detail,
+                                    sim::TimePoint start, sim::TimePoint end,
+                                    std::string error) {
+  record(parent.trace_id, next_span_id(), parent.span_id, name,
+         std::move(detail), start, end, std::move(error));
+}
+
+std::vector<Span> TraceRecorder::spans() const {
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring wrapped, ring_head_ is the oldest slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  ring_head_ = 0;
+}
+
+// ---- exports ----
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars);
+/// span names and details are ASCII by construction.
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Virtual nanoseconds -> chrome trace microseconds, fixed 3 decimals so
+/// the export is byte-deterministic.
+void write_micros(std::ostream& os, sim::TimePoint t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", t / 1000,
+                static_cast<int>(t % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+void TraceRecorder::export_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    write_json_escaped(os, span.name);
+    os << "\",\"cat\":\"maqs\",\"ph\":\"X\",\"ts\":";
+    write_micros(os, span.start);
+    os << ",\"dur\":";
+    write_micros(os, span.duration());
+    // One chrome "thread" per trace keeps concurrent traces on separate
+    // rows of the timeline.
+    os << ",\"pid\":1,\"tid\":" << span.trace_id;
+    os << ",\"args\":{\"trace\":" << span.trace_id
+       << ",\"span\":" << span.span_id << ",\"parent\":" << span.parent_id;
+    if (!span.detail.empty()) {
+      os << ",\"detail\":\"";
+      write_json_escaped(os, span.detail);
+      os << "\"";
+    }
+    if (!span.error.empty()) {
+      os << ",\"error\":\"";
+      write_json_escaped(os, span.error);
+      os << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::dump_tree(std::ostream& os) const {
+  const std::vector<Span> all = spans();
+  // Group spans by trace in order of first appearance; within a trace,
+  // children hang under their parent sorted by start time.
+  std::vector<TraceId> trace_order;
+  std::unordered_map<TraceId, std::vector<std::size_t>> by_trace;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    auto [it, inserted] = by_trace.try_emplace(all[i].trace_id);
+    if (inserted) trace_order.push_back(all[i].trace_id);
+    it->second.push_back(i);
+  }
+
+  for (TraceId trace_id : trace_order) {
+    const std::vector<std::size_t>& members = by_trace[trace_id];
+    std::unordered_map<SpanId, std::vector<std::size_t>> children;
+    std::unordered_map<SpanId, bool> present;
+    for (std::size_t i : members) present[all[i].span_id] = true;
+    std::vector<std::size_t> roots;
+    for (std::size_t i : members) {
+      // Spans whose parent was evicted (or lives in another recorder)
+      // surface as roots instead of vanishing.
+      if (all[i].parent_id != 0 && present.count(all[i].parent_id) != 0) {
+        children[all[i].parent_id].push_back(i);
+      } else {
+        roots.push_back(i);
+      }
+    }
+    auto by_start = [&](std::size_t a, std::size_t b) {
+      if (all[a].start != all[b].start) return all[a].start < all[b].start;
+      return all[a].span_id < all[b].span_id;
+    };
+    std::sort(roots.begin(), roots.end(), by_start);
+    for (auto& [_, kids] : children) {
+      std::sort(kids.begin(), kids.end(), by_start);
+    }
+
+    os << "trace " << trace_id << ": " << members.size() << " span"
+       << (members.size() == 1 ? "" : "s") << "\n";
+    // Explicit stack: traces can be deep when modules re-invoke.
+    std::vector<std::pair<std::size_t, int>> stack;
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+      stack.emplace_back(*it, 1);
+    }
+    while (!stack.empty()) {
+      auto [i, depth] = stack.back();
+      stack.pop_back();
+      const Span& span = all[i];
+      for (int d = 0; d < depth; ++d) os << "  ";
+      os << span.name;
+      if (!span.detail.empty()) os << "(" << span.detail << ")";
+      os << " [" << span.start << " .. " << span.end << "] "
+         << span.duration() << "ns";
+      if (!span.error.empty()) os << " !error: " << span.error;
+      os << "\n";
+      auto kids = children.find(span.span_id);
+      if (kids != children.end()) {
+        for (auto it = kids->second.rbegin(); it != kids->second.rend();
+             ++it) {
+          stack.emplace_back(*it, depth + 1);
+        }
+      }
+    }
+  }
+}
+
+// ---- SpanScope ----
+
+namespace {
+/// Innermost recording scope. Single-threaded simulator: a plain global
+/// stack, pushed/popped in strict LIFO order even across nested pumping.
+SpanScope* g_top = nullptr;
+}  // namespace
+
+SpanScope::SpanScope(const char* name, std::string_view detail) {
+  if (g_top == nullptr) return;  // no trace in flight: free
+  open(*g_top->active_.recorder, g_top->active_.ctx.trace_id,
+       g_top->active_.ctx.span_id, g_top->active_.ctx.flags, name, detail);
+}
+
+SpanScope::SpanScope(TraceRecorder& recorder, const TraceContext& parent,
+                     const char* name, std::string_view detail) {
+  if (!recorder.enabled() || !parent.valid() || !parent.sampled()) return;
+  open(recorder, parent.trace_id, parent.span_id, parent.flags, name,
+       detail);
+}
+
+void SpanScope::open(TraceRecorder& recorder, TraceId trace_id,
+                     SpanId parent, std::uint8_t flags, const char* name,
+                     std::string_view detail) {
+  recording_ = true;
+  active_.recorder = &recorder;
+  active_.ctx = TraceContext{trace_id, recorder.next_span_id(), flags};
+  parent_id_ = parent;
+  name_ = name;
+  detail_.assign(detail);
+  start_ = recorder.now();
+  prev_ = g_top;
+  g_top = this;
+  // Exceptions thrown under this scope stamp its trace id (util cannot
+  // depend on this library, so the slot lives next to maqs::Error).
+  prev_error_id_ = trace_detail::active_trace_id();
+  trace_detail::set_active_trace_id(trace_id);
+}
+
+SpanScope::~SpanScope() {
+  if (!recording_) return;
+  g_top = prev_;
+  trace_detail::set_active_trace_id(prev_error_id_);
+  active_.recorder->record(active_.ctx.trace_id, active_.ctx.span_id,
+                           parent_id_, name_, std::move(detail_), start_,
+                           active_.recorder->now(), std::move(error_));
+}
+
+const SpanScope::Active* SpanScope::active() noexcept {
+  return g_top != nullptr ? &g_top->active_ : nullptr;
+}
+
+bool tracing_active() noexcept { return g_top != nullptr; }
+
+TraceContext current_context() noexcept {
+  const SpanScope::Active* act = SpanScope::active();
+  return act != nullptr ? act->ctx : TraceContext{};
+}
+
+void note_error(std::string_view what) {
+  if (g_top != nullptr) g_top->error_.assign(what);
+}
+
+}  // namespace maqs::trace

@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+namespace maqs::trace_detail {
+
+namespace {
+// Single-threaded discrete-event simulator: one process-wide slot.
+std::uint64_t g_active_trace_id = 0;
+}  // namespace
+
+std::uint64_t active_trace_id() noexcept { return g_active_trace_id; }
+
+void set_active_trace_id(std::uint64_t id) noexcept {
+  g_active_trace_id = id;
+}
+
+}  // namespace maqs::trace_detail

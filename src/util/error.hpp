@@ -3,16 +3,40 @@
 // Per the C++ Core Guidelines (I.10, E.2) errors that prevent a function
 // from doing its job are reported as exceptions. Every MAQS-specific
 // exception derives from maqs::Error so callers can catch the whole family.
+//
+// Every Error is stamped with the causal trace id active at construction
+// (0 when none), so failed negotiations and module faults are attributable
+// to a trace in the recorder's dump. The slot lives here — not in the
+// trace library — because util sits below trace in the layering;
+// trace::SpanScope maintains it.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace maqs {
 
+namespace trace_detail {
+
+/// Trace id of the innermost recording span scope (0 when none).
+std::uint64_t active_trace_id() noexcept;
+
+/// Maintained by trace::SpanScope; not for application use.
+void set_active_trace_id(std::uint64_t id) noexcept;
+
+}  // namespace trace_detail
+
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), trace_id_(trace_detail::active_trace_id()) {}
+
+  /// Trace under which this error was raised; 0 when none was active.
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+
+ private:
+  std::uint64_t trace_id_;
 };
 
 }  // namespace maqs

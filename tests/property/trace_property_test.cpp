@@ -1,0 +1,62 @@
+// Property tests for the trace-context wire codec.
+//
+//  P1  round trip: decode(encode(ctx)) == ctx for arbitrary contexts with
+//      a non-zero trace id.
+//  P2  strictness: anything that is not exactly 17 bytes, and any entry
+//      naming trace id 0, decodes to nullopt — the tolerance contract
+//      that lets non-tracing peers (and garbage) pass through harmlessly.
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::trace {
+namespace {
+
+class TraceCodecP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceCodecP, ContextRoundTrips) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    TraceContext ctx;
+    // Bias toward small ids (the common case) but cover the full range.
+    ctx.trace_id = rng.chance(0.5) ? 1 + rng.next_below(1000)
+                                   : 1 + rng.next_below(~std::uint64_t{0});
+    ctx.span_id = rng.next_below(~std::uint64_t{0});
+    ctx.flags = static_cast<std::uint8_t>(rng.next_below(256));
+
+    const util::Bytes wire = encode_context(ctx);
+    EXPECT_EQ(wire.size(), 17u);
+    const std::optional<TraceContext> back =
+        decode_context(util::BytesView(wire));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, ctx);
+    EXPECT_EQ(back->sampled(), (ctx.flags & kSampledFlag) != 0);
+  }
+}
+
+TEST_P(TraceCodecP, WrongSizeOrGarbageDecodesToNothing) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    // Any length but the canonical 17 is rejected outright, no matter the
+    // contents.
+    std::size_t size = rng.next_below(64);
+    if (size == 17) size = 18;
+    util::Bytes junk;
+    for (std::size_t b = 0; b < size; ++b) {
+      junk.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    EXPECT_FALSE(decode_context(util::BytesView(junk)).has_value());
+  }
+  // Correct length but trace id 0 (invalid by construction) is also
+  // rejected: an all-zero entry must not start recording.
+  util::Bytes zeros(17, 0);
+  zeros[16] = kSampledFlag;
+  EXPECT_FALSE(decode_context(util::BytesView(zeros)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceCodecP,
+                         ::testing::Values(1u, 42u, 0xfeedfaceu));
+
+}  // namespace
+}  // namespace maqs::trace

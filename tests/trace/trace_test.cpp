@@ -1,0 +1,217 @@
+// TraceRecorder unit tests: sampling, ring eviction, scope nesting,
+// error annotation, metrics sink, exports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_loop.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace maqs::trace {
+namespace {
+
+TEST(TraceRecorderTest, MintAllocatesDistinctSampledTraces) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_enabled(true);
+  const TraceContext a = rec.make_trace();
+  const TraceContext b = rec.make_trace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a.sampled());
+  EXPECT_TRUE(b.sampled());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, 0u);  // no parent yet
+  EXPECT_EQ(rec.stats().traces_started, 2u);
+  EXPECT_EQ(rec.stats().traces_sampled, 2u);
+}
+
+TEST(TraceRecorderTest, HeadSamplingEveryNth) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_sample_every(3);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (rec.make_trace().sampled()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 3);
+  EXPECT_EQ(rec.stats().traces_sampled, 3u);
+
+  rec.set_sample_every(0);  // drop everything
+  EXPECT_FALSE(rec.make_trace().sampled());
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestFirst) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop, /*capacity=*/3);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    rec.record(/*trace_id=*/i, rec.next_span_id(), 0, "s", "", 0, 0);
+  }
+  EXPECT_EQ(rec.span_count(), 3u);
+  EXPECT_EQ(rec.stats().spans_recorded, 5u);
+  EXPECT_EQ(rec.stats().spans_evicted, 2u);
+  const std::vector<Span> spans = rec.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest-first iteration: traces 3, 4, 5 survive.
+  EXPECT_EQ(spans[0].trace_id, 3u);
+  EXPECT_EQ(spans[1].trace_id, 4u);
+  EXPECT_EQ(spans[2].trace_id, 5u);
+}
+
+TEST(TraceRecorderTest, ZeroCapacityCountsButStoresNothing) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop, /*capacity=*/0);
+  rec.record(1, 1, 0, "s", "", 0, 0);
+  EXPECT_EQ(rec.span_count(), 0u);
+  EXPECT_EQ(rec.stats().spans_recorded, 1u);
+  EXPECT_EQ(rec.stats().spans_evicted, 1u);
+}
+
+TEST(SpanScopeTest, ChildScopesNestUnderRoot) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_enabled(true);
+  const TraceContext minted = rec.make_trace();
+  {
+    SpanScope root(rec, minted, "root");
+    ASSERT_TRUE(root.recording());
+    EXPECT_TRUE(tracing_active());
+    EXPECT_EQ(current_context().trace_id, minted.trace_id);
+    {
+      SpanScope child("child", "detail");
+      SpanScope grandchild("grandchild");
+      (void)grandchild;
+    }
+    (void)root;
+  }
+  EXPECT_FALSE(tracing_active());
+  const std::vector<Span> spans = rec.spans();
+  ASSERT_EQ(spans.size(), 3u);  // innermost closes (and records) first
+  EXPECT_STREQ(spans[0].name, "grandchild");
+  EXPECT_STREQ(spans[1].name, "child");
+  EXPECT_STREQ(spans[2].name, "root");
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, spans[2].span_id);
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  EXPECT_EQ(spans[1].detail, "detail");
+  for (const Span& s : spans) EXPECT_EQ(s.trace_id, minted.trace_id);
+}
+
+TEST(SpanScopeTest, NoRecorderMeansScopesAreInert) {
+  EXPECT_FALSE(tracing_active());
+  SpanScope orphan("orphan");
+  EXPECT_FALSE(orphan.recording());
+  EXPECT_FALSE(tracing_active());
+}
+
+TEST(SpanScopeTest, DisabledRecorderOrUnsampledContextRecordsNothing) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  // Disabled recorder: even a sampled context opens nothing.
+  {
+    SpanScope scope(rec, TraceContext{1, 0, kSampledFlag}, "x");
+    EXPECT_FALSE(scope.recording());
+  }
+  rec.set_enabled(true);
+  // Enabled but unsampled: the head decision is final.
+  {
+    SpanScope scope(rec, TraceContext{1, 0, 0}, "x");
+    EXPECT_FALSE(scope.recording());
+  }
+  EXPECT_EQ(rec.span_count(), 0u);
+}
+
+TEST(SpanScopeTest, NoteErrorLandsOnInnermostOpenScope) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_enabled(true);
+  {
+    SpanScope root(rec, rec.make_trace(), "root");
+    note_error("boom");
+    (void)root;
+  }
+  note_error("ignored: nothing active");
+  const std::vector<Span> spans = rec.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].error, "boom");
+  EXPECT_EQ(rec.stats().span_errors, 1u);
+}
+
+TEST(SpanScopeTest, ErrorsThrownUnderScopeCarryTheTraceId) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_enabled(true);
+  const TraceContext minted = rec.make_trace();
+  {
+    SpanScope root(rec, minted, "root");
+    const Error inside("fail");
+    EXPECT_EQ(inside.trace_id(), minted.trace_id);
+    (void)root;
+  }
+  const Error outside("fail");
+  EXPECT_EQ(outside.trace_id(), 0u);
+}
+
+TEST(TraceRecorderTest, MetricsSinkSeesEverySpanDuration) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_enabled(true);
+  std::vector<std::pair<std::string, double>> samples;
+  rec.set_metrics_sink(
+      [&](const std::string& metric, sim::TimePoint, double millis) {
+        samples.emplace_back(metric, millis);
+      });
+  rec.record(1, 1, 0, "stage", "", 0, 2 * sim::kMillisecond);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].first, "span.stage");
+  EXPECT_DOUBLE_EQ(samples[0].second, 2.0);
+}
+
+TEST(TraceRecorderTest, ChromeExportListsEverySpan) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.set_enabled(true);
+  rec.record(7, 1, 0, "alpha", "d\"etail", 1000, 2500);
+  rec.record(7, 2, 1, "beta", "", 2500, 2500, "oops");
+  std::ostringstream os;
+  rec.export_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"etail"), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\"error\":\"oops\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, TreeDumpIndentsChildrenAndSurvivesEviction) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop, /*capacity=*/2);
+  rec.set_enabled(true);
+  // Parent span gets evicted by the two children; the orphans must still
+  // surface as roots instead of vanishing from the dump.
+  rec.record(1, 1, 0, "parent", "", 0, 10);
+  rec.record(1, 2, 1, "left", "", 1, 2);
+  rec.record(1, 3, 1, "right", "", 3, 4);
+  std::ostringstream os;
+  rec.dump_tree(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("parent"), std::string::npos);
+  EXPECT_NE(text.find("  left"), std::string::npos);
+  EXPECT_NE(text.find("  right"), std::string::npos);
+  EXPECT_NE(text.find("trace 1: 2 spans"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearDropsSpansButKeepsCounters) {
+  sim::EventLoop loop;
+  TraceRecorder rec(loop);
+  rec.record(1, 1, 0, "s", "", 0, 0);
+  rec.clear();
+  EXPECT_EQ(rec.span_count(), 0u);
+  EXPECT_EQ(rec.stats().spans_recorded, 1u);
+}
+
+}  // namespace
+}  // namespace maqs::trace
