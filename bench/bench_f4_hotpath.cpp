@@ -23,6 +23,7 @@
 #include "characteristics/compression.hpp"
 #include "characteristics/encryption.hpp"
 #include "core/mediator.hpp"
+#include "core/retry.hpp"
 #include "trace/trace.hpp"
 
 // ---- allocation counters (single-threaded bench, plain globals) ----
@@ -134,6 +135,19 @@ void run_scenarios(std::vector<Row>& rows) {
     recorder.set_enabled(true);
     rows.push_back(
         measure("plain_trace_sampled", "add", [&] { stub.add(1, 2); }));
+    world.client.set_trace_recorder(nullptr);
+    world.server.set_trace_recorder(nullptr);
+
+    // Resilience armed but idle: retry governor + circuit breaker
+    // installed on a healthy link. The happy path pays only the advisor
+    // branch, the per-attempt request copy, and one breaker map lookup.
+    core::RetryGovernor governor(core::RetryPolicy::idempotent(), 42);
+    world.client.set_retry_advisor(&governor);
+    world.client.set_breaker_config(orb::BreakerConfig{});
+    rows.push_back(
+        measure("plain_resilient", "add", [&] { stub.add(1, 2); }));
+    world.client.set_retry_advisor(nullptr);
+    world.client.set_breaker_config(std::nullopt);
   }
 
   {  // qos_unmodified: QoS-aware reference, no module assigned -> fallback

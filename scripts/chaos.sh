@@ -1,0 +1,31 @@
+#!/bin/sh
+# Runs the chaos (fault-injection) suite across a seed matrix. Each seed
+# fixes every stochastic input of the simulator (link loss, jitter, retry
+# backoff jitter), so a failing seed is a deterministic repro:
+#
+#   MAQS_CHAOS_SEED=<seed> ctest --test-dir <build> -R ChaosTest
+#
+# Usage: scripts/chaos.sh [build-dir] [seed...]
+#   build-dir  defaults to ./build
+#   seeds      default to the CI matrix: 41 42 1337
+set -e
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+if [ $# -gt 0 ]; then shift; fi
+SEEDS=${*:-"41 42 1337"}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "build dir '$BUILD_DIR' not found; configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target chaos_tests
+
+for seed in $SEEDS; do
+  echo "==== chaos suite, seed $seed ===="
+  MAQS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" -R ChaosTest \
+    --output-on-failure
+done

@@ -16,10 +16,33 @@ AdaptationManager::AdaptationManager(QosTransport& transport,
       command_target(),
       [this](const std::string& op, const std::vector<cdr::Any>& args,
              const net::Address&) { return handle_command(op, args); });
+  // Mechanism failure is a QoS violation like any other: when the
+  // transport quarantines an assignment's module, renegotiate the managed
+  // agreement down instead of silently serving best-effort forever.
+  transport_.set_degradation_handler(
+      [this](const std::string& module, const std::string& object_key,
+             const std::string& reason) {
+        on_mechanism_failure(module, object_key, reason);
+      });
 }
 
 AdaptationManager::~AdaptationManager() {
   transport_.set_command_handler(command_target(), nullptr);
+  transport_.set_degradation_handler(nullptr);
+}
+
+void AdaptationManager::on_mechanism_failure(const std::string& module,
+                                             const std::string& object_key,
+                                             const std::string& reason) {
+  // Collect ids first: adapt() pumps the event loop and may mutate the
+  // entry map mid-iteration.
+  std::vector<std::uint64_t> matching;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.agreement.object_key == object_key) matching.push_back(id);
+  }
+  for (std::uint64_t id : matching) {
+    adapt(id, "mechanism:" + module + ": " + reason);
+  }
 }
 
 void AdaptationManager::manage(orb::StubBase& stub,

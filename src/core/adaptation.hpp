@@ -60,6 +60,12 @@ class AdaptationManager {
   cdr::Any handle_command(const std::string& op,
                           const std::vector<cdr::Any>& args);
   void adapt(std::uint64_t agreement_id, const std::string& reason);
+  /// Degradation-handler callback: the transport quarantined `module` for
+  /// `object_key`; adapt every managed agreement bound to that key
+  /// (reason "mechanism:<module>: <cause>").
+  void on_mechanism_failure(const std::string& module,
+                            const std::string& object_key,
+                            const std::string& reason);
 
   struct Entry {
     orb::StubBase* stub = nullptr;

@@ -162,8 +162,18 @@ void QosTransport::unload_module(const std::string& name) {
   if (it == modules_.end()) return;
   it->second->stop();
   modules_.erase(it);
-  std::erase_if(assignments_,
-                [&](const auto& entry) { return entry.second == name; });
+  std::erase_if(assignments_, [&](const auto& entry) {
+    if (entry.second != name) return false;
+    health_.erase(entry.first);
+    return true;
+  });
+}
+
+void QosTransport::crash_module(const std::string& name) {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) return;
+  it->second->stop();
+  modules_.erase(it);
 }
 
 QosModule* QosTransport::find_module(std::string_view name) {
@@ -186,10 +196,14 @@ void QosTransport::assign(const std::string& object_key,
                           const std::string& module) {
   load_module(module);
   assignments_[object_key] = module;
+  // A (re)assignment is a fresh contract: forget the old failure streak
+  // and lift any quarantine so the new binding gets a clean start.
+  health_.erase(object_key);
 }
 
 void QosTransport::unassign(const std::string& object_key) {
   assignments_.erase(object_key);
+  health_.erase(object_key);
 }
 
 std::optional<std::string> QosTransport::assignment(
@@ -203,12 +217,51 @@ orb::ReplyMessage QosTransport::route(const orb::ObjRef& target,
                                       orb::RequestMessage req) {
   auto it = assignments_.find(target.object_key);
   if (it != assignments_.end()) {
+    if (degradation_.has_value() && quarantined_now(target.object_key)) {
+      // Graceful degradation: the assigned mechanism keeps failing, so
+      // traffic takes the plain path until the quarantine lifts (or the
+      // adaptation engine renegotiates the agreement).
+      ++stats_.requests_degraded;
+      trace::SpanScope span("transport.degraded", it->second);
+      return orb_.invoke_plain(target.endpoint, std::move(req));
+    }
     QosModule* module = find_module(it->second);
     if (module != nullptr) {
-      ++stats_.requests_via_module;
-      trace::SpanScope span("transport.module", it->second);
-      return module->invoke(std::move(req), target);
+      if (!degradation_.has_value()) {
+        ++stats_.requests_via_module;
+        trace::SpanScope span("transport.module", it->second);
+        return module->invoke(std::move(req), target);
+      }
+      // Failure tracking needs the pristine request for the plain-path
+      // fallback: the module may have partially transformed (or consumed)
+      // `req` before throwing. One copy, only while degradation is on.
+      // A request whose module attempt fails counts as degraded, not as
+      // via_module — each request lands in exactly one counter.
+      orb::RequestMessage pristine = req;
+      try {
+        trace::SpanScope span("transport.module", it->second);
+        orb::ReplyMessage rep = module->invoke(std::move(req), target);
+        health_.erase(target.object_key);
+        ++stats_.requests_via_module;
+        return rep;
+      } catch (const Error& e) {
+        trace::note_error(e.what());
+        on_module_failure(target.object_key, it->second, e.what());
+        ++stats_.requests_degraded;
+        trace::SpanScope fallback("transport.degraded", it->second);
+        return orb_.invoke_plain(target.endpoint, std::move(pristine));
+      }
     }
+    // An *assigned* module missing from the table is a broken binding —
+    // not the deliberate unassigned fallback below. Count it apart so it
+    // cannot hide in fallback noise.
+    ++stats_.requests_module_missing;
+    MAQS_WARN() << "qos-transport " << orb_.endpoint().to_string()
+                << ": assigned module '" << it->second << "' for "
+                << target.object_key
+                << " is not loaded; routing plain";
+    trace::SpanScope span("transport.plain", it->second);
+    return orb_.invoke_plain(target.endpoint, std::move(req));
   }
   // "If a QoS module is not assigned to a client server relationship the
   // GIOP/IIOP module is used" — the bootstrap path for negotiation and
@@ -216,6 +269,57 @@ orb::ReplyMessage QosTransport::route(const orb::ObjRef& target,
   ++stats_.requests_fallback_plain;
   trace::SpanScope span("transport.plain");
   return orb_.invoke_plain(target.endpoint, std::move(req));
+}
+
+void QosTransport::set_degradation(std::optional<DegradationConfig> config) {
+  degradation_ = config;
+  health_.clear();
+}
+
+bool QosTransport::is_quarantined(const std::string& object_key) const {
+  auto it = health_.find(object_key);
+  return it != health_.end() && it->second.quarantined &&
+         orb_.loop().now() < it->second.release_at;
+}
+
+bool QosTransport::quarantined_now(const std::string& object_key) {
+  auto it = health_.find(object_key);
+  if (it == health_.end() || !it->second.quarantined) return false;
+  if (orb_.loop().now() < it->second.release_at) return true;
+  // Quarantine expired: give the module a fresh (zero-streak) chance.
+  health_.erase(it);
+  return false;
+}
+
+void QosTransport::on_module_failure(const std::string& object_key,
+                                     const std::string& module,
+                                     const std::string& reason) {
+  ModuleHealth& health = health_[object_key];
+  ++health.consecutive_failures;
+  if (health.quarantined ||
+      health.consecutive_failures < degradation_->failure_threshold) {
+    return;
+  }
+  health.quarantined = true;
+  health.release_at = orb_.loop().now() + degradation_->quarantine_period;
+  ++stats_.modules_quarantined;
+  MAQS_WARN() << "qos-transport " << orb_.endpoint().to_string()
+              << ": quarantining module '" << module << "' for "
+              << object_key << " after " << health.consecutive_failures
+              << " consecutive failures: " << reason;
+  if (trace::tracing_active()) {
+    trace::point("transport.quarantine", module + " for " + object_key);
+  }
+  if (degradation_handler_) {
+    // Fresh tick: the handler renegotiates (nested pumping) and must not
+    // run inside the failing invocation's stack.
+    orb_.loop().schedule(
+        0, [this, module, object_key, reason] {
+          if (degradation_handler_) {
+            degradation_handler_(module, object_key, reason);
+          }
+        });
+  }
 }
 
 std::optional<orb::ReplyMessage> QosTransport::inbound(

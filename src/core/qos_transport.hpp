@@ -34,6 +34,23 @@ struct TransportStats {
   std::uint64_t commands_to_module = 0;
   std::uint64_t inbound_module_transforms = 0;
   std::uint64_t modules_loaded = 0;
+  /// Requests whose *assigned* module was missing from the module table —
+  /// a broken binding, counted apart from the deliberate no-assignment
+  /// fallback above so the condition cannot hide in fallback noise.
+  std::uint64_t requests_module_missing = 0;
+  /// Requests routed plain because their module is quarantined (graceful
+  /// degradation), plus per-request fallbacks after a module failure.
+  std::uint64_t requests_degraded = 0;
+  /// Quarantine transitions (a module can re-enter after release).
+  std::uint64_t modules_quarantined = 0;
+};
+
+/// Graceful-degradation knobs: after `failure_threshold` consecutive
+/// module failures for one assignment, the module is quarantined for
+/// `quarantine_period` of virtual time and traffic takes the plain path.
+struct DegradationConfig {
+  int failure_threshold = 3;
+  sim::Duration quarantine_period = 500 * sim::kMillisecond;
 };
 
 class QosTransport final : public orb::RequestRouter {
@@ -60,6 +77,12 @@ class QosTransport final : public orb::RequestRouter {
   QosModule& load_module(const std::string& name);
   /// Stops and discards the module; assignments to it are removed.
   void unload_module(const std::string& name);
+  /// Fault injection: drops the module instance *without* administrative
+  /// cleanup — assignments keep pointing at it, modeling a mechanism that
+  /// crashed out from under its bindings. Requests for those assignments
+  /// take the requests_module_missing path (warned, routed plain) until
+  /// the module reloads or the binding is renegotiated.
+  void crash_module(const std::string& name);
   /// string_view key: the per-request inbound/outbound lookups probe the
   /// module table straight from context-tag bytes, no temporary string.
   QosModule* find_module(std::string_view name);
@@ -95,7 +118,44 @@ class QosTransport final : public orb::RequestRouter {
       const net::Address& from)>;
   void set_command_handler(const std::string& target, CommandHandler handler);
 
+  // ---- graceful degradation (quarantine + renegotiation hook) ----
+
+  /// Enables module-failure tracking on route(); nullopt (the default)
+  /// disables it and clears all health state.
+  void set_degradation(std::optional<DegradationConfig> config);
+  const std::optional<DegradationConfig>& degradation() const noexcept {
+    return degradation_;
+  }
+
+  /// Invoked (once per quarantine transition, from a fresh event-loop
+  /// tick) when an assignment's module is quarantined. The adaptation
+  /// engine registers itself here to renegotiate the agreement down.
+  using DegradationHandler = std::function<void(
+      const std::string& module, const std::string& object_key,
+      const std::string& reason)>;
+  void set_degradation_handler(DegradationHandler handler) {
+    degradation_handler_ = std::move(handler);
+  }
+
+  /// True while `object_key`'s assigned module sits in quarantine.
+  bool is_quarantined(const std::string& object_key) const;
+
  private:
+  /// Per-assignment module health, tracked only while degradation is on.
+  struct ModuleHealth {
+    int consecutive_failures = 0;
+    bool quarantined = false;
+    sim::TimePoint release_at = 0;
+  };
+
+  /// Records a module failure for the assignment; quarantines at the
+  /// configured threshold and schedules the degradation handler.
+  void on_module_failure(const std::string& object_key,
+                         const std::string& module,
+                         const std::string& reason);
+  /// Checks (and lazily expires) quarantine for the assignment.
+  bool quarantined_now(const std::string& object_key);
+
   orb::ReplyMessage command_reply(std::uint64_t request_id,
                                   const cdr::Any& result);
   orb::ReplyMessage command_error(std::uint64_t request_id,
@@ -106,6 +166,9 @@ class QosTransport final : public orb::RequestRouter {
   std::map<std::string, std::unique_ptr<QosModule>, std::less<>> modules_;
   std::map<std::string, std::string, std::less<>> assignments_;
   std::map<std::string, CommandHandler> command_handlers_;
+  std::optional<DegradationConfig> degradation_;
+  DegradationHandler degradation_handler_;
+  std::map<std::string, ModuleHealth, std::less<>> health_;
   TransportStats stats_;
 };
 

@@ -1,0 +1,92 @@
+#include "core/retry.hpp"
+
+namespace maqs::core {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kLocalTimeout: return "local-timeout";
+    case FaultKind::kCircuitOpen: return "circuit-open";
+    case FaultKind::kLocalFault: return "local-fault";
+    case FaultKind::kRemoteException: return "remote-exception";
+  }
+  return "?";
+}
+
+FaultKind classify_fault(const orb::ReplyMessage& rep) noexcept {
+  if (rep.status != orb::ReplyStatus::kSystemException) {
+    return FaultKind::kNone;
+  }
+  if (!rep.synthesized_locally) return FaultKind::kRemoteException;
+  if (rep.exception == "maqs/TIMEOUT") return FaultKind::kLocalTimeout;
+  if (rep.exception == "maqs/CIRCUIT_OPEN") return FaultKind::kCircuitOpen;
+  return FaultKind::kLocalFault;
+}
+
+bool RetryPolicy::should_retry(FaultKind kind) const noexcept {
+  switch (kind) {
+    case FaultKind::kLocalTimeout: return retry_local_timeouts;
+    case FaultKind::kCircuitOpen: return retry_circuit_open;
+    // An unclassified local fault has unknown delivery state; treat it
+    // like a timeout.
+    case FaultKind::kLocalFault: return retry_local_timeouts;
+    case FaultKind::kRemoteException: return retry_remote;
+    case FaultKind::kNone: return false;
+  }
+  return false;
+}
+
+RetryPolicy RetryPolicy::idempotent() { return RetryPolicy{}; }
+
+RetryPolicy RetryPolicy::at_most_once() {
+  RetryPolicy policy;
+  policy.retry_local_timeouts = false;
+  policy.retry_circuit_open = true;
+  policy.retry_remote = false;
+  return policy;
+}
+
+sim::Duration RetryGovernor::base_backoff(int attempt) const noexcept {
+  // attempt 1 -> initial, attempt 2 -> initial * multiplier, ...
+  double backoff = static_cast<double>(policy_.initial_backoff);
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= policy_.multiplier;
+    if (backoff >= static_cast<double>(policy_.max_backoff)) break;
+  }
+  const auto clamped = static_cast<sim::Duration>(backoff);
+  return clamped < policy_.max_backoff ? clamped : policy_.max_backoff;
+}
+
+std::optional<sim::Duration> RetryGovernor::on_attempt_failed(
+    const net::Address& dest, const orb::RequestMessage& req,
+    const orb::ReplyMessage& rep, int attempt, sim::Duration elapsed) {
+  (void)dest;
+  (void)req;
+  if (attempt >= policy_.max_attempts ||
+      !policy_.should_retry(classify_fault(rep))) {
+    ++retries_denied_;
+    return std::nullopt;
+  }
+  sim::Duration backoff = base_backoff(attempt);
+  if (policy_.jitter > 0.0) {
+    // Deterministic jitter: scale by a factor in [1 - j, 1 + j]. The rng
+    // advances once per granted-or-budget-denied retry, so the schedule
+    // is reproducible for a fixed seed regardless of wall time.
+    const double factor =
+        1.0 - policy_.jitter + 2.0 * policy_.jitter * rng_.next_double();
+    backoff = static_cast<sim::Duration>(
+        static_cast<double>(backoff) * factor);
+  }
+  if (backoff > policy_.max_backoff) backoff = policy_.max_backoff;
+  if (policy_.deadline_budget > 0 &&
+      elapsed + backoff > policy_.deadline_budget) {
+    // Never exceed the budget: sleeping past the deadline to make an
+    // attempt that cannot finish in time helps nobody.
+    ++retries_denied_;
+    return std::nullopt;
+  }
+  ++retries_granted_;
+  return backoff;
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,102 @@
+// Fault classification and retry policy for the invocation layer.
+//
+// The paper's framework promises that QoS mechanisms degrade gracefully:
+// when a mechanism fails, the framework falls back and renegotiates rather
+// than surfacing every transient fault to the application. The first step
+// of that story is knowing *what* failed. A locally synthesized fault
+// (timeout, circuit-breaker rejection) tells us the delivery state — a
+// timeout means "unknown whether the server executed", a breaker fast-fail
+// means "provably never sent" — while a remote exception proves the request
+// executed (or was rejected) server-side. classify_fault() reads that
+// provenance off ReplyMessage::synthesized_locally; RetryPolicy decides
+// which classes are safe to retry; RetryGovernor implements the ORB's
+// RetryAdvisor hook with deterministic (seeded) exponential backoff that
+// never exceeds the caller's deadline budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "orb/orb.hpp"
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::core {
+
+/// What a SYSTEM_EXCEPTION reply actually tells us about the attempt.
+enum class FaultKind : std::uint8_t {
+  kNone,             ///< not a fault (reply is not a SYSTEM_EXCEPTION)
+  kLocalTimeout,     ///< local timer fired; server may or may not have run
+  kCircuitOpen,      ///< breaker fast-fail; request provably never sent
+  kLocalFault,       ///< other locally synthesized transport fault
+  kRemoteException,  ///< server-raised; the request reached the server
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// Classifies a reply by provenance (synthesized_locally) and exception id.
+FaultKind classify_fault(const orb::ReplyMessage& rep) noexcept;
+
+/// Declarative retry policy. Defaults model an idempotent operation.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = never retry).
+  int max_attempts = 4;
+  /// Backoff before attempt 2; doubles (times `multiplier`) per attempt.
+  sim::Duration initial_backoff = 2 * sim::kMillisecond;
+  double multiplier = 2.0;
+  /// Upper clamp on any single backoff.
+  sim::Duration max_backoff = 200 * sim::kMillisecond;
+  /// Jitter fraction: each backoff is scaled by a factor drawn uniformly
+  /// from [1 - jitter, 1 + jitter] (deterministic for a fixed seed).
+  double jitter = 0.2;
+  /// Hard budget on elapsed-plus-backoff virtual time; 0 = unlimited.
+  /// A retry whose backoff would push past the budget is not attempted.
+  sim::Duration deadline_budget = 0;
+
+  // Which fault classes are worth another attempt.
+  bool retry_local_timeouts = true;
+  bool retry_circuit_open = true;
+  bool retry_remote = false;
+
+  bool should_retry(FaultKind kind) const noexcept;
+
+  /// Safe default for idempotent operations: retries timeouts and breaker
+  /// rejections, never remote exceptions.
+  static RetryPolicy idempotent();
+  /// At-most-once semantics: retries only faults where the request
+  /// provably never left this process (circuit open). A timeout leaves
+  /// the server-side execution state unknown, so it is surfaced.
+  static RetryPolicy at_most_once();
+};
+
+/// The core-side implementation of orb::RetryAdvisor: install on an ORB
+/// with orb.set_retry_advisor(&governor). One governor serves every
+/// endpoint; the backoff schedule is a pure function of (policy, seed,
+/// consult sequence), so a fixed seed reproduces identical schedules.
+class RetryGovernor final : public orb::RetryAdvisor {
+ public:
+  explicit RetryGovernor(RetryPolicy policy, std::uint64_t seed = 1)
+      : policy_(policy), rng_(seed) {}
+
+  std::optional<sim::Duration> on_attempt_failed(
+      const net::Address& dest, const orb::RequestMessage& req,
+      const orb::ReplyMessage& rep, int attempt,
+      sim::Duration elapsed) override;
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+  /// Retries granted over this governor's lifetime.
+  std::uint64_t retries_granted() const noexcept { return retries_granted_; }
+  /// Retries denied by policy class, attempt cap, or deadline budget.
+  std::uint64_t retries_denied() const noexcept { return retries_denied_; }
+
+  /// The backoff (before jitter) for the retry following `attempt`.
+  sim::Duration base_backoff(int attempt) const noexcept;
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  std::uint64_t retries_granted_ = 0;
+  std::uint64_t retries_denied_ = 0;
+};
+
+}  // namespace maqs::core

@@ -26,6 +26,11 @@ std::string StatsSnapshot::to_string() const {
   line(out, "timeouts", orb.timeouts);
   line(out, "bytes_marshaled_out", orb.bytes_marshaled_out);
   line(out, "bytes_marshaled_in", orb.bytes_marshaled_in);
+  line(out, "requests_retried", orb.requests_retried);
+  line(out, "breaker_fast_fails", orb.breaker_fast_fails);
+  line(out, "breaker_opens", orb.breaker_opens);
+  line(out, "breaker_half_opens", orb.breaker_half_opens);
+  line(out, "breaker_closes", orb.breaker_closes);
   if (has_transport) {
     out += "[qos-transport]\n";
     line(out, "requests_via_module", transport.requests_via_module);
@@ -35,6 +40,9 @@ std::string StatsSnapshot::to_string() const {
     line(out, "inbound_module_transforms",
          transport.inbound_module_transforms);
     line(out, "modules_loaded", transport.modules_loaded);
+    line(out, "requests_module_missing", transport.requests_module_missing);
+    line(out, "requests_degraded", transport.requests_degraded);
+    line(out, "modules_quarantined", transport.modules_quarantined);
   }
   out += "[net]\n";
   line(out, "messages_sent", net.messages_sent);

@@ -1,0 +1,54 @@
+#include "orb/breaker.hpp"
+
+namespace maqs::orb {
+
+const char* breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allow(sim::TimePoint now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < open_until_) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe at a time: its outcome decides the next transition.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(sim::TimePoint now) {
+  probe_in_flight_ = false;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Failed probe: back to open for a fresh period.
+    state_ = BreakerState::kOpen;
+    open_until_ = now + config_.open_period;
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_ = now + config_.open_period;
+  }
+}
+
+}  // namespace maqs::orb

@@ -1,0 +1,62 @@
+// Per-endpoint circuit breaking for the invocation layer.
+//
+// The ORB's blocking/async request paths consult one CircuitBreaker per
+// destination endpoint: after `failure_threshold` *consecutive* transport
+// failures (local timeouts — never server-raised exceptions, which prove
+// the endpoint is reachable) the circuit opens and requests fail fast
+// with a locally synthesized "maqs/CIRCUIT_OPEN" reply instead of tying
+// up a timeout each. After `open_period` of virtual time the breaker
+// half-opens and admits exactly one probe request; a successful reply
+// closes the circuit, another failure re-opens it for a fresh period.
+//
+// All deadlines are sim-clock time points, so a fixed seed reproduces the
+// exact same open/half-open/close transition sequence — the chaos suite
+// asserts the sequence, not just the end state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+
+namespace maqs::orb {
+
+struct BreakerConfig {
+  /// Consecutive transport failures that trip the circuit.
+  int failure_threshold = 5;
+  /// How long an open circuit rejects before admitting a probe.
+  sim::Duration open_period = 200 * sim::kMillisecond;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState state) noexcept;
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+
+  /// True if a request may be sent at `now`. Flips open -> half-open once
+  /// the open period has elapsed; in half-open, admits exactly one probe
+  /// until its outcome is recorded.
+  bool allow(sim::TimePoint now);
+
+  /// A reply (any decoded reply, even an exception: the endpoint is up).
+  void record_success();
+
+  /// A transport-level failure: local timeout or undeliverable send.
+  void record_failure(sim::TimePoint now);
+
+  BreakerState state() const noexcept { return state_; }
+  int consecutive_failures() const noexcept { return consecutive_failures_; }
+  /// Meaningful while open: when the next probe is admitted.
+  sim::TimePoint open_until() const noexcept { return open_until_; }
+
+ private:
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  sim::TimePoint open_until_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace maqs::orb

@@ -113,6 +113,15 @@ struct ReplyMessage {
   std::string exception;
   ServiceContext context;
   util::Bytes body;
+  /// Local provenance flag: true iff this reply was synthesized by the
+  /// local ORB (request timeout, circuit-breaker fast-fail) and never
+  /// crossed the wire. NEVER marshaled — encode() ignores it and decode()
+  /// always yields false — so a genuine server-raised exception that
+  /// happens to reuse a local exception id ("maqs/TIMEOUT") stays
+  /// distinguishable from the locally synthesized one. Retry policy
+  /// classification depends on this: only local faults have a provably
+  /// known delivery state.
+  bool synthesized_locally = false;
 
   /// Exact wire size of encode()'s output; used to pre-size the buffer.
   std::size_t encoded_size() const noexcept;

@@ -1,6 +1,7 @@
 #include "orb/orb.hpp"
 
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "trace/trace.hpp"
@@ -43,6 +44,50 @@ ReplyMessage Orb::invoke(const ObjRef& target, RequestMessage req) {
 }
 
 ReplyMessage Orb::invoke_plain(const net::Address& dest, RequestMessage req) {
+  if (retry_advisor_ == nullptr) {
+    // Single-attempt fast path: the request moves straight through to the
+    // wire encoder, no copy.
+    ReplyMessage rep = attempt_plain(dest, std::move(req));
+    if (rep.synthesized_locally &&
+        rep.status == ReplyStatus::kSystemException) {
+      throw_local_fault(rep);
+    }
+    return rep;
+  }
+
+  const sim::TimePoint started = loop().now();
+  for (int attempt = 1;; ++attempt) {
+    ReplyMessage rep = attempt_plain(dest, req);
+    if (rep.status != ReplyStatus::kSystemException) return rep;
+    const std::optional<sim::Duration> backoff =
+        retry_advisor_->on_attempt_failed(dest, req, rep, attempt,
+                                          loop().now() - started);
+    if (!backoff.has_value()) {
+      if (rep.synthesized_locally) throw_local_fault(rep);
+      // Remote exception: surface it to the caller (raise_for_status maps
+      // it to the right exception type) rather than masking it.
+      return rep;
+    }
+    ++stats_.requests_retried;
+    if (trace::tracing_active()) {
+      trace::point("retry.backoff",
+                   "attempt=" + std::to_string(attempt) +
+                       " backoff_ns=" + std::to_string(*backoff) + " " +
+                       rep.exception);
+    }
+    if (*backoff > 0) {
+      bool fired = false;
+      loop().schedule(*backoff, [&fired] { fired = true; });
+      run_until([&fired] { return fired; });
+    }
+    // Fresh id per attempt: a straggler reply to an abandoned attempt must
+    // never satisfy (or double-complete) the retried one.
+    req.request_id = next_request_id();
+  }
+}
+
+ReplyMessage Orb::attempt_plain(const net::Address& dest,
+                                RequestMessage req) {
   std::optional<ReplyMessage> result;
   const std::uint64_t id = send_request(
       dest, std::move(req),
@@ -54,32 +99,50 @@ ReplyMessage Orb::invoke_plain(const net::Address& dest, RequestMessage req) {
     cancel_request(id);
     throw TransportError("orb: event loop drained while awaiting reply");
   }
-  if (result->status == ReplyStatus::kSystemException &&
-      result->exception == "maqs/TIMEOUT") {
-    throw TransportError("orb: request timed out");
-  }
   return *std::move(result);
 }
 
+void Orb::throw_local_fault(const ReplyMessage& rep) {
+  if (rep.exception == "maqs/TIMEOUT") {
+    throw TransportError("orb: request timed out");
+  }
+  if (rep.exception == "maqs/CIRCUIT_OPEN") {
+    throw TransportError("orb: circuit breaker open");
+  }
+  throw TransportError("orb: " + rep.exception);
+}
+
 void Orb::add_pending(std::uint64_t id, ReplyHandler on_reply,
-                      sim::Duration timeout, bool multi) {
+                      sim::Duration timeout, bool multi,
+                      const net::Address& dest) {
   Pending pending;
   pending.id = id;
   pending.multi = multi;
   pending.on_reply = std::move(on_reply);
+  // Only copy the endpoint when a breaker will want it charged on timeout;
+  // keeping the string empty preserves the allocation-free pending entry
+  // on the default path.
+  if (breaker_config_.has_value() && !multi) pending.dest = dest;
   pending.timeout_event = loop().schedule(timeout, [this, id] {
     auto it = find_pending(id);
     if (it == pending_.end()) return;
     ++stats_.timeouts;
     auto callback = std::move(it->on_reply);
+    net::Address failed_dest;
+    const bool charge_breaker =
+        breaker_config_.has_value() && !it->dest.node.empty();
+    if (charge_breaker) failed_dest = std::move(it->dest);
     // The timeout event is firing right now, so there is nothing stale to
-    // cancel: plain swap-and-pop erase.
-    if (it != pending_.end() - 1) *it = std::move(pending_.back());
-    pending_.pop_back();
+    // cancel: remove without touching the event.
+    pop_pending(it);
+    // Charge the breaker before the callback runs, so an immediate retry
+    // from inside the callback sees the updated circuit state.
+    if (charge_breaker) breaker_on_failure(failed_dest);
     ReplyMessage timeout_reply;
     timeout_reply.request_id = id;
     timeout_reply.status = ReplyStatus::kSystemException;
     timeout_reply.exception = "maqs/TIMEOUT";
+    timeout_reply.synthesized_locally = true;
     callback(std::move(timeout_reply));
   });
   pending_.push_back(std::move(pending));
@@ -93,10 +156,14 @@ std::vector<Orb::Pending>::iterator Orb::find_pending(
   return pending_.end();
 }
 
-void Orb::erase_pending(std::vector<Pending>::iterator it) {
-  loop().cancel(it->timeout_event);
+void Orb::pop_pending(std::vector<Pending>::iterator it) {
   if (it != pending_.end() - 1) *it = std::move(pending_.back());
   pending_.pop_back();
+}
+
+void Orb::erase_pending(std::vector<Pending>::iterator it) {
+  loop().cancel(it->timeout_event);
+  pop_pending(it);
 }
 
 std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
@@ -105,7 +172,21 @@ std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
   if (timeout <= 0) timeout = default_timeout_;
   const std::uint64_t id = req.request_id;
 
-  add_pending(id, std::move(on_reply), timeout, /*multi=*/false);
+  if (breaker_config_.has_value() && !breaker_allow(dest)) {
+    // Fail fast: deliver the synthesized rejection inline (before this
+    // call returns) instead of arming a doomed timeout. invoke_plain's
+    // run_until sees the reply on its first predicate check.
+    ++stats_.breaker_fast_fails;
+    ReplyMessage fast;
+    fast.request_id = id;
+    fast.status = ReplyStatus::kSystemException;
+    fast.exception = "maqs/CIRCUIT_OPEN";
+    fast.synthesized_locally = true;
+    on_reply(std::move(fast));
+    return id;
+  }
+
+  add_pending(id, std::move(on_reply), timeout, /*multi=*/false, dest);
   ++stats_.requests_sent;
   util::Bytes wire = req.encode();
   stats_.bytes_marshaled_out += wire.size();
@@ -128,7 +209,8 @@ std::uint64_t Orb::send_multicast_request(const std::string& group,
   if (timeout <= 0) timeout = default_timeout_;
   const std::uint64_t id = req.request_id;
 
-  add_pending(id, std::move(on_reply), timeout, /*multi=*/true);
+  add_pending(id, std::move(on_reply), timeout, /*multi=*/true,
+              net::Address{});
   ++stats_.requests_sent;
   util::Bytes wire = req.encode();
   stats_.bytes_marshaled_out += wire.size();
@@ -156,7 +238,7 @@ void Orb::on_frame(const net::Address& from, const util::Bytes& data) {
     } else {
       ReplyMessage rep = ReplyMessage::decode(data);
       stats_.bytes_marshaled_in += data.size();
-      handle_reply(std::move(rep));
+      handle_reply(from, std::move(rep));
     }
   } catch (const Error& e) {
     // Garbage frames are dropped; a reliable transport below us means this
@@ -289,7 +371,12 @@ ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
   return rep;
 }
 
-void Orb::handle_reply(ReplyMessage rep) {
+void Orb::handle_reply(const net::Address& from, ReplyMessage rep) {
+  // Any decoded reply — matched, orphaned, even an exception — proves the
+  // endpoint is reachable, so the breaker hears about it before the
+  // pending lookup. A late probe reply after its timeout still closes the
+  // circuit rather than leaving it needlessly open.
+  if (breaker_config_.has_value()) breaker_on_success(from);
   auto it = find_pending(rep.request_id);
   if (it == pending_.end()) {
     // Late reply after timeout/cancel, or surplus replies of a multicast
@@ -308,6 +395,65 @@ void Orb::handle_reply(ReplyMessage rep) {
     auto callback = std::move(it->on_reply);
     erase_pending(it);
     callback(std::move(rep));
+  }
+}
+
+// ---- circuit breaking ----
+
+CircuitBreaker& Orb::breaker_for(const net::Address& dest) {
+  auto it = breakers_.find(dest);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(dest, CircuitBreaker(*breaker_config_)).first;
+  }
+  return it->second;
+}
+
+bool Orb::breaker_allow(const net::Address& dest) {
+  CircuitBreaker& breaker = breaker_for(dest);
+  const BreakerState before = breaker.state();
+  const bool admitted = breaker.allow(loop().now());
+  if (breaker.state() != before) {
+    note_breaker_transition(dest, before, breaker.state());
+  }
+  return admitted;
+}
+
+void Orb::breaker_on_success(const net::Address& from) {
+  // find, never create: a success for an endpoint no breaker tracks is
+  // not worth a map entry.
+  auto it = breakers_.find(from);
+  if (it == breakers_.end()) return;
+  const BreakerState before = it->second.state();
+  it->second.record_success();
+  if (it->second.state() != before) {
+    note_breaker_transition(from, before, it->second.state());
+  }
+}
+
+void Orb::breaker_on_failure(const net::Address& dest) {
+  CircuitBreaker& breaker = breaker_for(dest);
+  const BreakerState before = breaker.state();
+  breaker.record_failure(loop().now());
+  if (breaker.state() != before) {
+    note_breaker_transition(dest, before, breaker.state());
+  }
+}
+
+void Orb::note_breaker_transition(const net::Address& endpoint,
+                                  BreakerState from, BreakerState to) {
+  switch (to) {
+    case BreakerState::kOpen: ++stats_.breaker_opens; break;
+    case BreakerState::kHalfOpen: ++stats_.breaker_half_opens; break;
+    case BreakerState::kClosed: ++stats_.breaker_closes; break;
+  }
+  MAQS_INFO() << "orb " << endpoint_.to_string() << ": circuit to "
+              << endpoint.to_string() << " " << breaker_state_name(from)
+              << " -> " << breaker_state_name(to);
+  if (trace::tracing_active()) {
+    trace::point("breaker.transition",
+                 endpoint.to_string() + " " +
+                     std::string(breaker_state_name(from)) + "->" +
+                     breaker_state_name(to));
   }
 }
 

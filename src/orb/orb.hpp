@@ -19,12 +19,14 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "net/network.hpp"
 #include "orb/adapter.hpp"
+#include "orb/breaker.hpp"
 #include "orb/exceptions.hpp"
 #include "orb/ior.hpp"
 #include "orb/message.hpp"
@@ -54,6 +56,23 @@ class RequestRouter {
   virtual void outbound(const RequestMessage& req, ReplyMessage& rep) = 0;
 };
 
+/// Extension point implemented by the retry policy (maqs::core). Like
+/// RequestRouter, the interface lives in the ORB so invoke_plain() can
+/// drive the retry loop, while the policy itself (what is safe to retry,
+/// backoff schedule, deadline budget) stays a core concern.
+class RetryAdvisor {
+ public:
+  virtual ~RetryAdvisor() = default;
+
+  /// Consulted after attempt number `attempt` (1-based) produced the
+  /// SYSTEM_EXCEPTION reply `rep`. `elapsed` is the virtual time spent in
+  /// invoke_plain so far. Return a backoff to sleep before retrying, or
+  /// nullopt to give up and surface the reply as-is.
+  virtual std::optional<sim::Duration> on_attempt_failed(
+      const net::Address& dest, const RequestMessage& req,
+      const ReplyMessage& rep, int attempt, sim::Duration elapsed) = 0;
+};
+
 /// Statistics for the dispatch-path benchmarks (bench_f3_dispatch,
 /// bench_f4_hotpath).
 struct OrbStats {
@@ -66,6 +85,13 @@ struct OrbStats {
   std::uint64_t timeouts = 0;
   std::uint64_t bytes_marshaled_out = 0;  // frame bytes encoded and sent
   std::uint64_t bytes_marshaled_in = 0;   // frame bytes decoded successfully
+  // Resilience counters (all zero unless a RetryAdvisor / BreakerConfig
+  // is installed).
+  std::uint64_t requests_retried = 0;     // extra attempts by invoke_plain
+  std::uint64_t breaker_fast_fails = 0;   // requests rejected while open
+  std::uint64_t breaker_opens = 0;        // transitions into open
+  std::uint64_t breaker_half_opens = 0;   // transitions into half-open
+  std::uint64_t breaker_closes = 0;       // transitions back to closed
 };
 
 class Orb {
@@ -87,6 +113,32 @@ class Orb {
   /// Installs/uninstalls the QoS transport. Not owned.
   void set_router(RequestRouter* router) noexcept { router_ = router; }
   RequestRouter* router() const noexcept { return router_; }
+
+  /// Installs/uninstalls the retry policy driving invoke_plain's retry
+  /// loop. Not owned. nullptr (the default) keeps the single-attempt
+  /// zero-copy fast path.
+  void set_retry_advisor(RetryAdvisor* advisor) noexcept {
+    retry_advisor_ = advisor;
+  }
+  RetryAdvisor* retry_advisor() const noexcept { return retry_advisor_; }
+
+  /// Enables per-endpoint circuit breaking on the outgoing request path
+  /// (nullopt, the default, disables it and drops all breaker state).
+  void set_breaker_config(std::optional<BreakerConfig> config) {
+    breaker_config_ = config;
+    breakers_.clear();
+  }
+  const std::optional<BreakerConfig>& breaker_config() const noexcept {
+    return breaker_config_;
+  }
+
+  /// State of the breaker guarding `dest`; nullopt when breaking is off
+  /// or no request has touched that endpoint yet.
+  std::optional<BreakerState> breaker_state(const net::Address& dest) const {
+    auto it = breakers_.find(dest);
+    if (it == breakers_.end()) return std::nullopt;
+    return it->second.state();
+  }
 
   /// Installs/uninstalls the causal trace recorder (not owned; may be
   /// shared between ORBs so client and server spans land in one ring).
@@ -157,31 +209,56 @@ class Orb {
  private:
   void on_frame(const net::Address& from, const util::Bytes& data);
   void handle_request(const net::Address& from, RequestMessage req);
-  void handle_reply(ReplyMessage rep);
+  void handle_reply(const net::Address& from, ReplyMessage rep);
   /// Adapter dispatch only (no router hooks).
   ReplyMessage dispatch_to_servant(const RequestMessage& req,
                                    const net::Address& from);
+
+  /// One blocking attempt on the plain path: send, pump until the reply
+  /// (possibly a synthesized local fault) arrives, return it.
+  ReplyMessage attempt_plain(const net::Address& dest, RequestMessage req);
+  /// Maps a locally synthesized fault reply to the TransportError
+  /// invoke_plain's contract promises. Never returns.
+  [[noreturn]] static void throw_local_fault(const ReplyMessage& rep);
 
   struct Pending {
     std::uint64_t id = 0;
     ReplyHandler on_reply;
     sim::EventId timeout_event = 0;
     bool multi = false;
+    /// Destination, recorded only while circuit breaking is enabled (and
+    /// never for multicast) so the timeout can charge the right breaker.
+    net::Address dest;
   };
 
   /// Registers a pending entry with its timeout; shared by send_request and
-  /// send_multicast_request.
+  /// send_multicast_request. `dest` may be empty (multicast).
   void add_pending(std::uint64_t id, ReplyHandler on_reply,
-                   sim::Duration timeout, bool multi);
+                   sim::Duration timeout, bool multi,
+                   const net::Address& dest);
   std::vector<Pending>::iterator find_pending(std::uint64_t id) noexcept;
+  /// Removes the entry without touching its timeout event. The swap-and-pop
+  /// invariant lives here and only here: the timeout path (whose event is
+  /// already firing and must not be cancelled) and erase_pending share it.
+  void pop_pending(std::vector<Pending>::iterator it);
   /// Erases a pending entry, always cancelling its timeout event first so
   /// no stale timeout can fire for a completed/cancelled request.
   void erase_pending(std::vector<Pending>::iterator it);
+
+  // Breaker plumbing: each wrapper observes the state transition (if any)
+  // for counters / log / trace. All are no-ops unless breaker_config_ set.
+  CircuitBreaker& breaker_for(const net::Address& dest);
+  bool breaker_allow(const net::Address& dest);
+  void breaker_on_success(const net::Address& from);
+  void breaker_on_failure(const net::Address& dest);
+  void note_breaker_transition(const net::Address& endpoint,
+                               BreakerState from, BreakerState to);
 
   net::Network& network_;
   net::Address endpoint_;
   ObjectAdapter adapter_;
   RequestRouter* router_ = nullptr;
+  RetryAdvisor* retry_advisor_ = nullptr;
   trace::TraceRecorder* trace_recorder_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   // Flat store: only a handful of requests are in flight at once, so a
@@ -189,6 +266,8 @@ class Orb {
   // allocating per request.
   std::vector<Pending> pending_;
   sim::Duration default_timeout_ = 2 * sim::kSecond;
+  std::optional<BreakerConfig> breaker_config_;
+  std::map<net::Address, CircuitBreaker> breakers_;
   OrbStats stats_;
 };
 

@@ -28,8 +28,19 @@ void raise_for_status(const ReplyMessage& rep) {
     case ReplyStatus::kBadOperation:
       throw BadOperation(rep.exception);
     case ReplyStatus::kSystemException:
-      if (rep.exception == "maqs/TIMEOUT") {
-        throw TransportError("request timed out");
+      // Transport faults are classified by local provenance, not by the
+      // exception id alone: only replies the local ORB synthesized
+      // (timeouts, breaker fast-fails) are transport-level. A server that
+      // genuinely raises "maqs/TIMEOUT" reached us over the wire and is
+      // a SystemException like any other remote fault.
+      if (rep.synthesized_locally) {
+        if (rep.exception == "maqs/TIMEOUT") {
+          throw TransportError("request timed out");
+        }
+        if (rep.exception == "maqs/CIRCUIT_OPEN") {
+          throw TransportError("circuit breaker open");
+        }
+        throw TransportError(rep.exception);
       }
       if (rep.exception == "maqs/NO_QOS_TRANSPORT") {
         throw NoQosTransport(rep.exception);

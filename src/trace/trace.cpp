@@ -322,4 +322,12 @@ void note_error(std::string_view what) {
   if (g_top != nullptr) g_top->error_.assign(what);
 }
 
+void point(const char* name, std::string detail) {
+  const SpanScope::Active* act = SpanScope::active();
+  if (act == nullptr) return;
+  const sim::TimePoint now = act->recorder->now();
+  act->recorder->record_complete(act->ctx, name, std::move(detail), now,
+                                 now);
+}
+
 }  // namespace maqs::trace

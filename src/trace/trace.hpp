@@ -248,4 +248,13 @@ TraceContext current_context() noexcept;
 /// is active; the last note before the scope closes wins.
 void note_error(std::string_view what);
 
+/// Records a zero-duration point span under the innermost recording scope
+/// (no-op when no trace is in flight). Used for state-machine events that
+/// have no extent of their own — retry backoffs, circuit-breaker
+/// transitions, module quarantines — so resilience decisions are visible
+/// inline in the causal tree. The detail string is only built by callers
+/// after checking tracing_active(), preserving the zero-cost-when-off
+/// discipline.
+void point(const char* name, std::string detail);
+
 }  // namespace maqs::trace

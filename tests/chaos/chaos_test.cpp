@@ -1,0 +1,181 @@
+// Chaos suite: seeded fault-injection scenarios for the resilience layer
+// (retry/backoff, circuit breaking, graceful QoS degradation).
+//
+// Each scenario runs on the deterministic simulator: the seed (default 42,
+// overridable via MAQS_CHAOS_SEED for the CI seed matrix) fixes the loss
+// pattern and therefore every retry, breaker transition, and quarantine in
+// the timeline.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/chaos.hpp"
+
+namespace maqs::testing {
+namespace {
+
+TEST(ChaosTest, SustainedLossRetriedWithinDeadlineBudget) {
+  ChaosWorld world;
+  // 5% per-attempt loss; a single lost transmission pushes the reliable
+  // link's delivery past the 4ms ORB timeout, surfacing as a local
+  // timeout the retry layer must absorb.
+  net::LinkParams lossy;
+  lossy.latency = sim::kMillisecond;
+  lossy.loss_rate = 0.05;
+  world.net.set_link("client", "server", lossy);
+  world.client.set_default_timeout(4 * sim::kMillisecond);
+
+  core::RetryPolicy policy = core::RetryPolicy::idempotent();
+  policy.max_attempts = 5;
+  policy.initial_backoff = sim::kMillisecond;
+  policy.deadline_budget = 60 * sim::kMillisecond;
+  core::RetryGovernor governor(policy, chaos_seed());
+  world.client.set_retry_advisor(&governor);
+
+  EchoStub stub(world.client, world.plain_ref);
+  const WorkloadReport report =
+      run_workload(world.loop, 200, sim::kMillisecond, [&](int i) {
+        const std::string msg = "m" + std::to_string(i);
+        ASSERT_EQ(stub.echo(msg), msg);
+      });
+
+  EXPECT_EQ(report.succeeded, 200);
+  EXPECT_EQ(report.failed, 0);
+  // The loss rate makes some timeouts (and hence retries) certain.
+  EXPECT_GE(world.client.stats().timeouts, 1u);
+  EXPECT_GE(world.client.stats().requests_retried, 1u);
+  EXPECT_EQ(world.client.stats().requests_retried, governor.retries_granted());
+  // The governor bounds elapsed+backoff by the budget; the last attempt
+  // itself can add at most one more ORB timeout.
+  EXPECT_LE(report.max_latency,
+            policy.deadline_budget + world.client.default_timeout());
+}
+
+TEST(ChaosTest, CrashMidFlightOpensBreakerRestartRecovers) {
+  ChaosWorld world;
+  world.client.set_default_timeout(5 * sim::kMillisecond);
+  orb::BreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.open_period = 50 * sim::kMillisecond;
+  world.client.set_breaker_config(breaker);
+
+  EchoStub stub(world.client, world.plain_ref);
+  ASSERT_EQ(stub.echo("warm"), "warm");
+
+  // The server dies while the next request is on the wire.
+  world.crash_at(world.loop.now() + 500 * sim::kMicrosecond, "server");
+  const WorkloadReport during = run_workload(
+      world.loop, 6, 2 * sim::kMillisecond, [&](int) { stub.echo("x"); });
+  EXPECT_EQ(during.failed, 6);
+
+  // Deterministic transition arithmetic: two timeouts trip the breaker,
+  // the remaining four calls fail fast without arming a timeout.
+  const orb::OrbStats& mid = world.client.stats();
+  EXPECT_EQ(mid.timeouts, 2u);
+  EXPECT_EQ(mid.breaker_opens, 1u);
+  EXPECT_EQ(mid.breaker_fast_fails, 4u);
+  EXPECT_EQ(world.client.breaker_state(world.server.endpoint()),
+            orb::BreakerState::kOpen);
+
+  // Restart with a new incarnation; once the open period elapses the
+  // half-open probe goes through and closes the circuit.
+  world.net.restart("server");
+  world.loop.run_for(breaker.open_period);
+  EXPECT_EQ(stub.echo("probe"), "probe");
+  const orb::OrbStats& after = world.client.stats();
+  EXPECT_EQ(after.breaker_half_opens, 1u);
+  EXPECT_EQ(after.breaker_closes, 1u);
+  EXPECT_EQ(world.client.breaker_state(world.server.endpoint()),
+            orb::BreakerState::kClosed);
+}
+
+TEST(ChaosTest, PartitionDuringNegotiationHealsAndNegotiationSucceeds) {
+  ChaosWorld world;
+  world.client.set_default_timeout(5 * sim::kMillisecond);
+  EchoStub stub(world.client, world.qos_ref);
+
+  // Partition strikes while the negotiate command is in flight.
+  world.partition_at(world.loop.now() + 500 * sim::kMicrosecond, "server", 1);
+  EXPECT_THROW(world.negotiator.negotiate(
+                   stub, flaky_name(), {{"level", cdr::Any::from_long(8)}}),
+               orb::TransportError);
+
+  // Transient partition: heal and negotiate again from a clean slate.
+  world.net.heal_partitions();
+  const core::Agreement agreement = world.negotiator.negotiate(
+      stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
+  EXPECT_EQ(agreement.int_param("level"), 8);
+  EXPECT_EQ(stub.echo("after-heal"), "after-heal");
+  EXPECT_GE(world.client_transport.stats().requests_via_module, 1u);
+}
+
+TEST(ChaosTest, ModuleFailuresQuarantineDegradeAndRenegotiateOnce) {
+  ChaosWorld world;
+  core::DegradationConfig degradation;
+  degradation.failure_threshold = 3;
+  degradation.quarantine_period = 500 * sim::kMillisecond;
+  world.client_transport.set_degradation(degradation);
+
+  EchoStub stub(world.client, world.qos_ref);
+  const core::Agreement agreement = world.negotiator.negotiate(
+      stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
+  world.adaptation.manage(stub, agreement, ChaosWorld::halving_policy());
+
+  ASSERT_EQ(stub.echo("healthy"), "healthy");
+  EXPECT_EQ(world.client_transport.stats().requests_via_module, 1u);
+
+  // The assigned mechanism starts failing: every request still succeeds
+  // via the plain path, the third failure quarantines the module, and the
+  // quarantine triggers exactly one downward renegotiation (8 -> 4).
+  world.flaky_state->failing = true;
+  const WorkloadReport during = run_workload(
+      world.loop, 5, sim::kMillisecond, [&](int) { stub.echo("degraded"); });
+  EXPECT_EQ(during.succeeded, 5);
+
+  const core::TransportStats& stats = world.client_transport.stats();
+  EXPECT_EQ(stats.modules_quarantined, 1u);
+  EXPECT_EQ(stats.requests_degraded, 5u);
+  EXPECT_TRUE(world.client_transport.is_quarantined("chaos-echo"));
+  EXPECT_EQ(world.adaptation.adaptations(), 1u);
+  const core::Agreement* adapted =
+      world.adaptation.managed_agreement(agreement.id);
+  ASSERT_NE(adapted, nullptr);
+  EXPECT_EQ(adapted->int_param("level"), 4);
+
+  // The mechanism heals; after the quarantine lifts, traffic flows
+  // through the module again with no further renegotiation.
+  world.flaky_state->failing = false;
+  world.loop.run_for(degradation.quarantine_period);
+  EXPECT_EQ(stub.echo("recovered"), "recovered");
+  EXPECT_EQ(world.client_transport.stats().requests_via_module, 2u);
+  EXPECT_EQ(world.adaptation.adaptations(), 1u);
+}
+
+TEST(ChaosTest, CrashedModuleCountedAsMissingNotAsFallback) {
+  ChaosWorld world;
+  EchoStub stub(world.client, world.qos_ref);
+  const core::Agreement agreement = world.negotiator.negotiate(
+      stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
+  (void)agreement;
+
+  ASSERT_EQ(stub.echo("via-module"), "via-module");
+  const core::TransportStats before = world.client_transport.stats();
+  EXPECT_EQ(before.requests_via_module, 1u);
+  EXPECT_EQ(before.requests_module_missing, 0u);
+
+  // The mechanism crashes out from under its binding: the assignment
+  // still names the module, but the table no longer holds it. Traffic
+  // must keep flowing (plain), and the broken binding must be counted
+  // apart from the deliberate no-assignment fallback.
+  world.client_transport.crash_module(flaky_module_name());
+  ASSERT_EQ(world.client_transport.assignment("chaos-echo"),
+            flaky_module_name());
+  EXPECT_EQ(stub.echo("still-works"), "still-works");
+  const core::TransportStats after = world.client_transport.stats();
+  EXPECT_EQ(after.requests_module_missing, 1u);
+  EXPECT_EQ(after.requests_fallback_plain, before.requests_fallback_plain);
+  EXPECT_EQ(after.requests_via_module, 1u);
+}
+
+}  // namespace
+}  // namespace maqs::testing

@@ -1,0 +1,159 @@
+// Unit tests for fault classification and the retry governor: the
+// provenance table, policy presets, attempt caps, backoff growth/clamping,
+// and the deadline budget.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/retry.hpp"
+
+namespace maqs::core {
+namespace {
+
+orb::ReplyMessage make_reply(orb::ReplyStatus status, std::string exception,
+                             bool synthesized) {
+  orb::ReplyMessage rep;
+  rep.status = status;
+  rep.exception = std::move(exception);
+  rep.synthesized_locally = synthesized;
+  return rep;
+}
+
+TEST(ClassifyFaultTest, ProvenanceTable) {
+  using orb::ReplyStatus;
+  // Non-system-exception statuses are not faults, whatever they carry.
+  EXPECT_EQ(classify_fault(make_reply(ReplyStatus::kOk, "", false)),
+            FaultKind::kNone);
+  EXPECT_EQ(classify_fault(
+                make_reply(ReplyStatus::kUserException, "IDL:X:1.0", false)),
+            FaultKind::kNone);
+
+  // Locally synthesized faults classify by exception id.
+  EXPECT_EQ(classify_fault(make_reply(ReplyStatus::kSystemException,
+                                      "maqs/TIMEOUT", true)),
+            FaultKind::kLocalTimeout);
+  EXPECT_EQ(classify_fault(make_reply(ReplyStatus::kSystemException,
+                                      "maqs/CIRCUIT_OPEN", true)),
+            FaultKind::kCircuitOpen);
+  EXPECT_EQ(classify_fault(make_reply(ReplyStatus::kSystemException,
+                                      "maqs/SOMETHING_ELSE", true)),
+            FaultKind::kLocalFault);
+
+  // The same exception id without local provenance is a remote fault —
+  // the misclassification this PR fixes.
+  EXPECT_EQ(classify_fault(make_reply(ReplyStatus::kSystemException,
+                                      "maqs/TIMEOUT", false)),
+            FaultKind::kRemoteException);
+  EXPECT_EQ(classify_fault(
+                make_reply(ReplyStatus::kSystemException, "anything", false)),
+            FaultKind::kRemoteException);
+}
+
+TEST(RetryPolicyTest, IdempotentPresetRetriesLocalFaultsOnly) {
+  const RetryPolicy policy = RetryPolicy::idempotent();
+  EXPECT_TRUE(policy.should_retry(FaultKind::kLocalTimeout));
+  EXPECT_TRUE(policy.should_retry(FaultKind::kCircuitOpen));
+  EXPECT_TRUE(policy.should_retry(FaultKind::kLocalFault));
+  EXPECT_FALSE(policy.should_retry(FaultKind::kRemoteException));
+  EXPECT_FALSE(policy.should_retry(FaultKind::kNone));
+}
+
+TEST(RetryPolicyTest, AtMostOncePresetOnlyRetriesProvablyUnsent) {
+  const RetryPolicy policy = RetryPolicy::at_most_once();
+  // A timeout leaves server-side execution state unknown: not retried.
+  EXPECT_FALSE(policy.should_retry(FaultKind::kLocalTimeout));
+  // A breaker fast-fail provably never left the process: safe.
+  EXPECT_TRUE(policy.should_retry(FaultKind::kCircuitOpen));
+  EXPECT_FALSE(policy.should_retry(FaultKind::kRemoteException));
+}
+
+TEST(RetryGovernorTest, BaseBackoffGrowsAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff = 2 * sim::kMillisecond;
+  policy.multiplier = 2.0;
+  policy.max_backoff = 10 * sim::kMillisecond;
+  const RetryGovernor governor(policy, 7);
+  EXPECT_EQ(governor.base_backoff(1), 2 * sim::kMillisecond);
+  EXPECT_EQ(governor.base_backoff(2), 4 * sim::kMillisecond);
+  EXPECT_EQ(governor.base_backoff(3), 8 * sim::kMillisecond);
+  EXPECT_EQ(governor.base_backoff(4), 10 * sim::kMillisecond);  // clamped
+  EXPECT_EQ(governor.base_backoff(50), 10 * sim::kMillisecond);
+}
+
+TEST(RetryGovernorTest, DeniesAtAttemptCap) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  RetryGovernor governor(policy, 7);
+  const orb::ReplyMessage timeout =
+      make_reply(orb::ReplyStatus::kSystemException, "maqs/TIMEOUT", true);
+  orb::RequestMessage req;
+  EXPECT_TRUE(governor.on_attempt_failed({}, req, timeout, 1, 0).has_value());
+  EXPECT_TRUE(governor.on_attempt_failed({}, req, timeout, 2, 0).has_value());
+  EXPECT_FALSE(governor.on_attempt_failed({}, req, timeout, 3, 0).has_value());
+  EXPECT_EQ(governor.retries_granted(), 2u);
+  EXPECT_EQ(governor.retries_denied(), 1u);
+}
+
+TEST(RetryGovernorTest, DeniesNonRetriableClass) {
+  RetryGovernor governor(RetryPolicy::idempotent(), 7);
+  const orb::ReplyMessage remote =
+      make_reply(orb::ReplyStatus::kSystemException, "server-side", false);
+  orb::RequestMessage req;
+  EXPECT_FALSE(governor.on_attempt_failed({}, req, remote, 1, 0).has_value());
+  EXPECT_EQ(governor.retries_denied(), 1u);
+  EXPECT_EQ(governor.retries_granted(), 0u);
+}
+
+TEST(RetryGovernorTest, DeniesWhenBackoffWouldExceedBudget) {
+  RetryPolicy policy;
+  policy.initial_backoff = 10 * sim::kMillisecond;
+  policy.jitter = 0.0;
+  policy.deadline_budget = 25 * sim::kMillisecond;
+  RetryGovernor governor(policy, 7);
+  const orb::ReplyMessage timeout =
+      make_reply(orb::ReplyStatus::kSystemException, "maqs/TIMEOUT", true);
+  orb::RequestMessage req;
+  // elapsed 5ms + 10ms backoff = 15ms <= 25ms: granted.
+  EXPECT_EQ(governor.on_attempt_failed({}, req, timeout, 1,
+                                       5 * sim::kMillisecond),
+            std::optional<sim::Duration>(10 * sim::kMillisecond));
+  // elapsed 20ms + 20ms backoff = 40ms > 25ms: denied even though the
+  // attempt cap is not reached.
+  EXPECT_FALSE(governor
+                   .on_attempt_failed({}, req, timeout, 2,
+                                      20 * sim::kMillisecond)
+                   .has_value());
+  EXPECT_EQ(governor.retries_granted(), 1u);
+  EXPECT_EQ(governor.retries_denied(), 1u);
+}
+
+TEST(RetryGovernorTest, JitterStaysWithinConfiguredBand) {
+  RetryPolicy policy;
+  policy.initial_backoff = 10 * sim::kMillisecond;
+  policy.multiplier = 1.0;
+  policy.jitter = 0.2;
+  policy.max_attempts = 1000;
+  RetryGovernor governor(policy, 1234);
+  const orb::ReplyMessage timeout =
+      make_reply(orb::ReplyStatus::kSystemException, "maqs/TIMEOUT", true);
+  orb::RequestMessage req;
+  for (int i = 1; i < 500; ++i) {
+    const auto backoff = governor.on_attempt_failed({}, req, timeout, i, 0);
+    ASSERT_TRUE(backoff.has_value());
+    EXPECT_GE(*backoff, 8 * sim::kMillisecond);
+    EXPECT_LE(*backoff, 12 * sim::kMillisecond);
+  }
+}
+
+TEST(FaultKindNameTest, CoversEveryKind) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kLocalTimeout), "local-timeout");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kCircuitOpen), "circuit-open");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kLocalFault), "local-fault");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kRemoteException),
+               "remote-exception");
+}
+
+}  // namespace
+}  // namespace maqs::core

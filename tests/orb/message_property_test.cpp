@@ -195,6 +195,32 @@ TEST(MessageProperty, WireFormatPinnedAgainstHandBuiltFrame) {
   EXPECT_EQ(req.encode(), expected);
 }
 
+TEST(MessageProperty, SynthesizedFlagNeverTouchesTheWire) {
+  // synthesized_locally is local provenance, not protocol: flipping it
+  // must not change a single wire byte, and a decoded reply (which by
+  // definition crossed the wire) must always come back with it false.
+  util::Rng rng(0x10CA);
+  for (int iter = 0; iter < 100; ++iter) {
+    ReplyMessage rep;
+    rep.request_id = rng.next();
+    rep.status = ReplyStatus::kSystemException;
+    rep.exception = random_key(rng);
+    rep.context = random_context(rng, 4);
+    rep.body = random_bytes(rng, rng.next_below(128));
+
+    rep.synthesized_locally = false;
+    const util::Bytes wire_clear = rep.encode();
+    rep.synthesized_locally = true;
+    const util::Bytes wire_set = rep.encode();
+    ASSERT_EQ(wire_clear, wire_set);
+    ASSERT_EQ(wire_set.size(), rep.encoded_size());
+
+    const ReplyMessage back = ReplyMessage::decode(wire_set);
+    EXPECT_FALSE(back.synthesized_locally);
+    EXPECT_EQ(back.exception, rep.exception);
+  }
+}
+
 TEST(MessageProperty, ContextDuplicateInsertOverwrites) {
   ServiceContext context;
   context["k"] = util::Bytes{1};

@@ -1,0 +1,312 @@
+// Resilience mechanics at the ORB layer: circuit-breaker state machine,
+// fast-fail behavior, fault provenance (synthesized_locally), the retry
+// advisor hook, and the timeout/reply same-tick regression.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "orb/breaker.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::orb {
+namespace {
+
+using maqs::testing::EchoImpl;
+using maqs::testing::EchoStub;
+
+// ---- CircuitBreaker unit ----
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker({.failure_threshold = 3,
+                          .open_period = 100 * sim::kMillisecond});
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.record_failure(0);
+  breaker.record_failure(1);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // A success resets the streak: consecutive means consecutive.
+  breaker.record_success();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  breaker.record_failure(2);
+  breaker.record_failure(3);
+  breaker.record_failure(4);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.open_until(), 4 + 100 * sim::kMillisecond);
+  EXPECT_FALSE(breaker.allow(5));
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsSingleProbe) {
+  CircuitBreaker breaker({.failure_threshold = 1,
+                          .open_period = 10 * sim::kMillisecond});
+  breaker.record_failure(0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(5 * sim::kMillisecond));
+  // Open period elapsed: one probe goes through, concurrent requests do
+  // not.
+  EXPECT_TRUE(breaker.allow(10 * sim::kMillisecond));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(11 * sim::kMillisecond));
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(12 * sim::kMillisecond));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForFreshPeriod) {
+  CircuitBreaker breaker({.failure_threshold = 1,
+                          .open_period = 10 * sim::kMillisecond});
+  breaker.record_failure(0);
+  ASSERT_TRUE(breaker.allow(10 * sim::kMillisecond));  // probe admitted
+  breaker.record_failure(12 * sim::kMillisecond);      // probe failed
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.open_until(), 22 * sim::kMillisecond);
+  EXPECT_FALSE(breaker.allow(15 * sim::kMillisecond));
+  EXPECT_TRUE(breaker.allow(22 * sim::kMillisecond));
+}
+
+// ---- fixture for ORB-level scenarios ----
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  ResilienceTest() : net_(loop_), server_(net_, "server", 9000),
+                     client_(net_, "client", 9001) {
+    servant_ = std::make_shared<EchoImpl>();
+    ref_ = server_.adapter().activate("echo", servant_);
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  Orb server_;
+  Orb client_;
+  std::shared_ptr<EchoImpl> servant_;
+  ObjRef ref_;
+};
+
+// ---- fault provenance (the misclassification bugfix) ----
+
+TEST_F(ResilienceTest, LocalTimeoutIsSynthesizedAndThrowsTransportError) {
+  net_.crash("server");
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  RequestMessage req;
+  req.object_key = "echo";
+  req.operation = "value";
+  EXPECT_THROW(client_.invoke_plain(server_.endpoint(), std::move(req)),
+               TransportError);
+  EXPECT_EQ(client_.stats().timeouts, 1u);
+}
+
+/// A servant whose failure *id* collides with the local timeout marker.
+class ImpostorServant final : public Servant {
+ public:
+  const std::string& repo_id() const override {
+    static const std::string kId = "IDL:test/Impostor:1.0";
+    return kId;
+  }
+  void dispatch(const std::string&, cdr::Decoder&, cdr::Encoder&,
+                ServerContext&) override {
+    throw Error("maqs/TIMEOUT");
+  }
+};
+
+TEST_F(ResilienceTest, ServerRaisedTimeoutIdIsNotATransportError) {
+  server_.adapter().activate("impostor", std::make_shared<ImpostorServant>());
+  RequestMessage req;
+  req.object_key = "impostor";
+  req.operation = "anything";
+  ReplyMessage rep = client_.invoke_plain(server_.endpoint(), std::move(req));
+  ASSERT_EQ(rep.status, ReplyStatus::kSystemException);
+  ASSERT_EQ(rep.exception, "maqs/TIMEOUT");
+  // It crossed the wire, so it is not locally synthesized...
+  EXPECT_FALSE(rep.synthesized_locally);
+  // ...and classification keeps it a remote SystemException, never the
+  // transport-level timeout it impersonates.
+  bool threw_transport = false;
+  bool threw_system = false;
+  try {
+    raise_for_status(rep);
+  } catch (const TransportError&) {
+    threw_transport = true;
+  } catch (const SystemException&) {
+    threw_system = true;
+  }
+  EXPECT_FALSE(threw_transport);
+  EXPECT_TRUE(threw_system);
+}
+
+// ---- circuit breaking in the request path ----
+
+TEST_F(ResilienceTest, OpenBreakerFailsFastWithoutConsumingTime) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  client_.set_breaker_config(BreakerConfig{
+      .failure_threshold = 1, .open_period = 100 * sim::kMillisecond});
+  net_.crash("server");
+
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(stub.echo("x"), TransportError);  // timeout -> breaker opens
+  EXPECT_EQ(client_.breaker_state(server_.endpoint()), BreakerState::kOpen);
+
+  const sim::TimePoint before = loop_.now();
+  EXPECT_THROW(stub.echo("y"), TransportError);  // fast-fail, no timeout
+  EXPECT_EQ(loop_.now(), before);
+  const OrbStats& stats = client_.stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.breaker_fast_fails, 1u);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  // The rejected request was never marshaled or sent.
+  EXPECT_EQ(stats.requests_sent, 1u);
+}
+
+TEST_F(ResilienceTest, AnyDecodedReplyClosesTheBreaker) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  client_.set_breaker_config(BreakerConfig{
+      .failure_threshold = 1, .open_period = 10 * sim::kMillisecond});
+  net_.crash("server");
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(stub.echo("x"), TransportError);
+  net_.restart("server");
+  loop_.run_for(10 * sim::kMillisecond);
+  // Probe succeeds: half-open -> closed.
+  EXPECT_EQ(stub.echo("probe"), "probe");
+  EXPECT_EQ(client_.breaker_state(server_.endpoint()), BreakerState::kClosed);
+  EXPECT_EQ(client_.stats().breaker_half_opens, 1u);
+  EXPECT_EQ(client_.stats().breaker_closes, 1u);
+}
+
+TEST_F(ResilienceTest, DisablingBreakerDropsState) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  client_.set_breaker_config(BreakerConfig{.failure_threshold = 1});
+  net_.crash("server");
+  EchoStub stub(client_, ref_);
+  EXPECT_THROW(stub.echo("x"), TransportError);
+  ASSERT_EQ(client_.breaker_state(server_.endpoint()), BreakerState::kOpen);
+  client_.set_breaker_config(std::nullopt);
+  EXPECT_EQ(client_.breaker_state(server_.endpoint()), std::nullopt);
+}
+
+// ---- retry advisor hook ----
+
+/// Scripted advisor: constant backoff, bounded attempts, records what it
+/// was consulted with.
+class ScriptedAdvisor final : public RetryAdvisor {
+ public:
+  explicit ScriptedAdvisor(int max_attempts) : max_attempts_(max_attempts) {}
+
+  std::optional<sim::Duration> on_attempt_failed(
+      const net::Address&, const RequestMessage&, const ReplyMessage& rep,
+      int attempt, sim::Duration) override {
+    seen.push_back(rep);
+    if (attempt >= max_attempts_) return std::nullopt;
+    return sim::kMillisecond;
+  }
+
+  std::vector<ReplyMessage> seen;
+
+ private:
+  int max_attempts_;
+};
+
+TEST_F(ResilienceTest, AdvisorDrivesRetriesWithFreshRequestIds) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  ScriptedAdvisor advisor(3);
+  client_.set_retry_advisor(&advisor);
+  net_.crash("server");
+
+  EchoStub stub(client_, ref_);
+  const sim::TimePoint start = loop_.now();
+  EXPECT_THROW(stub.echo("x"), TransportError);
+  ASSERT_EQ(advisor.seen.size(), 3u);  // consulted after every attempt
+  EXPECT_EQ(client_.stats().requests_retried, 2u);
+  EXPECT_EQ(client_.stats().timeouts, 3u);
+  for (const ReplyMessage& rep : advisor.seen) {
+    EXPECT_TRUE(rep.synthesized_locally);
+    EXPECT_EQ(rep.exception, "maqs/TIMEOUT");
+  }
+  // Each attempt carries a fresh request id so straggler replies cannot
+  // satisfy a retried attempt.
+  EXPECT_NE(advisor.seen[0].request_id, advisor.seen[1].request_id);
+  EXPECT_NE(advisor.seen[1].request_id, advisor.seen[2].request_id);
+  // 3 timeouts + 2 backoffs of virtual time elapsed.
+  EXPECT_EQ(loop_.now() - start, 17 * sim::kMillisecond);
+}
+
+TEST_F(ResilienceTest, RetrySucceedsAfterServerRestarts) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  ScriptedAdvisor advisor(4);
+  client_.set_retry_advisor(&advisor);
+  net_.crash("server");
+  // Server comes back while the first retry backs off.
+  loop_.schedule(6 * sim::kMillisecond, [this] { net_.restart("server"); });
+
+  EchoStub stub(client_, ref_);
+  EXPECT_EQ(stub.echo("eventually"), "eventually");
+  EXPECT_EQ(client_.stats().requests_retried, 1u);
+  EXPECT_EQ(client_.stats().timeouts, 1u);
+}
+
+// ---- timeout/reply same-tick regression ----
+
+TEST_F(ResilienceTest, ReplyOnTimeoutTickInvokesHandlerExactlyOnce) {
+  // Infinite bandwidth: delivery lands exactly at link latency, so with a
+  // 2ms round trip a 2ms timeout and the reply collide on the same tick.
+  net::LinkParams exact;
+  exact.latency = sim::kMillisecond;
+  exact.bandwidth_bps = 0;
+  net_.set_default_link(exact);
+
+  int calls = 0;
+  ReplyMessage last;
+  RequestMessage req;
+  req.object_key = "echo";
+  req.operation = "value";
+  client_.send_request(
+      server_.endpoint(), std::move(req),
+      [&](ReplyMessage rep) {
+        ++calls;
+        last = std::move(rep);
+      },
+      2 * sim::kMillisecond);
+  loop_.run_until_idle();
+
+  // The timeout event was scheduled first (lower sequence number), so it
+  // wins the tie; the genuine reply then finds no pending entry and is
+  // orphaned instead of double-invoking the handler.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last.exception, "maqs/TIMEOUT");
+  EXPECT_TRUE(last.synthesized_locally);
+  EXPECT_EQ(client_.stats().timeouts, 1u);
+  EXPECT_EQ(client_.stats().replies_orphaned, 1u);
+}
+
+TEST_F(ResilienceTest, ReplyBeforeTimeoutCancelsTheTimeoutEvent) {
+  net::LinkParams exact;
+  exact.latency = sim::kMillisecond;
+  exact.bandwidth_bps = 0;
+  net_.set_default_link(exact);
+
+  int calls = 0;
+  ReplyMessage last;
+  RequestMessage req;
+  req.object_key = "echo";
+  req.operation = "value";
+  client_.send_request(
+      server_.endpoint(), std::move(req),
+      [&](ReplyMessage rep) {
+        ++calls;
+        last = std::move(rep);
+      },
+      3 * sim::kMillisecond);
+  loop_.run_until_idle();
+
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last.status, ReplyStatus::kOk);
+  EXPECT_FALSE(last.synthesized_locally);
+  EXPECT_EQ(client_.stats().timeouts, 0u);
+  EXPECT_EQ(client_.stats().replies_orphaned, 0u);
+}
+
+}  // namespace
+}  // namespace maqs::orb

@@ -1,0 +1,130 @@
+// Property tests for the retry governor's backoff schedule:
+//   1. Determinism — the schedule is a pure function of (policy, seed,
+//      consult sequence): two governors with the same seed produce
+//      identical decisions and backoffs; different seeds diverge.
+//   2. Bounds — no jittered backoff ever exceeds max_backoff scaled by
+//      the jitter band, and with a deadline budget the cumulative
+//      elapsed-plus-backoff never exceeds the budget.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/retry.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::core {
+namespace {
+
+orb::ReplyMessage timeout_reply() {
+  orb::ReplyMessage rep;
+  rep.status = orb::ReplyStatus::kSystemException;
+  rep.exception = "maqs/TIMEOUT";
+  rep.synthesized_locally = true;
+  return rep;
+}
+
+RetryPolicy random_policy(util::Rng& rng) {
+  RetryPolicy policy;
+  policy.max_attempts = 2 + static_cast<int>(rng.next_below(8));
+  policy.initial_backoff =
+      static_cast<sim::Duration>(1 + rng.next_below(10)) * sim::kMillisecond;
+  policy.multiplier = 1.0 + rng.next_double() * 2.0;
+  policy.max_backoff =
+      policy.initial_backoff * static_cast<sim::Duration>(1 + rng.next_below(20));
+  policy.jitter = rng.next_double() * 0.5;
+  return policy;
+}
+
+TEST(RetryPropertyTest, SameSeedYieldsIdenticalSchedules) {
+  util::Rng meta(0x5EED);
+  const orb::ReplyMessage rep = timeout_reply();
+  orb::RequestMessage req;
+  for (int round = 0; round < 50; ++round) {
+    const RetryPolicy policy = random_policy(meta);
+    const std::uint64_t seed = meta.next();
+    RetryGovernor a(policy, seed);
+    RetryGovernor b(policy, seed);
+    for (int attempt = 1; attempt <= policy.max_attempts + 2; ++attempt) {
+      const auto backoff_a = a.on_attempt_failed({}, req, rep, attempt, 0);
+      const auto backoff_b = b.on_attempt_failed({}, req, rep, attempt, 0);
+      ASSERT_EQ(backoff_a, backoff_b)
+          << "round " << round << " attempt " << attempt;
+    }
+    ASSERT_EQ(a.retries_granted(), b.retries_granted());
+    ASSERT_EQ(a.retries_denied(), b.retries_denied());
+  }
+}
+
+TEST(RetryPropertyTest, DifferentSeedsDivergeWhenJittered) {
+  RetryPolicy policy;
+  policy.max_attempts = 64;
+  policy.jitter = 0.5;
+  RetryGovernor a(policy, 1);
+  RetryGovernor b(policy, 2);
+  const orb::ReplyMessage rep = timeout_reply();
+  orb::RequestMessage req;
+  int diverged = 0;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    if (a.on_attempt_failed({}, req, rep, attempt, 0) !=
+        b.on_attempt_failed({}, req, rep, attempt, 0)) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0) << "jittered schedules should depend on the seed";
+}
+
+TEST(RetryPropertyTest, JitteredBackoffNeverExceedsScaledClamp) {
+  util::Rng meta(0xB0FF);
+  const orb::ReplyMessage rep = timeout_reply();
+  orb::RequestMessage req;
+  for (int round = 0; round < 50; ++round) {
+    const RetryPolicy policy = random_policy(meta);
+    RetryGovernor governor(policy, meta.next());
+    for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+      const auto backoff =
+          governor.on_attempt_failed({}, req, rep, attempt, 0);
+      ASSERT_TRUE(backoff.has_value());
+      // The governor clamps after jitter: max_backoff is a hard ceiling.
+      EXPECT_LE(*backoff, policy.max_backoff);
+      // And jitter can shrink a backoff by at most the jitter fraction.
+      const auto floor = static_cast<sim::Duration>(
+          static_cast<double>(policy.initial_backoff) *
+          (1.0 - policy.jitter));
+      EXPECT_GE(*backoff, floor);
+    }
+  }
+}
+
+TEST(RetryPropertyTest, CumulativeScheduleNeverExceedsDeadlineBudget) {
+  util::Rng meta(0xDEAD);
+  const orb::ReplyMessage rep = timeout_reply();
+  orb::RequestMessage req;
+  for (int round = 0; round < 50; ++round) {
+    RetryPolicy policy = random_policy(meta);
+    policy.max_attempts = 1000;  // only the budget terminates the loop
+    policy.deadline_budget =
+        static_cast<sim::Duration>(10 + meta.next_below(100)) *
+        sim::kMillisecond;
+    RetryGovernor governor(policy, meta.next());
+
+    // Simulate the retry loop's accounting: elapsed grows by each granted
+    // backoff (attempts themselves take zero time in this model, the
+    // worst case for the budget check).
+    sim::Duration elapsed = 0;
+    int attempt = 1;
+    while (true) {
+      const auto backoff =
+          governor.on_attempt_failed({}, req, rep, attempt, elapsed);
+      if (!backoff.has_value()) break;
+      elapsed += *backoff;
+      ASSERT_LE(elapsed, policy.deadline_budget)
+          << "granted backoff pushed the schedule past the budget";
+      ++attempt;
+      ASSERT_LT(attempt, 100000) << "budget failed to terminate the loop";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maqs::core

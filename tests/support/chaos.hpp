@@ -1,0 +1,231 @@
+// Chaos harness: a full client/server QoS world plus fault-injection
+// helpers for the resilience integration suite.
+//
+// ChaosWorld wires the same stack as the adaptation tests (two ORBs, two
+// QoS transports, negotiation service + negotiator + adaptation manager,
+// resource manager) and adds:
+//   - a plain Echo servant for transport-level scenarios (loss, crash,
+//     partition) that need no QoS machinery,
+//   - the "chaos.flaky" characteristic whose transport module fails on
+//     demand, for the quarantine/renegotiation scenarios,
+//   - schedule_at-style wrappers over the network fault-injection API so
+//     scenarios read as timelines,
+//   - a sequential workload runner reporting success/failure/latency.
+//
+// Determinism: every stochastic input (link loss, jitter) draws from the
+// network's seeded RNG; MAQS_CHAOS_SEED overrides the seed so CI can run
+// a small seed matrix over the same scenarios.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/adaptation.hpp"
+#include "core/retry.hpp"
+#include "net/network.hpp"
+#include "support/qos_echo.hpp"
+
+namespace maqs::testing {
+
+/// Seed for chaos scenarios: MAQS_CHAOS_SEED when set, else 42.
+inline std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("MAQS_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+// ---- flaky characteristic (module failure injection) ----
+
+inline const std::string& flaky_module_name() {
+  static const std::string kName = "chaos.flaky.module";
+  return kName;
+}
+
+inline const std::string& flaky_name() {
+  static const std::string kName = "chaos.flaky";
+  return kName;
+}
+
+/// Shared failure switch: the test flips `failing`, the module (owned by
+/// the transport) reads it per invocation.
+struct FlakyState {
+  bool failing = false;
+  int invocations = 0;
+  int failures = 0;
+};
+
+class FlakyModule final : public core::QosModule {
+ public:
+  explicit FlakyModule(std::shared_ptr<FlakyState> state)
+      : core::QosModule(flaky_module_name()), state_(std::move(state)) {}
+
+  orb::ReplyMessage invoke(orb::RequestMessage req,
+                           const orb::ObjRef& target) override {
+    ++state_->invocations;
+    if (state_->failing) {
+      ++state_->failures;
+      throw core::QosError("chaos: injected module failure");
+    }
+    return core::QosModule::invoke(std::move(req), target);
+  }
+
+ private:
+  std::shared_ptr<FlakyState> state_;
+};
+
+inline core::CharacteristicDescriptor flaky_descriptor() {
+  return core::CharacteristicDescriptor(
+      flaky_name(), core::QosCategory::kFaultTolerance,
+      {
+          core::ParamDesc{"level", cdr::TypeCode::long_tc(),
+                          cdr::Any::from_long(8), 1, 64},
+      },
+      {});
+}
+
+/// Provider for the flaky characteristic: module-level only (no mediator,
+/// no server impl), demanding `level` cpu so admission and the halving
+/// policy behave like the real characteristics.
+inline core::CharacteristicProvider make_flaky_provider(
+    std::shared_ptr<FlakyState> state) {
+  core::CharacteristicProvider provider;
+  provider.descriptor = flaky_descriptor();
+  provider.module = flaky_module_name();
+  auto& registry = core::ModuleFactoryRegistry::instance();
+  if (!registry.contains(flaky_module_name())) {
+    registry.register_factory(flaky_module_name(), [state] {
+      return std::make_unique<FlakyModule>(state);
+    });
+  }
+  provider.resource_demand =
+      [](const std::map<std::string, cdr::Any>& params) {
+        core::ResourceDemand demand;
+        demand["cpu"] = static_cast<double>(params.at("level").as_integer());
+        return demand;
+      };
+  return provider;
+}
+
+// ---- the world ----
+
+struct ChaosWorld {
+  explicit ChaosWorld(std::uint64_t seed = chaos_seed())
+      : net(loop, seed),
+        server(net, "server", 9000),
+        client(net, "client", 9001),
+        server_transport(server),
+        client_transport(client),
+        flaky_state(std::make_shared<FlakyState>()),
+        providers(make_providers(flaky_state)),
+        negotiation(server_transport, providers, resources),
+        negotiator(client_transport, providers),
+        adaptation(client_transport, negotiator) {
+    resources.declare("cpu", 100.0);
+    plain_servant = std::make_shared<EchoImpl>();
+    plain_ref = server.adapter().activate("chaos-plain", plain_servant);
+    qos_servant = std::make_shared<QosEchoImpl>();
+    qos_servant->assign_characteristic(flaky_descriptor());
+    orb::QosProfile profile;
+    profile.characteristic = flaky_name();
+    qos_ref = server.adapter().activate("chaos-echo", qos_servant, {profile});
+  }
+
+  ~ChaosWorld() {
+    // The factory closure captures this world's FlakyState; drop it so
+    // the next world registers a fresh one.
+    core::ModuleFactoryRegistry::instance().unregister(flaky_module_name());
+  }
+
+  static core::ProviderRegistry make_providers(
+      const std::shared_ptr<FlakyState>& state) {
+    core::ProviderRegistry registry;
+    registry.add(make_flaky_provider(state));
+    return registry;
+  }
+
+  /// Halve the level on every violation, down to 1 (then terminate).
+  static core::AdaptationManager::Policy halving_policy() {
+    return [](const core::Agreement& agreement, const std::string&)
+               -> std::optional<std::map<std::string, cdr::Any>> {
+      const std::int64_t level = agreement.int_param("level");
+      if (level <= 1) return std::nullopt;
+      return std::map<std::string, cdr::Any>{
+          {"level",
+           cdr::Any::from_long(static_cast<std::int32_t>(level / 2))}};
+    };
+  }
+
+  // ---- fault timeline helpers (absolute virtual-time points) ----
+
+  void at(sim::TimePoint when, std::function<void()> action) {
+    const sim::TimePoint now = loop.now();
+    loop.schedule(when > now ? when - now : 0, std::move(action));
+  }
+  void crash_at(sim::TimePoint when, const net::NodeId& node) {
+    at(when, [this, node] { net.crash(node); });
+  }
+  void restart_at(sim::TimePoint when, const net::NodeId& node) {
+    at(when, [this, node] { net.restart(node); });
+  }
+  void partition_at(sim::TimePoint when, const net::NodeId& node,
+                    int group) {
+    at(when, [this, node, group] { net.set_partition(node, group); });
+  }
+  void heal_at(sim::TimePoint when) {
+    at(when, [this] { net.heal_partitions(); });
+  }
+
+  sim::EventLoop loop;
+  net::Network net;
+  orb::Orb server;
+  orb::Orb client;
+  core::QosTransport server_transport;
+  core::QosTransport client_transport;
+  core::ResourceManager resources;
+  std::shared_ptr<FlakyState> flaky_state;
+  core::ProviderRegistry providers;
+  core::NegotiationService negotiation;
+  core::Negotiator negotiator;
+  core::AdaptationManager adaptation;
+  std::shared_ptr<EchoImpl> plain_servant;
+  orb::ObjRef plain_ref;
+  std::shared_ptr<QosEchoImpl> qos_servant;
+  orb::ObjRef qos_ref;
+};
+
+// ---- workload runner ----
+
+struct WorkloadReport {
+  int attempted = 0;
+  int succeeded = 0;
+  int failed = 0;
+  sim::Duration max_latency = 0;
+};
+
+/// Runs `count` sequential blocking calls, `spacing` of virtual time
+/// apart, tallying outcomes. Sequential (call, then advance) keeps the
+/// event-loop nesting flat and the timeline readable.
+template <typename Call>
+WorkloadReport run_workload(sim::EventLoop& loop, int count,
+                            sim::Duration spacing, Call&& call) {
+  WorkloadReport report;
+  for (int i = 0; i < count; ++i) {
+    ++report.attempted;
+    const sim::TimePoint start = loop.now();
+    try {
+      call(i);
+      ++report.succeeded;
+    } catch (const Error&) {
+      ++report.failed;
+    }
+    const sim::Duration took = loop.now() - start;
+    if (took > report.max_latency) report.max_latency = took;
+    loop.run_for(spacing);
+  }
+  return report;
+}
+
+}  // namespace maqs::testing
