@@ -93,6 +93,19 @@ Row measure(std::string scenario, std::string op, Fn&& call) {
   return row;
 }
 
+/// Inert custom interceptors for the chain-overhead rows: every hook keeps
+/// its default kContinue/no-op body, so the measured cost is the walk
+/// itself (one vector entry + two virtual calls per stage).
+class NoopClientInterceptor final : public orb::ClientInterceptor {
+ public:
+  const char* name() const noexcept override { return "bench.noop"; }
+};
+
+class NoopServerInterceptor final : public orb::ServerInterceptor {
+ public:
+  const char* name() const noexcept override { return "bench.noop"; }
+};
+
 core::Agreement make_agreement(const std::string& characteristic,
                                std::map<std::string, cdr::Any> params) {
   core::Agreement agreement;
@@ -140,7 +153,8 @@ void run_scenarios(std::vector<Row>& rows) {
 
     // Resilience armed but idle: retry governor + circuit breaker
     // installed on a healthy link. The happy path pays only the advisor
-    // branch, the per-attempt request copy, and one breaker map lookup.
+    // branch and one breaker map lookup (the interceptor terminal never
+    // copies the request between attempts).
     core::RetryGovernor governor(core::RetryPolicy::idempotent(), 42);
     world.client.set_retry_advisor(&governor);
     world.client.set_breaker_config(orb::BreakerConfig{});
@@ -148,6 +162,33 @@ void run_scenarios(std::vector<Row>& rows) {
         measure("plain_resilient", "add", [&] { stub.add(1, 2); }));
     world.client.set_retry_advisor(nullptr);
     world.client.set_breaker_config(std::nullopt);
+
+    // Chain overhead: extra no-op interceptors registered on both sides,
+    // every built-in stage armed-but-idle. Must hold the 8 allocs/request
+    // line — the walk is branches and virtual calls, never heap.
+    NoopClientInterceptor noop_client;
+    NoopServerInterceptor noop_server;
+    world.client.register_client_interceptor(&noop_client, 275);
+    world.server.register_server_interceptor(&noop_server, 175);
+    rows.push_back(
+        measure("plain_interceptors", "add", [&] { stub.add(1, 2); }));
+
+    // Everything at once: customs + retry + breaker + recorder installed
+    // but disabled. The row to diff against plain_resilient — the full
+    // chain must not regress it.
+    trace::TraceRecorder full_chain_recorder(world.loop);
+    world.client.set_trace_recorder(&full_chain_recorder);
+    world.server.set_trace_recorder(&full_chain_recorder);
+    world.client.set_retry_advisor(&governor);
+    world.client.set_breaker_config(orb::BreakerConfig{});
+    rows.push_back(
+        measure("full_chain", "add", [&] { stub.add(1, 2); }));
+    world.client.set_retry_advisor(nullptr);
+    world.client.set_breaker_config(std::nullopt);
+    world.client.set_trace_recorder(nullptr);
+    world.server.set_trace_recorder(nullptr);
+    world.client.unregister_client_interceptor(&noop_client);
+    world.server.unregister_server_interceptor(&noop_server);
   }
 
   {  // qos_unmodified: QoS-aware reference, no module assigned -> fallback

@@ -6,7 +6,8 @@
 // as a delegate."
 //
 // Mediator is that generated skeleton's base: it plugs into StubBase's
-// interceptor slot, carries the agreement it operates under, and exposes
+// delegate slot (consumed by the pipeline's mediator interceptor), carries
+// the agreement it operates under, and exposes
 // the characteristic's QoS operations to client code (mechanism ops run
 // locally on the mediator; peer ops talk to the server-side QoS impl over
 // the middleware).
@@ -25,7 +26,7 @@
 
 namespace maqs::core {
 
-class Mediator : public orb::ClientInterceptor {
+class Mediator : public orb::ClientDelegate {
  public:
   explicit Mediator(std::string characteristic)
       : characteristic_(std::move(characteristic)) {}
@@ -59,7 +60,7 @@ class Mediator : public orb::ClientInterceptor {
   Agreement agreement_;
 };
 
-class CompositeMediator : public orb::ClientInterceptor {
+class CompositeMediator : public orb::ClientDelegate {
  public:
   /// Appends a mediator at the end of the outbound chain.
   void add(std::shared_ptr<Mediator> mediator);

@@ -1,8 +1,63 @@
 #include "core/qos_skeleton.hpp"
 
+#include <utility>
+
 #include "trace/trace.hpp"
 
 namespace maqs::core {
+
+namespace {
+
+// The Fig. 2 prolog/epilog bracket of one installed delegate, as a stage on
+// the skeleton's server chain. Spans are scoped to the hook body (siblings,
+// not parents of the stages below) so the trace tree matches the woven
+// loop it replaces.
+class PrologEpilogStage final : public orb::ServerInterceptor {
+ public:
+  explicit PrologEpilogStage(std::shared_ptr<QosImpl> impl)
+      : impl_(std::move(impl)) {}
+  const char* name() const noexcept override { return "skeleton.prolog_epilog"; }
+
+  void receive_request(orb::ServerRequestInfo& info) override {
+    trace::SpanScope span("skeleton.prolog", impl_->characteristic());
+    impl_->prolog(*info.ctx);
+  }
+
+  void send_reply(orb::ServerRequestInfo& info) override {
+    trace::SpanScope span("skeleton.epilog", impl_->characteristic());
+    impl_->epilog(*info.ctx);
+  }
+
+ private:
+  std::shared_ptr<QosImpl> impl_;
+};
+
+// One delegate's marshaled-payload transforms: arguments inverted on the
+// way down, results applied on the way up.
+class TransformStage final : public orb::ServerInterceptor {
+ public:
+  explicit TransformStage(std::shared_ptr<QosImpl> impl)
+      : impl_(std::move(impl)) {}
+  const char* name() const noexcept override { return "skeleton.transform"; }
+
+  void receive_request(orb::ServerRequestInfo& info) override {
+    trace::SpanScope span("skeleton.transform_args", impl_->characteristic());
+    info.request->body =
+        impl_->transform_args(std::move(info.request->body), *info.ctx);
+  }
+
+  void send_reply(orb::ServerRequestInfo& info) override {
+    trace::SpanScope span("skeleton.transform_result",
+                          impl_->characteristic());
+    info.reply.body =
+        impl_->transform_result(std::move(info.reply.body), *info.ctx);
+  }
+
+ private:
+  std::shared_ptr<QosImpl> impl_;
+};
+
+}  // namespace
 
 StateAccess* QosServerContext::state_access() {
   return host_.state_access();
@@ -52,6 +107,7 @@ void QosServantBase::install_impl(std::shared_ptr<QosImpl> impl) {
   if (!impl_ctx_) impl_ctx_ = std::make_unique<QosServerContext>(*this);
   impl->attach(*impl_ctx_);
   impls_.push_back(std::move(impl));
+  rebuild_stage_chain();
 }
 
 void QosServantBase::remove_impl(const std::string& characteristic) {
@@ -59,6 +115,7 @@ void QosServantBase::remove_impl(const std::string& characteristic) {
     if ((*it)->characteristic() == characteristic) {
       (*it)->detach();
       impls_.erase(it);
+      rebuild_stage_chain();
       return;
     }
   }
@@ -67,6 +124,26 @@ void QosServantBase::remove_impl(const std::string& characteristic) {
 void QosServantBase::clear_impls() {
   for (auto& impl : impls_) impl->detach();
   impls_.clear();
+  rebuild_stage_chain();
+}
+
+void QosServantBase::rebuild_stage_chain() {
+  stage_chain_ = orb::ServerChain{};
+  stages_.clear();
+  // Band layout encodes the paper's nesting: prologs run in installation
+  // order (ascending prolog band), argument transforms in reverse
+  // installation order (descending offsets in the transform band), and the
+  // unwind mirrors both — result transforms in installation order, epilogs
+  // reversed.
+  const int n = static_cast<int>(impls_.size());
+  for (int i = 0; i < n; ++i) {
+    stages_.push_back(std::make_unique<PrologEpilogStage>(impls_[i]));
+    stage_chain_.add(stages_.back().get(),
+                     orb::priorities::kSkeletonPrologBase + i);
+    stages_.push_back(std::make_unique<TransformStage>(impls_[i]));
+    stage_chain_.add(stages_.back().get(),
+                     orb::priorities::kSkeletonTransformBase + (n - 1 - i));
+  }
 }
 
 void QosServantBase::set_active_impl(std::shared_ptr<QosImpl> impl) {
@@ -102,44 +179,39 @@ void QosServantBase::dispatch(const std::string& operation,
                              "' belongs to characteristic '" + it->second +
                              "', which is not negotiated");
   }
-  // Application operation: prolog* / transform* / app / transform* /
-  // epilog*. Argument transforms run in reverse installation order (the
-  // client's mediator chain applied them in installation order, so the
-  // last one is outermost on the wire); result transforms run in
-  // installation order so the client chain can peel them back.
+  // Application operation: the woven stage chain. Walk order (ascending
+  // priority) runs prologs in installation order, then argument transforms
+  // in reverse installation order (the client's mediator chain applied
+  // them in installation order, so the last one is outermost on the wire),
+  // then the application terminal; the unwind applies result transforms in
+  // installation order (so the client chain can peel them back) and
+  // epilogs reversed. An exception from any stage skips the unwind hooks
+  // below it and propagates to the adapter's reply mapping, exactly like
+  // the hand-rolled loops it replaces.
   if (impls_.empty()) {
     trace::SpanScope app_span("skeleton.app", operation);
     dispatch_app(operation, args, out, ctx);
     return;
   }
-  // Each weaving stage gets its own span (detail = characteristic) so a
-  // trace shows where the woven dispatch spends its time — prolog vs.
-  // transform vs. the application itself.
-  for (const auto& impl : impls_) {
-    trace::SpanScope span("skeleton.prolog", impl->characteristic());
-    impl->prolog(ctx);
-  }
-  util::Bytes raw_args = args.read_remaining();
-  for (auto rit = impls_.rbegin(); rit != impls_.rend(); ++rit) {
-    trace::SpanScope span("skeleton.transform_args", (*rit)->characteristic());
-    raw_args = (*rit)->transform_args(std::move(raw_args), ctx);
-  }
-  cdr::Decoder transformed_args{util::BytesView(raw_args)};
-  cdr::Encoder app_out;
-  {
-    trace::SpanScope app_span("skeleton.app", operation);
-    dispatch_app(operation, transformed_args, app_out, ctx);
-  }
-  util::Bytes result = app_out.take();
-  for (const auto& impl : impls_) {
-    trace::SpanScope span("skeleton.transform_result", impl->characteristic());
-    result = impl->transform_result(std::move(result), ctx);
-  }
-  out.write_raw(result);
-  for (auto rit = impls_.rbegin(); rit != impls_.rend(); ++rit) {
-    trace::SpanScope span("skeleton.epilog", (*rit)->characteristic());
-    (*rit)->epilog(ctx);
-  }
+  orb::RequestMessage staged;
+  staged.request_id = ctx.request().request_id;
+  staged.operation = operation;
+  staged.body = args.read_remaining();
+  orb::ServerRequestInfo info;
+  info.from = &ctx.client();
+  info.request = &staged;
+  info.ctx = &ctx;
+  orb::walk_server_chain(
+      stage_chain_, 0, info, [this, &operation](orb::ServerRequestInfo& i) {
+        cdr::Decoder transformed_args{util::BytesView(i.request->body)};
+        cdr::Encoder app_out;
+        {
+          trace::SpanScope app_span("skeleton.app", operation);
+          dispatch_app(operation, transformed_args, app_out, *i.ctx);
+        }
+        i.reply.body = app_out.take();
+      });
+  out.write_raw(info.reply.body);
 }
 
 WovenServant::WovenServant(std::shared_ptr<orb::Servant> inner)

@@ -27,10 +27,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/characteristic.hpp"
 #include "core/contract.hpp"
 #include "orb/exceptions.hpp"
+#include "orb/interceptor.hpp"
 #include "orb/servant.hpp"
 
 namespace maqs::core {
@@ -164,6 +166,12 @@ class QosServantBase : public orb::Servant {
                             cdr::Encoder& out, orb::ServerContext& ctx) = 0;
 
  private:
+  /// Rebuilds the per-servant stage chain from impls_ after any delegate
+  /// exchange: each delegate contributes a prolog/epilog stage in the
+  /// prolog band and a payload-transform stage in the transform band
+  /// (see dispatch() for the nesting the band priorities encode).
+  void rebuild_stage_chain();
+
   /// op name -> owning characteristic (across all assigned ones).
   std::map<std::string, std::string> qos_ops_;
   std::map<std::string, CharacteristicDescriptor> assigned_;
@@ -172,6 +180,11 @@ class QosServantBase : public orb::Servant {
   /// relies on — see dispatch()).
   std::vector<std::shared_ptr<QosImpl>> impls_;
   std::unique_ptr<QosServerContext> impl_ctx_;
+  /// The woven dispatch as an interceptor chain: one prolog/epilog and one
+  /// transform stage per installed delegate, walked by dispatch() with the
+  /// application skeleton as the terminal.
+  std::vector<std::unique_ptr<orb::ServerInterceptor>> stages_;
+  orb::ServerChain stage_chain_;
 };
 
 /// Delegation-based weaving for pre-existing skeletons: wraps any servant

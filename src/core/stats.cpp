@@ -59,6 +59,20 @@ std::string StatsSnapshot::to_string() const {
     line(out, "spans_evicted", trace.spans_evicted);
     line(out, "span_errors", trace.span_errors);
   }
+  if (!interceptors.empty()) {
+    out += "[interceptors]\n";
+    for (const orb::InterceptorRecord& rec : interceptors) {
+      out += rec.server ? "server " : "client ";
+      out += std::to_string(rec.priority);
+      out += ' ';
+      out += rec.name;
+      out += " hits=";
+      out += std::to_string(rec.hits);
+      out += " short_circuits=";
+      out += std::to_string(rec.short_circuits);
+      out += '\n';
+    }
+  }
   return out;
 }
 
@@ -67,6 +81,7 @@ StatsSnapshot collect_stats(const orb::Orb& orb,
   StatsSnapshot snap;
   snap.orb = orb.stats();
   snap.net = orb.network().stats();
+  snap.interceptors = orb.dump_interceptors();
   if (transport != nullptr) {
     snap.transport = transport->stats();
     snap.has_transport = true;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/monitoring.hpp"
 #include "core/qos_transport.hpp"
@@ -24,6 +25,9 @@ struct StatsSnapshot {
   TransportStats transport;
   net::NetStats net;
   trace::RecorderStats trace;
+  /// The ORB's interceptor chains in walk order (client then server),
+  /// with per-stage hit/short-circuit counters.
+  std::vector<orb::InterceptorRecord> interceptors;
   bool has_transport = false;
   bool has_trace = false;
 

@@ -10,12 +10,35 @@
 namespace maqs::orb {
 
 Orb::Orb(net::Network& network, net::NodeId node, std::uint16_t port)
-    : network_(network), endpoint_{std::move(node), port}, adapter_(*this) {
+    : network_(network),
+      endpoint_{std::move(node), port},
+      adapter_(*this),
+      trace_ci_(*this),
+      route_ci_(*this, stats_),
+      retry_ci_(*this, stats_),
+      breaker_ci_(*this, stats_),
+      wire_si_(*this, stats_),
+      qos_si_(*this, stats_) {
   network_.add_node(endpoint_.node);
   network_.bind(endpoint_,
                 [this](const net::Address& from, const util::Bytes& data) {
                   on_frame(from, data);
                 });
+  // The built-in pipeline, at its documented positions (see
+  // orb/interceptor.hpp). Every stage is armed-but-idle until the matching
+  // facade installs a policy.
+  client_chain_.add(&trace_ci_, priorities::kClientTrace);
+  client_chain_.add(&mediator_ci_, priorities::kClientMediator);
+  client_chain_.add(&route_ci_, priorities::kClientRoute);
+  client_chain_.add(&fault_ci_, priorities::kClientLocalFault);
+  client_chain_.add(&retry_ci_, priorities::kClientRetry);
+  client_chain_.add(&attempt_ci_, priorities::kClientAttemptTrace);
+  client_chain_.add(&breaker_ci_, priorities::kClientBreaker);
+  server_chain_.add(&trace_si_, priorities::kServerTrace);
+  server_chain_.add(&wire_si_, priorities::kServerWireReply);
+  server_chain_.add(&qos_si_, priorities::kServerQos);
+  wire_si_.set_slot(server_chain_.allocate_slot());
+  qos_si_.set_slot(server_chain_.allocate_slot());
 }
 
 Orb::~Orb() {
@@ -29,69 +52,70 @@ Orb::~Orb() {
 }
 
 ReplyMessage Orb::invoke(const ObjRef& target, RequestMessage req) {
-  if (target.is_nil()) {
+  ClientRequestInfo info{*this};
+  info.target = &target;
+  info.request = std::move(req);
+  invoke_with(info);
+  return std::move(info.reply);
+}
+
+void Orb::invoke_with(ClientRequestInfo& info) {
+  if (info.target == nullptr || info.target->is_nil()) {
     throw ObjectNotExist("orb: invoke on nil reference");
   }
-  req.object_key = target.object_key;
-  // Fig. 3, "With QoS?": the IOR tag decides the path.
-  if (target.qos_aware() && router_ != nullptr) {
-    req.qos_aware = true;
-    ++stats_.qos_path;
-    return router_->route(target, std::move(req));
-  }
-  ++stats_.plain_path;
-  return invoke_plain(target.endpoint, std::move(req));
+  info.request.object_key = info.target->object_key;
+  client_walk(info, 0);
 }
 
 ReplyMessage Orb::invoke_plain(const net::Address& dest, RequestMessage req) {
-  if (retry_advisor_ == nullptr) {
-    // Single-attempt fast path: the request moves straight through to the
-    // wire encoder, no copy.
-    ReplyMessage rep = attempt_plain(dest, std::move(req));
-    if (rep.synthesized_locally &&
-        rep.status == ReplyStatus::kSystemException) {
-      throw_local_fault(rep);
-    }
-    return rep;
-  }
+  ClientRequestInfo info{*this};
+  info.plain_dest = &dest;
+  info.request = std::move(req);
+  client_walk(info, client_chain_.first_at_or_above(kClientPlainEntry));
+  return std::move(info.reply);
+}
 
-  const sim::TimePoint started = loop().now();
-  for (int attempt = 1;; ++attempt) {
-    ReplyMessage rep = attempt_plain(dest, req);
-    if (rep.status != ReplyStatus::kSystemException) return rep;
-    const std::optional<sim::Duration> backoff =
-        retry_advisor_->on_attempt_failed(dest, req, rep, attempt,
-                                          loop().now() - started);
-    if (!backoff.has_value()) {
-      if (rep.synthesized_locally) throw_local_fault(rep);
-      // Remote exception: surface it to the caller (raise_for_status maps
-      // it to the right exception type) rather than masking it.
-      return rep;
+void Orb::client_walk(ClientRequestInfo& info, std::size_t index) {
+  auto& entries = client_chain_.entries();
+  if (index >= entries.size()) {
+    attempt_once(info);
+    return;
+  }
+  auto& entry = entries[index];
+  ClientInterceptor& interceptor = *entry.interceptor;
+  // The kRetry loop: a retrying interceptor re-drives itself and every
+  // level below it, while the levels above stay on their single pass.
+  for (;;) {
+    ++entry.hits;
+    try {
+      if (interceptor.send_request(info) == SendAction::kComplete) {
+        // info.reply is the answer; levels below never run and this
+        // interceptor's own receive_reply is skipped — the levels above
+        // still observe the reply on their unwind.
+        ++entry.short_circuits;
+        return;
+      }
+      client_walk(info, index + 1);
+      if (interceptor.receive_reply(info) == ReplyAction::kRetry) continue;
+    } catch (...) {
+      interceptor.receive_exception(info);
+      throw;
     }
-    ++stats_.requests_retried;
-    if (trace::tracing_active()) {
-      trace::point("retry.backoff",
-                   "attempt=" + std::to_string(attempt) +
-                       " backoff_ns=" + std::to_string(*backoff) + " " +
-                       rep.exception);
-    }
-    if (*backoff > 0) {
-      bool fired = false;
-      loop().schedule(*backoff, [&fired] { fired = true; });
-      run_until([&fired] { return fired; });
-    }
-    // Fresh id per attempt: a straggler reply to an abandoned attempt must
-    // never satisfy (or double-complete) the retried one.
-    req.request_id = next_request_id();
+    return;
   }
 }
 
-ReplyMessage Orb::attempt_plain(const net::Address& dest,
-                                RequestMessage req) {
+void Orb::attempt_once(ClientRequestInfo& info) {
+  // One blocking wire attempt. The request stays owned by the info record
+  // (the encoder reads it in place), so a retry level above can re-drive
+  // without ever copying it. Admission already happened in the chain's
+  // breaker stage; re-checking here would double-spend a half-open
+  // circuit's single probe.
   std::optional<ReplyMessage> result;
-  const std::uint64_t id = send_request(
-      dest, std::move(req),
-      [&result](ReplyMessage rep) { result = std::move(rep); });
+  const std::uint64_t id = wire_send(
+      info.wire_dest(), info.request,
+      [&result](ReplyMessage rep) { result = std::move(rep); },
+      /*timeout=*/0);
   run_until([&result] { return result.has_value(); });
   if (!result.has_value()) {
     // Event queue drained without the reply or the timeout firing; this
@@ -99,17 +123,7 @@ ReplyMessage Orb::attempt_plain(const net::Address& dest,
     cancel_request(id);
     throw TransportError("orb: event loop drained while awaiting reply");
   }
-  return *std::move(result);
-}
-
-void Orb::throw_local_fault(const ReplyMessage& rep) {
-  if (rep.exception == "maqs/TIMEOUT") {
-    throw TransportError("orb: request timed out");
-  }
-  if (rep.exception == "maqs/CIRCUIT_OPEN") {
-    throw TransportError("orb: circuit breaker open");
-  }
-  throw TransportError("orb: " + rep.exception);
+  info.reply = *std::move(result);
 }
 
 void Orb::add_pending(std::uint64_t id, ReplyHandler on_reply,
@@ -122,22 +136,21 @@ void Orb::add_pending(std::uint64_t id, ReplyHandler on_reply,
   // Only copy the endpoint when a breaker will want it charged on timeout;
   // keeping the string empty preserves the allocation-free pending entry
   // on the default path.
-  if (breaker_config_.has_value() && !multi) pending.dest = dest;
+  if (breaker_ci_.armed() && !multi) pending.dest = dest;
   pending.timeout_event = loop().schedule(timeout, [this, id] {
     auto it = find_pending(id);
     if (it == pending_.end()) return;
     ++stats_.timeouts;
     auto callback = std::move(it->on_reply);
     net::Address failed_dest;
-    const bool charge_breaker =
-        breaker_config_.has_value() && !it->dest.node.empty();
+    const bool charge_breaker = breaker_ci_.armed() && !it->dest.node.empty();
     if (charge_breaker) failed_dest = std::move(it->dest);
     // The timeout event is firing right now, so there is nothing stale to
     // cancel: remove without touching the event.
     pop_pending(it);
     // Charge the breaker before the callback runs, so an immediate retry
     // from inside the callback sees the updated circuit state.
-    if (charge_breaker) breaker_on_failure(failed_dest);
+    if (charge_breaker) breaker_ci_.on_transport_failure(failed_dest);
     ReplyMessage timeout_reply;
     timeout_reply.request_id = id;
     timeout_reply.status = ReplyStatus::kSystemException;
@@ -166,26 +179,11 @@ void Orb::erase_pending(std::vector<Pending>::iterator it) {
   pop_pending(it);
 }
 
-std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
-                                ReplyHandler on_reply, sim::Duration timeout) {
-  if (req.request_id == 0) req.request_id = next_request_id();
+std::uint64_t Orb::wire_send(const net::Address& dest,
+                             const RequestMessage& req, ReplyHandler on_reply,
+                             sim::Duration timeout) {
   if (timeout <= 0) timeout = default_timeout_;
   const std::uint64_t id = req.request_id;
-
-  if (breaker_config_.has_value() && !breaker_allow(dest)) {
-    // Fail fast: deliver the synthesized rejection inline (before this
-    // call returns) instead of arming a doomed timeout. invoke_plain's
-    // run_until sees the reply on its first predicate check.
-    ++stats_.breaker_fast_fails;
-    ReplyMessage fast;
-    fast.request_id = id;
-    fast.status = ReplyStatus::kSystemException;
-    fast.exception = "maqs/CIRCUIT_OPEN";
-    fast.synthesized_locally = true;
-    on_reply(std::move(fast));
-    return id;
-  }
-
   add_pending(id, std::move(on_reply), timeout, /*multi=*/false, dest);
   ++stats_.requests_sent;
   util::Bytes wire = req.encode();
@@ -199,6 +197,22 @@ std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
     throw;
   }
   return id;
+}
+
+std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
+                                ReplyHandler on_reply, sim::Duration timeout) {
+  if (req.request_id == 0) req.request_id = next_request_id();
+  const std::uint64_t id = req.request_id;
+  if (breaker_ci_.armed()) {
+    // Fail fast: deliver the synthesized rejection inline (before this
+    // call returns) instead of arming a doomed timeout.
+    ReplyMessage fast;
+    if (!breaker_ci_.admit(dest, id, fast)) {
+      on_reply(std::move(fast));
+      return id;
+    }
+  }
+  return wire_send(dest, req, std::move(on_reply), timeout);
 }
 
 std::uint64_t Orb::send_multicast_request(const std::string& group,
@@ -249,78 +263,30 @@ void Orb::on_frame(const net::Address& from, const util::Bytes& data) {
 }
 
 void Orb::handle_request(const net::Address& from, RequestMessage req) {
-  const std::uint64_t request_id = req.request_id;
-  // Re-attach the client's trace so server spans (and the reply's transit
-  // span, sent below while the scope is open) share it. When no recorder
-  // is installed the entry is ignored — tolerance for tracing peers.
-  std::optional<trace::SpanScope> scope;
-  if (trace_recorder_ != nullptr && trace_recorder_->enabled()) {
-    if (auto tag = req.context.find(trace::kTraceContextKey);
-        tag != req.context.end()) {
-      if (auto ctx = trace::decode_context(tag->second)) {
-        scope.emplace(*trace_recorder_, *ctx, "server.request",
-                      req.operation);
-      }
-    }
-  }
-  ReplyMessage rep = dispatch(std::move(req), from);
-  rep.request_id = request_id;
-  util::Bytes wire = rep.encode();
-  stats_.bytes_marshaled_out += wire.size();
-  network_.send(endpoint_, from, std::move(wire));
+  // Full server chain: trace re-attach, wire reply tail, QoS transforms,
+  // then the adapter terminal.
+  ServerRequestInfo info;
+  info.orb = this;
+  info.from = &from;
+  info.request = &req;
+  walk_server_chain(server_chain_, 0, info, [this](ServerRequestInfo& i) {
+    i.reply = dispatch_to_servant(*i.request, *i.from);
+  });
 }
 
 ReplyMessage Orb::dispatch(RequestMessage req, const net::Address& from) {
-  // Fig. 3 server half: QoS-aware traffic (including commands) consults the
-  // QoS transport first; it may answer directly (commands, negotiation) or
-  // rewrite the request (inbound payload transforms).
-  if (req.kind == RequestKind::kCommand) {
-    ++stats_.commands_dispatched;
-    if (router_ == nullptr) {
-      ReplyMessage rep;
-      rep.request_id = req.request_id;
-      rep.status = ReplyStatus::kSystemException;
-      rep.exception = "maqs/NO_QOS_TRANSPORT";
-      return rep;
-    }
-    auto direct = router_->inbound(req, from);
-    if (direct.has_value()) {
-      direct->request_id = req.request_id;
-      return *std::move(direct);
-    }
-    ReplyMessage rep;
-    rep.request_id = req.request_id;
-    rep.status = ReplyStatus::kBadOperation;
-    rep.exception = "maqs/UNHANDLED_COMMAND";
-    return rep;
-  }
-
-  ++stats_.requests_dispatched;
-  const bool use_router = req.qos_aware && router_ != nullptr;
-  // Router hooks may fail (bad module state, failed payload restore);
-  // that must surface as an exception reply, never kill the dispatch
-  // loop or silently drop the request.
-  try {
-    if (use_router) {
-      auto direct = router_->inbound(req, from);
-      if (direct.has_value()) {
-        direct->request_id = req.request_id;
-        return *std::move(direct);
-      }
-    }
-    ReplyMessage rep = dispatch_to_servant(req, from);
-    if (use_router) {
-      router_->outbound(req, rep);
-    }
-    return rep;
-  } catch (const Error& e) {
-    trace::note_error(e.what());
-    ReplyMessage rep;
-    rep.request_id = req.request_id;
-    rep.status = ReplyStatus::kSystemException;
-    rep.exception = e.what();
-    return rep;
-  }
+  // The QoS transport's entry: same chain, minus the wire stages (the
+  // transport owns its own framing and trace spans).
+  ServerRequestInfo info;
+  info.orb = this;
+  info.from = &from;
+  info.request = &req;
+  walk_server_chain(server_chain_,
+                    server_chain_.first_at_or_above(kServerDispatchEntry),
+                    info, [this](ServerRequestInfo& i) {
+                      i.reply = dispatch_to_servant(*i.request, *i.from);
+                    });
+  return std::move(info.reply);
 }
 
 ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
@@ -376,7 +342,7 @@ void Orb::handle_reply(const net::Address& from, ReplyMessage rep) {
   // endpoint is reachable, so the breaker hears about it before the
   // pending lookup. A late probe reply after its timeout still closes the
   // circuit rather than leaving it needlessly open.
-  if (breaker_config_.has_value()) breaker_on_success(from);
+  if (breaker_ci_.armed()) breaker_ci_.on_reply_decoded(from);
   auto it = find_pending(rep.request_id);
   if (it == pending_.end()) {
     // Late reply after timeout/cancel, or surplus replies of a multicast
@@ -398,63 +364,18 @@ void Orb::handle_reply(const net::Address& from, ReplyMessage rep) {
   }
 }
 
-// ---- circuit breaking ----
-
-CircuitBreaker& Orb::breaker_for(const net::Address& dest) {
-  auto it = breakers_.find(dest);
-  if (it == breakers_.end()) {
-    it = breakers_.emplace(dest, CircuitBreaker(*breaker_config_)).first;
+std::vector<InterceptorRecord> Orb::dump_interceptors() const {
+  std::vector<InterceptorRecord> out;
+  out.reserve(client_chain_.entries().size() + server_chain_.entries().size());
+  for (const auto& entry : client_chain_.entries()) {
+    out.push_back({entry.interceptor->name(), entry.priority, entry.hits,
+                   entry.short_circuits, /*server=*/false});
   }
-  return it->second;
-}
-
-bool Orb::breaker_allow(const net::Address& dest) {
-  CircuitBreaker& breaker = breaker_for(dest);
-  const BreakerState before = breaker.state();
-  const bool admitted = breaker.allow(loop().now());
-  if (breaker.state() != before) {
-    note_breaker_transition(dest, before, breaker.state());
+  for (const auto& entry : server_chain_.entries()) {
+    out.push_back({entry.interceptor->name(), entry.priority, entry.hits,
+                   entry.short_circuits, /*server=*/true});
   }
-  return admitted;
-}
-
-void Orb::breaker_on_success(const net::Address& from) {
-  // find, never create: a success for an endpoint no breaker tracks is
-  // not worth a map entry.
-  auto it = breakers_.find(from);
-  if (it == breakers_.end()) return;
-  const BreakerState before = it->second.state();
-  it->second.record_success();
-  if (it->second.state() != before) {
-    note_breaker_transition(from, before, it->second.state());
-  }
-}
-
-void Orb::breaker_on_failure(const net::Address& dest) {
-  CircuitBreaker& breaker = breaker_for(dest);
-  const BreakerState before = breaker.state();
-  breaker.record_failure(loop().now());
-  if (breaker.state() != before) {
-    note_breaker_transition(dest, before, breaker.state());
-  }
-}
-
-void Orb::note_breaker_transition(const net::Address& endpoint,
-                                  BreakerState from, BreakerState to) {
-  switch (to) {
-    case BreakerState::kOpen: ++stats_.breaker_opens; break;
-    case BreakerState::kHalfOpen: ++stats_.breaker_half_opens; break;
-    case BreakerState::kClosed: ++stats_.breaker_closes; break;
-  }
-  MAQS_INFO() << "orb " << endpoint_.to_string() << ": circuit to "
-              << endpoint.to_string() << " " << breaker_state_name(from)
-              << " -> " << breaker_state_name(to);
-  if (trace::tracing_active()) {
-    trace::point("breaker.transition",
-                 endpoint.to_string() + " " +
-                     std::string(breaker_state_name(from)) + "->" +
-                     breaker_state_name(to));
-  }
+  return out;
 }
 
 }  // namespace maqs::orb

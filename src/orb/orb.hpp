@@ -12,22 +12,28 @@
 //                      service request  --> (module inbound transform) -->
 //                                           object adapter --> servant
 //
-// The ORB itself knows nothing about QoS mechanisms; it only provides the
-// tagged-request plumbing and the RequestRouter extension point that
-// maqs::core::QosTransport implements. This keeps the hierarchy of
-// concerns the paper argues for: the ORB is reusable without any QoS.
+// Both halves are realized as interceptor chains (orb/interceptor.hpp):
+// invoke()/invoke_plain() walk the client chain down to one terminal wire
+// attempt, handle_request() walks the server chain down to the object
+// adapter. The ORB itself knows nothing about QoS mechanisms; routing,
+// mediation, tracing, retry and circuit breaking are interceptors, and
+// the RequestRouter extension point (implemented by maqs::core's
+// QosTransport) hangs off the qos.route/qos.server stages. This keeps the
+// hierarchy of concerns the paper argues for: the ORB is reusable without
+// any QoS.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
 #include "orb/adapter.hpp"
 #include "orb/breaker.hpp"
 #include "orb/exceptions.hpp"
+#include "orb/interceptor.hpp"
 #include "orb/ior.hpp"
 #include "orb/message.hpp"
 
@@ -56,23 +62,6 @@ class RequestRouter {
   virtual void outbound(const RequestMessage& req, ReplyMessage& rep) = 0;
 };
 
-/// Extension point implemented by the retry policy (maqs::core). Like
-/// RequestRouter, the interface lives in the ORB so invoke_plain() can
-/// drive the retry loop, while the policy itself (what is safe to retry,
-/// backoff schedule, deadline budget) stays a core concern.
-class RetryAdvisor {
- public:
-  virtual ~RetryAdvisor() = default;
-
-  /// Consulted after attempt number `attempt` (1-based) produced the
-  /// SYSTEM_EXCEPTION reply `rep`. `elapsed` is the virtual time spent in
-  /// invoke_plain so far. Return a backoff to sleep before retrying, or
-  /// nullopt to give up and surface the reply as-is.
-  virtual std::optional<sim::Duration> on_attempt_failed(
-      const net::Address& dest, const RequestMessage& req,
-      const ReplyMessage& rep, int attempt, sim::Duration elapsed) = 0;
-};
-
 /// Statistics for the dispatch-path benchmarks (bench_f3_dispatch,
 /// bench_f4_hotpath).
 struct OrbStats {
@@ -87,7 +76,7 @@ struct OrbStats {
   std::uint64_t bytes_marshaled_in = 0;   // frame bytes decoded successfully
   // Resilience counters (all zero unless a RetryAdvisor / BreakerConfig
   // is installed).
-  std::uint64_t requests_retried = 0;     // extra attempts by invoke_plain
+  std::uint64_t requests_retried = 0;     // extra attempts by the retry stage
   std::uint64_t breaker_fast_fails = 0;   // requests rejected while open
   std::uint64_t breaker_opens = 0;        // transitions into open
   std::uint64_t breaker_half_opens = 0;   // transitions into half-open
@@ -114,30 +103,27 @@ class Orb {
   void set_router(RequestRouter* router) noexcept { router_ = router; }
   RequestRouter* router() const noexcept { return router_; }
 
-  /// Installs/uninstalls the retry policy driving invoke_plain's retry
-  /// loop. Not owned. nullptr (the default) keeps the single-attempt
-  /// zero-copy fast path.
+  /// Installs/uninstalls the retry policy driving the retry interceptor.
+  /// Not owned. nullptr (the default) keeps the single-attempt zero-copy
+  /// fast path.
   void set_retry_advisor(RetryAdvisor* advisor) noexcept {
-    retry_advisor_ = advisor;
+    retry_ci_.set_advisor(advisor);
   }
-  RetryAdvisor* retry_advisor() const noexcept { return retry_advisor_; }
+  RetryAdvisor* retry_advisor() const noexcept { return retry_ci_.advisor(); }
 
   /// Enables per-endpoint circuit breaking on the outgoing request path
   /// (nullopt, the default, disables it and drops all breaker state).
   void set_breaker_config(std::optional<BreakerConfig> config) {
-    breaker_config_ = config;
-    breakers_.clear();
+    breaker_ci_.set_config(std::move(config));
   }
   const std::optional<BreakerConfig>& breaker_config() const noexcept {
-    return breaker_config_;
+    return breaker_ci_.config();
   }
 
   /// State of the breaker guarding `dest`; nullopt when breaking is off
   /// or no request has touched that endpoint yet.
   std::optional<BreakerState> breaker_state(const net::Address& dest) const {
-    auto it = breakers_.find(dest);
-    if (it == breakers_.end()) return std::nullopt;
-    return it->second.state();
+    return breaker_ci_.state(dest);
   }
 
   /// Installs/uninstalls the causal trace recorder (not owned; may be
@@ -160,16 +146,54 @@ class Orb {
   /// requester endpoint, so per-ORB uniqueness suffices).
   std::uint64_t next_request_id() noexcept { return next_request_id_++; }
 
+  // ---- interceptor pipeline ----
+
+  /// Registers a custom interceptor (not owned) at `priority`; see
+  /// orb/interceptor.hpp for the built-in chain positions. Must not be
+  /// called while an invocation is walking the chain.
+  void register_client_interceptor(ClientInterceptor* interceptor,
+                                   int priority) {
+    client_chain_.add(interceptor, priority);
+  }
+  bool unregister_client_interceptor(const ClientInterceptor* interceptor) {
+    return client_chain_.remove(interceptor);
+  }
+  void register_server_interceptor(ServerInterceptor* interceptor,
+                                   int priority) {
+    server_chain_.add(interceptor, priority);
+  }
+  bool unregister_server_interceptor(const ServerInterceptor* interceptor) {
+    return server_chain_.remove(interceptor);
+  }
+
+  /// Reserves a SlotTable index for a custom interceptor's cross-stage
+  /// state (built-ins hold theirs already).
+  std::size_t allocate_client_slot() { return client_chain_.allocate_slot(); }
+  std::size_t allocate_server_slot() { return server_chain_.allocate_slot(); }
+
+  /// Both chains in walk order: names, priorities and per-interceptor
+  /// hit/short-circuit counters (client chain first).
+  std::vector<InterceptorRecord> dump_interceptors() const;
+
   // ---- client side ----
 
-  /// The invocation interface (Fig. 3 client half): QoS-aware references
-  /// go to the installed router, everything else takes the plain path.
-  /// Blocks (pumps the event loop) until the reply arrives; throws
-  /// TransportError on timeout.
+  /// The invocation interface (Fig. 3 client half): walks the full client
+  /// chain — trace mint, mediation, the QoS/plain fork, resilience — down
+  /// to one (or more, under retry) wire attempts. Blocks (pumps the event
+  /// loop) until the reply arrives; throws TransportError on timeout.
   ReplyMessage invoke(const ObjRef& target, RequestMessage req);
 
-  /// Plain GIOP/IIOP path to an explicit endpoint. Used directly by the
-  /// QoS transport for negotiation bootstrap and module fallback.
+  /// Power-user form of invoke(): the caller owns the info record (target,
+  /// request and the per-invocation mediator delegate must be set) and it
+  /// outlives the walk, so the root trace span covers whatever the caller
+  /// does with info.reply afterwards (the stub classifies status under
+  /// it). info.reply holds the result.
+  void invoke_with(ClientRequestInfo& info);
+
+  /// Plain GIOP/IIOP path to an explicit endpoint: enters the client
+  /// chain at kClientPlainEntry (local-fault/retry/breaker stages only).
+  /// Used directly by the QoS transport for negotiation bootstrap and
+  /// module fallback.
   ReplyMessage invoke_plain(const net::Address& dest, RequestMessage req);
 
   /// Reply callback. Takes the reply by value so the ORB can move the
@@ -202,24 +226,30 @@ class Orb {
 
   // ---- server side (exposed for the QoS transport) ----
 
-  /// Dispatches a service request through the object adapter, applying
-  /// router inbound/outbound transforms when the request is QoS-aware.
+  /// Dispatches a service request through the server chain from
+  /// kServerDispatchEntry (router inbound/outbound transforms + adapter),
+  /// skipping the wire stages.
   ReplyMessage dispatch(RequestMessage req, const net::Address& from);
 
  private:
   void on_frame(const net::Address& from, const util::Bytes& data);
   void handle_request(const net::Address& from, RequestMessage req);
   void handle_reply(const net::Address& from, ReplyMessage rep);
-  /// Adapter dispatch only (no router hooks).
+  /// Adapter dispatch only (the server chain's terminal).
   ReplyMessage dispatch_to_servant(const RequestMessage& req,
                                    const net::Address& from);
 
-  /// One blocking attempt on the plain path: send, pump until the reply
-  /// (possibly a synthesized local fault) arrives, return it.
-  ReplyMessage attempt_plain(const net::Address& dest, RequestMessage req);
-  /// Maps a locally synthesized fault reply to the TransportError
-  /// invoke_plain's contract promises. Never returns.
-  [[noreturn]] static void throw_local_fault(const ReplyMessage& rep);
+  /// Recursive onion walk over the client chain; the level past the end
+  /// is attempt_once().
+  void client_walk(ClientRequestInfo& info, std::size_t index);
+  /// The client chain's terminal: one blocking wire attempt — send, pump
+  /// until the reply (possibly a synthesized local fault) arrives.
+  /// Admission (breaker) already happened in the chain; this never
+  /// re-checks it (a half-open circuit admits exactly one probe).
+  void attempt_once(ClientRequestInfo& info);
+  /// Encode + pending entry + network send (no breaker admission).
+  std::uint64_t wire_send(const net::Address& dest, const RequestMessage& req,
+                          ReplyHandler on_reply, sim::Duration timeout);
 
   struct Pending {
     std::uint64_t id = 0;
@@ -231,7 +261,7 @@ class Orb {
     net::Address dest;
   };
 
-  /// Registers a pending entry with its timeout; shared by send_request and
+  /// Registers a pending entry with its timeout; shared by wire_send and
   /// send_multicast_request. `dest` may be empty (multicast).
   void add_pending(std::uint64_t id, ReplyHandler on_reply,
                    sim::Duration timeout, bool multi,
@@ -245,20 +275,10 @@ class Orb {
   /// no stale timeout can fire for a completed/cancelled request.
   void erase_pending(std::vector<Pending>::iterator it);
 
-  // Breaker plumbing: each wrapper observes the state transition (if any)
-  // for counters / log / trace. All are no-ops unless breaker_config_ set.
-  CircuitBreaker& breaker_for(const net::Address& dest);
-  bool breaker_allow(const net::Address& dest);
-  void breaker_on_success(const net::Address& from);
-  void breaker_on_failure(const net::Address& dest);
-  void note_breaker_transition(const net::Address& endpoint,
-                               BreakerState from, BreakerState to);
-
   net::Network& network_;
   net::Address endpoint_;
   ObjectAdapter adapter_;
   RequestRouter* router_ = nullptr;
-  RetryAdvisor* retry_advisor_ = nullptr;
   trace::TraceRecorder* trace_recorder_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   // Flat store: only a handful of requests are in flight at once, so a
@@ -266,9 +286,26 @@ class Orb {
   // allocating per request.
   std::vector<Pending> pending_;
   sim::Duration default_timeout_ = 2 * sim::kSecond;
-  std::optional<BreakerConfig> breaker_config_;
-  std::map<net::Address, CircuitBreaker> breakers_;
   OrbStats stats_;
+
+  // The pipeline: chains first, then the built-in interceptors (which
+  // capture `stats_` by reference, so stats_ must precede them). The
+  // ORB's constructor registers the built-ins at their documented
+  // priorities; they are armed-but-idle until the matching facade
+  // (set_retry_advisor, set_breaker_config, set_router,
+  // set_trace_recorder, a stub's set_mediator) arms them.
+  ClientChain client_chain_;
+  ServerChain server_chain_;
+  TraceClientInterceptor trace_ci_;
+  MediatorClientInterceptor mediator_ci_;
+  RouteClientInterceptor route_ci_;
+  LocalFaultClientInterceptor fault_ci_;
+  RetryClientInterceptor retry_ci_;
+  AttemptTraceClientInterceptor attempt_ci_;
+  BreakerClientInterceptor breaker_ci_;
+  TraceServerInterceptor trace_si_;
+  WireReplyServerInterceptor wire_si_;
+  QosServerInterceptor qos_si_;
 };
 
 }  // namespace maqs::orb

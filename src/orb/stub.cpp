@@ -1,9 +1,8 @@
 #include "orb/stub.hpp"
 
-#include <optional>
+#include <utility>
 
 #include "cdr/decoder.hpp"
-#include "trace/trace.hpp"
 
 namespace maqs::orb {
 
@@ -52,62 +51,21 @@ void raise_for_status(const ReplyMessage& rep) {
 
 util::Bytes StubBase::invoke_operation(const std::string& operation,
                                        util::Bytes args) const {
-  RequestMessage req;
-  req.request_id = orb_.next_request_id();
-  req.kind = RequestKind::kServiceRequest;
-  req.object_key = ref_.object_key;
-  req.operation = operation;
-  req.body = std::move(args);
-
-  // Causal tracing is minted here, at the invocation interface: one root
-  // span covers the whole blocking call (mediator weaving, transport
-  // dispatch, wire, reply unweaving), and the context entry lets the
-  // server re-attach its spans to the same trace. Sampled-out traces pay
-  // nothing — no scope, no wire entry.
-  std::optional<trace::SpanScope> span;
-  if (trace::TraceRecorder* rec = orb_.trace_recorder();
-      rec != nullptr && rec->enabled()) {
-    const trace::TraceContext minted = rec->make_trace();
-    if (minted.sampled()) {
-      span.emplace(*rec, minted, "client.request", operation);
-      req.context.set(trace::kTraceContextKey,
-                      trace::encode_context(span->context()));
-    }
-  }
-
-  ReplyMessage rep;
-  if (mediator_) {
-    // Client-side aspect weaving: the mediator sees the call before the
-    // ORB does and again when the reply returns. The request is retained
-    // across the invocation so inbound() can correlate (e.g. cache fills
-    // keyed by operation+arguments).
-    ObjRef target = ref_;
-    if (auto local = mediator_->try_local(req, target)) {
-      rep = *std::move(local);
-    } else {
-      mediator_->outbound(req, target);
-      if (mediator_->needs_request_payload()) {
-        rep = orb_.invoke(target, req);
-        mediator_->inbound(req, rep);
-      } else {
-        // The mediator's inbound() only correlates on the header, so hand
-        // the (possibly large) body to the ORB by move instead of copying.
-        RequestMessage retained;
-        retained.request_id = req.request_id;
-        retained.kind = req.kind;
-        retained.qos_aware = req.qos_aware;
-        retained.object_key = req.object_key;
-        retained.target_module = req.target_module;
-        retained.operation = req.operation;
-        rep = orb_.invoke(target, std::move(req));
-        mediator_->inbound(retained, rep);
-      }
-    }
-  } else {
-    rep = orb_.invoke(ref_, std::move(req));
-  }
-  raise_for_status(rep);
-  return std::move(rep.body);
+  // The info record lives on this frame, not inside invoke(): the root
+  // trace span the pipeline's trace stage opens must still be active while
+  // raise_for_status classifies the reply (thrown Errors stamp the active
+  // trace id), and only dies when the record goes out of scope.
+  ClientRequestInfo info{orb_};
+  info.target = &ref_;
+  info.mediator = mediator_.get();
+  info.request.request_id = orb_.next_request_id();
+  info.request.kind = RequestKind::kServiceRequest;
+  info.request.object_key = ref_.object_key;
+  info.request.operation = operation;
+  info.request.body = std::move(args);
+  orb_.invoke_with(info);
+  raise_for_status(info.reply);
+  return std::move(info.reply.body);
 }
 
 }  // namespace maqs::orb

@@ -6,57 +6,20 @@
 // mediator which can issue the QoS behaviour on the client side."
 //
 // StubBase implements exactly that: generated (or generated-style) stubs
-// funnel every operation through invoke_operation(), which consults the
-// installed ClientInterceptor (maqs::core::Mediator derives from it)
-// before and after the ORB invocation. The interceptor may rewrite the
-// request, redirect the target (load balancing), or answer locally
-// (actuality cache) without touching application code.
+// funnel every operation through invoke_operation(), which builds the
+// per-invocation ClientRequestInfo record and hands it to the ORB's
+// interceptor pipeline. The installed ClientDelegate (maqs::core::Mediator
+// derives from it) is consumed by the pipeline's mediator stage; it may
+// rewrite the request, redirect the target (load balancing), or answer
+// locally (actuality cache) without touching application code.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 
 #include "orb/orb.hpp"
 
 namespace maqs::orb {
-
-/// Client-side interception hook; the MAQS mediator framework implements
-/// it. Kept in the ORB layer so the ORB stays QoS-agnostic.
-class ClientInterceptor {
- public:
-  virtual ~ClientInterceptor() = default;
-
-  /// May answer the request locally (e.g. from a cache), bypassing the
-  /// network entirely. Default: no local answer.
-  virtual std::optional<ReplyMessage> try_local(const RequestMessage& req,
-                                                const ObjRef& target) {
-    (void)req;
-    (void)target;
-    return std::nullopt;
-  }
-
-  /// Before the request reaches the ORB; may rewrite body/context and
-  /// redirect `target`.
-  virtual void outbound(RequestMessage& req, ObjRef& target) {
-    (void)req;
-    (void)target;
-  }
-
-  /// After the reply returns, before the stub unmarshals it.
-  virtual void inbound(const RequestMessage& req, ReplyMessage& rep) {
-    (void)req;
-    (void)rep;
-  }
-
-  /// Whether inbound() reads the request's body/context. When false the
-  /// stub moves the request (body included) into the ORB and retains only
-  /// the cheap header fields for inbound() correlation, sparing a copy of
-  /// the marshaled arguments. Payload transforms that only touch the reply
-  /// (compression, encryption) override this to false; the conservative
-  /// default keeps the full request alive.
-  virtual bool needs_request_payload() const { return true; }
-};
 
 /// Maps a non-OK reply onto the exception hierarchy. Shared by static
 /// stubs and the DII.
@@ -71,16 +34,16 @@ class StubBase {
   const ObjRef& ref() const noexcept { return ref_; }
 
   /// Installs the mediator delegate (nullptr removes it).
-  void set_mediator(std::shared_ptr<ClientInterceptor> mediator) {
+  void set_mediator(std::shared_ptr<ClientDelegate> mediator) {
     mediator_ = std::move(mediator);
   }
-  const std::shared_ptr<ClientInterceptor>& mediator() const noexcept {
+  const std::shared_ptr<ClientDelegate>& mediator() const noexcept {
     return mediator_;
   }
 
  protected:
   /// Generated stubs call this for every operation: request construction,
-  /// mediator weaving, invocation, reply checking. Returns the reply body
+  /// the pipeline walk, reply checking. Returns the reply body
   /// (CDR-encoded results); throws on any non-OK status.
   util::Bytes invoke_operation(const std::string& operation,
                                util::Bytes args) const;
@@ -88,7 +51,7 @@ class StubBase {
  private:
   Orb& orb_;
   ObjRef ref_;
-  std::shared_ptr<ClientInterceptor> mediator_;
+  std::shared_ptr<ClientDelegate> mediator_;
 };
 
 }  // namespace maqs::orb

@@ -7,9 +7,11 @@
 // the timeline.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "support/chaos.hpp"
+#include "trace/trace.hpp"
 
 namespace maqs::testing {
 namespace {
@@ -175,6 +177,49 @@ TEST(ChaosTest, CrashedModuleCountedAsMissingNotAsFallback) {
   EXPECT_EQ(after.requests_module_missing, 1u);
   EXPECT_EQ(after.requests_fallback_plain, before.requests_fallback_plain);
   EXPECT_EQ(after.requests_via_module, 1u);
+}
+
+// The interceptor pipeline must not perturb the deterministic timeline:
+// the same seeded chaos run, traced twice, exports byte-identical Chrome
+// traces (span set, ordering, timestamps, retry/breaker points and all).
+TEST(ChaosTest, TracedLossyRunExportsAreByteIdentical) {
+  auto traced_run = [] {
+    ChaosWorld world;
+    trace::TraceRecorder recorder(world.loop);
+    recorder.set_enabled(true);
+    world.client.set_trace_recorder(&recorder);
+    world.server.set_trace_recorder(&recorder);
+
+    net::LinkParams lossy;
+    lossy.latency = sim::kMillisecond;
+    lossy.loss_rate = 0.05;
+    world.net.set_link("client", "server", lossy);
+    world.client.set_default_timeout(4 * sim::kMillisecond);
+
+    core::RetryPolicy policy = core::RetryPolicy::idempotent();
+    policy.max_attempts = 5;
+    policy.initial_backoff = sim::kMillisecond;
+    policy.deadline_budget = 60 * sim::kMillisecond;
+    core::RetryGovernor governor(policy, chaos_seed());
+    world.client.set_retry_advisor(&governor);
+
+    EchoStub stub(world.client, world.plain_ref);
+    const WorkloadReport report =
+        run_workload(world.loop, 50, sim::kMillisecond, [&](int i) {
+          const std::string msg = "m" + std::to_string(i);
+          ASSERT_EQ(stub.echo(msg), msg);
+        });
+    EXPECT_EQ(report.succeeded, 50);
+
+    std::ostringstream out;
+    recorder.export_chrome_trace(out);
+    return out.str();
+  };
+
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -399,6 +399,60 @@ TEST(TracingIntegrationTest, ThrownExceptionsCarryTheActiveTraceId) {
   EXPECT_EQ(QosError("untraced").trace_id(), 0u);
 }
 
+// Satellite of the pipeline refactor: retry wraps trace. Every wire
+// attempt gets its own retry.attempt child span directly under the root
+// client.request span, with the backoff points recorded between them —
+// instead of one smeared span opened outside the retry loop.
+TEST(TracingIntegrationTest, RetryAttemptsGetTheirOwnChildSpans) {
+  sim::EventLoop loop;
+  net::Network network{loop};
+  orb::Orb server{network, "server", 9000};
+  orb::Orb client{network, "client", 9001};
+  trace::TraceRecorder recorder{loop};
+  recorder.set_enabled(true);
+  client.set_trace_recorder(&recorder);
+
+  auto servant = std::make_shared<QosEchoImpl>();
+  const orb::ObjRef ref = server.adapter().activate("echo", servant);
+
+  struct GrantTwo final : orb::RetryAdvisor {
+    std::optional<sim::Duration> on_attempt_failed(
+        const net::Address&, const orb::RequestMessage&,
+        const orb::ReplyMessage&, int attempt, sim::Duration) override {
+      if (attempt >= 3) return std::nullopt;
+      return sim::kMillisecond;
+    }
+  } advisor;
+  client.set_retry_advisor(&advisor);
+  // Crashed server: every attempt times out, so the advisor drives two
+  // retries before the invocation surfaces the transport fault.
+  network.crash("server");
+
+  EchoStub stub(client, ref);
+  EXPECT_THROW(stub.echo("x"), orb::TransportError);
+
+  const std::vector<trace::Span> spans = recorder.spans();
+  EXPECT_EQ(count_name(spans, "client.request"), 1);
+  EXPECT_EQ(count_name(spans, "retry.attempt"), 3);
+  EXPECT_EQ(count_name(spans, "retry.backoff"), 2);
+
+  trace::SpanId root = 0;
+  for (const trace::Span& s : spans) {
+    if (std::string_view(s.name) == "client.request") root = s.span_id;
+  }
+  ASSERT_NE(root, 0u);
+  int attempt_no = 1;
+  for (const trace::Span& s : spans) {
+    if (std::string_view(s.name) == "retry.attempt") {
+      EXPECT_EQ(s.parent_id, root);
+      EXPECT_EQ(s.detail, "attempt=" + std::to_string(attempt_no));
+      ++attempt_no;
+    }
+  }
+  EXPECT_EQ(attempt_no, 4);
+  EXPECT_EQ(client.stats().requests_retried, 2u);
+}
+
 TEST(TracingIntegrationTest, SnapshotGathersAllFourLayers) {
   WovenWorld world;
   EchoStub stub = world.make_stub();

@@ -1,0 +1,331 @@
+// The invocation-interceptor pipeline: chain ordering, short-circuiting,
+// retry re-drives, slot-table state and the chain dump.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "orb/interceptor.hpp"
+#include "orb/orb.hpp"
+#include "orb/stub.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::orb {
+namespace {
+
+using testing::EchoImpl;
+using testing::EchoStub;
+
+class NamedInterceptor : public ClientInterceptor {
+ public:
+  explicit NamedInterceptor(const char* n) : name_(n) {}
+  const char* name() const noexcept override { return name_; }
+
+ private:
+  const char* name_;
+};
+
+// Any permutation of registration calls must resolve to the same
+// priority-sorted walk order.
+TEST(InterceptorChainTest, AnyRegistrationPermutationYieldsPriorityOrder) {
+  NamedInterceptor a("a"), b("b"), c("c"), d("d"), e("e");
+  struct Reg {
+    ClientInterceptor* interceptor;
+    int priority;
+  };
+  const std::vector<Reg> regs = {
+      {&a, 500}, {&b, 100}, {&c, 300}, {&d, 200}, {&e, 400}};
+  std::vector<std::size_t> perm(regs.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  int permutations = 0;
+  do {
+    ClientChain chain;
+    for (std::size_t i : perm) {
+      chain.add(regs[i].interceptor, regs[i].priority);
+    }
+    std::vector<std::string> names;
+    int last_priority = -1;
+    for (const auto& entry : chain.entries()) {
+      EXPECT_GE(entry.priority, last_priority);
+      last_priority = entry.priority;
+      names.push_back(entry.interceptor->name());
+    }
+    EXPECT_EQ(names, (std::vector<std::string>{"b", "d", "c", "e", "a"}));
+    ++permutations;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(permutations, 120);
+}
+
+// Equal priorities keep registration order (stable insert).
+TEST(InterceptorChainTest, EqualPrioritiesKeepRegistrationOrder) {
+  NamedInterceptor x("x"), y("y"), z("z");
+  ClientChain chain;
+  chain.add(&y, 200);
+  chain.add(&x, 100);
+  chain.add(&z, 200);
+  ASSERT_EQ(chain.entries().size(), 3u);
+  EXPECT_STREQ(chain.entries()[0].interceptor->name(), "x");
+  EXPECT_STREQ(chain.entries()[1].interceptor->name(), "y");
+  EXPECT_STREQ(chain.entries()[2].interceptor->name(), "z");
+}
+
+TEST(InterceptorChainTest, FirstAtOrAboveFindsPartialEntryPoint) {
+  NamedInterceptor x("x"), y("y"), z("z");
+  ClientChain chain;
+  chain.add(&x, 100);
+  chain.add(&y, 350);
+  chain.add(&z, 500);
+  EXPECT_EQ(chain.first_at_or_above(0), 0u);
+  EXPECT_EQ(chain.first_at_or_above(100), 0u);
+  EXPECT_EQ(chain.first_at_or_above(101), 1u);
+  EXPECT_EQ(chain.first_at_or_above(350), 1u);
+  EXPECT_EQ(chain.first_at_or_above(501), 3u);
+}
+
+TEST(InterceptorChainTest, SlotAllocationIsBoundedByTheFixedTable) {
+  ClientChain chain;
+  std::size_t handed_out = 0;
+  for (;;) {
+    try {
+      EXPECT_EQ(chain.allocate_slot(), handed_out);
+    } catch (const Error&) {
+      break;
+    }
+    ++handed_out;
+  }
+  EXPECT_EQ(handed_out, SlotTable::kSlots);
+}
+
+class InterceptorPipelineTest : public ::testing::Test {
+ protected:
+  InterceptorPipelineTest()
+      : net_(loop_),
+        server_(net_, "server", 9000),
+        client_(net_, "client", 9001) {
+    impl_ = std::make_shared<EchoImpl>();
+    ref_ = server_.adapter().activate("echo-1", impl_);
+  }
+
+  RequestMessage make_echo_request() {
+    RequestMessage req;
+    req.operation = "echo";
+    cdr::Encoder enc;
+    enc.write_string("ping");
+    req.body = enc.take();
+    return req;
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  Orb server_;
+  Orb client_;
+  std::shared_ptr<EchoImpl> impl_;
+  ObjRef ref_;
+};
+
+// The built-in chains come registered at their documented positions.
+TEST_F(InterceptorPipelineTest, BuiltinChainsMatchTheDocumentedLayout) {
+  const std::vector<InterceptorRecord> records = client_.dump_interceptors();
+  std::vector<std::string> client_names;
+  std::vector<int> client_priorities;
+  std::vector<std::string> server_names;
+  for (const InterceptorRecord& rec : records) {
+    if (rec.server) {
+      server_names.push_back(rec.name);
+    } else {
+      client_names.push_back(rec.name);
+      client_priorities.push_back(rec.priority);
+    }
+  }
+  EXPECT_EQ(client_names,
+            (std::vector<std::string>{"trace.client", "mediator", "qos.route",
+                                      "local_fault", "retry", "trace.attempt",
+                                      "breaker"}));
+  EXPECT_EQ(client_priorities,
+            (std::vector<int>{100, 200, 300, 350, 400, 450, 500}));
+  EXPECT_EQ(server_names, (std::vector<std::string>{"trace.server",
+                                                    "wire.reply",
+                                                    "qos.server"}));
+}
+
+// A custom interceptor can answer the call before it reaches the wire;
+// counters record the hit and the short-circuit, and unregistering
+// restores the normal path.
+TEST_F(InterceptorPipelineTest, CustomClientInterceptorShortCircuits) {
+  class LocalAnswer final : public ClientInterceptor {
+   public:
+    const char* name() const noexcept override { return "local_answer"; }
+    SendAction send_request(ClientRequestInfo& info) override {
+      info.reply.status = ReplyStatus::kOk;
+      cdr::Encoder enc;
+      enc.write_string("cached");
+      info.reply.body = enc.take();
+      return SendAction::kComplete;
+    }
+  };
+  LocalAnswer cache;
+  client_.register_client_interceptor(&cache, 250);
+
+  ReplyMessage rep = client_.invoke(ref_, make_echo_request());
+  EXPECT_EQ(rep.status, ReplyStatus::kOk);
+  cdr::Decoder dec(rep.body);
+  EXPECT_EQ(dec.read_string(), "cached");
+  EXPECT_EQ(client_.stats().requests_sent, 0u);
+  EXPECT_EQ(impl_->calls, 0);
+
+  bool found = false;
+  for (const InterceptorRecord& rec : client_.dump_interceptors()) {
+    if (std::string(rec.name) == "local_answer") {
+      found = true;
+      EXPECT_FALSE(rec.server);
+      EXPECT_EQ(rec.priority, 250);
+      EXPECT_EQ(rec.hits, 1u);
+      EXPECT_EQ(rec.short_circuits, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  EXPECT_TRUE(client_.unregister_client_interceptor(&cache));
+  rep = client_.invoke(ref_, make_echo_request());
+  EXPECT_EQ(rep.status, ReplyStatus::kOk);
+  EXPECT_EQ(impl_->calls, 1);
+  EXPECT_FALSE(client_.unregister_client_interceptor(&cache));
+}
+
+// kRetry re-drives the interceptor itself and everything below it; the
+// levels above see a single pass.
+TEST_F(InterceptorPipelineTest, ReceiveReplyCanRedriveTheLowerChain) {
+  class RetryOnce final : public ClientInterceptor {
+   public:
+    const char* name() const noexcept override { return "retry_once"; }
+    ReplyAction receive_reply(ClientRequestInfo& info) override {
+      if (retries_left_ == 0) return ReplyAction::kContinue;
+      --retries_left_;
+      info.request.request_id = info.orb.next_request_id();
+      return ReplyAction::kRetry;
+    }
+
+   private:
+    int retries_left_ = 1;
+  };
+  RetryOnce retry;
+  client_.register_client_interceptor(&retry, 420);
+
+  ReplyMessage rep = client_.invoke(ref_, make_echo_request());
+  EXPECT_EQ(rep.status, ReplyStatus::kOk);
+  // Both drives reached the wire and the servant.
+  EXPECT_EQ(client_.stats().requests_sent, 2u);
+  EXPECT_EQ(impl_->calls, 2);
+  for (const InterceptorRecord& rec : client_.dump_interceptors()) {
+    if (std::string(rec.name) == "retry_once") {
+      EXPECT_EQ(rec.hits, 2u);
+    }
+    // The breaker sits below the re-driving level, so it was walked twice;
+    // the mediator above saw one pass.
+    if (std::string(rec.name) == "breaker") {
+      EXPECT_EQ(rec.hits, 2u);
+    }
+    if (std::string(rec.name) == "mediator" && !rec.server) {
+      EXPECT_EQ(rec.hits, 1u);
+    }
+  }
+  client_.unregister_client_interceptor(&retry);
+}
+
+// The slot table carries cross-stage state between independently
+// registered interceptors without heap allocation.
+TEST_F(InterceptorPipelineTest, SlotTableCarriesCrossStageState) {
+  class Writer final : public ClientInterceptor {
+   public:
+    explicit Writer(std::size_t slot) : slot_(slot) {}
+    const char* name() const noexcept override { return "writer"; }
+    SendAction send_request(ClientRequestInfo& info) override {
+      info.slots.set(slot_, 0xFEEDu);
+      return SendAction::kContinue;
+    }
+
+   private:
+    std::size_t slot_;
+  };
+  class Reader final : public ClientInterceptor {
+   public:
+    explicit Reader(std::size_t slot) : slot_(slot) {}
+    const char* name() const noexcept override { return "reader"; }
+    SendAction send_request(ClientRequestInfo& info) override {
+      seen = info.slots.get(slot_);
+      return SendAction::kContinue;
+    }
+    std::uint64_t seen = 0;
+
+   private:
+    std::size_t slot_;
+  };
+  const std::size_t slot = client_.allocate_client_slot();
+  Writer writer(slot);
+  Reader reader(slot);
+  client_.register_client_interceptor(&writer, 210);
+  client_.register_client_interceptor(&reader, 260);
+
+  client_.invoke(ref_, make_echo_request());
+  EXPECT_EQ(reader.seen, 0xFEEDu);
+
+  client_.unregister_client_interceptor(&writer);
+  client_.unregister_client_interceptor(&reader);
+}
+
+// A server interceptor may answer before the servant runs.
+TEST_F(InterceptorPipelineTest, ServerInterceptorShortCircuitsDispatch) {
+  class Reject final : public ServerInterceptor {
+   public:
+    const char* name() const noexcept override { return "reject"; }
+    void receive_request(ServerRequestInfo& info) override {
+      info.reply.request_id = info.request->request_id;
+      info.reply.status = ReplyStatus::kSystemException;
+      info.reply.exception = "maqs/REJECTED_BY_POLICY";
+      info.completed = true;
+    }
+  };
+  Reject reject;
+  server_.register_server_interceptor(&reject, 180);
+
+  ReplyMessage rep = client_.invoke(ref_, make_echo_request());
+  EXPECT_EQ(rep.status, ReplyStatus::kSystemException);
+  EXPECT_EQ(rep.exception, "maqs/REJECTED_BY_POLICY");
+  EXPECT_EQ(impl_->calls, 0);
+  for (const InterceptorRecord& rec : server_.dump_interceptors()) {
+    if (std::string(rec.name) == "reject") {
+      EXPECT_TRUE(rec.server);
+      EXPECT_EQ(rec.hits, 1u);
+      EXPECT_EQ(rec.short_circuits, 1u);
+    }
+  }
+  server_.unregister_server_interceptor(&reject);
+
+  ReplyMessage ok = client_.invoke(ref_, make_echo_request());
+  EXPECT_EQ(ok.status, ReplyStatus::kOk);
+  EXPECT_EQ(impl_->calls, 1);
+}
+
+// Built-in hit counters track the walks: a plain invocation touches every
+// client stage once and the full server chain once.
+TEST_F(InterceptorPipelineTest, HitCountersTrackTheWalk) {
+  client_.invoke(ref_, make_echo_request());
+  for (const InterceptorRecord& rec : client_.dump_interceptors()) {
+    if (!rec.server) {
+      EXPECT_EQ(rec.hits, 1u) << rec.name;
+      EXPECT_EQ(rec.short_circuits, 0u) << rec.name;
+    }
+  }
+  for (const InterceptorRecord& rec : server_.dump_interceptors()) {
+    if (rec.server) {
+      EXPECT_EQ(rec.hits, 1u) << rec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maqs::orb

@@ -155,7 +155,9 @@ TEST(MessageProperty, DecodedContextKeysAreSorted) {
   std::string prev;
   bool first = true;
   for (const auto& [key, value] : back.context) {
-    if (!first) EXPECT_LT(prev, key);
+    if (!first) {
+      EXPECT_LT(prev, key);
+    }
     prev = key;
     first = false;
   }
