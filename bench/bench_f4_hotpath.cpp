@@ -24,6 +24,7 @@
 #include "characteristics/encryption.hpp"
 #include "core/mediator.hpp"
 #include "core/retry.hpp"
+#include "sched/scheduler.hpp"
 #include "trace/trace.hpp"
 
 // ---- allocation counters (single-threaded bench, plain globals) ----
@@ -189,6 +190,28 @@ void run_scenarios(std::vector<Row>& rows) {
     world.server.set_trace_recorder(nullptr);
     world.client.unregister_client_interceptor(&noop_client);
     world.server.unregister_server_interceptor(&noop_server);
+  }
+
+  {  // sched: the QoS-class request scheduler armed on the dispatch path.
+    // Uncontended (unpaced, idle server), every request classifies and
+    // inline-dispatches — the row pins the scheduler's hot-path tax at
+    // zero heap traffic against the sched_off baseline in the same world.
+    World world;
+    make_fast(world);
+    auto servant = std::make_shared<maqs::testing::EchoImpl>();
+    orb::ObjRef ref = world.server.adapter().activate("echo", servant);
+    maqs::testing::EchoStub stub(world.client, ref);
+    rows.push_back(measure("sched_off", "add", [&] { stub.add(1, 2); }));
+
+    sched::SchedulerConfig config;  // unpaced: no virtual service time
+    sched::ClassConfig gold;
+    gold.name = "gold";
+    gold.weight = 3.0;
+    config.classes.push_back(gold);  // best_effort is added by the scheduler
+    sched::RequestScheduler scheduler(world.server, config);
+    scheduler.classifier().bind_object("echo", "gold");
+    rows.push_back(
+        measure("sched_wfq_2class", "add", [&] { stub.add(1, 2); }));
   }
 
   {  // qos_unmodified: QoS-aware reference, no module assigned -> fallback

@@ -7,14 +7,15 @@
 #
 # Usage: scripts/chaos.sh [build-dir] [seed...]
 #   build-dir  defaults to ./build
-#   seeds      default to the CI matrix: 41 42 1337
+#   seeds      positional seeds win; otherwise the CHAOS_SEEDS env var
+#              (space-separated); otherwise the CI matrix: 41 42 1337
 set -e
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${1:-build}
 if [ $# -gt 0 ]; then shift; fi
-SEEDS=${*:-"41 42 1337"}
+SEEDS=${*:-${CHAOS_SEEDS:-"41 42 1337"}}
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "build dir '$BUILD_DIR' not found; configure first:" >&2

@@ -1,5 +1,7 @@
 #include "core/resource.hpp"
 
+#include "trace/trace.hpp"
+
 namespace maqs::core {
 
 void ResourceManager::declare(const std::string& resource, double capacity) {
@@ -48,7 +50,16 @@ void ResourceManager::release(const ResourceDemand& demand) {
     auto it = resources_.find(resource);
     if (it == resources_.end()) continue;
     it->second.reserved -= amount;
-    if (it->second.reserved < 0) it->second.reserved = 0;
+    if (it->second.reserved < 0) {
+      // Over-release: someone returned more than they reserved. Clamp so
+      // accounting stays sane, but surface the bug instead of hiding it.
+      ++over_releases_;
+      if (trace::tracing_active()) {
+        trace::point("resource.over_release",
+                     resource + " by=" + std::to_string(-it->second.reserved));
+      }
+      it->second.reserved = 0;
+    }
   }
 }
 

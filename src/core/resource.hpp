@@ -7,6 +7,7 @@
 // listeners so agreements can be re-negotiated when availability drops.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -36,8 +37,15 @@ class ResourceManager {
   /// Atomically reserves a demand bundle; false (and no change) if any
   /// resource lacks headroom. Unknown resources are admission errors.
   bool try_reserve(const ResourceDemand& demand);
-  /// Releases a previously reserved bundle (clamped at zero).
+  /// Releases a previously reserved bundle. Releasing more than is
+  /// reserved clamps at zero — but that is an accounting bug upstream, so
+  /// every clamp is counted (over_releases) and emits a
+  /// "resource.over_release" trace point instead of passing silently.
   void release(const ResourceDemand& demand);
+
+  /// Times release() clamped a resource at zero (double-release or
+  /// release-without-reserve bugs).
+  std::uint64_t over_releases() const noexcept { return over_releases_; }
 
   /// Changes capacity; listeners fire (capacity may now be below the
   /// reserved total — the negotiation layer resolves the overload).
@@ -58,6 +66,7 @@ class ResourceManager {
 
   std::map<std::string, Entry> resources_;
   std::vector<ChangeListener> listeners_;
+  std::uint64_t over_releases_ = 0;
 };
 
 }  // namespace maqs::core

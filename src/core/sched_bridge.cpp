@@ -1,0 +1,50 @@
+#include "core/sched_bridge.hpp"
+
+#include <string>
+
+namespace maqs::core {
+
+void attach_overload_renegotiation(sched::RequestScheduler& scheduler,
+                                   NegotiationService& negotiation) {
+  scheduler.set_overload_handler(
+      [&negotiation](const std::string& class_name,
+                     const std::string& object_key, const std::string& cause) {
+        const std::string reason =
+            "overload:class=" + class_name + ": " + cause;
+        for (Agreement* agreement :
+             negotiation.agreements().by_object(object_key)) {
+          negotiation.notify_violation(agreement->id, reason);
+        }
+      });
+}
+
+void attach_class_budgets(sched::RequestScheduler& scheduler,
+                          ResourceManager& resources) {
+  const std::size_t count = scheduler.classifier().class_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    const sched::ClassConfig& config = scheduler.class_config(i);
+    if (config.resource.empty() || !resources.is_declared(config.resource)) {
+      continue;
+    }
+    scheduler.set_class_rate(config.name,
+                             resources.capacity(config.resource));
+  }
+  resources.subscribe([&scheduler](const std::string& resource,
+                                   double capacity, double /*reserved*/) {
+    const std::size_t classes = scheduler.classifier().class_count();
+    for (std::size_t i = 0; i < classes; ++i) {
+      const sched::ClassConfig& config = scheduler.class_config(i);
+      if (config.resource == resource) {
+        scheduler.set_class_rate(config.name, capacity);
+      }
+    }
+  });
+}
+
+bool bind_agreement_class(sched::RequestScheduler& scheduler,
+                          const Agreement& agreement,
+                          std::string_view class_name) {
+  return scheduler.classifier().bind_object(agreement.object_key, class_name);
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,53 @@
+// Policy glue between the scheduling mechanism (src/sched) and the QoS
+// management layer (negotiation, adaptation, resources).
+//
+// The scheduler is deliberately policy-free: it differentiates classes,
+// admits, queues and sheds, but it does not know what an agreement is or
+// what "renegotiate downward" means. This bridge supplies that policy —
+// the separation-of-concerns cut the paper (and RAFDA's policy/mechanism
+// argument) calls for:
+//
+//   - attach_overload_renegotiation(): the scheduler's renegotiate-once
+//     overload signal becomes a NegotiationService violation push on every
+//     active agreement of the shed object, which reaches the client's
+//     AdaptationManager and renegotiates the class downward — before
+//     further requests of the class are rejected with maqs/OVERLOAD.
+//   - attach_class_budgets(): classes whose config names a ResourceManager
+//     resource get their token rate from that resource's capacity, and
+//     follow capacity changes ("the possible level of a QoS characteristic
+//     depends on the resource availability in the system", §3).
+//   - bind_agreement_class(): derives the classifier binding from a
+//     negotiated agreement (object-key granularity, like the binding
+//     service itself).
+#pragma once
+
+#include <string_view>
+
+#include "core/negotiation.hpp"
+#include "core/resource.hpp"
+#include "sched/scheduler.hpp"
+
+namespace maqs::core {
+
+/// Wires the scheduler's overload signal to `negotiation`: each signal
+/// marks every active agreement on the shed object violated, pushing the
+/// violation to the client's adaptation endpoint (reason
+/// "overload:class=<c>: <cause>"). Both objects must outlive the wiring.
+void attach_overload_renegotiation(sched::RequestScheduler& scheduler,
+                                   NegotiationService& negotiation);
+
+/// Initializes the token rate of every class whose config names a
+/// declared resource from that resource's current capacity, and
+/// subscribes to capacity changes so the budgets track availability.
+/// `scheduler` must outlive `resources`' listener list.
+void attach_class_budgets(sched::RequestScheduler& scheduler,
+                          ResourceManager& resources);
+
+/// Binds the agreement's object key to `class_name` in the scheduler's
+/// classifier: requests for a negotiated binding are scheduled in the
+/// class its agreement bought. False when the class is unknown.
+bool bind_agreement_class(sched::RequestScheduler& scheduler,
+                          const Agreement& agreement,
+                          std::string_view class_name);
+
+}  // namespace maqs::core

@@ -59,6 +59,33 @@ std::string StatsSnapshot::to_string() const {
     line(out, "spans_evicted", trace.spans_evicted);
     line(out, "span_errors", trace.span_errors);
   }
+  if (has_sched) {
+    out += "[sched]\n";
+    line(out, "dispatched_inline", sched.dispatched_inline);
+    line(out, "parked", sched.parked);
+    line(out, "dispatched_queued", sched.dispatched_queued);
+    line(out, "shed_no_tokens", sched.shed_no_tokens);
+    line(out, "shed_queue_full", sched.shed_queue_full);
+    line(out, "shed_deadline", sched.shed_deadline);
+    line(out, "shed_evicted", sched.shed_evicted);
+    line(out, "overload_signals", sched.overload_signals);
+    line(out, "commands_bypassed", sched.commands_bypassed);
+    for (const sched::ClassStats& cls : sched.classes) {
+      out += "class ";
+      out += cls.name;
+      out += " arrived=";
+      out += std::to_string(cls.arrived);
+      out += " dispatched=";
+      out += std::to_string(cls.dispatched);
+      out += " shed=";
+      out += std::to_string(cls.shed);
+      out += '\n';
+    }
+  }
+  if (has_resources) {
+    out += "[resources]\n";
+    line(out, "resource_over_release", resource_over_release);
+  }
   if (!interceptors.empty()) {
     out += "[interceptors]\n";
     for (const orb::InterceptorRecord& rec : interceptors) {
@@ -77,7 +104,9 @@ std::string StatsSnapshot::to_string() const {
 }
 
 StatsSnapshot collect_stats(const orb::Orb& orb,
-                            const QosTransport* transport) {
+                            const QosTransport* transport,
+                            const sched::RequestScheduler* scheduler,
+                            const ResourceManager* resources) {
   StatsSnapshot snap;
   snap.orb = orb.stats();
   snap.net = orb.network().stats();
@@ -89,6 +118,14 @@ StatsSnapshot collect_stats(const orb::Orb& orb,
   if (const maqs::trace::TraceRecorder* rec = orb.trace_recorder()) {
     snap.trace = rec->stats();
     snap.has_trace = true;
+  }
+  if (scheduler != nullptr) {
+    snap.sched = scheduler->stats();
+    snap.has_sched = true;
+  }
+  if (resources != nullptr) {
+    snap.resource_over_release = resources->over_releases();
+    snap.has_resources = true;
   }
   return snap;
 }

@@ -11,8 +11,10 @@
 
 #include "core/monitoring.hpp"
 #include "core/qos_transport.hpp"
+#include "core/resource.hpp"
 #include "net/network.hpp"
 #include "orb/orb.hpp"
+#include "sched/scheduler.hpp"
 #include "trace/trace.hpp"
 
 namespace maqs::core {
@@ -25,11 +27,16 @@ struct StatsSnapshot {
   TransportStats transport;
   net::NetStats net;
   trace::RecorderStats trace;
+  sched::SchedStats sched;
+  /// ResourceManager::over_releases() — clamped over-release bugs.
+  std::uint64_t resource_over_release = 0;
   /// The ORB's interceptor chains in walk order (client then server),
   /// with per-stage hit/short-circuit counters.
   std::vector<orb::InterceptorRecord> interceptors;
   bool has_transport = false;
   bool has_trace = false;
+  bool has_sched = false;
+  bool has_resources = false;
 
   /// Human-readable multi-line dump ("orb.requests_sent = 12" style),
   /// stable ordering, suitable for example output and golden logs.
@@ -37,10 +44,14 @@ struct StatsSnapshot {
 };
 
 /// Gathers the counters reachable from `orb`: its own stats, its
-/// network's, its trace recorder's (when installed) and — when `transport`
-/// is non-null — the QoS transport's routing stats.
+/// network's, its trace recorder's (when installed) and — when the
+/// optional layers are passed — the QoS transport's routing stats, the
+/// request scheduler's [sched] section and the ResourceManager's
+/// over-release counter.
 StatsSnapshot collect_stats(const orb::Orb& orb,
-                            const QosTransport* transport = nullptr);
+                            const QosTransport* transport = nullptr,
+                            const sched::RequestScheduler* scheduler = nullptr,
+                            const ResourceManager* resources = nullptr);
 
 /// Feeds every recorded span's duration into `monitor` as a sample of
 /// metric "span.<name>" (milliseconds, timestamped at span start). This is

@@ -285,9 +285,7 @@ void WireReplyServerInterceptor::receive_request(ServerRequestInfo& info) {
 
 void WireReplyServerInterceptor::send_reply(ServerRequestInfo& info) {
   info.reply.request_id = info.slots.get(slot_);
-  util::Bytes wire = info.reply.encode();
-  stats_.bytes_marshaled_out += wire.size();
-  orb_.network().send(orb_.endpoint(), *info.from, std::move(wire));
+  orb_.send_reply_frame(*info.from, info.reply);
 }
 
 // ---- qos.server (200) ----

@@ -20,6 +20,8 @@
 //   kServerDispatchEntry):
 //     100 trace.server   re-attach the caller's trace context
 //     150 wire.reply     stamp request id, encode, count bytes, send
+//     175 sched          QoS-class scheduler (when armed): classify, admit,
+//                        park; dispatch resumes via Orb::resume_request
 //     200 qos.server     commands + router inbound/outbound transforms
 //     --- terminal: object-adapter dispatch to the servant
 //
@@ -73,6 +75,7 @@ inline constexpr int kClientAttemptTrace = 450;
 inline constexpr int kClientBreaker = 500;
 inline constexpr int kServerTrace = 100;
 inline constexpr int kServerWireReply = 150;
+inline constexpr int kServerSched = 175;
 inline constexpr int kServerQos = 200;
 inline constexpr int kSkeletonPrologBase = 100;
 inline constexpr int kSkeletonTransformBase = 200;
@@ -213,6 +216,14 @@ struct ServerRequestInfo {
   /// walk from descending further (its own send_reply hook is skipped,
   /// the hooks above it still unwind).
   bool completed = false;
+  /// Set by a scheduling interceptor that took ownership of the request
+  /// and deferred its dispatch. Aborts the walk entirely: no level runs a
+  /// send_reply hook (there is no reply yet — the owner re-enters the
+  /// chain later via Orb::resume_request with `resumed` set).
+  bool parked = false;
+  /// Marks a walk re-entered for a previously parked request, so the
+  /// parking interceptor passes it straight through to dispatch.
+  bool resumed = false;
   std::optional<trace::SpanScope> server_span;
   SlotTable slots;
 };
@@ -368,8 +379,16 @@ void walk_server_chain(ServerChain& chain, std::size_t index,
       ++entry.short_circuits;
       return;
     }
+    if (info.parked) {
+      // The interceptor parked the request for deferred dispatch: there
+      // is no reply to send, so the walk aborts without running any
+      // send_reply hook at this level or above.
+      ++entry.short_circuits;
+      return;
+    }
     walk_server_chain(chain, index + 1, info,
                       std::forward<Terminal>(terminal));
+    if (info.parked) return;
     interceptor.send_reply(info);
   } catch (const Error& e) {
     if (!interceptor.handle_error(info, e)) {

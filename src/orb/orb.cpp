@@ -274,6 +274,23 @@ void Orb::handle_request(const net::Address& from, RequestMessage req) {
   });
 }
 
+void Orb::resume_request(RequestMessage req, const net::Address& from) {
+  ServerRequestInfo info;
+  info.orb = this;
+  info.from = &from;
+  info.request = &req;
+  info.resumed = true;
+  walk_server_chain(server_chain_, 0, info, [this](ServerRequestInfo& i) {
+    i.reply = dispatch_to_servant(*i.request, *i.from);
+  });
+}
+
+void Orb::send_reply_frame(const net::Address& to, const ReplyMessage& rep) {
+  util::Bytes wire = rep.encode();
+  stats_.bytes_marshaled_out += wire.size();
+  network_.send(endpoint_, to, std::move(wire));
+}
+
 ReplyMessage Orb::dispatch(RequestMessage req, const net::Address& from) {
   // The QoS transport's entry: same chain, minus the wire stages (the
   // transport owns its own framing and trace spans).

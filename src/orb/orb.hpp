@@ -231,6 +231,20 @@ class Orb {
   /// skipping the wire stages.
   ReplyMessage dispatch(RequestMessage req, const net::Address& from);
 
+  /// Re-enters the full server chain for a request a scheduling
+  /// interceptor parked earlier (see sched::RequestScheduler). The walk
+  /// carries ServerRequestInfo::resumed so the parking level passes the
+  /// request through; everything else — trace re-attach, wire reply,
+  /// QoS transforms, adapter dispatch — runs exactly as for a fresh
+  /// arrival.
+  void resume_request(RequestMessage req, const net::Address& from);
+
+  /// Encodes `rep`, counts the bytes in stats and sends the frame to
+  /// `to`. The wire tail shared by the wire.reply interceptor and by
+  /// schedulers that must answer a parked request (shed/evict) outside
+  /// any chain walk.
+  void send_reply_frame(const net::Address& to, const ReplyMessage& rep);
+
  private:
   void on_frame(const net::Address& from, const util::Bytes& data);
   void handle_request(const net::Address& from, RequestMessage req);

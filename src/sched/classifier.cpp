@@ -1,0 +1,74 @@
+#include "sched/classifier.hpp"
+
+namespace maqs::sched {
+namespace {
+
+std::string_view as_view(const util::Bytes& bytes) noexcept {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+}  // namespace
+
+RequestClassifier::RequestClassifier(std::vector<std::string> names,
+                                     std::size_t best_effort)
+    : names_(std::move(names)),
+      best_effort_(best_effort),
+      qos_default_(best_effort) {
+  for (std::size_t i = 0; i < names_.size(); ++i) by_name_[names_[i]] = i;
+}
+
+std::optional<std::size_t> RequestClassifier::class_id(
+    std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RequestClassifier::bind_object(std::string_view object_key,
+                                    std::string_view class_name) {
+  auto id = class_id(class_name);
+  if (!id) return false;
+  by_object_[std::string(object_key)] = *id;
+  return true;
+}
+
+bool RequestClassifier::bind_module(std::string_view module,
+                                    std::string_view class_name) {
+  auto id = class_id(class_name);
+  if (!id) return false;
+  by_module_[std::string(module)] = *id;
+  return true;
+}
+
+bool RequestClassifier::set_qos_default(std::string_view class_name) {
+  auto id = class_id(class_name);
+  if (!id) return false;
+  qos_default_ = *id;
+  return true;
+}
+
+std::size_t RequestClassifier::classify(const orb::RequestMessage& req) const {
+  if (auto tag = req.context.find(kClassContextKey);
+      tag != req.context.end()) {
+    if (auto it = by_name_.find(as_view(tag->second)); it != by_name_.end()) {
+      return it->second;
+    }
+  }
+  if (!by_object_.empty()) {
+    if (auto it = by_object_.find(req.object_key); it != by_object_.end()) {
+      return it->second;
+    }
+  }
+  if (!by_module_.empty()) {
+    if (auto tag = req.context.find(kModuleContextKey);
+        tag != req.context.end()) {
+      if (auto it = by_module_.find(as_view(tag->second));
+          it != by_module_.end()) {
+        return it->second;
+      }
+    }
+  }
+  return req.qos_aware ? qos_default_ : best_effort_;
+}
+
+}  // namespace maqs::sched

@@ -1,0 +1,76 @@
+// Request -> QoS-class mapping for the server-side scheduler.
+//
+// The class of an inbound request is derived from its negotiated binding:
+// either the client stamps the class name on the wire (the "qos.class"
+// service-context entry), or the server binds the negotiated object /
+// mechanism module to a class when the agreement is made
+// (core::bind_agreement_class). Untagged GIOP traffic lands in the
+// `best_effort` class, so plain peers need no scheduler awareness at all.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orb/message.hpp"
+
+namespace maqs::sched {
+
+/// Service-context key carrying an explicit class name — the
+/// highest-precedence classification rule, stamped by clients that know
+/// the class their agreement bought.
+inline const std::string kClassContextKey = "qos.class";
+
+/// Wire tag stamped by the QoS transport on module-routed requests
+/// (protocol constant; mirrors core::QosTransport's module context key —
+/// the scheduler reads the wire, it does not link against core).
+inline const std::string kModuleContextKey = "qos.module";
+
+/// The default class every scheduler owns; untagged/unbound traffic and
+/// the first shedding victim under global pressure.
+inline const std::string kBestEffortClassName = "best_effort";
+
+class RequestClassifier {
+ public:
+  /// `names` become class ids 0..n-1; `best_effort` indexes the default
+  /// class (constructed by RequestScheduler from its config).
+  RequestClassifier(std::vector<std::string> names, std::size_t best_effort);
+
+  std::size_t class_count() const noexcept { return names_.size(); }
+  const std::string& class_name(std::size_t id) const { return names_[id]; }
+  std::optional<std::size_t> class_id(std::string_view name) const;
+  std::size_t best_effort() const noexcept { return best_effort_; }
+
+  /// Binds a servant's object key to a class (agreement granularity:
+  /// the paper binds QoS to interfaces, and an object key names one).
+  /// Unknown class names are ignored and return false.
+  bool bind_object(std::string_view object_key, std::string_view class_name);
+  /// Binds requests routed through a QoS mechanism module (the
+  /// "qos.module" wire tag) to a class.
+  bool bind_module(std::string_view module, std::string_view class_name);
+  /// Class for qos_aware requests no explicit rule matched (defaults to
+  /// best_effort).
+  bool set_qos_default(std::string_view class_name);
+
+  /// Classification, first rule wins:
+  ///   1. "qos.class" context entry naming a known class
+  ///   2. object-key binding
+  ///   3. "qos.module" context entry binding
+  ///   4. qos_aware flag -> the configured QoS default class
+  ///   5. best_effort
+  /// Deterministic and allocation-free.
+  std::size_t classify(const orb::RequestMessage& req) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::size_t, std::less<>> by_name_;
+  std::map<std::string, std::size_t, std::less<>> by_object_;
+  std::map<std::string, std::size_t, std::less<>> by_module_;
+  std::size_t best_effort_ = 0;
+  std::size_t qos_default_ = 0;
+};
+
+}  // namespace maqs::sched

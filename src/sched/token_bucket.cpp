@@ -1,0 +1,39 @@
+#include "sched/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace maqs::sched {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst,
+                         sim::TimePoint start) noexcept
+    : rate_(rate_per_sec),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_refill_(start) {}
+
+void TokenBucket::refill(sim::TimePoint now) noexcept {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(burst_,
+                     tokens_ + rate_ * sim::to_seconds(now - last_refill_));
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_take(sim::TimePoint now) noexcept {
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(sim::TimePoint now) noexcept {
+  refill(now);
+  return tokens_;
+}
+
+void TokenBucket::set_rate(double rate_per_sec, sim::TimePoint now) noexcept {
+  refill(now);
+  rate_ = rate_per_sec;
+  tokens_ = std::min(tokens_, burst_);
+}
+
+}  // namespace maqs::sched

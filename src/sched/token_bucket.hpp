@@ -1,0 +1,45 @@
+// Per-class admission gate on the virtual clock.
+//
+// "The possible level of a QoS characteristic depends on the resource
+// availability in the system" (paper §3): the token rate is the per-class
+// request budget the ResourceManager grants, and the bucket is the
+// mechanism that enforces it per request. Refill is a pure function of the
+// virtual clock — no wall time, no randomness — so seeded runs replay the
+// same admit/shed decisions byte-identically.
+#pragma once
+
+#include "sim/clock.hpp"
+
+namespace maqs::sched {
+
+/// Deterministic token bucket: `rate` tokens per virtual second, depth
+/// bounded by `burst`. A bucket starts full.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst,
+              sim::TimePoint start = 0) noexcept;
+
+  /// Refills up to `now`, then takes one token if a whole one is there.
+  bool try_take(sim::TimePoint now) noexcept;
+
+  /// Tokens on hand after refilling up to `now`.
+  double available(sim::TimePoint now) noexcept;
+
+  /// Re-budgets the bucket (ResourceManager capacity change). Tokens
+  /// accrued at the old rate up to `now` are banked first; the on-hand
+  /// balance is clamped into the new burst.
+  void set_rate(double rate_per_sec, sim::TimePoint now) noexcept;
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void refill(sim::TimePoint now) noexcept;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::TimePoint last_refill_;
+};
+
+}  // namespace maqs::sched

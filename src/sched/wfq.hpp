@@ -1,0 +1,148 @@
+// Weighted-fair queueing across QoS classes with per-class deadline order.
+//
+// Virtual-time WFQ at request granularity (start-time-fair-queueing
+// shaped): each class carries a finish tag; a class becoming backlogged
+// gets tag = max(virtual clock, its last finish) + 1/weight, each service
+// advances the tag by 1/weight, and pop() always serves the backlogged
+// class with the smallest tag. Over any backlogged interval class i
+// therefore receives service proportional to weight_i, and no class can
+// be starved: a waiting class's tag stands still while every service of a
+// competitor advances the clock toward it. Within a class, requests are
+// served earliest-deadline-first (deadline = arrival + class budget).
+//
+// Everything is deterministic: ties on the finish tag break by class id,
+// ties on the deadline by a global admission sequence number, and the
+// virtual clock is plain double arithmetic over the same inputs each run —
+// a fixed-seed simulation replays the exact service order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace maqs::sched {
+
+template <typename Payload>
+class WeightedFairQueue {
+ public:
+  explicit WeightedFairQueue(std::vector<double> weights) {
+    classes_.reserve(weights.size());
+    for (double w : weights) {
+      ClassQueue q;
+      q.stride = 1.0 / std::max(w, 1e-9);
+      classes_.push_back(std::move(q));
+    }
+  }
+
+  struct Popped {
+    std::size_t cls = 0;
+    sim::TimePoint deadline = 0;
+    std::uint64_t seq = 0;
+    Payload payload;
+  };
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t class_count() const noexcept { return classes_.size(); }
+  std::size_t class_size(std::size_t cls) const noexcept {
+    return classes_[cls].items.size();
+  }
+
+  void push(std::size_t cls, sim::TimePoint deadline, Payload payload) {
+    ClassQueue& q = classes_[cls];
+    if (q.items.empty()) {
+      // Becoming backlogged: never earlier than the virtual clock (no
+      // credit for idle time), never earlier than its own last finish.
+      q.finish_tag = std::max(virtual_clock_, q.last_finish) + q.stride;
+    }
+    q.items.push_back(Item{deadline, next_seq_++, std::move(payload)});
+    std::push_heap(q.items.begin(), q.items.end(), LaterFirst{});
+    ++size_;
+  }
+
+  /// Serves the WFQ pick: smallest finish tag across backlogged classes
+  /// (class id breaks ties), earliest deadline within it. Precondition:
+  /// !empty().
+  Popped pop() {
+    std::size_t pick = classes_.size();
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      if (classes_[i].items.empty()) continue;
+      if (pick == classes_.size() ||
+          classes_[i].finish_tag < classes_[pick].finish_tag) {
+        pick = i;
+      }
+    }
+    ClassQueue& q = classes_[pick];
+    virtual_clock_ = std::max(virtual_clock_, q.finish_tag);
+    q.last_finish = q.finish_tag;
+    q.finish_tag += q.stride;
+    return take(pick, 0);
+  }
+
+  /// Sheds the entry of `cls` with the latest deadline (newest seq breaks
+  /// ties) — the victim losing the least by being dropped. Not a service:
+  /// the class's tags are untouched. nullopt when the class is idle.
+  std::optional<Popped> evict_latest(std::size_t cls) {
+    ClassQueue& q = classes_[cls];
+    if (q.items.empty()) return std::nullopt;
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < q.items.size(); ++i) {
+      if (LaterFirst{}(q.items[victim], q.items[i])) continue;
+      victim = i;
+    }
+    return take(cls, victim);
+  }
+
+ private:
+  struct Item {
+    sim::TimePoint deadline = 0;
+    std::uint64_t seq = 0;
+    Payload payload;
+  };
+  /// Heap order: the *earliest* (deadline, seq) floats to the front.
+  struct LaterFirst {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+  struct ClassQueue {
+    std::vector<Item> items;  // heap via LaterFirst (min on front)
+    double stride = 1.0;      // 1/weight
+    double finish_tag = 0.0;  // valid while backlogged
+    double last_finish = 0.0;
+  };
+
+  Popped take(std::size_t cls, std::size_t index) {
+    ClassQueue& q = classes_[cls];
+    Popped out;
+    out.cls = cls;
+    if (index == 0) {
+      std::pop_heap(q.items.begin(), q.items.end(), LaterFirst{});
+    } else if (index + 1 != q.items.size()) {
+      // Removing from the middle (eviction): swap-out then re-heapify.
+      std::swap(q.items[index], q.items.back());
+    }
+    out.deadline = q.items.back().deadline;
+    out.seq = q.items.back().seq;
+    out.payload = std::move(q.items.back().payload);
+    q.items.pop_back();
+    if (index != 0 && index != q.items.size()) {
+      std::make_heap(q.items.begin(), q.items.end(), LaterFirst{});
+    }
+    --size_;
+    return out;
+  }
+
+  std::vector<ClassQueue> classes_;
+  double virtual_clock_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace maqs::sched

@@ -51,21 +51,30 @@ void EventLoop::purge_cancelled() {
 }
 
 bool EventLoop::step() {
-  while (!queue_.empty()) {
-    // Move, don't copy: the handler may own an in-flight message payload,
-    // and top() only hands out a const ref. The moved-from entry keeps its
-    // scalar ordering fields, so the pop's sift stays well-defined.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_ids_.find(entry.id); it != cancelled_ids_.end()) {
-      cancelled_ids_.erase(it);
-      continue;
+  for (;;) {
+    while (!queue_.empty()) {
+      // Move, don't copy: the handler may own an in-flight message payload,
+      // and top() only hands out a const ref. The moved-from entry keeps its
+      // scalar ordering fields, so the pop's sift stays well-defined.
+      Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+      if (auto it = cancelled_ids_.find(entry.id); it != cancelled_ids_.end()) {
+        cancelled_ids_.erase(it);
+        continue;
+      }
+      now_ = entry.when;
+      entry.fn();
+      return true;
     }
-    now_ = entry.when;
-    entry.fn();
-    return true;
+    // The queue is about to drain: give the owner one chance to flush
+    // deferred work. The guard keeps a hook that pumps the loop itself
+    // (e.g. a blocking dispatch) from re-entering its own flush.
+    if (!drain_hook_ || in_drain_hook_) return false;
+    in_drain_hook_ = true;
+    const bool flushed = drain_hook_();
+    in_drain_hook_ = false;
+    if (!flushed || queue_.empty()) return false;
   }
-  return false;
 }
 
 std::size_t EventLoop::run_until_idle() {

@@ -51,6 +51,15 @@ class EventLoop {
   /// Runs events until the queue is empty. Returns the number executed.
   std::size_t run_until_idle();
 
+  /// Installs a hook consulted when the queue is about to drain empty
+  /// (nullptr uninstalls). The hook returns true when it scheduled new
+  /// work, in which case the loop keeps running instead of going idle.
+  /// Schedulers that park requests for deferred dispatch use this as a
+  /// backstop: no parked work can be stranded by a draining loop.
+  void set_drain_hook(std::function<bool()> hook) {
+    drain_hook_ = std::move(hook);
+  }
+
   /// Runs events until `pred()` is true or the queue drains.
   /// Returns true if the predicate was satisfied. Re-entrant.
   bool run_until(const std::function<bool()>& pred);
@@ -89,6 +98,8 @@ class EventLoop {
   EventId next_id_ = 1;
   Queue queue_;
   std::unordered_set<EventId> cancelled_ids_;
+  std::function<bool()> drain_hook_;
+  bool in_drain_hook_ = false;
 };
 
 }  // namespace maqs::sim

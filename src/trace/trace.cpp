@@ -330,4 +330,11 @@ void point(const char* name, std::string detail) {
                                  now);
 }
 
+void point_under(TraceRecorder& recorder, const TraceContext& parent,
+                 const char* name, std::string detail) {
+  if (!recorder.enabled() || !parent.valid() || !parent.sampled()) return;
+  const sim::TimePoint now = recorder.now();
+  recorder.record_complete(parent, name, std::move(detail), now, now);
+}
+
 }  // namespace maqs::trace

@@ -257,4 +257,13 @@ void note_error(std::string_view what);
 /// discipline.
 void point(const char* name, std::string detail);
 
+/// The re-attach twin of point(): records a zero-duration span parented to
+/// an explicit context (typically decoded off a request's "qos.trace" wire
+/// entry) when the recorder is enabled and the context is sampled. Used
+/// when the causal owner's scope is no longer on the stack — e.g. a
+/// request scheduler shedding a parked request long after the arrival walk
+/// unwound.
+void point_under(TraceRecorder& recorder, const TraceContext& parent,
+                 const char* name, std::string detail);
+
 }  // namespace maqs::trace

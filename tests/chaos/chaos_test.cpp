@@ -222,5 +222,62 @@ TEST(ChaosTest, TracedLossyRunExportsAreByteIdentical) {
   EXPECT_EQ(first, second);
 }
 
+// Overload: offered load at 2x the server's service rate for 150ms of
+// virtual time, split evenly between the gold class (weight 3) and
+// untagged best-effort traffic. The scheduler must (a) answer every
+// request — served or rejected with maqs/OVERLOAD, never a silent drop,
+// (b) shed best-effort first (including evictions under the global
+// bound), (c) keep gold's completion share at its WFQ weight, and
+// (d) signal overload exactly once per episode so the managed agreement
+// renegotiates downward exactly once.
+TEST(ChaosTest, OverloadShedsBestEffortFirstAndRenegotiatesOnce) {
+  ChaosWorld world;
+  EchoStub stub(world.client, world.qos_ref);
+  const core::Agreement agreement = world.negotiator.negotiate(
+      stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
+  world.adaptation.manage(stub, agreement, ChaosWorld::halving_policy());
+
+  sched::RequestScheduler& scheduler = world.arm_scheduler(800.0);
+
+  // 1000 rps per class against an 800 rps server: 2.5x capacity. Gold
+  // alone outruns the server, so its queue overflows (the overload
+  // signal); best-effort mostly expires in queue and its lazy sheds give
+  // their service slots back to gold.
+  StormReport gold;
+  StormReport best_effort;
+  const sim::TimePoint start = world.loop.now() + sim::kMillisecond;
+  schedule_storm(world, "chaos-echo", 150, sim::kMillisecond, start, gold);
+  schedule_storm(world, "chaos-plain", 150, sim::kMillisecond, start,
+                 best_effort);
+  world.loop.run_until_idle();
+
+  // (a) Zero silent drops, and the sheds really happened.
+  EXPECT_EQ(gold.answered(), gold.sent);
+  EXPECT_EQ(best_effort.answered(), best_effort.sent);
+  EXPECT_EQ(gold.other, 0);
+  EXPECT_EQ(best_effort.other, 0);
+  const sched::SchedStats& stats = scheduler.stats();
+  EXPECT_GT(stats.total_shed(), 0u);
+  EXPECT_EQ(stats.total_shed() + stats.total_dispatched(),
+            static_cast<std::uint64_t>(gold.sent + best_effort.sent));
+
+  // (b) Best-effort bears the shedding: it loses more than gold does,
+  // and the global bound evicted queued best-effort for gold arrivals.
+  EXPECT_GT(best_effort.overload, gold.overload);
+  EXPECT_GT(stats.shed_evicted, 0u);
+
+  // (c) Gold's completions hold its 3-of-4 WFQ share.
+  EXPECT_GE(gold.ok * 1.0,
+            0.75 * static_cast<double>(gold.ok + best_effort.ok));
+
+  // (d) One overload episode, one signal, one downward renegotiation.
+  EXPECT_EQ(stats.overload_signals, 1u);
+  EXPECT_EQ(world.adaptation.adaptations(), 1u);
+  const core::Agreement* adapted =
+      world.adaptation.managed_agreement(agreement.id);
+  ASSERT_NE(adapted, nullptr);
+  EXPECT_EQ(adapted->int_param("level"), 4);
+}
+
 }  // namespace
 }  // namespace maqs::testing

@@ -51,6 +51,31 @@ TEST(ResourceManager, ReleaseClampsAtZeroAndIgnoresUnknown) {
   EXPECT_EQ(rm.reserved("cpu"), 0.0);
 }
 
+TEST(ResourceManager, OverReleaseIsCountedNotSilent) {
+  ResourceManager rm;
+  rm.declare("cpu", 10.0);
+  rm.declare("mem", 10.0);
+  EXPECT_EQ(rm.over_releases(), 0u);
+
+  // Releasing more than is reserved still clamps (availability must not
+  // exceed capacity) but each clamp is an upstream accounting bug and is
+  // counted instead of passing silently.
+  rm.try_reserve({{"cpu", 4.0}});
+  rm.release({{"cpu", 6.0}});
+  EXPECT_EQ(rm.reserved("cpu"), 0.0);
+  EXPECT_EQ(rm.over_releases(), 1u);
+
+  // A balanced release is not an over-release.
+  rm.try_reserve({{"cpu", 4.0}});
+  rm.release({{"cpu", 4.0}});
+  EXPECT_EQ(rm.over_releases(), 1u);
+
+  // Every clamped resource in a bundle counts.
+  rm.try_reserve({{"cpu", 1.0}, {"mem", 1.0}});
+  rm.release({{"cpu", 2.0}, {"mem", 2.0}});
+  EXPECT_EQ(rm.over_releases(), 3u);
+}
+
 TEST(ResourceManager, CapacityChangeNotifiesListeners) {
   ResourceManager rm;
   rm.declare("cpu", 100.0);

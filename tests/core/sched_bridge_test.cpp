@@ -1,0 +1,97 @@
+// The policy bridge between the scheduler mechanism and the QoS
+// management layer: class budgets follow ResourceManager capacity, and
+// agreements bind their object to a class. (The overload ->
+// notify_violation -> adaptation round trip is exercised end to end by
+// the chaos suite's overload scenario.)
+#include "core/sched_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::core {
+namespace {
+
+class SchedBridgeTest : public ::testing::Test {
+ protected:
+  SchedBridgeTest() : net_(loop_), server_(net_, "server", 9000) {
+    server_.adapter().activate("echo",
+                               std::make_shared<maqs::testing::EchoImpl>());
+  }
+
+  sched::RequestScheduler& make_scheduler() {
+    sched::SchedulerConfig config;
+    sched::ClassConfig gold;
+    gold.name = "gold";
+    gold.resource = "bandwidth";
+    config.classes.push_back(gold);
+    sched::ClassConfig silver;
+    silver.name = "silver";  // no resource coupling
+    config.classes.push_back(silver);
+    scheduler_ =
+        std::make_unique<sched::RequestScheduler>(server_, std::move(config));
+    return *scheduler_;
+  }
+
+  double class_rate(const sched::RequestScheduler& scheduler,
+                    std::string_view name) {
+    return scheduler.class_config(*scheduler.classifier().class_id(name))
+        .rate_rps;
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_;
+  orb::Orb server_;
+  std::unique_ptr<sched::RequestScheduler> scheduler_;
+};
+
+TEST_F(SchedBridgeTest, ClassBudgetsInitializeFromAndTrackCapacity) {
+  sched::RequestScheduler& scheduler = make_scheduler();
+  ResourceManager resources;
+  resources.declare("bandwidth", 50.0);
+  attach_class_budgets(scheduler, resources);
+
+  // gold's budget came from the declared capacity; the uncoupled classes
+  // keep their configured (unlimited) rate.
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, "gold"), 50.0);
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, "silver"), 0.0);
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, sched::kBestEffortClassName), 0.0);
+
+  // "The possible level of a QoS characteristic depends on the resource
+  // availability": a capacity change re-budgets the coupled class.
+  resources.set_capacity("bandwidth", 20.0);
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, "gold"), 20.0);
+  resources.set_capacity("cpu", 7.0);  // unrelated resource: no effect
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, "gold"), 20.0);
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, "silver"), 0.0);
+}
+
+TEST_F(SchedBridgeTest, UndeclaredResourceLeavesTheClassUngated) {
+  sched::RequestScheduler& scheduler = make_scheduler();
+  ResourceManager resources;  // "bandwidth" never declared
+  attach_class_budgets(scheduler, resources);
+  EXPECT_DOUBLE_EQ(class_rate(scheduler, "gold"), 0.0);
+}
+
+TEST_F(SchedBridgeTest, BindAgreementClassMapsTheNegotiatedObject) {
+  sched::RequestScheduler& scheduler = make_scheduler();
+  Agreement agreement;
+  agreement.id = 7;
+  agreement.characteristic = "compression";
+  agreement.object_key = "echo";
+
+  EXPECT_FALSE(bind_agreement_class(scheduler, agreement, "no-such-class"));
+  EXPECT_TRUE(bind_agreement_class(scheduler, agreement, "gold"));
+
+  orb::RequestMessage req;
+  req.object_key = "echo";
+  EXPECT_EQ(scheduler.classifier().classify(req),
+            *scheduler.classifier().class_id("gold"));
+}
+
+}  // namespace
+}  // namespace maqs::core

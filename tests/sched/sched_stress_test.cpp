@@ -1,0 +1,143 @@
+// Scheduler stress scenario (ctest label: sched-stress; run under ASan in
+// the chaos CI job): a sustained 2-class overload at exactly 2x the
+// server's capacity. Verifies the ISSUE's acceptance bars at scale:
+//   - the high-weight class keeps at least its WFQ weight share (3 of 4)
+//     of all completions,
+//   - every one of the 2000 requests is answered — served or rejected
+//     with a classified maqs/OVERLOAD — zero silent drops,
+//   - the whole run is deterministic: a second identical run produces
+//     identical counters and outcomes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/network.hpp"
+#include "orb/orb.hpp"
+#include "sched/scheduler.hpp"
+#include "support/echo.hpp"
+
+namespace maqs::sched {
+namespace {
+
+orb::RequestMessage echo_request(const std::string& object_key) {
+  orb::RequestMessage req;
+  req.operation = "echo";
+  req.object_key = object_key;
+  cdr::Encoder enc;
+  enc.write_string("stress");
+  req.body = enc.take();
+  return req;
+}
+
+struct Outcome {
+  int gold_ok = 0;
+  int gold_overload = 0;
+  int best_ok = 0;
+  int best_overload = 0;
+  int other = 0;
+  SchedStats stats;
+
+  int answered() const {
+    return gold_ok + gold_overload + best_ok + best_overload + other;
+  }
+};
+
+/// One full overload run: 1000 gold + 1000 best-effort requests offered
+/// over 1s of virtual time against a 1000 rps server (2x capacity).
+Outcome overload_run() {
+  sim::EventLoop loop;
+  net::Network net(loop, /*seed=*/42);
+  orb::Orb server(net, "server", 9000);
+  orb::Orb client(net, "client", 9001);
+  server.adapter().activate("gold-echo",
+                            std::make_shared<maqs::testing::EchoImpl>());
+  server.adapter().activate("plain-echo",
+                            std::make_shared<maqs::testing::EchoImpl>());
+
+  SchedulerConfig config;
+  config.service_rate_rps = 1000.0;
+  ClassConfig gold;
+  gold.name = "gold";
+  gold.weight = 3.0;
+  gold.queue_limit = 2048;  // gold never overflows: its backlog peaks ~250
+  gold.deadline_budget = 10 * sim::kSecond;
+  config.classes.push_back(gold);
+  ClassConfig best;
+  best.name = kBestEffortClassName;
+  best.weight = 1.0;
+  best.queue_limit = 32;  // best-effort takes the shedding
+  best.deadline_budget = 10 * sim::kSecond;
+  config.classes.push_back(best);
+  config.total_limit = 4096;
+  RequestScheduler scheduler(server, config);
+  EXPECT_TRUE(scheduler.classifier().bind_object("gold-echo", "gold"));
+
+  Outcome out;
+  auto fire = [&](const std::string& object_key, int* ok, int* overload) {
+    client.send_request(server.endpoint(), echo_request(object_key),
+                        [&out, ok, overload](const orb::ReplyMessage& rep) {
+                          if (rep.status == orb::ReplyStatus::kOk) {
+                            ++*ok;
+                          } else if (rep.exception.rfind(kOverloadException,
+                                                         0) == 0) {
+                            ++*overload;
+                          } else {
+                            ++out.other;
+                          }
+                        });
+  };
+  for (int i = 0; i < 1000; ++i) {
+    loop.schedule(i * sim::kMillisecond, [&fire, &out] {
+      fire("gold-echo", &out.gold_ok, &out.gold_overload);
+      fire("plain-echo", &out.best_ok, &out.best_overload);
+    });
+  }
+  loop.run_until_idle();
+  out.stats = scheduler.stats();
+  return out;
+}
+
+TEST(SchedStressTest, TwoClassOverloadKeepsWeightShareAndShedsLoudly) {
+  const Outcome out = overload_run();
+
+  // Zero silent drops: all 2000 requests answered, none with anything
+  // other than a success or a classified OVERLOAD.
+  EXPECT_EQ(out.answered(), 2000);
+  EXPECT_EQ(out.other, 0);
+  EXPECT_EQ(out.stats.total_dispatched() + out.stats.total_shed(), 2000u);
+
+  // Overload was real and best-effort bore it; gold lost nothing.
+  EXPECT_GT(out.best_overload, 0);
+  EXPECT_EQ(out.gold_overload, 0);
+  EXPECT_EQ(out.gold_ok, 1000);
+
+  // The weight-share bar: gold keeps >= 3/4 of all completions.
+  EXPECT_GE(out.gold_ok * 4, (out.gold_ok + out.best_ok) * 3)
+      << "gold=" << out.gold_ok << " best=" << out.best_ok;
+
+  // Queues fully drained, and the per-class ledgers balance.
+  for (const ClassStats& cls : out.stats.classes) {
+    EXPECT_EQ(cls.arrived, cls.dispatched + cls.shed) << cls.name;
+    EXPECT_EQ(cls.arrived, 1000u) << cls.name;
+  }
+}
+
+TEST(SchedStressTest, OverloadRunIsDeterministic) {
+  const Outcome a = overload_run();
+  const Outcome b = overload_run();
+  EXPECT_EQ(a.gold_ok, b.gold_ok);
+  EXPECT_EQ(a.gold_overload, b.gold_overload);
+  EXPECT_EQ(a.best_ok, b.best_ok);
+  EXPECT_EQ(a.best_overload, b.best_overload);
+  EXPECT_EQ(a.stats.dispatched_inline, b.stats.dispatched_inline);
+  EXPECT_EQ(a.stats.parked, b.stats.parked);
+  EXPECT_EQ(a.stats.dispatched_queued, b.stats.dispatched_queued);
+  EXPECT_EQ(a.stats.shed_no_tokens, b.stats.shed_no_tokens);
+  EXPECT_EQ(a.stats.shed_queue_full, b.stats.shed_queue_full);
+  EXPECT_EQ(a.stats.shed_deadline, b.stats.shed_deadline);
+  EXPECT_EQ(a.stats.shed_evicted, b.stats.shed_evicted);
+}
+
+}  // namespace
+}  // namespace maqs::sched

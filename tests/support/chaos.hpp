@@ -24,7 +24,9 @@
 
 #include "core/adaptation.hpp"
 #include "core/retry.hpp"
+#include "core/sched_bridge.hpp"
 #include "net/network.hpp"
+#include "sched/scheduler.hpp"
 #include "support/qos_echo.hpp"
 
 namespace maqs::testing {
@@ -158,6 +160,35 @@ struct ChaosWorld {
     };
   }
 
+  /// Arms the server-side request scheduler (the overload scenario): a
+  /// "gold" class with 3x the best-effort weight, bound to the QoS echo
+  /// object, server paced at `service_rps`. The global bound sits below
+  /// the sum of the class limits so gold arrivals under full queues evict
+  /// best-effort victims, and the overload signal is wired to the
+  /// negotiation service so the first gold shed of an episode pushes a
+  /// violation (renegotiate-once) to the client's adaptation manager.
+  sched::RequestScheduler& arm_scheduler(double service_rps) {
+    sched::SchedulerConfig config;
+    sched::ClassConfig gold;
+    gold.name = "gold";
+    gold.weight = 3.0;
+    gold.deadline_budget = 50 * sim::kMillisecond;
+    gold.queue_limit = 16;
+    config.classes.push_back(gold);
+    sched::ClassConfig best;
+    best.name = sched::kBestEffortClassName;
+    best.weight = 1.0;
+    best.deadline_budget = 20 * sim::kMillisecond;
+    best.queue_limit = 8;
+    config.classes.push_back(best);
+    config.service_rate_rps = service_rps;
+    config.total_limit = 20;
+    scheduler = std::make_unique<sched::RequestScheduler>(server, config);
+    scheduler->classifier().bind_object("chaos-echo", "gold");
+    core::attach_overload_renegotiation(*scheduler, negotiation);
+    return *scheduler;
+  }
+
   // ---- fault timeline helpers (absolute virtual-time points) ----
 
   void at(sim::TimePoint when, std::function<void()> action) {
@@ -194,6 +225,9 @@ struct ChaosWorld {
   orb::ObjRef plain_ref;
   std::shared_ptr<QosEchoImpl> qos_servant;
   orb::ObjRef qos_ref;
+  /// Present once arm_scheduler() ran; declared last so it unregisters
+  /// from the server's chain and event loop before they are destroyed.
+  std::unique_ptr<sched::RequestScheduler> scheduler;
 };
 
 // ---- workload runner ----
@@ -226,6 +260,52 @@ WorkloadReport run_workload(sim::EventLoop& loop, int count,
     loop.run_for(spacing);
   }
   return report;
+}
+
+// ---- overload storm (scheduler shed path) ----
+
+/// Per-class tally of an asynchronous request storm. `answered()` vs
+/// `sent` is the zero-silent-drop check: the scheduler's overload
+/// contract says every request is eventually answered — served, or
+/// rejected with a classified maqs/OVERLOAD — never dropped.
+struct StormReport {
+  int sent = 0;
+  int ok = 0;        ///< kOk replies
+  int overload = 0;  ///< maqs/OVERLOAD rejections
+  int other = 0;     ///< anything else (timeouts, unexpected faults)
+
+  int answered() const { return ok + overload + other; }
+};
+
+/// Schedules `count` asynchronous echo requests against `object_key`,
+/// `spacing` of virtual time apart starting at `start`, tallying reply
+/// outcomes into `report` (which must outlive the run).
+inline void schedule_storm(ChaosWorld& world, const std::string& object_key,
+                           int count, sim::Duration spacing,
+                           sim::TimePoint start, StormReport& report) {
+  for (int i = 0; i < count; ++i) {
+    world.at(start + i * spacing, [&world, &report, object_key, i] {
+      orb::RequestMessage req;
+      req.operation = "echo";
+      req.object_key = object_key;
+      cdr::Encoder enc;
+      enc.write_string("s" + std::to_string(i));
+      req.body = enc.take();
+      ++report.sent;
+      world.client.send_request(
+          world.server.endpoint(), std::move(req),
+          [&report](const orb::ReplyMessage& rep) {
+            if (rep.status == orb::ReplyStatus::kOk) {
+              ++report.ok;
+            } else if (rep.exception.rfind(sched::kOverloadException, 0) ==
+                       0) {
+              ++report.overload;
+            } else {
+              ++report.other;
+            }
+          });
+    });
+  }
 }
 
 }  // namespace maqs::testing
