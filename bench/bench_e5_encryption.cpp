@@ -17,14 +17,15 @@ using namespace maqs::bench;
 
 namespace {
 
-characteristics::EncryptionModule make_armed_module() {
-  characteristics::EncryptionModule module;
+// Built in place: the module owns a self-referencing streaming stage and
+// is intentionally immovable.
+void arm_module(characteristics::EncryptionModule& module) {
   module.install_key(1, util::to_bytes("bench-key"));
-  return module;
 }
 
 void BM_SealOpen(benchmark::State& state) {
-  auto module = make_armed_module();
+  characteristics::EncryptionModule module;
+  arm_module(module);
   const bool integrity = state.range(1) != 0;
   module.command("set_integrity", {cdr::Any::from_bool(integrity)});
   const util::Bytes body = payload(static_cast<std::size_t>(state.range(0)),

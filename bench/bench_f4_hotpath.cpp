@@ -26,6 +26,7 @@
 #include "core/retry.hpp"
 #include "sched/scheduler.hpp"
 #include "trace/trace.hpp"
+#include "util/buffer_pool.hpp"
 
 // ---- allocation counters (single-threaded bench, plain globals) ----
 
@@ -137,6 +138,15 @@ void run_scenarios(std::vector<Row>& rows) {
     rows.push_back(measure("plain", "add", [&] { stub.add(1, 2); }));
     rows.push_back(
         measure("plain", "blob4k", [&] { stub.blob(blob_data); }));
+
+    // Frame-pool contrast: dropping the pool before every request sends
+    // each 4K request/reply frame (and the stub's argument buffer) back
+    // to the allocator. The gap to the plain blob4k row above is what
+    // slab recycling buys on the large-payload path.
+    rows.push_back(measure("plain_pool_cold", "blob4k", [&] {
+      util::BufferPool::instance().clear();
+      stub.blob(blob_data);
+    }));
 
     // Tracing overhead, same world: recorder installed but disabled (the
     // branch-and-skip cost the zero-cost-when-off claim is about), then
@@ -278,6 +288,16 @@ void run_scenarios(std::vector<Row>& rows) {
                            [&] { stub.add(1, 2); }));
     rows.push_back(measure("woven_compress_encrypt", "blob4k",
                            [&] { stub.blob(blob_data); }));
+
+    // Same stub, explicit label: the woven path runs the streaming
+    // TransformChain (fused mediator chain, arena-backed stages) — there
+    // is no copy-per-stage path left. The woven_compress_encrypt rows
+    // above keep the historical name for cross-PR comparability; these
+    // are the rows the alloc-regression gate pins.
+    rows.push_back(
+        measure("woven_streaming", "add", [&] { stub.add(1, 2); }));
+    rows.push_back(
+        measure("woven_streaming", "blob4k", [&] { stub.blob(blob_data); }));
 
     // Tracing cost on the woven path: ~19 spans per request (mediators,
     // transport, transits, skeleton stages) when sampled.

@@ -16,4 +16,8 @@ cmake --build build-release -j "$(nproc)" --target maqs_bench
 ./build-release/bench/bench_f3_dispatch
 ./build-release/bench/bench_f4_hotpath BENCH_hotpath.json
 
+# Hard gate: the streaming pipeline's allocation budget (plain add <= 8,
+# woven add <= 12 allocs/request). Fails the run on regression.
+./scripts/check_alloc_budget.sh BENCH_hotpath.json
+
 echo "wrote $(pwd)/BENCH_hotpath.json"

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Alloc-budget regression gate over BENCH_hotpath.json.
+#
+# The streaming transform pipeline holds the request hot path to a fixed
+# allocation budget; this check fails (exit 1) when a tracked row exceeds
+# it, so CI catches an alloc regression even when throughput noise hides
+# it. Budgets are allocs/request upper bounds, deliberately a little
+# above steady state to absorb warm-up amortization, never throughput.
+#
+# usage: check_alloc_budget.sh [path-to-BENCH_hotpath.json]
+set -e
+
+json="${1:-BENCH_hotpath.json}"
+
+python3 - "$json" <<'EOF'
+import json
+import sys
+
+# (scenario, op) -> max allocs/request.
+BUDGETS = {
+    ("plain", "add"): 8.0,
+    ("plain", "blob4k"): 8.0,
+    ("woven_streaming", "add"): 12.0,
+    ("woven_compress_encrypt", "add"): 12.0,
+}
+
+with open(sys.argv[1]) as f:
+    rows = json.load(f)["rows"]
+
+seen = set()
+failed = False
+for row in rows:
+    key = (row["scenario"], row["op"])
+    if key not in BUDGETS:
+        continue
+    seen.add(key)
+    allocs = row["allocs_per_request"]
+    budget = BUDGETS[key]
+    status = "FAIL" if allocs > budget else "ok"
+    print(f"[{status}] {key[0]}/{key[1]}: {allocs:.2f} allocs/request "
+          f"(budget {budget:.0f})")
+    if allocs > budget:
+        failed = True
+
+for key in sorted(BUDGETS.keys() - seen):
+    print(f"[FAIL] {key[0]}/{key[1]}: row missing from {sys.argv[1]}")
+    failed = True
+
+sys.exit(1 if failed else 0)
+EOF

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -30,6 +31,14 @@ class Decoder {
   /// buffers keep using the zero-copy view overload.
   explicit Decoder(util::Bytes&& owned)
       : owned_(std::move(owned)), data_(owned_) {}
+
+  /// An owned buffer is a dead frame once decoding ends — recycle its
+  /// storage instead of freeing it (no-op for the view constructor).
+  ~Decoder() {
+    if (owned_.capacity() > 0) {
+      util::BufferPool::instance().release(std::move(owned_));
+    }
+  }
 
   Decoder(const Decoder&) = delete;
   Decoder& operator=(const Decoder&) = delete;

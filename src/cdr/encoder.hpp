@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 
 namespace maqs::cdr {
@@ -27,6 +28,19 @@ class Encoder {
   /// Pre-sizes the buffer; callers with a size hint (message encoders,
   /// generated stubs) avoid all regrowth reallocations.
   explicit Encoder(std::size_t reserve_hint) { buf_.reserve(reserve_hint); }
+
+  /// Encodes into a recycled buffer (e.g. from util::BufferPool): the
+  /// encoder appends after whatever the buffer already holds — pass it
+  /// cleared. take() hands the storage back for the caller to release.
+  explicit Encoder(util::Bytes&& recycled) : buf_(std::move(recycled)) {}
+
+  /// Encoder over a pool-recycled buffer: generated stubs marshal argument
+  /// streams without touching the allocator in steady state. The storage
+  /// returns to the pool when the frame dies (the wire layer and the
+  /// owning Decoder both release there).
+  static Encoder pooled(std::size_t size_hint = 64) {
+    return Encoder(util::BufferPool::instance().acquire(size_hint));
+  }
 
   /// Reserves room for `n` more octets on top of what is already written.
   void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }

@@ -1,5 +1,7 @@
 #include "characteristics/compression.hpp"
 
+#include <cstring>
+
 #include "compress/lz77.hpp"
 #include "orb/dii.hpp"
 
@@ -14,43 +16,6 @@ namespace {
 constexpr std::uint8_t kRaw = 0x00;
 constexpr std::uint8_t kCompressed = 0x01;
 
-util::Bytes frame(const compress::Codec& codec, util::BytesView payload,
-                  std::int64_t min_size) {
-  util::Bytes out;
-  if (static_cast<std::int64_t>(payload.size()) < min_size) {
-    out.reserve(payload.size() + 1);
-    out.push_back(kRaw);
-    util::append(out, payload);
-    return out;
-  }
-  util::Bytes compressed = codec.compress(payload);
-  if (compressed.size() >= payload.size()) {
-    // Incompressible: ship raw (bounded worst case).
-    out.reserve(payload.size() + 1);
-    out.push_back(kRaw);
-    util::append(out, payload);
-    return out;
-  }
-  out.reserve(compressed.size() + 1);
-  out.push_back(kCompressed);
-  util::append(out, compressed);
-  return out;
-}
-
-util::Bytes unframe(const compress::Codec& codec, util::BytesView framed) {
-  if (framed.empty()) {
-    throw compress::CodecError("compression: empty framed payload");
-  }
-  const util::BytesView payload = framed.subspan(1);
-  if (framed[0] == kRaw) {
-    return util::Bytes(payload.begin(), payload.end());
-  }
-  if (framed[0] == kCompressed) {
-    return codec.decompress(payload);
-  }
-  throw compress::CodecError("compression: bad frame marker");
-}
-
 std::unique_ptr<compress::Codec> codec_for(const std::string& name,
                                            std::int64_t level) {
   if (name == "lz77") {
@@ -60,11 +25,10 @@ std::unique_ptr<compress::Codec> codec_for(const std::string& name,
 }
 
 void configure_from(const core::Agreement& agreement,
-                    std::unique_ptr<compress::Codec>& codec,
-                    std::int64_t& min_size) {
-  codec = codec_for(agreement.string_param("codec"),
-                    agreement.int_param("level"));
-  min_size = agreement.int_param("min_size");
+                    CompressionTransform& stage) {
+  stage.set_codec(codec_for(agreement.string_param("codec"),
+                            agreement.int_param("level")));
+  stage.set_min_size(agreement.int_param("min_size"));
 }
 
 }  // namespace
@@ -96,35 +60,126 @@ core::CharacteristicDescriptor compression_descriptor() {
       });
 }
 
+// ---- streaming stage ----
+
+CompressionTransform::CompressionTransform()
+    : codec_(std::make_unique<compress::Lz77Codec>()) {}
+
+const std::string& CompressionTransform::label() const {
+  return compression_name();
+}
+
+void CompressionTransform::set_codec(std::unique_ptr<compress::Codec> codec) {
+  if (codec == nullptr) {
+    throw compress::CodecError("compression: null codec");
+  }
+  codec_ = std::move(codec);
+}
+
+void CompressionTransform::forward(core::ChainBuf& buf,
+                                   const core::TransformContext& ctx) {
+  (void)ctx;
+  const std::size_t n = buf.size();
+  fwd_in_ += n;
+  const std::size_t reserve = buf.reserve_front();
+
+  auto ship_raw = [&] {
+    std::span<std::uint8_t> region = buf.arena().allocate(reserve + 1 + n);
+    region[reserve] = kRaw;
+    if (n != 0) std::memcpy(region.data() + reserve + 1, buf.view().data(), n);
+    buf.adopt(region, reserve, 1 + n);
+  };
+
+  if (static_cast<std::int64_t>(n) < min_size_) {
+    ship_raw();
+    fwd_out_ += buf.size();
+    return;
+  }
+  const std::size_t bound = codec_->max_compressed_size(n);
+  if (bound == 0) {
+    // Codec without an output bound (or empty input): cold one-shot path.
+    const util::Bytes compressed = codec_->compress(buf.view());
+    if (compressed.size() >= n) {
+      ship_raw();
+    } else {
+      std::span<std::uint8_t> region =
+          buf.arena().allocate(reserve + 1 + compressed.size());
+      region[reserve] = kCompressed;
+      std::memcpy(region.data() + reserve + 1, compressed.data(),
+                  compressed.size());
+      buf.adopt(region, reserve, 1 + compressed.size());
+    }
+    fwd_out_ += buf.size();
+    return;
+  }
+  // Hot path: compress directly into the arena region behind the marker.
+  // The region is sized to also hold the raw payload so the
+  // incompressible fallback needs no second allocation.
+  std::span<std::uint8_t> region =
+      buf.arena().allocate(reserve + 1 + std::max(bound, n));
+  const std::size_t written = codec_->compress_into(
+      buf.view(), {region.data() + reserve + 1, bound});
+  if (written >= n) {
+    // Incompressible: ship raw (bounded worst case), same decision as the
+    // legacy frame() which compared compressed.size() >= payload.size().
+    region[reserve] = kRaw;
+    std::memcpy(region.data() + reserve + 1, buf.view().data(), n);
+    buf.adopt(region, reserve, 1 + n);
+  } else {
+    region[reserve] = kCompressed;
+    buf.adopt(region, reserve, 1 + written);
+  }
+  fwd_out_ += buf.size();
+}
+
+void CompressionTransform::reverse(core::ChainBuf& buf,
+                                   const core::TransformContext& ctx) {
+  (void)ctx;
+  rev_in_ += buf.size();
+  if (buf.empty()) {
+    throw compress::CodecError("compression: empty framed payload");
+  }
+  const std::uint8_t marker = buf.view()[0];
+  if (marker == kRaw) {
+    buf.drop_front(1);
+  } else if (marker == kCompressed) {
+    scratch_.clear();
+    codec_->decompress_append(buf.view().subspan(1), scratch_);
+    buf.adopt_bytes(scratch_);
+  } else {
+    throw compress::CodecError("compression: bad frame marker");
+  }
+  rev_out_ += buf.size();
+}
+
 // ---- application-centered ----
 
 CompressionMediator::CompressionMediator()
-    : core::Mediator(compression_name()),
-      codec_(std::make_unique<compress::Lz77Codec>()) {}
+    : core::Mediator(compression_name()) {
+  chain_.add(&stage_);
+}
 
 void CompressionMediator::bind_agreement(const core::Agreement& agreement) {
   core::Mediator::bind_agreement(agreement);
-  configure_from(agreement, codec_, min_size_);
+  configure_from(agreement, stage_);
 }
 
 void CompressionMediator::outbound(orb::RequestMessage& req,
                                    orb::ObjRef& target) {
   (void)target;
-  bytes_in_ += req.body.size();
-  req.body = frame(*codec_, req.body, min_size_);
-  bytes_out_ += req.body.size();
+  chain_.run_forward(req.body, {req.request_id, false});
 }
 
 void CompressionMediator::inbound(const orb::RequestMessage& req,
                                   orb::ReplyMessage& rep) {
-  (void)req;
   if (rep.status != orb::ReplyStatus::kOk) return;  // exceptions ship raw
-  rep.body = unframe(*codec_, rep.body);
+  chain_.run_reverse(rep.body, {req.request_id, true});
 }
 
 double CompressionMediator::compression_ratio() const {
-  if (bytes_in_ == 0) return 1.0;
-  return static_cast<double>(bytes_out_) / static_cast<double>(bytes_in_);
+  if (stage_.forward_bytes_in() == 0) return 1.0;
+  return static_cast<double>(stage_.forward_bytes_out()) /
+         static_cast<double>(stage_.forward_bytes_in());
 }
 
 cdr::Any CompressionMediator::qos_operation(
@@ -135,28 +190,27 @@ cdr::Any CompressionMediator::qos_operation(
   return core::Mediator::qos_operation(op, args);
 }
 
-CompressionImpl::CompressionImpl()
-    : core::QosImpl(compression_name()),
-      codec_(std::make_unique<compress::Lz77Codec>()) {}
+CompressionImpl::CompressionImpl() : core::QosImpl(compression_name()) {
+  chain_.add(&stage_);
+}
 
 void CompressionImpl::bind_agreement(const core::Agreement& agreement) {
   core::QosImpl::bind_agreement(agreement);
-  configure_from(agreement, codec_, min_size_);
+  configure_from(agreement, stage_);
 }
 
 util::Bytes CompressionImpl::transform_args(util::Bytes args,
                                             orb::ServerContext& ctx) {
   (void)ctx;
-  bytes_in_ += args.size();
-  return unframe(*codec_, args);
+  chain_.run_reverse(args, {0, false});
+  return args;
 }
 
 util::Bytes CompressionImpl::transform_result(util::Bytes result,
                                               orb::ServerContext& ctx) {
   (void)ctx;
-  util::Bytes framed = frame(*codec_, result, min_size_);
-  bytes_out_ += framed.size();
-  return framed;
+  chain_.run_forward(result, {0, true});
+  return result;
 }
 
 void CompressionImpl::dispatch_qos_op(const std::string& op,
@@ -164,10 +218,13 @@ void CompressionImpl::dispatch_qos_op(const std::string& op,
                                       orb::ServerContext& ctx) {
   if (op == "qos_compression_ratio") {
     args.expect_end();
+    // Server-side ratio: framed bytes in (args direction) vs framed bytes
+    // out (result direction), matching the legacy counters.
     const double ratio =
-        bytes_in_ == 0 ? 1.0
-                       : static_cast<double>(bytes_out_) /
-                             static_cast<double>(bytes_in_);
+        stage_.reverse_bytes_in() == 0
+            ? 1.0
+            : static_cast<double>(stage_.forward_bytes_out()) /
+                  static_cast<double>(stage_.reverse_bytes_in());
     out.write_f64(ratio);
     return;
   }
@@ -177,27 +234,27 @@ void CompressionImpl::dispatch_qos_op(const std::string& op,
 // ---- network-centered ----
 
 CompressionModule::CompressionModule()
-    : core::QosModule(compression_module_name()),
-      codec_(std::make_unique<compress::Lz77Codec>()) {}
+    : core::QosModule(compression_module_name()) {
+  chain_.add(&stage_);
+}
 
 void CompressionModule::transform_request(orb::RequestMessage& req) {
-  req.body = frame(*codec_, req.body, min_size_);
+  chain_.run_forward(req.body, {req.request_id, false});
 }
 
 void CompressionModule::restore_request(orb::RequestMessage& req) {
-  req.body = unframe(*codec_, req.body);
+  chain_.run_reverse(req.body, {req.request_id, false});
 }
 
 void CompressionModule::transform_reply(const orb::RequestMessage& req,
                                         orb::ReplyMessage& rep) {
-  (void)req;
   if (rep.status != orb::ReplyStatus::kOk) return;
-  rep.body = frame(*codec_, rep.body, min_size_);
+  chain_.run_forward(rep.body, {req.request_id, true});
 }
 
 void CompressionModule::restore_reply(orb::ReplyMessage& rep) {
   if (rep.status != orb::ReplyStatus::kOk) return;
-  rep.body = unframe(*codec_, rep.body);
+  chain_.run_reverse(rep.body, {rep.request_id, true});
 }
 
 cdr::Any CompressionModule::command(const std::string& op,
@@ -206,19 +263,19 @@ cdr::Any CompressionModule::command(const std::string& op,
     if (args.size() < 2) {
       throw core::QosError("compression module: set_codec(codec, level)");
     }
-    codec_ = codec_for(args[0].as_string(), args[1].as_integer());
+    stage_.set_codec(codec_for(args[0].as_string(), args[1].as_integer()));
     return cdr::Any::make_void();
   }
   if (op == "set_min_size") {
     if (args.empty()) {
       throw core::QosError("compression module: set_min_size(n)");
     }
-    min_size_ = args[0].as_integer();
+    stage_.set_min_size(args[0].as_integer());
     return cdr::Any::make_void();
   }
   if (op == "info") {
-    return cdr::Any::from_string(codec_->name() + "/min=" +
-                                 std::to_string(min_size_));
+    return cdr::Any::from_string(stage_.codec().name() + "/min=" +
+                                 std::to_string(stage_.min_size()));
   }
   return core::QosModule::command(op, args);
 }

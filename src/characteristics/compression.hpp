@@ -10,6 +10,10 @@
 //   - network-centered: CompressionModule, a QoS transport module that
 //     rewrites message bodies below the ORB's invocation layer.
 //
+// All three run the same CompressionTransform streaming stage: the codec
+// emits straight into an arena region behind the frame marker, so the hot
+// path never materializes an intermediate vector (see core/transform.hpp).
+//
 // QIDL (conceptually):
 //   qos characteristic Compression {
 //     param string codec = "lz77";
@@ -23,6 +27,7 @@
 
 #include "compress/codec.hpp"
 #include "core/provider.hpp"
+#include "core/transform.hpp"
 
 namespace maqs::characteristics {
 
@@ -45,6 +50,47 @@ core::CharacteristicProvider make_compression_module_provider();
 /// Registers the "compression" module factory (idempotent).
 void register_compression_module();
 
+/// The streaming compression stage shared by every integration layer.
+///
+/// Frame (wire-identical to the legacy copy path): one marker octet
+/// (0 = raw, 1 = compressed) followed by the stream. forward() compresses
+/// straight into an arena region sized by the codec's output bound and
+/// ships raw when that would not shrink the payload; reverse() drops the
+/// marker in place for raw frames and decompresses into a recycled
+/// stage-owned scratch buffer otherwise.
+class CompressionTransform final : public core::StreamingTransform {
+ public:
+  CompressionTransform();
+
+  const std::string& label() const override;
+  std::size_t forward_overhead() const noexcept override { return 1; }
+  void forward(core::ChainBuf& buf,
+               const core::TransformContext& ctx) override;
+  void reverse(core::ChainBuf& buf,
+               const core::TransformContext& ctx) override;
+
+  void set_codec(std::unique_ptr<compress::Codec> codec);
+  void set_min_size(std::int64_t min_size) noexcept { min_size_ = min_size; }
+  const compress::Codec& codec() const noexcept { return *codec_; }
+  std::int64_t min_size() const noexcept { return min_size_; }
+
+  /// Byte counters for the mechanism ops: forward counts unframed-in /
+  /// framed-out, reverse counts framed-in / unframed-out.
+  std::uint64_t forward_bytes_in() const noexcept { return fwd_in_; }
+  std::uint64_t forward_bytes_out() const noexcept { return fwd_out_; }
+  std::uint64_t reverse_bytes_in() const noexcept { return rev_in_; }
+  std::uint64_t reverse_bytes_out() const noexcept { return rev_out_; }
+
+ private:
+  std::unique_ptr<compress::Codec> codec_;
+  std::int64_t min_size_ = 64;
+  util::Bytes scratch_;  // reverse-direction decompress target (recycled)
+  std::uint64_t fwd_in_ = 0;
+  std::uint64_t fwd_out_ = 0;
+  std::uint64_t rev_in_ = 0;
+  std::uint64_t rev_out_ = 0;
+};
+
 class CompressionMediator final : public core::Mediator {
  public:
   CompressionMediator();
@@ -56,6 +102,7 @@ class CompressionMediator final : public core::Mediator {
   /// inbound() only decompresses the reply; the stub need not keep the
   /// compressed argument stream alive across the call.
   bool needs_request_payload() const override { return false; }
+  core::StreamingTransform* streaming_transform() override { return &stage_; }
   cdr::Any qos_operation(const std::string& op,
                          const std::vector<cdr::Any>& args) override;
 
@@ -63,10 +110,8 @@ class CompressionMediator final : public core::Mediator {
   double compression_ratio() const;
 
  private:
-  std::unique_ptr<compress::Codec> codec_;
-  std::int64_t min_size_ = 64;
-  std::uint64_t bytes_in_ = 0;
-  std::uint64_t bytes_out_ = 0;
+  CompressionTransform stage_;
+  core::TransformChain chain_;  // single-stage chain for the unfused path
 };
 
 class CompressionImpl final : public core::QosImpl {
@@ -78,14 +123,13 @@ class CompressionImpl final : public core::QosImpl {
                              orb::ServerContext& ctx) override;
   util::Bytes transform_result(util::Bytes result,
                                orb::ServerContext& ctx) override;
+  core::StreamingTransform* streaming_transform() override { return &stage_; }
   void dispatch_qos_op(const std::string& op, cdr::Decoder& args,
                        cdr::Encoder& out, orb::ServerContext& ctx) override;
 
  private:
-  std::unique_ptr<compress::Codec> codec_;
-  std::int64_t min_size_ = 64;
-  std::uint64_t bytes_in_ = 0;
-  std::uint64_t bytes_out_ = 0;
+  CompressionTransform stage_;
+  core::TransformChain chain_;
 };
 
 /// Network-centered variant: body transforms at the transport layer.
@@ -102,8 +146,8 @@ class CompressionModule final : public core::QosModule {
                    const std::vector<cdr::Any>& args) override;
 
  private:
-  std::unique_ptr<compress::Codec> codec_;
-  std::int64_t min_size_ = 64;
+  CompressionTransform stage_;
+  core::TransformChain chain_;
 };
 
 }  // namespace maqs::characteristics

@@ -1,5 +1,7 @@
 #include "characteristics/encryption.hpp"
 
+#include <cstring>
+
 #include "cdr/decoder.hpp"
 #include "cdr/encoder.hpp"
 #include "crypto/mac.hpp"
@@ -15,45 +17,17 @@ std::uint64_t key_fingerprint(const crypto::Key128& key) {
          (static_cast<std::uint64_t>(key[2]) << 32 | key[3]);
 }
 
-/// Frame: [epoch:i64][mac:u64][ciphertext...]. mac is 0 when integrity is
-/// off. The nonce binds the keystream to the request id so identical
-/// plaintexts never share keystream.
-util::Bytes seal_frame(const crypto::Key128& key, std::int64_t epoch,
-                       bool integrity, util::BytesView body,
-                       std::uint64_t nonce) {
-  const crypto::XteaCtr cipher(key, nonce);
-  util::Bytes ciphertext = cipher.apply(body);
-  cdr::Encoder enc;
-  enc.write_i64(epoch);
-  enc.write_u64(integrity
-                    ? crypto::mac64(key_fingerprint(key), ciphertext)
-                    : 0);
-  enc.write_raw(ciphertext);
-  return enc.take();
-}
-
-struct OpenedFrame {
-  std::int64_t epoch;
-  util::Bytes plaintext;
-};
-
-OpenedFrame open_frame(
-    const std::function<const crypto::Key128&(std::int64_t)>& key_lookup,
-    bool integrity, util::BytesView framed, std::uint64_t nonce) {
-  cdr::Decoder dec(framed);
-  const std::int64_t epoch = dec.read_i64();
-  const std::uint64_t tag = dec.read_u64();
-  util::Bytes ciphertext = dec.read_remaining();
-  const crypto::Key128& key = key_lookup(epoch);
-  if (integrity &&
-      !crypto::mac_verify(key_fingerprint(key), ciphertext, tag)) {
-    throw core::QosError("encryption: integrity check failed");
+void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int b = 0; b < 8; ++b) {
+    p[b] = static_cast<std::uint8_t>(v >> (8 * b));
   }
-  const crypto::XteaCtr cipher(key, nonce);
-  return {epoch, cipher.apply(ciphertext)};
 }
 
 constexpr std::uint64_t kReplyNonceFlip = 0x8000000000000001ULL;
+
+std::uint64_t frame_nonce(const core::TransformContext& ctx) noexcept {
+  return ctx.reply ? ctx.request_id ^ kReplyNonceFlip : ctx.request_id;
+}
 
 }  // namespace
 
@@ -81,10 +55,69 @@ core::CharacteristicDescriptor encryption_descriptor() {
       });
 }
 
+// ---- streaming stage ----
+
+const std::string& EncryptionTransform::label() const {
+  return encryption_name();
+}
+
+void EncryptionTransform::forward(core::ChainBuf& buf,
+                                  const core::TransformContext& ctx) {
+  const std::uint64_t nonce = frame_nonce(ctx);
+  const std::int64_t epoch = source_->seal_epoch();
+  const crypto::Key128& key = source_->key_for(epoch);
+  if (buf.headroom() < 16) {
+    // First stage over a borrowed body: move the payload into an arena
+    // region once, with room for this header and all later ones.
+    const std::size_t reserve = buf.reserve_front();
+    const std::size_t n = buf.size();
+    std::span<std::uint8_t> region = buf.arena().allocate(reserve + 16 + n);
+    if (n != 0) {
+      std::memcpy(region.data() + reserve + 16, buf.view().data(), n);
+    }
+    buf.adopt(region, reserve + 16, n);
+  }
+  crypto::XteaCtr(key, nonce).apply_in_place(buf.mutable_span());
+  const std::uint64_t tag =
+      source_->integrity() ? crypto::mac64(key_fingerprint(key), buf.view())
+                           : 0;
+  // [epoch:i64 LE][mac:u64 LE] — byte-identical to the legacy
+  // cdr::Encoder-built frame header.
+  std::uint8_t* hdr = buf.prepend(16);
+  store_le64(hdr, static_cast<std::uint64_t>(epoch));
+  store_le64(hdr + 8, tag);
+}
+
+void EncryptionTransform::reverse(core::ChainBuf& buf,
+                                  const core::TransformContext& ctx) {
+  const std::uint64_t nonce = frame_nonce(ctx);
+  // Decode via cdr for error parity with the legacy open path on
+  // truncated frames.
+  cdr::Decoder dec(buf.view());
+  const std::int64_t epoch = dec.read_i64();
+  const std::uint64_t tag = dec.read_u64();
+  buf.drop_front(16);
+  const crypto::Key128& key = source_->key_for(epoch);
+  if (source_->integrity() &&
+      !crypto::mac_verify(key_fingerprint(key), buf.view(), tag)) {
+    throw core::QosError("encryption: integrity check failed");
+  }
+  crypto::XteaCtr(key, nonce).apply_in_place(buf.mutable_span());
+}
+
 // ---- module (DH) ----
 
 EncryptionModule::EncryptionModule()
-    : core::QosModule(encryption_module_name()) {}
+    : core::QosModule(encryption_module_name()), stage_(*this) {
+  chain_.add(&stage_);
+}
+
+std::int64_t EncryptionModule::seal_epoch() const {
+  if (current_epoch_ < 0) {
+    throw core::QosError("encryption: no key installed");
+  }
+  return current_epoch_;
+}
 
 const crypto::Key128& EncryptionModule::key_for(std::int64_t epoch) const {
   auto it = keys_.find(epoch);
@@ -95,42 +128,23 @@ const crypto::Key128& EncryptionModule::key_for(std::int64_t epoch) const {
   return it->second;
 }
 
-util::Bytes EncryptionModule::seal(util::BytesView body,
-                                   std::uint64_t nonce) const {
-  if (current_epoch_ < 0) {
-    throw core::QosError("encryption: no key installed");
-  }
-  return seal_frame(key_for(current_epoch_), current_epoch_, integrity_,
-                    body, nonce);
-}
-
-util::Bytes EncryptionModule::open(util::BytesView framed,
-                                   std::uint64_t nonce) const {
-  return open_frame(
-             [this](std::int64_t epoch) -> const crypto::Key128& {
-               return key_for(epoch);
-             },
-             integrity_, framed, nonce)
-      .plaintext;
-}
-
 void EncryptionModule::transform_request(orb::RequestMessage& req) {
-  req.body = seal(req.body, req.request_id);
+  chain_.run_forward(req.body, {req.request_id, false});
 }
 
 void EncryptionModule::restore_request(orb::RequestMessage& req) {
-  req.body = open(req.body, req.request_id);
+  chain_.run_reverse(req.body, {req.request_id, false});
 }
 
 void EncryptionModule::transform_reply(const orb::RequestMessage& req,
                                        orb::ReplyMessage& rep) {
   if (rep.status != orb::ReplyStatus::kOk) return;
-  rep.body = seal(rep.body, req.request_id ^ kReplyNonceFlip);
+  chain_.run_forward(rep.body, {req.request_id, true});
 }
 
 void EncryptionModule::restore_reply(orb::ReplyMessage& rep) {
   if (rep.status != orb::ReplyStatus::kOk) return;
-  rep.body = open(rep.body, rep.request_id ^ kReplyNonceFlip);
+  chain_.run_reverse(rep.body, {rep.request_id, true});
 }
 
 void EncryptionModule::install_key(std::int64_t epoch,
@@ -241,55 +255,53 @@ core::CharacteristicProvider make_encryption_provider() {
 // ---- application-centered PSK variant ----
 
 EncryptionMediator::EncryptionMediator()
-    : core::Mediator(encryption_name()) {}
+    : core::Mediator(encryption_name()), stage_(source_) {
+  chain_.add(&stage_);
+}
 
 void EncryptionMediator::bind_agreement(const core::Agreement& agreement) {
   core::Mediator::bind_agreement(agreement);
-  key_ = crypto::derive_key(util::to_bytes(agreement.string_param("psk")));
+  source_.configure(
+      crypto::derive_key(util::to_bytes(agreement.string_param("psk"))),
+      agreement.bool_param("integrity"));
 }
 
 void EncryptionMediator::outbound(orb::RequestMessage& req,
                                   orb::ObjRef& target) {
   (void)target;
-  req.body = seal_frame(key_, 0, agreement().bool_param("integrity"),
-                        req.body, req.request_id);
+  chain_.run_forward(req.body, {req.request_id, false});
 }
 
 void EncryptionMediator::inbound(const orb::RequestMessage& req,
                                  orb::ReplyMessage& rep) {
   if (rep.status != orb::ReplyStatus::kOk) return;
-  rep.body =
-      open_frame([this](std::int64_t) -> const crypto::Key128& {
-                   return key_;
-                 },
-                 agreement().bool_param("integrity"), rep.body,
-                 req.request_id ^ kReplyNonceFlip)
-          .plaintext;
+  chain_.run_reverse(rep.body, {req.request_id, true});
 }
 
-EncryptionImpl::EncryptionImpl() : core::QosImpl(encryption_name()) {}
+EncryptionImpl::EncryptionImpl()
+    : core::QosImpl(encryption_name()), stage_(source_) {
+  chain_.add(&stage_);
+}
 
 void EncryptionImpl::bind_agreement(const core::Agreement& agreement) {
   core::QosImpl::bind_agreement(agreement);
-  key_ = crypto::derive_key(util::to_bytes(agreement.string_param("psk")));
+  source_.configure(
+      crypto::derive_key(util::to_bytes(agreement.string_param("psk"))),
+      agreement.bool_param("integrity"));
 }
 
 util::Bytes EncryptionImpl::transform_args(util::Bytes args,
                                            orb::ServerContext& ctx) {
   request_nonce_ = ctx.request().request_id;
-  return open_frame([this](std::int64_t) -> const crypto::Key128& {
-                      return key_;
-                    },
-                    agreement().bool_param("integrity"), args,
-                    request_nonce_)
-      .plaintext;
+  chain_.run_reverse(args, {request_nonce_, false});
+  return args;
 }
 
 util::Bytes EncryptionImpl::transform_result(util::Bytes result,
                                              orb::ServerContext& ctx) {
   (void)ctx;
-  return seal_frame(key_, 0, agreement().bool_param("integrity"), result,
-                    request_nonce_ ^ kReplyNonceFlip);
+  chain_.run_forward(result, {request_nonce_, true});
+  return result;
 }
 
 core::CharacteristicProvider make_encryption_psk_provider() {

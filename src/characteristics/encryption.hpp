@@ -19,11 +19,17 @@
 // exists as well: it weaves the same cipher through the stub/skeleton
 // layer using a pre-shared secret parameter, demonstrating that the
 // characteristic can live at either layer of Fig. 1.
+//
+// Both variants drive one EncryptionTransform streaming stage that
+// enciphers the payload in place over arena-owned storage and prepends
+// the [epoch:i64][mac:u64] header into pre-reserved headroom — the frame
+// bytes are identical to the legacy seal/open copy path.
 #pragma once
 
 #include <map>
 
 #include "core/provider.hpp"
+#include "core/transform.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/xtea.hpp"
 
@@ -51,7 +57,44 @@ std::int64_t encryption_rotate_key(orb::Orb& orb,
                                    std::int64_t epoch,
                                    std::uint64_t client_seed);
 
-class EncryptionModule final : public core::QosModule {
+/// Where the encryption stage gets key material and the integrity flag.
+/// The module implements this over its epoch->key map; the PSK variant
+/// over one fixed key (epoch 0).
+class EncryptionKeySource {
+ public:
+  virtual ~EncryptionKeySource() = default;
+
+  /// Epoch stamped on outbound frames; throws QosError when no key is
+  /// armed yet ("encryption: no key installed").
+  virtual std::int64_t seal_epoch() const = 0;
+  /// Key for a frame's epoch; throws QosError for unknown epochs.
+  virtual const crypto::Key128& key_for(std::int64_t epoch) const = 0;
+  virtual bool integrity() const = 0;
+};
+
+/// Streaming cipher stage. Frame: [epoch:i64][mac:u64][ciphertext...];
+/// mac is 0 when integrity is off. The nonce binds the keystream to the
+/// request id (reply direction flips it) so identical plaintexts never
+/// share keystream.
+class EncryptionTransform final : public core::StreamingTransform {
+ public:
+  explicit EncryptionTransform(const EncryptionKeySource& source) noexcept
+      : source_(&source) {}
+
+  const std::string& label() const override;
+  /// 16-byte [epoch][mac] header.
+  std::size_t forward_overhead() const noexcept override { return 16; }
+  void forward(core::ChainBuf& buf,
+               const core::TransformContext& ctx) override;
+  void reverse(core::ChainBuf& buf,
+               const core::TransformContext& ctx) override;
+
+ private:
+  const EncryptionKeySource* source_;
+};
+
+class EncryptionModule final : public core::QosModule,
+                               public EncryptionKeySource {
  public:
   EncryptionModule();
 
@@ -72,15 +115,36 @@ class EncryptionModule final : public core::QosModule {
   void set_current_epoch(std::int64_t epoch);
   std::int64_t current_epoch() const noexcept { return current_epoch_; }
 
- private:
-  util::Bytes seal(util::BytesView body, std::uint64_t nonce) const;
-  util::Bytes open(util::BytesView framed, std::uint64_t nonce) const;
-  const crypto::Key128& key_for(std::int64_t epoch) const;
+  // EncryptionKeySource
+  std::int64_t seal_epoch() const override;
+  const crypto::Key128& key_for(std::int64_t epoch) const override;
+  bool integrity() const override { return integrity_; }
 
+ private:
   std::map<std::int64_t, crypto::Key128> keys_;
   std::int64_t current_epoch_ = -1;  // -1 = no key, refuse traffic
   bool integrity_ = true;
   std::uint64_t dh_private_seed_ = 0x5EED;
+  EncryptionTransform stage_;
+  core::TransformChain chain_;
+};
+
+/// Fixed pre-shared-key source for the application-centered variant:
+/// every frame is sealed as epoch 0 under the agreement's "psk" key.
+class PskKeySource final : public EncryptionKeySource {
+ public:
+  void configure(const crypto::Key128& key, bool integrity) noexcept {
+    key_ = key;
+    integrity_ = integrity;
+  }
+
+  std::int64_t seal_epoch() const override { return 0; }
+  const crypto::Key128& key_for(std::int64_t) const override { return key_; }
+  bool integrity() const override { return integrity_; }
+
+ private:
+  crypto::Key128 key_{};
+  bool integrity_ = true;
 };
 
 /// Application-centered variant: same cipher woven at the stub/skeleton
@@ -95,9 +159,12 @@ class EncryptionMediator final : public core::Mediator {
   /// inbound() derives the reply nonce from request_id alone (a retained
   /// header field), so the ciphertext body need not be kept.
   bool needs_request_payload() const override { return false; }
+  core::StreamingTransform* streaming_transform() override { return &stage_; }
 
  private:
-  crypto::Key128 key_{};
+  PskKeySource source_;
+  EncryptionTransform stage_;
+  core::TransformChain chain_;
 };
 
 class EncryptionImpl final : public core::QosImpl {
@@ -108,9 +175,12 @@ class EncryptionImpl final : public core::QosImpl {
                              orb::ServerContext& ctx) override;
   util::Bytes transform_result(util::Bytes result,
                                orb::ServerContext& ctx) override;
+  core::StreamingTransform* streaming_transform() override { return &stage_; }
 
  private:
-  crypto::Key128 key_{};
+  PskKeySource source_;
+  EncryptionTransform stage_;
+  core::TransformChain chain_;
   std::uint64_t request_nonce_ = 0;
 };
 

@@ -1,9 +1,28 @@
 #include "compress/codec.hpp"
 
+#include <cstring>
+
 #include "compress/lz77.hpp"
 #include "compress/rle.hpp"
 
 namespace maqs::compress {
+
+std::size_t Codec::compress_into(util::BytesView input,
+                                 std::span<std::uint8_t> out) const {
+  const util::Bytes compressed = compress(input);
+  if (compressed.size() > out.size()) {
+    throw CodecError(name() + ": compress_into output buffer too small");
+  }
+  if (!compressed.empty()) {
+    std::memcpy(out.data(), compressed.data(), compressed.size());
+  }
+  return compressed.size();
+}
+
+void Codec::decompress_append(util::BytesView input, util::Bytes& out) const {
+  const util::Bytes plain = decompress(input);
+  out.insert(out.end(), plain.begin(), plain.end());
+}
 
 const std::string& IdentityCodec::name() const {
   static const std::string kName = "identity";
@@ -16,6 +35,24 @@ util::Bytes IdentityCodec::compress(util::BytesView input) const {
 
 util::Bytes IdentityCodec::decompress(util::BytesView input) const {
   return util::Bytes(input.begin(), input.end());
+}
+
+std::size_t IdentityCodec::max_compressed_size(std::size_t n) const {
+  return n;
+}
+
+std::size_t IdentityCodec::compress_into(util::BytesView input,
+                                         std::span<std::uint8_t> out) const {
+  if (input.size() > out.size()) {
+    throw CodecError("identity: compress_into output buffer too small");
+  }
+  if (!input.empty()) std::memcpy(out.data(), input.data(), input.size());
+  return input.size();
+}
+
+void IdentityCodec::decompress_append(util::BytesView input,
+                                      util::Bytes& out) const {
+  out.insert(out.end(), input.begin(), input.end());
 }
 
 std::unique_ptr<Codec> make_codec(const std::string& name) {

@@ -5,9 +5,20 @@
 // highly redundant data and LZ77 as the general-purpose codec. Both are
 // exact round-trip codecs; compress() never fails, decompress() throws
 // CodecError on corrupt input.
+//
+// Two call shapes coexist:
+//   - the legacy one-shot API (compress/decompress returning fresh Bytes),
+//     kept for tools and tests;
+//   - the streaming API (max_compressed_size/compress_into/
+//     decompress_append) used by the zero-copy transform chain: the caller
+//     provides the output storage, so the hot path never materializes an
+//     intermediate vector per stage.
+// Both produce byte-identical streams; the one-shot entry points are thin
+// wrappers over the streaming ones.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "util/bytes.hpp"
@@ -26,6 +37,29 @@ class Codec {
   virtual const std::string& name() const = 0;
   virtual util::Bytes compress(util::BytesView input) const = 0;
   virtual util::Bytes decompress(util::BytesView input) const = 0;
+
+  // ---- streaming API (zero-copy transform chain) ----
+
+  /// Upper bound on compress_into() output for `n` input bytes, or 0 when
+  /// the codec cannot bound its output (callers then fall back to the
+  /// one-shot compress()). A bound of 0 for n == 0 is always correct.
+  virtual std::size_t max_compressed_size(std::size_t n) const {
+    (void)n;
+    return 0;
+  }
+
+  /// Compresses `input` into caller-owned storage `out` and returns the
+  /// number of bytes written. `out.size()` must be at least
+  /// max_compressed_size(input.size()); throws CodecError otherwise.
+  /// Default bridges through the one-shot compress().
+  virtual std::size_t compress_into(util::BytesView input,
+                                    std::span<std::uint8_t> out) const;
+
+  /// Decompresses `input`, appending to `out` (existing content is
+  /// preserved; back-references never reach across the append point).
+  /// Default bridges through the one-shot decompress().
+  virtual void decompress_append(util::BytesView input,
+                                 util::Bytes& out) const;
 };
 
 /// Identity codec (baseline: "no compression" with the same call shape).
@@ -34,6 +68,12 @@ class IdentityCodec final : public Codec {
   const std::string& name() const override;
   util::Bytes compress(util::BytesView input) const override;
   util::Bytes decompress(util::BytesView input) const override;
+
+  std::size_t max_compressed_size(std::size_t n) const override;
+  std::size_t compress_into(util::BytesView input,
+                            std::span<std::uint8_t> out) const override;
+  void decompress_append(util::BytesView input,
+                         util::Bytes& out) const override;
 };
 
 /// Factory by codec name: "identity", "rle", "lz77".

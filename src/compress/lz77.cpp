@@ -1,7 +1,9 @@
 #include "compress/lz77.hpp"
 
-#include <array>
+#include <algorithm>
+#include <bit>
 #include <cstring>
+#include <limits>
 
 namespace maqs::compress {
 
@@ -12,6 +14,38 @@ constexpr std::size_t kMaxMatch = 65535;  // length field is u16
 constexpr std::size_t kMaxLiteralRun = 65535;
 constexpr std::size_t kHashBits = 15;
 constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::size_t kChainSize = kWindow + 1;
+// Inside a long match only the first kMaxInsert covered positions enter
+// the hash tables: later occurrences of the same data still match against
+// these anchors, and insertion cost stays O(1) per long match instead of
+// O(len).
+constexpr std::size_t kMaxInsert = 8;
+// A match this long is taken immediately instead of probing further
+// candidates for a marginally longer one: on repetitive payloads the
+// newest candidate already yields a near-maximal match, and the remaining
+// probes are the bulk of the search cost.
+constexpr std::size_t kGoodEnough = 64;
+
+/// Length of the common prefix of a and b, capped at limit (word-wise).
+std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t limit) noexcept {
+  std::size_t len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= limit) {
+      std::uint64_t wa;
+      std::uint64_t wb;
+      std::memcpy(&wa, a + len, 8);
+      std::memcpy(&wb, b + len, 8);
+      const std::uint64_t diff = wa ^ wb;
+      if (diff != 0) {
+        return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+      }
+      len += 8;
+    }
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
 
 std::uint32_t hash3(const std::uint8_t* p) noexcept {
   const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
@@ -20,21 +54,26 @@ std::uint32_t hash3(const std::uint8_t* p) noexcept {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-void put_u16(util::Bytes& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
+void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
-void flush_literals(util::Bytes& out, util::BytesView input,
-                    std::size_t begin, std::size_t end) {
-  while (begin < end) {
-    const std::size_t chunk = std::min(end - begin, kMaxLiteralRun);
-    out.push_back(0x00);
-    put_u16(out, static_cast<std::uint16_t>(chunk));
-    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(begin),
-               input.begin() + static_cast<std::ptrdiff_t>(begin + chunk));
+/// Stored form: the input as pure literal runs. Exactly
+/// n + 3 * ceil(n / kMaxLiteralRun) bytes.
+std::size_t write_stored(util::BytesView input, std::uint8_t* out) {
+  std::size_t w = 0;
+  std::size_t begin = 0;
+  while (begin < input.size()) {
+    const std::size_t chunk = std::min(input.size() - begin, kMaxLiteralRun);
+    out[w++] = 0x00;
+    put_u16(out + w, static_cast<std::uint16_t>(chunk));
+    w += 2;
+    std::memcpy(out + w, input.data() + begin, chunk);
+    w += chunk;
     begin += chunk;
   }
+  return w;
 }
 }  // namespace
 
@@ -43,20 +82,73 @@ const std::string& Lz77Codec::name() const {
   return kName;
 }
 
+std::size_t Lz77Codec::max_compressed_size(std::size_t n) const {
+  if (n == 0) return 0;
+  return n + 3 * ((n + kMaxLiteralRun - 1) / kMaxLiteralRun);
+}
+
 util::Bytes Lz77Codec::compress(util::BytesView input) const {
+  util::Bytes out(max_compressed_size(input.size()));
+  out.resize(compress_into(input, out));
+  return out;
+}
+
+util::Bytes Lz77Codec::decompress(util::BytesView input) const {
   util::Bytes out;
-  out.reserve(input.size() / 2 + 16);
+  decompress_append(input, out);
+  return out;
+}
 
+std::size_t Lz77Codec::compress_into(util::BytesView input,
+                                     std::span<std::uint8_t> out) const {
   const std::size_t n = input.size();
-  if (n < kMinMatch) {
-    flush_literals(out, input, 0, n);
-    return out;
+  const std::size_t bound = max_compressed_size(n);
+  if (out.size() < bound) {
+    throw CodecError("lz77: compress_into output buffer too small");
   }
+  if (n == 0) return 0;
+  if (n < kMinMatch) return write_stored(input, out.data());
+  const std::size_t written = try_compress(input, out.data(), bound);
+  // Expansion guard: an adversarial token stream can exceed the stored
+  // form (a 5-byte match token may replace only 4 literal bytes). Fall
+  // back to the stored form so output stays within the advertised bound.
+  if (written >= bound) return write_stored(input, out.data());
+  return written;
+}
 
-  // head[h] = most recent position with hash h (+1, 0 = none);
-  // chain[i % kWindow] = previous position with the same hash (+1).
-  std::vector<std::uint32_t> head(kHashSize, 0);
-  std::vector<std::uint32_t> chain(kWindow + 1, 0);
+std::size_t Lz77Codec::try_compress(util::BytesView input, std::uint8_t* out,
+                                    std::size_t cap) const {
+  const std::size_t n = input.size();
+
+  if (head_.empty()) {
+    head_.assign(kHashSize, 0);
+    chain_.assign(kChainSize, 0);
+  }
+  if (static_cast<std::uint64_t>(next_base_) + n + 1 >
+      std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(head_.begin(), head_.end(), 0u);
+    std::fill(chain_.begin(), chain_.end(), 0u);
+    next_base_ = 0;
+  }
+  base_ = next_base_;
+  next_base_ = base_ + static_cast<std::uint32_t>(n) + 1;
+  const std::uint32_t base = base_;
+
+  std::size_t w = 0;
+  // Emits input[begin, end) as literal runs; false when out of room.
+  auto flush_literals = [&](std::size_t begin, std::size_t end) -> bool {
+    while (begin < end) {
+      const std::size_t chunk = std::min(end - begin, kMaxLiteralRun);
+      if (cap - w < 3 + chunk) return false;
+      out[w++] = 0x00;
+      put_u16(out + w, static_cast<std::uint16_t>(chunk));
+      w += 2;
+      std::memcpy(out + w, input.data() + begin, chunk);
+      w += chunk;
+      begin += chunk;
+    }
+    return true;
+  };
 
   std::size_t literal_start = 0;
   std::size_t i = 0;
@@ -65,55 +157,66 @@ util::Bytes Lz77Codec::compress(util::BytesView input) const {
     std::size_t best_len = 0;
     std::size_t best_off = 0;
 
-    std::uint32_t candidate = head[h];
+    // head_/chain_ store global positions + 1; values <= base are stale
+    // leftovers from earlier inputs and terminate the probe like a null.
+    std::uint32_t candidate = head_[h];
     int probes = max_probes_;
-    while (candidate != 0 && probes-- > 0) {
-      const std::size_t pos = candidate - 1;
+    const std::size_t limit = std::min(n - i, kMaxMatch);
+    while (candidate > base && probes-- > 0) {
+      const std::size_t pos = candidate - 1 - base;
       if (i - pos > kWindow) break;  // chain entries only get older
-      std::size_t len = 0;
-      const std::size_t limit = std::min(n - i, kMaxMatch);
-      while (len < limit && input[pos + len] == input[i + len]) ++len;
-      if (len > best_len) {
-        best_len = len;
-        best_off = i - pos;
-        if (len >= limit) break;
+      // A candidate can only beat best_len if it also matches at index
+      // best_len; checking that one byte first skips the extension for
+      // most losing candidates without changing the outcome.
+      if (best_len == 0 || input[pos + best_len] == input[i + best_len]) {
+        const std::size_t len =
+            match_length(input.data() + pos, input.data() + i, limit);
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - pos;
+          if (len >= limit || len >= kGoodEnough) break;
+        }
       }
       // The chain slot may have been overwritten by a position ~64K newer
       // (modulo indexing); accept only strictly older candidates to stay
       // acyclic.
-      const std::uint32_t next = chain[pos % (kWindow + 1)];
-      if (next != 0 && next - 1 >= pos) break;
+      const std::uint32_t next = chain_[(candidate - 1) % kChainSize];
+      if (next > base && next - 1 - base >= pos) break;
       candidate = next;
     }
 
     if (best_len >= kMinMatch) {
-      flush_literals(out, input, literal_start, i);
-      out.push_back(0x01);
-      put_u16(out, static_cast<std::uint16_t>(best_off));
-      put_u16(out, static_cast<std::uint16_t>(best_len));
-      // Insert hash entries for every covered position so later matches can
-      // reference inside this one.
+      if (!flush_literals(literal_start, i)) return cap;
+      if (cap - w < 5) return cap;
+      out[w++] = 0x01;
+      put_u16(out + w, static_cast<std::uint16_t>(best_off));
+      put_u16(out + w + 2, static_cast<std::uint16_t>(best_len));
+      w += 4;
+      // Insert hash anchors for the leading covered positions so later
+      // matches can reference into this one (bounded per match).
       const std::size_t match_end = i + best_len;
-      while (i < match_end && i + kMinMatch <= n) {
+      const std::size_t insert_end = std::min(match_end, i + kMaxInsert);
+      while (i < insert_end && i + kMinMatch <= n) {
         const std::uint32_t hh = hash3(input.data() + i);
-        chain[i % (kWindow + 1)] = head[hh];
-        head[hh] = static_cast<std::uint32_t>(i + 1);
+        chain_[(base + i) % kChainSize] = head_[hh];
+        head_[hh] = base + static_cast<std::uint32_t>(i) + 1;
         ++i;
       }
       i = match_end;
       literal_start = i;
     } else {
-      chain[i % (kWindow + 1)] = head[h];
-      head[h] = static_cast<std::uint32_t>(i + 1);
+      chain_[(base + i) % kChainSize] = head_[h];
+      head_[h] = base + static_cast<std::uint32_t>(i) + 1;
       ++i;
     }
   }
-  flush_literals(out, input, literal_start, n);
-  return out;
+  if (!flush_literals(literal_start, n)) return cap;
+  return w;
 }
 
-util::Bytes Lz77Codec::decompress(util::BytesView input) const {
-  util::Bytes out;
+void Lz77Codec::decompress_append(util::BytesView input,
+                                  util::Bytes& out) const {
+  const std::size_t start = out.size();
   std::size_t i = 0;
   auto read_u16 = [&]() -> std::uint16_t {
     if (input.size() - i < 2) throw CodecError("lz77: truncated stream");
@@ -134,19 +237,35 @@ util::Bytes Lz77Codec::decompress(util::BytesView input) const {
     } else if (tag == 0x01) {
       const std::uint16_t off = read_u16();
       const std::uint16_t len = read_u16();
-      if (off == 0 || off > out.size()) {
+      if (off == 0 || off > out.size() - start) {
         throw CodecError("lz77: back-reference out of window");
       }
       if (len < kMinMatch) throw CodecError("lz77: short match token");
-      // Overlapping copies are legal (e.g. off=1 replicates one byte);
-      // byte-by-byte copy implements that semantics.
-      std::size_t src = out.size() - off;
-      for (std::uint16_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+      // Overlapping copies are legal (e.g. off=1 replicates one byte).
+      // Disjoint ranges take one memcpy; overlapping ones replicate the
+      // off-byte pattern by doubling — identical bytes to the naive
+      // byte-at-a-time copy.
+      const std::size_t old_size = out.size();
+      out.resize(old_size + len);
+      std::uint8_t* dst = out.data() + old_size;
+      const std::uint8_t* src = dst - off;
+      if (off >= len) {
+        std::memcpy(dst, src, len);
+      } else if (off == 1) {
+        std::memset(dst, src[0], len);
+      } else {
+        std::size_t have = std::min<std::size_t>(off, len);
+        std::memcpy(dst, src, have);
+        while (have < len) {
+          const std::size_t chunk = std::min(have, len - have);
+          std::memcpy(dst + have, dst, chunk);
+          have += chunk;
+        }
+      }
     } else {
       throw CodecError("lz77: bad token tag");
     }
   }
-  return out;
 }
 
 }  // namespace maqs::compress

@@ -8,8 +8,25 @@ const std::string& RleCodec::name() const {
 }
 
 util::Bytes RleCodec::compress(util::BytesView input) const {
+  util::Bytes out(max_compressed_size(input.size()));
+  out.resize(compress_into(input, out));
+  return out;
+}
+
+util::Bytes RleCodec::decompress(util::BytesView input) const {
   util::Bytes out;
-  out.reserve(input.size() / 2 + 8);
+  decompress_append(input, out);
+  return out;
+}
+
+std::size_t RleCodec::max_compressed_size(std::size_t n) const { return 2 * n; }
+
+std::size_t RleCodec::compress_into(util::BytesView input,
+                                    std::span<std::uint8_t> out) const {
+  if (out.size() < max_compressed_size(input.size())) {
+    throw CodecError("rle: compress_into output buffer too small");
+  }
+  std::uint8_t* w = out.data();
   std::size_t i = 0;
   while (i < input.size()) {
     const std::uint8_t byte = input[i];
@@ -17,24 +34,22 @@ util::Bytes RleCodec::compress(util::BytesView input) const {
     while (run < 255 && i + run < input.size() && input[i + run] == byte) {
       ++run;
     }
-    out.push_back(static_cast<std::uint8_t>(run));
-    out.push_back(byte);
+    *w++ = static_cast<std::uint8_t>(run);
+    *w++ = byte;
     i += run;
   }
-  return out;
+  return static_cast<std::size_t>(w - out.data());
 }
 
-util::Bytes RleCodec::decompress(util::BytesView input) const {
+void RleCodec::decompress_append(util::BytesView input, util::Bytes& out) const {
   if (input.size() % 2 != 0) {
     throw CodecError("rle: truncated stream");
   }
-  util::Bytes out;
   for (std::size_t i = 0; i < input.size(); i += 2) {
     const std::uint8_t run = input[i];
     if (run == 0) throw CodecError("rle: zero-length run");
     out.insert(out.end(), run, input[i + 1]);
   }
-  return out;
 }
 
 }  // namespace maqs::compress

@@ -14,6 +14,13 @@ class RleCodec final : public Codec {
   const std::string& name() const override;
   util::Bytes compress(util::BytesView input) const override;
   util::Bytes decompress(util::BytesView input) const override;
+
+  /// Exact worst case: one (count, byte) pair per input byte.
+  std::size_t max_compressed_size(std::size_t n) const override;
+  std::size_t compress_into(util::BytesView input,
+                            std::span<std::uint8_t> out) const override;
+  void decompress_append(util::BytesView input,
+                         util::Bytes& out) const override;
 };
 
 }  // namespace maqs::compress

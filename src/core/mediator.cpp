@@ -13,6 +13,17 @@ void CompositeMediator::add(std::shared_ptr<Mediator> mediator) {
                    mediator->characteristic() + "'");
   }
   chain_.push_back(std::move(mediator));
+  rebuild_fused();
+}
+
+void CompositeMediator::rebuild_fused() {
+  fused_.clear();
+  for (const auto& mediator : chain_) {
+    if (mediator->streaming_transform() == nullptr) return;
+  }
+  for (const auto& mediator : chain_) {
+    fused_.add(mediator->streaming_transform());
+  }
 }
 
 bool CompositeMediator::remove(const std::string& characteristic) {
@@ -22,6 +33,7 @@ bool CompositeMediator::remove(const std::string& characteristic) {
                                });
   if (it == chain_.end()) return false;
   chain_.erase(it);
+  rebuild_fused();
   return true;
 }
 
@@ -43,6 +55,13 @@ std::optional<orb::ReplyMessage> CompositeMediator::try_local(
 
 void CompositeMediator::outbound(orb::RequestMessage& req,
                                  orb::ObjRef& target) {
+  // Fused path: every member exposed a streaming stage, so the whole
+  // outbound stack runs over one arena with the same per-characteristic
+  // spans the loop below would emit.
+  if (!fused_.empty()) {
+    fused_.run_forward(req.body, {req.request_id, false});
+    return;
+  }
   // One span per characteristic: the trace attributes transform cost to
   // the mediator that caused it (compress vs. encrypt), not to the chain.
   for (const auto& mediator : chain_) {
@@ -60,6 +79,11 @@ bool CompositeMediator::needs_request_payload() const {
 
 void CompositeMediator::inbound(const orb::RequestMessage& req,
                                 orb::ReplyMessage& rep) {
+  if (!fused_.empty()) {
+    if (rep.status != orb::ReplyStatus::kOk) return;  // exceptions ship raw
+    fused_.run_reverse(rep.body, {req.request_id, true});
+    return;
+  }
   // Reverse order: the last outbound transform is outermost on the wire
   // and must be undone first — e.g. outbound [compress, encrypt] yields
   // encrypt(compress(x)), so inbound runs decrypt, then decompress.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/contract.hpp"
+#include "core/transform.hpp"
 #include "orb/stub.hpp"
 
 namespace maqs::core {
@@ -55,6 +56,13 @@ class Mediator : public orb::ClientDelegate {
                    ": unsupported QoS operation '" + op + "'");
   }
 
+  /// Streaming form of this mediator's payload transform, when it has one.
+  /// A composite whose members all expose a stage fuses them into a single
+  /// TransformChain (one arena, zero intermediate copies); any mediator
+  /// returning nullptr keeps the whole composite on the legacy
+  /// outbound()/inbound() hooks.
+  virtual StreamingTransform* streaming_transform() { return nullptr; }
+
  private:
   std::string characteristic_;
   Agreement agreement_;
@@ -79,7 +87,13 @@ class CompositeMediator : public orb::ClientDelegate {
   bool needs_request_payload() const override;
 
  private:
+  /// Rebuilds the fused streaming chain after add/remove. All-or-nothing:
+  /// the fused path engages only when every member mediator exposes a
+  /// streaming stage.
+  void rebuild_fused();
+
   std::vector<std::shared_ptr<Mediator>> chain_;
+  TransformChain fused_{"mediator.outbound", "mediator.inbound"};
 };
 
 }  // namespace maqs::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "trace/trace.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace maqs::core {
 
@@ -55,6 +56,32 @@ class TransformStage final : public orb::ServerInterceptor {
 
  private:
   std::shared_ptr<QosImpl> impl_;
+};
+
+// Every installed delegate exposed a streaming stage: one fused chain in
+// the transform band replaces the per-delegate TransformStage stack. The
+// chain applies stages in installation order on the way out (matching the
+// band layout's result-transform order) and reversed on the way in, with
+// the same per-characteristic spans the individual stages would emit.
+class FusedTransformStage final : public orb::ServerInterceptor {
+ public:
+  FusedTransformStage()
+      : chain_("skeleton.transform_result", "skeleton.transform_args") {}
+  const char* name() const noexcept override { return "skeleton.transform"; }
+
+  TransformChain& chain() noexcept { return chain_; }
+
+  void receive_request(orb::ServerRequestInfo& info) override {
+    chain_.run_reverse(info.request->body,
+                       {info.request->request_id, false});
+  }
+
+  void send_reply(orb::ServerRequestInfo& info) override {
+    chain_.run_forward(info.reply.body, {info.request->request_id, true});
+  }
+
+ private:
+  TransformChain chain_;
 };
 
 }  // namespace
@@ -136,13 +163,30 @@ void QosServantBase::rebuild_stage_chain() {
   // unwind mirrors both — result transforms in installation order, epilogs
   // reversed.
   const int n = static_cast<int>(impls_.size());
+  bool all_streaming = n > 0;
+  for (const auto& impl : impls_) {
+    if (impl->streaming_transform() == nullptr) {
+      all_streaming = false;
+      break;
+    }
+  }
   for (int i = 0; i < n; ++i) {
     stages_.push_back(std::make_unique<PrologEpilogStage>(impls_[i]));
     stage_chain_.add(stages_.back().get(),
                      orb::priorities::kSkeletonPrologBase + i);
-    stages_.push_back(std::make_unique<TransformStage>(impls_[i]));
-    stage_chain_.add(stages_.back().get(),
-                     orb::priorities::kSkeletonTransformBase + (n - 1 - i));
+    if (!all_streaming) {
+      stages_.push_back(std::make_unique<TransformStage>(impls_[i]));
+      stage_chain_.add(stages_.back().get(),
+                       orb::priorities::kSkeletonTransformBase + (n - 1 - i));
+    }
+  }
+  if (all_streaming) {
+    auto fused = std::make_unique<FusedTransformStage>();
+    for (const auto& impl : impls_) {
+      fused->chain().add(impl->streaming_transform());
+    }
+    stage_chain_.add(fused.get(), orb::priorities::kSkeletonTransformBase);
+    stages_.push_back(std::move(fused));
   }
 }
 
@@ -193,18 +237,25 @@ void QosServantBase::dispatch(const std::string& operation,
     dispatch_app(operation, args, out, ctx);
     return;
   }
+  auto& pool = util::BufferPool::instance();
+  const util::BytesView raw_args = args.read_remaining_view();
   orb::RequestMessage staged;
   staged.request_id = ctx.request().request_id;
   staged.operation = operation;
-  staged.body = args.read_remaining();
+  staged.body = pool.acquire(raw_args.size());
+  staged.body.assign(raw_args.begin(), raw_args.end());
   orb::ServerRequestInfo info;
   info.from = &ctx.client();
   info.request = &staged;
   info.ctx = &ctx;
   orb::walk_server_chain(
-      stage_chain_, 0, info, [this, &operation](orb::ServerRequestInfo& i) {
+      stage_chain_, 0, info,
+      [this, &operation, &pool](orb::ServerRequestInfo& i) {
         cdr::Decoder transformed_args{util::BytesView(i.request->body)};
-        cdr::Encoder app_out;
+        // Replies are usually the same order of size as the (restored)
+        // arguments; a recycled buffer at that size encodes most results
+        // without any allocation.
+        cdr::Encoder app_out(pool.acquire(i.request->body.size() + 32));
         {
           trace::SpanScope app_span("skeleton.app", operation);
           dispatch_app(operation, transformed_args, app_out, *i.ctx);
@@ -212,6 +263,8 @@ void QosServantBase::dispatch(const std::string& operation,
         i.reply.body = app_out.take();
       });
   out.write_raw(info.reply.body);
+  pool.release(std::move(staged.body));
+  pool.release(std::move(info.reply.body));
 }
 
 WovenServant::WovenServant(std::shared_ptr<orb::Servant> inner)

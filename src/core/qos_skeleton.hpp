@@ -31,6 +31,7 @@
 
 #include "core/characteristic.hpp"
 #include "core/contract.hpp"
+#include "core/transform.hpp"
 #include "orb/exceptions.hpp"
 #include "orb/interceptor.hpp"
 #include "orb/servant.hpp"
@@ -105,6 +106,13 @@ class QosImpl {
     (void)ctx;
     return result;
   }
+
+  /// Streaming form of this implementation's payload transform, when it
+  /// has one. When every installed delegate exposes a stage the skeleton
+  /// fuses them into one TransformChain (single arena, no per-stage
+  /// copies); any delegate returning nullptr keeps the whole servant on
+  /// the legacy transform_args/transform_result hooks.
+  virtual StreamingTransform* streaming_transform() { return nullptr; }
 
   /// The characteristic's QoS operations (mechanism + peer + aspect ops
   /// from QIDL). Throws BadOperation for names it does not implement.

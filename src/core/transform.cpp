@@ -1,0 +1,164 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "trace/trace.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace maqs::core {
+
+// ---- TransformArena ----
+
+TransformArena::~TransformArena() {
+  for (util::Bytes& slab : slabs_) {
+    util::BufferPool::instance().release(std::move(slab));
+  }
+}
+
+std::span<std::uint8_t> TransformArena::allocate(std::size_t n) {
+  while (active_ < slabs_.size()) {
+    util::Bytes& slab = slabs_[active_];
+    if (slab.size() - used_ >= n) {
+      std::span<std::uint8_t> out(slab.data() + used_, n);
+      used_ += n;
+      return out;
+    }
+    ++active_;
+    used_ = 0;
+  }
+  const std::size_t slab_size = std::max(kMinSlab, n);
+  util::Bytes slab = util::BufferPool::instance().acquire(slab_size);
+  slab.resize(slab_size);
+  slabs_.push_back(std::move(slab));
+  active_ = slabs_.size() - 1;
+  used_ = n;
+  return {slabs_.back().data(), n};
+}
+
+void TransformArena::reset() noexcept {
+  active_ = 0;
+  used_ = 0;
+}
+
+// ---- ChainBuf ----
+
+void ChainBuf::borrow(util::Bytes& body) noexcept {
+  storage_ = Storage::kBorrowed;
+  bytes_ = &body;
+  region_ = nullptr;
+  offset_ = 0;
+  size_ = body.size();
+}
+
+void ChainBuf::adopt(std::span<std::uint8_t> region, std::size_t offset,
+                     std::size_t size) noexcept {
+  storage_ = Storage::kArena;
+  bytes_ = nullptr;
+  region_ = region.data();
+  offset_ = offset;
+  size_ = size;
+}
+
+void ChainBuf::adopt_bytes(util::Bytes& owner) noexcept {
+  storage_ = Storage::kStageBytes;
+  bytes_ = &owner;
+  region_ = nullptr;
+  offset_ = 0;
+  size_ = owner.size();
+}
+
+std::uint8_t* ChainBuf::prepend(std::size_t n) {
+  if (offset_ < n) {
+    throw QosError("transform chain: insufficient headroom for prepend");
+  }
+  offset_ -= n;
+  size_ += n;
+  return data() + offset_;
+}
+
+void ChainBuf::drop_front(std::size_t n) {
+  if (size_ < n) {
+    throw QosError("transform chain: drop_front past end of payload");
+  }
+  offset_ += n;
+  size_ -= n;
+}
+
+void ChainBuf::materialize_into(util::Bytes& body) {
+  if (storage_ == Storage::kBorrowed && bytes_ == &body) {
+    // Still the caller's storage: trim front/tail in place.
+    body.erase(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(offset_));
+    body.resize(size_);
+    return;
+  }
+  if (storage_ == Storage::kStageBytes) {
+    // The payload owns a whole recyclable buffer: steal it and donate the
+    // caller's old storage to the stage for the next run.
+    util::Bytes& owner = *bytes_;
+    owner.erase(owner.begin(),
+                owner.begin() + static_cast<std::ptrdiff_t>(offset_));
+    owner.resize(size_);
+    body.swap(owner);
+    return;
+  }
+  const std::uint8_t* src = data() + offset_;
+  body.assign(src, src + size_);
+}
+
+// ---- TransformChain ----
+
+void TransformChain::add(StreamingTransform* stage) {
+  if (stage == nullptr) throw QosError("transform chain: null stage");
+  stages_.push_back(stage);
+  // Recompute suffix headroom: stage i's output must leave room for every
+  // later stage's header to prepend without a move.
+  headroom_after_.assign(stages_.size(), 0);
+  for (std::size_t i = stages_.size() - 1; i-- > 0;) {
+    headroom_after_[i] =
+        headroom_after_[i + 1] + stages_[i + 1]->forward_overhead();
+  }
+}
+
+void TransformChain::clear() noexcept {
+  stages_.clear();
+  headroom_after_.clear();
+}
+
+void TransformChain::run_forward(util::Bytes& body,
+                                 const TransformContext& ctx) {
+  if (stages_.empty()) return;
+  arena_.reset();
+  ChainBuf buf(arena_, 0);
+  buf.borrow(body);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    buf.set_reserve_front(headroom_after_[i]);
+    if (forward_span_ != nullptr) {
+      trace::SpanScope span(forward_span_, stages_[i]->label());
+      stages_[i]->forward(buf, ctx);
+    } else {
+      stages_[i]->forward(buf, ctx);
+    }
+  }
+  buf.materialize_into(body);
+}
+
+void TransformChain::run_reverse(util::Bytes& body,
+                                 const TransformContext& ctx) {
+  if (stages_.empty()) return;
+  arena_.reset();
+  ChainBuf buf(arena_, 0);
+  buf.borrow(body);
+  for (std::size_t i = stages_.size(); i-- > 0;) {
+    buf.set_reserve_front(0);
+    if (reverse_span_ != nullptr) {
+      trace::SpanScope span(reverse_span_, stages_[i]->label());
+      stages_[i]->reverse(buf, ctx);
+    } else {
+      stages_[i]->reverse(buf, ctx);
+    }
+  }
+  buf.materialize_into(body);
+}
+
+}  // namespace maqs::core

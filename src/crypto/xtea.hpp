@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.hpp"
 
@@ -30,6 +31,10 @@ class XteaCtr {
   /// XORs the keystream into a copy of the input. Applying it twice with
   /// the same key/nonce restores the plaintext.
   util::Bytes apply(util::BytesView input) const;
+
+  /// XORs the keystream into `data` in place (zero-copy transform path);
+  /// byte-identical to apply() on the same input.
+  void apply_in_place(std::span<std::uint8_t> data) const noexcept;
 
   /// Raw 64-bit block encryption (exposed for tests against the
   /// reference algorithm).

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "trace/trace.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/log.hpp"
 
 namespace maqs::net {
@@ -161,6 +162,7 @@ void Network::send(const Address& from, const Address& to,
           transit_detail(from, to, payload.size(), 0, 0), loop_.now(),
           loop_.now(), "dropped: source down");
     }
+    util::BufferPool::instance().release(std::move(payload));
     return;
   }
 
@@ -206,6 +208,7 @@ void Network::send(const Address& from, const Address& to,
               loop_.now(), loop_.now() + delay,
               "dropped: retransmission cap");
         }
+        util::BufferPool::instance().release(std::move(payload));
         return;
       }
       ++stats_.retransmissions;
@@ -270,17 +273,22 @@ void Network::deliver(const Address& from, const Address& to,
                       std::uint64_t dest_incarnation, util::Bytes payload) {
   // src/dst are read at delivery time: crashes, restarts and partitions
   // that happened while the message was in flight are observed here.
+  // The frame's storage ends its life here on every path — recycle it
+  // (encode() on either side drew it from the same pool).
   if (!dst.alive || dst.incarnation != dest_incarnation) {
     ++stats_.messages_dropped;
+    util::BufferPool::instance().release(std::move(payload));
     return;
   }
   if (src.partition != dst.partition) {
     ++stats_.messages_dropped;
+    util::BufferPool::instance().release(std::move(payload));
     return;
   }
   auto handler_it = handlers_.find(to);
   if (handler_it == handlers_.end()) {
     ++stats_.messages_dropped;
+    util::BufferPool::instance().release(std::move(payload));
     return;
   }
   ++stats_.messages_delivered;
@@ -289,6 +297,7 @@ void Network::deliver(const Address& from, const Address& to,
   // shared_ptr copy is a refcount bump, not a std::function clone.
   std::shared_ptr<Handler> handler = handler_it->second;
   (*handler)(from, payload);
+  util::BufferPool::instance().release(std::move(payload));
 }
 
 void Network::create_group(const std::string& group) {

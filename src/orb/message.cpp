@@ -6,6 +6,7 @@
 #include "cdr/decoder.hpp"
 #include "cdr/encoder.hpp"
 #include "orb/exceptions.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace maqs::orb {
 
@@ -119,7 +120,9 @@ std::size_t RequestMessage::encoded_size() const noexcept {
 }
 
 util::Bytes RequestMessage::encode() const {
-  cdr::Encoder enc(encoded_size());
+  // Frames come from the pool and go back to it when the network delivers
+  // them — steady-state traffic encodes without touching the allocator.
+  cdr::Encoder enc(util::BufferPool::instance().acquire(encoded_size()));
   enc.write_u8(kRequestMagic);
   enc.write_u64(request_id);
   enc.write_u8(static_cast<std::uint8_t>(kind));
@@ -149,7 +152,9 @@ RequestMessage RequestMessage::decode(util::BytesView data) {
   req.target_module = dec.read_string();
   req.operation = dec.read_string();
   req.context = decode_context(dec);
-  req.body = dec.read_bytes();
+  const util::BytesView body = dec.read_bytes_view();
+  req.body = util::BufferPool::instance().acquire(body.size());
+  req.body.assign(body.begin(), body.end());
   dec.expect_end();
   return req;
 }
@@ -162,7 +167,7 @@ std::size_t ReplyMessage::encoded_size() const noexcept {
 }
 
 util::Bytes ReplyMessage::encode() const {
-  cdr::Encoder enc(encoded_size());
+  cdr::Encoder enc(util::BufferPool::instance().acquire(encoded_size()));
   enc.write_u8(kReplyMagic);
   enc.write_u64(request_id);
   enc.write_u8(static_cast<std::uint8_t>(status));
@@ -186,7 +191,9 @@ ReplyMessage ReplyMessage::decode(util::BytesView data) {
   rep.status = static_cast<ReplyStatus>(status);
   rep.exception = dec.read_string();
   rep.context = decode_context(dec);
-  rep.body = dec.read_bytes();
+  const util::BytesView body = dec.read_bytes_view();
+  rep.body = util::BufferPool::instance().acquire(body.size());
+  rep.body.assign(body.begin(), body.end());
   dec.expect_end();
   return rep;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "trace/trace.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/log.hpp"
 
 namespace maqs::orb {
@@ -272,6 +273,12 @@ void Orb::handle_request(const net::Address& from, RequestMessage req) {
   walk_server_chain(server_chain_, 0, info, [this](ServerRequestInfo& i) {
     i.reply = dispatch_to_servant(*i.request, *i.from);
   });
+  // Both bodies die here (the reply was already encoded and sent by the
+  // wire stage); recycle their storage. Parked requests moved the body out,
+  // leaving nothing worth pooling — release() ignores empties.
+  auto& pool = util::BufferPool::instance();
+  pool.release(std::move(req.body));
+  pool.release(std::move(info.reply.body));
 }
 
 void Orb::resume_request(RequestMessage req, const net::Address& from) {
@@ -283,6 +290,9 @@ void Orb::resume_request(RequestMessage req, const net::Address& from) {
   walk_server_chain(server_chain_, 0, info, [this](ServerRequestInfo& i) {
     i.reply = dispatch_to_servant(*i.request, *i.from);
   });
+  auto& pool = util::BufferPool::instance();
+  pool.release(std::move(req.body));
+  pool.release(std::move(info.reply.body));
 }
 
 void Orb::send_reply_frame(const net::Address& to, const ReplyMessage& rep) {
@@ -318,9 +328,9 @@ ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
   }
   cdr::Decoder args(req.body);
   // Results are usually the same order of magnitude as the arguments
-  // (echo-shaped traffic); pre-sizing turns the common case into one
-  // allocation without hurting small results.
-  cdr::Encoder out(req.body.size() + 32);
+  // (echo-shaped traffic); a recycled buffer at that size turns the common
+  // case into zero allocations without hurting small results.
+  cdr::Encoder out(util::BufferPool::instance().acquire(req.body.size() + 32));
   ServerContext ctx(req, from, rep.context);
   try {
     trace::SpanScope span("adapter.dispatch", req.operation);

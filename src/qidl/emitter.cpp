@@ -501,7 +501,7 @@ class Emitter {
       line(sig);
       line("    using maqs::qidl::gen::read;");
       line("    using maqs::qidl::gen::write;");
-      line("    maqs::cdr::Encoder _args;");
+      line("    maqs::cdr::Encoder _args = maqs::cdr::Encoder::pooled();");
       for (const ParamDecl& param : op.params) {
         line("    write(_args, " + param.name + ");");
       }

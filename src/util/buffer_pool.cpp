@@ -1,0 +1,40 @@
+#include "util/buffer_pool.hpp"
+
+namespace maqs::util {
+
+BufferPool& BufferPool::instance() {
+  static BufferPool pool;
+  return pool;
+}
+
+Bytes BufferPool::acquire(std::size_t size_hint) {
+  // Newest-first: the most recently released buffer is the most likely to
+  // be cache-warm and correctly sized for the current traffic pattern.
+  for (std::size_t i = free_.size(); i-- > 0;) {
+    if (free_[i].capacity() >= size_hint) {
+      Bytes out = std::move(free_[i]);
+      if (i + 1 != free_.size()) free_[i] = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+      return out;
+    }
+  }
+  ++misses_;
+  Bytes out;
+  out.reserve(size_hint);
+  return out;
+}
+
+void BufferPool::release(Bytes&& buf) noexcept {
+  if (buf.capacity() < kMinUseful || free_.size() >= kMaxPooled) return;
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+void BufferPool::clear() noexcept {
+  free_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace maqs::util

@@ -1,0 +1,48 @@
+// Process-wide recycling pool for byte buffers.
+//
+// The invocation hot path creates and destroys one util::Bytes per layer
+// crossing (wire frames, decoded bodies, transform arena slabs). Payload
+// sizes are stable in steady state, so a small free list turns nearly all
+// of that churn into capacity reuse. Single-threaded by design, like the
+// simulator that hosts it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace maqs::util {
+
+class BufferPool {
+ public:
+  static BufferPool& instance();
+
+  /// Returns an empty buffer with capacity >= size_hint — recycled when a
+  /// pooled buffer is big enough, freshly reserved otherwise.
+  Bytes acquire(std::size_t size_hint);
+
+  /// Donates a dead buffer's storage back to the pool. Tiny buffers and
+  /// overflow beyond the pool bound are simply freed.
+  void release(Bytes&& buf) noexcept;
+
+  // Observability (bench + tests).
+  std::size_t pooled() const noexcept { return free_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Drops all pooled storage (test isolation between scenarios).
+  void clear() noexcept;
+
+ private:
+  BufferPool() { free_.reserve(kMaxPooled); }
+
+  static constexpr std::size_t kMaxPooled = 32;
+  static constexpr std::size_t kMinUseful = 64;
+
+  std::vector<Bytes> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace maqs::util

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 
+#include "core/module.hpp"
+#include "core/transform.hpp"
 #include "support/chaos.hpp"
 #include "trace/trace.hpp"
 
@@ -277,6 +279,132 @@ TEST(ChaosTest, OverloadShedsBestEffortFirstAndRenegotiatesOnce) {
       world.adaptation.managed_agreement(agreement.id);
   ASSERT_NE(adapted, nullptr);
   EXPECT_EQ(adapted->int_param("level"), 4);
+}
+
+// ---- streaming-stage failure mid-chunk ----
+
+/// Failure switch + forensic counters for MidChunkFaultTransform.
+struct MidChunkState {
+  bool armed = false;
+  /// Bytes the stage scrambled in place before throwing (proves the
+  /// payload was already partially transformed when the fault hit).
+  std::size_t scrambled_before_throw = 0;
+  int forward_runs = 0;
+};
+
+/// A streaming stage that dies partway through its chunk walk: it
+/// scrambles the first chunks of the payload in place and then throws,
+/// leaving the body half-transformed. Healthy (disarmed) it is the
+/// identity transform, so recovered traffic flows through the module.
+class MidChunkFaultTransform final : public core::StreamingTransform {
+ public:
+  explicit MidChunkFaultTransform(std::shared_ptr<MidChunkState> state)
+      : state_(std::move(state)) {}
+
+  const std::string& label() const override {
+    static const std::string kLabel = "chaos.midchunk";
+    return kLabel;
+  }
+  std::size_t forward_overhead() const noexcept override { return 0; }
+
+  void forward(core::ChainBuf& buf, const core::TransformContext&) override {
+    ++state_->forward_runs;
+    if (!state_->armed) return;
+    std::span<std::uint8_t> data = buf.mutable_span();
+    constexpr std::size_t kChunk = 64;
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const std::size_t n = std::min(kChunk, data.size() - done);
+      for (std::size_t i = 0; i < n; ++i) data[done + i] ^= 0xA5;
+      done += n;
+      if (done >= 2 * kChunk) {
+        state_->scrambled_before_throw = done;
+        throw core::QosError("chaos: stage failed mid-chunk");
+      }
+    }
+    state_->scrambled_before_throw = done;
+    throw core::QosError("chaos: stage failed mid-chunk");
+  }
+
+  void reverse(core::ChainBuf&, const core::TransformContext&) override {}
+
+ private:
+  std::shared_ptr<MidChunkState> state_;
+};
+
+/// Module wrapping the faulty stage in a real TransformChain, exercising
+/// the same streaming pipeline the compression/encryption modules use.
+class MidChunkModule final : public core::QosModule {
+ public:
+  explicit MidChunkModule(std::shared_ptr<MidChunkState> state)
+      : core::QosModule("chaos.midchunk.module"), stage_(std::move(state)) {
+    chain_.add(&stage_);
+  }
+
+  void transform_request(orb::RequestMessage& req) override {
+    chain_.run_forward(req.body, {req.request_id, false});
+  }
+
+ private:
+  MidChunkFaultTransform stage_;
+  core::TransformChain chain_;
+};
+
+TEST(ChaosTest, StreamingStageMidChunkFailureQuarantinesAndRoutesPlain) {
+  const std::string module_name = "chaos.midchunk.module";
+  auto state = std::make_shared<MidChunkState>();
+  auto& registry = core::ModuleFactoryRegistry::instance();
+  registry.register_factory(module_name, [state] {
+    return std::make_unique<MidChunkModule>(state);
+  });
+
+  {
+    ChaosWorld world;
+    core::DegradationConfig degradation;
+    degradation.failure_threshold = 2;
+    degradation.quarantine_period = 500 * sim::kMillisecond;
+    world.client_transport.set_degradation(degradation);
+    world.client_transport.load_module(module_name);
+    world.client_transport.assign("chaos-echo", module_name);
+    // The server side must know the module too: once the stage heals,
+    // frames arrive stamped with its name for restore_request.
+    world.server_transport.load_module(module_name);
+
+    EchoStub stub(world.client, world.qos_ref);
+    util::Rng rng(chaos_seed());
+    util::Bytes payload(1024);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+    // The stage dies mid-walk on every attempt; the transport's pristine
+    // copy must keep each request intact on the plain fallback even
+    // though the module half-scrambled its view of the body.
+    state->armed = true;
+    ASSERT_EQ(stub.blob(payload), payload);
+    EXPECT_GT(state->scrambled_before_throw, 0u);
+    EXPECT_LT(state->scrambled_before_throw, payload.size());
+    ASSERT_EQ(stub.blob(payload), payload);
+
+    const core::TransportStats& stats = world.client_transport.stats();
+    EXPECT_EQ(stats.requests_degraded, 2u);
+    EXPECT_EQ(stats.modules_quarantined, 1u);
+    EXPECT_EQ(stats.requests_via_module, 0u);
+    EXPECT_TRUE(world.client_transport.is_quarantined("chaos-echo"));
+
+    // Quarantined: traffic routes plain without touching the module.
+    ASSERT_EQ(stub.blob(payload), payload);
+    EXPECT_EQ(world.client_transport.stats().requests_degraded, 3u);
+    EXPECT_EQ(state->forward_runs, 2);
+
+    // The stage heals; after the quarantine lifts the module carries
+    // traffic again (its healthy transform is the identity).
+    state->armed = false;
+    world.loop.run_for(degradation.quarantine_period);
+    ASSERT_EQ(stub.blob(payload), payload);
+    EXPECT_EQ(world.client_transport.stats().requests_via_module, 1u);
+    EXPECT_FALSE(world.client_transport.is_quarantined("chaos-echo"));
+  }
+
+  registry.unregister(module_name);
 }
 
 }  // namespace

@@ -169,6 +169,72 @@ TEST(Lz77, RejectsZeroLengthLiteralRun) {
   EXPECT_THROW(codec.decompress(Bytes{0x00, 0, 0}), CodecError);
 }
 
+// ---- streaming-path contracts: output bounds and compress_into ----
+
+TEST(Lz77, CompressedSizeNeverExceedsAdvertisedBound) {
+  // The streaming transform sizes its arena region by
+  // max_compressed_size(); the expansion guard (stored-block fallback)
+  // must hold the promise even on adversarial inputs where match tokens
+  // would expand the stream.
+  Lz77Codec codec;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (std::size_t n : {std::size_t{4}, std::size_t{5}, std::size_t{64},
+                          std::size_t{1000}, std::size_t{70000}}) {
+      // Worst case for token expansion: minimum-length (4-byte) matches
+      // everywhere, each costing a 5-byte token.
+      util::Rng rng(seed);
+      Bytes nasty(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        nasty[i] = static_cast<std::uint8_t>((i / 4) % 2 == 0
+                                                 ? 0xAB
+                                                 : rng.next());
+      }
+      const Bytes packed = codec.compress(nasty);
+      EXPECT_LE(packed.size(), codec.max_compressed_size(n))
+          << "seed " << seed << " n " << n;
+      EXPECT_EQ(codec.decompress(packed), nasty);
+    }
+  }
+}
+
+TEST(Lz77, CompressIntoMatchesCompressAndChecksCapacity) {
+  Lz77Codec codec;
+  const Bytes input = compressible_bytes(4096, 3);
+  const Bytes via_compress = codec.compress(input);
+
+  Bytes buf(codec.max_compressed_size(input.size()));
+  const std::size_t written = codec.compress_into(input, buf);
+  buf.resize(written);
+  EXPECT_EQ(buf, via_compress);
+
+  Bytes small(codec.max_compressed_size(input.size()) - 1);
+  EXPECT_THROW(codec.compress_into(input, small), CodecError);
+}
+
+TEST(Rle, CompressIntoMatchesCompressAndChecksCapacity) {
+  RleCodec codec;
+  const Bytes input = compressible_bytes(1024, 5);
+  const Bytes via_compress = codec.compress(input);
+
+  Bytes buf(codec.max_compressed_size(input.size()));
+  const std::size_t written = codec.compress_into(input, buf);
+  buf.resize(written);
+  EXPECT_EQ(buf, via_compress);
+
+  Bytes small(via_compress.size() > 0 ? 1 : 0);
+  EXPECT_THROW(codec.compress_into(input, small), CodecError);
+}
+
+TEST(Lz77, IncompressibleInputStaysWithinStoredForm) {
+  // Pure noise: no matches survive, so the stored form (3-byte run
+  // headers) is the worst case and the guard must keep us at it.
+  Lz77Codec codec;
+  const Bytes noise = random_bytes(100000, 17);
+  const Bytes packed = codec.compress(noise);
+  EXPECT_LE(packed.size(), codec.max_compressed_size(noise.size()));
+  EXPECT_EQ(codec.decompress(packed), noise);
+}
+
 TEST(Factory, UnknownNameThrows) {
   EXPECT_THROW(make_codec("zstd"), CodecError);
 }

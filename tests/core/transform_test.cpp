@@ -1,0 +1,214 @@
+// Unit coverage for the streaming transform pipeline primitives:
+// TransformArena (slab reuse), ChainBuf (headroom bookkeeping and
+// materialization modes) and TransformChain (stage ordering, computed
+// headroom, reverse symmetry). The characteristic-level wire equivalence
+// lives in tests/property/streaming_equivalence_test.cpp.
+#include "core/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "core/characteristic.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/bytes.hpp"
+
+namespace maqs::core {
+namespace {
+
+using util::Bytes;
+
+// ---- TransformArena ----
+
+TEST(TransformArena, RegionsAreDisjointWithinARun) {
+  TransformArena arena;
+  std::span<std::uint8_t> a = arena.allocate(100);
+  std::span<std::uint8_t> b = arena.allocate(200);
+  std::fill(a.begin(), a.end(), 0x11);
+  std::fill(b.begin(), b.end(), 0x22);
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(),
+                          [](std::uint8_t v) { return v == 0x11; }));
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(b.size(), 200u);
+}
+
+TEST(TransformArena, ResetRecyclesSlabStorage) {
+  TransformArena arena;
+  std::uint8_t* first = arena.allocate(512).data();
+  arena.reset();
+  // Same request after reset lands on the same slab byte.
+  EXPECT_EQ(arena.allocate(512).data(), first);
+}
+
+TEST(TransformArena, OversizedRequestGetsOwnSlab) {
+  TransformArena arena;
+  const std::size_t big = 1 << 20;
+  std::span<std::uint8_t> region = arena.allocate(big);
+  EXPECT_EQ(region.size(), big);
+  region[0] = 1;
+  region[big - 1] = 2;
+}
+
+// ---- ChainBuf ----
+
+TEST(ChainBuf, PrependConsumesHeadroomAndDropFrontUndoesIt) {
+  TransformArena arena;
+  ChainBuf buf(arena, 0);
+  std::span<std::uint8_t> region = arena.allocate(16 + 4);
+  std::memcpy(region.data() + 16, "body", 4);
+  buf.adopt(region, 16, 4);
+  EXPECT_EQ(buf.headroom(), 16u);
+  EXPECT_EQ(buf.size(), 4u);
+
+  std::uint8_t* hdr = buf.prepend(8);
+  std::memcpy(hdr, "HEADER!!", 8);
+  EXPECT_EQ(buf.headroom(), 8u);
+  EXPECT_EQ(buf.size(), 12u);
+
+  buf.drop_front(8);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(std::memcmp(buf.view().data(), "body", 4), 0);
+}
+
+TEST(ChainBuf, PrependBeyondHeadroomThrows) {
+  TransformArena arena;
+  ChainBuf buf(arena, 0);
+  std::span<std::uint8_t> region = arena.allocate(8);
+  buf.adopt(region, 2, 6);
+  EXPECT_THROW(buf.prepend(3), QosError);
+  EXPECT_THROW(buf.drop_front(7), QosError);
+}
+
+TEST(ChainBuf, MaterializeTrimsBorrowedBodyInPlace) {
+  TransformArena arena;
+  Bytes body = {1, 2, 3, 4, 5, 6};
+  ChainBuf buf(arena, 0);
+  buf.borrow(body);
+  buf.drop_front(2);
+  buf.materialize_into(body);
+  EXPECT_EQ(body, (Bytes{3, 4, 5, 6}));
+}
+
+TEST(ChainBuf, MaterializeCopiesArenaRegion) {
+  TransformArena arena;
+  Bytes body = {9, 9};
+  ChainBuf buf(arena, 0);
+  std::span<std::uint8_t> region = arena.allocate(3);
+  region[0] = 7;
+  region[1] = 8;
+  region[2] = 9;
+  buf.adopt(region, 0, 3);
+  buf.materialize_into(body);
+  EXPECT_EQ(body, (Bytes{7, 8, 9}));
+}
+
+TEST(ChainBuf, MaterializeSwapsStageOwnedBuffer) {
+  TransformArena arena;
+  Bytes stage_scratch = {1, 2, 3, 4};
+  Bytes body = {0};
+  ChainBuf buf(arena, 0);
+  buf.adopt_bytes(stage_scratch);
+  buf.drop_front(1);
+  const std::uint8_t* storage = stage_scratch.data();
+  buf.materialize_into(body);
+  EXPECT_EQ(body, (Bytes{2, 3, 4}));
+  // Swap, not copy: the body now owns the stage buffer's storage and the
+  // stage inherited the caller's old allocation for its next run.
+  EXPECT_EQ(body.data(), storage);
+}
+
+// ---- TransformChain ----
+
+/// Prepends one marker byte; reverse checks and strips it. Verifies the
+/// chain pre-reserved enough headroom that prepend never throws.
+class MarkerStage final : public StreamingTransform {
+ public:
+  explicit MarkerStage(std::string label, std::uint8_t marker)
+      : label_(std::move(label)), marker_(marker) {}
+
+  const std::string& label() const override { return label_; }
+  std::size_t forward_overhead() const noexcept override { return 1; }
+
+  void forward(ChainBuf& buf, const TransformContext&) override {
+    if (buf.headroom() < 1) {
+      // First stage over a borrowed body: move into the arena with the
+      // chain-computed downstream reserve, like the real stages do.
+      const std::size_t reserve = buf.reserve_front();
+      const std::size_t n = buf.size();
+      std::span<std::uint8_t> region = buf.arena().allocate(reserve + 1 + n);
+      std::memcpy(region.data() + reserve + 1, buf.view().data(), n);
+      buf.adopt(region, reserve + 1, n);
+    }
+    *buf.prepend(1) = marker_;
+  }
+
+  void reverse(ChainBuf& buf, const TransformContext&) override {
+    ASSERT_GE(buf.size(), 1u);
+    EXPECT_EQ(buf.view()[0], marker_);
+    buf.drop_front(1);
+  }
+
+ private:
+  std::string label_;
+  std::uint8_t marker_;
+};
+
+TEST(TransformChain, StagesRunForwardInOrderReverseInverted) {
+  MarkerStage inner("inner", 'A');
+  MarkerStage outer("outer", 'B');
+  TransformChain chain;
+  chain.add(&inner);
+  chain.add(&outer);
+
+  Bytes body = {0x10, 0x20};
+  chain.run_forward(body, {1, false});
+  // outer ran last, so its marker is outermost (front).
+  EXPECT_EQ(body, (Bytes{'B', 'A', 0x10, 0x20}));
+
+  chain.run_reverse(body, {1, false});
+  EXPECT_EQ(body, (Bytes{0x10, 0x20}));
+}
+
+TEST(TransformChain, EmptyChainLeavesBodyUntouched) {
+  TransformChain chain;
+  Bytes body = {1, 2, 3};
+  chain.run_forward(body, {1, false});
+  chain.run_reverse(body, {1, false});
+  EXPECT_EQ(body, (Bytes{1, 2, 3}));
+}
+
+TEST(TransformChain, AddingNullStageThrows) {
+  TransformChain chain;
+  EXPECT_THROW(chain.add(nullptr), QosError);
+}
+
+TEST(TransformChain, SteadyStateRunsDoNotGrowTheArena) {
+  MarkerStage inner("inner", 'x');
+  MarkerStage outer("outer", 'y');
+  TransformChain chain;
+  chain.add(&inner);
+  chain.add(&outer);
+
+  util::BufferPool::instance().clear();
+  Bytes body(256);
+  std::iota(body.begin(), body.end(), 0);
+  const Bytes original = body;
+  chain.run_forward(body, {1, false});
+  chain.run_reverse(body, {1, false});
+  ASSERT_EQ(body, original);
+
+  // After the warm-up run the arena owns its slab; further runs must not
+  // touch the pool again (reset() recycles in place).
+  const std::uint64_t misses = util::BufferPool::instance().misses();
+  for (int i = 0; i < 10; ++i) {
+    chain.run_forward(body, {static_cast<std::uint64_t>(i), false});
+    chain.run_reverse(body, {static_cast<std::uint64_t>(i), false});
+    ASSERT_EQ(body, original);
+  }
+  EXPECT_EQ(util::BufferPool::instance().misses(), misses);
+}
+
+}  // namespace
+}  // namespace maqs::core

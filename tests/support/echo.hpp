@@ -33,7 +33,7 @@ class EchoStub : public orb::StubBase {
       : orb::StubBase(orb, std::move(ref)) {}
 
   std::string echo(const std::string& s) const {
-    cdr::Encoder args;
+    cdr::Encoder args = cdr::Encoder::pooled();
     args.write_string(s);
     cdr::Decoder result(invoke_operation("echo", args.take()));
     std::string out = result.read_string();
@@ -42,7 +42,7 @@ class EchoStub : public orb::StubBase {
   }
 
   std::int32_t add(std::int32_t a, std::int32_t b) const {
-    cdr::Encoder args;
+    cdr::Encoder args = cdr::Encoder::pooled();
     args.write_i32(a);
     args.write_i32(b);
     cdr::Decoder result(invoke_operation("add", args.take()));
@@ -52,7 +52,7 @@ class EchoStub : public orb::StubBase {
   }
 
   void set_value(std::int32_t v) const {
-    cdr::Encoder args;
+    cdr::Encoder args = cdr::Encoder::pooled();
     args.write_i32(v);
     invoke_operation("set_value", args.take());
   }
@@ -65,7 +65,7 @@ class EchoStub : public orb::StubBase {
   }
 
   util::Bytes blob(const util::Bytes& data) const {
-    cdr::Encoder args;
+    cdr::Encoder args = cdr::Encoder::pooled(data.size() + 8);
     args.write_bytes(data);
     cdr::Decoder result(invoke_operation("blob", args.take()));
     util::Bytes out = result.read_bytes();

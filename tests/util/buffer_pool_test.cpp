@@ -1,0 +1,70 @@
+#include "util/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace maqs::util {
+namespace {
+
+/// The pool is a process-wide singleton; every test starts it empty and
+/// with zeroed counters.
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BufferPool::instance().clear(); }
+  void TearDown() override { BufferPool::instance().clear(); }
+};
+
+TEST_F(BufferPoolTest, RecyclesReleasedStorage) {
+  BufferPool& pool = BufferPool::instance();
+  Bytes a = pool.acquire(256);
+  EXPECT_TRUE(a.empty());
+  EXPECT_GE(a.capacity(), 256u);
+  a.assign(200, 0x7E);
+  const std::uint8_t* storage = a.data();
+
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  // A smaller request reuses the same storage, handed back cleared.
+  Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.data(), storage);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, MissesWhenNothingFits) {
+  BufferPool& pool = BufferPool::instance();
+  Bytes small = pool.acquire(128);
+  pool.release(std::move(small));
+  const std::uint64_t misses_before = pool.misses();
+
+  // The pooled 128-capacity buffer cannot serve a 64K request.
+  Bytes big = pool.acquire(64 * 1024);
+  EXPECT_GE(big.capacity(), 64u * 1024u);
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+  // The unusable pooled buffer stays for future smaller requests.
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST_F(BufferPoolTest, TinyBuffersAreDroppedNotPooled) {
+  BufferPool& pool = BufferPool::instance();
+  Bytes tiny;
+  tiny.reserve(16);  // below the minimum useful capacity
+  pool.release(std::move(tiny));
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST_F(BufferPoolTest, PoolSizeIsBounded) {
+  BufferPool& pool = BufferPool::instance();
+  for (int i = 0; i < 100; ++i) {
+    Bytes buf;
+    buf.reserve(128);
+    pool.release(std::move(buf));
+  }
+  EXPECT_LE(pool.pooled(), 32u);
+}
+
+}  // namespace
+}  // namespace maqs::util
