@@ -24,6 +24,7 @@
 #include "characteristics/encryption.hpp"
 #include "core/mediator.hpp"
 #include "core/retry.hpp"
+#include "naming/selector.hpp"
 #include "sched/scheduler.hpp"
 #include "trace/trace.hpp"
 #include "util/buffer_pool.hpp"
@@ -222,6 +223,25 @@ void run_scenarios(std::vector<Row>& rows) {
     scheduler.classifier().bind_object("echo", "gold");
     rows.push_back(
         measure("sched_wfq_2class", "add", [&] { stub.add(1, 2); }));
+  }
+
+  {  // plain_replicated: a two-profile reference with the replica
+    // selector armed (round-robin). Selection must ride the plain alloc
+    // budget — picking a profile is a slot write plus an endpoint
+    // redirect, never a reference copy on the non-QoS path.
+    World world;
+    make_fast(world);
+    orb::Orb server2{world.network, "server2", 9000};
+    auto servant_a = std::make_shared<maqs::testing::EchoImpl>();
+    auto servant_b = std::make_shared<maqs::testing::EchoImpl>();
+    orb::ObjRef ref = world.server.adapter().activate("echo", servant_a);
+    server2.adapter().activate("echo", servant_b);
+    ref.alternates.push_back(orb::AltProfile{server2.endpoint(), "echo"});
+
+    naming::ReplicaSelector selector(world.client, {});
+    maqs::testing::EchoStub stub(world.client, ref);
+    rows.push_back(
+        measure("plain_replicated", "add", [&] { stub.add(1, 2); }));
   }
 
   {  // qos_unmodified: QoS-aware reference, no module assigned -> fallback

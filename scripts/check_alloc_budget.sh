@@ -20,6 +20,7 @@ import sys
 BUDGETS = {
     ("plain", "add"): 8.0,
     ("plain", "blob4k"): 8.0,
+    ("plain_replicated", "add"): 8.0,
     ("woven_streaming", "add"): 12.0,
     ("woven_compress_encrypt", "add"): 12.0,
 }

@@ -33,6 +33,7 @@ core::CharacteristicDescriptor replication_descriptor() {
       {
           core::QosOpDesc{"qos_get_state", core::QosOpKind::kAspect},
           core::QosOpDesc{"qos_set_state", core::QosOpKind::kAspect},
+          core::QosOpDesc{"qos_epoch", core::QosOpKind::kAspect},
       });
 }
 
@@ -50,7 +51,7 @@ cdr::Any ReplicationModule::command(const std::string& op,
     group_ = args[0].as_string();
     mode_ = args[1].as_string();
     quorum_ = static_cast<int>(args[2].as_integer());
-    if (mode_ != "failover" && mode_ != "voting") {
+    if (mode_ != "failover" && mode_ != "voting" && mode_ != "passive") {
       throw core::QosError("replication: unknown mode '" + mode_ + "'");
     }
     if (quorum_ < 1) throw core::QosError("replication: quorum must be >= 1");
@@ -65,13 +66,31 @@ cdr::Any ReplicationModule::command(const std::string& op,
 
 orb::ReplyMessage ReplicationModule::invoke(orb::RequestMessage req,
                                             const orb::ObjRef& target) {
-  (void)target;
-  if (group_.empty()) {
+  if (mode_ != "passive" && group_.empty()) {
     throw core::QosError("replication: module not configured with a group");
   }
   req.context[core::kModuleContextKey] = util::to_bytes(name());
+  if (mode_ == "passive") return invoke_passive(std::move(req), target);
   if (mode_ == "voting") return invoke_voting(std::move(req));
   return invoke_failover(std::move(req));
+}
+
+orb::ReplyMessage ReplicationModule::invoke_passive(
+    orb::RequestMessage req, const orb::ObjRef& target) {
+  // Primary-backup: only the primary (the reference's leading profile —
+  // directory lookups order profiles by state epoch, and the replica
+  // selector has already rewritten the target to the chosen one) executes
+  // the request; backups catch up through state transfer and advertise
+  // their epoch on directory heartbeats.
+  orb::Orb& orb = context().orb();
+  std::optional<orb::ReplyMessage> winner;
+  orb.send_request(target.endpoint, std::move(req),
+                   [&](orb::ReplyMessage rep) { winner = std::move(rep); });
+  orb.run_until([&] { return winner.has_value(); });
+  if (!winner.has_value()) {
+    throw orb::TransportError("replication: event loop drained");
+  }
+  return *std::move(winner);
 }
 
 orb::ReplyMessage ReplicationModule::invoke_failover(
@@ -167,7 +186,14 @@ void ReplicationImpl::dispatch_qos_op(const std::string& op,
       const util::Bytes state = args.read_bytes();
       args.expect_end();
       host_->state_access()->set_state(state);
+      // A state transfer brings this replica up to a new version.
+      ++epoch_;
     }
+    return;
+  }
+  if (op == "qos_epoch") {
+    args.expect_end();
+    out.write_u64(epoch_);
     return;
   }
   core::QosImpl::dispatch_qos_op(op, args, out, ctx);
@@ -267,6 +293,7 @@ orb::ObjRef ReplicaGroup::add_replica(
     const util::Bytes state = dec.read_bytes();
     if (core::StateAccess* access = servant->state_access()) {
       access->set_state(state);
+      impl->advance_epoch();  // same bump a wire qos_set_state performs
     }
     break;
   }
@@ -295,6 +322,13 @@ orb::ObjRef ReplicaGroup::group_reference() const {
   ref.endpoint = members_.front().orb->endpoint();
   ref.object_key = object_key_;
   ref.qos = {profile};
+  // Every member is an alternate profile: clients running a
+  // naming::ReplicaSelector can re-target per invocation (passive mode);
+  // without one the reference behaves exactly as before.
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    ref.alternates.push_back(
+        orb::AltProfile{members_[i].orb->endpoint(), object_key_});
+  }
   return ref;
 }
 

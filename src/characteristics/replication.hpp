@@ -53,6 +53,8 @@ class ReplicationModule final : public core::QosModule {
  private:
   orb::ReplyMessage invoke_failover(orb::RequestMessage req);
   orb::ReplyMessage invoke_voting(orb::RequestMessage req);
+  orb::ReplyMessage invoke_passive(orb::RequestMessage req,
+                                   const orb::ObjRef& target);
 
   std::string group_;
   std::string mode_ = "failover";
@@ -61,7 +63,9 @@ class ReplicationModule final : public core::QosModule {
 };
 
 /// Server-side QoS implementation: state-transfer QoS operations through
-/// the aspect-integration interface.
+/// the aspect-integration interface, plus the state epoch passive
+/// replication advertises (directory heartbeats carry it; lookups order
+/// profiles by it, so the most caught-up replica leads as primary).
 class ReplicationImpl final : public core::QosImpl {
  public:
   ReplicationImpl();
@@ -71,8 +75,17 @@ class ReplicationImpl final : public core::QosImpl {
   void dispatch_qos_op(const std::string& op, cdr::Decoder& args,
                        cdr::Encoder& out, orb::ServerContext& ctx) override;
 
+  /// State version of this replica; bumped by each qos_set_state transfer
+  /// and by advance_epoch(). Readable over the wire via the qos_epoch
+  /// aspect op; feed naming::HeartbeatAgent::Config::epoch_probe from it.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  /// Called by the primary after a local state mutation, so its epoch
+  /// stays ahead of every backup's.
+  void advance_epoch() noexcept { ++epoch_; }
+
  private:
   core::QosServerContext* host_ = nullptr;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Management helper that wires a replica group: activates each replica's

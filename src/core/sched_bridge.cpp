@@ -47,4 +47,16 @@ bool bind_agreement_class(sched::RequestScheduler& scheduler,
   return scheduler.classifier().bind_object(agreement.object_key, class_name);
 }
 
+std::function<double()> make_load_probe(
+    const sched::RequestScheduler& scheduler) {
+  return [&scheduler] { return static_cast<double>(scheduler.queue_depth()); };
+}
+
+std::function<double()> make_load_probe(
+    const sched::RequestScheduler& scheduler, std::string class_name) {
+  return [&scheduler, class_name = std::move(class_name)] {
+    return static_cast<double>(scheduler.queue_depth(class_name));
+  };
+}
+
 }  // namespace maqs::core

@@ -19,8 +19,13 @@
 //   - bind_agreement_class(): derives the classifier binding from a
 //     negotiated agreement (object-key granularity, like the binding
 //     service itself).
+//   - make_load_probe(): exposes the scheduler's queue depth as the load
+//     figure a replica advertises through its directory heartbeats, so
+//     client-side least-loaded selection steers work away from busy
+//     replicas (naming::HeartbeatAgent::Config::load_probe).
 #pragma once
 
+#include <functional>
 #include <string_view>
 
 #include "core/negotiation.hpp"
@@ -49,5 +54,16 @@ void attach_class_budgets(sched::RequestScheduler& scheduler,
 bool bind_agreement_class(sched::RequestScheduler& scheduler,
                           const Agreement& agreement,
                           std::string_view class_name);
+
+/// Load probe for directory heartbeats: samples the scheduler's total
+/// queue depth. The scheduler must outlive the returned function.
+std::function<double()> make_load_probe(
+    const sched::RequestScheduler& scheduler);
+
+/// Class-scoped variant: only the named class's backlog counts (a gold
+/// replica advertising bronze backlog would repel gold traffic for no
+/// reason).
+std::function<double()> make_load_probe(
+    const sched::RequestScheduler& scheduler, std::string class_name);
 
 }  // namespace maqs::core

@@ -175,21 +175,46 @@ SendAction BreakerClientInterceptor::send_request(ClientRequestInfo& info) {
     info.request.request_id = orb_.next_request_id();
   }
   ReplyMessage fast;
-  if (!admit(info.wire_dest(), info.request.request_id, fast)) {
+  if (!admit(info.wire_dest(), info.request.object_key,
+             info.request.request_id, fast)) {
     info.reply = std::move(fast);
     return SendAction::kComplete;
   }
   return SendAction::kContinue;
 }
 
+std::optional<BreakerState> BreakerClientInterceptor::state(
+    const net::Address& dest) const {
+  // Worst-of aggregate over the endpoint's profile breakers, preserving
+  // the pre-profile-keying endpoint-granularity query.
+  std::optional<BreakerState> worst;
+  for (const auto& [key, breaker] : breakers_) {
+    if (key.first != dest) continue;
+    const BreakerState s = breaker.state();
+    if (!worst.has_value() || static_cast<int>(s) > static_cast<int>(*worst)) {
+      worst = s;
+    }
+  }
+  return worst;
+}
+
+std::optional<BreakerState> BreakerClientInterceptor::state(
+    const net::Address& dest, std::string_view profile) const {
+  auto it = breakers_.find(std::pair<const net::Address&, std::string_view>(
+      dest, profile));
+  if (it == breakers_.end()) return std::nullopt;
+  return it->second.state();
+}
+
 bool BreakerClientInterceptor::admit(const net::Address& dest,
+                                     std::string_view profile,
                                      std::uint64_t request_id,
                                      ReplyMessage& fast) {
-  CircuitBreaker& breaker = breaker_for(dest);
+  CircuitBreaker& breaker = breaker_for(dest, profile);
   const BreakerState before = breaker.state();
   const bool admitted = breaker.allow(orb_.loop().now());
   if (breaker.state() != before) {
-    note_transition(dest, before, breaker.state());
+    note_transition(dest, profile, before, breaker.state());
   }
   if (admitted) return true;
   // Fail fast: the synthesized rejection is delivered inline instead of
@@ -202,39 +227,59 @@ bool BreakerClientInterceptor::admit(const net::Address& dest,
   return false;
 }
 
-void BreakerClientInterceptor::on_reply_decoded(const net::Address& from) {
+void BreakerClientInterceptor::on_reply_decoded(const net::Address& from,
+                                                std::string_view profile) {
   if (!config_.has_value()) return;
-  // find, never create: a success for an endpoint no breaker tracks is
-  // not worth a map entry.
-  auto it = breakers_.find(from);
+  // find, never create: a success for a profile no breaker tracks is not
+  // worth a map entry.
+  auto it = breakers_.find(
+      std::pair<const net::Address&, std::string_view>(from, profile));
   if (it == breakers_.end()) return;
   const BreakerState before = it->second.state();
   it->second.record_success();
   if (it->second.state() != before) {
-    note_transition(from, before, it->second.state());
+    note_transition(from, profile, before, it->second.state());
   }
 }
 
-void BreakerClientInterceptor::on_transport_failure(const net::Address& dest) {
+void BreakerClientInterceptor::on_reply_decoded_any(const net::Address& from) {
   if (!config_.has_value()) return;
-  CircuitBreaker& breaker = breaker_for(dest);
+  for (auto& [key, breaker] : breakers_) {
+    if (key.first != from) continue;
+    const BreakerState before = breaker.state();
+    breaker.record_success();
+    if (breaker.state() != before) {
+      note_transition(from, key.second, before, breaker.state());
+    }
+  }
+}
+
+void BreakerClientInterceptor::on_transport_failure(const net::Address& dest,
+                                                    std::string_view profile) {
+  if (!config_.has_value()) return;
+  CircuitBreaker& breaker = breaker_for(dest, profile);
   const BreakerState before = breaker.state();
   breaker.record_failure(orb_.loop().now());
   if (breaker.state() != before) {
-    note_transition(dest, before, breaker.state());
+    note_transition(dest, profile, before, breaker.state());
   }
 }
 
 CircuitBreaker& BreakerClientInterceptor::breaker_for(
-    const net::Address& dest) {
-  auto it = breakers_.find(dest);
+    const net::Address& dest, std::string_view profile) {
+  auto it = breakers_.find(
+      std::pair<const net::Address&, std::string_view>(dest, profile));
   if (it == breakers_.end()) {
-    it = breakers_.emplace(dest, CircuitBreaker(*config_)).first;
+    it = breakers_
+             .emplace(BreakerKey{dest, std::string(profile)},
+                      CircuitBreaker(*config_))
+             .first;
   }
   return it->second;
 }
 
 void BreakerClientInterceptor::note_transition(const net::Address& endpoint,
+                                               std::string_view profile,
                                                BreakerState from,
                                                BreakerState to) {
   switch (to) {
@@ -243,12 +288,12 @@ void BreakerClientInterceptor::note_transition(const net::Address& endpoint,
     case BreakerState::kClosed: ++stats_.breaker_closes; break;
   }
   MAQS_INFO() << "orb " << orb_.endpoint().to_string() << ": circuit to "
-              << endpoint.to_string() << " " << breaker_state_name(from)
-              << " -> " << breaker_state_name(to);
+              << endpoint.to_string() << "/" << profile << " "
+              << breaker_state_name(from) << " -> " << breaker_state_name(to);
   if (trace::tracing_active()) {
     trace::point("breaker.transition",
-                 endpoint.to_string() + " " +
-                     std::string(breaker_state_name(from)) + "->" +
+                 endpoint.to_string() + "/" + std::string(profile) + " " +
+                     breaker_state_name(from) + "->" +
                      breaker_state_name(to));
   }
 }

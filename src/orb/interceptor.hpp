@@ -46,6 +46,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -68,8 +69,17 @@ struct OrbStats;
 namespace priorities {
 inline constexpr int kClientTrace = 100;
 inline constexpr int kClientMediator = 200;
+/// Replica selection (naming::ReplicaSelector) sits between the mediator
+/// and the QoS fork: a redirected target must be chosen before qos.route
+/// decides between the QoS transport and the plain path.
+inline constexpr int kClientReplicaSelect = 250;
 inline constexpr int kClientRoute = 300;
 inline constexpr int kClientLocalFault = 350;
+/// Replica failover sits between local_fault and retry: it observes
+/// synthesized fault replies *as replies* (local_fault above would convert
+/// them to TransportError on the unwind) only after the retry stage below
+/// has exhausted its per-replica attempts.
+inline constexpr int kClientReplicaFailover = 375;
 inline constexpr int kClientRetry = 400;
 inline constexpr int kClientAttemptTrace = 450;
 inline constexpr int kClientBreaker = 500;
@@ -184,6 +194,16 @@ struct ClientRequestInfo {
   RequestMessage retained;
   std::optional<ObjRef> redirect;
 
+  /// Replica-selection stage state (naming::ReplicaSelector). The select
+  /// interceptor remembers the original multi-profile target in
+  /// `replica_group` and points the wire at the chosen profile: via
+  /// `replica_dest` (plain targets — no ObjRef copy on the hot path) or
+  /// by rewriting `target` to the materialized `selected` copy (QoS-aware
+  /// targets, which the router addresses through the ObjRef itself).
+  const ObjRef* replica_group = nullptr;
+  std::optional<net::Address> replica_dest;
+  std::optional<ObjRef> selected;
+
   /// Retry stage state. `attempt` is 1-based; `retry_engaged` is set iff
   /// an advisor is armed for this invocation.
   int attempt = 1;
@@ -199,6 +219,7 @@ struct ClientRequestInfo {
 
   /// Endpoint the terminal wire attempt addresses.
   const net::Address& wire_dest() const noexcept {
+    if (replica_dest.has_value()) return *replica_dest;
     return target != nullptr ? target->endpoint : *plain_dest;
   }
 };
@@ -484,12 +505,28 @@ class AttemptTraceClientInterceptor final : public ClientInterceptor {
   void receive_exception(ClientRequestInfo& info) noexcept override;
 };
 
-/// 500: per-endpoint circuit breaker. Owns the breaker map and the
-/// transition bookkeeping; the ORB's async send path and the reply/timeout
-/// plumbing share it through admit()/on_reply_decoded()/
-/// on_transport_failure().
+/// 500: per-(endpoint, profile) circuit breaker. Breakers are keyed by the
+/// destination endpoint *and* the addressed object key, so one dead or
+/// slow servant's open circuit never fast-fails sibling profiles behind
+/// the same logical service (or other objects on the same ORB). Owns the
+/// breaker map and the transition bookkeeping; the ORB's async send path
+/// and the reply/timeout plumbing share it through admit()/
+/// on_reply_decoded()/on_transport_failure().
 class BreakerClientInterceptor final : public ClientInterceptor {
  public:
+  /// (endpoint, object key) breaker key. The transparent comparator lets
+  /// the admission path probe with a string_view pair — no key
+  /// materialization per request.
+  using BreakerKey = std::pair<net::Address, std::string>;
+  struct BreakerKeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const noexcept {
+      if (a.first != b.first) return a.first < b.first;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+
   BreakerClientInterceptor(Orb& orb, OrbStats& stats)
       : orb_(orb), stats_(stats) {}
   const char* name() const noexcept override { return "breaker"; }
@@ -503,31 +540,41 @@ class BreakerClientInterceptor final : public ClientInterceptor {
   const std::optional<BreakerConfig>& config() const noexcept {
     return config_;
   }
-  std::optional<BreakerState> state(const net::Address& dest) const {
-    auto it = breakers_.find(dest);
-    if (it == breakers_.end()) return std::nullopt;
-    return it->second.state();
-  }
+  /// Endpoint aggregate: the most-degraded state (open > half-open >
+  /// closed) over every profile breaker at `dest`; nullopt when none
+  /// tracks the endpoint yet.
+  std::optional<BreakerState> state(const net::Address& dest) const;
+  /// Exact (endpoint, profile) breaker state.
+  std::optional<BreakerState> state(const net::Address& dest,
+                                    std::string_view profile) const;
 
   /// Admission check shared by the chain walk and the async send path.
   /// Returns false and fills `fast` (a synthesized CIRCUIT_OPEN reply)
   /// when the circuit rejects the request.
-  bool admit(const net::Address& dest, std::uint64_t request_id,
-             ReplyMessage& fast);
-  /// Any decoded reply proves the endpoint reachable.
-  void on_reply_decoded(const net::Address& from);
-  /// A timeout charges the breaker guarding `dest`.
-  void on_transport_failure(const net::Address& dest);
+  bool admit(const net::Address& dest, std::string_view profile,
+             std::uint64_t request_id, ReplyMessage& fast);
+  /// A decoded reply matched to its pending request proves that profile's
+  /// servant live.
+  void on_reply_decoded(const net::Address& from, std::string_view profile);
+  /// An orphaned (or multicast) reply cannot be attributed to a profile;
+  /// it still proves the endpoint reachable, so every breaker at that
+  /// endpoint records the success.
+  void on_reply_decoded_any(const net::Address& from);
+  /// A timeout charges the breaker guarding (dest, profile).
+  void on_transport_failure(const net::Address& dest,
+                            std::string_view profile);
 
  private:
-  CircuitBreaker& breaker_for(const net::Address& dest);
-  void note_transition(const net::Address& endpoint, BreakerState from,
+  CircuitBreaker& breaker_for(const net::Address& dest,
+                              std::string_view profile);
+  void note_transition(const net::Address& endpoint,
+                       std::string_view profile, BreakerState from,
                        BreakerState to);
 
   Orb& orb_;
   OrbStats& stats_;
   std::optional<BreakerConfig> config_;
-  std::map<net::Address, CircuitBreaker> breakers_;
+  std::map<BreakerKey, CircuitBreaker, BreakerKeyLess> breakers_;
 };
 
 // ---- built-in server interceptors ----

@@ -7,6 +7,11 @@
 
 namespace maqs::orb {
 
+AltProfile ObjRef::profile(std::size_t i) const {
+  if (i == 0) return AltProfile{endpoint, object_key};
+  return alternates.at(i - 1);
+}
+
 const QosProfile* ObjRef::find_profile(
     const std::string& characteristic) const {
   for (const QosProfile& profile : qos) {
@@ -30,6 +35,12 @@ util::Bytes ObjRef::encode() const {
       enc.write_string(value);
     }
   }
+  enc.write_u32(static_cast<std::uint32_t>(alternates.size()));
+  for (const AltProfile& alt : alternates) {
+    enc.write_string(alt.endpoint.node);
+    enc.write_u16(alt.endpoint.port);
+    enc.write_string(alt.object_key);
+  }
   return enc.take();
 }
 
@@ -50,6 +61,14 @@ ObjRef ObjRef::decode(util::BytesView data) {
       profile.properties[key] = dec.read_string();
     }
     ref.qos.push_back(std::move(profile));
+  }
+  const std::uint32_t alts = dec.read_u32();
+  for (std::uint32_t i = 0; i < alts; ++i) {
+    AltProfile alt;
+    alt.endpoint.node = dec.read_string();
+    alt.endpoint.port = dec.read_u16();
+    alt.object_key = dec.read_string();
+    ref.alternates.push_back(std::move(alt));
   }
   dec.expect_end();
   return ref;

@@ -28,6 +28,17 @@ struct QosProfile {
   bool operator==(const QosProfile&) const = default;
 };
 
+/// An alternate endpoint profile of a multi-profile reference: another
+/// replica serving the same interface under its own (endpoint, object key)
+/// pair. Mirrors GIOP's TAG_ALTERNATE_IIOP_ADDRESS, extended with the
+/// object key so replicas may activate under distinct keys.
+struct AltProfile {
+  net::Address endpoint;
+  std::string object_key;
+
+  bool operator==(const AltProfile&) const = default;
+};
+
 struct ObjRef {
   /// Repository id of the interface, e.g. "IDL:demo/Hello:1.0".
   std::string repo_id;
@@ -37,9 +48,20 @@ struct ObjRef {
   std::string object_key;
   /// QoS tag (empty == plain CORBA object, not QoS-aware).
   std::vector<QosProfile> qos;
+  /// Alternate replica profiles (empty == single-profile reference). The
+  /// primary profile is (endpoint, object_key) above; a replica-aware
+  /// client (naming::ReplicaSelector) may address any alternate instead.
+  std::vector<AltProfile> alternates;
 
   bool is_nil() const noexcept { return object_key.empty(); }
   bool qos_aware() const noexcept { return !qos.empty(); }
+  bool multi_profile() const noexcept { return !alternates.empty(); }
+
+  /// Total addressable profiles: the primary plus the alternates.
+  std::size_t profile_count() const noexcept { return 1 + alternates.size(); }
+  /// Profile `i` as an (endpoint, object key) pair; index 0 is the
+  /// primary, 1..profile_count()-1 the alternates.
+  AltProfile profile(std::size_t i) const;
 
   /// Profile lookup by characteristic name; nullptr if absent.
   const QosProfile* find_profile(const std::string& characteristic) const;

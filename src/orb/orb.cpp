@@ -129,29 +129,38 @@ void Orb::attempt_once(ClientRequestInfo& info) {
 
 void Orb::add_pending(std::uint64_t id, ReplyHandler on_reply,
                       sim::Duration timeout, bool multi,
-                      const net::Address& dest) {
+                      const net::Address& dest, const std::string& profile) {
   Pending pending;
   pending.id = id;
   pending.multi = multi;
   pending.on_reply = std::move(on_reply);
-  // Only copy the endpoint when a breaker will want it charged on timeout;
-  // keeping the string empty preserves the allocation-free pending entry
-  // on the default path.
-  if (breaker_ci_.armed() && !multi) pending.dest = dest;
+  // Only copy the endpoint/profile when a breaker will want them charged
+  // on timeout; keeping the strings empty preserves the allocation-free
+  // pending entry on the default path.
+  if (breaker_ci_.armed() && !multi) {
+    pending.dest = dest;
+    pending.profile = profile;
+  }
   pending.timeout_event = loop().schedule(timeout, [this, id] {
     auto it = find_pending(id);
     if (it == pending_.end()) return;
     ++stats_.timeouts;
     auto callback = std::move(it->on_reply);
     net::Address failed_dest;
+    std::string failed_profile;
     const bool charge_breaker = breaker_ci_.armed() && !it->dest.node.empty();
-    if (charge_breaker) failed_dest = std::move(it->dest);
+    if (charge_breaker) {
+      failed_dest = std::move(it->dest);
+      failed_profile = std::move(it->profile);
+    }
     // The timeout event is firing right now, so there is nothing stale to
     // cancel: remove without touching the event.
     pop_pending(it);
     // Charge the breaker before the callback runs, so an immediate retry
     // from inside the callback sees the updated circuit state.
-    if (charge_breaker) breaker_ci_.on_transport_failure(failed_dest);
+    if (charge_breaker) {
+      breaker_ci_.on_transport_failure(failed_dest, failed_profile);
+    }
     ReplyMessage timeout_reply;
     timeout_reply.request_id = id;
     timeout_reply.status = ReplyStatus::kSystemException;
@@ -185,7 +194,8 @@ std::uint64_t Orb::wire_send(const net::Address& dest,
                              sim::Duration timeout) {
   if (timeout <= 0) timeout = default_timeout_;
   const std::uint64_t id = req.request_id;
-  add_pending(id, std::move(on_reply), timeout, /*multi=*/false, dest);
+  add_pending(id, std::move(on_reply), timeout, /*multi=*/false, dest,
+              req.object_key);
   ++stats_.requests_sent;
   util::Bytes wire = req.encode();
   stats_.bytes_marshaled_out += wire.size();
@@ -208,7 +218,7 @@ std::uint64_t Orb::send_request(const net::Address& dest, RequestMessage req,
     // Fail fast: deliver the synthesized rejection inline (before this
     // call returns) instead of arming a doomed timeout.
     ReplyMessage fast;
-    if (!breaker_ci_.admit(dest, id, fast)) {
+    if (!breaker_ci_.admit(dest, req.object_key, id, fast)) {
       on_reply(std::move(fast));
       return id;
     }
@@ -225,7 +235,7 @@ std::uint64_t Orb::send_multicast_request(const std::string& group,
   const std::uint64_t id = req.request_id;
 
   add_pending(id, std::move(on_reply), timeout, /*multi=*/true,
-              net::Address{});
+              net::Address{}, std::string{});
   ++stats_.requests_sent;
   util::Bytes wire = req.encode();
   stats_.bytes_marshaled_out += wire.size();
@@ -367,10 +377,19 @@ ReplyMessage Orb::dispatch_to_servant(const RequestMessage& req,
 void Orb::handle_reply(const net::Address& from, ReplyMessage rep) {
   // Any decoded reply — matched, orphaned, even an exception — proves the
   // endpoint is reachable, so the breaker hears about it before the
-  // pending lookup. A late probe reply after its timeout still closes the
-  // circuit rather than leaving it needlessly open.
-  if (breaker_ci_.armed()) breaker_ci_.on_reply_decoded(from);
+  // callback runs. A matched reply credits exactly the profile breaker its
+  // request charged; an orphan (late probe reply after its timeout,
+  // surplus multicast replies) cannot be attributed to a profile, so every
+  // breaker at the endpoint hears the success — a straggler still closes
+  // the circuit rather than leaving it needlessly open.
   auto it = find_pending(rep.request_id);
+  if (breaker_ci_.armed()) {
+    if (it != pending_.end() && !it->multi && !it->dest.node.empty()) {
+      breaker_ci_.on_reply_decoded(from, it->profile);
+    } else {
+      breaker_ci_.on_reply_decoded_any(from);
+    }
+  }
   if (it == pending_.end()) {
     // Late reply after timeout/cancel, or surplus replies of a multicast
     // request already satisfied: normal, counted for observability.

@@ -26,6 +26,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -120,10 +122,17 @@ class Orb {
     return breaker_ci_.config();
   }
 
-  /// State of the breaker guarding `dest`; nullopt when breaking is off
-  /// or no request has touched that endpoint yet.
+  /// Aggregate state over every profile breaker at `dest` (worst wins);
+  /// nullopt when breaking is off or no request has touched that endpoint
+  /// yet.
   std::optional<BreakerState> breaker_state(const net::Address& dest) const {
     return breaker_ci_.state(dest);
+  }
+  /// State of the breaker guarding exactly (dest, profile) — profile is
+  /// the addressed object key.
+  std::optional<BreakerState> breaker_state(const net::Address& dest,
+                                            std::string_view profile) const {
+    return breaker_ci_.state(dest, profile);
   }
 
   /// Installs/uninstalls the causal trace recorder (not owned; may be
@@ -270,16 +279,18 @@ class Orb {
     ReplyHandler on_reply;
     sim::EventId timeout_event = 0;
     bool multi = false;
-    /// Destination, recorded only while circuit breaking is enabled (and
-    /// never for multicast) so the timeout can charge the right breaker.
+    /// Destination and addressed profile (object key), recorded only while
+    /// circuit breaking is enabled (and never for multicast) so the
+    /// timeout and the matched reply can charge/credit the right breaker.
     net::Address dest;
+    std::string profile;
   };
 
   /// Registers a pending entry with its timeout; shared by wire_send and
-  /// send_multicast_request. `dest` may be empty (multicast).
+  /// send_multicast_request. `dest`/`profile` may be empty (multicast).
   void add_pending(std::uint64_t id, ReplyHandler on_reply,
-                   sim::Duration timeout, bool multi,
-                   const net::Address& dest);
+                   sim::Duration timeout, bool multi, const net::Address& dest,
+                   const std::string& profile);
   std::vector<Pending>::iterator find_pending(std::uint64_t id) noexcept;
   /// Removes the entry without touching its timeout event. The swap-and-pop
   /// invariant lives here and only here: the timeout path (whose event is

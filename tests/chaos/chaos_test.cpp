@@ -13,6 +13,7 @@
 #include "core/module.hpp"
 #include "core/transform.hpp"
 #include "support/chaos.hpp"
+#include "support/replica_world.hpp"
 #include "trace/trace.hpp"
 
 namespace maqs::testing {
@@ -405,6 +406,126 @@ TEST(ChaosTest, StreamingStageMidChunkFailureQuarantinesAndRoutesPlain) {
   }
 
   registry.unregister(module_name);
+}
+
+// replica_storm: a gold-class workload rides a three-replica group through
+// a best-effort request storm while two replicas crash mid-run. The
+// acceptance bar is absolute — zero failed gold requests: the selector's
+// failover (timeout-gated as idempotent, CIRCUIT_OPEN always) re-targets
+// every affected invocation onto a live replica, and quarantine plus the
+// per-(endpoint, profile) breakers keep later selections away from the
+// dead ones.
+naming::SelectorConfig replica_storm_selector() {
+  naming::SelectorConfig config;
+  config.failover_on_timeout = true;  // echo is idempotent
+  config.quarantine_period = sim::kSecond;
+  return config;
+}
+
+void run_replica_storm(ReplicaWorld& world, WorkloadReport& gold,
+                       StormReport& bulk) {
+  world.arm_schedulers(/*service_rps=*/4000.0);
+  world.register_all();
+  world.start_heartbeats(25 * sim::kMillisecond);
+  const orb::ObjRef ref = world.lookup();
+  ASSERT_EQ(ref.profile_count(), 3u);
+
+  world.client.set_default_timeout(8 * sim::kMillisecond);
+  orb::BreakerConfig breaker;
+  breaker.failure_threshold = 1;
+  breaker.open_period = sim::kSecond;
+  world.client.set_breaker_config(breaker);
+
+  // Best-effort storm: async requests against every replica's bulk
+  // servant, one per millisecond for 100ms. Requests to crashed replicas
+  // time out or fast-fail — only the gold class must stay spotless.
+  for (int i = 0; i < 100; ++i) {
+    world.loop.schedule(i * sim::kMillisecond, [&world, &bulk, i] {
+      const std::size_t r = static_cast<std::size_t>(i) % 3;
+      orb::RequestMessage req;
+      req.operation = "echo";
+      req.object_key = "bulk-" + std::to_string(r + 1);
+      cdr::Encoder enc;
+      enc.write_string("b" + std::to_string(i));
+      req.body = enc.take();
+      ++bulk.sent;
+      world.client.send_request(
+          world.replicas[r].orb->endpoint(), std::move(req),
+          [&bulk](const orb::ReplyMessage& rep) {
+            if (rep.status == orb::ReplyStatus::kOk) {
+              ++bulk.ok;
+            } else if (rep.exception.rfind(sched::kOverloadException, 0) ==
+                       0) {
+              ++bulk.overload;
+            } else {
+              ++bulk.other;
+            }
+          });
+    });
+  }
+
+  // Two of three replicas die mid-storm.
+  world.crash_at(world.loop.now() + 30 * sim::kMillisecond, "server-1");
+  world.crash_at(world.loop.now() + 60 * sim::kMillisecond, "server-2");
+
+  EchoStub stub(world.client, ref);
+  gold = run_workload(world.loop, 150, sim::kMillisecond, [&](int i) {
+    const std::string msg = "g" + std::to_string(i);
+    ASSERT_EQ(stub.echo(msg), msg);
+  });
+  world.loop.run_for(100 * sim::kMillisecond);  // drain storm stragglers
+}
+
+TEST(ChaosTest, ReplicaStormZeroGoldFailuresWhileReplicasCrash) {
+  ReplicaWorld world(3, chaos_seed(), replica_storm_selector());
+  WorkloadReport gold;
+  StormReport bulk;
+  run_replica_storm(world, gold, bulk);
+
+  // The acceptance bar: every gold request succeeded although two of the
+  // three replicas crashed mid-run.
+  EXPECT_EQ(gold.attempted, 150);
+  EXPECT_EQ(gold.succeeded, 150);
+  EXPECT_EQ(gold.failed, 0);
+  EXPECT_GE(world.selector.stats().failovers, 1u);
+  // The survivor carried the tail of the workload.
+  EXPECT_GT(world.replicas[2].servant->calls, 80);
+  // No silent drops in the storm either: served, shed, or failed — every
+  // request was answered.
+  EXPECT_EQ(bulk.answered(), bulk.sent);
+  // The directory noticed the crashes: only the survivor holds a lease.
+  world.loop.run_for(sim::kSecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 1u);
+}
+
+// The replica_storm timeline — selections, failovers, breaker transitions,
+// scheduler decisions, heartbeats — is a pure function of the chaos seed:
+// two traced runs export byte-identical Chrome traces.
+TEST(ChaosTest, ReplicaStormTraceExportsAreByteIdentical) {
+  auto traced_run = [] {
+    ReplicaWorld world(3, chaos_seed(), replica_storm_selector());
+    trace::TraceRecorder recorder(world.loop);
+    recorder.set_enabled(true);
+    world.client.set_trace_recorder(&recorder);
+    for (auto& replica : world.replicas) {
+      replica.orb->set_trace_recorder(&recorder);
+    }
+    world.registry.set_trace_recorder(&recorder);
+
+    WorkloadReport gold;
+    StormReport bulk;
+    run_replica_storm(world, gold, bulk);
+    EXPECT_EQ(gold.failed, 0);
+
+    std::ostringstream out;
+    recorder.export_chrome_trace(out);
+    return out.str();
+  };
+
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

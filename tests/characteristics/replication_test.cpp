@@ -236,5 +236,60 @@ TEST_F(ReplicationTest, StateAspectReachableViaQosOps) {
   EXPECT_EQ(inner.read_i32(), 31);
 }
 
+TEST_F(ReplicationTest, PassiveModePrimaryServesAlone) {
+  auto primary = add_replica();
+  auto backup_a = add_replica();
+  auto backup_b = add_replica();
+
+  // Passive (primary-backup): the request goes unicast to the reference's
+  // leading profile; backups see no traffic.
+  EchoStub stub = make_stub("passive", 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(stub.add(i, i), 2 * i);
+  }
+  EXPECT_EQ(primary->calls, 5);
+  EXPECT_EQ(backup_a->calls, 0);
+  EXPECT_EQ(backup_b->calls, 0);
+}
+
+TEST_F(ReplicationTest, GroupReferenceCarriesEveryMemberAsProfile) {
+  add_replica();
+  add_replica();
+  add_replica();
+  const orb::ObjRef ref = group_.group_reference();
+  EXPECT_TRUE(ref.multi_profile());
+  ASSERT_EQ(ref.profile_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ref.profile(i).endpoint, replicas_[i]->endpoint());
+    EXPECT_EQ(ref.profile(i).object_key, group_.object_key());
+  }
+}
+
+TEST_F(ReplicationTest, StateTransferAdvancesTheEpoch) {
+  auto primary = add_replica();
+  EchoStub seed_stub = make_stub("failover", 1);
+  seed_stub.set_value(7);
+
+  // The late joiner receives one state transfer: epoch 0 -> 1; the
+  // long-running primary never received one and stays at 0. Both are
+  // readable over the wire through the qos_epoch aspect op.
+  add_replica();
+  auto epoch_of = [&](std::size_t i) {
+    orb::RequestMessage req;
+    req.object_key = group_.object_key();
+    req.operation = "qos_epoch";
+    orb::ReplyMessage rep =
+        client_.invoke_plain(replicas_[i]->endpoint(), std::move(req));
+    EXPECT_EQ(rep.status, orb::ReplyStatus::kOk);
+    cdr::Decoder dec(rep.body);
+    const std::uint64_t epoch = dec.read_u64();
+    dec.expect_end();
+    return epoch;
+  };
+  EXPECT_EQ(epoch_of(0), 0u);
+  EXPECT_EQ(epoch_of(1), 1u);
+  (void)primary;
+}
+
 }  // namespace
 }  // namespace maqs::characteristics

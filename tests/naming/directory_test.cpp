@@ -1,0 +1,136 @@
+// ServiceDirectory: membership, lease expiry, epoch-ordered lookups, and
+// the wire protocol through DirectoryClient/HeartbeatAgent.
+#include <gtest/gtest.h>
+
+#include "naming/directory.hpp"
+#include "naming/directory_client.hpp"
+#include "support/replica_world.hpp"
+
+namespace maqs::testing {
+namespace {
+
+orb::AltProfile profile_of(const std::string& node, std::uint16_t port,
+                           const std::string& key) {
+  return orb::AltProfile{net::Address{node, port}, key};
+}
+
+TEST(DirectoryTest, RegisterLookupRoundTrip) {
+  sim::EventLoop loop;
+  naming::ServiceDirectory directory(loop);
+  directory.register_member("svc", "IDL:test/Echo:1.0",
+                            profile_of("a", 9000, "echo-a"), 0.5, 3);
+  directory.register_member("svc", "IDL:test/Echo:1.0",
+                            profile_of("b", 9000, "echo-b"), 0.1, 7);
+
+  const orb::ObjRef ref = directory.lookup("svc");
+  ASSERT_FALSE(ref.is_nil());
+  EXPECT_EQ(ref.repo_id, "IDL:test/Echo:1.0");
+  EXPECT_EQ(ref.profile_count(), 2u);
+  // Highest epoch leads: b (epoch 7) is the primary.
+  EXPECT_EQ(ref.object_key, "echo-b");
+  EXPECT_EQ(ref.endpoint.node, "b");
+  EXPECT_EQ(ref.profile(1).object_key, "echo-a");
+  EXPECT_EQ(directory.member_count("svc"), 2u);
+}
+
+TEST(DirectoryTest, UnknownServiceLooksUpNil) {
+  sim::EventLoop loop;
+  naming::ServiceDirectory directory(loop);
+  EXPECT_TRUE(directory.lookup("nope").is_nil());
+  EXPECT_EQ(directory.member_count("nope"), 0u);
+}
+
+TEST(DirectoryTest, MissedHeartbeatsExpireTheLease) {
+  sim::EventLoop loop;
+  naming::DirectoryConfig config;
+  config.member_ttl = 100 * sim::kMillisecond;
+  naming::ServiceDirectory directory(loop, config);
+  directory.register_member("svc", "r", profile_of("a", 9000, "k-a"), 0, 0);
+  directory.register_member("svc", "r", profile_of("b", 9000, "k-b"), 0, 0);
+
+  // One member keeps beating, the other goes silent.
+  loop.run_for(60 * sim::kMillisecond);
+  EXPECT_TRUE(directory.heartbeat("svc", profile_of("a", 9000, "k-a"), 0, 0));
+  loop.run_for(60 * sim::kMillisecond);
+
+  EXPECT_EQ(directory.member_count("svc"), 1u);
+  EXPECT_EQ(directory.lookup("svc").object_key, "k-a");
+  EXPECT_EQ(directory.stats().expirations, 1u);
+}
+
+TEST(DirectoryTest, HeartbeatForExpiredMemberAsksForReRegister) {
+  sim::EventLoop loop;
+  naming::DirectoryConfig config;
+  config.member_ttl = 50 * sim::kMillisecond;
+  naming::ServiceDirectory directory(loop, config);
+  directory.register_member("svc", "r", profile_of("a", 9000, "k"), 0, 0);
+  loop.run_for(100 * sim::kMillisecond);
+  EXPECT_FALSE(directory.heartbeat("svc", profile_of("a", 9000, "k"), 0, 0));
+  EXPECT_EQ(directory.stats().unknown_heartbeats, 1u);
+}
+
+TEST(DirectoryTest, DeregisterRemovesTheMember) {
+  sim::EventLoop loop;
+  naming::ServiceDirectory directory(loop);
+  directory.register_member("svc", "r", profile_of("a", 9000, "k-a"), 0, 0);
+  directory.register_member("svc", "r", profile_of("b", 9000, "k-b"), 0, 0);
+  directory.deregister("svc", profile_of("a", 9000, "k-a"));
+  EXPECT_EQ(directory.member_count("svc"), 1u);
+  EXPECT_EQ(directory.lookup("svc").object_key, "k-b");
+}
+
+TEST(DirectoryTest, WireLookupCarriesLoadsAndEpochs) {
+  ReplicaWorld world(3);
+  world.register_all();
+  world.directory->heartbeat(
+      kReplicaService,
+      orb::AltProfile{world.replicas[1].orb->endpoint(), "echo-2"}, 0.75, 9);
+
+  std::optional<naming::ServiceView> view =
+      world.directory_client.lookup(kReplicaService);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ref.profile_count(), 3u);
+  // echo-2 beat with epoch 9: it leads as primary, its load rides along.
+  EXPECT_EQ(view->ref.object_key, "echo-2");
+  ASSERT_EQ(view->loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(view->loads[0], 0.75);
+  EXPECT_EQ(view->epochs[0], 9u);
+}
+
+TEST(DirectoryTest, HeartbeatAgentKeepsLeaseAliveAndReRegistersAfterExpiry) {
+  ReplicaWorld world(1);
+  naming::DirectoryConfig ttl;
+  ttl.member_ttl = 120 * sim::kMillisecond;
+  world.directory->set_config(ttl);
+
+  world.start_heartbeats(50 * sim::kMillisecond);
+  world.loop.run_for(10 * sim::kMillisecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 1u);
+
+  // Beats every 50ms against a 120ms TTL: the lease never lapses.
+  world.loop.run_for(400 * sim::kMillisecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 1u);
+
+  // Crash long enough for the lease to expire, then restart: the next
+  // beat is answered "unknown" and the agent re-registers.
+  world.net.crash("server-1");
+  world.loop.run_for(200 * sim::kMillisecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 0u);
+  world.net.restart("server-1");
+  world.loop.run_for(150 * sim::kMillisecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 1u);
+  EXPECT_GE(world.replicas[0].agent->stats().reregisters, 1u);
+}
+
+TEST(DirectoryTest, UnknownOperationIsBadOperation) {
+  ReplicaWorld world(1);
+  orb::RequestMessage req;
+  req.object_key = naming::directory_object_key();
+  req.operation = "gossip";
+  const orb::ReplyMessage rep =
+      world.client.invoke_plain(world.registry.endpoint(), std::move(req));
+  EXPECT_EQ(rep.status, orb::ReplyStatus::kBadOperation);
+}
+
+}  // namespace
+}  // namespace maqs::testing

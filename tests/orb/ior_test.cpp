@@ -81,5 +81,34 @@ TEST(Ior, EmptyPropertiesSupported) {
   EXPECT_EQ(ObjRef::decode(ref.encode()), ref);
 }
 
+ObjRef replicated_ref() {
+  ObjRef ref = sample_ref();
+  ref.alternates = {{{"server-2", 9000}, "hello-42b"},
+                    {{"server-3", 9100}, "hello-42c"}};
+  return ref;
+}
+
+TEST(Ior, MultiProfileRoundTrip) {
+  const ObjRef ref = replicated_ref();
+  EXPECT_EQ(ObjRef::decode(ref.encode()), ref);
+  EXPECT_EQ(ObjRef::from_string(ref.to_string()), ref);
+}
+
+TEST(Ior, ProfileIndexing) {
+  const ObjRef ref = replicated_ref();
+  EXPECT_TRUE(ref.multi_profile());
+  EXPECT_EQ(ref.profile_count(), 3u);
+  EXPECT_EQ(ref.profile(0), (AltProfile{{"server-1", 9000}, "hello-42"}));
+  EXPECT_EQ(ref.profile(2), (AltProfile{{"server-3", 9100}, "hello-42c"}));
+  EXPECT_THROW(ref.profile(3), std::out_of_range);
+}
+
+TEST(Ior, SingleProfileRefHasOneProfile) {
+  const ObjRef ref = sample_ref();
+  EXPECT_FALSE(ref.multi_profile());
+  EXPECT_EQ(ref.profile_count(), 1u);
+  EXPECT_EQ(ref.profile(0), (AltProfile{ref.endpoint, ref.object_key}));
+}
+
 }  // namespace
 }  // namespace maqs::orb

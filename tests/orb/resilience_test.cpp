@@ -176,6 +176,56 @@ TEST_F(ResilienceTest, AnyDecodedReplyClosesTheBreaker) {
   EXPECT_EQ(client_.stats().breaker_closes, 1u);
 }
 
+TEST_F(ResilienceTest, BreakersAreKeyedPerEndpointAndProfile) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  client_.set_breaker_config(BreakerConfig{
+      .failure_threshold = 1, .open_period = 100 * sim::kMillisecond});
+  auto sibling = std::make_shared<EchoImpl>();
+  const ObjRef sibling_ref =
+      server_.adapter().activate("echo-sibling", sibling);
+
+  net_.crash("server");
+  EchoStub dead(client_, ref_);
+  EXPECT_THROW(dead.echo("x"), TransportError);  // opens (server, "echo")
+  EXPECT_EQ(client_.breaker_state(server_.endpoint(), "echo"),
+            BreakerState::kOpen);
+  net_.restart("server");
+
+  // The sibling profile behind the same endpoint must not be fast-failed
+  // by the dead profile's open circuit.
+  EchoStub live(client_, sibling_ref);
+  EXPECT_EQ(live.echo("y"), "y");
+  EXPECT_EQ(client_.stats().breaker_fast_fails, 0u);
+  // The matched reply credits only the sibling's profile: the dead
+  // profile's breaker stays open (and still fails fast), and the
+  // endpoint-granularity aggregate reports the worst state.
+  EXPECT_EQ(client_.breaker_state(server_.endpoint(), "echo"),
+            BreakerState::kOpen);
+  EXPECT_EQ(client_.breaker_state(server_.endpoint()), BreakerState::kOpen);
+  EXPECT_THROW(dead.echo("z"), TransportError);
+  EXPECT_EQ(client_.stats().breaker_fast_fails, 1u);
+}
+
+TEST_F(ResilienceTest, OrphanedReplyCreditsEveryProfileAtTheEndpoint) {
+  client_.set_default_timeout(5 * sim::kMillisecond);
+  client_.set_breaker_config(BreakerConfig{
+      .failure_threshold = 1, .open_period = 10 * sim::kMillisecond});
+  // Slow link: the reply arrives after the client-side timeout fired, so
+  // it comes back orphaned.
+  net_.set_link("client", "server",
+                {.latency = 3 * sim::kMillisecond});
+  EchoStub stub(client_, ref_);
+  client_.set_default_timeout(4 * sim::kMillisecond);
+  EXPECT_THROW(stub.echo("x"), TransportError);  // timeout opens the breaker
+  ASSERT_EQ(client_.breaker_state(server_.endpoint(), "echo"),
+            BreakerState::kOpen);
+  // Drain: the straggler reply lands, unattributable, and closes the
+  // profile breaker anyway — the endpoint is provably reachable.
+  loop_.run_until_idle();
+  EXPECT_EQ(client_.breaker_state(server_.endpoint(), "echo"),
+            BreakerState::kClosed);
+}
+
 TEST_F(ResilienceTest, DisablingBreakerDropsState) {
   client_.set_default_timeout(5 * sim::kMillisecond);
   client_.set_breaker_config(BreakerConfig{.failure_threshold = 1});

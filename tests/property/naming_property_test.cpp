@@ -1,0 +1,178 @@
+// Property tests for the naming subsystem:
+//   1. Round-robin fairness — over any whole number of rounds, every
+//      replica receives exactly the same number of invocations, for any
+//      group size.
+//   2. Least-loaded convergence — under arbitrary skewed load reports,
+//      selection always lands on a minimum-load replica; repeated
+//      invocations concentrate there until the reports change.
+//   3. Determinism — two worlds built from the same seed produce
+//      byte-identical dispatch-count vectors for the same call sequence.
+//   4. Directory membership — leases expire exactly when virtual time
+//      passes register-time + TTL, never before; re-registration after a
+//      crash restores membership; lookup ordering is a pure function of
+//      (epoch, registration order).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "naming/directory.hpp"
+#include "support/replica_world.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::testing {
+namespace {
+
+std::vector<std::uint64_t> run_calls(ReplicaWorld& world,
+                                     const orb::ObjRef& ref, int count) {
+  EchoStub stub(world.client, ref);
+  for (int i = 0; i < count; ++i) {
+    stub.echo("p" + std::to_string(i));
+    world.loop.run_until_idle();
+  }
+  return world.selector.dispatch_counts(ref.object_key);
+}
+
+TEST(NamingPropertyTest, RoundRobinIsExactlyFairOverWholeRounds) {
+  // From 2 up: a one-member group yields a single-profile reference,
+  // which bypasses selection entirely (covered in SelectorTest).
+  for (std::size_t replicas = 2; replicas <= 5; ++replicas) {
+    ReplicaWorld world(replicas);
+    world.register_all();
+    const orb::ObjRef ref = world.lookup();
+    ASSERT_EQ(ref.profile_count(), replicas);
+
+    const int rounds = 12;
+    const std::vector<std::uint64_t> counts =
+        run_calls(world, ref, rounds * static_cast<int>(replicas));
+    ASSERT_EQ(counts.size(), replicas);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      EXPECT_EQ(counts[i], static_cast<std::uint64_t>(rounds))
+          << "replica " << i << " of " << replicas;
+    }
+  }
+}
+
+TEST(NamingPropertyTest, LeastLoadedAlwaysPicksAMinimumLoadReplica) {
+  util::Rng rng(0xBA1A);
+  naming::SelectorConfig config;
+  config.policy = naming::SelectPolicy::kLeastLoaded;
+  for (int round = 0; round < 20; ++round) {
+    ReplicaWorld world(4, chaos_seed(), config);
+    world.register_all();
+    const orb::ObjRef ref = world.lookup();
+
+    std::vector<double> loads;
+    double min_load = 1e18;
+    for (int i = 0; i < 4; ++i) {
+      loads.push_back(static_cast<double>(rng.next_below(1000)));
+      min_load = std::min(min_load, loads.back());
+    }
+    world.selector.update_loads(ref.object_key, loads);
+
+    const std::vector<std::uint64_t> counts = run_calls(world, ref, 8);
+    // Convergence: every invocation went to one replica, and that replica
+    // reports the minimum load.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      if (counts[i] > 0) {
+        EXPECT_DOUBLE_EQ(loads[i], min_load) << "round " << round;
+      }
+    }
+    EXPECT_EQ(total, 8u);
+  }
+}
+
+TEST(NamingPropertyTest, SelectionSequenceIsDeterministicUnderFixedSeed) {
+  auto trial = [](std::uint64_t seed) {
+    naming::SelectorConfig config;
+    config.policy = naming::SelectPolicy::kLeastLoaded;
+    ReplicaWorld world(3, seed, config);
+    world.register_all();
+    const orb::ObjRef ref = world.lookup();
+    world.selector.update_loads(ref.object_key, {2.0, 1.0, 3.0});
+    std::vector<std::uint64_t> counts = run_calls(world, ref, 15);
+    counts.push_back(world.selector.stats().selections);
+    return counts;
+  };
+  EXPECT_EQ(trial(41), trial(41));
+  EXPECT_EQ(trial(1337), trial(1337));
+}
+
+TEST(NamingPropertyTest, LeaseExpiresExactlyAtTtlNeverBefore) {
+  util::Rng rng(0xC0FFEE);
+  for (int round = 0; round < 25; ++round) {
+    sim::EventLoop loop;
+    naming::DirectoryConfig config;
+    config.member_ttl =
+        static_cast<sim::Duration>(1 + rng.next_below(500)) *
+        sim::kMillisecond;
+    naming::ServiceDirectory directory(loop, config);
+    directory.register_member(
+        "svc", "r", orb::AltProfile{{"a", 9000}, "k"}, 0, 0);
+
+    // One tick before the deadline the member is alive; at it, gone.
+    loop.run_for(config.member_ttl - 1);
+    EXPECT_EQ(directory.member_count("svc"), 1u) << "round " << round;
+    loop.run_for(1);
+    EXPECT_EQ(directory.member_count("svc"), 0u) << "round " << round;
+  }
+}
+
+TEST(NamingPropertyTest, ReRegisterAfterCrashRestoresMembership) {
+  ReplicaWorld world(2);
+  naming::DirectoryConfig ttl;
+  ttl.member_ttl = 100 * sim::kMillisecond;
+  world.directory->set_config(ttl);
+  world.start_heartbeats(40 * sim::kMillisecond);
+  world.loop.run_for(10 * sim::kMillisecond);
+  ASSERT_EQ(world.directory->member_count(kReplicaService), 2u);
+
+  // Crash one replica past its TTL: the directory forgets it, lookups
+  // shrink to the survivor.
+  world.net.crash("server-2");
+  world.loop.run_for(200 * sim::kMillisecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 1u);
+  EXPECT_FALSE(world.lookup().multi_profile());
+
+  // Restart: the next heartbeat is answered "unknown", the agent
+  // re-registers, membership and multi-profile lookups come back.
+  world.net.restart("server-2");
+  world.loop.run_for(100 * sim::kMillisecond);
+  EXPECT_EQ(world.directory->member_count(kReplicaService), 2u);
+  EXPECT_TRUE(world.lookup().multi_profile());
+}
+
+TEST(NamingPropertyTest, LookupOrderIsPureFunctionOfEpochThenRegistration) {
+  util::Rng rng(0xAB1E);
+  for (int round = 0; round < 25; ++round) {
+    sim::EventLoop loop;
+    naming::ServiceDirectory directory(loop);
+    const std::size_t n = 2 + rng.next_below(6);
+    std::vector<std::uint64_t> epochs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t epoch = rng.next_below(4);
+      epochs.push_back(epoch);
+      directory.register_member(
+          "svc", "r",
+          orb::AltProfile{{"n" + std::to_string(i), 9000},
+                          "k" + std::to_string(i)},
+          0.0, epoch);
+    }
+    const std::vector<naming::MemberRecord> members = directory.members("svc");
+    ASSERT_EQ(members.size(), n);
+    for (std::size_t i = 1; i < n; ++i) {
+      // Non-increasing epochs; ties keep registration order.
+      EXPECT_GE(members[i - 1].epoch, members[i].epoch) << "round " << round;
+      if (members[i - 1].epoch == members[i].epoch) {
+        EXPECT_LT(members[i - 1].profile.object_key,
+                  members[i].profile.object_key)
+            << "round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maqs::testing

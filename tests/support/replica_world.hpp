@@ -1,0 +1,146 @@
+// Many-node replica world: a ServiceDirectory node, N echo replicas with
+// heartbeat agents, and a client running a ReplicaSelector — the harness
+// for the naming/replication suites and the replica_storm chaos scenario.
+//
+// Topology (all on one deterministic simulator):
+//
+//   registry:9500   ServiceDirectory under the well-known key
+//   server-1:9000   EchoImpl "echo-1" (+ optional gold-class scheduler,
+//   ...              + "bulk-i" best-effort servant for storm pressure)
+//   server-N:900(N-1)
+//   client:9001     ReplicaSelector + DirectoryClient
+//
+// Every replica registers under one service name; lookups hand the client
+// a multi-profile reference; selection/failover happen per invocation in
+// the client's interceptor chain.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "naming/directory.hpp"
+#include "naming/directory_client.hpp"
+#include "naming/selector.hpp"
+#include "sched/scheduler.hpp"
+#include "support/chaos.hpp"
+
+namespace maqs::testing {
+
+inline const std::string kReplicaService = "echo-svc";
+
+struct ReplicaWorld {
+  struct Replica {
+    std::unique_ptr<orb::Orb> orb;
+    std::shared_ptr<EchoImpl> servant;
+    std::shared_ptr<EchoImpl> bulk_servant;
+    std::string object_key;
+    std::unique_ptr<naming::HeartbeatAgent> agent;
+    std::unique_ptr<sched::RequestScheduler> scheduler;
+  };
+
+  explicit ReplicaWorld(std::size_t replica_count = 3,
+                        std::uint64_t seed = chaos_seed(),
+                        naming::SelectorConfig selector_config = {})
+      : net(loop, seed),
+        registry(net, "registry", 9500),
+        client(net, "client", 9001),
+        directory(std::make_shared<naming::ServiceDirectory>(loop)),
+        directory_client(client, registry.endpoint()),
+        selector(client, selector_config) {
+    registry.adapter().activate(naming::directory_object_key(), directory);
+    for (std::size_t i = 1; i <= replica_count; ++i) {
+      Replica replica;
+      replica.orb = std::make_unique<orb::Orb>(
+          net, "server-" + std::to_string(i),
+          static_cast<std::uint16_t>(9000 + i - 1));
+      replica.servant = std::make_shared<EchoImpl>();
+      replica.object_key = "echo-" + std::to_string(i);
+      replica.orb->adapter().activate(replica.object_key, replica.servant);
+      replica.bulk_servant = std::make_shared<EchoImpl>();
+      replica.orb->adapter().activate("bulk-" + std::to_string(i),
+                                      replica.bulk_servant);
+      replicas.push_back(std::move(replica));
+    }
+  }
+
+  /// Registers every replica with the directory (direct in-process calls;
+  /// deterministic and instant — heartbeats keep the leases alive once
+  /// start_heartbeats ran).
+  void register_all() {
+    for (Replica& replica : replicas) {
+      directory->register_member(
+          kReplicaService, replica.servant->repo_id(),
+          orb::AltProfile{replica.orb->endpoint(), replica.object_key}, 0.0,
+          0);
+    }
+  }
+
+  /// Starts a heartbeat agent per replica (registers over the wire too).
+  void start_heartbeats(sim::Duration period = 50 * sim::kMillisecond) {
+    for (Replica& replica : replicas) {
+      naming::HeartbeatAgent::Config config;
+      config.service = kReplicaService;
+      config.object_key = replica.object_key;
+      config.period = period;
+      if (replica.scheduler != nullptr) {
+        config.load_probe = core::make_load_probe(*replica.scheduler);
+      }
+      replica.agent = std::make_unique<naming::HeartbeatAgent>(
+          *replica.orb, registry.endpoint(), config);
+      replica.agent->start();
+    }
+  }
+
+  /// Arms a gold + best-effort scheduler on every replica; each replica's
+  /// echo servant is bound to "gold", the bulk servant rides best-effort.
+  void arm_schedulers(double service_rps) {
+    for (Replica& replica : replicas) {
+      sched::SchedulerConfig config;
+      sched::ClassConfig gold;
+      gold.name = "gold";
+      gold.weight = 3.0;
+      gold.deadline_budget = 50 * sim::kMillisecond;
+      gold.queue_limit = 32;
+      config.classes.push_back(gold);
+      sched::ClassConfig best;
+      best.name = sched::kBestEffortClassName;
+      best.weight = 1.0;
+      best.deadline_budget = 20 * sim::kMillisecond;
+      best.queue_limit = 8;
+      config.classes.push_back(best);
+      config.service_rate_rps = service_rps;
+      config.total_limit = 40;
+      replica.scheduler =
+          std::make_unique<sched::RequestScheduler>(*replica.orb, config);
+      replica.scheduler->classifier().bind_object(replica.object_key, "gold");
+    }
+  }
+
+  /// Multi-profile reference for the service, fetched over the wire; also
+  /// feeds the selector's least-loaded policy with the reported loads.
+  orb::ObjRef lookup() {
+    std::optional<naming::ServiceView> view =
+        directory_client.lookup(kReplicaService);
+    if (!view.has_value()) return {};
+    selector.update_loads(view->ref.object_key, view->loads);
+    return std::move(view->ref);
+  }
+
+  void crash_at(sim::TimePoint when, const net::NodeId& node) {
+    const sim::TimePoint now = loop.now();
+    loop.schedule(when > now ? when - now : 0,
+                  [this, node] { net.crash(node); });
+  }
+
+  sim::EventLoop loop;
+  net::Network net;
+  orb::Orb registry;
+  orb::Orb client;
+  std::shared_ptr<naming::ServiceDirectory> directory;
+  naming::DirectoryClient directory_client;
+  naming::ReplicaSelector selector;
+  std::vector<Replica> replicas;
+};
+
+}  // namespace maqs::testing
