@@ -1,0 +1,76 @@
+// L1 — population-scale latency percentiles under QoS scheduling.
+//
+// The headline experiment for the paper's resource-dependent QoS claim
+// (§2.2): a million simulated clients across three QoS classes hammer a
+// paced server fleet (one RequestScheduler per shard). Differentiation is
+// the whole point — the gold class must hold its p99 inside its deadline
+// budget *because* the scheduler sheds best-effort volume, not despite it.
+//
+// Unlike F4 this measures *virtual-time* latency: every number is a pure
+// function of (config, seed), so BENCH_latency.json is a tracked artifact
+// and CI checks same-seed reruns byte-for-byte.
+//
+//   bench_l1_population [clients] [shards] [seed] [horizon_s] [out.json]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "load/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maqs;
+
+  load::PopulationConfig config;
+  if (argc > 1) config.clients = static_cast<std::uint32_t>(std::atol(argv[1]));
+  if (argc > 2) config.shards = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  if (argc > 3) config.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  if (argc > 4) config.horizon = std::atol(argv[4]) * sim::kSecond;
+  const std::string json_path = argc > 5 ? argv[5] : "BENCH_latency.json";
+
+  std::printf("==== L1: %u clients, %u shards, seed %llu, %llds horizon ====\n",
+              config.clients, config.shards,
+              static_cast<unsigned long long>(config.seed),
+              static_cast<long long>(config.horizon / sim::kSecond));
+
+  const load::PopulationResult result = load::run_population(config);
+
+  std::printf("%-12s %10s %10s %10s %9s %9s %9s %10s %7s\n", "class", "sent",
+              "ok", "shed", "p50_ms", "p99_ms", "p999_ms", "budget_ms",
+              "p99_ok");
+  for (const load::ClassOutcome& out : result.classes) {
+    sim::Duration budget = 0;
+    for (const auto& cls : config.classes) {
+      if (cls.name == out.name) budget = cls.deadline_budget;
+    }
+    std::printf("%-12s %10llu %10llu %10llu %9.1f %9.1f %9.1f %10lld %7s\n",
+                out.name.c_str(), static_cast<unsigned long long>(out.sent),
+                static_cast<unsigned long long>(out.ok),
+                static_cast<unsigned long long>(out.shed),
+                static_cast<double>(out.latency.p50()) / 1e6,
+                static_cast<double>(out.latency.p99()) / 1e6,
+                static_cast<double>(out.latency.p999()) / 1e6,
+                static_cast<long long>(budget / sim::kMillisecond),
+                out.latency.p99() <= static_cast<std::uint64_t>(budget)
+                    ? "yes"
+                    : "no");
+  }
+  std::printf("commands ok/error: %llu/%llu, total shed: %llu, parked: %llu\n",
+              static_cast<unsigned long long>(result.commands_ok),
+              static_cast<unsigned long long>(result.commands_error),
+              static_cast<unsigned long long>(result.sched.total_shed()),
+              static_cast<unsigned long long>(result.sched.parked));
+
+  std::ostringstream os;
+  load::write_latency_json(config, result, os);
+  std::ofstream out(json_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  out << os.str();
+  out.close();
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Rebuilds bench_l1_population in Release and refreshes BENCH_latency.json
+# at the repo root: the 1M-client / 8-shard / seed-42 headline run. All
+# numbers are virtual-time, so the artifact is a pure function of
+# (config, seed) — rerun after touching src/load/, src/sched/, or the orb
+# request path and commit the refreshed JSON alongside the change. Pass
+# smaller argv to smoke-test (see .github/workflows/ci.yml).
+set -e
+
+cd "$(dirname "$0")/.."
+
+CLIENTS="${1:-1000000}"
+SHARDS="${2:-8}"
+SEED="${3:-42}"
+HORIZON_S="${4:-30}"
+OUT="${5:-BENCH_latency.json}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$(nproc)" --target bench_l1_population
+
+./build-release/bench/bench_l1_population \
+    "$CLIENTS" "$SHARDS" "$SEED" "$HORIZON_S" "$OUT"
+
+# Schema + invariant gate: required keys, per-class percentile
+# monotonicity, and the headline QoS-differentiation claims.
+./scripts/check_latency_schema.sh "$OUT"
+
+echo "wrote $(pwd)/$OUT"

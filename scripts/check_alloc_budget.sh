@@ -7,6 +7,11 @@
 # it. Budgets are allocs/request upper bounds, deliberately a little
 # above steady state to absorb warm-up amortization, never throughput.
 #
+# It also gates throughput floors (req/s lower bounds) on the rows where a
+# scale regression once slipped past the alloc budget: floors are set well
+# below tracked numbers so only a real regression (not machine noise)
+# trips them.
+#
 # usage: check_alloc_budget.sh [path-to-BENCH_hotpath.json]
 set -e
 
@@ -25,25 +30,45 @@ BUDGETS = {
     ("woven_compress_encrypt", "add"): 12.0,
 }
 
+# (scenario, op) -> min requests/sec. The woven blob4k floor is the
+# regression that motivated this gate: pool fragmentation once dropped it
+# under 100k req/s while allocs/request stayed flat.
+FLOORS = {
+    ("woven_streaming", "blob4k"): 100_000.0,
+    ("plain", "add"): 200_000.0,
+}
+
 with open(sys.argv[1]) as f:
     rows = json.load(f)["rows"]
 
 seen = set()
+floors_seen = set()
 failed = False
 for row in rows:
     key = (row["scenario"], row["op"])
-    if key not in BUDGETS:
-        continue
-    seen.add(key)
-    allocs = row["allocs_per_request"]
-    budget = BUDGETS[key]
-    status = "FAIL" if allocs > budget else "ok"
-    print(f"[{status}] {key[0]}/{key[1]}: {allocs:.2f} allocs/request "
-          f"(budget {budget:.0f})")
-    if allocs > budget:
-        failed = True
+    if key in BUDGETS:
+        seen.add(key)
+        allocs = row["allocs_per_request"]
+        budget = BUDGETS[key]
+        status = "FAIL" if allocs > budget else "ok"
+        print(f"[{status}] {key[0]}/{key[1]}: {allocs:.2f} allocs/request "
+              f"(budget {budget:.0f})")
+        if allocs > budget:
+            failed = True
+    if key in FLOORS:
+        floors_seen.add(key)
+        rps = row["requests_per_sec"]
+        floor = FLOORS[key]
+        status = "FAIL" if rps < floor else "ok"
+        print(f"[{status}] {key[0]}/{key[1]}: {rps:.0f} req/s "
+              f"(floor {floor:.0f})")
+        if rps < floor:
+            failed = True
 
 for key in sorted(BUDGETS.keys() - seen):
+    print(f"[FAIL] {key[0]}/{key[1]}: row missing from {sys.argv[1]}")
+    failed = True
+for key in sorted(FLOORS.keys() - floors_seen):
     print(f"[FAIL] {key[0]}/{key[1]}: row missing from {sys.argv[1]}")
     failed = True
 

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Schema + invariant gate over BENCH_latency.json (bench_l1_population).
+#
+# Fails (exit 1) when the artifact drops a required key, a class's
+# percentiles stop being monotone (p50 <= p99 <= p999 <= max), or the
+# per-class accounting stops conserving (sent == ok+shed+timeout+error).
+# For full-size runs (>= 100k clients) it additionally asserts the
+# headline QoS-differentiation claims: gold's p99 holds inside its
+# deadline budget while best_effort sheds real volume.
+#
+# usage: check_latency_schema.sh [path-to-BENCH_latency.json]
+set -e
+
+json="${1:-BENCH_latency.json}"
+
+python3 - "$json" <<'EOF'
+import json
+import sys
+
+TOP_KEYS = [
+    "bench", "clients", "shards", "seed", "horizon_ms",
+    "service_rate_rps_per_shard", "classes", "commands",
+    "open_loop_arrivals", "sched",
+]
+CLASS_KEYS = [
+    "class", "sent", "ok", "shed", "timeout", "error",
+    "p50_us", "p99_us", "p999_us", "max_us",
+    "deadline_budget_us", "p99_within_budget",
+]
+SCHED_KEYS = [
+    "dispatched_inline", "parked", "dispatched_queued", "shed_no_tokens",
+    "shed_queue_full", "shed_deadline", "shed_evicted", "overload_signals",
+    "commands_bypassed",
+]
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+failed = False
+
+
+def fail(msg):
+    global failed
+    failed = True
+    print(f"[FAIL] {msg}")
+
+
+for key in TOP_KEYS:
+    if key not in doc:
+        fail(f"missing top-level key '{key}'")
+for key in SCHED_KEYS:
+    if key not in doc.get("sched", {}):
+        fail(f"missing sched key '{key}'")
+if doc.get("bench") != "l1_population":
+    fail(f"bench is {doc.get('bench')!r}, expected 'l1_population'")
+
+by_name = {}
+for cls in doc.get("classes", []):
+    for key in CLASS_KEYS:
+        if key not in cls:
+            fail(f"class {cls.get('class')!r}: missing key '{key}'")
+    name = cls.get("class")
+    by_name[name] = cls
+    if not (cls["p50_us"] <= cls["p99_us"] <= cls["p999_us"]
+            <= cls["max_us"]):
+        fail(f"class {name!r}: percentiles not monotone: "
+             f"p50={cls['p50_us']} p99={cls['p99_us']} "
+             f"p999={cls['p999_us']} max={cls['max_us']}")
+    accounted = cls["ok"] + cls["shed"] + cls["timeout"] + cls["error"]
+    if cls["sent"] != accounted:
+        fail(f"class {name!r}: sent={cls['sent']} but "
+             f"ok+shed+timeout+error={accounted}")
+    print(f"[ok] {name}: sent={cls['sent']} ok={cls['ok']} "
+          f"shed={cls['shed']} p50={cls['p50_us']}us p99={cls['p99_us']}us "
+          f"p999={cls['p999_us']}us")
+
+if len(by_name) < 3:
+    fail(f"expected >= 3 QoS classes, found {sorted(by_name)}")
+
+# Headline claims only hold once the population is large enough to
+# overload the paced servers; skip for CI smoke runs.
+if doc.get("clients", 0) >= 100_000 and {"gold", "best_effort"} <= set(by_name):
+    gold = by_name["gold"]
+    best = by_name["best_effort"]
+    if not gold["p99_within_budget"]:
+        fail(f"gold p99 {gold['p99_us']}us exceeds its "
+             f"{gold['deadline_budget_us']}us budget")
+    if best["shed"] == 0:
+        fail("best_effort shed nothing despite population-scale overload")
+    if best["shed"] <= gold["shed"]:
+        fail(f"shedding not differentiated: best_effort={best['shed']} "
+             f"<= gold={gold['shed']}")
+
+sys.exit(1 if failed else 0)
+EOF

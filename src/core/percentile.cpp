@@ -1,0 +1,55 @@
+#include "core/percentile.hpp"
+
+#include <sstream>
+
+namespace maqs::core {
+
+std::uint64_t PercentileSketch::bucket_upper_edge(std::size_t index) noexcept {
+  if (index < kExactLimit) return index;  // exact buckets: width 1
+  const std::size_t i = index - kExactLimit;
+  const std::uint32_t octave = static_cast<std::uint32_t>(i / kSubBuckets);
+  const std::uint64_t sub = i % kSubBuckets;
+  const std::uint64_t lower = (kSubBuckets + sub) << (octave + 1);
+  const std::uint64_t width = std::uint64_t{1} << (octave + 1);
+  return lower + width - 1;
+}
+
+std::uint64_t PercentileSketch::value_at_permille(
+    std::uint32_t permille) const noexcept {
+  if (count_ == 0) return 0;
+  if (permille == 0) return min_;
+  if (permille >= 1000) return max_;
+  // 1-based rank of the order statistic, rounded up — integer arithmetic
+  // so the same (count, permille) always lands on the same rank.
+  const std::uint64_t rank = (count_ * permille + 999) / 1000;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp into the observed range: the upper edge of the max's own
+      // bucket can exceed the true maximum.
+      const std::uint64_t edge = bucket_upper_edge(i);
+      return edge > max_ ? max_ : edge;
+    }
+  }
+  return max_;
+}
+
+void PercentileSketch::merge(const PercentileSketch& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
+std::string PercentileSketch::to_string() const {
+  std::ostringstream out;
+  out << "count=" << count_ << " min=" << min() << " p50=" << p50()
+      << " p99=" << p99() << " p999=" << p999() << " max=" << max_;
+  return out.str();
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,92 @@
+// Streaming fixed-bucket latency percentile sketch (HDR-histogram style).
+//
+// The latency harness feeds millions of samples per QoS class and then
+// asks for p50/p99/p999; storing raw samples is out (memory grows with
+// the population) and sorting is out (quantiles are needed streaming).
+// The sketch buckets each integer sample log-linearly: exact buckets for
+// small values, then 32 sub-buckets per octave — every bucket spans at
+// most ~3.1% of its lower edge, so any reported quantile is within that
+// relative error of the true order statistic.
+//
+// Everything is integer arithmetic on purpose. Percentile ranks are
+// rationals (permille), bucket indexing is bit twiddling, and reported
+// values are bucket upper edges — so the same sample stream produces the
+// same bytes in BENCH_latency.json on every run, every platform, every
+// optimization level. No doubles anywhere near the data path.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace maqs::core {
+
+class PercentileSketch {
+ public:
+  /// Sub-buckets per octave above the exact range: 5 bits of mantissa,
+  /// worst-case relative bucket width 1/32 (~3.1%).
+  static constexpr std::uint32_t kMantissaBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kMantissaBits;
+  /// Values < 2*kSubBuckets land in exact unit-width buckets.
+  static constexpr std::uint64_t kExactLimit = 2 * kSubBuckets;
+  /// 64 exact buckets + 32 per octave for the remaining 58 octaves.
+  static constexpr std::size_t kBucketCount =
+      kExactLimit + (63 - kMantissaBits) * kSubBuckets;
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_index(value)];
+    ++count_;
+    if (value < min_ || count_ == 1) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Number of recorded samples.
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Value at the q = permille/1000 quantile: the upper edge of the
+  /// bucket holding the ceil(q * count)-th smallest sample (1-based), so
+  /// at least a q-fraction of samples are <= the returned value. The
+  /// extremes are exact: permille 0 reports min(), 1000 reports max().
+  /// Returns 0 on an empty sketch.
+  std::uint64_t value_at_permille(std::uint32_t permille) const noexcept;
+
+  /// Convenience spellings for the harness columns.
+  std::uint64_t p50() const noexcept { return value_at_permille(500); }
+  std::uint64_t p99() const noexcept { return value_at_permille(990); }
+  std::uint64_t p999() const noexcept { return value_at_permille(999); }
+
+  /// Bucket-wise accumulate, for merging per-shard sketches. Merge order
+  /// cannot matter: integer adds commute.
+  void merge(const PercentileSketch& other) noexcept;
+
+  /// "count=… min=… p50=… p99=… p999=… max=…" for logs and debugging.
+  std::string to_string() const;
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < kExactLimit) return static_cast<std::size_t>(value);
+    // Octave = position of the highest bit beyond the exact range; the
+    // next kMantissaBits bits pick the sub-bucket within it.
+    const std::uint32_t msb =
+        static_cast<std::uint32_t>(std::bit_width(value)) - 1;
+    const std::uint32_t octave = msb - (kMantissaBits + 1);
+    const std::uint64_t sub =
+        (value >> (msb - kMantissaBits)) - kSubBuckets;
+    return kExactLimit + octave * kSubBuckets +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Largest value mapping to `index` (the reported representative).
+  static std::uint64_t bucket_upper_edge(std::size_t index) noexcept;
+
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace maqs::core

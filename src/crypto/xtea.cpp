@@ -137,21 +137,130 @@ Block16Fn pick_block16() noexcept {
 
 const Block16Fn g_block16 = pick_block16();
 
+// ---- 32-block (256-byte) kernels ----
+//
+// The 16-block kernels above are latency-bound, not throughput-bound: the
+// round chain has a ~4-cycle dependency per half-round, and 2 interleaved
+// chains (AVX2) leave vector ports idle most cycles. Doubling the batch to
+// 32 blocks adds independent chains — 4x8 on AVX2, 2x16 on AVX-512 — so
+// the chains' latencies overlap and the same serial rounds finish in
+// roughly half the wall time per byte. Lane k still produces exactly
+// encrypt_block(in[k], key); the wire format is unchanged.
+
+void block32_v128(const Key128& key, const std::uint64_t in[32],
+                  std::uint64_t out[32]) noexcept {
+  block16_v128(key, in, out);
+  block16_v128(key, in + 16, out + 16);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("avx2"))) void block32_avx2(
+    const Key128& key, const std::uint64_t in[32],
+    std::uint64_t out[32]) noexcept {
+  u32x8 g0[4];
+  u32x8 g1[4];
+  for (int g = 0; g < 4; ++g) {
+    for (int l = 0; l < 8; ++l) {
+      g0[g][l] = static_cast<std::uint32_t>(in[g * 8 + l]);
+      g1[g][l] = static_cast<std::uint32_t>(in[g * 8 + l] >> 32);
+    }
+  }
+  std::uint32_t sum = 0;
+  for (int round = 0; round < 32; ++round) {
+    const std::uint32_t k0 = sum + key[sum & 3];
+    for (int g = 0; g < 4; ++g) {
+      g0[g] += (((g1[g] << 4) ^ (g1[g] >> 5)) + g1[g]) ^ k0;
+    }
+    sum += kDelta;
+    const std::uint32_t k1 = sum + key[(sum >> 11) & 3];
+    for (int g = 0; g < 4; ++g) {
+      g1[g] += (((g0[g] << 4) ^ (g0[g] >> 5)) + g0[g]) ^ k1;
+    }
+  }
+  for (int g = 0; g < 4; ++g) {
+    for (int l = 0; l < 8; ++l) {
+      out[g * 8 + l] = static_cast<std::uint64_t>(g0[g][l]) |
+                       (static_cast<std::uint64_t>(g1[g][l]) << 32);
+    }
+  }
+}
+
+typedef std::uint32_t u32x16 __attribute__((vector_size(64)));
+
+__attribute__((target("avx512f"))) void block32_avx512(
+    const Key128& key, const std::uint64_t in[32],
+    std::uint64_t out[32]) noexcept {
+  u32x16 a0;
+  u32x16 a1;
+  u32x16 b0;
+  u32x16 b1;
+  for (int l = 0; l < 16; ++l) {
+    a0[l] = static_cast<std::uint32_t>(in[l]);
+    a1[l] = static_cast<std::uint32_t>(in[l] >> 32);
+    b0[l] = static_cast<std::uint32_t>(in[16 + l]);
+    b1[l] = static_cast<std::uint32_t>(in[16 + l] >> 32);
+  }
+  std::uint32_t sum = 0;
+  for (int round = 0; round < 32; ++round) {
+    const std::uint32_t k0 = sum + key[sum & 3];
+    a0 += (((a1 << 4) ^ (a1 >> 5)) + a1) ^ k0;
+    b0 += (((b1 << 4) ^ (b1 >> 5)) + b1) ^ k0;
+    sum += kDelta;
+    const std::uint32_t k1 = sum + key[(sum >> 11) & 3];
+    a1 += (((a0 << 4) ^ (a0 >> 5)) + a0) ^ k1;
+    b1 += (((b0 << 4) ^ (b0 >> 5)) + b0) ^ k1;
+  }
+  for (int l = 0; l < 16; ++l) {
+    out[l] = static_cast<std::uint64_t>(a0[l]) |
+             (static_cast<std::uint64_t>(a1[l]) << 32);
+    out[16 + l] = static_cast<std::uint64_t>(b0[l]) |
+                  (static_cast<std::uint64_t>(b1[l]) << 32);
+  }
+}
+#endif
+
+using Block32Fn = void (*)(const Key128&, const std::uint64_t*,
+                           std::uint64_t*);
+
+Block32Fn pick_block32() noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f")) return block32_avx512;
+  if (__builtin_cpu_supports("avx2")) return block32_avx2;
+#endif
+  return block32_v128;
+}
+
+const Block32Fn g_block32 = pick_block32();
+
 }  // namespace
 
 void XteaCtr::apply_in_place(std::span<std::uint8_t> data) const noexcept {
-  const Block16Fn kernel = g_block16;
+  const Block16Fn kernel16 = g_block16;
+  const Block32Fn kernel32 = g_block32;
   std::uint64_t counter = 0;
   std::size_t i = 0;
-  std::uint64_t in[16];
-  std::uint64_t ks[16];
-  // Bulk path: 16 blocks (128 bytes) per kernel call, whole-word XOR.
-  // Keystream words are little-endian on the wire; on a big-endian host
-  // the byte-wise tail loop below is the (slow but correct) route.
+  std::uint64_t in[32];
+  std::uint64_t ks[32];
+  // Bulk path: 32 blocks (256 bytes) per kernel call, stepping down to a
+  // 16-block call for a mid-size tail, whole-word XOR. Keystream words are
+  // little-endian on the wire; on a big-endian host the byte-wise tail
+  // loop below is the (slow but correct) route.
   if constexpr (std::endian::native == std::endian::little) {
+    while (i + 256 <= data.size()) {
+      for (int l = 0; l < 32; ++l) in[l] = nonce_ ^ (counter + l);
+      kernel32(key_, in, ks);
+      for (int l = 0; l < 32; ++l) {
+        std::uint64_t word;
+        std::memcpy(&word, data.data() + i + 8 * l, 8);
+        word ^= ks[l];
+        std::memcpy(data.data() + i + 8 * l, &word, 8);
+      }
+      counter += 32;
+      i += 256;
+    }
     while (i + 128 <= data.size()) {
       for (int l = 0; l < 16; ++l) in[l] = nonce_ ^ (counter + l);
-      kernel(key_, in, ks);
+      kernel16(key_, in, ks);
       for (int l = 0; l < 16; ++l) {
         std::uint64_t word;
         std::memcpy(&word, data.data() + i + 8 * l, 8);
@@ -167,9 +276,9 @@ void XteaCtr::apply_in_place(std::span<std::uint8_t> data) const noexcept {
       // beats falling back to serial scalar blocks (the surplus keystream
       // is simply discarded — CTR output is positional).
       for (int l = 0; l < 16; ++l) in[l] = nonce_ ^ (counter + l);
-      kernel(key_, in, ks);
+      kernel16(key_, in, ks);
       std::uint8_t tail[128];
-      std::memcpy(tail, ks, sizeof ks);
+      std::memcpy(tail, ks, 128);
       for (std::size_t b = 0; b < left; ++b) data[i + b] ^= tail[b];
       return;
     }

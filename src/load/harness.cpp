@@ -1,0 +1,144 @@
+#include "load/harness.hpp"
+
+#include <ostream>
+#include <thread>
+#include <utility>
+
+namespace maqs::load {
+
+ShardConfig PopulationConfig::shard_config(std::uint32_t i) const {
+  ShardConfig shard;
+  shard.shard = i;
+  shard.seed = seed;  // shards decorrelate internally by shard id
+  const std::uint32_t base = shards > 0 ? clients / shards : clients;
+  const std::uint32_t remainder = shards > 0 ? clients % shards : 0;
+  shard.clients = base + (i < remainder ? 1 : 0);
+  shard.horizon = horizon;
+  shard.service_rate_rps = service_rate_rps;
+  shard.classes = classes;
+  shard.tenants = tenants;
+  shard.mmpp = mmpp;
+  shard.mmpp_tenant = mmpp_tenant;
+  shard.blob_size = blob_size;
+  shard.request_timeout = request_timeout;
+  shard.trace_sample_every = trace_sample_every;
+  return shard;
+}
+
+namespace {
+
+void merge_sched(sched::SchedStats& into, const sched::SchedStats& from) {
+  into.dispatched_inline += from.dispatched_inline;
+  into.parked += from.parked;
+  into.dispatched_queued += from.dispatched_queued;
+  into.shed_no_tokens += from.shed_no_tokens;
+  into.shed_queue_full += from.shed_queue_full;
+  into.shed_deadline += from.shed_deadline;
+  into.shed_evicted += from.shed_evicted;
+  into.overload_signals += from.overload_signals;
+  into.commands_bypassed += from.commands_bypassed;
+  if (into.classes.empty()) into.classes = from.classes;
+  else {
+    for (std::size_t i = 0;
+         i < into.classes.size() && i < from.classes.size(); ++i) {
+      into.classes[i].arrived += from.classes[i].arrived;
+      into.classes[i].dispatched += from.classes[i].dispatched;
+      into.classes[i].shed += from.classes[i].shed;
+    }
+  }
+}
+
+}  // namespace
+
+PopulationResult run_population(const PopulationConfig& config) {
+  const std::uint32_t shard_count = config.shards > 0 ? config.shards : 1;
+  PopulationResult result;
+  result.shards.resize(shard_count);
+
+  // One thread per shard. Threads may finish in any order; each writes
+  // only its own slot, and everything below merges in slot (shard-id)
+  // order, so scheduling cannot perturb the output.
+  std::vector<std::thread> threads;
+  threads.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    threads.emplace_back([&config, &result, i] {
+      result.shards[i] = run_shard(config.shard_config(i));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const ShardResult& shard : result.shards) {
+    if (result.classes.empty()) {
+      result.classes.resize(shard.classes.size());
+      for (std::size_t c = 0; c < shard.classes.size(); ++c) {
+        result.classes[c].name = shard.classes[c].name;
+      }
+    }
+    for (std::size_t c = 0;
+         c < result.classes.size() && c < shard.classes.size(); ++c) {
+      result.classes[c].merge(shard.classes[c]);
+    }
+    merge_sched(result.sched, shard.sched);
+    result.commands_ok += shard.commands_ok;
+    result.commands_error += shard.commands_error;
+    result.open_loop_sent += shard.open_loop_sent;
+  }
+  return result;
+}
+
+void write_latency_json(const PopulationConfig& config,
+                        const PopulationResult& result, std::ostream& os) {
+  // Integer-only values (virtual time is integral nanoseconds), fixed key
+  // order: same config + seed => same bytes, so the file diffs cleanly
+  // and the determinism check is a plain byte compare.
+  os << "{\n";
+  os << "  \"bench\": \"l1_population\",\n";
+  os << "  \"clients\": " << config.clients << ",\n";
+  os << "  \"shards\": " << config.shards << ",\n";
+  os << "  \"seed\": " << config.seed << ",\n";
+  os << "  \"horizon_ms\": " << config.horizon / sim::kMillisecond << ",\n";
+  os << "  \"service_rate_rps_per_shard\": "
+     << static_cast<std::uint64_t>(config.service_rate_rps) << ",\n";
+  os << "  \"classes\": [\n";
+  for (std::size_t c = 0; c < result.classes.size(); ++c) {
+    const ClassOutcome& out = result.classes[c];
+    sim::Duration budget = 0;
+    for (const sched::ClassConfig& cls : config.classes) {
+      if (cls.name == out.name) budget = cls.deadline_budget;
+    }
+    const std::uint64_t p99_ns = out.latency.p99();
+    os << "    {\"class\": \"" << out.name << "\", "
+       << "\"sent\": " << out.sent << ", "
+       << "\"ok\": " << out.ok << ", "
+       << "\"shed\": " << out.shed << ", "
+       << "\"timeout\": " << out.timeout << ", "
+       << "\"error\": " << out.error << ",\n"
+       << "     \"p50_us\": " << out.latency.p50() / 1000 << ", "
+       << "\"p99_us\": " << p99_ns / 1000 << ", "
+       << "\"p999_us\": " << out.latency.p999() / 1000 << ", "
+       << "\"max_us\": " << out.latency.max() / 1000 << ", "
+       << "\"deadline_budget_us\": " << budget / sim::kMicrosecond << ", "
+       << "\"p99_within_budget\": "
+       << (budget > 0 && p99_ns <= static_cast<std::uint64_t>(budget)
+               ? "true"
+               : "false")
+       << "}" << (c + 1 < result.classes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"commands\": {\"ok\": " << result.commands_ok
+     << ", \"error\": " << result.commands_error << "},\n";
+  os << "  \"open_loop_arrivals\": " << result.open_loop_sent << ",\n";
+  os << "  \"sched\": {"
+     << "\"dispatched_inline\": " << result.sched.dispatched_inline << ", "
+     << "\"parked\": " << result.sched.parked << ", "
+     << "\"dispatched_queued\": " << result.sched.dispatched_queued << ",\n"
+     << "    \"shed_no_tokens\": " << result.sched.shed_no_tokens << ", "
+     << "\"shed_queue_full\": " << result.sched.shed_queue_full << ", "
+     << "\"shed_deadline\": " << result.sched.shed_deadline << ", "
+     << "\"shed_evicted\": " << result.sched.shed_evicted << ",\n"
+     << "    \"overload_signals\": " << result.sched.overload_signals << ", "
+     << "\"commands_bypassed\": " << result.sched.commands_bypassed << "}\n";
+  os << "}\n";
+}
+
+}  // namespace maqs::load

@@ -1,0 +1,59 @@
+// Population harness: shards in parallel threads, merged deterministically.
+//
+// run_population() splits the client population across shards, runs each
+// shard's world on its own OS thread (shards share nothing — pools and
+// trace stacks are thread-local), then merges results strictly in
+// shard-id order. Thread completion order therefore cannot leak into the
+// output: the merged counters, latency sketches (bucket-wise commutative
+// merge) and the JSON report are byte-identical across reruns of the same
+// seed, which is what lets BENCH_latency.json be a tracked artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "load/shard.hpp"
+
+namespace maqs::load {
+
+struct PopulationConfig {
+  std::uint32_t clients = 1'000'000;
+  std::uint32_t shards = 8;
+  std::uint64_t seed = 42;
+  sim::Duration horizon = 30 * sim::kSecond;
+  /// Scheduler pacing per shard (total capacity = shards * this).
+  double service_rate_rps = 10'000.0;
+  std::vector<sched::ClassConfig> classes = default_classes();
+  std::vector<TenantSpec> tenants = default_tenants();
+  MmppConfig mmpp;
+  std::size_t mmpp_tenant = 0;
+  std::size_t blob_size = 4096;
+  sim::Duration request_timeout = 5 * sim::kSecond;
+  std::uint32_t trace_sample_every = 0;
+
+  /// The ShardConfig for shard `i` (clients split largest-remainder).
+  ShardConfig shard_config(std::uint32_t i) const;
+};
+
+struct PopulationResult {
+  /// Merged per-class outcomes, scheduler class-id order.
+  std::vector<ClassOutcome> classes;
+  /// Field-wise sum of every shard's scheduler stats.
+  sched::SchedStats sched;
+  std::uint64_t commands_ok = 0;
+  std::uint64_t commands_error = 0;
+  std::uint64_t open_loop_sent = 0;
+  /// Per-shard raw results, shard-id order (spans included when tracing).
+  std::vector<ShardResult> shards;
+};
+
+/// Runs every shard (one thread each) and merges in shard-id order.
+PopulationResult run_population(const PopulationConfig& config);
+
+/// Deterministic machine-readable report (integer-only values): the
+/// BENCH_latency.json schema CI checks — per class, sent/ok/shed/timeout/
+/// error plus p50/p99/p999/max in microseconds and the deadline verdict.
+void write_latency_json(const PopulationConfig& config,
+                        const PopulationResult& result, std::ostream& os);
+
+}  // namespace maqs::load

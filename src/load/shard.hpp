@@ -1,0 +1,96 @@
+// One population shard: a self-contained simulated world under load.
+//
+// A million clients do not fit in one event loop's wall-clock budget, so
+// the population is split into shards. Each shard owns a complete world —
+// event loop, network, server/client ORBs, QoS transports, the woven
+// compression+encryption servant, and a paced RequestScheduler — and runs
+// it to a virtual-time horizon entirely on one thread. Nothing is shared
+// between shards (buffer pools and trace stacks are thread-local), so
+// shards run in parallel OS threads and their results merge in shard-id
+// order, independent of thread scheduling.
+//
+// Determinism: a shard's behaviour is a pure function of its ShardConfig.
+// The event loop orders all activity by virtual time, every random draw
+// comes from the shard's seeded Rng, and replies arrive in loop order —
+// so a fixed (seed, shard) replays byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/percentile.hpp"
+#include "load/workload.hpp"
+#include "sched/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace maqs::load {
+
+struct ShardConfig {
+  std::uint32_t shard = 0;
+  std::uint64_t seed = 42;
+  /// Closed-loop client population of this shard.
+  std::uint32_t clients = 1000;
+  /// Virtual-time horizon; no new requests are issued past it (in-flight
+  /// ones settle during the idle drain).
+  sim::Duration horizon = 30 * sim::kSecond;
+  /// Scheduler pacing (requests per virtual second). Must be > 0 for the
+  /// overload story — an unpaced server never queues.
+  double service_rate_rps = 10'000.0;
+  /// QoS classes (scheduler order defines class ids).
+  std::vector<sched::ClassConfig> classes;
+  /// Tenant mixes; each tenant names one of `classes` via qos_class.
+  std::vector<TenantSpec> tenants;
+  /// Optional open-loop MMPP arrival stream drawn from
+  /// tenants[mmpp_tenant]'s mix (open-loop traffic does not back off).
+  MmppConfig mmpp;
+  std::size_t mmpp_tenant = 0;
+  /// Woven-operation payload size.
+  std::size_t blob_size = 4096;
+  sim::Duration request_timeout = 5 * sim::kSecond;
+  /// 0 disables tracing; n > 0 records every n-th request's causal tree.
+  std::uint32_t trace_sample_every = 0;
+};
+
+/// Per-QoS-class outcome counters plus the latency sketch (virtual
+/// nanoseconds, successful replies only).
+struct ClassOutcome {
+  std::string name;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;     ///< answered maqs/OVERLOAD
+  std::uint64_t timeout = 0;  ///< locally synthesized maqs/TIMEOUT
+  std::uint64_t error = 0;    ///< any other non-OK reply
+  core::PercentileSketch latency;
+
+  /// Bucket-wise accumulation (shard merge).
+  void merge(const ClassOutcome& other);
+};
+
+struct ShardResult {
+  std::uint32_t shard = 0;
+  /// Scheduler class-id order (same order for every shard of a run).
+  std::vector<ClassOutcome> classes;
+  sched::SchedStats sched;
+  std::uint64_t commands_ok = 0;
+  std::uint64_t commands_error = 0;
+  /// Requests issued by the open-loop MMPP stream (also counted in the
+  /// per-class outcomes above).
+  std::uint64_t open_loop_sent = 0;
+  /// Sampled spans (trace_sample_every > 0), tagged with the shard id for
+  /// the deterministic multi-shard merge.
+  std::vector<trace::Span> spans;
+};
+
+/// Runs one shard start to finish on the calling thread.
+ShardResult run_shard(const ShardConfig& config);
+
+/// The headline 3-class population: gold (weight 8, 50 ms budget),
+/// silver (weight 3, 200 ms), best_effort (weight 1, 500 ms).
+std::vector<sched::ClassConfig> default_classes();
+
+/// Tenants matching default_classes(): 15% gold / 25% silver / 60%
+/// best-effort, mixing plain, woven and command traffic.
+std::vector<TenantSpec> default_tenants();
+
+}  // namespace maqs::load

@@ -1,0 +1,87 @@
+#include "load/workload.hpp"
+
+#include <cmath>
+
+namespace maqs::load {
+
+sim::Duration ThinkTimeModel::sample(util::Rng& rng) const {
+  // Inverse-transform bounded Pareto: x = xm / u^(1/alpha), clipped at
+  // the cap. u is nudged off 0 so the tail stays bounded by the cap, not
+  // by a division blowup.
+  const double u = 1.0 - rng.next_double();  // (0, 1]
+  const double x =
+      static_cast<double>(minimum) / std::pow(u, 1.0 / alpha);
+  const double capped = std::min(x, static_cast<double>(cap));
+  const auto ticks = static_cast<sim::Duration>(capped);
+  return ticks > 0 ? ticks : 1;
+}
+
+OpKind sample_op(const TenantSpec& tenant, util::Rng& rng) {
+  double total = 0;
+  for (double w : tenant.op_mix) total += w;
+  if (total <= 0) return OpKind::kPlainAdd;
+  double pick = rng.next_double() * total;
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    pick -= tenant.op_mix[i];
+    if (pick < 0) return static_cast<OpKind>(i);
+  }
+  return OpKind::kPlainAdd;
+}
+
+std::vector<std::uint32_t> split_population(
+    const std::vector<TenantSpec>& tenants, std::uint32_t total_clients) {
+  std::vector<std::uint32_t> out(tenants.size(), 0);
+  if (tenants.empty()) return out;
+  double total_share = 0;
+  for (const TenantSpec& t : tenants) total_share += t.population_share;
+  if (total_share <= 0) {
+    out[0] = total_clients;
+    return out;
+  }
+  std::uint32_t assigned = 0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        static_cast<double>(total_clients) *
+        (tenants[i].population_share / total_share));
+    assigned += out[i];
+  }
+  // Exactness: hand the rounding remainder to the first tenant.
+  out[0] += total_clients - assigned;
+  return out;
+}
+
+sim::Duration MmppArrivals::next_arrival(util::Rng& rng) {
+  sim::Duration waited = 0;
+  for (;;) {
+    const double rate = bursting_ ? config_.burst_rps : config_.calm_rps;
+    if (state_left_ <= 0) {
+      const sim::Duration dwell_mean =
+          bursting_ ? config_.burst_dwell_mean : config_.calm_dwell_mean;
+      state_left_ = std::max<sim::Duration>(
+          1, static_cast<sim::Duration>(
+                 rng.exponential(static_cast<double>(dwell_mean))));
+    }
+    if (rate <= 0) {
+      // Silent state: burn the dwell and flip.
+      waited += state_left_;
+      state_left_ = 0;
+      bursting_ = !bursting_;
+      continue;
+    }
+    const auto gap = static_cast<sim::Duration>(
+        rng.exponential(static_cast<double>(sim::kSecond) / rate));
+    const sim::Duration step = gap > 0 ? gap : 1;
+    if (step <= state_left_) {
+      state_left_ -= step;
+      return waited + step;
+    }
+    // The modulating chain flips before the drawn arrival: consume the
+    // dwell and redraw in the next state (memorylessness makes the
+    // truncated redraw exact).
+    waited += state_left_;
+    state_left_ = 0;
+    bursting_ = !bursting_;
+  }
+}
+
+}  // namespace maqs::load

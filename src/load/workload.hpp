@@ -1,0 +1,103 @@
+// Workload generation for population-scale simulation runs.
+//
+// The paper's QoS argument only bites under load: "resource-dependent"
+// characteristics (§2.2) are exactly the ones that degrade when a million
+// clients contend for a server. This module generates that load — per
+// tenant, per QoS class, from seeded deterministic PRNGs:
+//
+//   - Closed-loop clients: issue a request, wait for the reply, think,
+//     repeat. Think times are heavy-tailed (bounded Pareto) — real user
+//     populations are bursty at every time scale, and an exponential
+//     think model would understate queue buildup.
+//   - Open-loop arrivals: a 2-state MMPP (Markov-modulated Poisson
+//     process) flips between a calm and a burst rate with exponential
+//     dwell times. Open-loop traffic does not slow down when the server
+//     queues — that is what pushes the scheduler into its shedding regime.
+//   - Per-tenant mixes: each tenant maps to one QoS class and draws its
+//     operations from a weighted mix of plain calls (add/echo), woven
+//     calls (compressed+encrypted blob) and control-plane commands.
+//
+// Every draw comes from the shard's util::Rng; a fixed (seed, shard)
+// reproduces the identical arrival sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace maqs::load {
+
+/// Operation kinds a tenant's clients can issue.
+enum class OpKind : std::uint8_t {
+  kPlainAdd = 0,   ///< tiny request/reply, no transforms
+  kPlainEcho = 1,  ///< small string round trip
+  kWovenBlob = 2,  ///< 4k blob through compression+encryption weaving
+  kCommand = 3,    ///< control-plane ping (bypasses the request queues)
+};
+inline constexpr std::size_t kOpKindCount = 4;
+
+/// Bounded Pareto think-time model. alpha in (1, 2] gives the heavy tail;
+/// the mean of the unbounded law is minimum * alpha / (alpha - 1).
+struct ThinkTimeModel {
+  sim::Duration minimum = 2 * sim::kSecond;
+  sim::Duration cap = 120 * sim::kSecond;
+  double alpha = 1.5;
+
+  sim::Duration sample(util::Rng& rng) const;
+};
+
+/// One tenant: a QoS class, a share of the client population, an
+/// operation mix and a think-time law.
+struct TenantSpec {
+  std::string name;
+  /// QoS class this tenant's requests are tagged with (classifier rule 1).
+  std::string qos_class;
+  /// Relative share of the closed-loop population.
+  double population_share = 1.0;
+  /// Weights over OpKind (index order); zero-sum mixes default to add.
+  double op_mix[kOpKindCount] = {1.0, 0.0, 0.0, 0.0};
+  ThinkTimeModel think;
+};
+
+/// Draws an OpKind from the tenant's mix.
+OpKind sample_op(const TenantSpec& tenant, util::Rng& rng);
+
+/// Splits `total_clients` across tenants by population share, largest
+/// remainder to the earliest tenant — deterministic and exact (the parts
+/// sum to total_clients).
+std::vector<std::uint32_t> split_population(
+    const std::vector<TenantSpec>& tenants, std::uint32_t total_clients);
+
+/// 2-state Markov-modulated Poisson arrival process.
+struct MmppConfig {
+  double calm_rps = 0.0;   ///< arrival rate in the calm state (0 = off)
+  double burst_rps = 0.0;  ///< arrival rate in the burst state
+  sim::Duration calm_dwell_mean = 2 * sim::kSecond;
+  sim::Duration burst_dwell_mean = 300 * sim::kMillisecond;
+
+  bool enabled() const noexcept { return calm_rps > 0 || burst_rps > 0; }
+};
+
+/// Stateful MMPP stream: next_arrival() returns the delay until the next
+/// arrival, advancing the modulating chain as virtual time passes.
+class MmppArrivals {
+ public:
+  explicit MmppArrivals(MmppConfig config) : config_(config) {}
+
+  /// Delay from the previous arrival to the next one. Always > 0.
+  sim::Duration next_arrival(util::Rng& rng);
+
+  bool bursting() const noexcept { return bursting_; }
+
+ private:
+  MmppConfig config_;
+  bool bursting_ = false;
+  /// Virtual time left in the current modulating state (consumed by
+  /// arrivals as they pass through it).
+  sim::Duration state_left_ = 0;
+};
+
+}  // namespace maqs::load

@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -306,10 +307,12 @@ class Orb {
   RequestRouter* router_ = nullptr;
   trace::TraceRecorder* trace_recorder_ = nullptr;
   std::uint64_t next_request_id_ = 1;
-  // Flat store: only a handful of requests are in flight at once, so a
-  // linear scan beats a node-based map and reuses its capacity without
-  // allocating per request.
+  // Flat store plus an id -> slot index. The vector keeps entries
+  // contiguous (capacity reuse, cheap teardown iteration); the index keeps
+  // reply matching O(1) — population runs hold thousands of requests in
+  // flight, where the old linear scan went quadratic per reply wave.
   std::vector<Pending> pending_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_index_;
   sim::Duration default_timeout_ = 2 * sim::kSecond;
   OrbStats stats_;
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "cdr/decoder.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace maqs::orb {
 
@@ -64,6 +65,12 @@ util::Bytes StubBase::invoke_operation(const std::string& operation,
   info.request.operation = operation;
   info.request.body = std::move(args);
   orb_.invoke_with(info);
+  // The (possibly mediator-transformed) argument buffer is dead once the
+  // attempt loop returns — the wire frame was encoded from it. Recycle it
+  // before the status check: on the woven path it is the largest buffer of
+  // the whole request cycle, and letting it die with this frame forces the
+  // server's result encode to malloc a fresh one every single request.
+  util::BufferPool::instance().release(std::move(info.request.body));
   raise_for_status(info.reply);
   return std::move(info.reply.body);
 }

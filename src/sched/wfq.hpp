@@ -10,13 +10,26 @@
 // competitor advances the clock toward it. Within a class, requests are
 // served earliest-deadline-first (deadline = arrival + class budget).
 //
+// Tags are 64-bit fixed-point (kTagOne = 1.0), not doubles: a double
+// virtual clock grows with every service until adding a small stride
+// (1/weight for a heavily weighted class) falls below the clock's ulp and
+// fairness silently drifts — exactly the regime a population run with
+// millions of services enters. Integer tags make every tag update exact,
+// and renormalization is exact too: whenever the queue goes idle the
+// clock and all per-class history reset to zero, and during an unbounded
+// busy period the common base (the clock) is subtracted out of every tag
+// once the clock crosses a threshold — backlogged finish tags are always
+// >= the clock, so the subtraction preserves every comparison bit-for-bit
+// and tags never approach overflow.
+//
 // Everything is deterministic: ties on the finish tag break by class id,
-// ties on the deadline by a global admission sequence number, and the
-// virtual clock is plain double arithmetic over the same inputs each run —
-// a fixed-seed simulation replays the exact service order.
+// ties on the deadline by a global admission sequence number, and tag
+// arithmetic is integer arithmetic over the same inputs each run — a
+// fixed-seed simulation replays the exact service order.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -30,11 +43,27 @@ namespace maqs::sched {
 template <typename Payload>
 class WeightedFairQueue {
  public:
+  /// Fixed-point tag arithmetic: kTagOne represents a virtual-time unit of
+  /// 1.0, so a class of weight w advances by ~kTagOne/w per service.
+  using Tag = std::uint64_t;
+  static constexpr Tag kTagOne = Tag{1} << 20;
+  /// Stride bounds: a zero/degenerate weight must not produce a zero
+  /// stride (the class would freeze the clock) nor one so large that a
+  /// few strides overflow. 2^44 supports weight ratios beyond 10^7 while
+  /// leaving ~2^19 services of headroom below the renorm threshold.
+  static constexpr Tag kMaxStride = Tag{1} << 44;
+  /// Renormalize (subtract the clock out of every tag) once the clock
+  /// crosses this; far below overflow, far above any single stride.
+  static constexpr Tag kRenormThreshold = Tag{1} << 62;
+
   explicit WeightedFairQueue(std::vector<double> weights) {
     classes_.reserve(weights.size());
     for (double w : weights) {
       ClassQueue q;
-      q.stride = 1.0 / std::max(w, 1e-9);
+      const double stride =
+          std::ceil(static_cast<double>(kTagOne) / std::max(w, 1e-9));
+      q.stride = static_cast<Tag>(
+          std::clamp(stride, 1.0, static_cast<double>(kMaxStride)));
       classes_.push_back(std::move(q));
     }
   }
@@ -52,6 +81,8 @@ class WeightedFairQueue {
   std::size_t class_size(std::size_t cls) const noexcept {
     return classes_[cls].items.size();
   }
+  /// Current virtual clock (fixed-point; observability and tests).
+  Tag virtual_clock() const noexcept { return virtual_clock_; }
 
   void push(std::size_t cls, sim::TimePoint deadline, Payload payload) {
     ClassQueue& q = classes_[cls];
@@ -81,6 +112,7 @@ class WeightedFairQueue {
     virtual_clock_ = std::max(virtual_clock_, q.finish_tag);
     q.last_finish = q.finish_tag;
     q.finish_tag += q.stride;
+    if (virtual_clock_ >= kRenormThreshold) renormalize();
     return take(pick, 0);
   }
 
@@ -113,10 +145,26 @@ class WeightedFairQueue {
   };
   struct ClassQueue {
     std::vector<Item> items;  // heap via LaterFirst (min on front)
-    double stride = 1.0;      // 1/weight
-    double finish_tag = 0.0;  // valid while backlogged
-    double last_finish = 0.0;
+    Tag stride = kTagOne;     // ~kTagOne/weight, in [1, kMaxStride]
+    Tag finish_tag = 0;       // valid while backlogged
+    Tag last_finish = 0;
   };
+
+  /// Subtracts the virtual clock out of every tag. Exact: backlogged
+  /// finish tags are >= the clock by construction (the clock only ever
+  /// rises to a popped minimum tag), so their differences — the only thing
+  /// pop() compares — are preserved untouched; last-finish values are
+  /// <= the clock and saturate to 0, which leaves max(clock, last_finish)
+  /// unchanged at the new origin. Idle classes' stale finish tags are
+  /// dead values (recomputed on the next push) and just saturate.
+  void renormalize() noexcept {
+    const Tag base = virtual_clock_;
+    virtual_clock_ = 0;
+    for (ClassQueue& q : classes_) {
+      q.finish_tag = q.finish_tag > base ? q.finish_tag - base : 0;
+      q.last_finish = q.last_finish > base ? q.last_finish - base : 0;
+    }
+  }
 
   Popped take(std::size_t cls, std::size_t index) {
     ClassQueue& q = classes_[cls];
@@ -136,11 +184,21 @@ class WeightedFairQueue {
       std::make_heap(q.items.begin(), q.items.end(), LaterFirst{});
     }
     --size_;
+    // The queue going fully idle ends the busy period: no class deserves
+    // credit or debt across the gap, so the virtual clock and all history
+    // reset — the precision-preserving twin of the busy-period renorm.
+    if (size_ == 0) {
+      virtual_clock_ = 0;
+      for (ClassQueue& queue : classes_) {
+        queue.finish_tag = 0;
+        queue.last_finish = 0;
+      }
+    }
     return out;
   }
 
   std::vector<ClassQueue> classes_;
-  double virtual_clock_ = 0.0;
+  Tag virtual_clock_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t size_ = 0;
 };

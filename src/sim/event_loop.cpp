@@ -32,8 +32,15 @@ bool EventLoop::cancel(EventId id) {
   // large short-lived buffers — the resulting per-request page-fault churn
   // costs far more than the tombstones (observed 2.5x on the woven
   // bench_f4 path at a threshold of 64).
-  if (inserted && cancelled_ids_.size() > 1024 &&
-      cancelled_ids_.size() * 2 > queue_.size()) {
+  // The ratio test alone is not enough: with a large *live* backlog (a
+  // population world keeps one armed far-future timer per client) the
+  // queue size drags the purge threshold up with it, and a long-horizon
+  // schedule-and-cancel loop grows the set to half the population before
+  // ever compacting. kMaxTombstones caps the set absolutely; the O(queue)
+  // sweep then amortizes to O(queue / kMaxTombstones) per cancel.
+  if (inserted && ((cancelled_ids_.size() > 1024 &&
+                    cancelled_ids_.size() * 2 > queue_.size()) ||
+                   cancelled_ids_.size() > kMaxTombstones)) {
     purge_cancelled();
   }
   return inserted;

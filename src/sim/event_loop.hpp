@@ -43,10 +43,25 @@ class EventLoop {
   /// existed. Cancelling during execution of the event itself is a no-op.
   bool cancel(EventId id);
 
-  /// Number of pending (non-cancelled) events.
+  /// Number of pending (non-cancelled) events. Clamped: cancelling ids
+  /// that already ran leaves stale tombstones which may momentarily
+  /// outnumber queue entries.
   std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_ids_.size();
+    const std::size_t tombs = cancelled_ids_.size();
+    return queue_.size() > tombs ? queue_.size() - tombs : 0;
   }
+
+  /// Cancelled-but-uncollected tombstones (observability; bounded by
+  /// kMaxTombstones + 1 at all times).
+  std::size_t cancelled_backlog() const noexcept {
+    return cancelled_ids_.size();
+  }
+
+  /// Hard ceiling on tombstone accumulation: cancel() compacts whenever
+  /// the set grows past this, independent of queue size, so a world with
+  /// a huge *live* backlog (a million armed client timers) cannot drag
+  /// the ratio-based purge threshold up with it.
+  static constexpr std::size_t kMaxTombstones = 4096;
 
   /// Runs events until the queue is empty. Returns the number executed.
   std::size_t run_until_idle();

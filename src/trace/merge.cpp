@@ -1,0 +1,43 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace maqs::trace {
+
+std::vector<Span> merge_spans(
+    const std::vector<const TraceRecorder*>& shards) {
+  std::vector<Span> all;
+  std::size_t total = 0;
+  for (const TraceRecorder* recorder : shards) {
+    if (recorder != nullptr) total += recorder->span_count();
+  }
+  all.reserve(total);
+  for (const TraceRecorder* recorder : shards) {
+    if (recorder == nullptr) continue;
+    for (Span& span : recorder->spans()) {
+      all.push_back(std::move(span));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.span_id < b.span_id;
+  });
+  return all;
+}
+
+void export_merged_chrome_trace(
+    const std::vector<const TraceRecorder*>& shards, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : merge_spans(shards)) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    detail::write_chrome_event(os, span);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace maqs::trace

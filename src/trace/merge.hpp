@@ -1,0 +1,37 @@
+// Deterministic merge of per-shard trace recorders.
+//
+// A sharded population run gives every parallel world its own
+// TraceRecorder (tagged via set_shard()); each one is deterministic in
+// isolation because it timestamps off its shard's virtual clock and
+// allocates ids from per-recorder counters. The only nondeterminism left
+// is *completion order* — which thread finishes first. The merge erases
+// it: spans are ordered by a canonical key that depends only on recorded
+// data, never on wall-clock arrival, so a fixed-seed run exports byte-
+// identical merged traces no matter how the OS schedules the shards.
+//
+// Canonical order: (start time, shard, span id). Start-time-major keeps
+// the merged file a readable global timeline; shard and span id (unique
+// within a shard) make the key total. Within one shard this refines to
+// the shard's own causal order, since span ids are allocated
+// monotonically.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace maqs::trace {
+
+/// Retained spans of all `shards`, in canonical merged order. Recorder
+/// pointers may arrive in any order (e.g. thread completion order); the
+/// result does not depend on it.
+std::vector<Span> merge_spans(const std::vector<const TraceRecorder*>& shards);
+
+/// chrome://tracing JSON of the canonical merge: each shard is a pid
+/// (shard + 1), each trace a tid within it. Byte-deterministic for a
+/// fixed set of recorded spans.
+void export_merged_chrome_trace(
+    const std::vector<const TraceRecorder*>& shards, std::ostream& os);
+
+}  // namespace maqs::trace

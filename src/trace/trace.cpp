@@ -88,6 +88,7 @@ void TraceRecorder::record(TraceId trace_id, SpanId span_id, SpanId parent_id,
   span.trace_id = trace_id;
   span.span_id = span_id;
   span.parent_id = parent_id;
+  span.shard = shard_;
   span.name = name;
   span.detail = std::move(detail);
   span.start = start;
@@ -162,34 +163,46 @@ void write_micros(std::ostream& os, sim::TimePoint t) {
 
 }  // namespace
 
+namespace detail {
+
+void write_chrome_event(std::ostream& os, const Span& span) {
+  os << "{\"name\":\"";
+  write_json_escaped(os, span.name);
+  os << "\",\"cat\":\"maqs\",\"ph\":\"X\",\"ts\":";
+  write_micros(os, span.start);
+  os << ",\"dur\":";
+  write_micros(os, span.duration());
+  // One chrome "process" per shard and one "thread" per trace keeps
+  // shards and concurrent traces on separate rows of the timeline.
+  os << ",\"pid\":" << span.shard + 1 << ",\"tid\":" << span.trace_id;
+  os << ",\"args\":{\"trace\":" << span.trace_id
+     << ",\"span\":" << span.span_id << ",\"parent\":" << span.parent_id;
+  if (span.shard != 0) {
+    os << ",\"shard\":" << span.shard;
+  }
+  if (!span.detail.empty()) {
+    os << ",\"detail\":\"";
+    write_json_escaped(os, span.detail);
+    os << "\"";
+  }
+  if (!span.error.empty()) {
+    os << ",\"error\":\"";
+    write_json_escaped(os, span.error);
+    os << "\"";
+  }
+  os << "}}";
+}
+
+}  // namespace detail
+
 void TraceRecorder::export_chrome_trace(std::ostream& os) const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const Span& span : spans()) {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"";
-    write_json_escaped(os, span.name);
-    os << "\",\"cat\":\"maqs\",\"ph\":\"X\",\"ts\":";
-    write_micros(os, span.start);
-    os << ",\"dur\":";
-    write_micros(os, span.duration());
-    // One chrome "thread" per trace keeps concurrent traces on separate
-    // rows of the timeline.
-    os << ",\"pid\":1,\"tid\":" << span.trace_id;
-    os << ",\"args\":{\"trace\":" << span.trace_id
-       << ",\"span\":" << span.span_id << ",\"parent\":" << span.parent_id;
-    if (!span.detail.empty()) {
-      os << ",\"detail\":\"";
-      write_json_escaped(os, span.detail);
-      os << "\"";
-    }
-    if (!span.error.empty()) {
-      os << ",\"error\":\"";
-      write_json_escaped(os, span.error);
-      os << "\"";
-    }
-    os << "}}";
+    os << "\n";
+    detail::write_chrome_event(os, span);
   }
   os << "\n]}\n";
 }
@@ -262,9 +275,10 @@ void TraceRecorder::dump_tree(std::ostream& os) const {
 // ---- SpanScope ----
 
 namespace {
-/// Innermost recording scope. Single-threaded simulator: a plain global
-/// stack, pushed/popped in strict LIFO order even across nested pumping.
-SpanScope* g_top = nullptr;
+/// Innermost recording scope, pushed/popped in strict LIFO order even
+/// across nested pumping. Per-thread: every simulation shard is its own
+/// single-threaded world, and scopes must never leak across shards.
+thread_local SpanScope* g_top = nullptr;
 }  // namespace
 
 SpanScope::SpanScope(const char* name, std::string_view detail) {

@@ -88,6 +88,9 @@ struct Span {
   TraceId trace_id = 0;
   SpanId span_id = 0;
   SpanId parent_id = 0;  // 0 = root
+  /// Simulation shard that produced the span (recorder's shard id);
+  /// shard 0 is the default single-world case.
+  std::uint32_t shard = 0;
   const char* name = "";
   std::string detail;
   sim::TimePoint start = 0;
@@ -125,6 +128,14 @@ class TraceRecorder {
   std::uint32_t sample_every() const noexcept { return sample_every_; }
 
   sim::TimePoint now() const noexcept { return loop_.now(); }
+
+  /// Tags every span this recorder produces with a shard id. A sharded
+  /// population run gives each parallel world its own recorder and a
+  /// distinct shard id; the merge (trace/merge.hpp) then orders spans by
+  /// shard regardless of thread completion order. Exported as the chrome
+  /// pid (shard + 1), so each shard gets its own process row.
+  void set_shard(std::uint32_t shard) noexcept { shard_ = shard; }
+  std::uint32_t shard() const noexcept { return shard_; }
 
   /// Mints the context for a new trace (stub-side). The returned context
   /// has a fresh trace id and no parent span; check sampled() before
@@ -178,6 +189,7 @@ class TraceRecorder {
   std::vector<Span> ring_;   // ring once size() == capacity_
   std::size_t ring_head_ = 0;  // next slot to overwrite when full
   bool enabled_ = false;
+  std::uint32_t shard_ = 0;
   std::uint32_t sample_every_ = 1;
   TraceId next_trace_id_ = 1;
   SpanId next_span_id_ = 1;
@@ -256,6 +268,12 @@ void note_error(std::string_view what);
 /// after checking tracing_active(), preserving the zero-cost-when-off
 /// discipline.
 void point(const char* name, std::string detail);
+
+namespace detail {
+/// One chrome "X" event for `span` (no surrounding array punctuation).
+/// Shared by TraceRecorder::export_chrome_trace and the multi-shard merge.
+void write_chrome_event(std::ostream& os, const Span& span);
+}  // namespace detail
 
 /// The re-attach twin of point(): records a zero-duration span parented to
 /// an explicit context (typically decoded off a request's "qos.trace" wire

@@ -3,21 +3,30 @@
 namespace maqs::util {
 
 BufferPool& BufferPool::instance() {
-  static BufferPool pool;
+  static thread_local BufferPool pool;
   return pool;
 }
 
 Bytes BufferPool::acquire(std::size_t size_hint) {
-  // Newest-first: the most recently released buffer is the most likely to
-  // be cache-warm and correctly sized for the current traffic pattern.
+  // Best-fit, newest among equals: the smallest pooled buffer that still
+  // fits. Newest-first capacity-fit looks attractive (cache-warm), but it
+  // hands the largest buffers to the smallest requests; on a request cycle
+  // whose one big acquire runs *after* several small ones, the big buffers
+  // are always checked out by the time the big acquire arrives and it
+  // mallocs afresh every request. Best-fit keeps large capacities alive
+  // for large hints at the cost of scanning all (<= kMaxPooled) entries.
+  std::size_t best = free_.size();
   for (std::size_t i = free_.size(); i-- > 0;) {
-    if (free_[i].capacity() >= size_hint) {
-      Bytes out = std::move(free_[i]);
-      if (i + 1 != free_.size()) free_[i] = std::move(free_.back());
-      free_.pop_back();
-      ++hits_;
-      return out;
-    }
+    const std::size_t cap = free_[i].capacity();
+    if (cap < size_hint) continue;
+    if (best == free_.size() || cap < free_[best].capacity()) best = i;
+  }
+  if (best != free_.size()) {
+    Bytes out = std::move(free_[best]);
+    if (best + 1 != free_.size()) free_[best] = std::move(free_.back());
+    free_.pop_back();
+    ++hits_;
+    return out;
   }
   ++misses_;
   Bytes out;

@@ -1,10 +1,11 @@
-// Process-wide recycling pool for byte buffers.
+// Per-thread recycling pool for byte buffers.
 //
 // The invocation hot path creates and destroys one util::Bytes per layer
 // crossing (wire frames, decoded bodies, transform arena slabs). Payload
 // sizes are stable in steady state, so a small free list turns nearly all
-// of that churn into capacity reuse. Single-threaded by design, like the
-// simulator that hosts it.
+// of that churn into capacity reuse. instance() is thread-local: each
+// simulation shard is its own single-threaded world, so pools need no
+// locks and buffers never migrate between shards.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +17,7 @@ namespace maqs::util {
 
 class BufferPool {
  public:
+  /// This thread's pool (one per thread — see file comment).
   static BufferPool& instance();
 
   /// Returns an empty buffer with capacity >= size_hint — recycled when a

@@ -3,8 +3,10 @@
 namespace maqs::trace_detail {
 
 namespace {
-// Single-threaded discrete-event simulator: one process-wide slot.
-std::uint64_t g_active_trace_id = 0;
+// One slot per thread: each simulation shard runs its own event loop on
+// its own thread, and an error raised on shard 3 must not stamp shard 5's
+// trace id.
+thread_local std::uint64_t g_active_trace_id = 0;
 }  // namespace
 
 std::uint64_t active_trace_id() noexcept { return g_active_trace_id; }

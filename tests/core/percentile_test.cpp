@@ -1,0 +1,137 @@
+// PercentileSketch vs exact order statistics on known distributions.
+#include "core/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maqs::core {
+namespace {
+
+// Exact quantile with the sketch's own rank convention (1-based,
+// ceil(q*n)), so comparisons isolate bucketing error only.
+std::uint64_t exact_permille(std::vector<std::uint64_t> sorted,
+                             std::uint32_t permille) {
+  const std::uint64_t rank =
+      (sorted.size() * permille + 999) / 1000;
+  return sorted[static_cast<std::size_t>(rank == 0 ? 0 : rank - 1)];
+}
+
+TEST(PercentileSketch, EmptyAndSingleSample) {
+  PercentileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.p50(), 0u);
+  EXPECT_EQ(sketch.value_at_permille(999), 0u);
+
+  sketch.record(42);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.min(), 42u);
+  EXPECT_EQ(sketch.max(), 42u);
+  EXPECT_EQ(sketch.p50(), 42u);
+  EXPECT_EQ(sketch.p999(), 42u);
+}
+
+TEST(PercentileSketch, SmallValuesAreExact) {
+  // Everything below kExactLimit sits in unit-width buckets: quantiles of
+  // 1..100 come back exactly (values above 64 span 2-wide buckets, but
+  // their upper edges coincide with odd sample values; p99 of 1..100 is
+  // 99 on the nose).
+  PercentileSketch sketch;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    sketch.record(v);
+    values.push_back(v);
+  }
+  EXPECT_EQ(sketch.min(), 1u);
+  EXPECT_EQ(sketch.max(), 100u);
+  EXPECT_EQ(sketch.p50(), exact_permille(values, 500));
+  EXPECT_EQ(sketch.p99(), exact_permille(values, 990));
+  // Rank 100 lands in the [100,101] bucket; the clamp keeps the report
+  // inside the observed range.
+  EXPECT_EQ(sketch.p999(), 100u);
+}
+
+TEST(PercentileSketch, RelativeErrorBoundOnUniformAndHeavyTail) {
+  // Two deterministic streams: uniform over [1, 2^20] and an exponential
+  // (mean 50k, the shape of simulated latencies). Every reported quantile
+  // must sit within one bucket width — 1/32 relative — of the exact order
+  // statistic, and must never understate it (upper-edge convention).
+  util::Rng rng(20260808);
+  std::vector<std::uint64_t> uniform;
+  std::vector<std::uint64_t> heavy;
+  PercentileSketch uniform_sketch;
+  PercentileSketch heavy_sketch;
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t u = 1 + rng.next_below(std::uint64_t{1} << 20);
+    uniform.push_back(u);
+    uniform_sketch.record(u);
+    const std::uint64_t e =
+        1 + static_cast<std::uint64_t>(rng.exponential(50'000.0));
+    heavy.push_back(e);
+    heavy_sketch.record(e);
+  }
+  std::sort(uniform.begin(), uniform.end());
+  std::sort(heavy.begin(), heavy.end());
+  for (std::uint32_t pm : {100u, 250u, 500u, 900u, 990u, 999u}) {
+    SCOPED_TRACE(pm);
+    const std::uint64_t u_exact = exact_permille(uniform, pm);
+    const std::uint64_t u_got = uniform_sketch.value_at_permille(pm);
+    EXPECT_GE(u_got, u_exact);
+    EXPECT_LE(u_got, u_exact + u_exact / 32 + 1);
+    const std::uint64_t h_exact = exact_permille(heavy, pm);
+    const std::uint64_t h_got = heavy_sketch.value_at_permille(pm);
+    EXPECT_GE(h_got, h_exact);
+    EXPECT_LE(h_got, h_exact + h_exact / 32 + 1);
+  }
+  // Quantiles are monotone in q by construction.
+  EXPECT_LE(heavy_sketch.p50(), heavy_sketch.p99());
+  EXPECT_LE(heavy_sketch.p99(), heavy_sketch.p999());
+  EXPECT_LE(heavy_sketch.p999(), heavy_sketch.max());
+}
+
+TEST(PercentileSketch, MergeIsOrderIndependentAndLossless) {
+  // Shard the same stream four ways; merging the shards in any order must
+  // reproduce the unsharded sketch's every answer (bucket adds commute).
+  util::Rng rng(7);
+  PercentileSketch whole;
+  PercentileSketch shards[4];
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = rng.next_below(std::uint64_t{1} << 30);
+    whole.record(v);
+    shards[i % 4].record(v);
+  }
+  PercentileSketch forward;
+  for (const auto& shard : shards) forward.merge(shard);
+  PercentileSketch backward;
+  for (int s = 3; s >= 0; --s) backward.merge(shards[s]);
+
+  EXPECT_EQ(forward.count(), whole.count());
+  EXPECT_EQ(backward.count(), whole.count());
+  EXPECT_EQ(forward.min(), whole.min());
+  EXPECT_EQ(forward.max(), whole.max());
+  for (std::uint32_t pm = 0; pm <= 1000; pm += 25) {
+    ASSERT_EQ(forward.value_at_permille(pm), whole.value_at_permille(pm))
+        << "permille " << pm;
+    ASSERT_EQ(backward.value_at_permille(pm), whole.value_at_permille(pm))
+        << "permille " << pm;
+  }
+}
+
+TEST(PercentileSketch, HugeValuesDoNotOverflowIndexing) {
+  PercentileSketch sketch;
+  sketch.record(0);
+  sketch.record(~std::uint64_t{0});
+  sketch.record(std::uint64_t{1} << 63);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.min(), 0u);
+  EXPECT_EQ(sketch.max(), ~std::uint64_t{0});
+  EXPECT_EQ(sketch.value_at_permille(1000), ~std::uint64_t{0});
+  EXPECT_LE(sketch.p50(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace maqs::core

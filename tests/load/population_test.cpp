@@ -1,0 +1,129 @@
+// Integration tests for the population engine: small worlds, full stack
+// (woven servant, paced scheduler, async clients, shard threads, merge).
+#include "load/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/merge.hpp"
+
+namespace maqs::load {
+namespace {
+
+/// A population small enough for test latency but busy enough to exercise
+/// every path: ~overloaded paced server, woven + command traffic.
+PopulationConfig small_config() {
+  PopulationConfig config;
+  config.clients = 400;
+  config.shards = 2;
+  config.seed = 7;
+  config.horizon = 3 * sim::kSecond;
+  config.service_rate_rps = 300;
+  return config;
+}
+
+std::string render(const PopulationConfig& config,
+                   const PopulationResult& result) {
+  std::ostringstream os;
+  write_latency_json(config, result, os);
+  return os.str();
+}
+
+TEST(Population, SameSeedRunsProduceByteIdenticalReports) {
+  const PopulationConfig config = small_config();
+  const std::string first = render(config, run_population(config));
+  const std::string second = render(config, run_population(config));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"bench\": \"l1_population\""), std::string::npos);
+}
+
+TEST(Population, AllTrafficKindsFlowAndCommandsBypassTheQueues) {
+  PopulationConfig config = small_config();
+  config.horizon = 5 * sim::kSecond;
+  // Fatten the gold tenant's command share so the short window reliably
+  // draws control-plane traffic.
+  config.tenants[0].op_mix[3] = 0.3;
+  const PopulationResult result = run_population(config);
+  ASSERT_EQ(result.classes.size(), 3u);
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_ok = 0;
+  for (const ClassOutcome& out : result.classes) {
+    total_sent += out.sent;
+    total_ok += out.ok;
+    // Conservation: every sent request got exactly one classification.
+    EXPECT_EQ(out.sent, out.ok + out.shed + out.timeout + out.error);
+  }
+  EXPECT_GT(total_sent, 0u);
+  EXPECT_GT(total_ok, 0u);
+  // The gold tenant's 5% command mix went through the control plane.
+  EXPECT_GT(result.commands_ok, 0u);
+  EXPECT_GT(result.sched.commands_bypassed, 0u);
+  EXPECT_EQ(result.commands_error, 0u);
+}
+
+TEST(Population, GoldHoldsItsDeadlineBudgetWhileBestEffortSheds) {
+  PopulationConfig config;
+  config.clients = 1500;
+  config.shards = 1;
+  config.seed = 42;
+  config.horizon = 8 * sim::kSecond;
+  // Offered load (~1500 clients / ~6 s think) well above capacity.
+  config.service_rate_rps = 150;
+  const PopulationResult result = run_population(config);
+
+  ASSERT_EQ(result.classes.size(), 3u);
+  const ClassOutcome& gold = result.classes[0];
+  const ClassOutcome& best_effort = result.classes[2];
+  ASSERT_EQ(gold.name, "gold");
+  ASSERT_EQ(best_effort.name, "best_effort");
+
+  EXPECT_GT(gold.ok, 0u);
+  // WFQ weight 8 + 50 ms deadline: the paid class rides out the overload.
+  EXPECT_LE(gold.latency.p99(),
+            static_cast<std::uint64_t>(50 * sim::kMillisecond));
+  // Best effort takes the hit — the scheduler shed real volume there.
+  EXPECT_GT(best_effort.shed, 0u);
+  EXPECT_GT(best_effort.shed, gold.shed);
+  EXPECT_GT(result.sched.total_shed(), 0u);
+  EXPECT_GT(result.sched.parked, 0u);
+}
+
+TEST(Population, OpenLoopMmppStreamKeepsArrivingUnderBackpressure) {
+  PopulationConfig config = small_config();
+  config.mmpp.calm_rps = 30;
+  config.mmpp.burst_rps = 600;
+  config.mmpp_tenant = 2;  // batch tenant -> best_effort class
+  const PopulationResult result = run_population(config);
+  EXPECT_GT(result.open_loop_sent, 0u);
+}
+
+TEST(Population, TraceSamplingTagsSpansWithTheirShard) {
+  PopulationConfig config = small_config();
+  config.trace_sample_every = 5;
+  const PopulationResult result = run_population(config);
+  ASSERT_EQ(result.shards.size(), 2u);
+  std::size_t spans_seen = 0;
+  for (const ShardResult& shard : result.shards) {
+    for (const trace::Span& span : shard.spans) {
+      ++spans_seen;
+      EXPECT_EQ(span.shard, shard.shard);
+    }
+  }
+  EXPECT_GT(spans_seen, 0u);
+}
+
+TEST(Population, ShardConfigSplitsClientsExactly) {
+  PopulationConfig config;
+  config.clients = 10;
+  config.shards = 4;
+  std::uint32_t total = 0;
+  for (std::uint32_t i = 0; i < config.shards; ++i) {
+    total += config.shard_config(i).clients;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace maqs::load

@@ -1,0 +1,106 @@
+#include "load/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace maqs::load {
+namespace {
+
+TEST(ThinkTime, SamplesStayWithinTheBoundedParetoSupport) {
+  ThinkTimeModel model;
+  model.minimum = 2 * sim::kSecond;
+  model.cap = 60 * sim::kSecond;
+  util::Rng rng(41);
+  double mean = 0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const sim::Duration think = model.sample(rng);
+    ASSERT_GE(think, model.minimum);
+    ASSERT_LE(think, model.cap);
+    mean += static_cast<double>(think) / kSamples;
+  }
+  // Unbounded Pareto mean is minimum * alpha/(alpha-1) = 3 * minimum; the
+  // cap pulls it down. Sanity-check the heavy tail actually shows up.
+  EXPECT_GT(mean, static_cast<double>(2 * model.minimum));
+  EXPECT_LT(mean, static_cast<double>(4 * model.minimum));
+}
+
+TEST(ThinkTime, SameSeedReplaysTheSameSequence) {
+  ThinkTimeModel model;
+  util::Rng a(1337);
+  util::Rng b(1337);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.sample(a), model.sample(b));
+  }
+}
+
+TEST(Population, SplitIsExactAndRoughlyProportional) {
+  std::vector<TenantSpec> tenants(3);
+  tenants[0].population_share = 0.15;
+  tenants[1].population_share = 0.25;
+  tenants[2].population_share = 0.60;
+  const auto split = split_population(tenants, 1'000'003);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0] + split[1] + split[2], 1'000'003u);
+  EXPECT_NEAR(static_cast<double>(split[2]), 600'001.8, 3.0);
+  // Degenerate shares: everything lands on the first tenant.
+  tenants[0].population_share = 0;
+  tenants[1].population_share = 0;
+  tenants[2].population_share = 0;
+  const auto degenerate = split_population(tenants, 77);
+  EXPECT_EQ(degenerate[0], 77u);
+}
+
+TEST(Population, SampleOpHonorsZeroWeights) {
+  TenantSpec tenant;
+  tenant.op_mix[0] = 0;
+  tenant.op_mix[1] = 0;
+  tenant.op_mix[2] = 1.0;
+  tenant.op_mix[3] = 0;
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(sample_op(tenant, rng), OpKind::kWovenBlob);
+  }
+}
+
+TEST(Mmpp, DeterministicPositiveGapsAndStateAlternation) {
+  MmppConfig config;
+  config.calm_rps = 20;
+  config.burst_rps = 2000;
+  config.calm_dwell_mean = 500 * sim::kMillisecond;
+  config.burst_dwell_mean = 100 * sim::kMillisecond;
+
+  MmppArrivals a(config);
+  MmppArrivals b(config);
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  bool saw_burst = false;
+  bool saw_calm = false;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::Duration gap = a.next_arrival(rng_a);
+    EXPECT_EQ(gap, b.next_arrival(rng_b));
+    ASSERT_GT(gap, 0);
+    (a.bursting() ? saw_burst : saw_calm) = true;
+  }
+  EXPECT_TRUE(saw_burst);
+  EXPECT_TRUE(saw_calm);
+}
+
+TEST(Mmpp, SilentCalmStateStillProducesBurstArrivals) {
+  MmppConfig config;
+  config.calm_rps = 0;  // silent between bursts
+  config.burst_rps = 1000;
+  MmppArrivals arrivals(config);
+  util::Rng rng(7);
+  sim::Duration total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const sim::Duration gap = arrivals.next_arrival(rng);
+    ASSERT_GT(gap, 0);
+    total += gap;
+  }
+  EXPECT_GT(total, 0);
+}
+
+}  // namespace
+}  // namespace maqs::load

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace maqs::sim {
@@ -175,6 +176,45 @@ TEST(EventLoop, EventAtExactDeadlineRuns) {
   loop.schedule(10, [&] { ran = true; });
   loop.run_for(10);
   EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, TombstoneBacklogStaysBoundedOverAMillionCancelCycles) {
+  // Regression: with only the ratio-based purge, a large persistent live
+  // backlog (here 100k armed far-future timers, standing in for one timer
+  // per client in a population world) drags the purge threshold up with
+  // the queue size, and a long-horizon schedule-and-cancel loop grows
+  // cancelled_ids_ to half the population. The absolute cap must keep the
+  // tombstone set bounded regardless of how big the live queue is.
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    loop.schedule(1'000'000'000 + i, [&] { ++fired; });
+  }
+  std::size_t max_backlog = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    // The blocking-RPC shape: arm a far-future timeout, then cancel it
+    // when the (instant) reply lands. Virtual time never reaches the
+    // entry, so only compaction can reclaim it.
+    const EventId timeout = loop.schedule(2'000'000'000, [] {});
+    ASSERT_TRUE(loop.cancel(timeout));
+    max_backlog = std::max(max_backlog, loop.cancelled_backlog());
+  }
+  EXPECT_LE(max_backlog, EventLoop::kMaxTombstones + 1);
+  EXPECT_EQ(loop.pending(), 100'000u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoop, StaleCancelsCannotUnderflowPending) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(loop.schedule(i, [] {}));
+  }
+  loop.run_until_idle();
+  // Cancelling after execution is documented as a late no-op; the stale
+  // tombstones it leaves must not wrap pending() below zero.
+  for (EventId id : ids) loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// Multi-shard trace merge: byte-identical output regardless of shard
+// completion order or thread interleaving.
+#include "trace/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "trace/trace.hpp"
+
+namespace maqs::trace {
+namespace {
+
+// One shard's deterministic workload: a handful of spans at virtual
+// times derived only from (shard, i).
+void populate(sim::EventLoop& loop, TraceRecorder& recorder,
+              std::uint32_t shard) {
+  recorder.set_enabled(true);
+  recorder.set_shard(shard);
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(10 + shard, [&recorder, shard, i] {
+      const TraceContext root = recorder.make_trace();
+      SpanScope scope(recorder, root, "load.request",
+                      "shard" + std::to_string(shard));
+      (void)i;
+    });
+    loop.run_until_idle();
+  }
+}
+
+std::string merged(const std::vector<const TraceRecorder*>& shards) {
+  std::ostringstream os;
+  export_merged_chrome_trace(shards, os);
+  return os.str();
+}
+
+TEST(TraceMerge, OutputIndependentOfRecorderListOrder) {
+  sim::EventLoop loops[3];
+  std::vector<TraceRecorder> recorders;
+  recorders.reserve(3);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    recorders.emplace_back(loops[s]);
+    populate(loops[s], recorders[s], s);
+  }
+  const std::string forward =
+      merged({&recorders[0], &recorders[1], &recorders[2]});
+  const std::string shuffled =
+      merged({&recorders[2], &recorders[0], &recorders[1]});
+  const std::string reversed =
+      merged({&recorders[2], &recorders[1], &recorders[0]});
+  EXPECT_EQ(forward, shuffled);
+  EXPECT_EQ(forward, reversed);
+  // Every shard actually contributed (pids 1..3 present).
+  for (const char* pid : {"\"pid\":1", "\"pid\":2", "\"pid\":3"}) {
+    EXPECT_NE(forward.find(pid), std::string::npos) << pid;
+  }
+}
+
+TEST(TraceMerge, ThreadInterleavingDoesNotChangeTheBytes) {
+  // Two full runs of the same 4-shard workload on parallel threads. The
+  // OS is free to schedule them differently each time; each recorder is
+  // thread-private and virtual-time-stamped, so the merged bytes must
+  // come out identical — and identical to a serial run.
+  auto run_parallel = [] {
+    std::vector<sim::EventLoop> loops(4);
+    std::vector<TraceRecorder> recorders;
+    recorders.reserve(4);
+    for (std::uint32_t s = 0; s < 4; ++s) recorders.emplace_back(loops[s]);
+    std::vector<std::thread> threads;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      threads.emplace_back(
+          [&loops, &recorders, s] { populate(loops[s], recorders[s], s); });
+    }
+    for (std::thread& t : threads) t.join();
+    return merged(
+        {&recorders[0], &recorders[1], &recorders[2], &recorders[3]});
+  };
+  auto run_serial = [] {
+    std::vector<sim::EventLoop> loops(4);
+    std::vector<TraceRecorder> recorders;
+    recorders.reserve(4);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      recorders.emplace_back(loops[s]);
+      populate(loops[s], recorders[s], s);
+    }
+    return merged(
+        {&recorders[0], &recorders[1], &recorders[2], &recorders[3]});
+  };
+  const std::string parallel_a = run_parallel();
+  const std::string parallel_b = run_parallel();
+  const std::string serial = run_serial();
+  EXPECT_EQ(parallel_a, parallel_b);
+  EXPECT_EQ(parallel_a, serial);
+  EXPECT_FALSE(parallel_a.empty());
+}
+
+TEST(TraceMerge, CanonicalOrderIsStartTimeThenShard) {
+  sim::EventLoop loop_a;
+  sim::EventLoop loop_b;
+  TraceRecorder early(loop_a);
+  TraceRecorder late(loop_b);
+  early.set_enabled(true);
+  late.set_enabled(true);
+  early.set_shard(7);
+  late.set_shard(2);
+  // Shard 7's span starts earlier in virtual time than shard 2's: start
+  // time wins over shard id in the merged order.
+  early.record(1, 1, 0, "first", "", 100, 200);
+  late.record(1, 1, 0, "second", "", 300, 400);
+  late.record(1, 2, 0, "tied", "", 100, 150);  // same start as shard 7's
+  const std::vector<Span> spans = merge_spans({&late, &early});
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].shard, 2u);  // tie on start=100: lower shard first
+  EXPECT_STREQ(spans[0].name, "tied");
+  EXPECT_EQ(spans[1].shard, 7u);
+  EXPECT_STREQ(spans[1].name, "first");
+  EXPECT_STREQ(spans[2].name, "second");
+}
+
+}  // namespace
+}  // namespace maqs::trace
