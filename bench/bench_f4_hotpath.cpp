@@ -23,6 +23,7 @@
 #include "characteristics/compression.hpp"
 #include "characteristics/encryption.hpp"
 #include "core/mediator.hpp"
+#include "core/negotiation.hpp"
 #include "core/retry.hpp"
 #include "naming/selector.hpp"
 #include "sched/scheduler.hpp"
@@ -285,7 +286,7 @@ void run_scenarios(std::vector<Row>& rows) {
 
     const core::Agreement compress_agreement = make_agreement(
         characteristics::compression_name(),
-        {{"codec", cdr::Any::from_string("lz77")},
+        {{"algorithm", cdr::Any::from_string("lz77")},
          {"level", cdr::Any::from_long(32)},
          {"min_size", cdr::Any::from_long(64)}});
     const core::Agreement encrypt_agreement =
@@ -340,6 +341,84 @@ void run_scenarios(std::vector<Row>& rows) {
     recorder.set_enabled(true);
     rows.push_back(
         measure("woven_trace_sampled", "add", [&] { stub.add(1, 2); }));
+  }
+
+  {  // negotiate_matrix: the full capability-matrix handshake over a
+    // three-dimension lattice (offer -> review -> accept, then terminate
+    // so the next iteration starts clean). No mediator factories: the row
+    // isolates protocol + matrix marshaling cost from weaving cost.
+    World world;
+    make_fast(world);
+    core::ProviderRegistry providers;
+    core::CharacteristicProvider provider;
+    provider.descriptor = core::CharacteristicDescriptor(
+        "Matrix3", core::QosCategory::kOther,
+        {core::ParamDesc{"level", cdr::TypeCode::long_tc(),
+                         cdr::Any::from_long(8), 1, 64}},
+        {core::DimensionDesc{"algorithm",
+                             {cdr::Any::from_string("lz77"),
+                              cdr::Any::from_string("rle"),
+                              cdr::Any::from_string("none")},
+                             0},
+         core::DimensionDesc{"key_bits",
+                             {cdr::Any::from_long(128),
+                              cdr::Any::from_long(64)},
+                             1},
+         core::DimensionDesc{"integrity",
+                             {cdr::Any::from_bool(true),
+                              cdr::Any::from_bool(false)},
+                             2}},
+        {});
+    providers.add(std::move(provider));
+    core::NegotiationService negotiation(world.server_transport, providers,
+                                         world.resources);
+    core::Negotiator negotiator(world.client_transport, providers);
+    auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+    servant->assign_characteristic(
+        providers.get("Matrix3").descriptor);
+    orb::ObjRef ref = world.server.adapter().activate("echo", servant);
+    maqs::testing::EchoStub stub(world.client, ref);
+    rows.push_back(measure("negotiate_matrix", "handshake", [&] {
+      const core::Agreement agreement =
+          negotiator.negotiate(stub, "Matrix3", {});
+      negotiator.terminate(stub, agreement);
+    }));
+  }
+
+  {  // woven_renegotiated: the woven steady state after a lattice step.
+    // Compression and encryption are negotiated (versioned agreements on
+    // a fused channel), then compression renegotiates lz77 -> rle; the
+    // rows pin the post-switch request path — the rebound codec under the
+    // bumped channel version must cost the same as the first binding.
+    World world;
+    make_fast(world);
+    core::ProviderRegistry providers;
+    providers.add(characteristics::make_compression_provider());
+    providers.add(characteristics::make_encryption_psk_provider());
+    core::NegotiationService negotiation(world.server_transport, providers,
+                                         world.resources);
+    core::Negotiator negotiator(world.client_transport, providers);
+    auto servant = std::make_shared<maqs::testing::QosEchoImpl>();
+    servant->assign_characteristic(characteristics::compression_descriptor());
+    servant->assign_characteristic(characteristics::encryption_descriptor());
+    orb::QosProfile compression;
+    compression.characteristic = characteristics::compression_name();
+    orb::QosProfile encryption;
+    encryption.characteristic = characteristics::encryption_name();
+    orb::ObjRef ref = world.server.adapter().activate(
+        "echo", servant, {compression, encryption});
+    maqs::testing::EchoStub stub(world.client, ref);
+    core::Agreement compress_agreement = negotiator.negotiate(
+        stub, characteristics::compression_name(),
+        {{"level", cdr::Any::from_long(32)}});
+    negotiator.negotiate(stub, characteristics::encryption_name(),
+                         {{"psk", cdr::Any::from_string("bench-psk")}});
+    negotiator.renegotiate(stub, compress_agreement,
+                           {{"algorithm", cdr::Any::from_string("rle")}});
+    rows.push_back(
+        measure("woven_renegotiated", "add", [&] { stub.add(1, 2); }));
+    rows.push_back(measure("woven_renegotiated", "blob4k",
+                           [&] { stub.blob(blob_data); }));
   }
 }
 

@@ -26,7 +26,10 @@ struct World {
   core::QosTransport client_transport{client};
   core::ResourceManager resources;
 
-  World() { resources.declare("cpu", 1e9); }
+  World() {
+    resources.declare("cpu", 1e9);
+    resources.declare("bandwidth", 1e9);
+  }
 
   void set_link(double bandwidth_bps, sim::Duration latency) {
     network.set_default_link(

@@ -25,6 +25,7 @@ int main() {
   providers.add(characteristics::make_compression_provider());
   core::ResourceManager resources;
   resources.declare("cpu", 200.0);
+  resources.declare("bandwidth", 1000.0);
   core::NegotiationService negotiation(server_transport, providers,
                                        resources);
   core::Negotiator negotiator(player_transport, providers);

@@ -60,6 +60,7 @@ int main() {
   providers.add(characteristics::make_actuality_provider());
   core::ResourceManager resources;
   resources.declare("cpu", 1000.0);
+  resources.declare("bandwidth", 1000.0);
   core::NegotiationService negotiation(sensor_transport, providers,
                                        resources);
   core::Negotiator negotiator(gateway_transport, providers);

@@ -39,6 +39,7 @@ Provider make_provider(net::Network& network, const std::string& host,
   p.transport = std::make_unique<core::QosTransport>(*p.orb);
   p.resources = std::make_unique<core::ResourceManager>();
   p.resources->declare("cpu", cpu_capacity);
+  p.resources->declare("bandwidth", 1000.0);
   p.negotiation = std::make_unique<core::NegotiationService>(
       *p.transport, providers, *p.resources);
   auto servant = std::make_shared<examples::TelemetryImpl>();

@@ -46,6 +46,7 @@ int main() {
   providers.add(characteristics::make_compression_provider());
   core::ResourceManager resources;
   resources.declare("cpu", 100.0);
+  resources.declare("bandwidth", 1000.0);
   core::NegotiationService negotiation(server_transport, providers,
                                        resources);
 
@@ -71,7 +72,7 @@ int main() {
       greeter, characteristics::compression_name(),
       {{"level", cdr::Any::from_long(64)}});
   std::cout << "client: negotiated agreement #" << agreement.id
-            << " (codec=" << agreement.string_param("codec")
+            << " (algorithm=" << agreement.string_param("algorithm")
             << ", level=" << agreement.int_param("level") << ")\n";
 
   // Push a compressible payload through the woven path.

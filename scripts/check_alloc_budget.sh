@@ -28,6 +28,10 @@ BUDGETS = {
     ("plain_replicated", "add"): 8.0,
     ("woven_streaming", "add"): 12.0,
     ("woven_compress_encrypt", "add"): 12.0,
+    # Steady state after a renegotiated lattice step (lz77 -> rle on the
+    # fused channel): rebinding under the bumped channel version must not
+    # add per-request heap traffic over the first binding.
+    ("woven_renegotiated", "add"): 12.0,
 }
 
 # (scenario, op) -> min requests/sec. The woven blob4k floor is the

@@ -27,9 +27,22 @@ core::CharacteristicDescriptor actuality_descriptor() {
                           cdr::Any::from_string(""), {}, {}},
       },
       {
+          core::DimensionDesc{"freshness",
+                              {cdr::Any::from_string("tight"),
+                               cdr::Any::from_string("normal"),
+                               cdr::Any::from_string("loose")},
+                              0},
+      },
+      {
           core::QosOpDesc{"qos_cache_hits", core::QosOpKind::kMechanism},
           core::QosOpDesc{"qos_timestamped", core::QosOpKind::kMechanism},
       });
+}
+
+std::int64_t freshness_scale(const std::string& freshness) {
+  if (freshness == "normal") return 4;
+  if (freshness == "loose") return 16;
+  return 1;  // "tight" and anything unknown: serve the bound as agreed
 }
 
 // ---- mediator ----
@@ -39,10 +52,12 @@ ActualityMediator::ActualityMediator(sim::EventLoop& loop)
 
 void ActualityMediator::bind_agreement(const core::Agreement& agreement) {
   core::Mediator::bind_agreement(agreement);
-  max_age_ = agreement.int_param("max_age_ms") * sim::kMillisecond;
+  max_age_ = agreement.int_param_or("max_age_ms", 100) *
+             freshness_scale(agreement.string_param_or("freshness", "tight")) *
+             sim::kMillisecond;
   cacheable_ops_.clear();
   for (const std::string& op :
-       util::split(agreement.string_param("cacheable_ops"), ',')) {
+       util::split(agreement.string_param_or("cacheable_ops", ""), ',')) {
     if (!op.empty()) cacheable_ops_.insert(op);
   }
   // A renegotiated freshness bound must not resurrect stale entries.
@@ -143,9 +158,17 @@ core::CharacteristicProvider make_actuality_provider() {
                           core::QosTransport&) {
     return std::make_shared<ActualityImpl>(orb.loop());
   };
-  provider.resource_demand = [](const std::map<std::string, cdr::Any>&) {
-    return core::ResourceDemand{{"cpu", 1.0}};
-  };
+  provider.resource_demand =
+      [](const std::map<std::string, cdr::Any>& params) {
+        // Tighter freshness means more server round trips.
+        std::string freshness = "tight";
+        if (auto it = params.find("freshness"); it != params.end()) {
+          freshness = it->second.as_string();
+        }
+        const double cpu =
+            freshness == "loose" ? 1.0 : (freshness == "normal" ? 2.0 : 4.0);
+        return core::ResourceDemand{{"cpu", cpu}};
+      };
   return provider;
 }
 

@@ -8,9 +8,15 @@
 // client receipt time. Writes (non-cacheable operations) invalidate the
 // whole cache for the object.
 //
-//   param long max_age_ms = 100;        // freshness bound
+//   dimension string freshness = { "tight", "normal", "loose" } degrade 0;
+//   param long max_age_ms = 100;        // freshness bound at "tight"
 //   param string cacheable_ops = "";    // ','-separated read operations
 //   mechanism long qos_cache_hits();
+//
+// The freshness dimension scales the negotiated bound: "tight" serves
+// max_age_ms as agreed, "normal" 4x and "loose" 16x. Degrading relaxes
+// actuality — more cache hits, fewer server round trips — which is how
+// this characteristic gives resources back under pressure.
 #pragma once
 
 #include <map>
@@ -27,6 +33,10 @@ core::CharacteristicProvider make_actuality_provider();
 
 /// Reply service-context key carrying the server timestamp (ns, i64).
 const std::string& actuality_timestamp_key();
+
+/// Multiplier the freshness dimension applies to max_age_ms
+/// ("tight" 1, "normal" 4, "loose" 16).
+std::int64_t freshness_scale(const std::string& freshness);
 
 class ActualityMediator final : public core::Mediator {
  public:

@@ -24,11 +24,41 @@ std::unique_ptr<compress::Codec> codec_for(const std::string& name,
   return compress::make_codec(name);
 }
 
+/// `version` is the frame epoch to bind the codec under: the woven
+/// channel version when the stage shares a wire channel with other
+/// characteristics, else the agreement's own version.
 void configure_from(const core::Agreement& agreement,
-                    CompressionTransform& stage) {
-  stage.set_codec(codec_for(agreement.string_param("codec"),
-                            agreement.int_param("level")));
-  stage.set_min_size(agreement.int_param("min_size"));
+                    CompressionTransform& stage, std::int64_t version) {
+  stage.set_algorithm(agreement.string_param_or("algorithm", "lz77"),
+                      agreement.int_param_or("level", 32), version);
+  stage.set_min_size(agreement.int_param_or("min_size", 64));
+}
+
+/// Demand at one lattice point: heavier algorithms burn more cpu (probe
+/// depth) and more of the server's per-frame processing bandwidth.
+core::ResourceDemand compression_demand(
+    const std::map<std::string, cdr::Any>& params) {
+  const auto algorithm_at = params.find("algorithm");
+  const std::string algorithm = algorithm_at != params.end()
+                                    ? algorithm_at->second.as_string()
+                                    : "lz77";
+  const auto level_at = params.find("level");
+  const double level =
+      level_at != params.end()
+          ? static_cast<double>(level_at->second.as_integer())
+          : 32.0;
+  core::ResourceDemand demand;
+  if (algorithm == "none") {
+    demand["cpu"] = 1.0;
+    demand["bandwidth"] = 4.0;
+  } else if (algorithm == "rle") {
+    demand["cpu"] = std::min(level, 8.0);
+    demand["bandwidth"] = 16.0;
+  } else {
+    demand["cpu"] = level;
+    demand["bandwidth"] = 48.0;
+  }
+  return demand;
 }
 
 }  // namespace
@@ -47,12 +77,17 @@ core::CharacteristicDescriptor compression_descriptor() {
   return core::CharacteristicDescriptor(
       compression_name(), core::QosCategory::kBandwidth,
       {
-          core::ParamDesc{"codec", cdr::TypeCode::string_tc(),
-                          cdr::Any::from_string("lz77"), {}, {}},
           core::ParamDesc{"min_size", cdr::TypeCode::long_tc(),
                           cdr::Any::from_long(64), 0, 1 << 20},
           core::ParamDesc{"level", cdr::TypeCode::long_tc(),
                           cdr::Any::from_long(32), 1, 128},
+      },
+      {
+          core::DimensionDesc{"algorithm",
+                              {cdr::Any::from_string("lz77"),
+                               cdr::Any::from_string("rle"),
+                               cdr::Any::from_string("none")},
+                              0},
       },
       {
           core::QosOpDesc{"qos_compression_ratio",
@@ -62,18 +97,65 @@ core::CharacteristicDescriptor compression_descriptor() {
 
 // ---- streaming stage ----
 
-CompressionTransform::CompressionTransform()
-    : codec_(std::make_unique<compress::Lz77Codec>()) {}
+CompressionTransform::CompressionTransform() {
+  bindings_.push_back(
+      VersionedCodec{0, "lz77", std::make_shared<compress::Lz77Codec>()});
+}
 
 const std::string& CompressionTransform::label() const {
   return compression_name();
+}
+
+const compress::Codec& CompressionTransform::codec() const noexcept {
+  return *current().codec;
+}
+
+const std::string& CompressionTransform::algorithm() const noexcept {
+  return current().algorithm;
+}
+
+std::int64_t CompressionTransform::current_version() const noexcept {
+  return current().version;
+}
+
+const CompressionTransform::VersionedCodec& CompressionTransform::binding_for(
+    std::int64_t version) const noexcept {
+  if (version >= 0) {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->version == version) return *it;
+    }
+  }
+  return current();
 }
 
 void CompressionTransform::set_codec(std::unique_ptr<compress::Codec> codec) {
   if (codec == nullptr) {
     throw compress::CodecError("compression: null codec");
   }
-  codec_ = std::move(codec);
+  current().algorithm = codec->name();
+  current().codec = std::move(codec);
+}
+
+void CompressionTransform::set_algorithm(const std::string& algorithm,
+                                         std::int64_t level,
+                                         std::int64_t version) {
+  std::shared_ptr<compress::Codec> codec;
+  if (algorithm == "none") {
+    // Passthrough point: every frame ships raw. Keep the previous codec
+    // object so compressed frames of older versions still decode.
+    codec = current().codec;
+  } else {
+    codec = codec_for(algorithm, level);
+  }
+  if (version == current().version) {
+    current().algorithm = algorithm;
+    current().codec = std::move(codec);
+    return;
+  }
+  bindings_.push_back(VersionedCodec{version, algorithm, std::move(codec)});
+  if (bindings_.size() > kMaxRetained) {
+    bindings_.erase(bindings_.begin());
+  }
 }
 
 void CompressionTransform::forward(core::ChainBuf& buf,
@@ -90,15 +172,17 @@ void CompressionTransform::forward(core::ChainBuf& buf,
     buf.adopt(region, reserve, 1 + n);
   };
 
-  if (static_cast<std::int64_t>(n) < min_size_) {
+  if (current().algorithm == "none" ||
+      static_cast<std::int64_t>(n) < min_size_) {
     ship_raw();
     fwd_out_ += buf.size();
     return;
   }
-  const std::size_t bound = codec_->max_compressed_size(n);
+  compress::Codec* codec = current().codec.get();
+  const std::size_t bound = codec->max_compressed_size(n);
   if (bound == 0) {
     // Codec without an output bound (or empty input): cold one-shot path.
-    const util::Bytes compressed = codec_->compress(buf.view());
+    const util::Bytes compressed = codec->compress(buf.view());
     if (compressed.size() >= n) {
       ship_raw();
     } else {
@@ -117,7 +201,7 @@ void CompressionTransform::forward(core::ChainBuf& buf,
   // incompressible fallback needs no second allocation.
   std::span<std::uint8_t> region =
       buf.arena().allocate(reserve + 1 + std::max(bound, n));
-  const std::size_t written = codec_->compress_into(
+  const std::size_t written = codec->compress_into(
       buf.view(), {region.data() + reserve + 1, bound});
   if (written >= n) {
     // Incompressible: ship raw (bounded worst case), same decision as the
@@ -134,7 +218,6 @@ void CompressionTransform::forward(core::ChainBuf& buf,
 
 void CompressionTransform::reverse(core::ChainBuf& buf,
                                    const core::TransformContext& ctx) {
-  (void)ctx;
   rev_in_ += buf.size();
   if (buf.empty()) {
     throw compress::CodecError("compression: empty framed payload");
@@ -143,8 +226,12 @@ void CompressionTransform::reverse(core::ChainBuf& buf,
   if (marker == kRaw) {
     buf.drop_front(1);
   } else if (marker == kCompressed) {
+    // Decode with the codec of the version the frame was sealed under
+    // (published by the encryption stage); an agreed algorithm switch
+    // must not corrupt frames already in flight.
+    const VersionedCodec& binding = binding_for(ctx.frame_version);
     scratch_.clear();
-    codec_->decompress_append(buf.view().subspan(1), scratch_);
+    binding.codec->decompress_append(buf.view().subspan(1), scratch_);
     buf.adopt_bytes(scratch_);
   } else {
     throw compress::CodecError("compression: bad frame marker");
@@ -161,7 +248,7 @@ CompressionMediator::CompressionMediator()
 
 void CompressionMediator::bind_agreement(const core::Agreement& agreement) {
   core::Mediator::bind_agreement(agreement);
-  configure_from(agreement, stage_);
+  configure_from(agreement, stage_, effective_version(agreement));
 }
 
 void CompressionMediator::outbound(orb::RequestMessage& req,
@@ -196,7 +283,7 @@ CompressionImpl::CompressionImpl() : core::QosImpl(compression_name()) {
 
 void CompressionImpl::bind_agreement(const core::Agreement& agreement) {
   core::QosImpl::bind_agreement(agreement);
-  configure_from(agreement, stage_);
+  configure_from(agreement, stage_, effective_version(agreement));
 }
 
 util::Bytes CompressionImpl::transform_args(util::Bytes args,
@@ -260,10 +347,15 @@ void CompressionModule::restore_reply(orb::ReplyMessage& rep) {
 cdr::Any CompressionModule::command(const std::string& op,
                                     const std::vector<cdr::Any>& args) {
   if (op == "set_codec") {
+    // set_codec(algorithm, level[, version]) — "none" ships raw but keeps
+    // the prior codec bound for decoding cross-version frames.
     if (args.size() < 2) {
-      throw core::QosError("compression module: set_codec(codec, level)");
+      throw core::QosError(
+          "compression module: set_codec(algorithm, level[, version])");
     }
-    stage_.set_codec(codec_for(args[0].as_string(), args[1].as_integer()));
+    const std::int64_t version =
+        args.size() > 2 ? args[2].as_integer() : stage_.current_version();
+    stage_.set_algorithm(args[0].as_string(), args[1].as_integer(), version);
     return cdr::Any::make_void();
   }
   if (op == "set_min_size") {
@@ -274,7 +366,7 @@ cdr::Any CompressionModule::command(const std::string& op,
     return cdr::Any::make_void();
   }
   if (op == "info") {
-    return cdr::Any::from_string(stage_.codec().name() + "/min=" +
+    return cdr::Any::from_string(stage_.algorithm() + "/min=" +
                                  std::to_string(stage_.min_size()));
   }
   return core::QosModule::command(op, args);
@@ -300,12 +392,7 @@ core::CharacteristicProvider make_compression_provider() {
                           core::QosTransport&) {
     return std::make_shared<CompressionImpl>();
   };
-  provider.resource_demand =
-      [](const std::map<std::string, cdr::Any>& params) {
-        core::ResourceDemand demand;
-        demand["cpu"] = static_cast<double>(params.at("level").as_integer());
-        return demand;
-      };
+  provider.resource_demand = compression_demand;
   return provider;
 }
 
@@ -320,8 +407,9 @@ core::CharacteristicProvider make_compression_module_provider() {
                              core::QosTransport& transport) {
     register_compression_module();
     const std::vector<cdr::Any> config{
-        cdr::Any::from_string(agreement.string_param("codec")),
-        cdr::Any::from_longlong(agreement.int_param("level"))};
+        cdr::Any::from_string(agreement.string_param_or("algorithm", "lz77")),
+        cdr::Any::from_longlong(agreement.int_param_or("level", 32)),
+        cdr::Any::from_longlong(agreement.version())};
     // Configure both ends of the relationship: the local module directly,
     // the server's via a module command over the wire (Fig. 3).
     transport.load_module(compression_module_name()).command("set_codec",
@@ -329,18 +417,13 @@ core::CharacteristicProvider make_compression_module_provider() {
     orb::send_command(orb, target.endpoint, compression_module_name(),
                       "set_codec", config);
     const std::vector<cdr::Any> min_size{
-        cdr::Any::from_longlong(agreement.int_param("min_size"))};
+        cdr::Any::from_longlong(agreement.int_param_or("min_size", 64))};
     transport.find_module(compression_module_name())
         ->command("set_min_size", min_size);
     orb::send_command(orb, target.endpoint, compression_module_name(),
                       "set_min_size", min_size);
   };
-  provider.resource_demand =
-      [](const std::map<std::string, cdr::Any>& params) {
-        core::ResourceDemand demand;
-        demand["cpu"] = static_cast<double>(params.at("level").as_integer());
-        return demand;
-      };
+  provider.resource_demand = compression_demand;
   return provider;
 }
 

@@ -16,11 +16,19 @@
 //
 // QIDL (conceptually):
 //   qos characteristic Compression {
-//     param string codec = "lz77";
+//     dimension string algorithm = { "lz77", "rle", "none" } degrade 0;
 //     param long   min_size = 64;     // skip tiny payloads
 //     param long   level = 32;        // LZ77 probe depth
 //     mechanism double compression_ratio();
 //   };
+//
+// The algorithm is a negotiated capability dimension: agreements pin one
+// point in the {lz77, rle, none} preference lattice and renegotiations
+// walk it down under pressure. The transform keeps the codec of recent
+// agreement versions bound, keyed by the frame version the encryption
+// stage publishes via TransformContext::frame_version, so an in-flight
+// frame sealed under the previous version still decodes after an agreed
+// algorithm switch.
 #pragma once
 
 #include <memory>
@@ -69,9 +77,18 @@ class CompressionTransform final : public core::StreamingTransform {
   void reverse(core::ChainBuf& buf,
                const core::TransformContext& ctx) override;
 
+  /// Rebinds the current version slot to `codec` (legacy single-version
+  /// API; the algorithm name follows the codec's).
   void set_codec(std::unique_ptr<compress::Codec> codec);
+  /// Binds `algorithm` ("lz77", "rle" or "none" = ship raw) for agreement
+  /// `version`. Earlier versions stay bound (bounded retention) so
+  /// cross-version frames keep decoding after a renegotiated switch.
+  void set_algorithm(const std::string& algorithm, std::int64_t level,
+                     std::int64_t version);
   void set_min_size(std::int64_t min_size) noexcept { min_size_ = min_size; }
-  const compress::Codec& codec() const noexcept { return *codec_; }
+  const compress::Codec& codec() const noexcept;
+  const std::string& algorithm() const noexcept;
+  std::int64_t current_version() const noexcept;
   std::int64_t min_size() const noexcept { return min_size_; }
 
   /// Byte counters for the mechanism ops: forward counts unframed-in /
@@ -82,7 +99,20 @@ class CompressionTransform final : public core::StreamingTransform {
   std::uint64_t reverse_bytes_out() const noexcept { return rev_out_; }
 
  private:
-  std::unique_ptr<compress::Codec> codec_;
+  /// Codec bound for one agreement version. "none" keeps the previous
+  /// codec object around purely for decoding older compressed frames.
+  struct VersionedCodec {
+    std::int64_t version = 0;
+    std::string algorithm;
+    std::shared_ptr<compress::Codec> codec;
+  };
+  static constexpr std::size_t kMaxRetained = 4;
+
+  const VersionedCodec& current() const noexcept { return bindings_.back(); }
+  VersionedCodec& current() noexcept { return bindings_.back(); }
+  const VersionedCodec& binding_for(std::int64_t version) const noexcept;
+
+  std::vector<VersionedCodec> bindings_;  // ascending version, newest last
   std::int64_t min_size_ = 64;
   util::Bytes scratch_;  // reverse-direction decompress target (recycled)
   std::uint64_t fwd_in_ = 0;

@@ -1,5 +1,6 @@
 #include "characteristics/encryption.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "cdr/decoder.hpp"
@@ -29,6 +30,32 @@ std::uint64_t frame_nonce(const core::TransformContext& ctx) noexcept {
   return ctx.reply ? ctx.request_id ^ kReplyNonceFlip : ctx.request_id;
 }
 
+/// key_bits 64 keeps the XTEA frame format but masks the upper half of
+/// the derived key — the degraded point trades key strength for cheaper
+/// key management, not a different cipher.
+crypto::Key128 masked_key(crypto::Key128 key, std::int64_t key_bits) {
+  if (key_bits <= 64) {
+    key[2] = 0;
+    key[3] = 0;
+  }
+  return key;
+}
+
+core::ResourceDemand encryption_demand(
+    const std::map<std::string, cdr::Any>& params) {
+  std::int64_t bits = 128;
+  if (auto it = params.find("key_bits"); it != params.end()) {
+    bits = it->second.as_integer();
+  }
+  bool integrity = true;
+  if (auto it = params.find("integrity"); it != params.end()) {
+    integrity = it->second.as_bool();
+  }
+  core::ResourceDemand demand;
+  demand["cpu"] = static_cast<double>(bits) / 16.0 + (integrity ? 2.0 : 0.0);
+  return demand;
+}
+
 }  // namespace
 
 const std::string& encryption_name() {
@@ -45,10 +72,18 @@ core::CharacteristicDescriptor encryption_descriptor() {
   return core::CharacteristicDescriptor(
       encryption_name(), core::QosCategory::kPrivacy,
       {
-          core::ParamDesc{"integrity", cdr::TypeCode::boolean_tc(),
-                          cdr::Any::from_bool(true), {}, {}},
           core::ParamDesc{"psk", cdr::TypeCode::string_tc(),
                           cdr::Any::from_string(""), {}, {}},
+      },
+      {
+          core::DimensionDesc{"key_bits",
+                              {cdr::Any::from_long(128),
+                               cdr::Any::from_long(64)},
+                              1},
+          core::DimensionDesc{"integrity",
+                              {cdr::Any::from_bool(true),
+                               cdr::Any::from_bool(false)},
+                              2},
       },
       {
           core::QosOpDesc{"qos_cipher_info", core::QosOpKind::kMechanism},
@@ -78,9 +113,10 @@ void EncryptionTransform::forward(core::ChainBuf& buf,
     buf.adopt(region, reserve + 16, n);
   }
   crypto::XteaCtr(key, nonce).apply_in_place(buf.mutable_span());
-  const std::uint64_t tag =
-      source_->integrity() ? crypto::mac64(key_fingerprint(key), buf.view())
-                           : 0;
+  const std::uint64_t tag = source_->integrity_for(epoch)
+                                ? crypto::mac64(key_fingerprint(key),
+                                                buf.view())
+                                : 0;
   // [epoch:i64 LE][mac:u64 LE] — byte-identical to the legacy
   // cdr::Encoder-built frame header.
   std::uint8_t* hdr = buf.prepend(16);
@@ -98,11 +134,14 @@ void EncryptionTransform::reverse(core::ChainBuf& buf,
   const std::uint64_t tag = dec.read_u64();
   buf.drop_front(16);
   const crypto::Key128& key = source_->key_for(epoch);
-  if (source_->integrity() &&
+  if (source_->integrity_for(epoch) &&
       !crypto::mac_verify(key_fingerprint(key), buf.view(), tag)) {
     throw core::QosError("encryption: integrity check failed");
   }
   crypto::XteaCtr(key, nonce).apply_in_place(buf.mutable_span());
+  // Tell downstream reverse stages (the compression codec) which
+  // agreement version sealed this frame.
+  ctx.frame_version = epoch;
 }
 
 // ---- module (DH) ----
@@ -149,8 +188,15 @@ void EncryptionModule::restore_reply(orb::ReplyMessage& rep) {
 
 void EncryptionModule::install_key(std::int64_t epoch,
                                    util::BytesView secret) {
-  keys_[epoch] = crypto::derive_key(secret);
+  keys_[epoch] = masked_key(crypto::derive_key(secret), key_bits_);
   if (epoch > current_epoch_) current_epoch_ = epoch;
+}
+
+void EncryptionModule::set_key_bits(std::int64_t bits) {
+  if (bits != 128 && bits != 64) {
+    throw core::QosError("encryption: key_bits must be 128 or 64");
+  }
+  key_bits_ = bits;
 }
 
 void EncryptionModule::set_current_epoch(std::int64_t epoch) {
@@ -185,6 +231,13 @@ cdr::Any EncryptionModule::command(const std::string& op,
       throw core::QosError("encryption: set_integrity(bool)");
     }
     integrity_ = args[0].as_bool();
+    return cdr::Any::make_void();
+  }
+  if (op == "set_key_bits") {
+    if (args.empty()) {
+      throw core::QosError("encryption: set_key_bits(128|64)");
+    }
+    set_key_bits(args[0].as_integer());
     return cdr::Any::make_void();
   }
   if (op == "current_epoch") {
@@ -236,23 +289,88 @@ core::CharacteristicProvider make_encryption_provider() {
                              const orb::ObjRef& target, orb::Orb& orb,
                              core::QosTransport& transport) {
     register_encryption_module();
-    const bool integrity = agreement.bool_param("integrity");
-    transport.load_module(encryption_module_name())
-        .command("set_integrity", {cdr::Any::from_bool(integrity)});
+    const bool integrity = agreement.bool_param_or("integrity", true);
+    const std::int64_t key_bits = agreement.int_param_or("key_bits", 128);
+    auto& module = transport.load_module(encryption_module_name());
+    module.command("set_integrity", {cdr::Any::from_bool(integrity)});
     orb::send_command(orb, target.endpoint, encryption_module_name(),
                       "set_integrity", {cdr::Any::from_bool(integrity)});
-    // Initial key: epoch 1, client seed derived from the agreement id so
-    // distinct agreements use distinct exponents.
-    encryption_rotate_key(orb, transport, target, 1,
+    // Both peers must mask the derived key the same way, so key_bits
+    // travels before the exchange that installs the next key.
+    module.command("set_key_bits", {cdr::Any::from_longlong(key_bits)});
+    orb::send_command(orb, target.endpoint, encryption_module_name(),
+                      "set_key_bits", {cdr::Any::from_longlong(key_bits)});
+    // Key epoch = agreement version (min 1: the first negotiation), so a
+    // renegotiated cipher change is an ordinary epoch rotation and
+    // cross-version frames stay decodable. Client seed derived from the
+    // agreement id so distinct agreements use distinct exponents.
+    encryption_rotate_key(orb, transport, target,
+                          std::max<std::int64_t>(1, agreement.version()),
                           0xC11E27ULL ^ agreement.id);
   };
-  provider.resource_demand = [](const std::map<std::string, cdr::Any>&) {
-    return core::ResourceDemand{{"cpu", 8.0}};
-  };
+  provider.resource_demand = encryption_demand;
   return provider;
 }
 
 // ---- application-centered PSK variant ----
+
+void PskKeySource::configure(const crypto::Key128& key, bool integrity,
+                             std::int64_t version) {
+  if (!bindings_.empty() && bindings_.back().version == version) {
+    bindings_.back() = VersionedKey{version, key, integrity};
+    return;
+  }
+  bindings_.push_back(VersionedKey{version, key, integrity});
+  if (bindings_.size() > kMaxRetained) {
+    bindings_.erase(bindings_.begin());
+  }
+}
+
+const PskKeySource::VersionedKey& PskKeySource::binding_for(
+    std::int64_t epoch) const {
+  for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+    if (it->version == epoch) return *it;
+  }
+  throw core::QosError("encryption: no key for epoch " +
+                       std::to_string(epoch));
+}
+
+std::int64_t PskKeySource::seal_epoch() const {
+  if (bindings_.empty()) {
+    throw core::QosError("encryption: no key installed");
+  }
+  return bindings_.back().version;
+}
+
+const crypto::Key128& PskKeySource::key_for(std::int64_t epoch) const {
+  return binding_for(epoch).key;
+}
+
+bool PskKeySource::integrity() const {
+  return bindings_.empty() || bindings_.back().integrity;
+}
+
+bool PskKeySource::integrity_for(std::int64_t epoch) const {
+  return binding_for(epoch).integrity;
+}
+
+namespace {
+
+/// Key/integrity/version as one PSK binding from an agreement's point in
+/// the capability lattice. `version` is the frame epoch to seal under:
+/// the woven channel version when the stage shares a wire channel with
+/// other characteristics, else the agreement's own version.
+void configure_psk(PskKeySource& source, const core::Agreement& agreement,
+                   std::int64_t version) {
+  source.configure(
+      masked_key(
+          crypto::derive_key(
+              util::to_bytes(agreement.string_param_or("psk", ""))),
+          agreement.int_param_or("key_bits", 128)),
+      agreement.bool_param_or("integrity", true), version);
+}
+
+}  // namespace
 
 EncryptionMediator::EncryptionMediator()
     : core::Mediator(encryption_name()), stage_(source_) {
@@ -261,9 +379,7 @@ EncryptionMediator::EncryptionMediator()
 
 void EncryptionMediator::bind_agreement(const core::Agreement& agreement) {
   core::Mediator::bind_agreement(agreement);
-  source_.configure(
-      crypto::derive_key(util::to_bytes(agreement.string_param("psk"))),
-      agreement.bool_param("integrity"));
+  configure_psk(source_, agreement, effective_version(agreement));
 }
 
 void EncryptionMediator::outbound(orb::RequestMessage& req,
@@ -285,9 +401,7 @@ EncryptionImpl::EncryptionImpl()
 
 void EncryptionImpl::bind_agreement(const core::Agreement& agreement) {
   core::QosImpl::bind_agreement(agreement);
-  source_.configure(
-      crypto::derive_key(util::to_bytes(agreement.string_param("psk"))),
-      agreement.bool_param("integrity"));
+  configure_psk(source_, agreement, effective_version(agreement));
 }
 
 util::Bytes EncryptionImpl::transform_args(util::Bytes args,
@@ -315,9 +429,7 @@ core::CharacteristicProvider make_encryption_psk_provider() {
                           core::QosTransport&) {
     return std::make_shared<EncryptionImpl>();
   };
-  provider.resource_demand = [](const std::map<std::string, cdr::Any>&) {
-    return core::ResourceDemand{{"cpu", 8.0}};
-  };
+  provider.resource_demand = encryption_demand;
   return provider;
 }
 

@@ -15,6 +15,22 @@
 // change under traffic never corrupts in-flight requests (E5 measures
 // exactly that). An optional integrity tag (keyed MAC) detects tampering.
 //
+// QIDL (conceptually):
+//   qos characteristic Encryption {
+//     dimension long key_bits  = { 128, 64 }      degrade 1;
+//     dimension bool integrity = { true, false }  degrade 2;
+//     param string psk = "";
+//     mechanism string qos_cipher_info();
+//   };
+//
+// key_bits and integrity are negotiated capability dimensions; the
+// agreement version doubles as the frame epoch (hand-built agreements are
+// version 0, matching the legacy PSK frames), so a renegotiated cipher
+// downgrade is just another epoch rotation: old-epoch frames still open
+// under their original key/integrity binding, and the reverse stage
+// publishes the frame's version for downstream stages (the compression
+// codec) via TransformContext::frame_version.
+//
 // An application-centered variant (EncryptionMediator/EncryptionImpl)
 // exists as well: it weaves the same cipher through the stub/skeleton
 // layer using a pre-shared secret parameter, demonstrating that the
@@ -27,6 +43,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "core/provider.hpp"
 #include "core/transform.hpp"
@@ -70,6 +87,11 @@ class EncryptionKeySource {
   /// Key for a frame's epoch; throws QosError for unknown epochs.
   virtual const crypto::Key128& key_for(std::int64_t epoch) const = 0;
   virtual bool integrity() const = 0;
+  /// Integrity setting the given epoch was sealed under; defaults to the
+  /// current setting for sources that do not version it.
+  virtual bool integrity_for(std::int64_t /*epoch*/) const {
+    return integrity();
+  }
 };
 
 /// Streaming cipher stage. Frame: [epoch:i64][mac:u64][ciphertext...];
@@ -106,7 +128,8 @@ class EncryptionModule final : public core::QosModule,
 
   /// Commands: dh_exchange(epoch, peer_public) -> own public;
   /// install_key(epoch, secret-bytes) [local side];
-  /// set_epoch(epoch); set_integrity(bool); current_epoch() -> epoch.
+  /// set_epoch(epoch); set_integrity(bool); set_key_bits(128|64);
+  /// current_epoch() -> epoch.
   cdr::Any command(const std::string& op,
                    const std::vector<cdr::Any>& args) override;
 
@@ -114,6 +137,12 @@ class EncryptionModule final : public core::QosModule,
   void install_key(std::int64_t epoch, util::BytesView secret);
   void set_current_epoch(std::int64_t epoch);
   std::int64_t current_epoch() const noexcept { return current_epoch_; }
+
+  /// Effective key strength for keys installed from now on: 64 masks the
+  /// upper half of the derived 128-bit key. Both DH peers must agree
+  /// before the next exchange (client_setup sends it ahead of rotating).
+  void set_key_bits(std::int64_t bits);
+  std::int64_t key_bits() const noexcept { return key_bits_; }
 
   // EncryptionKeySource
   std::int64_t seal_epoch() const override;
@@ -124,27 +153,40 @@ class EncryptionModule final : public core::QosModule,
   std::map<std::int64_t, crypto::Key128> keys_;
   std::int64_t current_epoch_ = -1;  // -1 = no key, refuse traffic
   bool integrity_ = true;
+  std::int64_t key_bits_ = 128;
   std::uint64_t dh_private_seed_ = 0x5EED;
   EncryptionTransform stage_;
   core::TransformChain chain_;
 };
 
-/// Fixed pre-shared-key source for the application-centered variant:
-/// every frame is sealed as epoch 0 under the agreement's "psk" key.
+/// Pre-shared-key source for the application-centered variant: frames are
+/// sealed as the agreement's version (0 for hand-built bindings, matching
+/// the legacy fixed-epoch frames). Bindings of recent versions stay
+/// retained so cross-version frames in flight across a renegotiation
+/// still open under the key/integrity pair they were sealed with.
 class PskKeySource final : public EncryptionKeySource {
  public:
-  void configure(const crypto::Key128& key, bool integrity) noexcept {
-    key_ = key;
-    integrity_ = integrity;
-  }
+  /// Binds `key`/`integrity` for agreement `version` and makes it the
+  /// seal version. Rebinding the current version replaces it in place.
+  void configure(const crypto::Key128& key, bool integrity,
+                 std::int64_t version = 0);
 
-  std::int64_t seal_epoch() const override { return 0; }
-  const crypto::Key128& key_for(std::int64_t) const override { return key_; }
-  bool integrity() const override { return integrity_; }
+  std::int64_t seal_epoch() const override;
+  const crypto::Key128& key_for(std::int64_t epoch) const override;
+  bool integrity() const override;
+  bool integrity_for(std::int64_t epoch) const override;
 
  private:
-  crypto::Key128 key_{};
-  bool integrity_ = true;
+  struct VersionedKey {
+    std::int64_t version = 0;
+    crypto::Key128 key{};
+    bool integrity = true;
+  };
+  static constexpr std::size_t kMaxRetained = 4;
+
+  const VersionedKey& binding_for(std::int64_t epoch) const;
+
+  std::vector<VersionedKey> bindings_;  // ascending version, newest last
 };
 
 /// Application-centered variant: same cipher woven at the stub/skeleton

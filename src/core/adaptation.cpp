@@ -107,6 +107,105 @@ void AdaptationManager::adapt(std::uint64_t agreement_id,
   }
 }
 
+// ---- lattice policies ----
+
+std::string violation_resource(const std::string& reason) {
+  // shed_overload: "resource overload: <r>"; sched_bridge:
+  // "...resource=<r>:..." or trailing "resource=<r>".
+  static const std::string kOverload = "resource overload: ";
+  static const std::string kTagged = "resource=";
+  std::string out;
+  if (auto at = reason.find(kOverload); at != std::string::npos) {
+    out = reason.substr(at + kOverload.size());
+  } else if (auto tag = reason.find(kTagged); tag != std::string::npos) {
+    out = reason.substr(tag + kTagged.size());
+  } else {
+    return {};
+  }
+  const auto end = out.find_first_of(": ");
+  if (end != std::string::npos) out.resize(end);
+  return out;
+}
+
+namespace {
+
+std::optional<std::map<std::string, cdr::Any>> flatten_step(
+    const Agreement& agreement, CapabilityMatrix stepped) {
+  std::map<std::string, cdr::Any> proposal = agreement.params;
+  for (auto& [name, value] : stepped.chosen_params()) {
+    proposal[name] = std::move(value);
+  }
+  return proposal;
+}
+
+}  // namespace
+
+AdaptationManager::Policy make_lattice_policy() {
+  return [](const Agreement& agreement,
+            const std::string&) -> std::optional<std::map<std::string,
+                                                          cdr::Any>> {
+    CapabilityMatrix stepped = agreement.matrix;
+    if (!stepped.degrade_step().has_value()) return std::nullopt;
+    return flatten_step(agreement, std::move(stepped));
+  };
+}
+
+AdaptationManager::Policy make_lattice_policy(
+    const ProviderRegistry& providers) {
+  return [&providers](const Agreement& agreement, const std::string& reason)
+             -> std::optional<std::map<std::string, cdr::Any>> {
+    const std::string resource = violation_resource(reason);
+    const CharacteristicProvider* provider =
+        providers.find(agreement.characteristic);
+    if (!resource.empty() && provider != nullptr &&
+        provider->resource_demand && !agreement.matrix.empty()) {
+      const ResourceDemand current =
+          provider->resource_demand(agreement.params);
+      const auto current_at = current.find(resource);
+      const double base =
+          current_at != current.end() ? current_at->second : 0.0;
+      // Cheapest single-dimension step that strictly relieves the
+      // violated budget: minimal total demand given up, ties to the
+      // lattice's own degradation order.
+      std::size_t best = CapabilityMatrix::npos;
+      double best_cost = 0.0;
+      for (std::size_t i = 0; i < agreement.matrix.dimensions().size();
+           ++i) {
+        CapabilityMatrix stepped = agreement.matrix;
+        if (!stepped.degrade_dimension(i)) continue;
+        const ResourceDemand demand =
+            provider->resource_demand(*flatten_step(agreement, stepped));
+        const auto at = demand.find(resource);
+        const double relieved =
+            base - (at != demand.end() ? at->second : 0.0);
+        if (relieved <= 0.0) continue;
+        double cost = 0.0;
+        for (const auto& [name, amount] : current) {
+          const auto after = demand.find(name);
+          cost += amount - (after != demand.end() ? after->second : 0.0);
+        }
+        const bool better =
+            best == CapabilityMatrix::npos || cost < best_cost ||
+            (cost == best_cost &&
+             agreement.matrix.dimensions()[i].degrade_rank <
+                 agreement.matrix.dimensions()[best].degrade_rank);
+        if (better) {
+          best = i;
+          best_cost = cost;
+        }
+      }
+      if (best != CapabilityMatrix::npos) {
+        CapabilityMatrix stepped = agreement.matrix;
+        stepped.degrade_dimension(best);
+        return flatten_step(agreement, std::move(stepped));
+      }
+    }
+    CapabilityMatrix stepped = agreement.matrix;
+    if (!stepped.degrade_step().has_value()) return std::nullopt;
+    return flatten_step(agreement, std::move(stepped));
+  };
+}
+
 void AdaptationManager::watch_metric(Monitor& monitor,
                                      const std::string& metric,
                                      Threshold threshold,

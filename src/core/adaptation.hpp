@@ -81,4 +81,24 @@ class AdaptationManager {
   std::uint64_t terminations_ = 0;
 };
 
+/// Degrades along the agreement's preference lattice: one degrade_step()
+/// per violation (the dimension with the lowest degrade_rank that is not
+/// yet at its floor), terminating when the matrix reaches its floor.
+/// Agreements without dimensions terminate on first violation.
+AdaptationManager::Policy make_lattice_policy();
+
+/// Resource-aware variant: when the violation reason names a resource
+/// (shed_overload's "resource overload: <r>", sched_bridge's
+/// "resource=<r>") and the provider declares a demand function, proposes
+/// the *cheapest* single-dimension step that strictly relieves that
+/// resource — the one giving up the least total demand. Falls back to the
+/// plain lattice order when no step relieves the violated budget or the
+/// reason names no resource. `providers` must outlive the policy.
+AdaptationManager::Policy make_lattice_policy(
+    const ProviderRegistry& providers);
+
+/// Parses the violated resource out of a violation reason; empty when the
+/// reason names none.
+std::string violation_resource(const std::string& reason);
+
 }  // namespace maqs::core

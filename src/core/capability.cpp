@@ -1,0 +1,187 @@
+#include "core/capability.hpp"
+
+#include <algorithm>
+
+#include "core/characteristic.hpp"
+
+namespace maqs::core {
+
+cdr::Any make_tuple_any(std::vector<cdr::Any> items) {
+  std::vector<std::pair<std::string, cdr::TypeCodePtr>> members;
+  members.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    members.emplace_back("f" + std::to_string(i), items[i].type());
+  }
+  return cdr::Any::from_struct(
+      cdr::TypeCode::struct_tc("tuple", std::move(members)),
+      std::move(items));
+}
+
+CapabilityMatrix::CapabilityMatrix(std::vector<DimensionDesc> dimensions)
+    : dimensions_(std::move(dimensions)),
+      chosen_(dimensions_.size(), 0) {
+  for (const DimensionDesc& dim : dimensions_) {
+    if (dim.ranked.empty()) {
+      throw QosError("capability: dimension '" + dim.name +
+                     "' has no values");
+    }
+  }
+}
+
+std::size_t CapabilityMatrix::find_dimension(
+    const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (dimensions_[i].name == name) return i;
+  }
+  return npos;
+}
+
+const cdr::Any& CapabilityMatrix::value(std::size_t i) const {
+  if (i >= dimensions_.size()) {
+    throw QosError("capability: dimension index out of range");
+  }
+  return dimensions_[i].ranked[chosen_[i]];
+}
+
+const cdr::Any* CapabilityMatrix::find_value(const std::string& name) const {
+  const std::size_t i = find_dimension(name);
+  return i == npos ? nullptr : &dimensions_[i].ranked[chosen_[i]];
+}
+
+bool CapabilityMatrix::choose(const std::string& name,
+                              const cdr::Any& value) {
+  const std::size_t i = find_dimension(name);
+  if (i == npos) return false;
+  const std::vector<cdr::Any>& ranked = dimensions_[i].ranked;
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    if (ranked[r] == value) {
+      chosen_[i] = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CapabilityMatrix::restrict_to(const std::string& name,
+                                   const cdr::Any& value) {
+  const std::size_t i = find_dimension(name);
+  if (i == npos) return false;
+  std::vector<cdr::Any>& ranked = dimensions_[i].ranked;
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    if (ranked[r] == value) {
+      ranked.erase(ranked.begin(), ranked.begin() + static_cast<long>(r));
+      chosen_[i] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CapabilityMatrix::at_floor() const noexcept {
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (chosen_[i] + 1 < dimensions_[i].ranked.size()) return false;
+  }
+  return true;
+}
+
+bool CapabilityMatrix::degrade_dimension(std::size_t i) {
+  if (i >= dimensions_.size()) return false;
+  if (chosen_[i] + 1 >= dimensions_[i].ranked.size()) return false;
+  ++chosen_[i];
+  return true;
+}
+
+std::optional<std::string> CapabilityMatrix::degrade_step() {
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (chosen_[i] + 1 >= dimensions_[i].ranked.size()) continue;
+    if (best == npos ||
+        dimensions_[i].degrade_rank < dimensions_[best].degrade_rank) {
+      best = i;
+    }
+  }
+  if (best == npos) return std::nullopt;
+  ++chosen_[best];
+  return dimensions_[best].name;
+}
+
+std::map<std::string, cdr::Any> CapabilityMatrix::chosen_params() const {
+  std::map<std::string, cdr::Any> out;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    out[dimensions_[i].name] = dimensions_[i].ranked[chosen_[i]];
+  }
+  return out;
+}
+
+std::size_t CapabilityMatrix::rank_distance() const noexcept {
+  std::size_t sum = 0;
+  for (std::size_t rank : chosen_) sum += rank;
+  return sum;
+}
+
+bool CapabilityMatrix::same_point(const CapabilityMatrix& other) const {
+  if (dimensions_.size() != other.dimensions_.size()) return false;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    const cdr::Any* mine = find_value(dimensions_[i].name);
+    const cdr::Any* theirs = other.find_value(dimensions_[i].name);
+    if (mine == nullptr || theirs == nullptr || !(*mine == *theirs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Wire form: tuple [version:i64, ndims:i64, then per dimension:
+// name:string, degrade_rank:i64, chosen:i64, nvalues:i64, values...].
+cdr::Any CapabilityMatrix::to_any() const {
+  std::vector<cdr::Any> items;
+  items.push_back(cdr::Any::from_longlong(version_));
+  items.push_back(
+      cdr::Any::from_longlong(static_cast<std::int64_t>(dimensions_.size())));
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    const DimensionDesc& dim = dimensions_[i];
+    items.push_back(cdr::Any::from_string(dim.name));
+    items.push_back(
+        cdr::Any::from_longlong(static_cast<std::int64_t>(dim.degrade_rank)));
+    items.push_back(
+        cdr::Any::from_longlong(static_cast<std::int64_t>(chosen_[i])));
+    items.push_back(
+        cdr::Any::from_longlong(static_cast<std::int64_t>(dim.ranked.size())));
+    for (const cdr::Any& value : dim.ranked) items.push_back(value);
+  }
+  return make_tuple_any(std::move(items));
+}
+
+CapabilityMatrix CapabilityMatrix::from_any(const cdr::Any& any) {
+  const std::vector<cdr::Any>& items = any.as_elements();
+  std::size_t at = 0;
+  auto next = [&]() -> const cdr::Any& {
+    if (at >= items.size()) {
+      throw QosError("capability: truncated matrix encoding");
+    }
+    return items[at++];
+  };
+  CapabilityMatrix matrix;
+  matrix.version_ = next().as_longlong();
+  const std::int64_t ndims = next().as_longlong();
+  if (ndims < 0 || ndims > 64) {
+    throw QosError("capability: malformed matrix encoding");
+  }
+  for (std::int64_t d = 0; d < ndims; ++d) {
+    DimensionDesc dim;
+    dim.name = next().as_string();
+    dim.degrade_rank = static_cast<int>(next().as_longlong());
+    const std::int64_t chosen = next().as_longlong();
+    const std::int64_t nvalues = next().as_longlong();
+    if (nvalues <= 0 || nvalues > 1024 || chosen < 0 || chosen >= nvalues) {
+      throw QosError("capability: malformed dimension '" + dim.name + "'");
+    }
+    dim.ranked.reserve(static_cast<std::size_t>(nvalues));
+    for (std::int64_t v = 0; v < nvalues; ++v) dim.ranked.push_back(next());
+    matrix.dimensions_.push_back(std::move(dim));
+    matrix.chosen_.push_back(static_cast<std::size_t>(chosen));
+  }
+  return matrix;
+}
+
+}  // namespace maqs::core

@@ -1,0 +1,106 @@
+// Capability matrices: multi-dimensional negotiable QoS capabilities.
+//
+// A characteristic no longer negotiates a single scalar level but a
+// *matrix* of named dimensions (compression algorithm, cipher key size,
+// integrity, ...), each with a ranked preference order (best first). A
+// negotiated agreement pins one point in that lattice and carries a
+// monotonically increasing version so both peers can tell frames and
+// renegotiations of different agreement generations apart.
+//
+// The preference lattice also drives adaptation: `degrade_step()` walks
+// to the next-cheaper point by degrading the dimension with the lowest
+// `degrade_rank` first (drop the compression algorithm before shrinking
+// the cipher; drop integrity last).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdr/any.hpp"
+#include "util/error.hpp"
+
+namespace maqs::core {
+
+/// One negotiable dimension: a name plus its value lattice, best first.
+struct DimensionDesc {
+  std::string name;
+  /// Ranked values, most preferred first. Never empty for a valid matrix.
+  std::vector<cdr::Any> ranked;
+  /// Degradation priority across dimensions: lower ranks degrade first.
+  int degrade_rank = 0;
+};
+
+/// A point in the preference lattice of a set of dimensions, plus the
+/// lattice itself and the agreement version it belongs to.
+///
+/// Version semantics: 0 = unnegotiated (hand-built bindings, default
+/// constructions); the first negotiated agreement is version 1 and every
+/// accepted renegotiation increments it by exactly one.
+class CapabilityMatrix {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  CapabilityMatrix() = default;
+  /// Chooses every dimension's most preferred value.
+  explicit CapabilityMatrix(std::vector<DimensionDesc> dimensions);
+
+  bool empty() const noexcept { return dimensions_.empty(); }
+  const std::vector<DimensionDesc>& dimensions() const noexcept {
+    return dimensions_;
+  }
+  /// chosen()[i] indexes dimensions()[i].ranked.
+  const std::vector<std::size_t>& chosen() const noexcept { return chosen_; }
+
+  std::int64_t version() const noexcept { return version_; }
+  void set_version(std::int64_t version) noexcept { version_ = version; }
+
+  std::size_t find_dimension(const std::string& name) const noexcept;
+  /// Chosen value of dimension `i` (throws QosError out of range).
+  const cdr::Any& value(std::size_t i) const;
+  /// Chosen value of the named dimension; nullptr when undeclared.
+  const cdr::Any* find_value(const std::string& name) const;
+
+  /// Pins the named dimension to `value` (which must be one of its ranked
+  /// values). Returns false when the dimension or value is unknown.
+  bool choose(const std::string& name, const cdr::Any& value);
+  /// Re-ranks the named dimension to start at `value`: the chosen point
+  /// and every less-preferred value stay reachable for degradation, the
+  /// more-preferred prefixes are cut. Returns false when unknown.
+  bool restrict_to(const std::string& name, const cdr::Any& value);
+
+  /// True when every dimension sits at its least preferred value.
+  bool at_floor() const noexcept;
+  /// Degrades one dimension by one rank: the not-yet-floored dimension
+  /// with the lowest degrade_rank. Returns its name, or nullopt at floor.
+  std::optional<std::string> degrade_step();
+  /// Degrades dimension `i` by one rank; false when already at its floor.
+  bool degrade_dimension(std::size_t i);
+
+  /// Chosen point flattened to a param map (dimension name -> value).
+  std::map<std::string, cdr::Any> chosen_params() const;
+
+  /// Lattice distance from the top: sum over dimensions of the chosen
+  /// rank index. 0 = every dimension at its most preferred value.
+  std::size_t rank_distance() const noexcept;
+
+  bool same_point(const CapabilityMatrix& other) const;
+
+  /// Wire form: a self-describing tuple Any (see capability.cpp).
+  cdr::Any to_any() const;
+  static CapabilityMatrix from_any(const cdr::Any& any);
+
+ private:
+  std::vector<DimensionDesc> dimensions_;
+  std::vector<std::size_t> chosen_;
+  std::int64_t version_ = 0;
+};
+
+/// Heterogeneous tuple as a self-describing struct Any (member names are
+/// positional; only structure matters on the wire). Shared by the
+/// negotiation protocol and the matrix encoding.
+cdr::Any make_tuple_any(std::vector<cdr::Any> items);
+
+}  // namespace maqs::core

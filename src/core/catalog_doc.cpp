@@ -38,6 +38,20 @@ std::string catalog_entry_markdown(
     }
     out << "\n";
   }
+  if (!descriptor.dimensions().empty()) {
+    out << "| dimension | preference lattice (best first) | degrade rank "
+           "|\n";
+    out << "|---|---|---|\n";
+    for (const DimensionDesc& dim : descriptor.dimensions()) {
+      out << "| `" << dim.name << "` | ";
+      for (std::size_t i = 0; i < dim.ranked.size(); ++i) {
+        if (i != 0) out << " > ";
+        out << dim.ranked[i].to_string();
+      }
+      out << " | " << dim.degrade_rank << " |\n";
+    }
+    out << "\n";
+  }
   if (!descriptor.operations().empty()) {
     out << "QoS operations:\n\n";
     for (const QosOpDesc& op : descriptor.operations()) {

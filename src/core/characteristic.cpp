@@ -17,9 +17,16 @@ const char* qos_category_name(QosCategory category) noexcept {
 CharacteristicDescriptor::CharacteristicDescriptor(
     std::string name, QosCategory category, std::vector<ParamDesc> params,
     std::vector<QosOpDesc> operations)
+    : CharacteristicDescriptor(std::move(name), category, std::move(params),
+                               {}, std::move(operations)) {}
+
+CharacteristicDescriptor::CharacteristicDescriptor(
+    std::string name, QosCategory category, std::vector<ParamDesc> params,
+    std::vector<DimensionDesc> dimensions, std::vector<QosOpDesc> operations)
     : name_(std::move(name)),
       category_(category),
       params_(std::move(params)),
+      dimensions_(std::move(dimensions)),
       operations_(std::move(operations)) {
   if (name_.empty()) throw QosError("characteristic: empty name");
   for (const ParamDesc& param : params_) {
@@ -32,12 +39,36 @@ CharacteristicDescriptor::CharacteristicDescriptor(
                      "' default has wrong type");
     }
   }
+  for (const DimensionDesc& dim : dimensions_) {
+    if (dim.ranked.empty()) {
+      throw QosError("characteristic " + name_ + ": dimension '" + dim.name +
+                     "' has no values");
+    }
+    if (find_param(dim.name) != nullptr) {
+      throw QosError("characteristic " + name_ + ": dimension '" + dim.name +
+                     "' clashes with a param of the same name");
+    }
+    for (const cdr::Any& value : dim.ranked) {
+      if (!value.type()->equal(*dim.ranked.front().type())) {
+        throw QosError("characteristic " + name_ + ": dimension '" +
+                       dim.name + "' mixes value types");
+      }
+    }
+  }
 }
 
 const ParamDesc* CharacteristicDescriptor::find_param(
     const std::string& name) const {
   for (const ParamDesc& param : params_) {
     if (param.name == name) return &param;
+  }
+  return nullptr;
+}
+
+const DimensionDesc* CharacteristicDescriptor::find_dimension(
+    const std::string& name) const {
+  for (const DimensionDesc& dim : dimensions_) {
+    if (dim.name == name) return &dim;
   }
   return nullptr;
 }
@@ -87,6 +118,41 @@ std::map<std::string, cdr::Any> CharacteristicDescriptor::validate_params(
     out[name] = value;
   }
   return out;
+}
+
+CapabilityMatrix CharacteristicDescriptor::default_matrix() const {
+  return dimensions_.empty() ? CapabilityMatrix{}
+                             : CapabilityMatrix{dimensions_};
+}
+
+void CharacteristicDescriptor::validate_matrix(
+    const CapabilityMatrix& offer) const {
+  for (const DimensionDesc& offered : offer.dimensions()) {
+    const DimensionDesc* declared = find_dimension(offered.name);
+    if (declared == nullptr) {
+      throw QosError("characteristic " + name_ + ": unknown dimension '" +
+                     offered.name + "'");
+    }
+    for (const cdr::Any& value : offered.ranked) {
+      bool known = false;
+      for (const cdr::Any& candidate : declared->ranked) {
+        if (candidate == value) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw QosError("characteristic " + name_ + ": dimension '" +
+                       offered.name + "' offers an undeclared value");
+      }
+    }
+  }
+  for (const DimensionDesc& declared : dimensions_) {
+    if (offer.find_dimension(declared.name) == CapabilityMatrix::npos) {
+      throw QosError("characteristic " + name_ + ": offer misses dimension '" +
+                     declared.name + "'");
+    }
+  }
 }
 
 void CharacteristicCatalog::add(CharacteristicDescriptor descriptor) {

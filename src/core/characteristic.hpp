@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cdr/any.hpp"
+#include "core/capability.hpp"
 #include "util/error.hpp"
 
 namespace maqs::core {
@@ -66,15 +67,24 @@ class CharacteristicDescriptor {
   CharacteristicDescriptor(std::string name, QosCategory category,
                            std::vector<ParamDesc> params,
                            std::vector<QosOpDesc> operations);
+  /// With negotiable dimensions (the capability matrix shape).
+  CharacteristicDescriptor(std::string name, QosCategory category,
+                           std::vector<ParamDesc> params,
+                           std::vector<DimensionDesc> dimensions,
+                           std::vector<QosOpDesc> operations);
 
   const std::string& name() const noexcept { return name_; }
   QosCategory category() const noexcept { return category_; }
   const std::vector<ParamDesc>& params() const noexcept { return params_; }
+  const std::vector<DimensionDesc>& dimensions() const noexcept {
+    return dimensions_;
+  }
   const std::vector<QosOpDesc>& operations() const noexcept {
     return operations_;
   }
 
   const ParamDesc* find_param(const std::string& name) const;
+  const DimensionDesc* find_dimension(const std::string& name) const;
   const QosOpDesc* find_operation(const std::string& name) const;
   bool owns_operation(const std::string& name) const {
     return find_operation(name) != nullptr;
@@ -90,10 +100,21 @@ class CharacteristicDescriptor {
   std::map<std::string, cdr::Any> validate_params(
       const std::map<std::string, cdr::Any>& proposed) const;
 
+  /// The full preference lattice with every dimension at its most
+  /// preferred value (version 0).
+  CapabilityMatrix default_matrix() const;
+
+  /// Validates an offered matrix against the declared dimensions: every
+  /// offered dimension must be declared, every offered value must be one
+  /// of the declared values, and every declared dimension must be
+  /// present. Throws QosError on violation.
+  void validate_matrix(const CapabilityMatrix& offer) const;
+
  private:
   std::string name_;
   QosCategory category_ = QosCategory::kOther;
   std::vector<ParamDesc> params_;
+  std::vector<DimensionDesc> dimensions_;
   std::vector<QosOpDesc> operations_;
 };
 

@@ -37,6 +37,28 @@ bool Agreement::bool_param(const std::string& name) const {
   return require_param(*this, name).as_bool();
 }
 
+const cdr::Any* Agreement::find_param(const std::string& name) const {
+  auto it = params.find(name);
+  return it != params.end() ? &it->second : nullptr;
+}
+
+std::int64_t Agreement::int_param_or(const std::string& name,
+                                     std::int64_t fallback) const {
+  const cdr::Any* any = find_param(name);
+  return any != nullptr ? any->as_integer() : fallback;
+}
+
+std::string Agreement::string_param_or(const std::string& name,
+                                       std::string fallback) const {
+  const cdr::Any* any = find_param(name);
+  return any != nullptr ? any->as_string() : fallback;
+}
+
+bool Agreement::bool_param_or(const std::string& name, bool fallback) const {
+  const cdr::Any* any = find_param(name);
+  return any != nullptr ? any->as_bool() : fallback;
+}
+
 Agreement& AgreementRepository::create(Agreement agreement) {
   agreement.id = next_id_++;
   auto [it, _] = agreements_.emplace(agreement.id, std::move(agreement));

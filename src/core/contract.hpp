@@ -35,14 +35,32 @@ struct Agreement {
   std::string object_key;
   /// Peer identity (client endpoint string) for bookkeeping.
   std::string client;
-  /// Negotiated parameter values.
+  /// Negotiated parameter values: the flat union of the characteristic's
+  /// scalar params and the matrix's chosen dimension values.
   std::map<std::string, cdr::Any> params;
+  /// Negotiated capability matrix (chosen point + preference lattice +
+  /// version). Empty with version 0 for hand-built or dimensionless
+  /// agreements.
+  CapabilityMatrix matrix;
   AgreementState state = AgreementState::kProposed;
+
+  /// Agreement generation: matrix.version(). 0 = unnegotiated.
+  std::int64_t version() const noexcept { return matrix.version(); }
 
   /// Typed param accessors (throw QosError when missing).
   std::int64_t int_param(const std::string& name) const;
   std::string string_param(const std::string& name) const;
   bool bool_param(const std::string& name) const;
+
+  /// Tolerant accessors for dimension-backed values: the param when
+  /// present, otherwise `fallback` (hand-built agreements may omit
+  /// dimensions entirely).
+  std::int64_t int_param_or(const std::string& name,
+                            std::int64_t fallback) const;
+  std::string string_param_or(const std::string& name,
+                              std::string fallback) const;
+  bool bool_param_or(const std::string& name, bool fallback) const;
+  const cdr::Any* find_param(const std::string& name) const;
 };
 
 /// Per-side store of agreements.

@@ -14,6 +14,50 @@ void CompositeMediator::add(std::shared_ptr<Mediator> mediator) {
   }
   chain_.push_back(std::move(mediator));
   rebuild_fused();
+  distribute_channel_version();
+}
+
+void CompositeMediator::distribute_channel_version() {
+  // A lone member (or none) keeps standalone semantics: its mechanism
+  // material stays versioned by its own agreement, exactly as if it were
+  // bound by hand outside any composite.
+  if (chain_.size() < 2) {
+    for (const auto& mediator : chain_) mediator->set_channel_version(-1);
+    return;
+  }
+  std::int64_t sum = 0;
+  for (const auto& mediator : chain_) sum += mediator->agreement().version();
+  for (const auto& mediator : chain_) {
+    // Hand-built members (version 0) never joined a negotiation; leave
+    // their bindings alone so legacy frames stay byte-identical.
+    if (mediator->agreement().version() <= 0) continue;
+    if (mediator->channel_version() == sum) continue;
+    mediator->set_channel_version(sum);
+    // Re-register the member's versioned material (codec binding, key
+    // epoch) under the channel version. Copy first: bind_agreement
+    // overwrites the member's stored agreement.
+    const Agreement bound = mediator->agreement();
+    mediator->bind_agreement(bound);
+  }
+}
+
+bool CompositeMediator::rebind(const std::string& characteristic,
+                               const Agreement& agreement) {
+  const std::shared_ptr<Mediator> member = find(characteristic);
+  if (!member) return false;
+  if (chain_.size() >= 2 && agreement.version() > 0) {
+    // Bump the channel before binding so the member registers its new
+    // material under the NEW epoch instead of overwriting the binding
+    // in-flight frames of the current epoch still need.
+    std::int64_t sum = agreement.version();
+    for (const auto& mediator : chain_) {
+      if (mediator != member) sum += mediator->agreement().version();
+    }
+    member->set_channel_version(sum);
+  }
+  member->bind_agreement(agreement);
+  distribute_channel_version();
+  return true;
 }
 
 void CompositeMediator::rebuild_fused() {
@@ -34,6 +78,7 @@ bool CompositeMediator::remove(const std::string& characteristic) {
   if (it == chain_.end()) return false;
   chain_.erase(it);
   rebuild_fused();
+  distribute_channel_version();
   return true;
 }
 

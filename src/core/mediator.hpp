@@ -45,6 +45,18 @@ class Mediator : public orb::ClientDelegate {
 
   const Agreement& agreement() const noexcept { return agreement_; }
 
+  /// Woven channel version: when several agreements share one wire channel
+  /// (a composite stub), frames are versioned by the SUM of all member
+  /// agreement versions — strictly monotone across any single member's
+  /// renegotiation — rather than by any one agreement's version. The
+  /// composite distributes it at weave and rebind time; -1 (the default)
+  /// means standalone, where bind_agreement versions its mechanism
+  /// material (codec bindings, key epochs) by the agreement's own version.
+  void set_channel_version(std::int64_t version) noexcept {
+    channel_version_ = version;
+  }
+  std::int64_t channel_version() const noexcept { return channel_version_; }
+
   /// Client-side entry for the characteristic's QoS operations (the
   /// mediator half of the QIDL mapping). Mechanism ops usually execute
   /// locally; peer ops are forwarded to the server's QoS implementation.
@@ -63,9 +75,17 @@ class Mediator : public orb::ClientDelegate {
   /// outbound()/inbound() hooks.
   virtual StreamingTransform* streaming_transform() { return nullptr; }
 
+ protected:
+  /// Version to register versioned mechanism material under for
+  /// `agreement`: the channel version when woven, else the agreement's own.
+  std::int64_t effective_version(const Agreement& agreement) const noexcept {
+    return channel_version_ >= 0 ? channel_version_ : agreement.version();
+  }
+
  private:
   std::string characteristic_;
   Agreement agreement_;
+  std::int64_t channel_version_ = -1;
 };
 
 class CompositeMediator : public orb::ClientDelegate {
@@ -74,6 +94,12 @@ class CompositeMediator : public orb::ClientDelegate {
   void add(std::shared_ptr<Mediator> mediator);
   /// Removes by characteristic name; returns false when absent.
   bool remove(const std::string& characteristic);
+  /// Rebinds one member at a renegotiated agreement and redistributes the
+  /// channel version: every member re-registers its versioned material at
+  /// the new frame epoch while retaining the previous one, so in-flight
+  /// frames across the switch still decode. Returns false when no member
+  /// carries the characteristic.
+  bool rebind(const std::string& characteristic, const Agreement& agreement);
   std::shared_ptr<Mediator> find(const std::string& characteristic) const;
   std::size_t size() const noexcept { return chain_.size(); }
 
@@ -91,6 +117,10 @@ class CompositeMediator : public orb::ClientDelegate {
   /// the fused path engages only when every member mediator exposes a
   /// streaming stage.
   void rebuild_fused();
+  /// Pushes the channel version (sum of member agreement versions) to the
+  /// members sharing this stub's wire channel; see
+  /// Mediator::set_channel_version.
+  void distribute_channel_version();
 
   std::vector<std::shared_ptr<Mediator>> chain_;
   TransformChain fused_{"mediator.outbound", "mediator.inbound"};

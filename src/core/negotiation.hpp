@@ -8,15 +8,20 @@
 // negotiation of a QoS agreement between client and service".
 //
 // Protocol (command target "maqs.negotiator" on the server transport):
-//   negotiate(characteristic, object_key, params)
-//       -> accepted? agreement_id, final/counter params, message
-//   renegotiate(agreement_id, params)      -> same result shape
+//   negotiate(characteristic, object_key, phase, matrix, params)
+//       -> accepted? agreement_id, matrix, final/counter params, message
+//   renegotiate(agreement_id, expected_version, matrix, params)
+//       -> same result shape
 //   terminate(agreement_id)                -> void
 //
-// Admission on the server is pluggable; the default reserves the
-// provider's declared resource demand against the ResourceManager and
-// counter-offers by degrading integral params toward their minimum when
-// the demand does not fit.
+// The offer carries a capability matrix: the client's ranked preference
+// lattice with its chosen point. The server intersects that lattice with
+// ResourceManager capacity and either accepts the chosen point or
+// counters with its best feasible point; the client confirms a counter
+// (phase "accept") when it satisfies its preferences. Accepted
+// agreements are versioned; a renegotiation must name the version it is
+// renegotiating from and either commits version+1 atomically or leaves
+// the previous agreement version (matrix, params, reservation) intact.
 #pragma once
 
 #include <functional>
@@ -52,11 +57,47 @@ struct AdmissionDecision {
   std::string reason;
 };
 
-/// Pluggable admission policy: characteristic + validated params ->
-/// decision. The default (nullptr) uses resource-demand admission.
+/// Pluggable admission policy: characteristic + flattened params (scalars
+/// plus chosen dimension values) -> decision. The default (nullptr) walks
+/// the offer's preference lattice against resource-demand admission. A
+/// policy that accepts is responsible for reserving its own demand.
 using AdmissionPolicy = std::function<AdmissionDecision(
     const CharacteristicProvider&, const std::map<std::string, cdr::Any>&,
     ResourceManager&)>;
+
+/// Outcome of reviewing one offered capability matrix + scalar params
+/// against a provider's declared capabilities and the resource budget.
+struct OfferReview {
+  AdmissionDecision::Kind kind = AdmissionDecision::Kind::kReject;
+  /// kAccept: the granted matrix (offer's chosen point, possibly degraded
+  /// to the best feasible point when that equals the offer — see below).
+  /// kCounter: the server's best feasible point in the client's lattice.
+  CapabilityMatrix matrix;
+  /// Validated scalar params (defaults filled).
+  std::map<std::string, cdr::Any> scalars;
+  /// scalars + matrix.chosen_params(): the agreement's flat param view.
+  std::map<std::string, cdr::Any> flattened;
+  /// Demand at the granted point; reserved in the ResourceManager iff
+  /// `reserved` (kAccept only — counters hold nothing).
+  ResourceDemand demand;
+  bool reserved = false;
+  std::string reason;
+};
+
+/// Shared offer-validation/admission helper behind both handle_negotiate
+/// and handle_renegotiate: validates the scalar params and the matrix
+/// against the provider's descriptor, then walks the offered preference
+/// lattice from its chosen point down until the flattened demand fits the
+/// resource budget. Fitting at the offered point accepts (demand stays
+/// reserved); fitting lower down counters with that point (nothing
+/// reserved); exhausting the lattice falls back to degrading integral
+/// scalar params toward their minima (legacy counter) before rejecting.
+/// A non-null `policy` short-circuits the walk entirely.
+OfferReview review_offer(const CharacteristicProvider& provider,
+                         ResourceManager& resources,
+                         const AdmissionPolicy& policy,
+                         CapabilityMatrix offer,
+                         const std::map<std::string, cdr::Any>& proposed);
 
 /// Server half. One instance per server ORB/transport.
 class NegotiationService {
@@ -92,14 +133,13 @@ class NegotiationService {
   cdr::Any handle_renegotiate(const std::vector<cdr::Any>& args);
   cdr::Any handle_terminate(const std::vector<cdr::Any>& args);
 
-  AdmissionDecision admit(const CharacteristicProvider& provider,
-                          const std::map<std::string, cdr::Any>& params);
   /// Applies the server-side binding for an accepted agreement: QoS impl
   /// delegate into the servant, module load.
   void apply_server_binding(Agreement& agreement);
 
   cdr::Any result_any(bool accepted, std::uint64_t agreement_id,
                       const std::string& message,
+                      const CapabilityMatrix& matrix,
                       const std::map<std::string, cdr::Any>& params);
 
   QosTransport& transport_;
@@ -114,14 +154,18 @@ class NegotiationService {
 };
 
 /// Client preferences (outlook §6: "client preferences have to be
-/// incorporated in the negotiation process"). Bounds per integral param;
-/// a counter-offer outside any bound is refused.
+/// incorporated in the negotiation process"). Bounds per integral param
+/// or dimension, plus per-dimension allowed value sets; a counter-offer
+/// violating any of them is refused.
 struct ClientPreferences {
   struct Bound {
     std::optional<std::int64_t> min;
     std::optional<std::int64_t> max;
   };
   std::map<std::string, Bound> bounds;
+  /// Non-integral dimensions (e.g. compression.algorithm): the counter's
+  /// value must be a member of the listed set when one is given.
+  std::map<std::string, std::vector<cdr::Any>> allowed;
 
   bool acceptable(const std::map<std::string, cdr::Any>& params) const;
 };
@@ -133,15 +177,26 @@ class Negotiator {
   Negotiator(QosTransport& transport, const ProviderRegistry& providers);
 
   /// Negotiates `characteristic` for the stub's object and installs the
-  /// woven client side on success. A server counter-offer is accepted iff
-  /// it satisfies `prefs` (when given), confirming it with a second
-  /// round. Throws NegotiationFailed otherwise.
+  /// woven client side on success. Params naming a declared dimension
+  /// restrict the offered lattice to start at that value; the rest travel
+  /// as scalar params. A server counter is confirmed (phase "accept")
+  /// iff it satisfies `prefs` (when given); the loop converges in at most
+  /// dimensions+1 rounds. Throws NegotiationFailed otherwise.
   Agreement negotiate(orb::StubBase& stub, const std::string& characteristic,
                       const std::map<std::string, cdr::Any>& params,
                       const ClientPreferences* prefs = nullptr);
 
-  /// Renegotiates an existing agreement to new parameters, rebinding the
-  /// installed mediator on success.
+  /// Same protocol from an explicit pre-built offer matrix.
+  Agreement negotiate_offer(orb::StubBase& stub,
+                            const std::string& characteristic,
+                            CapabilityMatrix offer,
+                            std::map<std::string, cdr::Any> scalars,
+                            const ClientPreferences* prefs = nullptr);
+
+  /// Renegotiates an existing agreement to new parameters (dimension
+  /// names re-pin the matrix point, the rest replace scalars), rebinding
+  /// the installed mediator/modules on success. The request names the
+  /// agreement version it renegotiates from; a stale version fails.
   Agreement renegotiate(orb::StubBase& stub, const Agreement& agreement,
                         const std::map<std::string, cdr::Any>& params);
 

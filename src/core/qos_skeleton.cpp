@@ -135,6 +135,7 @@ void QosServantBase::install_impl(std::shared_ptr<QosImpl> impl) {
   impl->attach(*impl_ctx_);
   impls_.push_back(std::move(impl));
   rebuild_stage_chain();
+  distribute_channel_version();
 }
 
 void QosServantBase::remove_impl(const std::string& characteristic) {
@@ -143,9 +144,52 @@ void QosServantBase::remove_impl(const std::string& characteristic) {
       (*it)->detach();
       impls_.erase(it);
       rebuild_stage_chain();
+      distribute_channel_version();
       return;
     }
   }
+}
+
+void QosServantBase::distribute_channel_version() {
+  // A lone delegate (or none) keeps standalone semantics: its mechanism
+  // material stays versioned by its own agreement.
+  if (impls_.size() < 2) {
+    for (const auto& impl : impls_) impl->set_channel_version(-1);
+    return;
+  }
+  std::int64_t sum = 0;
+  for (const auto& impl : impls_) sum += impl->agreement().version();
+  for (const auto& impl : impls_) {
+    // Hand-built delegates (version 0) never joined a negotiation; leave
+    // their bindings alone so legacy frames stay byte-identical.
+    if (impl->agreement().version() <= 0) continue;
+    if (impl->channel_version() == sum) continue;
+    impl->set_channel_version(sum);
+    // Re-register the delegate's versioned material (codec binding, key
+    // epoch) under the channel version. Copy first: bind_agreement
+    // overwrites the delegate's stored agreement.
+    const Agreement bound = impl->agreement();
+    impl->bind_agreement(bound);
+  }
+}
+
+bool QosServantBase::rebind_impl(const std::string& characteristic,
+                                 const Agreement& agreement) {
+  const std::shared_ptr<QosImpl> delegate = impl_for(characteristic);
+  if (!delegate) return false;
+  if (impls_.size() >= 2 && agreement.version() > 0) {
+    // Bump the channel before binding so the delegate registers its new
+    // material under the NEW epoch instead of overwriting the binding
+    // in-flight frames of the current epoch still need.
+    std::int64_t sum = agreement.version();
+    for (const auto& impl : impls_) {
+      if (impl != delegate) sum += impl->agreement().version();
+    }
+    delegate->set_channel_version(sum);
+  }
+  delegate->bind_agreement(agreement);
+  distribute_channel_version();
+  return true;
 }
 
 void QosServantBase::clear_impls() {

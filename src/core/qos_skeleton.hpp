@@ -82,6 +82,17 @@ class QosImpl {
   }
   const Agreement& agreement() const noexcept { return agreement_; }
 
+  /// Woven channel version — server mirror of
+  /// Mediator::set_channel_version: when several agreements weave through
+  /// one servant, frames are versioned by the sum of all installed
+  /// delegates' agreement versions, distributed by the hosting servant at
+  /// install and rebind time. -1 (default) = standalone; bind_agreement
+  /// then versions material by the agreement's own version.
+  void set_channel_version(std::int64_t version) noexcept {
+    channel_version_ = version;
+  }
+  std::int64_t channel_version() const noexcept { return channel_version_; }
+
   /// Called when the delegate is installed into / removed from a servant.
   virtual void attach(QosServerContext& ctx) { (void)ctx; }
   virtual void detach() {}
@@ -125,9 +136,17 @@ class QosImpl {
                             ": unknown QoS operation " + op);
   }
 
+ protected:
+  /// Version to register versioned mechanism material under for
+  /// `agreement`: the channel version when woven, else the agreement's own.
+  std::int64_t effective_version(const Agreement& agreement) const noexcept {
+    return channel_version_ >= 0 ? channel_version_ : agreement.version();
+  }
+
  private:
   std::string characteristic_;
   Agreement agreement_;
+  std::int64_t channel_version_ = -1;
 };
 
 /// Base of QoS-enabled server skeletons (see file comment).
@@ -155,6 +174,13 @@ class QosServantBase : public orb::Servant {
   void install_impl(std::shared_ptr<QosImpl> impl);
   void remove_impl(const std::string& characteristic);
   void clear_impls();
+  /// Rebinds the delegate of `characteristic` at a renegotiated agreement
+  /// and redistributes the woven channel version (the server mirror of
+  /// CompositeMediator::rebind): every delegate re-registers its versioned
+  /// material at the new frame epoch while retaining the previous one.
+  /// Returns false when no delegate of that characteristic is installed.
+  bool rebind_impl(const std::string& characteristic,
+                   const Agreement& agreement);
   std::shared_ptr<QosImpl> impl_for(const std::string& characteristic) const;
   /// Installed delegates in installation order.
   const std::vector<std::shared_ptr<QosImpl>>& active_impls() const noexcept {
@@ -179,6 +205,11 @@ class QosServantBase : public orb::Servant {
   /// prolog band and a payload-transform stage in the transform band
   /// (see dispatch() for the nesting the band priorities encode).
   void rebuild_stage_chain();
+
+  /// Pushes the channel version (sum of installed delegates' agreement
+  /// versions) to the delegates weaving this servant's wire channel; see
+  /// QosImpl::set_channel_version.
+  void distribute_channel_version();
 
   /// op name -> owning characteristic (across all assigned ones).
   std::map<std::string, std::string> qos_ops_;

@@ -7,10 +7,22 @@ namespace maqs::core {
 void attach_overload_renegotiation(sched::RequestScheduler& scheduler,
                                    NegotiationService& negotiation) {
   scheduler.set_overload_handler(
-      [&negotiation](const std::string& class_name,
-                     const std::string& object_key, const std::string& cause) {
+      [&scheduler, &negotiation](const std::string& class_name,
+                                 const std::string& object_key,
+                                 const std::string& cause) {
+        // Name the violated budget so the client's lattice policy can
+        // pick the cheapest step that relieves exactly this resource.
+        std::string resource;
+        for (std::size_t i = 0; i < scheduler.classifier().class_count();
+             ++i) {
+          const sched::ClassConfig& config = scheduler.class_config(i);
+          if (config.name == class_name && !config.resource.empty()) {
+            resource = ":resource=" + config.resource;
+            break;
+          }
+        }
         const std::string reason =
-            "overload:class=" + class_name + ": " + cause;
+            "overload:class=" + class_name + resource + ": " + cause;
         for (Agreement* agreement :
              negotiation.agreements().by_object(object_key)) {
           negotiation.notify_violation(agreement->id, reason);

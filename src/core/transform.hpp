@@ -42,6 +42,13 @@ namespace maqs::core {
 struct TransformContext {
   std::uint64_t request_id = 0;
   bool reply = false;
+  /// Agreement version the inbound frame was sealed under, published by
+  /// the first reverse stage that learns it (the encryption stage reads
+  /// it out of the [epoch|mac] header) for downstream stages that rebind
+  /// per version (e.g. the compression codec). -1 = unknown: stages use
+  /// their current binding. Mutable: the context is shared read-mostly
+  /// across a chain run and this is the one cross-stage channel.
+  mutable std::int64_t frame_version = -1;
 };
 
 /// Bump allocator over BufferPool-recycled slabs. Regions are stable for

@@ -95,6 +95,17 @@ struct QosParamDecl {
   int line = 0;
 };
 
+/// Negotiable dimension inside a characteristic: a ranked preference
+/// order (most preferred first) plus a degradation priority — lower
+/// `degrade_rank` dimensions are sacrificed first under pressure.
+struct QosDimensionDecl {
+  std::string name;
+  TypePtr type;
+  std::vector<Literal> ranked;
+  std::int64_t degrade_rank = 0;
+  int line = 0;
+};
+
 enum class QosOpGroup { kMechanism, kPeer, kAspect };
 
 struct QosOperationDecl {
@@ -106,6 +117,7 @@ struct CharacteristicDecl {
   std::string name;
   std::string category;  // free-form, e.g. "fault_tolerance"
   std::vector<QosParamDecl> params;
+  std::vector<QosDimensionDecl> dimensions;
   std::vector<QosOperationDecl> operations;
   int line = 0;
 };

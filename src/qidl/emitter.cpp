@@ -136,6 +136,40 @@ std::string default_any_expr(const QosParamDecl& param) {
   }
 }
 
+std::string literal_any_expr(const Literal& literal, const TypeNode& type) {
+  switch (type.kind) {
+    case TypeKind::kBoolean:
+      return std::string("maqs::cdr::Any::from_bool(") +
+             (std::get<bool>(literal) ? "true" : "false") + ")";
+    case TypeKind::kOctet:
+      return "maqs::cdr::Any::from_octet(" +
+             std::to_string(std::get<std::int64_t>(literal)) + ")";
+    case TypeKind::kShort:
+      return "maqs::cdr::Any::from_short(" +
+             std::to_string(std::get<std::int64_t>(literal)) + ")";
+    case TypeKind::kLong:
+      return "maqs::cdr::Any::from_long(" +
+             std::to_string(std::get<std::int64_t>(literal)) + ")";
+    case TypeKind::kLongLong:
+      return "maqs::cdr::Any::from_longlong(" +
+             std::to_string(std::get<std::int64_t>(literal)) + ")";
+    case TypeKind::kFloat:
+    case TypeKind::kDouble: {
+      std::ostringstream out;
+      out.precision(17);
+      out << (type.kind == TypeKind::kFloat ? "maqs::cdr::Any::from_float("
+                                            : "maqs::cdr::Any::from_double(")
+          << std::get<double>(literal) << ")";
+      return out.str();
+    }
+    case TypeKind::kString:
+      return "maqs::cdr::Any::from_string(" +
+             escape_string(std::get<std::string>(literal)) + ")";
+    default:
+      return "maqs::cdr::Any::make_void()";
+  }
+}
+
 // ---- emitter ----
 
 class Emitter {
@@ -343,6 +377,18 @@ class Emitter {
       line("          maqs::core::ParamDesc{" + escape_string(param.name) +
            ", " + typecode_expr(*param.type) + ", " +
            default_any_expr(param) + ", " + min + ", " + max + "},");
+    }
+    line("      },");
+    line("      {");
+    for (const QosDimensionDecl& dimension : decl.dimensions) {
+      std::string ranked;
+      for (const Literal& value : dimension.ranked) {
+        if (!ranked.empty()) ranked += ", ";
+        ranked += literal_any_expr(value, *dimension.type);
+      }
+      line("          maqs::core::DimensionDesc{" +
+           escape_string(dimension.name) + ", {" + ranked + "}, " +
+           std::to_string(dimension.degrade_rank) + "},");
     }
     line("      },");
     line("      {");

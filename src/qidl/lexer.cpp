@@ -13,7 +13,7 @@ constexpr std::array kKeywords = {
     "out", "inout", "raises",
     // QoS extension (paper §3.2)
     "qos", "characteristic", "param", "mechanism", "peer", "aspect",
-    "category", "bind", "range",
+    "category", "bind", "range", "dimension", "degrade",
 };
 }  // namespace
 

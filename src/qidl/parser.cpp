@@ -335,6 +335,33 @@ class Parser {
         decl.params.push_back(std::move(param));
         continue;
       }
+      if (peek().is_keyword("dimension")) {
+        advance();
+        QosDimensionDecl dimension;
+        dimension.line = peek().line;
+        dimension.type = parse_type();
+        if (dimension.type->kind == TypeKind::kVoid) {
+          fail("void QoS dimension");
+        }
+        dimension.name = expect_identifier("QoS dimension name");
+        expect_punct("=");
+        expect_punct("{");
+        while (true) {
+          dimension.ranked.push_back(parse_literal());
+          if (!accept_punct(",")) break;
+        }
+        expect_punct("}");
+        if (peek().is_keyword("degrade")) {
+          advance();
+          if (peek().kind != TokenKind::kIntLiteral) {
+            fail("expected degrade rank");
+          }
+          dimension.degrade_rank = advance().int_value;
+        }
+        expect_punct(";");
+        decl.dimensions.push_back(std::move(dimension));
+        continue;
+      }
       QosOperationDecl op;
       if (peek().is_keyword("mechanism")) {
         advance();
@@ -346,8 +373,8 @@ class Parser {
         advance();
         op.group = QosOpGroup::kAspect;
       } else {
-        fail("expected 'category', 'param', 'mechanism', 'peer' or "
-             "'aspect'");
+        fail("expected 'category', 'param', 'dimension', 'mechanism', "
+             "'peer' or 'aspect'");
       }
       op.op = parse_operation();
       decl.operations.push_back(std::move(op));

@@ -87,6 +87,34 @@ cdr::Any default_any_for(const QosParamDecl& param) {
   }
 }
 
+/// A ranked dimension value as a wire Any. Sema has already verified the
+/// literal alternative matches the declared type, so std::get is safe.
+cdr::Any any_for_literal(const Literal& literal, const QosDimensionDecl& dim) {
+  const auto int_value = [&] { return std::get<std::int64_t>(literal); };
+  switch (dim.type->kind) {
+    case TypeKind::kBoolean:
+      return cdr::Any::from_bool(std::get<bool>(literal));
+    case TypeKind::kOctet:
+      return cdr::Any::from_octet(static_cast<std::uint8_t>(int_value()));
+    case TypeKind::kShort:
+      return cdr::Any::from_short(static_cast<std::int16_t>(int_value()));
+    case TypeKind::kLong:
+      return cdr::Any::from_long(static_cast<std::int32_t>(int_value()));
+    case TypeKind::kLongLong:
+      return cdr::Any::from_longlong(int_value());
+    case TypeKind::kFloat:
+      return cdr::Any::from_float(
+          static_cast<float>(std::get<double>(literal)));
+    case TypeKind::kDouble:
+      return cdr::Any::from_double(std::get<double>(literal));
+    case TypeKind::kString:
+      return cdr::Any::from_string(std::get<std::string>(literal));
+    default:
+      throw QidlError(
+          "QoS dimension '" + dim.name + "' has no Any mapping", dim.line, 1);
+  }
+}
+
 core::QosOpKind op_kind(QosOpGroup group) {
   switch (group) {
     case QosOpGroup::kMechanism: return core::QosOpKind::kMechanism;
@@ -110,13 +138,23 @@ core::CharacteristicDescriptor to_descriptor(const CharacteristicDecl& decl) {
     desc.max = param.range_max;
     params.push_back(std::move(desc));
   }
+  std::vector<core::DimensionDesc> dimensions;
+  for (const QosDimensionDecl& dimension : decl.dimensions) {
+    core::DimensionDesc desc;
+    desc.name = dimension.name;
+    for (const Literal& value : dimension.ranked) {
+      desc.ranked.push_back(any_for_literal(value, dimension));
+    }
+    desc.degrade_rank = static_cast<int>(dimension.degrade_rank);
+    dimensions.push_back(std::move(desc));
+  }
   std::vector<core::QosOpDesc> ops;
   for (const QosOperationDecl& op : decl.operations) {
     ops.push_back(core::QosOpDesc{op.op.name, op_kind(op.group)});
   }
   return core::CharacteristicDescriptor(
       decl.name, category_from_string(decl.category), std::move(params),
-      std::move(ops));
+      std::move(dimensions), std::move(ops));
 }
 
 InterfaceRepository InterfaceRepository::build(const CheckedUnit& unit) {

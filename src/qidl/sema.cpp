@@ -134,18 +134,22 @@ class Checker {
     }
   }
 
+  static bool literal_matches(const Literal& value, TypeKind kind) {
+    return (std::holds_alternative<std::int64_t>(value) &&
+            is_integral(kind)) ||
+           (std::holds_alternative<double>(value) &&
+            (kind == TypeKind::kFloat || kind == TypeKind::kDouble)) ||
+           (std::holds_alternative<std::string>(value) &&
+            kind == TypeKind::kString) ||
+           (std::holds_alternative<bool>(value) &&
+            kind == TypeKind::kBoolean);
+  }
+
   void check_default_literal(const QosParamDecl& param) {
     const TypeKind kind = param.type->kind;
     const Literal& value = param.default_value;
     if (std::holds_alternative<std::monostate>(value)) return;  // synthesized
-    const bool ok =
-        (std::holds_alternative<std::int64_t>(value) && is_integral(kind)) ||
-        (std::holds_alternative<double>(value) &&
-         (kind == TypeKind::kFloat || kind == TypeKind::kDouble)) ||
-        (std::holds_alternative<std::string>(value) &&
-         kind == TypeKind::kString) ||
-        (std::holds_alternative<bool>(value) && kind == TypeKind::kBoolean);
-    if (!ok) {
+    if (!literal_matches(value, kind)) {
       fail("default value of QoS param '" + param.name +
                "' does not match its type " + type_to_string(*param.type),
            param.line);
@@ -181,6 +185,34 @@ class Checker {
                      "' lies outside its range",
                  param.line);
           }
+        }
+      }
+    }
+    for (const QosDimensionDecl& dimension : decl.dimensions) {
+      if (dimension.type->kind == TypeKind::kSequence ||
+          dimension.type->kind == TypeKind::kNamed) {
+        fail("QoS dimension '" + dimension.name +
+                 "' must have a basic type (negotiation marshals ranked "
+                 "values as Any scalars)",
+             dimension.line);
+      }
+      // Dimensions share the flattened parameter namespace with params:
+      // chosen points land in the same params map during negotiation.
+      if (!param_names.insert(dimension.name).second) {
+        fail("QoS dimension '" + dimension.name +
+                 "' clashes with a param or dimension of the same name",
+             dimension.line);
+      }
+      if (dimension.ranked.empty()) {
+        fail("QoS dimension '" + dimension.name + "' has no ranked values",
+             dimension.line);
+      }
+      for (const Literal& value : dimension.ranked) {
+        if (!literal_matches(value, dimension.type->kind)) {
+          fail("ranked value of QoS dimension '" + dimension.name +
+                   "' does not match its type " +
+                   type_to_string(*dimension.type),
+               dimension.line);
         }
       }
     }

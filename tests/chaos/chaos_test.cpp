@@ -124,7 +124,7 @@ TEST(ChaosTest, ModuleFailuresQuarantineDegradeAndRenegotiateOnce) {
   EchoStub stub(world.client, world.qos_ref);
   const core::Agreement agreement = world.negotiator.negotiate(
       stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
-  world.adaptation.manage(stub, agreement, ChaosWorld::halving_policy());
+  world.adaptation.manage(stub, agreement, world.lattice_policy());
 
   ASSERT_EQ(stub.echo("healthy"), "healthy");
   EXPECT_EQ(world.client_transport.stats().requests_via_module, 1u);
@@ -154,6 +154,55 @@ TEST(ChaosTest, ModuleFailuresQuarantineDegradeAndRenegotiateOnce) {
   EXPECT_EQ(stub.echo("recovered"), "recovered");
   EXPECT_EQ(world.client_transport.stats().requests_via_module, 2u);
   EXPECT_EQ(world.adaptation.adaptations(), 1u);
+}
+
+// A mechanism that stays broken across quarantine boundaries must keep
+// stepping the agreement down: every quarantine episode is one violation,
+// so episode N takes lattice/policy step N. Guards against the transport
+// "remembering" the first quarantine and swallowing later transitions.
+TEST(ChaosTest, RepeatedQuarantineEpisodesEachRenegotiateOnce) {
+  ChaosWorld world;
+  core::DegradationConfig degradation;
+  degradation.failure_threshold = 3;
+  degradation.quarantine_period = 100 * sim::kMillisecond;
+  world.client_transport.set_degradation(degradation);
+
+  EchoStub stub(world.client, world.qos_ref);
+  const core::Agreement agreement = world.negotiator.negotiate(
+      stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
+  world.adaptation.manage(stub, agreement, world.lattice_policy());
+
+  // Episode 1: three failures trip the quarantine, one renegotiation.
+  world.flaky_state->failing = true;
+  const WorkloadReport first = run_workload(
+      world.loop, 4, sim::kMillisecond, [&](int) { stub.echo("ep1"); });
+  EXPECT_EQ(first.succeeded, 4);
+  EXPECT_EQ(world.client_transport.stats().modules_quarantined, 1u);
+  EXPECT_EQ(world.adaptation.adaptations(), 1u);
+  EXPECT_TRUE(world.client_transport.is_quarantined("chaos-echo"));
+
+  // The quarantine lifts while the mechanism is still broken. The module
+  // gets its fresh chance, fails three more times, and the SECOND
+  // quarantine must fire — with its own renegotiation (8 -> 4 -> 2).
+  world.loop.run_for(degradation.quarantine_period);
+  const WorkloadReport second = run_workload(
+      world.loop, 4, sim::kMillisecond, [&](int) { stub.echo("ep2"); });
+  EXPECT_EQ(second.succeeded, 4);
+  EXPECT_EQ(world.client_transport.stats().modules_quarantined, 2u);
+  EXPECT_TRUE(world.client_transport.is_quarantined("chaos-echo"));
+  EXPECT_EQ(world.adaptation.adaptations(), 2u);
+  const core::Agreement* adapted =
+      world.adaptation.managed_agreement(agreement.id);
+  ASSERT_NE(adapted, nullptr);
+  EXPECT_EQ(adapted->int_param("level"), 2);
+
+  // Heal: after the second quarantine lifts, traffic rides the module
+  // again and no further renegotiation happens.
+  world.flaky_state->failing = false;
+  world.loop.run_for(degradation.quarantine_period);
+  EXPECT_EQ(stub.echo("healed"), "healed");
+  EXPECT_EQ(world.client_transport.stats().modules_quarantined, 2u);
+  EXPECT_EQ(world.adaptation.adaptations(), 2u);
 }
 
 TEST(ChaosTest, CrashedModuleCountedAsMissingNotAsFallback) {
@@ -238,7 +287,7 @@ TEST(ChaosTest, OverloadShedsBestEffortFirstAndRenegotiatesOnce) {
   EchoStub stub(world.client, world.qos_ref);
   const core::Agreement agreement = world.negotiator.negotiate(
       stub, flaky_name(), {{"level", cdr::Any::from_long(8)}});
-  world.adaptation.manage(stub, agreement, ChaosWorld::halving_policy());
+  world.adaptation.manage(stub, agreement, world.lattice_policy());
 
   sched::RequestScheduler& scheduler = world.arm_scheduler(800.0);
 
@@ -406,6 +455,106 @@ TEST(ChaosTest, StreamingStageMidChunkFailureQuarantinesAndRoutesPlain) {
   }
 
   registry.unregister(module_name);
+}
+
+// ---- bandwidth_collapse (negotiated algorithm walk under pressure) ----
+
+/// Shared bandwidth_collapse timeline: compression + encryption weave one
+/// fused channel on the stream servant, then the bandwidth budget
+/// collapses twice mid-workload. Each collapse sheds the compression
+/// reservation (the only bandwidth holder), the violation reaches the
+/// adaptation manager, and the lattice policy renegotiates exactly one
+/// algorithm step down — lz77 -> rle -> none — while gold traffic keeps
+/// flowing through the woven compress+encrypt path. `mismatches` counts
+/// silently corrupted round-trips (decode errors surface as workload
+/// failures instead).
+struct BandwidthCollapseOutcome {
+  WorkloadReport report;
+  int mismatches = 0;
+  std::uint64_t adaptations = 0;
+  std::string final_algorithm;
+  std::int64_t final_version = 0;
+};
+
+BandwidthCollapseOutcome run_bandwidth_collapse(ChaosWorld& world) {
+  BandwidthCollapseOutcome outcome;
+  EchoStub stub(world.client, world.stream_ref);
+  const core::Agreement compression = world.negotiator.negotiate(
+      stub, characteristics::compression_name(),
+      {{"level", cdr::Any::from_long(8)}});
+  world.negotiator.negotiate(
+      stub, characteristics::encryption_name(),
+      {{"psk", cdr::Any::from_string("bandwidth-collapse")}});
+  world.adaptation.manage(stub, compression, world.lattice_policy());
+
+  // Compressible payload, comfortably above min_size (64).
+  util::Bytes payload;
+  while (payload.size() < 2048) {
+    for (char c : std::string("stream-frame temperature=21.5C ")) {
+      payload.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  // The collapses land between workload iterations: first below lz77's
+  // bandwidth demand (48), then below rle's (16). none (4) always fits.
+  world.at(world.loop.now() + 10 * sim::kMillisecond, [&world] {
+    world.resources.set_capacity("bandwidth", 40.0);
+    world.negotiation.shed_overload("bandwidth");
+  });
+  world.at(world.loop.now() + 25 * sim::kMillisecond, [&world] {
+    world.resources.set_capacity("bandwidth", 10.0);
+    world.negotiation.shed_overload("bandwidth");
+  });
+
+  outcome.report = run_workload(world.loop, 40, sim::kMillisecond, [&](int) {
+    if (stub.blob(payload) != payload) ++outcome.mismatches;
+  });
+  outcome.adaptations = world.adaptation.adaptations();
+  if (const core::Agreement* adapted =
+          world.adaptation.managed_agreement(compression.id)) {
+    outcome.final_algorithm = adapted->string_param("algorithm");
+    outcome.final_version = adapted->version();
+  }
+  return outcome;
+}
+
+TEST(ChaosTest, BandwidthCollapseWalksCompressionLatticeWithoutCorruption) {
+  ChaosWorld world;
+  const BandwidthCollapseOutcome outcome = run_bandwidth_collapse(world);
+  // The acceptance bar: zero failed gold requests and zero corrupted
+  // round-trips although the wire format changed twice under traffic.
+  EXPECT_EQ(outcome.report.succeeded, 40);
+  EXPECT_EQ(outcome.report.failed, 0);
+  EXPECT_EQ(outcome.mismatches, 0);
+  // Two collapses, two violations, two lattice steps.
+  EXPECT_EQ(outcome.adaptations, 2u);
+  EXPECT_EQ(outcome.final_algorithm, "none");
+  EXPECT_EQ(outcome.final_version, 3);  // v1 + one renegotiation per collapse
+}
+
+// The whole collapse timeline — negotiations, sheds, violations,
+// renegotiated epoch rotations — is a pure function of the chaos seed:
+// two traced runs export byte-identical Chrome traces.
+TEST(ChaosTest, BandwidthCollapseTraceExportsAreByteIdentical) {
+  auto traced_run = [] {
+    ChaosWorld world;
+    trace::TraceRecorder recorder(world.loop);
+    recorder.set_enabled(true);
+    world.client.set_trace_recorder(&recorder);
+    world.server.set_trace_recorder(&recorder);
+    const BandwidthCollapseOutcome outcome = run_bandwidth_collapse(world);
+    EXPECT_EQ(outcome.report.failed, 0);
+    EXPECT_EQ(outcome.mismatches, 0);
+    EXPECT_EQ(outcome.final_algorithm, "none");
+    std::ostringstream out;
+    recorder.export_chrome_trace(out);
+    return out.str();
+  };
+
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 // replica_storm: a gold-class workload rides a three-replica group through

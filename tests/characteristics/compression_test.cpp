@@ -28,6 +28,7 @@ class CompressionTest : public ::testing::Test {
     profile.characteristic = compression_name();
     ref_ = server_.adapter().activate("echo-1", servant_, {profile});
     resources_.declare("cpu", 1000.0);
+    resources_.declare("bandwidth", 1000.0);
   }
 
   util::Bytes compressible(std::size_t n) const {
@@ -180,7 +181,7 @@ TEST_F(CompressionTest, RleCodecSelectableViaParams) {
   core::Negotiator negotiator(client_transport_, providers);
   EchoStub stub(client_, ref_);
   negotiator.negotiate(stub, compression_name(),
-                       {{"codec", cdr::Any::from_string("rle")}});
+                       {{"algorithm", cdr::Any::from_string("rle")}});
   const util::Bytes runs(10000, 0x7A);
   net_.reset_stats();
   EXPECT_EQ(stub.blob(runs), runs);

@@ -28,6 +28,7 @@ class AdaptationTest : public ::testing::Test {
         negotiator_(client_transport_, providers()),
         adaptation_(client_transport_, negotiator_) {
     resources_.declare("cpu", 100.0);
+    resources_.declare("bandwidth", 1000.0);
     servant_ = std::make_shared<QosEchoImpl>();
     servant_->assign_characteristic(
         characteristics::compression_descriptor());

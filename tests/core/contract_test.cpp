@@ -10,7 +10,7 @@ Agreement sample_agreement() {
   agreement.characteristic = "Compression";
   agreement.object_key = "obj-1";
   agreement.params = {{"level", cdr::Any::from_long(3)},
-                      {"codec", cdr::Any::from_string("lz77")},
+                      {"algorithm", cdr::Any::from_string("lz77")},
                       {"integrity", cdr::Any::from_bool(true)}};
   agreement.state = AgreementState::kActive;
   return agreement;
@@ -19,7 +19,7 @@ Agreement sample_agreement() {
 TEST(Agreement, TypedParamAccessors) {
   const Agreement a = sample_agreement();
   EXPECT_EQ(a.int_param("level"), 3);
-  EXPECT_EQ(a.string_param("codec"), "lz77");
+  EXPECT_EQ(a.string_param("algorithm"), "lz77");
   EXPECT_TRUE(a.bool_param("integrity"));
 }
 

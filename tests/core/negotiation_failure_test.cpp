@@ -25,6 +25,7 @@ class NegotiationFailureTest : public ::testing::Test {
         negotiation_(server_transport_, providers(), resources_),
         negotiator_(client_transport_, providers()) {
     resources_.declare("cpu", 1000.0);
+    resources_.declare("bandwidth", 1000.0);
     client_.set_default_timeout(200 * sim::kMillisecond);
     servant_ = std::make_shared<QosEchoImpl>();
     servant_->assign_characteristic(

@@ -27,6 +27,7 @@ class NegotiationTest : public ::testing::Test {
         negotiation_(server_transport_, providers(), resources_),
         negotiator_(client_transport_, providers()) {
     resources_.declare("cpu", 100.0);
+    resources_.declare("bandwidth", 1000.0);
     servant_ = std::make_shared<QosEchoImpl>();
     servant_->assign_characteristic(
         characteristics::compression_descriptor());
@@ -64,8 +65,12 @@ TEST_F(NegotiationTest, SuccessfulNegotiationInstallsBothSides) {
   EXPECT_GT(agreement.id, 0u);
   EXPECT_EQ(agreement.state, AgreementState::kActive);
   EXPECT_EQ(agreement.int_param("level"), 16);
-  // Defaults were filled in by the server.
-  EXPECT_EQ(agreement.string_param("codec"), "lz77");
+  // The capability matrix pinned its most preferred point and the first
+  // negotiation is agreement version 1.
+  EXPECT_EQ(agreement.string_param("algorithm"), "lz77");
+  EXPECT_EQ(agreement.version(), 1);
+  ASSERT_NE(agreement.matrix.find_value("algorithm"), nullptr);
+  EXPECT_EQ(agreement.matrix.find_value("algorithm")->as_string(), "lz77");
 
   // Client weaving installed.
   auto composite =
@@ -132,8 +137,8 @@ TEST_F(NegotiationTest, UnassignedCharacteristicRejected) {
 }
 
 TEST_F(NegotiationTest, CounterOfferAcceptedByDefault) {
-  // Demand 80 + 80 cpu: the second negotiation cannot fit and the server
-  // counters with the minimum level (1).
+  // Demand 80 + 80 cpu: the second negotiation cannot fit at lz77 and the
+  // server counters one lattice step down (rle caps cpu at 8).
   EchoStub stub1(client_, ref_);
   negotiator_.negotiate(stub1, compression_name(),
                         {{"level", cdr::Any::from_long(80)}});
@@ -145,8 +150,9 @@ TEST_F(NegotiationTest, CounterOfferAcceptedByDefault) {
   EchoStub stub2(client_, ref2);
   Agreement degraded = negotiator_.negotiate(
       stub2, compression_name(), {{"level", cdr::Any::from_long(80)}});
-  EXPECT_EQ(degraded.int_param("level"), 1);
-  EXPECT_EQ(resources_.reserved("cpu"), 81.0);
+  EXPECT_EQ(degraded.string_param("algorithm"), "rle");
+  EXPECT_EQ(degraded.int_param("level"), 80);
+  EXPECT_EQ(resources_.reserved("cpu"), 88.0);
 }
 
 TEST_F(NegotiationTest, CounterOfferRefusedByPreferences) {
@@ -159,8 +165,10 @@ TEST_F(NegotiationTest, CounterOfferRefusedByPreferences) {
   profile.characteristic = compression_name();
   orb::ObjRef ref2 = server_.adapter().activate("echo-2", servant2, {profile});
   EchoStub stub2(client_, ref2);
+  // The lattice counter keeps the level but degrades the algorithm; a
+  // client that only accepts lz77 refuses it.
   ClientPreferences prefs;
-  prefs.bounds["level"] = {.min = 10, .max = std::nullopt};
+  prefs.allowed["algorithm"] = {cdr::Any::from_string("lz77")};
   EXPECT_THROW(
       negotiator_.negotiate(stub2, compression_name(),
                             {{"level", cdr::Any::from_long(80)}}, &prefs),
@@ -184,6 +192,8 @@ TEST_F(NegotiationTest, RenegotiateSwapsLevel) {
       stub, agreement, {{"level", cdr::Any::from_long(8)}});
   EXPECT_EQ(updated.id, agreement.id);
   EXPECT_EQ(updated.int_param("level"), 8);
+  // An accepted renegotiation advances the agreement version by one.
+  EXPECT_EQ(updated.version(), agreement.version() + 1);
   EXPECT_EQ(resources_.reserved("cpu"), 8.0);
   // Server-side impl rebound at the new level.
   EXPECT_EQ(servant_->active_impl()->agreement().int_param("level"), 8);

@@ -35,6 +35,7 @@ class PreferenceTest : public ::testing::Test {
         negotiation_(server_transport_, providers(), resources_),
         negotiator_(client_transport_, providers()) {
     resources_.declare("cpu", 100.0);
+    resources_.declare("bandwidth", 1000.0);
     servant_ = std::make_shared<QosEchoImpl>();
     servant_->assign_characteristic(
         characteristics::compression_descriptor());
@@ -81,13 +82,17 @@ TEST_F(PreferenceTest, MostPreferredLevelWinsWhenResourcesAllow) {
 TEST_F(PreferenceTest, FallsThroughToAdmissibleLevel) {
   resources_.declare("cpu", 40.0);  // gold (80) does not fit
   PreferenceHierarchy hierarchy;
-  hierarchy.add(level("gold", 80, 1.0, 64));
+  // Gold insists on the full lz77 algorithm, so the server's lattice
+  // counter (degrade to rle at the same level) is out of bounds.
+  ContractProposal gold = level("gold", 80, 1.0, 64);
+  gold.bounds.allowed["algorithm"] = {cdr::Any::from_string("lz77")};
+  hierarchy.add(gold);
   hierarchy.add(level("silver", 32, 0.6, 16));
   hierarchy.add(level("bronze", 8, 0.3, 1));
   EchoStub stub(client_, ref_);
   const PreferredAgreement result = negotiate_preferred(
       negotiator_, stub, compression_name(), hierarchy);
-  // gold's counter-offer (level 1) violates its min 64 bound -> refused;
+  // gold's counter-offer violates its allowed set -> refused;
   // silver (32) fits directly.
   EXPECT_EQ(result.label, "silver");
   EXPECT_EQ(result.agreement.int_param("level"), 32);
@@ -131,7 +136,8 @@ TEST(CatalogDoc, RendersEntries) {
       characteristics::compression_descriptor());
   EXPECT_NE(entry.find("## Compression"), std::string::npos);
   EXPECT_NE(entry.find("*Category:* bandwidth"), std::string::npos);
-  EXPECT_NE(entry.find("`codec`"), std::string::npos);
+  EXPECT_NE(entry.find("`algorithm`"), std::string::npos);
+  EXPECT_NE(entry.find("\"lz77\" > \"rle\" > \"none\""), std::string::npos);
   EXPECT_NE(entry.find("1 .. 128"), std::string::npos);
   EXPECT_NE(entry.find("`qos_compression_ratio` — mechanism"),
             std::string::npos);

@@ -71,7 +71,7 @@ struct WovenWorld {
 
     const Agreement compress_agreement = make_agreement(
         characteristics::compression_name(),
-        {{"codec", cdr::Any::from_string("lz77")},
+        {{"algorithm", cdr::Any::from_string("lz77")},
          {"level", cdr::Any::from_long(32)},
          {"min_size", cdr::Any::from_long(64)}});
     const Agreement encrypt_agreement =

@@ -14,7 +14,7 @@ ObjRef sample_ref() {
   ref.object_key = "hello-42";
   QosProfile compression;
   compression.characteristic = "Compression";
-  compression.properties = {{"module", "compression"}, {"codec", "lz77"}};
+  compression.properties = {{"module", "compression"}, {"algorithm", "lz77"}};
   QosProfile replication;
   replication.characteristic = "Replication";
   replication.properties = {{"group", "grp-hello"}};
@@ -56,7 +56,7 @@ TEST(Ior, NilDetection) {
 TEST(Ior, FindProfile) {
   const ObjRef ref = sample_ref();
   ASSERT_NE(ref.find_profile("Compression"), nullptr);
-  EXPECT_EQ(ref.find_profile("Compression")->properties.at("codec"), "lz77");
+  EXPECT_EQ(ref.find_profile("Compression")->properties.at("algorithm"), "lz77");
   EXPECT_EQ(ref.find_profile("Encryption"), nullptr);
 }
 

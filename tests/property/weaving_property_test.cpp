@@ -48,6 +48,7 @@ struct StackWorld {
 
   StackWorld() {
     resources.declare("cpu", 1e9);
+    resources.declare("bandwidth", 1e9);
     providers.add(characteristics::make_compression_provider());
     providers.add(characteristics::make_encryption_psk_provider());
     negotiation = std::make_unique<core::NegotiationService>(

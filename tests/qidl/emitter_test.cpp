@@ -31,6 +31,8 @@ const char* const kStockSource = R"(
       category bandwidth;
       param string codec = "lz77";
       param long level = 32 range 1 .. 128;
+      dimension string algorithm = { "lz77", "rle", "none" } degrade 0;
+      dimension boolean checksum = { true, false } degrade 1;
       mechanism double qos_ratio();
     };
     bind Stock : Compression;
@@ -118,6 +120,23 @@ TEST(Emitter, DescriptorFactory) {
   EXPECT_TRUE(contains(code, "maqs::cdr::Any::from_string(\"lz77\")"));
   EXPECT_TRUE(contains(code, "maqs::cdr::Any::from_long(32)"));
   EXPECT_TRUE(contains(code, "std::optional<std::int64_t>{128}"));
+}
+
+TEST(Emitter, DescriptorFactoryCarriesDimensions) {
+  const std::string code = emit(kStockSource);
+  // Ranked preference order survives verbatim, most preferred first,
+  // with the declared degradation priority.
+  EXPECT_TRUE(contains(
+      code,
+      "maqs::core::DimensionDesc{\"algorithm\", "
+      "{maqs::cdr::Any::from_string(\"lz77\"), "
+      "maqs::cdr::Any::from_string(\"rle\"), "
+      "maqs::cdr::Any::from_string(\"none\")}, 0},"));
+  EXPECT_TRUE(contains(
+      code,
+      "maqs::core::DimensionDesc{\"checksum\", "
+      "{maqs::cdr::Any::from_bool(true), "
+      "maqs::cdr::Any::from_bool(false)}, 1},"));
 }
 
 TEST(Emitter, MediatorBaseWithQosOpDispatch) {

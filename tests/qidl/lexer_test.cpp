@@ -24,7 +24,7 @@ TEST(Lexer, KeywordsAndIdentifiers) {
 TEST(Lexer, QosExtensionKeywords) {
   for (const char* kw :
        {"qos", "characteristic", "param", "mechanism", "peer", "aspect",
-        "category", "bind", "range"}) {
+        "category", "bind", "range", "dimension", "degrade"}) {
     EXPECT_TRUE(is_qidl_keyword(kw)) << kw;
   }
   EXPECT_FALSE(is_qidl_keyword("quality"));

@@ -112,6 +112,9 @@ TEST(Parser, CharacteristicFull) {
       param long level = 32 range 1 .. 128;
       param boolean verbose = false;
       param double target = 0.5;
+      dimension string algorithm = { "lz77", "rle", "none" } degrade 0;
+      dimension long window = { 64, 32, 16 } degrade 1;
+      dimension boolean checksum = { true, false };
       mechanism double ratio();
       peer void sync(in long long seqno);
       aspect sequence<octet> get_state();
@@ -127,6 +130,17 @@ TEST(Parser, CharacteristicFull) {
   EXPECT_EQ(c.params[1].range_max, 128);
   EXPECT_EQ(std::get<bool>(c.params[2].default_value), false);
   EXPECT_EQ(std::get<double>(c.params[3].default_value), 0.5);
+  ASSERT_EQ(c.dimensions.size(), 3u);
+  EXPECT_EQ(c.dimensions[0].name, "algorithm");
+  ASSERT_EQ(c.dimensions[0].ranked.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(c.dimensions[0].ranked[0]), "lz77");
+  EXPECT_EQ(std::get<std::string>(c.dimensions[0].ranked[2]), "none");
+  EXPECT_EQ(c.dimensions[0].degrade_rank, 0);
+  EXPECT_EQ(std::get<std::int64_t>(c.dimensions[1].ranked[1]), 32);
+  EXPECT_EQ(c.dimensions[1].degrade_rank, 1);
+  // Degrade rank defaults to 0 when omitted.
+  EXPECT_EQ(std::get<bool>(c.dimensions[2].ranked[1]), false);
+  EXPECT_EQ(c.dimensions[2].degrade_rank, 0);
   ASSERT_EQ(c.operations.size(), 3u);
   EXPECT_EQ(c.operations[0].group, QosOpGroup::kMechanism);
   EXPECT_EQ(c.operations[1].group, QosOpGroup::kPeer);
@@ -181,6 +195,23 @@ TEST(Parser, RejectsUnterminatedBlocks) {
 TEST(Parser, RejectsGarbageDeclarations) {
   EXPECT_THROW(parse("banana;"), QidlError);
   EXPECT_THROW(parse("qos interface X {};"), QidlError);
+}
+
+TEST(Parser, RejectsMalformedDimensions) {
+  // No ranked-value list.
+  EXPECT_THROW(parse("qos characteristic C { dimension string a; };"),
+               QidlError);
+  // Empty braces: at least one ranked value is required.
+  EXPECT_THROW(parse("qos characteristic C { dimension string a = { }; };"),
+               QidlError);
+  // Degrade rank must be an integer literal.
+  EXPECT_THROW(
+      parse(R"(qos characteristic C {
+        dimension string a = { "x" } degrade fast; };)"),
+      QidlError);
+  // Void dimensions are meaningless.
+  EXPECT_THROW(parse("qos characteristic C { dimension void a = { 1 }; };"),
+               QidlError);
 }
 
 TEST(Parser, RejectsBadRange) {

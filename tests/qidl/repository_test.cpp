@@ -81,7 +81,8 @@ TEST(Repository, CharacteristicsBecomeDescriptors) {
   const auto repo = build(R"(
     qos characteristic Compression {
       category bandwidth;
-      param string codec = "lz77";
+      dimension string algorithm = { "lz77", "rle", "none" } degrade 0;
+      dimension long window = { 64, 16 } degrade 1;
       param long level = 32 range 1 .. 128;
       mechanism double qos_ratio();
       peer void qos_sync(in long long seqno);
@@ -95,11 +96,30 @@ TEST(Repository, CharacteristicsBecomeDescriptors) {
   EXPECT_EQ(d.find_param("level")->default_value.as_long(), 32);
   EXPECT_EQ(d.find_param("level")->min, 1);
   EXPECT_EQ(d.find_param("level")->max, 128);
-  EXPECT_EQ(d.find_param("codec")->default_value.as_string(), "lz77");
   ASSERT_NE(d.find_operation("qos_sync"), nullptr);
   EXPECT_EQ(d.find_operation("qos_sync")->kind, core::QosOpKind::kPeer);
   EXPECT_EQ(d.find_operation("qos_get_state")->kind,
             core::QosOpKind::kAspect);
+  // Declared dimensions become the descriptor's preference lattice,
+  // preserving ranked order and degradation priority.
+  ASSERT_EQ(d.dimensions().size(), 2u);
+  const core::DimensionDesc* algorithm = d.find_dimension("algorithm");
+  ASSERT_NE(algorithm, nullptr);
+  ASSERT_EQ(algorithm->ranked.size(), 3u);
+  EXPECT_EQ(algorithm->ranked[0].as_string(), "lz77");
+  EXPECT_EQ(algorithm->ranked[2].as_string(), "none");
+  EXPECT_EQ(algorithm->degrade_rank, 0);
+  const core::DimensionDesc* window = d.find_dimension("window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->ranked[1].as_long(), 16);
+  EXPECT_EQ(window->degrade_rank, 1);
+  // The lattice drives a working matrix: most-preferred point by default,
+  // algorithm sacrificed before window under degradation.
+  core::CapabilityMatrix matrix = d.default_matrix();
+  EXPECT_EQ(matrix.find_value("algorithm")->as_string(), "lz77");
+  EXPECT_EQ(matrix.find_value("window")->as_long(), 64);
+  EXPECT_EQ(matrix.degrade_step(), "algorithm");
+  EXPECT_EQ(matrix.find_value("algorithm")->as_string(), "rle");
 }
 
 TEST(Repository, SynthesizedDefaultsRespectRanges) {

@@ -120,6 +120,42 @@ TEST(Sema, QosParamRules) {
                QidlError);
 }
 
+TEST(Sema, QosDimensionRules) {
+  // Non-basic dimension types forbidden (ranked values ride in Anys).
+  EXPECT_THROW(analyze(R"(
+    qos characteristic C { dimension sequence<octet> d = { 1 }; };
+  )"),
+               QidlError);
+  // Every ranked value must match the declared type.
+  EXPECT_THROW(analyze(R"(
+    qos characteristic C { dimension long level = { 64, "high", 16 }; };
+  )"),
+               QidlError);
+  // Dimensions share the flattened param namespace with params...
+  EXPECT_THROW(analyze(R"(
+    qos characteristic C {
+      param string algorithm = "lz77";
+      dimension string algorithm = { "lz77", "rle" };
+    };
+  )"),
+               QidlError);
+  // ...and with each other.
+  EXPECT_THROW(analyze(R"(
+    qos characteristic C {
+      dimension string d = { "a" };
+      dimension long d = { 1 };
+    };
+  )"),
+               QidlError);
+  // A well-formed dimension passes.
+  analyze(R"(
+    qos characteristic C {
+      dimension string algorithm = { "lz77", "rle", "none" } degrade 0;
+      dimension long window = { 64, 16 } degrade 1;
+    };
+  )");
+}
+
 TEST(Sema, QosOperationUniqueness) {
   EXPECT_THROW(analyze(R"(
     qos characteristic C {

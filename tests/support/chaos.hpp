@@ -22,6 +22,8 @@
 #include <string>
 #include <utility>
 
+#include "characteristics/compression.hpp"
+#include "characteristics/encryption.hpp"
 #include "core/adaptation.hpp"
 #include "core/retry.hpp"
 #include "core/sched_bridge.hpp"
@@ -80,10 +82,14 @@ class FlakyModule final : public core::QosModule {
 
 inline core::CharacteristicDescriptor flaky_descriptor() {
   return core::CharacteristicDescriptor(
-      flaky_name(), core::QosCategory::kFaultTolerance,
+      flaky_name(), core::QosCategory::kFaultTolerance, {},
       {
-          core::ParamDesc{"level", cdr::TypeCode::long_tc(),
-                          cdr::Any::from_long(8), 1, 64},
+          core::DimensionDesc{"level",
+                              {cdr::Any::from_long(64), cdr::Any::from_long(32),
+                               cdr::Any::from_long(16), cdr::Any::from_long(8),
+                               cdr::Any::from_long(4), cdr::Any::from_long(2),
+                               cdr::Any::from_long(1)},
+                              0},
       },
       {});
 }
@@ -126,6 +132,7 @@ struct ChaosWorld {
         negotiator(client_transport, providers),
         adaptation(client_transport, negotiator) {
     resources.declare("cpu", 100.0);
+    resources.declare("bandwidth", 1000.0);
     plain_servant = std::make_shared<EchoImpl>();
     plain_ref = server.adapter().activate("chaos-plain", plain_servant);
     qos_servant = std::make_shared<QosEchoImpl>();
@@ -133,6 +140,19 @@ struct ChaosWorld {
     orb::QosProfile profile;
     profile.characteristic = flaky_name();
     qos_ref = server.adapter().activate("chaos-echo", qos_servant, {profile});
+    // Woven data-path servant for the bandwidth-collapse scenario:
+    // compression + encryption negotiate real capability matrices here.
+    stream_servant = std::make_shared<QosEchoImpl>();
+    stream_servant->assign_characteristic(
+        characteristics::compression_descriptor());
+    stream_servant->assign_characteristic(
+        characteristics::encryption_descriptor());
+    orb::QosProfile compress;
+    compress.characteristic = characteristics::compression_name();
+    orb::QosProfile encrypt;
+    encrypt.characteristic = characteristics::encryption_name();
+    stream_ref = server.adapter().activate("chaos-stream", stream_servant,
+                                           {compress, encrypt});
   }
 
   ~ChaosWorld() {
@@ -145,19 +165,15 @@ struct ChaosWorld {
       const std::shared_ptr<FlakyState>& state) {
     core::ProviderRegistry registry;
     registry.add(make_flaky_provider(state));
+    registry.add(characteristics::make_compression_provider());
+    registry.add(characteristics::make_encryption_psk_provider());
     return registry;
   }
 
-  /// Halve the level on every violation, down to 1 (then terminate).
-  static core::AdaptationManager::Policy halving_policy() {
-    return [](const core::Agreement& agreement, const std::string&)
-               -> std::optional<std::map<std::string, cdr::Any>> {
-      const std::int64_t level = agreement.int_param("level");
-      if (level <= 1) return std::nullopt;
-      return std::map<std::string, cdr::Any>{
-          {"level",
-           cdr::Any::from_long(static_cast<std::int32_t>(level / 2))}};
-    };
+  /// One step down the agreement's preference lattice per violation,
+  /// resource-aware (the cheapest step relieving a violated budget wins).
+  core::AdaptationManager::Policy lattice_policy() const {
+    return core::make_lattice_policy(providers);
   }
 
   /// Arms the server-side request scheduler (the overload scenario): a
@@ -225,6 +241,8 @@ struct ChaosWorld {
   orb::ObjRef plain_ref;
   std::shared_ptr<QosEchoImpl> qos_servant;
   orb::ObjRef qos_ref;
+  std::shared_ptr<QosEchoImpl> stream_servant;
+  orb::ObjRef stream_ref;
   /// Present once arm_scheduler() ran; declared last so it unregisters
   /// from the server's chain and event loop before they are destroyed.
   std::unique_ptr<sched::RequestScheduler> scheduler;
