@@ -25,7 +25,11 @@
 #include "core/mediator.hpp"
 #include "core/negotiation.hpp"
 #include "core/retry.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/mtom.hpp"
 #include "naming/selector.hpp"
+#include "qidl/repository.hpp"
+#include "support/http_client.hpp"
 #include "sched/scheduler.hpp"
 #include "trace/trace.hpp"
 #include "util/buffer_pool.hpp"
@@ -341,6 +345,61 @@ void run_scenarios(std::vector<Row>& rows) {
     recorder.set_enabled(true);
     rows.push_back(
         measure("woven_trace_sampled", "add", [&] { stub.add(1, 2); }));
+  }
+
+  {  // gateway: the HTTP/1.1 + JSON edge front-end. Each call is one
+    // keep-alive request on a persistent connection: HttpParser -> route
+    // table -> JSON -> Any marshal -> DII invocation through the client
+    // chain -> reply -> JSON (or multipart) response. The rows price the
+    // whole protocol translation against the plain rows above; the blob4k
+    // row additionally rides the MTOM out-of-band path both ways (request
+    // part borrowed zero-copy, response assembled in a ChainBuf region).
+    World world;
+    make_fast(world);
+    auto servant = std::make_shared<maqs::testing::EchoImpl>();
+    orb::ObjRef ref = world.server.adapter().activate("echo", servant);
+    const qidl::InterfaceRepository repo = qidl::InterfaceRepository::build(
+        qidl::analyze(maqs::testing::kGatewayEchoQidl));
+    orb::Orb edge{world.network, "edge", 9100};
+    gateway::Gateway gw(edge, repo, 8080);
+    gw.expose("Echo", ref);
+    maqs::testing::HttpTestClient web(world.network, {"web", 80},
+                                      gw.endpoint());
+
+    const util::Bytes add_frame = maqs::testing::HttpTestClient::
+        encode_request("POST", "/api/Echo/add", "{\"a\":1,\"b\":2}");
+    rows.push_back(measure("gateway_json", "add", [&] {
+      web.send_raw(add_frame);
+      web.await_response();
+      web.discard_delivered();
+    }));
+
+    const util::Bytes echo_frame = maqs::testing::HttpTestClient::
+        encode_request("POST", "/api/Echo/echo",
+                       "{\"s\":\"quality-of-service middleware frame\"}");
+    rows.push_back(measure("gateway_json", "echo", [&] {
+      web.send_raw(echo_frame);
+      web.await_response();
+      web.discard_delivered();
+    }));
+
+    // MTOM round trip: a 4K blob rides out-of-band in both directions.
+    gateway::MultipartBuilder builder("bench-b0");
+    builder.add_json_root("{\"data\":{\"$blob\":\"cid:b0\"}}");
+    builder.add_blob_part("b0", blob_data);  // view: blob_data outlives it
+    const std::string multipart_body = [&] {
+      const util::Bytes wire = builder.finish();
+      return std::string(wire.begin(), wire.end());
+    }();
+    const util::Bytes blob_frame = maqs::testing::HttpTestClient::
+        encode_request("POST", "/api/Echo/blob", multipart_body,
+                       {{"content-type", builder.content_type()},
+                        {"accept", "multipart/related"}});
+    rows.push_back(measure("gateway_blob4k", "blob4k", [&] {
+      web.send_raw(blob_frame);
+      web.await_response();
+      web.discard_delivered();
+    }));
   }
 
   {  // negotiate_matrix: the full capability-matrix handshake over a

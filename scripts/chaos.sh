@@ -1,7 +1,12 @@
 #!/bin/sh
-# Runs the chaos (fault-injection) suite across a seed matrix. Each seed
+# Runs the chaos (fault-injection) suite across a seed matrix: loss,
+# crash/restart, partition, module quarantine, overload shedding,
+# mid-chunk streaming failure, bandwidth collapse, replica storms and the
+# gateway_churn scenario (malformed-HTTP storm + mid-body disconnects
+# against the edge gateway while gold native traffic runs). Each seed
 # fixes every stochastic input of the simulator (link loss, jitter, retry
-# backoff jitter), so a failing seed is a deterministic repro:
+# backoff jitter, attacker junk), so a failing seed is a deterministic
+# repro:
 #
 #   MAQS_CHAOS_SEED=<seed> ctest --test-dir <build> -R ChaosTest
 #

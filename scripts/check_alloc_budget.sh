@@ -32,6 +32,13 @@ BUDGETS = {
     # fused channel): rebinding under the bumped channel version must not
     # add per-request heap traffic over the first binding.
     ("woven_renegotiated", "add"): 12.0,
+    # Edge gateway rows: one keep-alive HTTP round trip including JSON
+    # (or MTOM multipart) translation and the DII bridge. Tracked steady
+    # state is 22/30/36 allocs/request; budgets leave ~25% headroom so a
+    # copy sneaking into the parse->marshal->invoke path still trips.
+    ("gateway_json", "add"): 28.0,
+    ("gateway_json", "echo"): 38.0,
+    ("gateway_blob4k", "blob4k"): 45.0,
 }
 
 # (scenario, op) -> min requests/sec. The woven blob4k floor is the
@@ -40,6 +47,11 @@ BUDGETS = {
 FLOORS = {
     ("woven_streaming", "blob4k"): 100_000.0,
     ("plain", "add"): 200_000.0,
+    # Gateway floors: tracked ~260k (json add) and ~145k (MTOM blob4k)
+    # req/s; a floor breach means the HTTP front-end stopped riding the
+    # zero-copy pipeline, not machine noise.
+    ("gateway_json", "add"): 100_000.0,
+    ("gateway_blob4k", "blob4k"): 50_000.0,
 }
 
 with open(sys.argv[1]) as f:

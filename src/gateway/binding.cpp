@@ -1,0 +1,33 @@
+#include "gateway/binding.hpp"
+
+#include <algorithm>
+
+namespace maqs::gateway {
+
+RouteTable RouteTable::build(const qidl::InterfaceRepository& repo,
+                             std::string_view prefix) {
+  RouteTable table;
+  for (const std::string& name : repo.interface_names()) {
+    const qidl::InterfaceEntry* entry = repo.find_interface(name);
+    for (const qidl::OperationSignature& op : entry->operations) {
+      Route route;
+      route.path = std::string(prefix) + "/" + entry->name + "/" + op.name;
+      route.interface = entry;
+      route.operation = &op;
+      table.routes_.push_back(std::move(route));
+    }
+  }
+  std::sort(table.routes_.begin(), table.routes_.end(),
+            [](const Route& a, const Route& b) { return a.path < b.path; });
+  return table;
+}
+
+const Route* RouteTable::find(std::string_view path) const {
+  const auto it = std::lower_bound(
+      routes_.begin(), routes_.end(), path,
+      [](const Route& route, std::string_view p) { return route.path < p; });
+  if (it == routes_.end() || it->path != path) return nullptr;
+  return &*it;
+}
+
+}  // namespace maqs::gateway

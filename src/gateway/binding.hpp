@@ -1,0 +1,45 @@
+// HTTP route table derived from the QIDL interface repository.
+//
+// One route per (interface, operation):
+//
+//   POST <prefix>/<Interface>/<operation>
+//
+// with the request body keyed by parameter name and the response keyed
+// "result". The same scheme is what the qidlc json_binding emitter
+// documents statically (src/qidl/json_binding.cpp); a repository test
+// pins the two against each other so the emitted contract can never
+// drift from the routes the gateway actually serves.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qidl/repository.hpp"
+
+namespace maqs::gateway {
+
+struct Route {
+  std::string path;  // "<prefix>/<Interface>/<operation>"
+  const qidl::InterfaceEntry* interface = nullptr;
+  const qidl::OperationSignature* operation = nullptr;
+};
+
+class RouteTable {
+ public:
+  /// Builds routes for every interface in the repository. The repository
+  /// must outlive the table.
+  static RouteTable build(const qidl::InterfaceRepository& repo,
+                          std::string_view prefix = "/api");
+
+  /// Route for `path`, nullptr when unknown. Only POST routes exist; the
+  /// caller checks the method.
+  const Route* find(std::string_view path) const;
+
+  const std::vector<Route>& routes() const noexcept { return routes_; }
+
+ private:
+  std::vector<Route> routes_;  // sorted by path
+};
+
+}  // namespace maqs::gateway

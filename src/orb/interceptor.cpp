@@ -29,9 +29,18 @@ namespace {
 SendAction TraceClientInterceptor::send_request(ClientRequestInfo& info) {
   trace::TraceRecorder* rec = orb_.trace_recorder();
   if (rec == nullptr || !rec->enabled()) return SendAction::kContinue;
-  const trace::TraceContext minted = rec->make_trace();
-  if (!minted.sampled()) return SendAction::kContinue;
-  info.root_span.emplace(*rec, minted, "client.request",
+  // Nest under an active scope on the same recorder (a gateway.request
+  // span, a servant making a downstream call); otherwise mint a fresh
+  // trace for this invocation.
+  trace::TraceContext parent;
+  if (const trace::SpanScope::Active* outer = trace::SpanScope::active();
+      outer != nullptr && outer->recorder == rec) {
+    parent = outer->ctx;
+  } else {
+    parent = rec->make_trace();
+  }
+  if (!parent.sampled()) return SendAction::kContinue;
+  info.root_span.emplace(*rec, parent, "client.request",
                          info.request.operation);
   info.request.context.set(trace::kTraceContextKey,
                            trace::encode_context(info.root_span->context()));

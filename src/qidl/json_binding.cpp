@@ -1,0 +1,148 @@
+#include "qidl/json_binding.hpp"
+
+#include <string_view>
+
+namespace maqs::qidl {
+
+namespace {
+
+/// Minimal JSON string escape; QIDL identifiers and type spellings are
+/// ASCII, but repo ids may carry arbitrary prefixes.
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_type(std::string& out, const TypeNode& type) {
+  append_quoted(out, type_to_string(type));
+}
+
+}  // namespace
+
+std::string emit_json_binding(const CheckedUnit& unit,
+                              const JsonBindingOptions& options) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\n  \"binding\": \"maqs-json/1\",\n  \"api_prefix\": ";
+  append_quoted(out, options.api_prefix);
+  out += ",\n";
+
+  // ---- named types the routes may reference ----
+  out += "  \"types\": {";
+  bool first_type = true;
+  for (const CheckedStruct& s : unit.structs) {
+    out += first_type ? "\n" : ",\n";
+    first_type = false;
+    out += "    ";
+    append_quoted(out, s.decl.name);
+    out += ": {\"kind\": \"struct\", \"fields\": {";
+    bool first_field = true;
+    for (const ParamDecl& field : s.decl.fields) {
+      if (!first_field) out += ", ";
+      first_field = false;
+      append_quoted(out, field.name);
+      out += ": ";
+      append_type(out, *field.type);
+    }
+    out += "}}";
+  }
+  for (const CheckedEnum& e : unit.enums) {
+    out += first_type ? "\n" : ",\n";
+    first_type = false;
+    out += "    ";
+    append_quoted(out, e.decl.name);
+    out += ": {\"kind\": \"enum\", \"enumerators\": [";
+    bool first_enum = true;
+    for (const std::string& name : e.decl.enumerators) {
+      if (!first_enum) out += ", ";
+      first_enum = false;
+      append_quoted(out, name);
+    }
+    out += "]}";
+  }
+  out += first_type ? "},\n" : "\n  },\n";
+
+  // ---- interfaces and their routes ----
+  out += "  \"interfaces\": [";
+  bool first_iface = true;
+  for (const CheckedInterface& iface : unit.interfaces) {
+    out += first_iface ? "\n" : ",\n";
+    first_iface = false;
+    out += "    {\"name\": ";
+    append_quoted(out, iface.decl.name);
+    out += ", \"repo_id\": ";
+    append_quoted(out, iface.repo_id);
+    out += ", \"routes\": [";
+    bool first_op = true;
+    for (const OperationDecl& op : iface.decl.operations) {
+      out += first_op ? "\n" : ",\n";
+      first_op = false;
+      out += "      {\"method\": \"POST\", \"path\": ";
+      append_quoted(out,
+                    options.api_prefix + "/" + iface.decl.name + "/" + op.name);
+      out += ", \"operation\": ";
+      append_quoted(out, op.name);
+      out += ", \"request\": {";
+      bool first_param = true;
+      for (const ParamDecl& param : op.params) {
+        if (!first_param) out += ", ";
+        first_param = false;
+        append_quoted(out, param.name);
+        out += ": ";
+        append_type(out, *param.type);
+      }
+      out += "}, \"response\": ";
+      if (op.result->kind == TypeKind::kVoid) {
+        out += "null";
+      } else {
+        append_type(out, *op.result);
+      }
+      if (!op.raises.empty()) {
+        out += ", \"raises\": [";
+        bool first_raise = true;
+        for (const std::string& raise : op.raises) {
+          if (!first_raise) out += ", ";
+          first_raise = false;
+          append_quoted(out, raise);
+        }
+        out += "]";
+      }
+      out += "}";
+    }
+    out += first_op ? "]}" : "\n    ]}";
+  }
+  out += first_iface ? "],\n" : "\n  ],\n";
+
+  // ---- the conversion-rule table the gateway implements ----
+  out += "  \"rules\": {\n"
+         "    \"boolean\": \"true/false\",\n"
+         "    \"octet\": \"integer 0..255\",\n"
+         "    \"short\": \"integer -32768..32767\",\n"
+         "    \"long\": \"integer -2^31..2^31-1\",\n"
+         "    \"long long\": \"integer\",\n"
+         "    \"float\": \"number\",\n"
+         "    \"double\": \"number\",\n"
+         "    \"string\": \"string\",\n"
+         "    \"enum\": \"enumerator name (ordinal accepted)\",\n"
+         "    \"sequence<T>\": \"array\",\n"
+         "    \"sequence<octet>\": "
+         "\"array of integers, or {\\\"$blob\\\": \\\"cid:<id>\\\"} "
+         "referencing a multipart/related part\",\n"
+         "    \"struct\": \"object keyed by field name; all fields "
+         "required, unknown keys rejected\",\n"
+         "    \"void\": \"null\"\n"
+         "  }\n}\n";
+  return out;
+}
+
+}  // namespace maqs::qidl

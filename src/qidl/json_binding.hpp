@@ -1,0 +1,36 @@
+// The QIDL JSON-binding emitter (qidlc --json-binding).
+//
+// Alongside the C++ stub/skeleton header, the compiler can emit a
+// machine-readable JSON description of how an HTTP/JSON client reaches
+// each interface through the edge gateway (src/gateway). The document
+// pins, per operation:
+//
+//   - the route: POST <prefix>/<Interface>/<operation>
+//   - the request schema: an object keyed by parameter name, each value
+//     spelled as its QIDL type
+//   - the response schema: {"result": <type>} ({"result": null} for void)
+//   - the raisable user exceptions
+//
+// plus the named struct/enum schemas the routes reference and the
+// Any <-> JSON conversion-rule table (see src/gateway/json.hpp and
+// docs/qidl.md "JSON binding"). Output is deterministic: same unit, same
+// bytes — a repository test pins it against the route table the gateway
+// actually builds, so the emitted contract cannot drift.
+#pragma once
+
+#include <string>
+
+#include "qidl/sema.hpp"
+
+namespace maqs::qidl {
+
+struct JsonBindingOptions {
+  /// Route prefix; must match gateway::GatewayConfig::api_prefix.
+  std::string api_prefix = "/api";
+};
+
+/// Emits the JSON-binding document for a checked unit.
+std::string emit_json_binding(const CheckedUnit& unit,
+                              const JsonBindingOptions& options = {});
+
+}  // namespace maqs::qidl

@@ -7,12 +7,17 @@
 // the timeline.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/module.hpp"
 #include "core/transform.hpp"
+#include "gateway/gateway.hpp"
+#include "qidl/repository.hpp"
 #include "support/chaos.hpp"
+#include "support/http_client.hpp"
 #include "support/replica_world.hpp"
 #include "trace/trace.hpp"
 
@@ -669,6 +674,195 @@ TEST(ChaosTest, ReplicaStormTraceExportsAreByteIdentical) {
     std::ostringstream out;
     recorder.export_chrome_trace(out);
     return out.str();
+  };
+
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ---- gateway_churn (edge abuse while native gold traffic runs) ----
+
+/// Shared gateway_churn timeline: an edge gateway bridges HTTP tenants
+/// into the chaos world while (a) attacker clients fire a seeded
+/// malformed-request storm, (b) torn clients open requests, send half a
+/// body, and crash mid-transfer, and (c) a legitimate HTTP tenant and a
+/// native gold workload run through the same scheduled server. The bar:
+/// zero failed gold requests, every malformed frame answered 400 (never a
+/// crash or hang), abandoned connections reaped, and the whole timeline a
+/// pure function of the chaos seed.
+struct GatewayChurnOutcome {
+  WorkloadReport gold;
+  int malformed_sent = 0;
+  int malformed_answered_400 = 0;
+  int legit_sent = 0;
+  int legit_ok = 0;
+  int legit_overload = 0;
+  int legit_other = 0;
+  gateway::GatewayStats stats;
+  std::size_t open_after_sweep = 0;
+};
+
+/// Runs the scenario; when `trace_out` is non-null, records the whole run
+/// and exports the Chrome trace into it (the recorder must share the
+/// world's loop, so it lives here).
+GatewayChurnOutcome run_gateway_churn(std::string* trace_out) {
+  GatewayChurnOutcome out;
+  ChaosWorld world;
+  world.arm_scheduler(/*service_rps=*/2000.0);
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  if (trace_out != nullptr) {
+    recorder = std::make_unique<trace::TraceRecorder>(world.loop);
+    recorder->set_enabled(true);
+    world.client.set_trace_recorder(recorder.get());
+    world.server.set_trace_recorder(recorder.get());
+  }
+
+  // The edge node: its own ORB so HTTP tenants ride the full client
+  // interceptor chain toward the server.
+  orb::Orb edge(world.net, "edge", 9100);
+  if (recorder != nullptr) edge.set_trace_recorder(recorder.get());
+  const qidl::InterfaceRepository repo =
+      qidl::InterfaceRepository::build(qidl::analyze(kGatewayEchoQidl));
+  gateway::GatewayConfig config;
+  config.idle_timeout = 100 * sim::kMillisecond;
+  gateway::Gateway gw(edge, repo, 8080, config);
+  gw.expose("Echo", world.plain_ref);
+
+  const sim::TimePoint start = world.loop.now() + sim::kMillisecond;
+
+  // (a) Malformed-request storm: three attackers, ten seeded junk frames
+  // each. Every frame must come back 400 on a freshly poisoned-and-closed
+  // connection.
+  constexpr int kAttackers = 3;
+  constexpr int kFramesPerAttacker = 10;
+  util::Rng rng(chaos_seed());
+  std::vector<std::unique_ptr<HttpTestClient>> attackers;
+  for (int i = 0; i < kAttackers; ++i) {
+    attackers.push_back(std::make_unique<HttpTestClient>(
+        world.net, net::Address{"attacker-" + std::to_string(i), 80},
+        gw.endpoint()));
+    for (int j = 0; j < kFramesPerAttacker; ++j) {
+      std::string junk = "JUNK";
+      const std::size_t n = 4 + rng.next_below(12);
+      for (std::size_t k = 0; k < n; ++k) {
+        junk.push_back(static_cast<char>('a' + rng.next_below(26)));
+      }
+      junk += "\r\n\r\n";
+      world.at(start + j * 7 * sim::kMillisecond + i * 2 * sim::kMillisecond,
+               [client = attackers.back().get(), junk] {
+                 client->send_text(junk);
+               });
+      ++out.malformed_sent;
+    }
+  }
+
+  // (b) Mid-body disconnects: a well-formed head, half a body, then the
+  // client node dies. The gateway must neither answer nor hang — the
+  // half-open connection is reaped by the idle sweep.
+  std::vector<std::unique_ptr<HttpTestClient>> torn;
+  for (int i = 0; i < 2; ++i) {
+    const std::string node = "torn-" + std::to_string(i);
+    torn.push_back(std::make_unique<HttpTestClient>(
+        world.net, net::Address{node, 80}, gw.endpoint()));
+    world.at(start + (5 + 4 * i) * sim::kMillisecond,
+             [client = torn.back().get()] {
+               client->send_text(
+                   "POST /api/Echo/echo HTTP/1.1\r\n"
+                   "content-length: 64\r\n\r\npartial-");
+             });
+    world.crash_at(start + (40 + 10 * i) * sim::kMillisecond, node);
+  }
+
+  // (c) A legitimate HTTP tenant keeps calling through the storm.
+  HttpTestClient web(world.net, net::Address{"web", 80}, gw.endpoint());
+  constexpr int kLegit = 20;
+  for (int i = 0; i < kLegit; ++i) {
+    world.at(start + i * 5 * sim::kMillisecond, [&web, i] {
+      web.send_raw(HttpTestClient::encode_request(
+          "POST", "/api/Echo/add",
+          "{\"a\":" + std::to_string(i) + ",\"b\":1}"));
+    });
+    ++out.legit_sent;
+  }
+
+  // Native gold workload through the same scheduled server.
+  EchoStub stub(world.client, world.qos_ref);
+  out.gold = run_workload(world.loop, 150, sim::kMillisecond, [&](int i) {
+    const std::string msg = "g" + std::to_string(i);
+    EXPECT_EQ(stub.echo(msg), msg);
+  });
+  world.loop.run_until_idle();
+
+  for (auto& attacker : attackers) {
+    while (auto resp = attacker->await_response(sim::kMillisecond)) {
+      if (resp->status == 400) ++out.malformed_answered_400;
+    }
+  }
+  while (auto resp = web.await_response(sim::kMillisecond)) {
+    if (resp->status == 200) {
+      ++out.legit_ok;
+    } else if (resp->status == 503) {
+      ++out.legit_overload;
+    } else {
+      ++out.legit_other;
+    }
+  }
+
+  // The abandoned mid-body connections outlive the storm until the idle
+  // sweep collects them.
+  world.loop.run_for(config.idle_timeout + sim::kMillisecond);
+  gw.sweep_idle();
+  out.open_after_sweep = gw.open_connections();
+  out.stats = gw.stats();
+
+  if (trace_out != nullptr) {
+    std::ostringstream exported;
+    recorder->export_chrome_trace(exported);
+    *trace_out = exported.str();
+    world.client.set_trace_recorder(nullptr);
+    world.server.set_trace_recorder(nullptr);
+    edge.set_trace_recorder(nullptr);
+  }
+  return out;
+}
+
+TEST(ChaosTest, GatewayChurnGoldSpotlessAndEveryMalformedAnswered) {
+  const GatewayChurnOutcome out = run_gateway_churn(nullptr);
+
+  // Zero failed gold requests although the storm shared the server.
+  EXPECT_EQ(out.gold.attempted, 150);
+  EXPECT_EQ(out.gold.succeeded, 150);
+  EXPECT_EQ(out.gold.failed, 0);
+
+  // Every malformed frame was answered 400 — never a crash or a hang.
+  EXPECT_EQ(out.malformed_answered_400, out.malformed_sent);
+  EXPECT_EQ(out.stats.malformed,
+            static_cast<std::uint64_t>(out.malformed_sent));
+
+  // The legitimate tenant was answered in full: served, or shed with an
+  // honest 503 — nothing dropped, nothing unexplained.
+  EXPECT_EQ(out.legit_ok + out.legit_overload, out.legit_sent);
+  EXPECT_EQ(out.legit_other, 0);
+  EXPECT_GE(out.legit_ok, out.legit_sent / 2);
+
+  // The mid-body disconnects left half-open connections; the idle sweep
+  // collected every one.
+  EXPECT_GE(out.stats.idle_reaped, 2u);
+  EXPECT_EQ(out.open_after_sweep, 0u);
+}
+
+// The churn timeline — storm arrivals, gateway invocations, scheduler
+// decisions, sweeps — is a pure function of the chaos seed: two traced
+// runs export byte-identical Chrome traces.
+TEST(ChaosTest, GatewayChurnTraceExportsAreByteIdentical) {
+  auto traced_run = [] {
+    std::string exported;
+    const GatewayChurnOutcome out = run_gateway_churn(&exported);
+    EXPECT_EQ(out.gold.failed, 0);
+    EXPECT_EQ(out.malformed_answered_400, out.malformed_sent);
+    return exported;
   };
 
   const std::string first = traced_run();

@@ -1,0 +1,151 @@
+// JSON document model + Any⇄JSON conversion tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cdr/typecode.hpp"
+#include "gateway/json.hpp"
+
+namespace maqs::gateway {
+namespace {
+
+using cdr::Any;
+using cdr::TCKind;
+using cdr::TypeCode;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_integer(), 42);
+  EXPECT_EQ(parse_json("-7").as_integer(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  \"a\\nb\\\"c\\\\d\"  ").as_string(), "a\nb\"c\\d");
+  // Strings are byte sequences: \u00XX is one byte, higher code points
+  // take their UTF-8 encoding.
+  EXPECT_EQ(parse_json("\"\\u0041\\u00e9\"").as_string(), "A\xe9");
+  EXPECT_EQ(parse_json("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+}
+
+TEST(JsonParse, Containers) {
+  const JsonValue arr = parse_json("[1, 2, [3]]");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.as_array().size(), 3u);
+  EXPECT_EQ(arr.as_array()[2].as_array()[0].as_integer(), 3);
+
+  const JsonValue obj = parse_json("{\"a\": 1, \"b\": {\"c\": []}}");
+  ASSERT_TRUE(obj.is_object());
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_integer(), 1);
+  ASSERT_NE(obj.find("b"), nullptr);
+  EXPECT_NE(obj.find("b")->find("c"), nullptr);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  for (const char* text :
+       {"", "{", "[1,]", "{\"a\":}", "{a:1}", "\"unterminated", "nul",
+        "1.2.3", "[1] extra", "{\"a\":1,}", "\x01"}) {
+    EXPECT_THROW(parse_json(text), JsonError) << text;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(parse_json(deep), JsonError);
+}
+
+TEST(JsonWrite, DeterministicAndRoundTrips) {
+  const char* text =
+      "{\"s\":\"a\\\"b\",\"n\":-3,\"d\":2.5,\"t\":true,\"z\":null,"
+      "\"arr\":[1,2],\"obj\":{\"k\":\"v\"}}";
+  const JsonValue parsed = parse_json(text);
+  const std::string once = write_json(parsed);
+  EXPECT_EQ(write_json(parse_json(once)), once);  // stable fixed point
+  EXPECT_EQ(parse_json(once), parsed);
+}
+
+TEST(AnyToJson, Scalars) {
+  EXPECT_TRUE(any_to_json(Any::make_void()).is_null());
+  EXPECT_EQ(any_to_json(Any::from_bool(true)).as_bool(), true);
+  EXPECT_EQ(any_to_json(Any::from_octet(255)).as_integer(), 255);
+  EXPECT_EQ(any_to_json(Any::from_short(-5)).as_integer(), -5);
+  EXPECT_EQ(any_to_json(Any::from_long(123456)).as_integer(), 123456);
+  EXPECT_EQ(any_to_json(Any::from_longlong(1LL << 40)).as_integer(),
+            1LL << 40);
+  EXPECT_DOUBLE_EQ(any_to_json(Any::from_double(2.25)).as_number(), 2.25);
+  EXPECT_EQ(any_to_json(Any::from_string("hi")).as_string(), "hi");
+}
+
+TEST(AnyToJson, EnumBecomesName) {
+  const auto color = TypeCode::enum_tc("Color", {"red", "green", "blue"});
+  EXPECT_EQ(any_to_json(Any::from_enum(color, 1)).as_string(), "green");
+}
+
+TEST(JsonToAny, ScalarsAndRanges) {
+  EXPECT_EQ(json_to_any(parse_json("200"), TypeCode::octet_tc()).as_octet(),
+            200);
+  EXPECT_EQ(json_to_any(parse_json("-7"), TypeCode::long_tc()).as_long(), -7);
+  EXPECT_DOUBLE_EQ(
+      json_to_any(parse_json("2.5"), TypeCode::double_tc()).as_double(), 2.5);
+  // Integral JSON numbers widen into float targets.
+  EXPECT_DOUBLE_EQ(
+      json_to_any(parse_json("3"), TypeCode::double_tc()).as_double(), 3.0);
+  // Range violations are rejected, not truncated.
+  EXPECT_THROW(json_to_any(parse_json("256"), TypeCode::octet_tc()),
+               JsonError);
+  EXPECT_THROW(json_to_any(parse_json("-1"), TypeCode::octet_tc()), JsonError);
+  EXPECT_THROW(json_to_any(parse_json("40000"), TypeCode::short_tc()),
+               JsonError);
+  EXPECT_THROW(
+      json_to_any(parse_json("2147483648"), TypeCode::long_tc()), JsonError);
+  EXPECT_THROW(json_to_any(parse_json("1.5"), TypeCode::long_tc()), JsonError);
+  EXPECT_THROW(json_to_any(parse_json("\"x\""), TypeCode::long_tc()),
+               JsonError);
+}
+
+TEST(JsonToAny, EnumByNameAndOrdinal) {
+  const auto color = TypeCode::enum_tc("Color", {"red", "green", "blue"});
+  EXPECT_EQ(json_to_any(parse_json("\"blue\""), color).as_enum_ordinal(), 2u);
+  EXPECT_EQ(json_to_any(parse_json("1"), color).as_enum_name(), "green");
+  EXPECT_THROW(json_to_any(parse_json("\"mauve\""), color), JsonError);
+  EXPECT_THROW(json_to_any(parse_json("9"), color), JsonError);
+}
+
+TEST(JsonToAny, SequenceAndStruct) {
+  const auto seq = TypeCode::sequence_tc(TypeCode::long_tc());
+  const Any parsed = json_to_any(parse_json("[1,2,3]"), seq);
+  ASSERT_EQ(parsed.as_elements().size(), 3u);
+  EXPECT_EQ(parsed.as_elements()[2].as_long(), 3);
+
+  const auto point = TypeCode::struct_tc(
+      "Point", {{"x", TypeCode::long_tc()}, {"y", TypeCode::long_tc()}});
+  // Field order in the document does not matter.
+  const Any p = json_to_any(parse_json("{\"y\":2,\"x\":1}"), point);
+  EXPECT_EQ(p.as_elements()[0].as_long(), 1);
+  EXPECT_EQ(p.as_elements()[1].as_long(), 2);
+  // Missing and unknown fields are rejected.
+  EXPECT_THROW(json_to_any(parse_json("{\"x\":1}"), point), JsonError);
+  EXPECT_THROW(json_to_any(parse_json("{\"x\":1,\"y\":2,\"z\":3}"), point),
+               JsonError);
+}
+
+TEST(JsonAnyRoundTrip, NestedValue) {
+  const auto point = TypeCode::struct_tc(
+      "Point", {{"x", TypeCode::long_tc()},
+                {"tags", TypeCode::sequence_tc(TypeCode::string_tc())}});
+  const Any value = Any::from_struct(
+      point,
+      {Any::from_long(7),
+       Any::from_sequence(TypeCode::string_tc(),
+                          {Any::from_string("a"), Any::from_string("b")})});
+  const Any back =
+      json_to_any(parse_json(write_json(any_to_json(value))), point);
+  EXPECT_EQ(back, value);
+}
+
+}  // namespace
+}  // namespace maqs::gateway

@@ -1,0 +1,109 @@
+// multipart/related (MTOM-style) container parse/build tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gateway/mtom.hpp"
+
+namespace maqs::gateway {
+namespace {
+
+util::Bytes bytes(std::string_view s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+std::string text(util::BytesView view) {
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+TEST(ContentTypeParse, MediaTypeAndBoundary) {
+  const ContentType plain = parse_content_type("application/json");
+  EXPECT_EQ(plain.media_type, "application/json");
+  EXPECT_TRUE(plain.boundary.empty());
+
+  const ContentType multi = parse_content_type(
+      "Multipart/Related; boundary=\"b-1\"; type=\"application/json\"");
+  EXPECT_EQ(multi.media_type, "multipart/related");
+  EXPECT_EQ(multi.boundary, "b-1");
+
+  const ContentType bare = parse_content_type(
+      "multipart/related;boundary=xyz");
+  EXPECT_EQ(bare.boundary, "xyz");
+}
+
+TEST(MultipartParse, RootAndBlobParts) {
+  const std::string body =
+      "--B\r\n"
+      "content-type: application/json\r\n"
+      "\r\n"
+      "{\"data\":{\"$blob\":\"cid:p1\"}}\r\n"
+      "--B\r\n"
+      "Content-ID: <p1>\r\n"
+      "Content-Type: application/octet-stream\r\n"
+      "\r\n"
+      "\x01\x02\x03raw\r\n"
+      "--B--\r\n";
+  const util::Bytes wire = util::Bytes(body.begin(), body.end());
+  const auto parsed = parse_multipart_related(wire, "B");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(text(parsed->root), "{\"data\":{\"$blob\":\"cid:p1\"}}");
+  ASSERT_EQ(parsed->parts.size(), 1u);
+  EXPECT_EQ(parsed->parts[0].content_id, "p1");
+  EXPECT_EQ(parsed->parts[0].content_type, "application/octet-stream");
+  EXPECT_EQ(text(parsed->parts[0].data), "\x01\x02\x03raw");
+  // Lookup by cid URL or bare id.
+  EXPECT_EQ(parsed->find("cid:p1"), &parsed->parts[0]);
+  EXPECT_EQ(parsed->find("p1"), &parsed->parts[0]);
+  EXPECT_EQ(parsed->find("cid:absent"), nullptr);
+}
+
+TEST(MultipartParse, ZeroCopyViewsAliasTheBody) {
+  const std::string body =
+      "--B\r\ncontent-type: application/json\r\n\r\nroot\r\n"
+      "--B\r\ncontent-id: <x>\r\n\r\ndata\r\n--B--\r\n";
+  const util::Bytes wire = bytes(body);
+  const auto parsed = parse_multipart_related(wire, "B");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_GE(parsed->root.data(), wire.data());
+  EXPECT_LT(parsed->root.data(), wire.data() + wire.size());
+  EXPECT_GE(parsed->parts[0].data.data(), wire.data());
+}
+
+TEST(MultipartParse, RejectsMalformed) {
+  for (const char* body :
+       {"",                                    // empty
+        "preamble\r\n--B\r\n\r\nx\r\n--B--",   // preamble not in subset
+        "--B\r\n\r\nroot",                     // no closing delimiter
+        "--B--\r\n",                           // closing before any part
+        "--B\r\nno colon\r\n\r\nx\r\n--B--",   // bad part header
+        "--Bxx\r\n\r\nx\r\n--B--",             // boundary mismatch
+        "--B\r\n\r\nroot\r\n--B\r\n\r\nblob\r\n--B--"}) {  // part sans cid
+    EXPECT_FALSE(parse_multipart_related(bytes(body), "B").has_value())
+        << body;
+  }
+  EXPECT_FALSE(parse_multipart_related(bytes("--B\r\n\r\nx\r\n--B--"), "")
+                   .has_value());
+}
+
+TEST(MultipartBuilder, RoundTripsThroughParser) {
+  MultipartBuilder builder("bound-7");
+  builder.add_json_root("{\"result\":{\"$blob\":\"cid:r0\"}}");
+  const util::Bytes blob = bytes("binary\r\npayload");
+  builder.add_blob_part("r0", blob);
+
+  EXPECT_EQ(builder.content_type(),
+            "multipart/related; boundary=bound-7; type=\"application/json\"");
+  const std::size_t predicted = builder.encoded_size();
+  const util::Bytes wire = builder.finish();
+  EXPECT_EQ(wire.size(), predicted);
+
+  const auto parsed = parse_multipart_related(wire, "bound-7");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(text(parsed->root), "{\"result\":{\"$blob\":\"cid:r0\"}}");
+  ASSERT_EQ(parsed->parts.size(), 1u);
+  EXPECT_EQ(parsed->parts[0].content_id, "r0");
+  EXPECT_EQ(text(parsed->parts[0].data), "binary\r\npayload");
+}
+
+}  // namespace
+}  // namespace maqs::gateway

@@ -1,0 +1,118 @@
+// The json_binding emitter and the gateway's runtime route table are two
+// views of the same CheckedUnit; these tests pin them to each other: every
+// route the document advertises exists in the RouteTable (and vice versa),
+// the emitted document is valid JSON by the gateway's own parser, and the
+// emitter is deterministic.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "gateway/binding.hpp"
+#include "gateway/json.hpp"
+#include "qidl/json_binding.hpp"
+#include "qidl/repository.hpp"
+#include "qidl/sema.hpp"
+
+namespace maqs::qidl {
+namespace {
+
+const char* const kSource = R"(
+  module demo {
+    enum Mode { fast, safe };
+    struct Point { long x; long y; };
+    exception Unreachable { string detail; };
+
+    interface Mapper {
+      Point translate(in Point p, in Mode m) raises (Unreachable);
+      sequence<octet> snapshot(in string region);
+      void reset();
+    };
+    interface Probe {
+      long ping(in long nonce);
+    };
+  };
+)";
+
+TEST(JsonBinding, IsValidJsonAndDeterministic) {
+  const CheckedUnit unit = analyze(kSource);
+  const std::string doc = emit_json_binding(unit);
+  EXPECT_EQ(emit_json_binding(unit), doc);  // byte-identical re-run
+
+  const gateway::JsonValue parsed = gateway::parse_json(doc);
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.find("binding")->as_string(), "maqs-json/1");
+  EXPECT_EQ(parsed.find("api_prefix")->as_string(), "/api");
+  ASSERT_NE(parsed.find("rules"), nullptr);
+  EXPECT_NE(parsed.find("rules")->find("sequence<octet>"), nullptr);
+}
+
+TEST(JsonBinding, DescribesTypesAndRaises) {
+  const gateway::JsonValue doc =
+      gateway::parse_json(emit_json_binding(analyze(kSource)));
+  const gateway::JsonValue* types = doc.find("types");
+  ASSERT_NE(types, nullptr);
+  const gateway::JsonValue* point = types->find("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->find("kind")->as_string(), "struct");
+  EXPECT_EQ(point->find("fields")->find("x")->as_string(), "long");
+  const gateway::JsonValue* mode = types->find("Mode");
+  ASSERT_NE(mode, nullptr);
+  EXPECT_EQ(mode->find("kind")->as_string(), "enum");
+  ASSERT_EQ(mode->find("enumerators")->as_array().size(), 2u);
+  EXPECT_EQ(mode->find("enumerators")->as_array()[0].as_string(), "fast");
+
+  // translate's raises clause and typed request schema survive.
+  const auto& interfaces = doc.find("interfaces")->as_array();
+  ASSERT_FALSE(interfaces.empty());
+  const gateway::JsonValue& mapper = interfaces[0];
+  EXPECT_EQ(mapper.find("name")->as_string(), "Mapper");
+  const gateway::JsonValue& translate = mapper.find("routes")->as_array()[0];
+  EXPECT_EQ(translate.find("operation")->as_string(), "translate");
+  EXPECT_EQ(translate.find("request")->find("p")->as_string(), "Point");
+  EXPECT_EQ(translate.find("response")->as_string(), "Point");
+  ASSERT_NE(translate.find("raises"), nullptr);
+  EXPECT_EQ(translate.find("raises")->as_array()[0].as_string(),
+            "Unreachable");
+}
+
+TEST(JsonBinding, RoutesMatchRuntimeRouteTable) {
+  const CheckedUnit unit = analyze(kSource);
+  const InterfaceRepository repo = InterfaceRepository::build(unit);
+  const gateway::RouteTable table = gateway::RouteTable::build(repo);
+
+  const gateway::JsonValue doc =
+      gateway::parse_json(emit_json_binding(unit));
+  std::set<std::string> advertised;
+  for (const gateway::JsonValue& iface : doc.find("interfaces")->as_array()) {
+    for (const gateway::JsonValue& route : iface.find("routes")->as_array()) {
+      EXPECT_EQ(route.find("method")->as_string(), "POST");
+      const std::string path = route.find("path")->as_string();
+      advertised.insert(path);
+      // Every advertised route resolves in the runtime table to the same
+      // operation.
+      const gateway::Route* found = table.find(path);
+      ASSERT_NE(found, nullptr) << path;
+      EXPECT_EQ(found->operation->name, route.find("operation")->as_string());
+    }
+  }
+  // ...and the runtime table has nothing the document omits.
+  EXPECT_EQ(advertised.size(), table.routes().size());
+  for (const gateway::Route& route : table.routes()) {
+    EXPECT_TRUE(advertised.count(route.path)) << route.path;
+  }
+}
+
+TEST(JsonBinding, HonorsApiPrefixOption) {
+  JsonBindingOptions options;
+  options.api_prefix = "/v2";
+  const gateway::JsonValue doc =
+      gateway::parse_json(emit_json_binding(analyze(kSource), options));
+  EXPECT_EQ(doc.find("api_prefix")->as_string(), "/v2");
+  const gateway::JsonValue& first_route =
+      doc.find("interfaces")->as_array()[0].find("routes")->as_array()[0];
+  EXPECT_EQ(first_route.find("path")->as_string().rfind("/v2/", 0), 0u);
+}
+
+}  // namespace
+}  // namespace maqs::qidl

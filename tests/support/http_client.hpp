@@ -1,0 +1,127 @@
+// Minimal HTTP client over the simulated network, for gateway tests and
+// the bench HTTP rows: sends raw frames (so torn/malformed input is easy
+// to produce) and parses responses with the gateway's own
+// HttpResponseParser, pumping the event loop until a response completes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gateway/http.hpp"
+#include "net/network.hpp"
+#include "sim/event_loop.hpp"
+
+namespace maqs::testing {
+
+class HttpTestClient {
+ public:
+  HttpTestClient(net::Network& net, net::Address self, net::Address gateway)
+      : net_(net), self_(self), gateway_(gateway) {
+    if (!net_.has_node(self_.node)) net_.add_node(self_.node);
+    net_.bind(self_, [this](const net::Address&, const util::Bytes& payload) {
+      parser_.feed(payload);
+      drain();
+    });
+  }
+  ~HttpTestClient() { net_.unbind(self_); }
+  HttpTestClient(const HttpTestClient&) = delete;
+  HttpTestClient& operator=(const HttpTestClient&) = delete;
+
+  void send_raw(util::Bytes frame) {
+    net_.send(self_, gateway_, std::move(frame));
+  }
+  void send_text(std::string_view text) {
+    send_raw(util::Bytes(text.begin(), text.end()));
+  }
+
+  /// Serializes a request; `headers` are emitted verbatim.
+  static util::Bytes encode_request(
+      const std::string& method, const std::string& target,
+      std::string_view body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {}) {
+    std::string out = method + " " + target + " HTTP/1.1\r\n";
+    for (const auto& [name, value] : headers) {
+      out += name + ": " + value + "\r\n";
+    }
+    out += "content-length: " + std::to_string(body.size()) + "\r\n\r\n";
+    out += body;
+    return util::Bytes(out.begin(), out.end());
+  }
+
+  /// Pumps the loop until one more response than before has arrived (or
+  /// the deadline passes); returns it.
+  std::optional<gateway::HttpResponse> await_response(
+      sim::Duration timeout = 10 * sim::kSecond) {
+    const std::size_t want = delivered_ + 1;
+    const sim::TimePoint deadline = net_.loop().now() + timeout;
+    net_.loop().run_until([&] {
+      return responses_.size() >= want || net_.loop().now() >= deadline;
+    });
+    if (responses_.size() < want) return std::nullopt;
+    gateway::HttpResponse out = std::move(responses_[delivered_]);
+    ++delivered_;
+    return out;
+  }
+
+  /// Blocking request/response round trip.
+  std::optional<gateway::HttpResponse> request(
+      const std::string& method, const std::string& target,
+      std::string_view body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {},
+      sim::Duration timeout = 10 * sim::kSecond) {
+    send_raw(encode_request(method, target, body, headers));
+    return await_response(timeout);
+  }
+
+  /// Frees already-delivered responses so bench loops that run hundreds
+  /// of thousands of round trips keep a flat footprint.
+  void discard_delivered() {
+    responses_.erase(responses_.begin(),
+                     responses_.begin() +
+                         static_cast<std::ptrdiff_t>(delivered_));
+    delivered_ = 0;
+  }
+
+  std::size_t responses_seen() const noexcept { return responses_.size(); }
+  bool parser_failed() const noexcept {
+    return !parser_.error().empty();
+  }
+
+ private:
+  void drain() {
+    gateway::HttpResponse resp;
+    while (parser_.poll(resp) ==
+           gateway::HttpResponseParser::Result::kResponse) {
+      responses_.push_back(std::move(resp));
+      resp = gateway::HttpResponse{};
+    }
+  }
+
+  net::Network& net_;
+  net::Address self_;
+  net::Address gateway_;
+  gateway::HttpResponseParser parser_;
+  std::vector<gateway::HttpResponse> responses_;
+  std::size_t delivered_ = 0;
+};
+
+/// The Echo QIDL source shared by gateway tests (matches
+/// tests/support/echo.hpp's hand-written stub/skeleton).
+inline const char* const kGatewayEchoQidl = R"(
+  module test {
+    interface Echo {
+      string echo(in string s);
+      long add(in long a, in long b);
+      void set_value(in long v);
+      long value();
+      sequence<octet> blob(in sequence<octet> data);
+      void boom();
+    };
+  };
+)";
+
+}  // namespace maqs::testing
